@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Char Filename Fun List Option Printf Seq Stratrec_model Stratrec_util String Unix

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Bench_common Float List Printf Stratrec Stratrec_geom Stratrec_model Stratrec_util

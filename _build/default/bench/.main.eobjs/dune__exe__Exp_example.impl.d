@@ -1,0 +1,1 @@
+bench/exp_example.ml: Array Bench_common Format List Printf Stratrec Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+bench/exp_fig14.ml: Bench_common List Printf Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+bench/exp_fig15_16.ml: Bench_common List Printf Stratrec Stratrec_model Stratrec_util

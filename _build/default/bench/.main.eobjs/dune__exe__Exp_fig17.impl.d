@@ -1,0 +1,1 @@
+bench/exp_fig17.ml: Array Bench_common Fun List Option Printf Stratrec Stratrec_model Stratrec_util

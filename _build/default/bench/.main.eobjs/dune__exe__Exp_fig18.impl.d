@@ -1,0 +1,1 @@
+bench/exp_fig18.ml: Array Bench_common List Printf Stratrec Stratrec_model Stratrec_util

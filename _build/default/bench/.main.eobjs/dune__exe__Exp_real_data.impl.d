@@ -1,0 +1,1 @@
+bench/exp_real_data.ml: Array Bench_common Float List Option Printf Stratrec_crowdsim Stratrec_model Stratrec_util

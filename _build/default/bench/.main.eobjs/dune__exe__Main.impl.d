@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Bench_common Exp_ablation Exp_example Exp_fig14 Exp_fig15_16 Exp_fig17 Exp_fig18 Exp_real_data List Printf String Sys

@@ -1,0 +1,249 @@
+(* Ablation studies for the design choices called out in DESIGN.md:
+   (a) ADPaR-Exact's monotone-objective pruning,
+   (b) BatchStrat's best-single correction for pay-off (vs plain greedy),
+   (c) Sum-case vs Max-case workforce aggregation,
+   (d) R-tree construction method behind Baseline3 (STR bulk load vs
+       one-by-one insertion),
+   (e) the weighted multi-goal objective extension. *)
+
+module Rng = Stratrec_util.Rng
+module Tabular = Stratrec_util.Tabular
+module Model = Stratrec_model
+module Workforce = Model.Workforce
+module P3 = Stratrec_geom.Point3
+
+let runs () = if !Bench_common.quick then 2 else 5
+
+let adpar_pruning () =
+  let t = Tabular.create ~columns:[ "|S|"; "pruned (s)"; "unpruned (s)"; "speedup" ] in
+  List.iter
+    (fun n ->
+      let pruned_total = ref 0. and unpruned_total = ref 0. in
+      for i = 1 to runs () do
+        let request = (Bench_common.hard_requests (Rng.create (21_000 + i)) ~m:1 ~k:5).(0) in
+        let strategies =
+          Model.Workload.strategies (Rng.create (22_000 + i)) ~n ~kind:Model.Workload.Uniform
+        in
+        let dt, a = Bench_common.time (fun () -> Stratrec.Adpar.exact ~strategies request) in
+        let du, b =
+          Bench_common.time (fun () -> Stratrec.Adpar.exact ~prune:false ~strategies request)
+        in
+        (match (a, b) with
+        | Some a, Some b when Float.abs (a.Stratrec.Adpar.distance -. b.Stratrec.Adpar.distance) < 1e-9 -> ()
+        | _ -> failwith "ablation: pruning changed the result");
+        pruned_total := !pruned_total +. dt;
+        unpruned_total := !unpruned_total +. du
+      done;
+      let p = !pruned_total /. float_of_int (runs ()) in
+      let u = !unpruned_total /. float_of_int (runs ()) in
+      Tabular.add_row t
+        [
+          string_of_int n;
+          Printf.sprintf "%.5f" p;
+          Printf.sprintf "%.5f" u;
+          Printf.sprintf "%.1fx" (u /. Float.max 1e-9 p);
+        ])
+    (if !Bench_common.quick then [ 500; 1000 ] else [ 500; 1000; 2000; 4000 ]);
+  Bench_common.print_table ~title:"(a) ADPaR-Exact pruning (identical results, wall-clock)" t
+
+let best_single_correction () =
+  (* Adversarial pay-off instances: many low-value high-density fillers and
+     one high-value item that density-greedy skips. *)
+  let t = Tabular.create ~columns:[ "instance"; "BatchStrat"; "plain greedy"; "optimal" ] in
+  List.iter
+    (fun i ->
+      let rng = Rng.create (23_000 + i) in
+      let m = 12 in
+      let fillers =
+        List.init (m - 1) (fun _ -> (0.02 +. Rng.float rng 0.03, 0.05 +. Rng.float rng 0.05))
+      in
+      let big = (0.8, 0.95) in
+      let entries = Array.of_list (fillers @ [ big ]) in
+      let requests =
+        Array.mapi
+          (fun id (_, value) ->
+            Model.Deployment.make ~id
+              ~params:(Model.Params.make ~quality:0.1 ~cost:value ~latency:0.9)
+              ~k:1 ())
+          entries
+      in
+      let strategies =
+        [|
+          Model.Strategy.single ~id:0
+            (List.hd Model.Dimension.all_combos)
+            ~params:(Model.Params.make ~quality:0.5 ~cost:0.5 ~latency:0.5)
+            ~model:(Model.Linear_model.synthetic rng);
+        |]
+      in
+      let matrix =
+        Workforce.compute_with
+          ~requirement:(fun d _ -> Some (fst entries.(d.Model.Deployment.id)))
+          ~requests ~strategies
+      in
+      let objective = Stratrec.Objective.Payoff and aggregation = Workforce.Max_case in
+      let available = 0.9 in
+      let ours = Stratrec.Batchstrat.run ~objective ~aggregation ~available matrix in
+      let plain = Stratrec.Batch_baselines.baseline_g ~objective ~aggregation ~available matrix in
+      let best = Stratrec.Batch_baselines.brute_force ~objective ~aggregation ~available matrix in
+      Tabular.add_row t
+        [
+          string_of_int i;
+          Printf.sprintf "%.3f" ours.Stratrec.Batchstrat.objective_value;
+          Printf.sprintf "%.3f" plain.Stratrec.Batchstrat.objective_value;
+          Printf.sprintf "%.3f" best.Stratrec.Batchstrat.objective_value;
+        ])
+    (List.init 4 (fun i -> i + 1));
+  Bench_common.print_table
+    ~title:"(b) Theorem 3's best-single correction on adversarial pay-off instances" t
+
+let aggregation_cases () =
+  let t = Tabular.create ~columns:[ "k"; "Sum-case %"; "Max-case %" ] in
+  let runs = if !Bench_common.quick then 3 else 10 in
+  List.iter
+    (fun k ->
+      let fraction aggregation =
+        Bench_common.mean_over_runs ~runs (fun rng ->
+            let strategies = Model.Workload.strategies rng ~n:500 ~kind:Model.Workload.Uniform in
+            let requests = Model.Workload.requests rng ~m:10 ~k in
+            let matrix = Workforce.compute ~rule:`Paper_equality ~requests ~strategies () in
+            let satisfied = ref 0 in
+            Array.iteri
+              (fun i _ ->
+                match Workforce.request_requirement matrix aggregation ~k i with
+                | Some { Workforce.workforce; _ } when workforce <= 0.85 -> incr satisfied
+                | Some _ | None -> ())
+              requests;
+            float_of_int !satisfied /. 10.)
+      in
+      Tabular.add_row t
+        [
+          string_of_int k;
+          Printf.sprintf "%.3f" (fraction Workforce.Sum_case);
+          Printf.sprintf "%.3f" (fraction Workforce.Max_case);
+        ])
+    [ 1; 2; 5; 10 ];
+  Bench_common.print_table
+    ~title:"(c) Sum-case (deploy all k) vs Max-case (deploy one of k) feasibility at W=0.85" t
+
+let rtree_construction () =
+  let t =
+    Tabular.create
+      ~columns:[ "n"; "bulk load (s)"; "insert (s)"; "bulk nodes"; "insert nodes" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.create 24_000 in
+      let entries =
+        List.init n (fun i ->
+            (P3.make (Rng.float rng 1.) (Rng.float rng 1.) (Rng.float rng 1.), i))
+      in
+      let bt, bulk = Bench_common.time (fun () -> Stratrec_geom.Rtree.bulk_load entries) in
+      let it, inserted =
+        Bench_common.time (fun () ->
+            List.fold_left
+              (fun t (p, v) -> Stratrec_geom.Rtree.insert t p v)
+              (Stratrec_geom.Rtree.empty ())
+              entries)
+      in
+      Tabular.add_row t
+        [
+          string_of_int n;
+          Printf.sprintf "%.5f" bt;
+          Printf.sprintf "%.5f" it;
+          string_of_int (List.length (Stratrec_geom.Rtree.nodes bulk));
+          string_of_int (List.length (Stratrec_geom.Rtree.nodes inserted));
+        ])
+    (if !Bench_common.quick then [ 1000 ] else [ 1000; 5000; 20000 ]);
+  Bench_common.print_table ~title:"(d) R-tree construction behind Baseline3" t
+
+let weighted_objective () =
+  let t =
+    Tabular.create ~columns:[ "payoff weight"; "satisfied"; "payoff"; "objective" ]
+  in
+  let rng = Rng.create 25_000 in
+  let strategies = Model.Workload.strategies rng ~n:100 ~kind:Model.Workload.Uniform in
+  let requests = Model.Workload.requests rng ~m:12 ~k:3 in
+  let matrix = Workforce.compute ~rule:`Paper_equality ~requests ~strategies () in
+  List.iter
+    (fun payoff_weight ->
+      let objective =
+        if payoff_weight = 0. then Stratrec.Objective.Throughput
+        else Stratrec.Objective.weighted ~throughput:1. ~payoff:payoff_weight
+      in
+      let o =
+        Stratrec.Batchstrat.run ~objective ~aggregation:Workforce.Max_case ~available:0.9 matrix
+      in
+      let payoff =
+        List.fold_left
+          (fun acc s ->
+            acc +. Model.Deployment.payoff matrix.Workforce.requests.(s.Stratrec.Batchstrat.request_index))
+          0. o.Stratrec.Batchstrat.satisfied
+      in
+      Tabular.add_row t
+        [
+          Printf.sprintf "%.1f" payoff_weight;
+          string_of_int (Stratrec.Batchstrat.satisfied_count o);
+          Printf.sprintf "%.3f" payoff;
+          Printf.sprintf "%.3f" o.Stratrec.Batchstrat.objective_value;
+        ])
+    [ 0.; 0.5; 1.; 2.; 5. ];
+  Bench_common.print_table ~title:"(e) weighted multi-goal objective (extension)" t
+
+let online_vs_offline () =
+  (* The §7 open problem's baseline: greedy-online admission in arrival
+     order against the offline BatchStrat on the same instance, plus the
+     near-exact DP reference. *)
+  let t =
+    Tabular.create
+      ~columns:[ "m"; "offline (BatchStrat)"; "offline (DP)"; "online (stream)"; "online/offline" ]
+  in
+  let runs = if !Bench_common.quick then 3 else 10 in
+  List.iter
+    (fun m ->
+      let offline_total = ref 0. and dp_total = ref 0. and online_total = ref 0. in
+      for i = 1 to runs do
+        let rng = Rng.create (26_000 + i) in
+        let strategies = Model.Workload.strategies rng ~n:60 ~kind:Model.Workload.Uniform in
+        let requests = Model.Workload.requests rng ~m ~k:3 in
+        let available = 2.0 in
+        let matrix = Workforce.compute ~rule:`Paper_equality ~requests ~strategies () in
+        let offline =
+          Stratrec.Batchstrat.run ~objective:Stratrec.Objective.Throughput
+            ~aggregation:Workforce.Max_case ~available matrix
+        in
+        let dp =
+          Stratrec.Batch_baselines.dynamic_programming ~objective:Stratrec.Objective.Throughput
+            ~aggregation:Workforce.Max_case ~available matrix
+        in
+        let session =
+          Stratrec.Stream_aggregator.create ~inversion_rule:`Paper_equality ~strategies
+            ~workforce:available ()
+        in
+        Array.iter (fun d -> ignore (Stratrec.Stream_aggregator.submit session d)) requests;
+        offline_total :=
+          !offline_total +. float_of_int (Stratrec.Batchstrat.satisfied_count offline);
+        dp_total := !dp_total +. float_of_int (Stratrec.Batchstrat.satisfied_count dp);
+        online_total :=
+          !online_total +. float_of_int (Stratrec.Stream_aggregator.admitted_count session)
+      done;
+      let avg v = v /. float_of_int runs in
+      Tabular.add_row t
+        [
+          string_of_int m;
+          Printf.sprintf "%.2f" (avg !offline_total);
+          Printf.sprintf "%.2f" (avg !dp_total);
+          Printf.sprintf "%.2f" (avg !online_total);
+          Printf.sprintf "%.3f" (avg !online_total /. Float.max 1e-9 (avg !offline_total));
+        ])
+    [ 5; 10; 20; 40 ];
+  Bench_common.print_table
+    ~title:"(f) online greedy vs offline BatchStrat vs DP, identical arrivals (W=2.0, k=3)" t
+
+let run () =
+  Bench_common.section "Ablations";
+  adpar_pruning ();
+  best_single_correction ();
+  aggregation_cases ();
+  rtree_construction ();
+  weighted_objective ();
+  online_vs_offline ()

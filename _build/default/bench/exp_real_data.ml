@@ -1,0 +1,166 @@
+(* Experiments Fig. 11, Table 6, Fig. 12 and Fig. 13: the §5.1 real-data
+   study, run against the simulated platform (see DESIGN.md for the AMT
+   substitution). *)
+
+module Rng = Stratrec_util.Rng
+module Stats = Stratrec_util.Stats
+module Tabular = Stratrec_util.Tabular
+module Regression = Stratrec_util.Regression
+module Model = Stratrec_model
+module Params = Model.Params
+module Dimension = Model.Dimension
+module Sim = Stratrec_crowdsim
+
+let combo_exn label = Option.get (Dimension.combo_of_label label)
+
+let fig11 platform rng =
+  Bench_common.section "Fig. 11 - worker availability per deployment window";
+  let t = Tabular.create ~columns:[ "Window"; "Seq-IC"; "(se)"; "Sim-CC"; "(se)" ] in
+  List.iter
+    (fun kind ->
+      let rows = Sim.Study.availability_study platform rng ~kind ~replicates:10 () in
+      List.iter
+        (fun window ->
+          let find combo_label =
+            List.find
+              (fun r ->
+                r.Sim.Study.window = window
+                && Dimension.combo_label r.Sim.Study.combo = combo_label)
+              rows
+          in
+          let seq = find "SEQ-IND-CRO" and sim = find "SIM-COL-CRO" in
+          Tabular.add_row t
+            [
+              Printf.sprintf "%s %s" (Sim.Task_spec.kind_label kind) (Sim.Window.label window);
+              Printf.sprintf "%.3f" seq.Sim.Study.mean_availability;
+              Printf.sprintf "%.3f" seq.Sim.Study.std_error;
+              Printf.sprintf "%.3f" sim.Sim.Study.mean_availability;
+              Printf.sprintf "%.3f" sim.Sim.Study.std_error;
+            ])
+        Sim.Window.all)
+    [ Sim.Task_spec.Sentence_translation; Sim.Task_spec.Text_creation ];
+  Bench_common.print_table ~title:"Fig. 11 availability per window" t;
+  print_endline "Expected shape: Window-2 (Monday-Thursday) has the highest availability."
+
+let table6_and_fig12 platform rng =
+  Bench_common.section "Table 6 - fitted (alpha, beta) per task, strategy and parameter";
+  let cases =
+    [
+      (Sim.Task_spec.Sentence_translation, "SEQ-IND-CRO");
+      (Sim.Task_spec.Sentence_translation, "SIM-COL-CRO");
+      (Sim.Task_spec.Text_creation, "SEQ-IND-CRO");
+      (Sim.Task_spec.Text_creation, "SIM-COL-CRO");
+    ]
+  in
+  let deployments = Bench_common.scale 40 |> max 6 in
+  let results =
+    List.map
+      (fun (kind, label) ->
+        let combo = combo_exn label in
+        ((kind, label), Sim.Study.linearity_study platform rng ~kind ~combo ~deployments ()))
+      cases
+  in
+  let t =
+    Tabular.create
+      ~columns:
+        [ "Task-Strategy"; "Parameter"; "alpha"; "beta"; "ref alpha"; "ref beta"; "in 90% CI" ]
+  in
+  List.iter
+    (fun ((kind, label), res) ->
+      List.iter
+        (fun (axis, fit) ->
+          let ref_c = Model.Linear_model.coeffs res.Sim.Study.reference axis in
+          let within = List.assoc axis res.Sim.Study.reference_within_90 in
+          Tabular.add_row t
+            [
+              Printf.sprintf "%s %s" (Sim.Task_spec.kind_label kind) label;
+              Params.axis_label axis;
+              Printf.sprintf "%.2f" fit.Regression.slope;
+              Printf.sprintf "%.2f" fit.Regression.intercept;
+              Printf.sprintf "%.2f" ref_c.Model.Linear_model.alpha;
+              Printf.sprintf "%.2f" ref_c.Model.Linear_model.beta;
+              (if within then "yes" else "no");
+            ])
+        res.Sim.Study.calibration.Sim.Calibration.diagnostics)
+    results;
+  Bench_common.print_table ~title:"Table 6 fitted coefficients" t;
+
+  Bench_common.section "Fig. 12 - deployment parameters vs worker availability";
+  List.iter
+    (fun ((kind, label), res) ->
+      let t =
+        Tabular.create ~columns:[ "Availability"; "Quality"; "Cost"; "Latency" ]
+      in
+      (* Bin the observations by availability for a readable series. *)
+      let sorted =
+        Array.to_list res.Sim.Study.observations
+        |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+      in
+      let rec bins acc current = function
+        | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+        | ((a, _) as obs) :: rest -> (
+            match current with
+            | (a0, _) :: _ when a -. a0 > 0.08 -> bins (List.rev current :: acc) [ obs ] rest
+            | _ -> bins acc (obs :: current) rest)
+      in
+      List.iter
+        (fun bin ->
+          let avg f = Stats.mean (Array.of_list (List.map f bin)) in
+          Tabular.add_float_row t ~decimals:3
+            (Printf.sprintf "%.2f" (avg fst))
+            [
+              avg (fun (_, p) -> p.Params.quality);
+              avg (fun (_, p) -> p.Params.cost);
+              avg (fun (_, p) -> p.Params.latency);
+            ])
+        (bins [] [] sorted);
+      Bench_common.print_table ~title:(Printf.sprintf "%s %s" (Sim.Task_spec.kind_label kind) label) t)
+    results;
+  print_endline
+    "Expected shape: quality and cost rise with availability; latency falls."
+
+let fig13 platform rng =
+  Bench_common.section "Fig. 13 - deployments with and without StratRec";
+  List.iter
+    (fun kind ->
+      let tasks = Bench_common.scale 30 |> max 5 in
+      let res =
+        Sim.Study.effectiveness_study platform rng ~kind
+          ~recommend:Sim.Study.default_recommender ~tasks ()
+      in
+      let t = Tabular.create ~columns:[ "Arm"; "Quality"; "Cost"; "Latency"; "Edits/task" ] in
+      let arm name (a : Sim.Study.arm_summary) =
+        Tabular.add_row t
+          [
+            name;
+            Printf.sprintf "%.1f%%" (100. *. a.Sim.Study.quality.Stats.mean);
+            Printf.sprintf "$%.2f" (14. *. a.Sim.Study.cost.Stats.mean);
+            Printf.sprintf "%.0fh" (72. *. a.Sim.Study.latency.Stats.mean);
+            Printf.sprintf "%.2f" a.Sim.Study.mean_edits;
+          ]
+      in
+      arm "StratRec" res.Sim.Study.guided;
+      arm "Without StratRec" res.Sim.Study.unguided;
+      Bench_common.print_table ~title:(Sim.Task_spec.kind_label kind) t;
+      let show name (test : Stats.t_test_result) =
+        Printf.printf "  %s: t=%+.2f p=%.4f %s\n" name test.Stats.t_statistic test.Stats.p_value
+          (if test.Stats.significant_at_5pct then "(significant)" else "(ns)")
+      in
+      show "quality" res.Sim.Study.quality_test;
+      show "cost" res.Sim.Study.cost_test;
+      show "latency" res.Sim.Study.latency_test;
+      List.iter
+        (fun (axis, test) ->
+          show (Printf.sprintf "%s (paired)" (Params.axis_label axis)) test)
+        res.Sim.Study.paired_tests)
+    [ Sim.Task_spec.Sentence_translation; Sim.Task_spec.Text_creation ];
+  print_endline
+    "Expected shape: StratRec arm has higher quality and lower latency at similar cost,\n\
+     and roughly half the per-task edit count (no edit wars)."
+
+let run () =
+  let rng = Rng.create 2020 in
+  let platform = Sim.Platform.create rng ~population:1000 in
+  fig11 platform rng;
+  table6_and_fig12 platform rng;
+  fig13 platform rng

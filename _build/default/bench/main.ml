@@ -1,0 +1,55 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index) and finishes with
+   Bechamel micro-benchmarks of each experiment's kernel.
+
+   Usage:
+     dune exec bench/main.exe                 full run
+     dune exec bench/main.exe -- --quick      scaled-down sizes
+     dune exec bench/main.exe -- --only fig17 a single experiment
+     dune exec bench/main.exe -- --csv out/   also write each table as CSV *)
+
+let experiments =
+  [
+    ("example", Exp_example.run);
+    ("real-data", Exp_real_data.run);
+    ("fig14", Exp_fig14.run);
+    ("fig15-16", Exp_fig15_16.run);
+    ("fig17", Exp_fig17.run);
+    ("fig18", Exp_fig18.run);
+    ("ablation", Exp_ablation.run);
+    ("bechamel", Bechamel_suite.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--quick" args then Bench_common.quick := true;
+  (let rec find_csv = function
+     | "--csv" :: dir :: _ -> Some dir
+     | _ :: rest -> find_csv rest
+     | [] -> None
+   in
+   match find_csv args with
+   | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       Bench_common.csv_dir := Some dir
+   | None -> ());
+  let only =
+    let rec find = function
+      | "--only" :: name :: _ -> Some name
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let to_run =
+    match only with
+    | None -> experiments
+    | Some name -> (
+        match List.assoc_opt name experiments with
+        | Some run -> [ (name, run) ]
+        | None ->
+            Printf.eprintf "unknown experiment %S; available: %s\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+  in
+  List.iter (fun (_, run) -> run ()) to_run

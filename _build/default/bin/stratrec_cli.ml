@@ -1,0 +1,256 @@
+(* stratrec — command-line front end to the StratRec middle layer.
+
+   Subcommands:
+     recommend  batch deployment recommendation on a synthetic catalog
+     adpar      alternative-parameter recommendation for one request
+     simulate   run the crowd-platform studies (availability / linearity /
+                effectiveness)
+     example    walk through the paper's Example 1 *)
+
+open Cmdliner
+module Model = Stratrec_model
+module Params = Model.Params
+module Deployment = Model.Deployment
+module Rng = Stratrec_util.Rng
+module Sim = Stratrec_crowdsim
+
+(* Shared arguments. *)
+
+let seed_arg =
+  let doc = "Random seed (all runs are deterministic in the seed)." in
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let verbose_arg =
+  let doc = "Enable debug logging of the recommendation pipeline." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logging verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let strategies_arg =
+  let doc = "Number of synthetic strategies in the catalog." in
+  Arg.(value & opt int 200 & info [ "n"; "strategies" ] ~docv:"N" ~doc)
+
+let k_arg =
+  let doc = "Number of strategies to recommend per request." in
+  Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc)
+
+let dist_arg =
+  let doc = "Strategy parameter distribution: uniform or normal (5.2.2)." in
+  let parse = function
+    | "uniform" -> Ok Model.Workload.Uniform
+    | "normal" -> Ok Model.Workload.Normal
+    | s -> Error (`Msg (Printf.sprintf "unknown distribution %S" s))
+  in
+  let print ppf k = Format.pp_print_string ppf (String.lowercase_ascii (Model.Workload.dist_kind_label k)) in
+  Arg.(value & opt (conv (parse, print)) Model.Workload.Uniform & info [ "dist" ] ~docv:"DIST" ~doc)
+
+let catalog_arg =
+  let doc =
+    "Load the strategy catalog from a JSON file (as written by $(b,catalog)) instead of \
+     generating a synthetic one."
+  in
+  Arg.(value & opt (some file) None & info [ "catalog" ] ~docv:"FILE" ~doc)
+
+let load_catalog_exn path =
+  match Result.bind (Model.Codec.load ~path) Model.Codec.catalog_of_json with
+  | Ok strategies -> strategies
+  | Error message ->
+      Printf.eprintf "failed to load catalog %s: %s\n" path message;
+      exit 2
+
+let catalog_or_generate ~rng ~n ~dist = function
+  | Some path -> load_catalog_exn path
+  | None -> Model.Workload.strategies rng ~n ~kind:dist
+
+let triple_conv =
+  let parse s =
+    match String.split_on_char ',' s |> List.map String.trim with
+    | [ q; c; l ] -> (
+        try
+          let q = float_of_string q and c = float_of_string c and l = float_of_string l in
+          if List.for_all (fun v -> v >= 0. && v <= 1.) [ q; c; l ] then Ok (q, c, l)
+          else Error (`Msg "thresholds must lie in [0,1]")
+        with Failure _ -> Error (`Msg "expected three floats: QUALITY,COST,LATENCY"))
+    | _ -> Error (`Msg "expected QUALITY,COST,LATENCY")
+  in
+  let print ppf (q, c, l) = Format.fprintf ppf "%g,%g,%g" q c l in
+  Arg.conv (parse, print)
+
+(* recommend *)
+
+let recommend verbose seed n m k w dist objective catalog =
+  setup_logging verbose;
+  let rng = Rng.create seed in
+  let strategies = catalog_or_generate ~rng ~n ~dist catalog in
+  let requests = Model.Workload.requests rng ~m ~k in
+  let availability = Model.Availability.certain w in
+  let objective =
+    match objective with
+    | "throughput" -> Stratrec.Objective.Throughput
+    | "payoff" -> Stratrec.Objective.Payoff
+    | other ->
+        Printf.eprintf "unknown objective %S (throughput|payoff)\n" other;
+        exit 2
+  in
+  let config =
+    {
+      Stratrec.Aggregator.default_config with
+      Stratrec.Aggregator.objective;
+      inversion_rule = `Paper_equality;
+      reestimate_parameters = false;
+    }
+  in
+  let report = Stratrec.Aggregator.run ~config ~availability ~strategies ~requests () in
+  Format.printf "%a@." Stratrec.Aggregator.pp_report report
+
+let recommend_cmd =
+  let m_arg =
+    Arg.(value & opt int 10 & info [ "m"; "requests" ] ~docv:"M" ~doc:"Batch size.")
+  in
+  let w_arg =
+    Arg.(value & opt float 0.75 & info [ "w"; "workforce" ] ~docv:"W" ~doc:"Available workforce in [0,1].")
+  in
+  let objective_arg =
+    Arg.(value & opt string "throughput"
+         & info [ "objective" ] ~docv:"GOAL" ~doc:"Platform goal: throughput or payoff.")
+  in
+  Cmd.v
+    (Cmd.info "recommend" ~doc:"Batch deployment recommendation on a synthetic catalog")
+    Term.(const recommend $ verbose_arg $ seed_arg $ strategies_arg $ m_arg $ k_arg $ w_arg
+          $ dist_arg $ objective_arg $ catalog_arg)
+
+(* adpar *)
+
+let adpar seed n k dist catalog (q, c, l) =
+  let rng = Rng.create seed in
+  let strategies = catalog_or_generate ~rng ~n ~dist catalog in
+  let request = Deployment.make ~id:0 ~params:(Params.make ~quality:q ~cost:c ~latency:l) ~k () in
+  match Stratrec.Adpar.exact ~strategies request with
+  | None -> Printf.printf "catalog has fewer than %d strategies\n" k
+  | Some r ->
+      Format.printf "original    %a@." Params.pp request.Deployment.params;
+      Format.printf "alternative %a (distance %.4f)@." Params.pp r.Stratrec.Adpar.alternative
+        r.Stratrec.Adpar.distance;
+      Format.printf "%d strategies satisfy the alternative; recommending:@."
+        r.Stratrec.Adpar.covered_count;
+      List.iter
+        (fun s -> Format.printf "  %s %a@." s.Model.Strategy.label Params.pp s.Model.Strategy.params)
+        r.Stratrec.Adpar.recommended
+
+let adpar_cmd =
+  let request_arg =
+    Arg.(value & opt triple_conv (0.9, 0.2, 0.3)
+         & info [ "request" ] ~docv:"Q,C,L"
+             ~doc:"Deployment thresholds: quality lower bound, cost and latency upper bounds.")
+  in
+  Cmd.v
+    (Cmd.info "adpar" ~doc:"Closest alternative deployment parameters for a hard request")
+    Term.(const adpar $ seed_arg $ strategies_arg $ k_arg $ dist_arg $ catalog_arg $ request_arg)
+
+(* catalog *)
+
+let catalog seed n stages dist output =
+  let rng = Rng.create seed in
+  let strategies =
+    if stages <= 1 then Model.Workload.strategies rng ~n ~kind:dist
+    else Model.Workload.workflows rng ~n ~stages ~kind:dist
+  in
+  Model.Codec.save ~path:output (Model.Codec.catalog_to_json strategies);
+  Printf.printf "wrote %d strategies (%d stage%s each) to %s\n" n (max 1 stages)
+    (if stages > 1 then "s" else "")
+    output
+
+let catalog_cmd =
+  let stages_arg =
+    Arg.(value & opt int 1
+         & info [ "stages" ] ~docv:"X" ~doc:"Stages per workflow strategy (1 = single-stage).")
+  in
+  let output_arg =
+    Arg.(value & opt string "catalog.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"Generate a strategy catalog and save it as JSON")
+    Term.(const catalog $ seed_arg $ strategies_arg $ stages_arg $ dist_arg $ output_arg)
+
+(* simulate *)
+
+let simulate seed study population tasks =
+  let rng = Rng.create seed in
+  let platform = Sim.Platform.create rng ~population in
+  let kind = Sim.Task_spec.Sentence_translation in
+  match study with
+  | "availability" ->
+      List.iter
+        (fun r ->
+          Printf.printf "%-9s %-12s availability %.3f (se %.3f)\n"
+            (Sim.Window.label r.Sim.Study.window)
+            (Model.Dimension.combo_label r.Sim.Study.combo)
+            r.Sim.Study.mean_availability r.Sim.Study.std_error)
+        (Sim.Study.availability_study platform rng ~kind ())
+  | "linearity" ->
+      List.iter
+        (fun label ->
+          let combo = Option.get (Model.Dimension.combo_of_label label) in
+          let res = Sim.Study.linearity_study platform rng ~kind ~combo () in
+          Printf.printf "%s:\n" label;
+          Format.printf "%a" Sim.Calibration.pp res.Sim.Study.calibration)
+        [ "SEQ-IND-CRO"; "SIM-COL-CRO" ]
+  | "effectiveness" ->
+      let res =
+        Sim.Study.effectiveness_study platform rng ~kind
+          ~recommend:Sim.Study.default_recommender ~tasks ()
+      in
+      let arm name (a : Sim.Study.arm_summary) =
+        Printf.printf "%-18s quality %.3f cost %.3f latency %.3f edits/task %.2f\n" name
+          a.Sim.Study.quality.Stratrec_util.Stats.mean a.Sim.Study.cost.Stratrec_util.Stats.mean
+          a.Sim.Study.latency.Stratrec_util.Stats.mean a.Sim.Study.mean_edits
+      in
+      arm "StratRec" res.Sim.Study.guided;
+      arm "Without StratRec" res.Sim.Study.unguided;
+      Printf.printf "quality p=%.4f latency p=%.4f\n"
+        res.Sim.Study.quality_test.Stratrec_util.Stats.p_value
+        res.Sim.Study.latency_test.Stratrec_util.Stats.p_value
+  | other ->
+      Printf.eprintf "unknown study %S (availability|linearity|effectiveness)\n" other;
+      exit 2
+
+let simulate_cmd =
+  let study_arg =
+    Arg.(value & pos 0 string "availability"
+         & info [] ~docv:"STUDY" ~doc:"availability, linearity or effectiveness.")
+  in
+  let population_arg =
+    Arg.(value & opt int 1000 & info [ "population" ] ~docv:"P" ~doc:"Platform population.")
+  in
+  let tasks_arg =
+    Arg.(value & opt int 10 & info [ "tasks" ] ~docv:"T" ~doc:"Tasks per arm (effectiveness).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the crowd-platform studies of the paper's 5.1")
+    Term.(const simulate $ seed_arg $ study_arg $ population_arg $ tasks_arg)
+
+(* example *)
+
+let example () =
+  let report =
+    Stratrec.Aggregator.run
+      ~availability:(Model.Paper_example.availability ())
+      ~strategies:(Model.Paper_example.strategies ())
+      ~requests:(Model.Paper_example.requests ())
+      ()
+  in
+  Format.printf "%a@." Stratrec.Aggregator.pp_report report
+
+let example_cmd =
+  Cmd.v (Cmd.info "example" ~doc:"Walk through the paper's Example 1") Term.(const example $ const ())
+
+let main_cmd =
+  let doc = "StratRec: deployment-strategy recommendation for collaborative crowdsourcing tasks" in
+  Cmd.group (Cmd.info "stratrec" ~version:"1.0.0" ~doc)
+    [ recommend_cmd; adpar_cmd; catalog_cmd; simulate_cmd; example_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

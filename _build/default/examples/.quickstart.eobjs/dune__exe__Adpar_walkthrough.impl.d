@@ -1,0 +1,1 @@
+examples/adpar_walkthrough.ml: Format List Printf Stratrec Stratrec_model Stratrec_util

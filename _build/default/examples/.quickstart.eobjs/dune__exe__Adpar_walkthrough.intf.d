@@ -1,0 +1,1 @@
+examples/adpar_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/platform_simulation.ml: Array Format List Stratrec Stratrec_model Stratrec_util

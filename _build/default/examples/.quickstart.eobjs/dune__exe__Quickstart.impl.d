@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Stratrec Stratrec_model

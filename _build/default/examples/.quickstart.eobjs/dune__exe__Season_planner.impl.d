@@ -1,0 +1,1 @@
+examples/season_planner.ml: Array Format List Printf Stratrec Stratrec_crowdsim Stratrec_model Stratrec_pipeline Stratrec_util String

@@ -1,0 +1,1 @@
+examples/season_planner.mli:

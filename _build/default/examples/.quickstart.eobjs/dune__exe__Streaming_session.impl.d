@@ -1,0 +1,1 @@
+examples/streaming_session.ml: Array Format List Printf Stratrec Stratrec_model Stratrec_util String

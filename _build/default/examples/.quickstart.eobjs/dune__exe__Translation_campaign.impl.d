@@ -1,0 +1,1 @@
+examples/translation_campaign.ml: Format List Option Printf Stratrec_crowdsim Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+examples/workflow_planning.ml: Array Format List Stratrec Stratrec_model Stratrec_util

@@ -1,0 +1,51 @@
+(* Streaming session: the paper's §7 open problem — a fully dynamic
+   stream of deployment requests with revocations and workforce
+   replenishment — handled by the greedy-online Stream_aggregator.
+
+   Run with: dune exec examples/streaming_session.exe *)
+
+module Rng = Stratrec_util.Rng
+module Model = Stratrec_model
+module Params = Model.Params
+module Deployment = Model.Deployment
+module S = Stratrec.Stream_aggregator
+
+let describe = function
+  | S.Admitted { strategies; workforce } ->
+      Printf.sprintf "admitted (w=%.3f) with %d strategies" workforce (List.length strategies)
+  | S.Alternative r -> Format.asprintf "rejected; try %a" Params.pp r.Stratrec.Adpar.alternative
+  | S.Workforce_limited -> "rejected: workforce exhausted"
+  | S.No_alternative -> "rejected: catalog too small"
+  | S.Duplicate -> "rejected: duplicate id"
+
+let () =
+  let rng = Rng.create 11 in
+  let catalog = Model.Workload.strategies rng ~n:150 ~kind:Model.Workload.Uniform in
+  let session = S.create ~strategies:catalog ~workforce:1.2 () in
+  Format.printf "Session opened with workforce %.2f over %d strategies@.@." (S.available session)
+    (Array.length catalog);
+  let submit d =
+    let decision = S.submit session d in
+    Format.printf "t+%d  %s %a -> %s (pool %.3f)@." d.Deployment.id d.Deployment.label Params.pp
+      d.Deployment.params (describe decision) (S.available session)
+  in
+  let request id (q, c, l) k =
+    Deployment.make ~id ~params:(Params.make ~quality:q ~cost:c ~latency:l) ~k ()
+  in
+  submit (request 1 (0.3, 0.9, 0.9) 3);
+  submit (request 2 (0.55, 0.8, 0.85) 3);
+  submit (request 3 (0.6, 0.75, 0.8) 3);
+  submit (request 4 (0.98, 0.05, 0.1) 3);
+  Format.printf "@.requester 1 cancels; a fresh cohort of workers arrives (+0.3)@.";
+  ignore (S.revoke session 1);
+  S.replenish session 0.3;
+  Format.printf "pool is now %.3f@.@." (S.available session);
+  submit (request 5 (0.5, 0.85, 0.9) 3);
+  Format.printf "@.final state: %d admitted, %d rejected, %.3f committed, %.3f free@."
+    (S.admitted_count session) (S.rejected_count session) (S.committed session)
+    (S.available session);
+  List.iter
+    (fun (d, strategies, w) ->
+      Format.printf "  active %s (w=%.3f): %s@." d.Deployment.label w
+        (String.concat ", " (List.map (fun s -> s.Model.Strategy.label) strategies)))
+    (S.active session)

@@ -1,0 +1,1 @@
+lib/core/adpar.ml: Array Float Fun List Option Stratrec_geom Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+lib/core/adpar.mli: Stratrec_model

@@ -1,0 +1,1 @@
+lib/core/adpar_baselines.ml: Adpar Array Float List Option Stratrec_geom Stratrec_model

@@ -1,0 +1,1 @@
+lib/core/adpar_baselines.mli: Adpar Stratrec_model

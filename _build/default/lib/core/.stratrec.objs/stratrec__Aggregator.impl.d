@@ -1,0 +1,1 @@
+lib/core/aggregator.ml: Adpar Array Batchstrat Format List Logs Objective Stratrec_model

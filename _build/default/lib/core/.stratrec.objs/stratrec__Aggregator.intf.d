@@ -1,0 +1,1 @@
+lib/core/aggregator.mli: Adpar Format Objective Stratrec_model

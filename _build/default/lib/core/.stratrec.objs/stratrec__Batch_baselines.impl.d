@@ -1,0 +1,1 @@
+lib/core/batch_baselines.ml: Array Batchstrat Float Fun List Objective Stratrec_model

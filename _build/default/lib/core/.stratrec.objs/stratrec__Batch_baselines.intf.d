@@ -1,0 +1,1 @@
+lib/core/batch_baselines.mli: Batchstrat Objective Stratrec_model

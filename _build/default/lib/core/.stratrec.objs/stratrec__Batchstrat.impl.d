@@ -1,0 +1,1 @@
+lib/core/batchstrat.ml: Array Float Format Fun List Objective Stratrec_model

@@ -1,0 +1,1 @@
+lib/core/batchstrat.mli: Format Objective Stratrec_model

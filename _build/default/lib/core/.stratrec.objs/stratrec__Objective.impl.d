@@ -1,0 +1,1 @@
+lib/core/objective.ml: Format Printf Stratrec_model

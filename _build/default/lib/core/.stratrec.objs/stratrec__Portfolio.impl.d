@@ -1,0 +1,1 @@
+lib/core/portfolio.ml: Aggregator Array Format List Stratrec_model String

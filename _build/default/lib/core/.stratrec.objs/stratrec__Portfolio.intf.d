@@ -1,0 +1,1 @@
+lib/core/portfolio.mli: Aggregator Format Stratrec_model

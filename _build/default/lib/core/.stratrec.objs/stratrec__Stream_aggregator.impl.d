@@ -1,0 +1,1 @@
+lib/core/stream_aggregator.ml: Adpar Array Float List Stratrec_model

@@ -1,0 +1,1 @@
+lib/core/stream_aggregator.mli: Adpar Stratrec_model

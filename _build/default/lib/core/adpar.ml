@@ -1,0 +1,195 @@
+module Params = Stratrec_model.Params
+module Strategy = Stratrec_model.Strategy
+module Deployment = Stratrec_model.Deployment
+module Point3 = Stratrec_geom.Point3
+module Kselect = Stratrec_util.Kselect
+
+type result = {
+  alternative : Params.t;
+  distance : float;
+  recommended : Strategy.t list;
+  covered_count : int;
+}
+
+type relaxation = { strategy_id : int; quality : float; cost : float; latency : float }
+type event = { value : float; strategy_id : int; axis : Params.axis }
+
+type trace = {
+  relaxations : relaxation list;
+  events : event list;
+  sweep_orders : (Params.axis * relaxation list) list;
+  coverage : (int * bool * bool * bool) list;
+}
+
+let relaxations_of ~strategies request =
+  let rp = Params.to_point request.Deployment.params in
+  Array.map
+    (fun s ->
+      let sp = Strategy.point s in
+      {
+        strategy_id = s.Strategy.id;
+        quality = Float.max 0. (Point3.coord sp 0 -. Point3.coord rp 0);
+        cost = Float.max 0. (Point3.coord sp 1 -. Point3.coord rp 1);
+        latency = Float.max 0. (Point3.coord sp 2 -. Point3.coord rp 2);
+      })
+    strategies
+
+let epsilon = 1e-9
+
+let covers ~alternative s =
+  let a = Params.to_point alternative and p = Strategy.point s in
+  Point3.coord p 0 <= Point3.coord a 0 +. epsilon
+  && Point3.coord p 1 <= Point3.coord a 1 +. epsilon
+  && Point3.coord p 2 <= Point3.coord a 2 +. epsilon
+
+(* Exhaustive-but-pruned scan over the discrete candidate space of Lemma 1/2:
+   the optimal relaxation triple (x, y, z) has x among the distinct quality
+   relaxations (plus 0), y among the cost relaxations of strategies eligible
+   at x, and z the k-th smallest latency relaxation of the strategies
+   eligible at (x, y). The objective is wq*x^2 + wc*y^2 + wl*z^2 with
+   non-negative axis weights (all 1 for the paper's plain L2); weights
+   rescale but never reorder the per-axis candidate values, so the same
+   sweep remains exact. Returns the best triple, or None when n < k. *)
+let search ?(prune = true) ?(wq = 1.) ?(wc = 1.) ?(wl = 1.) ~k relax =
+  let n = Array.length relax in
+  if n < k then None
+  else begin
+    let xs =
+      Array.to_list relax
+      |> List.map (fun r -> r.quality)
+      |> List.cons 0.
+      |> List.sort_uniq Float.compare
+    in
+    (* Strategy indices sorted by cost relaxation ascending — the cost
+       sweep line, shared by every quality step. *)
+    let by_cost = Array.init n Fun.id in
+    Array.sort
+      (fun i j ->
+        let c = Float.compare relax.(i).cost relax.(j).cost in
+        if c <> 0 then c else compare i j)
+      by_cost;
+    let best_sq = ref infinity in
+    let best = ref None in
+    let consider x y z =
+      let sq = (wq *. x *. x) +. (wc *. y *. y) +. (wl *. z *. z) in
+      if sq < !best_sq then begin
+        best_sq := sq;
+        best := Some (x, y, z)
+      end
+    in
+    (* Ascending x: once the x term alone reaches the incumbent, no later x
+       can improve (objective monotone in each coordinate, cf. Lemma 2). *)
+    let rec quality_sweep = function
+      | [] -> ()
+      | x :: rest ->
+          if (not prune) || wq *. x *. x < !best_sq then begin
+            let tracker = Kselect.Tracker.create ~cmp:Float.compare k in
+            (let exception Break in
+             try
+               Array.iter
+                 (fun i ->
+                   let r = relax.(i) in
+                   if r.quality <= x then begin
+                     let y = r.cost in
+                     if prune && (wq *. x *. x) +. (wc *. y *. y) >= !best_sq then raise Break;
+                     Kselect.Tracker.add tracker r.latency;
+                     match Kselect.Tracker.kth tracker with
+                     | Some z -> consider x y z
+                     | None -> ()
+                   end)
+                 by_cost
+             with Break -> ());
+            quality_sweep rest
+          end
+    in
+    quality_sweep xs;
+    !best
+  end
+
+let build_result ~k ~strategies request (x, y, z) =
+  let rp = Params.to_point request.Deployment.params in
+  let alternative_point =
+    Point3.make (Point3.coord rp 0 +. x) (Point3.coord rp 1 +. y) (Point3.coord rp 2 +. z)
+  in
+  let alternative = Params.of_point alternative_point in
+  let covered = Array.to_list strategies |> List.filter (covers ~alternative) in
+  let recommended = List.filteri (fun i _ -> i < k) covered in
+  {
+    alternative;
+    distance = sqrt ((x *. x) +. (y *. y) +. (z *. z));
+    recommended;
+    covered_count = List.length covered;
+  }
+
+let exact ?(prune = true) ?k ~strategies request =
+  let k = Option.value k ~default:request.Deployment.k in
+  if k < 1 then invalid_arg "Adpar.exact: k must be >= 1";
+  let relax = relaxations_of ~strategies request in
+  Option.map (build_result ~k ~strategies request) (search ~prune ~k relax)
+
+type weights = { quality_weight : float; cost_weight : float; latency_weight : float }
+
+let uniform_weights = { quality_weight = 1.; cost_weight = 1.; latency_weight = 1. }
+
+let exact_weighted ?k ~weights ~strategies request =
+  let { quality_weight = wq; cost_weight = wc; latency_weight = wl } = weights in
+  if wq < 0. || wc < 0. || wl < 0. then
+    invalid_arg "Adpar.exact_weighted: negative weight";
+  if wq = 0. && wc = 0. && wl = 0. then
+    invalid_arg "Adpar.exact_weighted: all weights zero";
+  let k = Option.value k ~default:request.Deployment.k in
+  if k < 1 then invalid_arg "Adpar.exact_weighted: k must be >= 1";
+  let relax = relaxations_of ~strategies request in
+  search ~wq ~wc ~wl ~k relax
+  |> Option.map (fun ((x, y, z) as triple) ->
+         let result = build_result ~k ~strategies request triple in
+         { result with distance = sqrt ((wq *. x *. x) +. (wc *. y *. y) +. (wl *. z *. z)) })
+
+let axis_value r = function
+  | Params.Quality -> r.quality
+  | Params.Cost -> r.cost
+  | Params.Latency -> r.latency
+
+let trace_of ~strategies request result =
+  let relax = relaxations_of ~strategies request in
+  let relaxations = Array.to_list relax in
+  (* The paper's R/I/D list: a key-sorted sweep over all 3|S| relaxation
+     values, stable so ties keep axis-then-catalog order (Table 4). *)
+  let sweep =
+    Stratrec_geom.Sweep.of_events
+      (List.concat_map
+         (fun axis ->
+           List.map (fun r -> (axis_value r axis, (r.strategy_id, axis))) relaxations)
+         Params.all_axes)
+  in
+  let events =
+    List.init (Stratrec_geom.Sweep.length sweep) (fun i ->
+        let strategy_id, axis = Stratrec_geom.Sweep.payload sweep i in
+        { value = Stratrec_geom.Sweep.key sweep i; strategy_id; axis })
+  in
+  let sweep_orders =
+    List.map
+      (fun axis ->
+        ( axis,
+          List.stable_sort (fun a b -> Float.compare (axis_value a axis) (axis_value b axis))
+            relaxations ))
+      Params.all_axes
+  in
+  let a = Params.to_point result.alternative in
+  let rp = Params.to_point request.Deployment.params in
+  let allowance i = Point3.coord a i -. Point3.coord rp i in
+  let coverage =
+    List.map
+      (fun (r : relaxation) ->
+        ( r.strategy_id,
+          r.quality <= allowance 0 +. epsilon,
+          r.cost <= allowance 1 +. epsilon,
+          r.latency <= allowance 2 +. epsilon ))
+      relaxations
+  in
+  { relaxations; events; sweep_orders; coverage }
+
+let exact_with_trace ?k ~strategies request =
+  match exact ?k ~strategies request with
+  | None -> None
+  | Some result -> Some (result, trace_of ~strategies request result)

@@ -1,0 +1,102 @@
+(** ADPaR — Alternative Deployment Parameter Recommendation (Problem 2,
+    §4).
+
+    Given a request [d] that cannot be satisfied, find the alternative
+    parameter triple [d'] minimizing the Euclidean distance to [d] such
+    that at least [k] strategies satisfy [d'] (Eq. 3; the paper states the
+    cardinality as an equality, but a tighter cover is never worse for the
+    requester, so we accept covers of [>= k] — the optimum generically
+    covers exactly [k]).
+
+    The search space follows the paper's normalization (§4.1): quality is
+    inverted so all axes are smaller-is-better, each strategy becomes a
+    non-negative {e relaxation triple} (how far [d] must move per axis to
+    admit it, 0 when already admitted), and by Lemma 1/2 the optimal [d']
+    has each coordinate equal to [d]'s coordinate or to one of those
+    relaxation values. [exact] sweeps quality-relaxation candidates in
+    ascending order (the paper's sweep line), maintains the k-smallest
+    latency relaxations along a cost-ordered sweep, and prunes with the
+    monotone objective — exact like the paper's ADPaR-Exact, with an
+    O(n^2 log k) bound instead of the paper's cubic scan. *)
+
+type result = {
+  alternative : Stratrec_model.Params.t;  (** d' *)
+  distance : float;  (** l2(d, d') — the Eq. 3 objective *)
+  recommended : Stratrec_model.Strategy.t list;
+      (** exactly [k] strategies satisfying d', in catalog order *)
+  covered_count : int;  (** total number of strategies satisfying d' *)
+}
+
+val exact :
+  ?prune:bool ->
+  ?k:int -> strategies:Stratrec_model.Strategy.t array -> Stratrec_model.Deployment.t ->
+  result option
+(** [k] defaults to the request's own cardinality constraint. [None] when
+    the catalog holds fewer than [k] strategies. If the request is already
+    satisfiable the result is the request itself with distance 0.
+    [prune] (default true) enables the monotone-objective cut-offs; turning
+    it off forces the full discrete scan and exists only for the ablation
+    bench — results are identical either way. *)
+
+(** {1 Trace — the paper's working data structures (Tables 2–5)} *)
+
+(** Per-strategy relaxation triple (Table 3), in the inverted space. *)
+type relaxation = {
+  strategy_id : int;
+  quality : float;
+  cost : float;
+  latency : float;
+}
+
+(** One entry of the sorted event list (Table 4): R = relaxation value,
+    I = strategy id, D = axis. *)
+type event = { value : float; strategy_id : int; axis : Stratrec_model.Params.axis }
+
+type trace = {
+  relaxations : relaxation list;  (** Table 3, catalog order *)
+  events : event list;  (** Table 4, ascending by value *)
+  sweep_orders : (Stratrec_model.Params.axis * relaxation list) list;
+      (** Table 5: for each axis' sweep line, strategies sorted by their
+          relaxation on that axis *)
+  coverage : (int * bool * bool * bool) list;
+      (** final matrix M (Table 2): per strategy, whether the returned d'
+          covers its (quality, cost, latency) axes *)
+}
+
+val exact_with_trace :
+  ?k:int -> strategies:Stratrec_model.Strategy.t array -> Stratrec_model.Deployment.t ->
+  (result * trace) option
+
+(** {1 Weighted variant (extension)}
+
+    Requesters rarely value the three axes equally — a fixed-budget
+    campaign hates cost relaxations but tolerates latency. The weighted
+    objective minimizes [wq*dq^2 + wc*dc^2 + wl*dl^2]; the candidate space
+    of Lemma 1/2 is unchanged (weights rescale, they do not reorder the
+    per-axis candidate sets), so the same sweep stays exact — validated
+    against a weighted brute force in the tests. *)
+
+type weights = { quality_weight : float; cost_weight : float; latency_weight : float }
+
+val uniform_weights : weights
+(** All 1 — [exact_weighted ~weights:uniform_weights] equals {!exact}. *)
+
+val exact_weighted :
+  ?k:int ->
+  weights:weights ->
+  strategies:Stratrec_model.Strategy.t array ->
+  Stratrec_model.Deployment.t ->
+  result option
+(** [result.distance] is the {e weighted} distance
+    [sqrt (wq*dq^2 + wc*dc^2 + wl*dl^2)].
+    @raise Invalid_argument if any weight is negative or all are zero. *)
+
+val relaxations_of :
+  strategies:Stratrec_model.Strategy.t array -> Stratrec_model.Deployment.t ->
+  relaxation array
+(** Step 1 of ADPaR-Exact on its own. *)
+
+val covers :
+  alternative:Stratrec_model.Params.t -> Stratrec_model.Strategy.t -> bool
+(** Whether a strategy satisfies the alternative parameters (with a 1e-9
+    tolerance against floating-point drift of the reconstructed d'). *)

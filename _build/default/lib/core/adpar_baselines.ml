@@ -1,0 +1,170 @@
+module Params = Stratrec_model.Params
+module Strategy = Stratrec_model.Strategy
+module Deployment = Stratrec_model.Deployment
+module Point3 = Stratrec_geom.Point3
+module Box3 = Stratrec_geom.Box3
+module Rtree = Stratrec_geom.Rtree
+
+let resolve_k k request =
+  let k = Option.value k ~default:request.Deployment.k in
+  if k < 1 then invalid_arg "Adpar_baselines: k must be >= 1";
+  k
+
+(* Rebuild an Adpar.result from a relaxation triple (x, y, z). *)
+let build ~k ~strategies request (x, y, z) =
+  let rp = Params.to_point request.Deployment.params in
+  let point =
+    Point3.make (Point3.coord rp 0 +. x) (Point3.coord rp 1 +. y) (Point3.coord rp 2 +. z)
+  in
+  let alternative = Params.of_point point in
+  let covered = Array.to_list strategies |> List.filter (Adpar.covers ~alternative) in
+  {
+    Adpar.alternative;
+    distance = sqrt ((x *. x) +. (y *. y) +. (z *. z));
+    recommended = List.filteri (fun i _ -> i < k) covered;
+    covered_count = List.length covered;
+  }
+
+let brute_force ?k ~strategies request =
+  let k = resolve_k k request in
+  let relax = Adpar.relaxations_of ~strategies request in
+  let n = Array.length relax in
+  if n < k then None
+  else begin
+    let best_sq = ref infinity and best = ref (0., 0., 0.) in
+    (* Enumerate subsets by recursion on the catalog index, carrying the
+       componentwise max relaxation of the chosen strategies. The partial
+       objective only grows, which gives the pruning rule. *)
+    let rec explore i chosen (mq, mc, ml) =
+      let sq = (mq *. mq) +. (mc *. mc) +. (ml *. ml) in
+      if sq >= !best_sq then ()
+      else if chosen = k then begin
+        best_sq := sq;
+        best := (mq, mc, ml)
+      end
+      else if n - i < k - chosen then ()
+      else begin
+        let r = relax.(i) in
+        explore (i + 1) (chosen + 1)
+          ( Float.max mq r.Adpar.quality,
+            Float.max mc r.Adpar.cost,
+            Float.max ml r.Adpar.latency );
+        explore (i + 1) chosen (mq, mc, ml)
+      end
+    in
+    explore 0 0 (0., 0., 0.);
+    if !best_sq = infinity then None else Some (build ~k ~strategies request !best)
+  end
+
+let baseline2 ?k ~strategies request =
+  let k = resolve_k k request in
+  let relax = Adpar.relaxations_of ~strategies request in
+  let n = Array.length relax in
+  if n < k then None
+  else begin
+    let axis_of r = function
+      | Params.Quality -> r.Adpar.quality
+      | Params.Cost -> r.Adpar.cost
+      | Params.Latency -> r.Adpar.latency
+    in
+    let triple_of ~quality ~cost ~latency = (quality, cost, latency) in
+    (* Single-axis candidates: k-th smallest relaxation on the axis among
+       strategies needing no relaxation elsewhere. *)
+    let single_axis axis =
+      let others = List.filter (fun a -> a <> axis) Params.all_axes in
+      let eligible =
+        Array.to_list relax
+        |> List.filter (fun r -> List.for_all (fun a -> axis_of r a = 0.) others)
+        |> List.map (fun r -> axis_of r axis)
+        |> List.sort Float.compare
+      in
+      if List.length eligible < k then None
+      else begin
+        let v = List.nth eligible (k - 1) in
+        match axis with
+        | Params.Quality -> Some (triple_of ~quality:v ~cost:0. ~latency:0.)
+        | Params.Cost -> Some (triple_of ~quality:0. ~cost:v ~latency:0.)
+        | Params.Latency -> Some (triple_of ~quality:0. ~cost:0. ~latency:v)
+      end
+    in
+    let sq (x, y, z) = (x *. x) +. (y *. y) +. (z *. z) in
+    let singles = List.filter_map single_axis Params.all_axes in
+    match List.sort (fun a b -> Float.compare (sq a) (sq b)) singles with
+    | best :: _ -> Some (build ~k ~strategies request best)
+    | [] ->
+        (* Round-robin relaxation: step each axis in turn to its next
+           distinct candidate value until k strategies are covered. *)
+        let values axis =
+          Array.to_list relax |> List.map (fun r -> axis_of r axis) |> List.sort_uniq Float.compare
+        in
+        let candidates = List.map (fun a -> (a, Array.of_list (values a))) Params.all_axes in
+        let allowance = Array.make 3 0. in
+        let cursor = Array.make 3 (-1) in
+        let covered () =
+          Array.to_list relax
+          |> List.filter (fun r ->
+                 r.Adpar.quality <= allowance.(0)
+                 && r.Adpar.cost <= allowance.(1)
+                 && r.Adpar.latency <= allowance.(2))
+          |> List.length
+        in
+        let step axis =
+          let i = Params.axis_index axis in
+          let vals = List.assoc axis candidates in
+          if cursor.(i) + 1 < Array.length vals then begin
+            cursor.(i) <- cursor.(i) + 1;
+            allowance.(i) <- vals.(cursor.(i));
+            true
+          end
+          else false
+        in
+        let rec go axes =
+          if covered () >= k then
+            Some (build ~k ~strategies request (allowance.(0), allowance.(1), allowance.(2)))
+          else
+            match axes with
+            | [] -> go Params.all_axes
+            | axis :: rest ->
+                if step axis then go rest
+                else if List.exists step Params.all_axes then go rest
+                else None
+        in
+        go Params.all_axes
+  end
+
+let baseline3 ?k ~strategies request =
+  let k = resolve_k k request in
+  let n = Array.length strategies in
+  if n < k then None
+  else begin
+    let entries = Array.to_list strategies |> List.map (fun s -> (Strategy.point s, s)) in
+    let tree = Rtree.bulk_load entries in
+    let nodes = Rtree.nodes tree in
+    let pick =
+      match List.find_opt (fun (_, count) -> count = k) nodes with
+      | Some node -> Some node
+      | None ->
+          List.filter (fun (_, count) -> count >= k) nodes
+          |> List.fold_left
+               (fun best node ->
+                 match best with
+                 | Some (_, best_count) when best_count <= snd node -> best
+                 | _ -> Some node)
+               None
+    in
+    match pick with
+    | None -> None
+    | Some (box, _) ->
+        let corner = Box3.top_right box in
+        let alternative = Params.of_point corner in
+        let members = Rtree.search tree box |> List.map snd in
+        let recommended = List.filteri (fun i _ -> i < k) members in
+        let covered = Array.to_list strategies |> List.filter (Adpar.covers ~alternative) in
+        Some
+          {
+            Adpar.alternative;
+            distance = Params.l2_distance alternative request.Deployment.params;
+            recommended;
+            covered_count = List.length covered;
+          }
+  end

@@ -1,0 +1,30 @@
+(** Baselines for Alternative Parameter Recommendation (§5.2.1).
+
+    [ADPaRB] enumerates all size-k strategy subsets — exact but exponential,
+    used to validate {!Adpar.exact} on small instances. [Baseline2]
+    (inspired by interactive query refinement, Mishra et al.) relaxes one
+    parameter at a time and is not optimization-driven. [Baseline3] indexes
+    strategies in an R-tree and returns the top-right corner of an MBB
+    containing k strategies. All return {!Adpar.result}s for side-by-side
+    comparison. *)
+
+val brute_force :
+  ?k:int -> strategies:Stratrec_model.Strategy.t array -> Stratrec_model.Deployment.t ->
+  Adpar.result option
+(** Optimal over all C(n, k) subsets with branch-and-bound pruning; [None]
+    when fewer than [k] strategies exist. Intended for small catalogs. *)
+
+val baseline2 :
+  ?k:int -> strategies:Stratrec_model.Strategy.t array -> Stratrec_model.Deployment.t ->
+  Adpar.result option
+(** Tries the three single-axis relaxations first (the best one that covers
+    [k] wins); otherwise relaxes axes in round-robin order, stepping each
+    axis to its next candidate value until [k] strategies are covered. *)
+
+val baseline3 :
+  ?k:int -> strategies:Stratrec_model.Strategy.t array -> Stratrec_model.Deployment.t ->
+  Adpar.result option
+(** Bulk-loads the strategy points into an R-tree, scans for a node MBB
+    containing exactly [k] entries (first in pre-order), falling back to the
+    node with the fewest [>= k] entries, and returns its top-right corner
+    with [k] of its entries. *)

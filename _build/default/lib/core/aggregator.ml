@@ -1,0 +1,135 @@
+module Workforce = Stratrec_model.Workforce
+module Strategy = Stratrec_model.Strategy
+module Deployment = Stratrec_model.Deployment
+module Availability = Stratrec_model.Availability
+
+let src = Logs.Src.create "stratrec.aggregator" ~doc:"StratRec aggregation pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  objective : Objective.t;
+  aggregation : Workforce.aggregation;
+  reestimate_parameters : bool;
+  inversion_rule : [ `Direction_aware | `Paper_equality ];
+}
+
+let default_config =
+  {
+    objective = Objective.Throughput;
+    aggregation = Workforce.Max_case;
+    reestimate_parameters = true;
+    inversion_rule = `Direction_aware;
+  }
+
+type request_outcome =
+  | Satisfied of { strategies : Strategy.t list; workforce : float }
+  | Alternative of Adpar.result
+  | Workforce_limited
+  | No_alternative
+
+type report = {
+  config : config;
+  availability : float;
+  strategies : Strategy.t array;
+  outcomes : (Deployment.t * request_outcome) array;
+  objective_value : float;
+  workforce_used : float;
+}
+
+let run ?(config = default_config) ~availability ~strategies ~requests () =
+  let w = Availability.expected availability in
+  Log.debug (fun m ->
+      m "batch of %d requests over %d strategies at expected availability %.3f (%a)"
+        (Array.length requests) (Array.length strategies) w Objective.pp config.objective);
+  let strategies =
+    if config.reestimate_parameters then
+      Array.map (fun s -> Strategy.instantiate s ~availability:w) strategies
+    else strategies
+  in
+  let matrix = Workforce.compute ~rule:config.inversion_rule ~requests ~strategies () in
+  let batch =
+    Batchstrat.run ~objective:config.objective ~aggregation:config.aggregation ~available:w matrix
+  in
+  Log.debug (fun m ->
+      m "batchstrat satisfied %d/%d, objective %.4f, workforce %.4f/%.4f"
+        (Batchstrat.satisfied_count batch) (Array.length requests)
+        batch.Batchstrat.objective_value batch.Batchstrat.workforce_used w);
+  let outcomes = Array.map (fun d -> (d, No_alternative)) requests in
+  List.iter
+    (fun { Batchstrat.request_index; strategy_indices; workforce } ->
+      let recommended = List.map (fun j -> strategies.(j)) strategy_indices in
+      outcomes.(request_index) <-
+        (requests.(request_index), Satisfied { strategies = recommended; workforce }))
+    batch.Batchstrat.satisfied;
+  List.iter
+    (fun i ->
+      let d = requests.(i) in
+      match Adpar.exact ~strategies d with
+      | Some result when result.Adpar.distance < 1e-12 ->
+          (* The parameters already admit k strategies: the request only
+             lost out on the workforce budget. *)
+          Log.debug (fun m -> m "%s: workforce-limited" d.Deployment.label);
+          outcomes.(i) <- (d, Workforce_limited)
+      | Some result ->
+          Log.debug (fun m ->
+              m "%s: ADPaR alternative at distance %.4f" d.Deployment.label
+                result.Adpar.distance);
+          outcomes.(i) <- (d, Alternative result)
+      | None ->
+          Log.debug (fun m -> m "%s: no alternative exists" d.Deployment.label);
+          outcomes.(i) <- (d, No_alternative))
+    batch.Batchstrat.unsatisfied;
+  {
+    config;
+    availability = w;
+    strategies;
+    outcomes;
+    objective_value = batch.Batchstrat.objective_value;
+    workforce_used = batch.Batchstrat.workforce_used;
+  }
+
+let satisfied report =
+  Array.to_list report.outcomes
+  |> List.filter_map (function
+       | d, Satisfied { strategies; _ } -> Some (d, strategies)
+       | _, (Alternative _ | Workforce_limited | No_alternative) -> None)
+
+let alternatives report =
+  Array.to_list report.outcomes
+  |> List.filter_map (function
+       | d, Alternative result -> Some (d, result)
+       | _, (Satisfied _ | Workforce_limited | No_alternative) -> None)
+
+let workforce_limited report =
+  Array.to_list report.outcomes
+  |> List.filter_map (function
+       | d, Workforce_limited -> Some d
+       | _, (Satisfied _ | Alternative _ | No_alternative) -> None)
+
+let satisfied_fraction report =
+  let total = Array.length report.outcomes in
+  if total = 0 then 1.
+  else float_of_int (List.length (satisfied report)) /. float_of_int total
+
+let pp_outcome ppf = function
+  | Satisfied { strategies; workforce } ->
+      Format.fprintf ppf "satisfied (w=%.3f) with [%a]" workforce
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           (fun ppf s -> Format.pp_print_string ppf s.Strategy.label))
+        strategies
+  | Alternative r ->
+      Format.fprintf ppf "alternative %a (distance %.4f)" Stratrec_model.Params.pp
+        r.Adpar.alternative r.Adpar.distance
+  | Workforce_limited ->
+      Format.pp_print_string ppf "parameters fine, but the workforce budget ran out"
+  | No_alternative -> Format.pp_print_string ppf "no alternative exists"
+
+let pp_report ppf r =
+  Format.fprintf ppf "W=%.3f objective(%a)=%.4f used=%.4f@\n" r.availability Objective.pp
+    r.config.objective r.objective_value r.workforce_used;
+  Array.iter
+    (fun (d, outcome) ->
+      Format.fprintf ppf "  %s: %a@\n" d.Deployment.label pp_outcome outcome)
+    r.outcomes

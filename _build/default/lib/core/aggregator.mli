@@ -1,0 +1,66 @@
+(** The StratRec middle layer (Fig. 1, §2.2).
+
+    The Aggregator receives a batch of deployment requests, estimates
+    worker availability from its pdf, re-estimates every strategy's
+    parameters at that availability (Deployment Strategy Modeling), computes
+    the workforce-requirement matrix and vector (Workforce Requirement
+    Computation), runs the optimization-guided batch deployment
+    (BatchStrat), and forwards each unsatisfied request to ADPaR for an
+    alternative-parameter recommendation. *)
+
+type config = {
+  objective : Objective.t;
+  aggregation : Stratrec_model.Workforce.aggregation;
+  reestimate_parameters : bool;
+      (** when true (the default configuration), strategy parameter triples
+          are recomputed from their linear models at the estimated
+          availability before matching *)
+  inversion_rule : [ `Direction_aware | `Paper_equality ];
+      (** workforce-matrix inversion rule, see
+          {!Stratrec_model.Workforce.compute} *)
+}
+
+val default_config : config
+(** Throughput objective, Max-case aggregation, re-estimation on,
+    direction-aware inversion. *)
+
+type request_outcome =
+  | Satisfied of {
+      strategies : Stratrec_model.Strategy.t list;  (** the k recommendations *)
+      workforce : float;
+    }
+  | Alternative of Adpar.result
+      (** the request could not be served; ADPaR's closest alternative *)
+  | Workforce_limited
+      (** the thresholds already admit k strategies — ADPaR would return
+          the request unchanged — but the batch workforce budget was
+          exhausted; the requester should retry when availability rises *)
+  | No_alternative
+      (** fewer strategies than the cardinality constraint exist at all *)
+
+type report = {
+  config : config;
+  availability : float;  (** expected workforce W *)
+  strategies : Stratrec_model.Strategy.t array;  (** catalog after re-estimation *)
+  outcomes : (Stratrec_model.Deployment.t * request_outcome) array;
+      (** one per request, in input order *)
+  objective_value : float;
+  workforce_used : float;
+}
+
+val run :
+  ?config:config ->
+  availability:Stratrec_model.Availability.t ->
+  strategies:Stratrec_model.Strategy.t array ->
+  requests:Stratrec_model.Deployment.t array ->
+  unit ->
+  report
+
+val satisfied : report -> (Stratrec_model.Deployment.t * Stratrec_model.Strategy.t list) list
+val alternatives : report -> (Stratrec_model.Deployment.t * Adpar.result) list
+val workforce_limited : report -> Stratrec_model.Deployment.t list
+val satisfied_fraction : report -> float
+(** Fraction of requests satisfied without ADPaR — Fig. 14's metric. 1.0
+    for an empty batch. *)
+
+val pp_report : Format.formatter -> report -> unit

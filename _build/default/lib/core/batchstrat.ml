@@ -1,0 +1,101 @@
+module Workforce = Stratrec_model.Workforce
+
+type satisfied = { request_index : int; strategy_indices : int list; workforce : float }
+
+type outcome = {
+  satisfied : satisfied list;
+  unsatisfied : int list;
+  objective_value : float;
+  workforce_used : float;
+}
+
+(* Candidate request: aggregated workforce requirement, chosen strategies and
+   objective contribution. *)
+type candidate = { index : int; weight : float; value : float; chosen : int list }
+
+let greedy_fill candidates ~available =
+  (* Candidates come sorted by value density; take every one that still
+     fits. The plain prefix rule of the paper is a special case (for
+     throughput the two coincide because weights are sorted ascending). *)
+  let taken, _ =
+    List.fold_left
+      (fun (taken, used) c ->
+        if used +. c.weight <= available +. 1e-12 then (c :: taken, used +. c.weight)
+        else (taken, used))
+      ([], 0.) candidates
+  in
+  List.rev taken
+
+let total_value taken = List.fold_left (fun acc c -> acc +. c.value) 0. taken
+let total_weight taken = List.fold_left (fun acc c -> acc +. c.weight) 0. taken
+
+let run ~objective ~aggregation ~available matrix =
+  let requests = matrix.Workforce.requests in
+  let m = Array.length requests in
+  (* Requests without k feasible strategies never become candidates; they
+     surface in [unsatisfied] below. *)
+  let candidates = ref [] in
+  for i = m - 1 downto 0 do
+    let d = requests.(i) in
+    match Workforce.request_requirement matrix aggregation ~k:d.Stratrec_model.Deployment.k i with
+    | None -> ()
+    | Some { Workforce.workforce; chosen } ->
+        candidates :=
+          { index = i; weight = workforce; value = Objective.value objective d; chosen }
+          :: !candidates
+  done;
+  (* Sort by f_i / w_i non-increasing; zero-workforce requests first. Ties
+     broken by input order for determinism. *)
+  let density c = if c.weight = 0. then infinity else c.value /. c.weight in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        let c = Float.compare (density b) (density a) in
+        if c <> 0 then c else compare a.index b.index)
+      !candidates
+  in
+  let greedy = greedy_fill sorted ~available in
+  let chosen_set =
+    if Objective.exact_greedy objective then greedy
+    else begin
+      (* 1/2-approximation: the better of the greedy set and the best
+         single fitting request (Theorem 3; valid for any non-negative
+         value function). *)
+      let best_single =
+        List.filter (fun c -> c.weight <= available +. 1e-12) sorted
+        |> List.fold_left
+             (fun best c ->
+               match best with
+               | Some b when b.value >= c.value -> best
+               | _ -> Some c)
+             None
+      in
+      match best_single with
+      | Some single when single.value > total_value greedy -> [ single ]
+      | _ -> greedy
+    end
+  in
+  let taken_indices = List.map (fun c -> c.index) chosen_set in
+  let unsatisfied =
+    List.init m Fun.id
+    |> List.filter (fun i -> not (List.mem i taken_indices))
+  in
+  {
+    satisfied =
+      List.map
+        (fun c -> { request_index = c.index; strategy_indices = c.chosen; workforce = c.weight })
+        chosen_set;
+    unsatisfied;
+    objective_value = total_value chosen_set;
+    workforce_used = total_weight chosen_set;
+  }
+
+let satisfied_count outcome = List.length outcome.satisfied
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "satisfied=%d objective=%.4f workforce=%.4f unsatisfied=[%a]"
+    (satisfied_count o) o.objective_value o.workforce_used
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    o.unsatisfied

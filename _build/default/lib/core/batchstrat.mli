@@ -1,0 +1,41 @@
+(** BatchStrat — the unified greedy algorithm for Batch Deployment
+    Recommendation (Problem 1, §3).
+
+    Given the workforce-requirement matrix, the per-request aggregation
+    (Sum- or Max-case) and available workforce W, BatchStrat sorts requests
+    by [f_i / w_i] non-increasing and adds them greedily. For Throughput
+    (f_i = 1, i.e. ascending workforce) the greedy solution is exact
+    (Theorem 2); for Pay-off the result is the better of the greedy set and
+    the best single request, a 1/2-approximation (Theorem 3). *)
+
+type satisfied = {
+  request_index : int;
+  strategy_indices : int list;
+      (** the k recommended strategies (indices into the matrix catalog),
+          ascending workforce requirement *)
+  workforce : float;  (** aggregated requirement \vec{w}_i *)
+}
+
+type outcome = {
+  satisfied : satisfied list;  (** in greedy acceptance order *)
+  unsatisfied : int list;
+      (** request indices to forward to ADPaR, in input order: requests that
+          lack k feasible strategies or did not fit in W *)
+  objective_value : float;
+  workforce_used : float;
+}
+
+val run :
+  objective:Objective.t ->
+  aggregation:Stratrec_model.Workforce.aggregation ->
+  available:float ->
+  Stratrec_model.Workforce.matrix ->
+  outcome
+(** Each request uses its own cardinality constraint [d.k]. O(m log m)
+    after the O(m |S| log k) aggregation. [available] is the expected
+    workforce W in [\[0, 1\]] (values above 1 are allowed and simply relax
+    the budget). *)
+
+val satisfied_count : outcome -> int
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,28 @@
+(** Platform-centric optimization goals for batch deployment (§2.3).
+
+    Throughput counts satisfied requests; Pay-off sums the cost each
+    satisfied requester is willing to expend. Throughput is solvable
+    exactly by the greedy algorithm; Pay-off maximization is NP-hard
+    (Theorem 1). [Weighted] combines the two — the paper's future-work
+    suggestion of "combining multiple goals inside the same optimization
+    function" (§7); the greedy 1/2-approximation argument only needs
+    non-negative values, so it carries over. *)
+
+type t =
+  | Throughput
+  | Payoff
+  | Weighted of { throughput_weight : float; payoff_weight : float }
+
+val weighted : throughput:float -> payoff:float -> t
+(** @raise Invalid_argument if either weight is negative or both are 0. *)
+
+val value : t -> Stratrec_model.Deployment.t -> float
+(** Per-request objective contribution f_i: 1 for throughput, the
+    request's cost for pay-off, and the weighted sum for [Weighted]. *)
+
+val exact_greedy : t -> bool
+(** Whether plain greedy is exact (true only for [Throughput], Theorem 2);
+    otherwise BatchStrat applies the best-single correction of Theorem 3. *)
+
+val label : t -> string
+val pp : Format.formatter -> t -> unit

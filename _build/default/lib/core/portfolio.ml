@@ -1,0 +1,50 @@
+type group = {
+  label : string;
+  strategies : Stratrec_model.Strategy.t array;
+  availability : Stratrec_model.Availability.t;
+  requests : Stratrec_model.Deployment.t array;
+}
+
+type report = {
+  groups : (string * Aggregator.report) list;
+  objective_value : float;
+  satisfied_count : int;
+  request_count : int;
+}
+
+let run ?config groups =
+  let labels = List.map (fun g -> g.label) groups in
+  if List.length (List.sort_uniq String.compare labels) <> List.length labels then
+    invalid_arg "Portfolio.run: duplicate group labels";
+  let reports =
+    List.map
+      (fun g ->
+        ( g.label,
+          Aggregator.run ?config ~availability:g.availability ~strategies:g.strategies
+            ~requests:g.requests () ))
+      groups
+  in
+  {
+    groups = reports;
+    objective_value =
+      List.fold_left (fun acc (_, r) -> acc +. r.Aggregator.objective_value) 0. reports;
+    satisfied_count =
+      List.fold_left
+        (fun acc (_, r) -> acc + List.length (Aggregator.satisfied r))
+        0 reports;
+    request_count =
+      List.fold_left (fun acc (_, r) -> acc + Array.length r.Aggregator.outcomes) 0 reports;
+  }
+
+let satisfied_fraction report =
+  if report.request_count = 0 then 1.
+  else float_of_int report.satisfied_count /. float_of_int report.request_count
+
+let group_report report label = List.assoc_opt label report.groups
+
+let pp_report ppf report =
+  Format.fprintf ppf "portfolio: %d/%d satisfied, objective %.4f@." report.satisfied_count
+    report.request_count report.objective_value;
+  List.iter
+    (fun (label, r) -> Format.fprintf ppf "[%s] %a" label Aggregator.pp_report r)
+    report.groups

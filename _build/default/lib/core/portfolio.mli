@@ -1,0 +1,36 @@
+(** Batch deployment across task types.
+
+    The paper's Aggregator receives "a batch of deployment requests for
+    different collaborative tasks" (§1) and matches workers to task types
+    before estimating anything: each task type has its own suitable-worker
+    pool, hence its own availability, catalog and calibrated models. A
+    portfolio partitions the batch by type, runs the Aggregator per group
+    against that group's availability, and combines the platform-level
+    accounting. *)
+
+type group = {
+  label : string;  (** task type, e.g. "sentence-translation" *)
+  strategies : Stratrec_model.Strategy.t array;
+  availability : Stratrec_model.Availability.t;  (** of this type's worker pool *)
+  requests : Stratrec_model.Deployment.t array;
+}
+
+type report = {
+  groups : (string * Aggregator.report) list;  (** in input order *)
+  objective_value : float;  (** summed across groups *)
+  satisfied_count : int;
+  request_count : int;
+}
+
+val run : ?config:Aggregator.config -> group list -> report
+(** One {!Aggregator.run} per group — workforce budgets are per type and
+    do not interfere across groups, exactly because worker pools are
+    disjoint by the skill-matching step.
+    @raise Invalid_argument on duplicate group labels. *)
+
+val satisfied_fraction : report -> float
+(** Across all groups; 1.0 for an empty portfolio. *)
+
+val group_report : report -> string -> Aggregator.report option
+
+val pp_report : Format.formatter -> report -> unit

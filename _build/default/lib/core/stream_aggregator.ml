@@ -1,0 +1,87 @@
+module Workforce = Stratrec_model.Workforce
+module Strategy = Stratrec_model.Strategy
+module Deployment = Stratrec_model.Deployment
+
+type assignment = { request : Deployment.t; strategies : Strategy.t list; workforce : float }
+
+type t = {
+  aggregation : Workforce.aggregation;
+  inversion_rule : [ `Direction_aware | `Paper_equality ];
+  catalog : Strategy.t array;
+  mutable pool : float;
+  mutable active : assignment list;  (* reverse admission order *)
+  mutable admitted : int;
+  mutable rejected : int;
+}
+
+type decision =
+  | Admitted of { strategies : Strategy.t list; workforce : float }
+  | Alternative of Adpar.result
+  | Workforce_limited
+  | No_alternative
+  | Duplicate
+
+let create ?(aggregation = Workforce.Max_case) ?(inversion_rule = `Direction_aware) ~strategies
+    ~workforce () =
+  if workforce < 0. then invalid_arg "Stream_aggregator.create: negative workforce";
+  {
+    aggregation;
+    inversion_rule;
+    catalog = strategies;
+    pool = workforce;
+    active = [];
+    admitted = 0;
+    rejected = 0;
+  }
+
+let requirement t request =
+  let matrix =
+    Workforce.compute ~rule:t.inversion_rule ~requests:[| request |] ~strategies:t.catalog ()
+  in
+  Workforce.request_requirement matrix t.aggregation ~k:request.Deployment.k 0
+
+let is_active t id = List.exists (fun a -> a.request.Deployment.id = id) t.active
+
+let triage t request =
+  t.rejected <- t.rejected + 1;
+  match Adpar.exact ~strategies:t.catalog request with
+  | Some result when result.Adpar.distance < 1e-12 -> Workforce_limited
+  | Some result -> Alternative result
+  | None -> No_alternative
+
+let submit t request =
+  if is_active t request.Deployment.id then Duplicate
+  else
+    match requirement t request with
+    | Some { Workforce.workforce; chosen } when workforce <= t.pool +. 1e-12 ->
+        let strategies = List.map (fun j -> t.catalog.(j)) chosen in
+        t.pool <- Float.max 0. (t.pool -. workforce);
+        t.active <- { request; strategies; workforce } :: t.active;
+        t.admitted <- t.admitted + 1;
+        Admitted { strategies; workforce }
+    | Some _ ->
+        (* Feasible on parameters and catalog, but not within the pool. *)
+        t.rejected <- t.rejected + 1;
+        Workforce_limited
+    | None -> triage t request
+
+let revoke t id =
+  match List.partition (fun a -> a.request.Deployment.id = id) t.active with
+  | [], _ -> false
+  | revoked, kept ->
+      t.active <- kept;
+      List.iter (fun a -> t.pool <- t.pool +. a.workforce) revoked;
+      true
+
+let replenish t amount =
+  if amount < 0. then invalid_arg "Stream_aggregator.replenish: negative amount";
+  t.pool <- t.pool +. amount
+
+let available t = t.pool
+let committed t = List.fold_left (fun acc a -> acc +. a.workforce) 0. t.active
+
+let active t =
+  List.rev_map (fun a -> (a.request, a.strategies, a.workforce)) t.active
+
+let admitted_count t = t.admitted
+let rejected_count t = t.rejected

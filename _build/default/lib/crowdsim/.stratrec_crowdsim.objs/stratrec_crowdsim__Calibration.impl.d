@@ -1,0 +1,1 @@
+lib/crowdsim/calibration.ml: Array Campaign Format List Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+lib/crowdsim/calibration.mli: Campaign Format Stratrec_model Stratrec_util

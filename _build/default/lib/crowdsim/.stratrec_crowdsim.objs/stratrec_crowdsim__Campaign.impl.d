@@ -1,0 +1,1 @@
+lib/crowdsim/campaign.ml: Array Collaboration Float Ledger List Outcome Platform Stratrec_model Stratrec_util Task_spec Window Worker

@@ -1,0 +1,1 @@
+lib/crowdsim/campaign.mli: Collaboration Ledger Platform Stratrec_model Stratrec_util Task_spec Window

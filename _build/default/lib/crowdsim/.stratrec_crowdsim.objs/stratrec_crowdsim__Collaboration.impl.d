@@ -1,0 +1,1 @@
+lib/crowdsim/collaboration.ml: Float List Stratrec_model Stratrec_util Task_spec Worker

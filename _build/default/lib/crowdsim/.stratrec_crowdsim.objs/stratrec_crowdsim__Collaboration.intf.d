@@ -1,0 +1,1 @@
+lib/crowdsim/collaboration.mli: Stratrec_model Stratrec_util Task_spec Worker

@@ -1,0 +1,1 @@
+lib/crowdsim/ledger.ml: Array Float Hashtbl List Option Window

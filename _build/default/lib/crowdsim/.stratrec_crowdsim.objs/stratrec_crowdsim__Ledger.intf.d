@@ -1,0 +1,1 @@
+lib/crowdsim/ledger.mli: Window

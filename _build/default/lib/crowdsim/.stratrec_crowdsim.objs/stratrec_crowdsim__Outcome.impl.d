@@ -1,0 +1,1 @@
+lib/crowdsim/outcome.ml: Float List Option Stratrec_model Stratrec_util Task_spec

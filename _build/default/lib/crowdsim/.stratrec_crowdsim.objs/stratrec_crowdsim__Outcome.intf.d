@@ -1,0 +1,1 @@
+lib/crowdsim/outcome.mli: Stratrec_model Stratrec_util Task_spec

@@ -1,0 +1,1 @@
+lib/crowdsim/platform.ml: Array Float List Stratrec_model Stratrec_util Worker

@@ -1,0 +1,1 @@
+lib/crowdsim/platform.mli: Stratrec_model Stratrec_util Task_spec Window Worker

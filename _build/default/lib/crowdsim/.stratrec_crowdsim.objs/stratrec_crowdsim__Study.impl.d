@@ -1,0 +1,1 @@
+lib/crowdsim/study.ml: Array Calibration Campaign Collaboration List Outcome Stratrec_model Stratrec_util Task_spec Window

@@ -1,0 +1,1 @@
+lib/crowdsim/study.mli: Calibration Platform Stratrec_model Stratrec_util Task_spec Window

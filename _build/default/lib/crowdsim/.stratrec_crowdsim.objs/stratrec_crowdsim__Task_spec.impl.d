@@ -1,0 +1,1 @@
+lib/crowdsim/task_spec.ml: Format String

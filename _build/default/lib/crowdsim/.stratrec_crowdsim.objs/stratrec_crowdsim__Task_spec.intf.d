@@ -1,0 +1,1 @@
+lib/crowdsim/task_spec.mli: Format

@@ -1,0 +1,1 @@
+lib/crowdsim/window.ml: Format Printf

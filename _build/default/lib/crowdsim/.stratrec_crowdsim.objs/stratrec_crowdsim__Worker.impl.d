@@ -1,0 +1,1 @@
+lib/crowdsim/worker.ml: Array Float Format List Stratrec_util Task_spec Window

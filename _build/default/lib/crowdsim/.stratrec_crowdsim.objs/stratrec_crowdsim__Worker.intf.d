@@ -1,0 +1,1 @@
+lib/crowdsim/worker.mli: Format Stratrec_util Task_spec Window

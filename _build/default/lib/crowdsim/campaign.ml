@@ -1,0 +1,95 @@
+module Rng = Stratrec_util.Rng
+module Params = Stratrec_model.Params
+
+type deployment = {
+  task : Task_spec.t;
+  combo : Stratrec_model.Dimension.combo;
+  window : Window.t;
+  capacity : int;
+  guided : bool;
+}
+
+type result = {
+  deployment : deployment;
+  availability : float;
+  measured : Params.t;
+  session : Collaboration.session;
+  workers_hired : int;
+  dollars_spent : float;
+}
+
+let empty_session units =
+  {
+    Collaboration.edits = [];
+    edit_count = 0;
+    override_count = 0;
+    quality_modifier = 1.;
+    elapsed_hours = Window.duration_hours;
+    task_units = units;
+  }
+
+let deploy ?ledger platform rng d =
+  let { Platform.hired; availability; _ } =
+    Platform.recruit platform rng ~kind:d.task.Task_spec.kind ~window:d.window
+      ~capacity:d.capacity
+  in
+  match hired with
+  | [] ->
+      {
+        deployment = d;
+        availability;
+        measured = Params.make ~quality:0. ~cost:0. ~latency:1.;
+        session = empty_session d.task.Task_spec.units;
+        workers_hired = 0;
+        dollars_spent = 0.;
+      }
+  | workers ->
+      (match ledger with
+      | Some ledger ->
+          List.iter
+            (fun w ->
+              Ledger.record ledger
+                {
+                  Ledger.worker_id = w.Worker.id;
+                  window = d.window;
+                  amount = Task_spec.pay_per_worker;
+                })
+            workers
+      | None -> ());
+      let session =
+        Collaboration.simulate rng ~combo:d.combo ~workers ~task:d.task ~guided:d.guided
+      in
+      let base =
+        Outcome.measure rng ~kind:d.task.Task_spec.kind ~combo:d.combo ~availability ()
+      in
+      (* Harder tasks lose a little quality; edit wars lose more, and the
+         rework they cause also delays completion (§5.1.2's observation). *)
+      let difficulty_drag = 0.05 *. (d.task.Task_spec.difficulty -. 0.5) in
+      let quality =
+        Float.max 0.
+          (Float.min 1.
+             ((base.Params.quality *. session.Collaboration.quality_modifier) -. difficulty_drag))
+      in
+      let rework_delay =
+        (0.12
+        *. float_of_int session.Collaboration.override_count
+        /. float_of_int (List.length workers))
+        +. if d.guided then 0. else 0.08
+      in
+      let latency = Float.max 0. (Float.min 1. (base.Params.latency +. rework_delay)) in
+      let measured = { base with Params.quality; latency } in
+      {
+        deployment = d;
+        availability;
+        measured;
+        session;
+        workers_hired = List.length workers;
+        dollars_spent = Task_spec.pay_per_worker *. float_of_int (List.length workers);
+      }
+
+let replicate platform rng d ~times =
+  if times <= 0 then invalid_arg "Campaign.replicate: times must be positive";
+  List.init times (fun _ -> deploy platform rng d)
+
+let observations results =
+  results |> List.map (fun r -> (r.availability, r.measured)) |> Array.of_list

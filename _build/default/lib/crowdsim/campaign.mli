@@ -1,0 +1,40 @@
+(** HIT deployment and measurement — one simulated run of the study's
+    Step-2/Step-3 pipeline (§5.1.1).
+
+    A deployment fixes a task, a strategy combo, a window, a HIT capacity
+    and whether the workers follow a StratRec recommendation. Deploying
+    recruits workers, simulates the collaborative editing session, and
+    measures the achieved (quality, cost, latency) — the ground-truth
+    linear response at the observed availability, degraded by the session's
+    edit-war modifier, plus measurement noise. *)
+
+type deployment = {
+  task : Task_spec.t;
+  combo : Stratrec_model.Dimension.combo;
+  window : Window.t;
+  capacity : int;  (** workers per HIT (10 in §5.1.1, 7 in §5.1.2) *)
+  guided : bool;  (** whether the deployment follows a recommendation *)
+}
+
+type result = {
+  deployment : deployment;
+  availability : float;  (** observed x'/x *)
+  measured : Stratrec_model.Params.t;
+      (** normalized: quality as expert-judged fraction, cost as dollars
+          over the full-capacity budget, latency as hours over the window *)
+  session : Collaboration.session;
+  workers_hired : int;
+  dollars_spent : float;
+}
+
+val deploy : ?ledger:Ledger.t -> Platform.t -> Stratrec_util.Rng.t -> deployment -> result
+(** @raise Invalid_argument if the deployment capacity is not positive. A
+    deployment that attracts no workers yields quality 0, cost 0 and
+    latency 1 (the window expired). When a [ledger] is supplied, every
+    hired worker's payment is recorded in it. *)
+
+val replicate :
+  Platform.t -> Stratrec_util.Rng.t -> deployment -> times:int -> result list
+
+val observations : result list -> (float * Stratrec_model.Params.t) array
+(** (availability, measured) pairs for {!Calibration}. *)

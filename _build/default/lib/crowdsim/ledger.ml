@@ -1,0 +1,66 @@
+type payment = { worker_id : int; window : Window.t; amount : float }
+
+type t = { commission : float; mutable payments : payment list (* reversed *) }
+
+let create ?(commission = 0.10) () =
+  if commission < 0. || commission >= 1. then
+    invalid_arg "Ledger.create: commission outside [0, 1)";
+  { commission; payments = [] }
+
+let record t payment =
+  if payment.amount < 0. then invalid_arg "Ledger.record: negative amount";
+  t.payments <- payment :: t.payments
+
+let payments t = List.rev t.payments
+
+let total_paid t = List.fold_left (fun acc p -> acc +. p.amount) 0. t.payments
+
+let platform_revenue t = t.commission *. total_paid t
+
+let worker_earnings t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let net = p.amount *. (1. -. t.commission) in
+      let current = Option.value (Hashtbl.find_opt table p.worker_id) ~default:0. in
+      Hashtbl.replace table p.worker_id (current +. net))
+    t.payments;
+  Hashtbl.fold (fun id earned acc -> (id, earned) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let gini t =
+  let earnings = List.map snd (worker_earnings t) |> Array.of_list in
+  let n = Array.length earnings in
+  if n < 2 then 0.
+  else begin
+    Array.sort Float.compare earnings;
+    let total = Array.fold_left ( +. ) 0. earnings in
+    if total = 0. then 0.
+    else begin
+      (* Gini = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n with 1-based
+         ranks over ascending earnings. *)
+      let weighted = ref 0. in
+      Array.iteri (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x)) earnings;
+      let nf = float_of_int n in
+      (2. *. !weighted /. (nf *. total)) -. ((nf +. 1.) /. nf)
+    end
+  end
+
+let top_share t ~fraction =
+  if fraction <= 0. || fraction > 1. then invalid_arg "Ledger.top_share: fraction outside (0, 1]";
+  let earnings = List.map snd (worker_earnings t) |> List.sort (fun a b -> Float.compare b a) in
+  match earnings with
+  | [] -> 0.
+  | earnings ->
+      let n = List.length earnings in
+      let top = max 1 (int_of_float (Float.ceil (fraction *. float_of_int n))) in
+      let total = List.fold_left ( +. ) 0. earnings in
+      if total = 0. then 0.
+      else
+        List.filteri (fun i _ -> i < top) earnings
+        |> List.fold_left ( +. ) 0.
+        |> fun captured -> captured /. total
+
+let merge a b =
+  if a.commission <> b.commission then invalid_arg "Ledger.merge: differing commissions";
+  { commission = a.commission; payments = b.payments @ a.payments }

@@ -1,0 +1,49 @@
+(** Payment accounting across campaigns.
+
+    The paper's platform goals are requester- and platform-centric; its
+    future work asks about worker-centric goals (§7). The ledger records
+    every payment a campaign makes, so deployments can be analyzed from
+    the workers' side: earnings distribution, concentration (Gini), and
+    platform revenue under a commission. *)
+
+type t
+
+type payment = {
+  worker_id : int;
+  window : Window.t;
+  amount : float;  (** dollars paid to the worker *)
+}
+
+val create : ?commission:float -> unit -> t
+(** [commission] is the platform's cut of every payment, in [\[0, 1\)]
+    (default 0.10, AMT-like). @raise Invalid_argument outside that range. *)
+
+val record : t -> payment -> unit
+(** @raise Invalid_argument on negative amounts. *)
+
+val payments : t -> payment list
+(** In recording order. *)
+
+val total_paid : t -> float
+(** Gross dollars paid to workers. *)
+
+val platform_revenue : t -> float
+(** [commission *. total_paid]. *)
+
+val worker_earnings : t -> (int * float) list
+(** Net earnings per worker (gross minus commission), workers with at
+    least one payment, sorted by worker id. *)
+
+val gini : t -> float
+(** Gini coefficient of net worker earnings: 0 = perfectly equal,
+    approaching 1 = concentrated on one worker. 0 when fewer than two
+    workers have earnings. *)
+
+val top_share : t -> fraction:float -> float
+(** Share of total earnings captured by the top [fraction] of earners
+    (e.g. [~fraction:0.1] for the top decile). Requires [fraction] in
+    (0, 1]. *)
+
+val merge : t -> t -> t
+(** Combined ledger (commission taken from the first).
+    @raise Invalid_argument if the commissions differ. *)

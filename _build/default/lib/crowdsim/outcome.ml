@@ -1,0 +1,110 @@
+module Rng = Stratrec_util.Rng
+module Dimension = Stratrec_model.Dimension
+module Linear_model = Stratrec_model.Linear_model
+module Params = Stratrec_model.Params
+
+let combo label =
+  match Dimension.combo_of_label label with
+  | Some c -> c
+  | None -> assert false (* static labels *)
+
+let model ~q ~c ~l =
+  let pair (alpha, beta) = { Linear_model.alpha; beta } in
+  { Linear_model.quality = pair q; cost = pair c; latency = pair l }
+
+(* Table 6, verbatim. *)
+let table6_reference =
+  [
+    ( Task_spec.Sentence_translation,
+      combo "SEQ-IND-CRO",
+      model ~q:(0.09, 0.85) ~c:(1.00, 0.00) ~l:(-0.98, 1.40) );
+    ( Task_spec.Sentence_translation,
+      combo "SIM-COL-CRO",
+      model ~q:(0.09, 0.82) ~c:(0.82, 0.17) ~l:(-0.63, 1.01) );
+    ( Task_spec.Text_creation,
+      combo "SEQ-IND-CRO",
+      model ~q:(0.10, 0.80) ~c:(1.00, 0.00) ~l:(-1.56, 2.04) );
+    ( Task_spec.Text_creation,
+      combo "SIM-COL-CRO",
+      model ~q:(0.19, 0.70) ~c:(1.00, -0.00) ~l:(-1.38, 1.81) );
+  ]
+
+let lookup kind c =
+  List.find_opt
+    (fun (k, c', _) -> Task_spec.equal_kind k kind && Dimension.equal_combo c' c)
+    table6_reference
+  |> Option.map (fun (_, _, m) -> m)
+
+let adjust (coeffs : Linear_model.coeffs) ~alpha ~beta =
+  { Linear_model.alpha = coeffs.alpha +. alpha; beta = coeffs.beta +. beta }
+
+(* Adjust the anchor model only on the dimensions where the target combo
+   differs from the anchor combo, so anchored properties are not
+   double-counted. *)
+let perturb (m : Linear_model.t) ~(from : Dimension.combo) ~(target : Dimension.combo) =
+  let m =
+    if from.Dimension.structure = target.Dimension.structure then m
+    else
+      match target.Dimension.structure with
+      | Dimension.Simultaneous ->
+          (* Parallel work finishes earlier. *)
+          { m with latency = adjust m.latency ~alpha:0.15 ~beta:(-0.25) }
+      | Dimension.Sequential -> { m with latency = adjust m.latency ~alpha:(-0.15) ~beta:0.25 }
+  in
+  let m =
+    if from.Dimension.organization = target.Dimension.organization then m
+    else
+      match target.Dimension.organization with
+      | Dimension.Collaborative ->
+          {
+            m with
+            quality = adjust m.quality ~alpha:0.02 ~beta:(-0.04);
+            cost = adjust m.cost ~alpha:(-0.1) ~beta:0.08;
+          }
+      | Dimension.Independent ->
+          {
+            m with
+            quality = adjust m.quality ~alpha:(-0.02) ~beta:0.04;
+            cost = adjust m.cost ~alpha:0.1 ~beta:(-0.08);
+          }
+  in
+  if from.Dimension.style = target.Dimension.style then m
+  else
+    match target.Dimension.style with
+    | Dimension.Hybrid ->
+        (* Machine bootstrap: higher floor quality, cheaper, faster. *)
+        {
+          Linear_model.quality = adjust m.quality ~alpha:(-0.02) ~beta:0.06;
+          cost = adjust m.cost ~alpha:(-0.15) ~beta:(-0.02);
+          latency = adjust m.latency ~alpha:0.1 ~beta:(-0.15);
+        }
+    | Dimension.Crowd_only ->
+        {
+          Linear_model.quality = adjust m.quality ~alpha:0.02 ~beta:(-0.06);
+          cost = adjust m.cost ~alpha:0.15 ~beta:0.02;
+          latency = adjust m.latency ~alpha:(-0.1) ~beta:0.15;
+        }
+
+let true_model kind c =
+  let kind = match kind with Task_spec.Custom _ -> Task_spec.Text_creation | k -> k in
+  match lookup kind c with
+  | Some m -> m
+  | None ->
+      (* Anchor on the measured combo sharing the organization dimension. *)
+      let from =
+        if c.Dimension.organization = Dimension.Collaborative then combo "SIM-COL-CRO"
+        else combo "SEQ-IND-CRO"
+      in
+      let base = match lookup kind from with Some m -> m | None -> assert false in
+      perturb base ~from ~target:c
+
+let measure rng ~kind ~combo ~availability ?(noise = 0.02) () =
+  let m = true_model kind combo in
+  let clamp v = Float.max 0. (Float.min 1. v) in
+  let draw coeffs =
+    clamp (Linear_model.response coeffs availability +. Rng.gaussian rng ~mu:0. ~sigma:noise)
+  in
+  Params.make_unchecked
+    ~quality:(draw m.Linear_model.quality)
+    ~cost:(draw m.Linear_model.cost)
+    ~latency:(draw m.Linear_model.latency)

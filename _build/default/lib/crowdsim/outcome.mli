@@ -1,0 +1,35 @@
+(** Ground-truth availability-response models.
+
+    The simulator's generative truth uses the (alpha, beta) coefficients the
+    paper measured on AMT (Table 6) for the two studied strategies of each
+    task type, and systematic perturbations of them for the remaining
+    Structure x Organization x Style combinations (a documented
+    substitution: the study only measured SEQ-IND-CRO and SIM-COL-CRO).
+    Campaign measurements are draws from these models plus noise, so
+    re-fitting them (Calibration) reproduces Table 6's shape — including
+    quality and cost rising and latency falling with availability. *)
+
+val table6_reference :
+  (Task_spec.kind * Stratrec_model.Dimension.combo * Stratrec_model.Linear_model.t) list
+(** The four (task kind, strategy, model) rows of Table 6, verbatim. Note
+    the latency coefficients describe latency in units of the 72-hour
+    deployment window and may exceed 1 before clamping. *)
+
+val true_model :
+  Task_spec.kind -> Stratrec_model.Dimension.combo -> Stratrec_model.Linear_model.t
+(** Table 6 coefficients when measured; otherwise a deterministic
+    perturbation: simultaneous structure lowers latency response, hybrid
+    style raises quality intercept and lowers cost, collaborative
+    organization trades quality slope for latency. Custom task kinds reuse
+    the text-creation models scaled by task difficulty elsewhere. *)
+
+val measure :
+  Stratrec_util.Rng.t ->
+  kind:Task_spec.kind ->
+  combo:Stratrec_model.Dimension.combo ->
+  availability:float ->
+  ?noise:float ->
+  unit ->
+  Stratrec_model.Params.t
+(** One noisy observation of the model at the given availability, clamped
+    to [\[0, 1\]]. Default noise sigma 0.02. *)

@@ -1,0 +1,50 @@
+module Rng = Stratrec_util.Rng
+
+type t = { workers : Worker.t array }
+
+let create rng ~population =
+  if population <= 0 then invalid_arg "Platform.create: population must be positive";
+  { workers = Array.init population (fun id -> Worker.generate rng ~id) }
+
+let population t = Array.length t.workers
+let workers t = t.workers
+
+let qualified_pool t rng kind =
+  Array.to_list t.workers
+  |> List.filter (fun w ->
+         Worker.meets_recruitment_filters w kind && Worker.passes_qualification rng w kind)
+
+type recruitment = { hired : Worker.t list; capacity : int; availability : float }
+
+let recruit t rng ~kind ~window ~capacity =
+  if capacity <= 0 then invalid_arg "Platform.recruit: capacity must be positive";
+  let pool = qualified_pool t rng kind in
+  (* A worker undertakes this particular HIT only if (a) they are active in
+     the window and (b) they encounter the HIT among everything else posted
+     on the platform. The encounter rate is sized so that a HIT posted in
+     the busiest window roughly fills its capacity, leaving the x'/x ratio
+     sensitive to the window — the effect Fig. 11 measures. *)
+  let encounter =
+    let pool_size = float_of_int (List.length pool) in
+    if pool_size = 0. then 0.
+    else Float.min 1. (1.45 *. float_of_int capacity /. pool_size)
+  in
+  let active =
+    List.filter
+      (fun w -> Worker.active_in rng w window && Rng.bernoulli rng ~p:encounter)
+      pool
+  in
+  let hired = List.filteri (fun i _ -> i < capacity) active in
+  {
+    hired;
+    capacity;
+    availability =
+      Stratrec_model.Availability.observed_ratio ~undertaken:(List.length hired) ~capacity;
+  }
+
+let estimate_availability t rng ~kind ~window ~capacity ~samples =
+  if samples <= 0 then invalid_arg "Platform.estimate_availability: samples must be positive";
+  let observations =
+    Array.init samples (fun _ -> (recruit t rng ~kind ~window ~capacity).availability)
+  in
+  Stratrec_model.Availability.of_observations observations

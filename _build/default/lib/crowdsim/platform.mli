@@ -1,0 +1,43 @@
+(** The simulated crowdsourcing platform (the AMT stand-in).
+
+    Holds a worker population and implements the study's recruitment
+    pipeline: filter on profile, qualification-test, then observe who is
+    actually active in a deployment window. The observed ratio of workers
+    undertaking a HIT to its capacity is the paper's availability estimate
+    (§5.1.1). *)
+
+type t
+
+val create : Stratrec_util.Rng.t -> population:int -> t
+(** Generates [population] workers deterministically from the generator. *)
+
+val population : t -> int
+val workers : t -> Worker.t array
+
+val qualified_pool : t -> Stratrec_util.Rng.t -> Task_spec.kind -> Worker.t list
+(** Workers passing both the recruitment filters and the qualification
+    test. The qualification draw is randomized per call (fresh test). *)
+
+type recruitment = {
+  hired : Worker.t list;  (** active qualified workers, up to capacity *)
+  capacity : int;
+  availability : float;  (** |hired| / capacity, the x'/x ratio *)
+}
+
+val recruit :
+  t -> Stratrec_util.Rng.t -> kind:Task_spec.kind -> window:Window.t -> capacity:int ->
+  recruitment
+(** Draws the active subset of the qualified pool during [window] and hires
+    up to [capacity]. @raise Invalid_argument if [capacity <= 0]. *)
+
+val estimate_availability :
+  t ->
+  Stratrec_util.Rng.t ->
+  kind:Task_spec.kind ->
+  window:Window.t ->
+  capacity:int ->
+  samples:int ->
+  Stratrec_model.Availability.t
+(** Repeats {!recruit} [samples] times and builds the empirical
+    availability pdf — the estimation pipeline StratRec's Aggregator
+    consumes. *)

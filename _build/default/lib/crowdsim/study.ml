@@ -1,0 +1,150 @@
+module Rng = Stratrec_util.Rng
+module Stats = Stratrec_util.Stats
+module Dimension = Stratrec_model.Dimension
+module Params = Stratrec_model.Params
+
+let combo_exn label =
+  match Dimension.combo_of_label label with Some c -> c | None -> assert false
+
+let seq_ind_cro = combo_exn "SEQ-IND-CRO"
+let sim_col_cro = combo_exn "SIM-COL-CRO"
+
+let tasks_for kind =
+  match kind with
+  | Task_spec.Sentence_translation -> Task_spec.translation_samples
+  | Task_spec.Text_creation -> Task_spec.creation_samples
+  | Task_spec.Custom name ->
+      [ Task_spec.make ~kind ~title:(name ^ " sample") () ]
+
+type availability_row = {
+  window : Window.t;
+  combo : Dimension.combo;
+  mean_availability : float;
+  std_error : float;
+}
+
+let availability_study platform rng ~kind ?(capacity = 10) ?(replicates = 8) () =
+  if replicates < 2 then invalid_arg "Study.availability_study: need >= 2 replicates";
+  let tasks = tasks_for kind in
+  List.concat_map
+    (fun window ->
+      List.map
+        (fun combo ->
+          let samples =
+            List.init replicates (fun i ->
+                let task = List.nth tasks (i mod List.length tasks) in
+                let d = { Campaign.task; combo; window; capacity; guided = true } in
+                (Campaign.deploy platform rng d).Campaign.availability)
+            |> Array.of_list
+          in
+          {
+            window;
+            combo;
+            mean_availability = Stats.mean samples;
+            std_error = Stats.std_error samples;
+          })
+        [ seq_ind_cro; sim_col_cro ])
+    Window.all
+
+type linearity_result = {
+  kind : Task_spec.kind;
+  combo : Dimension.combo;
+  observations : (float * Params.t) array;
+  calibration : Calibration.t;
+  reference : Stratrec_model.Linear_model.t;
+  reference_within_90 : (Params.axis * bool) list;
+}
+
+let linearity_study platform rng ~kind ~combo ?(deployments = 24) () =
+  if deployments < 3 then invalid_arg "Study.linearity_study: need >= 3 deployments";
+  let tasks = tasks_for kind in
+  let windows = Array.of_list Window.all in
+  let results =
+    List.init deployments (fun i ->
+        let window = windows.(i mod Array.length windows) in
+        let task = List.nth tasks (i mod List.length tasks) in
+        let d = { Campaign.task; combo; window; capacity = 10; guided = true } in
+        Campaign.deploy platform rng d)
+  in
+  let observations = Campaign.observations results in
+  let calibration = Calibration.fit ~observations in
+  let reference = Outcome.true_model kind combo in
+  {
+    kind;
+    combo;
+    observations;
+    calibration;
+    reference;
+    reference_within_90 = Calibration.within_reference ~level:0.9 calibration ~reference;
+  }
+
+type arm_summary = {
+  quality : Stats.summary;
+  cost : Stats.summary;
+  latency : Stats.summary;
+  mean_edits : float;
+}
+
+type effectiveness_result = {
+  kind : Task_spec.kind;
+  guided : arm_summary;
+  unguided : arm_summary;
+  quality_test : Stats.t_test_result;
+  latency_test : Stats.t_test_result;
+  cost_test : Stats.t_test_result;
+  paired_tests : (Params.axis * Stats.t_test_result) list;
+}
+
+let default_recommender _task = seq_ind_cro
+
+let summarize_arm results =
+  let axis f = Array.of_list (List.map f results) in
+  {
+    quality = Stats.summarize (axis (fun r -> r.Campaign.measured.Params.quality));
+    cost = Stats.summarize (axis (fun r -> r.Campaign.measured.Params.cost));
+    latency = Stats.summarize (axis (fun r -> r.Campaign.measured.Params.latency));
+    mean_edits =
+      Collaboration.mean_edits (List.map (fun r -> r.Campaign.session) results);
+  }
+
+let effectiveness_study platform rng ~kind ~recommend ?(tasks = 10) ?(capacity = 7) () =
+  if tasks < 2 then invalid_arg "Study.effectiveness_study: need >= 2 tasks";
+  let samples = tasks_for kind in
+  let windows = Array.of_list Window.all in
+  let deploy_pair i =
+    let task = List.nth samples (i mod List.length samples) in
+    let window = windows.(i mod Array.length windows) in
+    let guided_combo = recommend task in
+    let guided =
+      Campaign.deploy platform rng
+        { Campaign.task; combo = guided_combo; window; capacity; guided = true }
+    in
+    (* The mirror deployment imposes no structure, organization or style:
+       workers share the document simultaneously and collaboratively, with
+       no coordination — a free-for-all SIM-COL-CRO session (§5.1.2). *)
+    let unguided =
+      Campaign.deploy platform rng
+        { Campaign.task; combo = sim_col_cro; window; capacity; guided = false }
+    in
+    (guided, unguided)
+  in
+  let pairs = List.init tasks deploy_pair in
+  let guided_results = List.map fst pairs and unguided_results = List.map snd pairs in
+  let axis_samples results f = Array.of_list (List.map f results) in
+  let test f =
+    Stats.welch_t_test (axis_samples guided_results f) (axis_samples unguided_results f)
+  in
+  let paired axis =
+    let f r = Params.get r.Campaign.measured axis in
+    ( axis,
+      Stats.paired_t_test (axis_samples guided_results f) (axis_samples unguided_results f) )
+  in
+  {
+    kind;
+    guided = summarize_arm guided_results;
+    unguided = summarize_arm unguided_results;
+    quality_test = test (fun r -> r.Campaign.measured.Params.quality);
+    latency_test = test (fun r -> r.Campaign.measured.Params.latency);
+    cost_test = test (fun r -> r.Campaign.measured.Params.cost);
+    paired_tests = List.map paired Params.all_axes;
+  }

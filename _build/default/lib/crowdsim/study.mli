@@ -1,0 +1,90 @@
+(** The real-data experiment pipelines of §5.1, run against the simulator.
+
+    Three studies: (1) availability estimation across deployment windows
+    (Fig. 11), (2) linearity of the deployment parameters in availability
+    (Table 6, Fig. 12), (3) effectiveness of StratRec-guided deployments
+    versus unguided ones (Fig. 13 and the edit-count observation). *)
+
+(** {1 Fig. 11 — worker availability over windows} *)
+
+type availability_row = {
+  window : Window.t;
+  combo : Stratrec_model.Dimension.combo;
+  mean_availability : float;
+  std_error : float;
+}
+
+val availability_study :
+  Platform.t ->
+  Stratrec_util.Rng.t ->
+  kind:Task_spec.kind ->
+  ?capacity:int ->
+  ?replicates:int ->
+  unit ->
+  availability_row list
+(** Deploys HITs for SEQ-IND-CRO and SIM-COL-CRO in each of the three
+    windows ([replicates] times, default 8, capacity default 10) and
+    reports mean availability with standard-error bars. *)
+
+(** {1 Table 6 / Fig. 12 — parameters are linear in availability} *)
+
+type linearity_result = {
+  kind : Task_spec.kind;
+  combo : Stratrec_model.Dimension.combo;
+  observations : (float * Stratrec_model.Params.t) array;
+  calibration : Calibration.t;
+  reference : Stratrec_model.Linear_model.t;  (** ground truth (Table 6) *)
+  reference_within_90 : (Stratrec_model.Params.axis * bool) list;
+}
+
+val linearity_study :
+  Platform.t ->
+  Stratrec_util.Rng.t ->
+  kind:Task_spec.kind ->
+  combo:Stratrec_model.Dimension.combo ->
+  ?deployments:int ->
+  unit ->
+  linearity_result
+(** Deploys across all windows and tasks ([deployments] total, default 24),
+    fits the linear models, and checks the ground-truth coefficients
+    against the 90% confidence intervals — the Table 6 criterion. *)
+
+(** {1 Fig. 13 — StratRec-guided vs unguided deployments} *)
+
+type arm_summary = {
+  quality : Stratrec_util.Stats.summary;
+  cost : Stratrec_util.Stats.summary;
+  latency : Stratrec_util.Stats.summary;
+  mean_edits : float;
+}
+
+type effectiveness_result = {
+  kind : Task_spec.kind;
+  guided : arm_summary;
+  unguided : arm_summary;
+  quality_test : Stratrec_util.Stats.t_test_result;  (** Welch, guided vs unguided *)
+  latency_test : Stratrec_util.Stats.t_test_result;
+  cost_test : Stratrec_util.Stats.t_test_result;
+  paired_tests : (Stratrec_model.Params.axis * Stratrec_util.Stats.t_test_result) list;
+      (** paired t-tests exploiting the mirror design (each task deployed
+          once per arm) — usually sharper than the Welch tests *)
+}
+
+val effectiveness_study :
+  Platform.t ->
+  Stratrec_util.Rng.t ->
+  kind:Task_spec.kind ->
+  recommend:(Task_spec.t -> Stratrec_model.Dimension.combo) ->
+  ?tasks:int ->
+  ?capacity:int ->
+  unit ->
+  effectiveness_result
+(** Mirror deployments (§5.1.2): each of [tasks] (default 10) tasks is
+    deployed once following [recommend] (guided) and once with a random
+    combo and free-for-all collaboration (unguided), with [capacity]
+    workers (default 7). Welch t-tests compare the two arms. *)
+
+val default_recommender : Task_spec.t -> Stratrec_model.Dimension.combo
+(** SEQ-IND-CRO — the strategy the AMT study found best for short text
+    tasks. Callers wanting real recommendations should close over
+    {!Stratrec.Aggregator} instead (see the benches). *)

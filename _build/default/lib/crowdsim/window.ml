@@ -1,0 +1,16 @@
+type t = Weekend | Early_week | Late_week
+
+let all = [ Weekend; Early_week; Late_week ]
+let index = function Weekend -> 0 | Early_week -> 1 | Late_week -> 2
+let label t = Printf.sprintf "Window-%d" (index t + 1)
+
+let span = function
+  | Weekend -> "Friday 12am - Monday 12am"
+  | Early_week -> "Monday - Thursday"
+  | Late_week -> "Thursday - Sunday"
+
+let duration_hours = 72.
+
+let base_activity = function Weekend -> 0.72 | Early_week -> 0.9 | Late_week -> 0.62
+
+let pp ppf t = Format.pp_print_string ppf (label t)

@@ -1,0 +1,27 @@
+(** Deployment windows (§5.1.1).
+
+    The AMT study used three 72-hour windows: the weekend (Friday–Monday),
+    the beginning-to-middle of the week (Monday–Thursday), and the middle
+    of the week to the weekend (Thursday–Sunday). Worker availability was
+    highest in the second window. *)
+
+type t = Weekend | Early_week | Late_week
+
+val all : t list
+val index : t -> int
+(** 0-based, in {!all} order. *)
+
+val label : t -> string
+(** "Window-1" .. "Window-3", as in Fig. 11. *)
+
+val span : t -> string
+(** Human description, e.g. "Friday 12am – Monday 12am". *)
+
+val duration_hours : float
+(** Every window lasts 72 hours. *)
+
+val base_activity : t -> float
+(** Ground-truth probability that a worker is active during the window;
+    Early_week is the highest, matching the paper's observation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+module Rng = Stratrec_util.Rng
+
+type location = US | India | Other
+type education = Bachelor | No_degree
+
+type t = {
+  id : int;
+  approval_rate : float;
+  location : location;
+  education : education;
+  proficiency : (Task_spec.kind * float) list;
+  speed : float;
+  diligence : float;
+  window_affinity : float array;
+}
+
+let generate rng ~id =
+  let location =
+    let u = Rng.float rng 1. in
+    if u < 0.45 then US else if u < 0.8 then India else Other
+  in
+  let education = if Rng.bernoulli rng ~p:0.6 then Bachelor else No_degree in
+  let proficiency =
+    [
+      (Task_spec.Sentence_translation, Rng.uniform rng ~lo:0.3 ~hi:1.);
+      (Task_spec.Text_creation, Rng.uniform rng ~lo:0.3 ~hi:1.);
+    ]
+  in
+  let clamp lo hi v = Float.max lo (Float.min hi v) in
+  {
+    id;
+    approval_rate = Rng.uniform rng ~lo:0.7 ~hi:1.;
+    location;
+    education;
+    proficiency;
+    speed = clamp 0.5 1.5 (Rng.gaussian rng ~mu:1.0 ~sigma:0.15);
+    diligence = Rng.uniform rng ~lo:0.2 ~hi:1.;
+    window_affinity = Array.init 3 (fun _ -> clamp 0.5 1.2 (Rng.gaussian rng ~mu:1.0 ~sigma:0.2));
+  }
+
+let proficiency t kind =
+  match List.find_opt (fun (k, _) -> Task_spec.equal_kind k kind) t.proficiency with
+  | Some (_, p) -> p
+  | None -> 0.3
+
+let meets_recruitment_filters t kind =
+  t.approval_rate > 0.9
+  &&
+  match kind with
+  | Task_spec.Sentence_translation -> ( match t.location with US | India -> true | Other -> false)
+  | Task_spec.Text_creation -> t.location = US && t.education = Bachelor
+  | Task_spec.Custom _ -> true
+
+let passes_qualification rng t kind =
+  (* Pass probability ramps from 0 at proficiency 0.3 to ~0.95 at 1. *)
+  let p = Float.max 0. (Float.min 0.95 ((proficiency t kind -. 0.3) /. 0.7 *. 1.1)) in
+  Rng.bernoulli rng ~p
+
+let active_in rng t window =
+  let p = Window.base_activity window *. t.window_affinity.(Window.index window) in
+  Rng.bernoulli rng ~p:(Float.min 1. p)
+
+let pp ppf t =
+  Format.fprintf ppf "w%d (approval %.2f, %s, %s)" t.id t.approval_rate
+    (match t.location with US -> "US" | India -> "India" | Other -> "other")
+    (match t.education with Bachelor -> "BSc" | No_degree -> "no degree")

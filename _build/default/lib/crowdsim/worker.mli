@@ -1,0 +1,46 @@
+(** Simulated crowd workers.
+
+    Each worker has a profile matching the study's recruitment filters
+    (§5.1.1): HIT approval rate, location, education, and per-task-kind
+    proficiency. A per-window activity modifier models when the worker is
+    on the platform; combined with {!Window.base_activity} it drives the
+    availability estimates of Fig. 11. *)
+
+type location = US | India | Other
+type education = Bachelor | No_degree
+
+type t = {
+  id : int;
+  approval_rate : float;  (** in [\[0, 1\]] *)
+  location : location;
+  education : education;
+  proficiency : (Task_spec.kind * float) list;  (** skill per kind, [\[0,1\]] *)
+  speed : float;  (** relative work speed, ~1.0 *)
+  diligence : float;
+      (** propensity to respect collaboration instructions, [\[0,1\]];
+          low-diligence workers override others' contributions *)
+  window_affinity : float array;  (** activity modifier per window, length 3 *)
+}
+
+val generate : Stratrec_util.Rng.t -> id:int -> t
+(** Random profile: approval ~ U[0.7, 1], ~45% US / ~35% India, 60%
+    bachelor's, proficiencies ~ U[0.3, 1], speed ~ N(1, 0.15) clamped to
+    [\[0.5, 1.5\]]. *)
+
+val proficiency : t -> Task_spec.kind -> float
+(** 0.3 for kinds missing from the profile (everyone can try). *)
+
+val meets_recruitment_filters : t -> Task_spec.kind -> bool
+(** The paper's filters: approval > 90% always; translation requires US or
+    India location; text creation requires a US-based worker with a
+    bachelor's degree. Custom kinds only require the approval filter. *)
+
+val passes_qualification : Stratrec_util.Rng.t -> t -> Task_spec.kind -> bool
+(** Step-1 qualification test: pass probability grows with proficiency;
+    the study kept workers scoring >= 80%. *)
+
+val active_in : Stratrec_util.Rng.t -> t -> Window.t -> bool
+(** Whether the worker shows up during the window: Bernoulli with
+    probability [base_activity window * window_affinity]. *)
+
+val pp : Format.formatter -> t -> unit

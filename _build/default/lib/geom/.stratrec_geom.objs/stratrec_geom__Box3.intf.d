@@ -1,0 +1,1 @@
+lib/geom/box3.mli: Format Point3

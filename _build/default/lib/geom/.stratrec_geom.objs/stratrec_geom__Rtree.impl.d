@@ -1,0 +1,1 @@
+lib/geom/rtree.ml: Array Box3 Float List Option Point3 Result

@@ -1,0 +1,1 @@
+lib/geom/rtree.mli: Box3 Point3

@@ -1,0 +1,1 @@
+lib/geom/skyline.ml: Array List Point3

@@ -1,0 +1,1 @@
+lib/geom/skyline.mli: Point3

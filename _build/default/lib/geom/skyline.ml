@@ -1,0 +1,33 @@
+let dominance_count p entries =
+  List.fold_left (fun acc (q, _) -> if Point3.dominates q p then acc + 1 else acc) 0 entries
+
+let is_skyline_member p entries = dominance_count p entries = 0
+
+let skyline entries =
+  (* Sort lexicographically: a point can only be dominated by points that do
+     not come after it, so a single scan against the running skyline works. *)
+  let sorted = List.sort (fun (p, _) (q, _) -> Point3.compare p q) entries in
+  let survivors =
+    List.fold_left
+      (fun acc (p, v) ->
+        if List.exists (fun (q, _) -> Point3.dominates q p) acc then acc else (p, v) :: acc)
+      [] sorted
+  in
+  List.rev survivors
+
+let k_skyband ~k entries =
+  if k < 1 then invalid_arg "Skyline.k_skyband: k must be >= 1";
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let counts = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let pi = fst arr.(i) in
+    for j = 0 to n - 1 do
+      if i <> j && Point3.dominates (fst arr.(j)) pi then counts.(i) <- counts.(i) + 1
+    done
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if counts.(i) < k then out := arr.(i) :: !out
+  done;
+  !out

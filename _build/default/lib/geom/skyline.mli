@@ -1,0 +1,21 @@
+(** Skyline and k-skyband computation over 3-D points (smaller is better).
+
+    The paper positions ADPaR relative to skyline / k-skyband queries (§6):
+    the skyline is the set of non-dominated strategies, and the k-skyband
+    contains points dominated by fewer than [k] others. We implement both —
+    they serve as a comparison point in the ablation bench and to prune
+    strategy catalogs. *)
+
+val skyline : (Point3.t * 'a) list -> (Point3.t * 'a) list
+(** Entries whose point is not {!Point3.dominates}-dominated by any other
+    entry's point. Order of the result is unspecified. Duplicate points are
+    all retained (they do not dominate each other). *)
+
+val k_skyband : k:int -> (Point3.t * 'a) list -> (Point3.t * 'a) list
+(** Entries dominated by fewer than [k] other entries. [k_skyband ~k:1]
+    equals {!skyline}. @raise Invalid_argument if [k < 1]. *)
+
+val dominance_count : Point3.t -> (Point3.t * 'a) list -> int
+(** Number of entries strictly dominating the given point. *)
+
+val is_skyline_member : Point3.t -> (Point3.t * 'a) list -> bool

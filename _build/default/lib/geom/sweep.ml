@@ -1,0 +1,55 @@
+type 'a t = { keys : float array; payloads : 'a array }
+
+let of_events events =
+  let arr = Array.of_list events in
+  (* Stable sort keeps insertion order among equal keys, matching the
+     paper's Table 4 where ties keep strategy order. *)
+  let indexed = Array.mapi (fun i e -> (i, e)) arr in
+  Array.sort
+    (fun (i, (ka, _)) (j, (kb, _)) ->
+      let c = Float.compare ka kb in
+      if c <> 0 then c else compare i j)
+    indexed;
+  {
+    keys = Array.map (fun (_, (k, _)) -> k) indexed;
+    payloads = Array.map (fun (_, (_, p)) -> p) indexed;
+  }
+
+let length t = Array.length t.keys
+
+let check t i =
+  if i < 0 || i >= length t then invalid_arg (Printf.sprintf "Sweep: index %d out of bounds" i)
+
+let key t i =
+  check t i;
+  t.keys.(i)
+
+let payload t i =
+  check t i;
+  t.payloads.(i)
+
+let events_up_to t bound =
+  let rec go i acc =
+    if i < 0 then acc
+    else if t.keys.(i) <= bound then go (i - 1) ((t.keys.(i), t.payloads.(i)) :: acc)
+    else go (i - 1) acc
+  in
+  go (length t - 1) []
+
+module Cursor = struct
+  type 'a cursor = { sweep : 'a t; mutable position : int }
+
+  let start sweep = { sweep; position = 0 }
+  let position c = c.position
+  let finished c = c.position >= length c.sweep
+
+  let peek c =
+    if finished c then None else Some (c.sweep.keys.(c.position), c.sweep.payloads.(c.position))
+
+  let advance c =
+    match peek c with
+    | None -> None
+    | Some _ as event ->
+        c.position <- c.position + 1;
+        event
+end

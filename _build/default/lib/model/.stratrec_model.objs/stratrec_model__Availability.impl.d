@@ -1,0 +1,1 @@
+lib/model/availability.ml: Array Float Format List Printf Stratrec_util

@@ -1,0 +1,1 @@
+lib/model/availability.mli: Format Stratrec_util

@@ -1,0 +1,1 @@
+lib/model/codec.ml: Array Availability Deployment Dimension Fun Linear_model List Params Printf Result Strategy Stratrec_util

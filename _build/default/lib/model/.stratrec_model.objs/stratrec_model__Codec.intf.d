@@ -1,0 +1,1 @@
+lib/model/codec.mli: Availability Deployment Linear_model Params Strategy Stratrec_util

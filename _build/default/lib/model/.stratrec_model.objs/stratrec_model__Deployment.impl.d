@@ -1,0 +1,1 @@
+lib/model/deployment.ml: Array Format List Params Printf Strategy Stratrec_geom

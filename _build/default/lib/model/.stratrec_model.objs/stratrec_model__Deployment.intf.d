@@ -1,0 +1,1 @@
+lib/model/deployment.mli: Format Params Strategy Stratrec_geom

@@ -1,0 +1,1 @@
+lib/model/dimension.mli: Format

@@ -1,0 +1,1 @@
+lib/model/forecast.ml: Array Availability Float Format List Option Printf

@@ -1,0 +1,1 @@
+lib/model/forecast.mli: Availability Format

@@ -1,0 +1,1 @@
+lib/model/linear_model.ml: Array Float Format List Params Stratrec_util

@@ -1,0 +1,1 @@
+lib/model/linear_model.mli: Format Params Stratrec_util

@@ -1,0 +1,1 @@
+lib/model/paper_example.ml: Array Availability Deployment Dimension Linear_model List Params Printf Strategy

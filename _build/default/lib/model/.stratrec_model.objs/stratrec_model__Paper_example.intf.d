@@ -1,0 +1,1 @@
+lib/model/paper_example.mli: Availability Deployment Strategy

@@ -1,0 +1,1 @@
+lib/model/params.ml: Float Format Point3 Printf Stratrec_geom

@@ -1,0 +1,1 @@
+lib/model/strategy.ml: Dimension Float Format Linear_model List Params String

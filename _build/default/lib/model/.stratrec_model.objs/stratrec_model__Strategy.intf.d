@@ -1,0 +1,1 @@
+lib/model/strategy.mli: Dimension Format Linear_model Params Stratrec_geom

@@ -1,0 +1,1 @@
+lib/model/workforce.ml: Array Deployment Format Linear_model List Seq Strategy Stratrec_util

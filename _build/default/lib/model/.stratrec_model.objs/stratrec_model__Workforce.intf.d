@@ -1,0 +1,1 @@
+lib/model/workforce.mli: Deployment Format Strategy

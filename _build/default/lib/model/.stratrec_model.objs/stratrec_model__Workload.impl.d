@@ -1,0 +1,1 @@
+lib/model/workload.ml: Array Deployment Dimension Float Linear_model List Params Printf Strategy Stratrec_util

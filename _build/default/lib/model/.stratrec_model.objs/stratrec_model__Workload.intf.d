@@ -1,0 +1,1 @@
+lib/model/workload.mli: Deployment Strategy Stratrec_util

@@ -1,0 +1,42 @@
+(** JSON codecs for the data model.
+
+    Catalogs and request batches are exchanged as JSON documents by the
+    CLI (and by anything integrating StratRec into a platform). Decoding
+    is total and validating: a malformed document yields [Error] with a
+    path-qualified message, never an exception. *)
+
+module Json = Stratrec_util.Json
+
+val params_to_json : Params.t -> Json.t
+val params_of_json : Json.t -> (Params.t, string) result
+
+val coeffs_to_json : Linear_model.coeffs -> Json.t
+val coeffs_of_json : Json.t -> (Linear_model.coeffs, string) result
+
+val model_to_json : Linear_model.t -> Json.t
+val model_of_json : Json.t -> (Linear_model.t, string) result
+
+val strategy_to_json : Strategy.t -> Json.t
+val strategy_of_json : Json.t -> (Strategy.t, string) result
+
+val deployment_to_json : Deployment.t -> Json.t
+val deployment_of_json : Json.t -> (Deployment.t, string) result
+
+val availability_to_json : Availability.t -> Json.t
+val availability_of_json : Json.t -> (Availability.t, string) result
+
+val catalog_to_json : Strategy.t array -> Json.t
+val catalog_of_json : Json.t -> (Strategy.t array, string) result
+(** An object [{"strategies": [...]}]. *)
+
+val requests_to_json : Deployment.t array -> Json.t
+val requests_of_json : Json.t -> (Deployment.t array, string) result
+(** An object [{"requests": [...]}]. *)
+
+(** {1 File helpers} *)
+
+val save : path:string -> Json.t -> unit
+(** Pretty-printed, trailing newline. @raise Sys_error on IO failure. *)
+
+val load : path:string -> (Json.t, string) result
+(** Reads and parses; IO failures are reported as [Error]. *)

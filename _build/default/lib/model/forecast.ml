@@ -1,0 +1,92 @@
+type method_ =
+  | Naive
+  | Moving_average of int
+  | Exponential of float
+  | Seasonal_naive of int
+
+let validate = function
+  | Naive -> Ok ()
+  | Moving_average n when n >= 1 -> Ok ()
+  | Moving_average n -> Error (Printf.sprintf "moving average window %d must be >= 1" n)
+  | Exponential a when a > 0. && a <= 1. -> Ok ()
+  | Exponential a -> Error (Printf.sprintf "smoothing factor %g outside (0, 1]" a)
+  | Seasonal_naive p when p >= 1 -> Ok ()
+  | Seasonal_naive p -> Error (Printf.sprintf "seasonal period %d must be >= 1" p)
+
+let validate_exn m =
+  match validate m with Ok () -> () | Error e -> invalid_arg ("Forecast: " ^ e)
+
+let clamp01 v = Float.max 0. (Float.min 1. v)
+
+let forecast m history =
+  validate_exn m;
+  let n = Array.length history in
+  let raw =
+    match m with
+    | Naive -> if n = 0 then None else Some history.(n - 1)
+    | Moving_average window ->
+        if n = 0 then None
+        else begin
+          let used = min window n in
+          let total = ref 0. in
+          for i = n - used to n - 1 do
+            total := !total +. history.(i)
+          done;
+          Some (!total /. float_of_int used)
+        end
+    | Exponential factor ->
+        if n = 0 then None
+        else begin
+          let level = ref history.(0) in
+          for i = 1 to n - 1 do
+            level := (factor *. history.(i)) +. ((1. -. factor) *. !level)
+          done;
+          Some !level
+        end
+    | Seasonal_naive period -> if n < period then None else Some history.(n - period)
+  in
+  Option.map clamp01 raw
+
+let backtest m history =
+  validate_exn m;
+  let n = Array.length history in
+  let errors = ref [] in
+  for upto = 1 to n - 1 do
+    let prefix = Array.sub history 0 upto in
+    match forecast m prefix with
+    | Some predicted -> errors := Float.abs (predicted -. history.(upto)) :: !errors
+    | None -> ()
+  done;
+  match !errors with
+  | [] -> None
+  | errors -> Some (List.fold_left ( +. ) 0. errors /. float_of_int (List.length errors))
+
+let default_candidates =
+  [
+    Naive;
+    Moving_average 3;
+    Moving_average 5;
+    Exponential 0.3;
+    Exponential 0.6;
+    Seasonal_naive 3;
+  ]
+
+let best_method ?(candidates = default_candidates) history =
+  List.fold_left
+    (fun best candidate ->
+      match backtest candidate history with
+      | None -> best
+      | Some error -> (
+          match best with
+          | Some (_, best_error) when best_error <= error -> best
+          | _ -> Some (candidate, error)))
+    None candidates
+  |> Option.map fst
+
+let to_availability value = Availability.certain (clamp01 value)
+
+let pp_method ppf = function
+  | Naive -> Format.pp_print_string ppf "naive"
+  | Moving_average n -> Format.fprintf ppf "moving-average(%d)" n
+  | Exponential a -> Format.fprintf ppf "exponential(%g)" a
+  | Seasonal_naive p -> Format.fprintf ppf "seasonal-naive(%d)" p

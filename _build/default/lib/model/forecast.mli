@@ -1,0 +1,42 @@
+(** Worker-availability forecasting.
+
+    The paper treats availability estimation as an orthogonal problem and
+    works with the expectation of a pdf (§2.1). This module provides the
+    estimation layer a deployed StratRec needs: one-step-ahead forecasts of
+    the availability of the next deployment window from the history of
+    observed windows. Deployment windows repeat with a weekly period of
+    three (§5.1.1), so a seasonal method is included alongside the
+    standard smoothers, and a back-test picks the best method for a given
+    history. *)
+
+type method_ =
+  | Naive  (** repeat the last observation *)
+  | Moving_average of int  (** mean of the last [n] observations *)
+  | Exponential of float  (** simple exponential smoothing, factor in (0, 1] *)
+  | Seasonal_naive of int  (** repeat the observation one period ago *)
+
+val validate : method_ -> (unit, string) result
+(** Parameter sanity: positive window/period, smoothing factor in (0,1]. *)
+
+val forecast : method_ -> float array -> float option
+(** One-step-ahead forecast from a time-ordered history (oldest first),
+    clamped to [\[0, 1\]]. [None] when the history is too short for the
+    method (empty, or shorter than the seasonal period).
+    @raise Invalid_argument when {!validate} fails. *)
+
+val backtest : method_ -> float array -> float option
+(** Mean absolute one-step-ahead error over the history: for each prefix
+    that the method can forecast from, compare against the next actual
+    observation. [None] when no prefix is long enough. *)
+
+val best_method : ?candidates:method_ list -> float array -> method_ option
+(** The candidate with the smallest back-test error (ties: first listed).
+    Default candidates: naive, 3- and 5-window moving averages,
+    exponential 0.3/0.6, seasonal period 3. [None] when the history
+    supports no candidate. *)
+
+val to_availability : float -> Availability.t
+(** Wrap a point forecast as a degenerate availability pdf for the
+    Aggregator. Clamps to [\[0, 1\]]. *)
+
+val pp_method : Format.formatter -> method_ -> unit

@@ -1,0 +1,106 @@
+type coeffs = { alpha : float; beta : float }
+type t = { quality : coeffs; cost : coeffs; latency : coeffs }
+
+type axis_constraint =
+  | Lower_bound of float
+  | Upper_bound of float
+  | Always
+  | Never
+
+let coeffs t = function
+  | Params.Quality -> t.quality
+  | Params.Cost -> t.cost
+  | Params.Latency -> t.latency
+
+let response c w = (c.alpha *. w) +. c.beta
+
+let clamp01 v = Float.max 0. (Float.min 1. v)
+
+let estimate t ~availability =
+  Params.make_unchecked
+    ~quality:(clamp01 (response t.quality availability))
+    ~cost:(clamp01 (response t.cost availability))
+    ~latency:(clamp01 (response t.latency availability))
+
+let solve c ~target =
+  if c.alpha = 0. then if c.beta = target then Some 0. else None
+  else Some ((target -. c.beta) /. c.alpha)
+
+let axis_constraint t axis ~target =
+  let c = coeffs t axis in
+  let needs_at_least = match axis with Params.Quality -> true | Params.Cost | Params.Latency -> false in
+  if c.alpha = 0. then begin
+    let met = if needs_at_least then c.beta >= target else c.beta <= target in
+    if met then Always else Never
+  end
+  else begin
+    let w = (target -. c.beta) /. c.alpha in
+    (* response >= target with alpha > 0, or response <= target with
+       alpha < 0, both demand more workforce; the other two cases cap it. *)
+    let lower = if needs_at_least then c.alpha > 0. else c.alpha < 0. in
+    if lower then Lower_bound w else Upper_bound w
+  end
+
+let workforce_requirement t ~request =
+  let fold (lower, upper) axis =
+    match axis_constraint t axis ~target:(Params.get request axis) with
+    | Always -> Some (lower, upper)
+    | Never -> None
+    | Lower_bound w -> Some (Float.max lower w, upper)
+    | Upper_bound w -> Some (lower, Float.min upper w)
+  in
+  let rec go acc = function
+    | [] -> Some acc
+    | axis :: rest -> ( match fold acc axis with None -> None | Some acc -> go acc rest)
+  in
+  match go (0., 1.) Params.all_axes with
+  | None -> None
+  | Some (lower, upper) ->
+      (* Equality boundaries (a cap meeting a lower bound) are legitimate
+         and common in calibrated models; tolerate float drift there. *)
+      if lower <= upper +. 1e-9 then Some (Float.min lower upper) else None
+
+let workforce_requirement_paper t ~request =
+  let rec max_requirement acc = function
+    | [] -> Some acc
+    | axis :: rest -> (
+        match solve (coeffs t axis) ~target:(Params.get request axis) with
+        | None -> None
+        | Some w ->
+            let w = Float.max 0. w in
+            if w > 1. then None else max_requirement (Float.max acc w) rest)
+  in
+  max_requirement 0. Params.all_axes
+
+let fit_detailed ~observations =
+  let xs = Array.map fst observations in
+  let axis_fit axis =
+    let ys = Array.map (fun (_, p) -> Params.get p axis) observations in
+    (axis, Stratrec_util.Regression.fit ~xs ~ys)
+  in
+  let fits = List.map axis_fit Params.all_axes in
+  let coeffs_of axis =
+    let fit = List.assoc axis fits in
+    { alpha = fit.Stratrec_util.Regression.slope; beta = fit.Stratrec_util.Regression.intercept }
+  in
+  ( {
+      quality = coeffs_of Params.Quality;
+      cost = coeffs_of Params.Cost;
+      latency = coeffs_of Params.Latency;
+    },
+    fits )
+
+let fit ~observations = fst (fit_detailed ~observations)
+
+let synthetic rng =
+  let axis () =
+    let alpha = Stratrec_util.Rng.uniform rng ~lo:0.5 ~hi:1. in
+    { alpha; beta = 1. -. alpha }
+  in
+  { quality = axis (); cost = axis (); latency = axis () }
+
+let pp_coeffs ppf c = Format.fprintf ppf "%.3f w %+.3f" c.alpha c.beta
+
+let pp ppf t =
+  Format.fprintf ppf "{q: %a; c: %a; l: %a}" pp_coeffs t.quality pp_coeffs t.cost pp_coeffs
+    t.latency

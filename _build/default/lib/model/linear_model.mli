@@ -1,0 +1,74 @@
+(** The paper's linear availability-response model (Eq. 4).
+
+    Each (strategy, deployment-type, parameter) combination has coefficients
+    (alpha, beta) such that the parameter achieved when deploying with
+    worker availability [w] is [alpha * w + beta]. Quality and cost increase
+    with availability; latency decreases (§5.1.1, Table 6). Inverting the
+    model at a requested threshold yields the workforce requirement of §3.2.
+
+    Two inversion rules are provided. The paper's §3.2 rule solves every
+    axis at equality and takes the max; that is well-defined when all three
+    axes behave as lower bounds on workforce, which holds in the synthetic
+    setup of §5.2.2 (every axis gets [alpha > 0], [beta = 1 - alpha]). With
+    realistic signs, cost is an {e upper} bound that grows with workforce,
+    so meeting a cost budget caps the workforce instead of requiring it; the
+    direction-aware rule {!workforce_requirement} accounts for that: it
+    takes the max of the lower-bounding axes and checks it against every
+    cap. The two coincide whenever no axis produces a cap. *)
+
+type coeffs = { alpha : float; beta : float }
+
+type t = { quality : coeffs; cost : coeffs; latency : coeffs }
+
+(** How a threshold on an axis constrains the workforce. *)
+type axis_constraint =
+  | Lower_bound of float  (** availability must be at least this *)
+  | Upper_bound of float  (** availability must be at most this *)
+  | Always  (** constant model already meeting the threshold *)
+  | Never  (** constant model that can never meet it *)
+
+val coeffs : t -> Params.axis -> coeffs
+
+val response : coeffs -> float -> float
+(** [response c w = c.alpha *. w +. c.beta]. *)
+
+val estimate : t -> availability:float -> Params.t
+(** Parameter triple achieved at the given availability, each component
+    clamped to [\[0, 1\]]. *)
+
+val solve : coeffs -> target:float -> float option
+(** The availability [w] with [response c w = target]: [Some ((target -
+    beta) / alpha)], or [None] when [alpha = 0] and [beta <> target], or
+    [Some 0.] when the model is constant at the target. The result is NOT
+    clamped. *)
+
+val axis_constraint : t -> Params.axis -> target:float -> axis_constraint
+(** Direction-aware constraint: quality must reach at least [target]; cost
+    and latency must stay at or below it. The sign of [alpha] decides
+    whether that bounds workforce from below or above. *)
+
+val workforce_requirement : t -> request:Params.t -> float option
+(** Direction-aware minimum availability meeting all three thresholds:
+    max of the lower bounds (at least 0), provided it does not exceed 1 or
+    any upper bound; [None] when infeasible. *)
+
+val workforce_requirement_paper : t -> request:Params.t -> float option
+(** The literal §3.2 rule: solve each axis at equality, clamp negatives to
+    0, take the max; [None] if any axis is unsolvable or its solution
+    exceeds 1. Matches the synthetic experiments of §5.2.2. *)
+
+val fit : observations:(float * Params.t) array -> t
+(** Least-squares fit of each parameter against availability. Requires at
+    least 2 observations with non-constant availabilities. *)
+
+val fit_detailed :
+  observations:(float * Params.t) array ->
+  t * (Params.axis * Stratrec_util.Regression.fit) list
+(** Like {!fit} but also returns the per-axis regression diagnostics used by
+    the Table 6 reproduction. *)
+
+val synthetic : Stratrec_util.Rng.t -> t
+(** The §5.2.2 generator: per axis, [alpha ~ U\[0.5, 1\]] and
+    [beta = 1 - alpha], so every workforce requirement lies in [\[0, 1\]]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+let k = 3
+
+(* An illustrative availability-response model consistent with Table 1:
+   quality/cost rise and latency falls with availability, and evaluating at
+   the example's expected availability (0.8) returns the Table 1 triple. *)
+let model_for (params : Params.t) =
+  let availability = 0.8 in
+  let open Linear_model in
+  {
+    quality = { alpha = 0.25; beta = params.Params.quality -. (0.25 *. availability) };
+    cost = { alpha = 0.25; beta = params.Params.cost -. (0.25 *. availability) };
+    latency = { alpha = -0.25; beta = params.Params.latency +. (0.25 *. availability) };
+  }
+
+let strategy_specs =
+  [
+    (1, "SIM-COL-CRO", (0.5, 0.25, 0.28));
+    (2, "SEQ-IND-CRO", (0.75, 0.33, 0.28));
+    (3, "SIM-IND-CRO", (0.8, 0.5, 0.14));
+    (4, "SIM-IND-HYB", (0.88, 0.58, 0.14));
+  ]
+
+let strategies () =
+  strategy_specs
+  |> List.map (fun (id, label, (quality, cost, latency)) ->
+         let params = Params.make ~quality ~cost ~latency in
+         let combo =
+           match Dimension.combo_of_label label with
+           | Some c -> c
+           | None -> assert false (* labels above are well-formed *)
+         in
+         Strategy.make ~id ~label:(Printf.sprintf "s%d (%s)" id label) ~stages:[ combo ]
+           ~params ~model:(model_for params) ())
+  |> Array.of_list
+
+let request_specs = [ (1, (0.4, 0.17, 0.28)); (2, (0.8, 0.2, 0.28)); (3, (0.7, 0.83, 0.28)) ]
+
+let requests () =
+  request_specs
+  |> List.map (fun (id, (quality, cost, latency)) ->
+         Deployment.make ~id ~params:(Params.make ~quality ~cost ~latency) ~k ())
+  |> Array.of_list
+
+let availability () = Availability.of_outcomes [ (0.7, 0.5); (0.9, 0.5) ]
+
+let strategy i =
+  if i < 1 || i > 4 then invalid_arg "Paper_example.strategy: index in 1..4";
+  (strategies ()).(i - 1)
+
+let request i =
+  if i < 1 || i > 3 then invalid_arg "Paper_example.request: index in 1..3";
+  (requests ()).(i - 1)

@@ -1,0 +1,28 @@
+(** The paper's running example (Example 1, Table 1, Figure 2).
+
+    Three sentence-translation deployment requests and four strategies
+    (SIM-COL-CRO, SEQ-IND-CRO, SIM-IND-CRO, SIM-IND-HYB — named s1..s4 in
+    §2.2), with normalized parameters from Table 1 and k = 3. Expected
+    outcomes (worked through in the paper): d3 is satisfiable with
+    {s2, s3, s4}; d1's closest alternative is (0.4, 0.5, 0.28) admitting
+    {s1, s2, s3}. Worker availability is 0.8 in expectation (50% chance of
+    700 and 50% chance of 900 out of 1000 suitable workers). *)
+
+val k : int
+
+val strategies : unit -> Strategy.t array
+(** s1..s4 with ids 1..4 and Table 1 parameters. The attached linear models
+    are illustrative (alpha = 1, beta tuned so the Table 1 parameters arise
+    at availability 0.8). *)
+
+val requests : unit -> Deployment.t array
+(** d1..d3 with ids 1..3 and Table 1 parameters, each with [k = 3]. *)
+
+val availability : unit -> Availability.t
+(** 50%@0.7, 50%@0.9 — expectation 0.8 (§2.2). *)
+
+val strategy : int -> Strategy.t
+(** [strategy i] is s[i], for i in 1..4. @raise Invalid_argument otherwise. *)
+
+val request : int -> Deployment.t
+(** [request i] is d[i], for i in 1..3. @raise Invalid_argument otherwise. *)

@@ -1,0 +1,49 @@
+(** Deployment-parameter triples (quality, cost, latency), normalized to
+    [\[0, 1\]] as in the paper's Table 1.
+
+    For a request the triple means: quality is a {e lower} bound, cost and
+    latency are {e upper} bounds. For a strategy it is the estimated crowd
+    contribution. §4.1 unifies the directions by inverting quality to
+    [1 - quality], turning every strategy into a point in a smaller-is-better
+    3-D space; {!to_point} / {!of_point} perform that transform. *)
+
+type t = { quality : float; cost : float; latency : float }
+
+type axis = Quality | Cost | Latency
+
+val all_axes : axis list
+val axis_label : axis -> string
+val axis_index : axis -> int
+(** Quality -> 0, Cost -> 1, Latency -> 2, matching {!Stratrec_geom.Point3}
+    coordinates. *)
+
+val make : quality:float -> cost:float -> latency:float -> t
+(** @raise Invalid_argument if any component is outside [\[0, 1\]]. *)
+
+val make_unchecked : quality:float -> cost:float -> latency:float -> t
+(** No range validation; for intermediate computation. *)
+
+val get : t -> axis -> float
+val set : t -> axis -> float -> t
+
+val satisfies : strategy:t -> request:t -> bool
+(** [s.quality >= d.quality && s.cost <= d.cost && s.latency <= d.latency]
+    (§2.1). *)
+
+val to_point : t -> Stratrec_geom.Point3.t
+(** Normalized smaller-is-better point [(1 - quality, cost, latency)]. *)
+
+val of_point : Stratrec_geom.Point3.t -> t
+(** Inverse of {!to_point}. *)
+
+val l2_distance : t -> t -> float
+(** Euclidean distance in the original (uninverted) space — identical to
+    the distance in the inverted space, and the ADPaR objective (Eq. 3). *)
+
+val relaxation : request:t -> strategy:t -> axis -> float
+(** How much the request must move on [axis] to admit the strategy
+    ([max 0 _] — 0 when the strategy already satisfies that axis), §4.1
+    step 1. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

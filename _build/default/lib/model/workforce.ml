@@ -1,0 +1,118 @@
+type aggregation = Sum_case | Max_case
+type cell = Infeasible | Feasible of float
+
+type matrix = {
+  requests : Deployment.t array;
+  strategies : Strategy.t array;
+  cells : cell array array;
+}
+
+let compute_with ~requirement ~requests ~strategies =
+  let cells =
+    Array.map
+      (fun d ->
+        Array.map
+          (fun s ->
+            match requirement d s with
+            | Some w -> Feasible w
+            | None -> Infeasible)
+          strategies)
+      requests
+  in
+  { requests; strategies; cells }
+
+let compute ?(rule = `Direction_aware) ~requests ~strategies () =
+  let invert =
+    match rule with
+    | `Direction_aware -> Linear_model.workforce_requirement
+    | `Paper_equality -> Linear_model.workforce_requirement_paper
+  in
+  let requirement d s =
+    if Deployment.satisfied_by d s then invert s.Strategy.model ~request:d.Deployment.params
+    else None
+  in
+  compute_with ~requirement ~requests ~strategies
+
+type request_requirement = { workforce : float; chosen : int list }
+
+let request_requirement t aggregation ~k i =
+  if k < 1 then invalid_arg "Workforce.request_requirement: k must be >= 1";
+  let row = t.cells.(i) in
+  (* k smallest feasible requirements with their strategy indices. *)
+  let feasible =
+    Array.to_seq row
+    |> Seq.mapi (fun j cell -> (j, cell))
+    |> Seq.filter_map (function j, Feasible w -> Some (w, j) | _, Infeasible -> None)
+    |> Array.of_seq
+  in
+  if Array.length feasible < k then None
+  else begin
+    let smallest = Stratrec_util.Kselect.k_smallest ~cmp:compare k feasible in
+    let chosen = List.map snd smallest in
+    let workforce =
+      match aggregation with
+      | Sum_case -> List.fold_left (fun acc (w, _) -> acc +. w) 0. smallest
+      | Max_case -> (
+          match List.rev smallest with
+          | (w, _) :: _ -> w
+          | [] -> assert false (* k >= 1 and length >= k *))
+    in
+    Some { workforce; chosen }
+  end
+
+let vector t aggregation ~k =
+  Array.init (Array.length t.requests) (request_requirement t aggregation ~k)
+
+let streaming_requirement ?(rule = `Direction_aware) aggregation ~k ~strategies d =
+  if k < 1 then invalid_arg "Workforce.streaming_requirement: k must be >= 1";
+  let invert =
+    match rule with
+    | `Direction_aware -> Linear_model.workforce_requirement
+    | `Paper_equality -> Linear_model.workforce_requirement_paper
+  in
+  (* Track the k smallest (requirement, strategy index) pairs in one pass;
+     ties break by catalog index like the matrix-based path. *)
+  let tracker = Stratrec_util.Kselect.Tracker.create ~cmp:compare k in
+  let feasible = ref 0 in
+  Array.iteri
+    (fun j s ->
+      if Deployment.satisfied_by d s then
+        match invert s.Strategy.model ~request:d.Deployment.params with
+        | Some w ->
+            incr feasible;
+            Stratrec_util.Kselect.Tracker.add tracker (w, j)
+        | None -> ())
+    strategies;
+  if !feasible < k then None
+  else begin
+    let smallest = Stratrec_util.Kselect.Tracker.contents tracker in
+    let chosen = List.map snd smallest in
+    let workforce =
+      match aggregation with
+      | Sum_case -> List.fold_left (fun acc (w, _) -> acc +. w) 0. smallest
+      | Max_case -> (
+          match List.rev smallest with
+          | (w, _) :: _ -> w
+          | [] -> assert false (* feasible >= k >= 1 *))
+    in
+    Some { workforce; chosen }
+  end
+
+let feasible_count t i =
+  Array.fold_left
+    (fun acc -> function Feasible _ -> acc + 1 | Infeasible -> acc)
+    0 t.cells.(i)
+
+let pp_matrix ppf t =
+  Array.iteri
+    (fun i row ->
+      Format.fprintf ppf "%s: " t.requests.(i).Deployment.label;
+      Array.iteri
+        (fun j cell ->
+          if j > 0 then Format.pp_print_string ppf " ";
+          match cell with
+          | Infeasible -> Format.pp_print_string ppf "--"
+          | Feasible w -> Format.fprintf ppf "%.3f" w)
+        row;
+      Format.pp_print_newline ppf ())
+    t.cells

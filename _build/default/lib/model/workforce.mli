@@ -1,0 +1,73 @@
+(** Workforce-requirement computation (§3.2).
+
+    Step 1 builds the m x |S| matrix W where cell (i, j) is the minimum
+    workforce needed to deploy request i with strategy j (and whether the
+    strategy's estimated parameters satisfy the request at all). Step 2
+    aggregates each row into the request's workforce requirement under the
+    Sum-case (deploy all k recommended strategies) or Max-case (deploy only
+    one of them), using k-smallest selection. *)
+
+type aggregation = Sum_case | Max_case
+
+type cell =
+  | Infeasible  (** strategy cannot meet the thresholds, or does not satisfy them *)
+  | Feasible of float  (** minimum workforce in [\[0, 1\]] *)
+
+type matrix = {
+  requests : Deployment.t array;
+  strategies : Strategy.t array;
+  cells : cell array array;  (** [cells.(i).(j)] for request i, strategy j *)
+}
+
+val compute :
+  ?rule:[ `Direction_aware | `Paper_equality ] ->
+  requests:Deployment.t array ->
+  strategies:Strategy.t array ->
+  unit ->
+  matrix
+(** A cell is [Feasible w] iff the strategy's estimated parameters satisfy
+    the request's thresholds {e and} the model inversion yields a feasible
+    requirement (§3.2 step 1). The [rule] selects between
+    {!Linear_model.workforce_requirement} (default) and the paper-literal
+    {!Linear_model.workforce_requirement_paper} used by the synthetic
+    experiments. O(m |S|). *)
+
+val compute_with :
+  requirement:(Deployment.t -> Strategy.t -> float option) ->
+  requests:Deployment.t array ->
+  strategies:Strategy.t array ->
+  matrix
+(** Generalized constructor with a custom per-cell rule (used by tests and
+    by experiments that bypass the satisfaction check). *)
+
+type request_requirement = {
+  workforce : float;  (** aggregated workforce \vec{w}_i *)
+  chosen : int list;  (** indices of the k cheapest feasible strategies, ascending requirement *)
+}
+
+val request_requirement :
+  matrix -> aggregation -> k:int -> int -> request_requirement option
+(** Row aggregation (§3.2 step 2): the [k] smallest feasible cells of row
+    [i]; Sum-case sums them, Max-case takes the k-th smallest. [None] when
+    fewer than [k] cells are feasible. O(|S| log k). *)
+
+val vector : matrix -> aggregation -> k:int -> request_requirement option array
+(** {!request_requirement} for every row — the paper's vector \vec{W}. *)
+
+val streaming_requirement :
+  ?rule:[ `Direction_aware | `Paper_equality ] ->
+  aggregation ->
+  k:int ->
+  strategies:Strategy.t array ->
+  Deployment.t ->
+  request_requirement option
+(** Single-request aggregation without materializing a matrix row: one
+    pass over the catalog with an incremental k-smallest tracker, O(k)
+    memory. Agrees exactly with {!compute} + {!request_requirement}; use
+    it when m x |S| is too large to hold (e.g. the Fig. 14 sweep at
+    m = |S| = 10000). *)
+
+val feasible_count : matrix -> int -> int
+(** Number of feasible cells in row [i]. *)
+
+val pp_matrix : Format.formatter -> matrix -> unit

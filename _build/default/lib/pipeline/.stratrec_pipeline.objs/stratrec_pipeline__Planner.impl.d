@@ -1,0 +1,1 @@
+lib/pipeline/planner.ml: Array Format List Option Stratrec Stratrec_crowdsim Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+lib/pipeline/planner.mli: Format Stratrec Stratrec_crowdsim Stratrec_model Stratrec_util

@@ -1,0 +1,141 @@
+module Model = Stratrec_model
+module Sim = Stratrec_crowdsim
+module Rng = Stratrec_util.Rng
+module Forecast = Model.Forecast
+
+type config = {
+  aggregator : Stratrec.Aggregator.config;
+  forecast_method : Forecast.method_ option;
+  capacity : int;
+  probe_replicates : int;
+  ledger : Sim.Ledger.t option;
+}
+
+let default_config =
+  {
+    aggregator = Stratrec.Aggregator.default_config;
+    forecast_method = None;
+    capacity = 10;
+    probe_replicates = 3;
+    ledger = None;
+  }
+
+type window_report = {
+  window : Sim.Window.t;
+  forecast : float;
+  method_used : Forecast.method_;
+  observed : float;
+  aggregate : Stratrec.Aggregator.report;
+  deployed : (Model.Deployment.t * Model.Strategy.t * Model.Params.t) list;
+}
+
+type t = {
+  config : config;
+  platform : Sim.Platform.t;
+  rng : Rng.t;
+  kind : Sim.Task_spec.kind;
+  strategies : Model.Strategy.t array;
+  mutable history : float list;  (* newest first *)
+  mutable clock : int;
+}
+
+let windows = Array.of_list Sim.Window.all
+
+let current_window t = windows.(t.clock mod Array.length windows)
+
+let head_task = function
+  | task :: _ -> task
+  | [] -> assert false (* the sample lists are static and non-empty *)
+
+let probe_task t =
+  match t.kind with
+  | Sim.Task_spec.Sentence_translation -> head_task Sim.Task_spec.translation_samples
+  | Sim.Task_spec.Text_creation -> head_task Sim.Task_spec.creation_samples
+  | Sim.Task_spec.Custom _ as kind -> Sim.Task_spec.make ~kind ~title:"probe" ()
+
+let observe_probe t window =
+  let combo = List.hd Model.Dimension.all_combos in
+  let samples =
+    List.init t.config.probe_replicates (fun _ ->
+        (Sim.Campaign.deploy ?ledger:t.config.ledger t.platform t.rng
+           { Sim.Campaign.task = probe_task t; combo; window; capacity = t.config.capacity;
+             guided = true })
+          .Sim.Campaign.availability)
+  in
+  List.fold_left ( +. ) 0. samples /. float_of_int (List.length samples)
+
+let advance t observation =
+  t.history <- observation :: t.history;
+  t.clock <- t.clock + 1
+
+let create ?(config = default_config) ~platform ~rng ~kind ~strategies ~warmup_windows () =
+  if warmup_windows < 1 then invalid_arg "Planner.create: warmup_windows must be >= 1";
+  let t = { config; platform; rng; kind; strategies; history = []; clock = 0 } in
+  for _ = 1 to warmup_windows do
+    advance t (observe_probe t (current_window t))
+  done;
+  t
+
+let history t = Array.of_list (List.rev t.history)
+let windows_elapsed t = t.clock
+
+let pick_forecast t =
+  let hist = history t in
+  let method_used =
+    match t.config.forecast_method with
+    | Some m -> m
+    | None -> Option.value (Forecast.best_method hist) ~default:Forecast.Naive
+  in
+  let value =
+    match Forecast.forecast method_used hist with
+    | Some v -> v
+    | None -> Option.value (Forecast.forecast Forecast.Naive hist) ~default:0.5
+  in
+  (method_used, value)
+
+let deploy_recommendations t window satisfied =
+  List.map
+    (fun (request, recommended) ->
+      (* Deploy with the cheapest recommended strategy's first stage. *)
+      let strategy =
+        match recommended with
+        | strategy :: _ -> strategy
+        | [] -> assert false (* satisfied requests carry k >= 1 strategies *)
+      in
+      let combo =
+        match strategy.Model.Strategy.stages with
+        | combo :: _ -> combo
+        | [] -> assert false (* strategies have at least one stage *)
+      in
+      let task = probe_task t in
+      let result =
+        Sim.Campaign.deploy ?ledger:t.config.ledger t.platform t.rng
+          { Sim.Campaign.task; combo; window; capacity = t.config.capacity; guided = true }
+      in
+      ((request, strategy, result.Sim.Campaign.measured), result.Sim.Campaign.availability))
+    satisfied
+
+let run_window t ~requests =
+  let window = current_window t in
+  let method_used, forecast = pick_forecast t in
+  let aggregate =
+    Stratrec.Aggregator.run ~config:t.config.aggregator
+      ~availability:(Forecast.to_availability forecast)
+      ~strategies:t.strategies ~requests ()
+  in
+  let outcomes = deploy_recommendations t window (Stratrec.Aggregator.satisfied aggregate) in
+  let observed =
+    match outcomes with
+    | [] -> observe_probe t window
+    | outcomes ->
+        List.fold_left (fun acc (_, a) -> acc +. a) 0. outcomes
+        /. float_of_int (List.length outcomes)
+  in
+  advance t observed;
+  { window; forecast; method_used; observed; aggregate; deployed = List.map fst outcomes }
+
+let pp_window_report ppf r =
+  Format.fprintf ppf "%s: forecast %.3f (%a), observed %.3f, satisfied %d, deployed %d@."
+    (Sim.Window.label r.window) r.forecast Forecast.pp_method r.method_used r.observed
+    (List.length (Stratrec.Aggregator.satisfied r.aggregate))
+    (List.length r.deployed)

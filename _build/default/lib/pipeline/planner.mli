@@ -1,0 +1,63 @@
+(** The closed StratRec loop of Fig. 1, run window after window.
+
+    Each deployment window the planner (1) forecasts worker availability
+    from the history of observed windows ({!Stratrec_model.Forecast}),
+    (2) re-estimates the catalog and triages the incoming batch through the
+    Aggregator, (3) actually deploys every satisfied request on the
+    simulated platform ({!Stratrec_crowdsim.Campaign}) using its top
+    recommendation, and (4) feeds the observed availability back into the
+    history. Warm-up windows deploy probe HITs only, to seed the history
+    before recommendations start. *)
+
+type config = {
+  aggregator : Stratrec.Aggregator.config;
+  forecast_method : Stratrec_model.Forecast.method_ option;
+      (** [None] picks the best back-tested method each window *)
+  capacity : int;  (** workers per deployed HIT *)
+  probe_replicates : int;  (** probe HITs per warm-up window *)
+  ledger : Stratrec_crowdsim.Ledger.t option;
+      (** when set, every payment of every deployment (probes included) is
+          recorded for worker-centric analysis *)
+}
+
+val default_config : config
+(** Aggregator defaults, automatic forecasting, capacity 10, 3 probes, no
+    ledger. *)
+
+type window_report = {
+  window : Stratrec_crowdsim.Window.t;
+  forecast : float;  (** availability the Aggregator planned with *)
+  method_used : Stratrec_model.Forecast.method_;
+  observed : float;  (** mean availability actually seen this window *)
+  aggregate : Stratrec.Aggregator.report;
+  deployed :
+    (Stratrec_model.Deployment.t * Stratrec_model.Strategy.t * Stratrec_model.Params.t) list;
+      (** satisfied requests with the strategy used and the measured
+          outcome *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  platform:Stratrec_crowdsim.Platform.t ->
+  rng:Stratrec_util.Rng.t ->
+  kind:Stratrec_crowdsim.Task_spec.kind ->
+  strategies:Stratrec_model.Strategy.t array ->
+  warmup_windows:int ->
+  unit ->
+  t
+(** Runs [warmup_windows] probe-only windows immediately to seed the
+    availability history. Windows cycle Weekend -> Early_week -> Late_week.
+    @raise Invalid_argument if [warmup_windows < 1]. *)
+
+val run_window : t -> requests:Stratrec_model.Deployment.t array -> window_report
+(** Plans and deploys one window, advances the clock, extends the
+    history. *)
+
+val history : t -> float array
+(** Observed availability per window so far (oldest first). *)
+
+val windows_elapsed : t -> int
+
+val pp_window_report : Format.formatter -> window_report -> unit

@@ -1,0 +1,1 @@
+lib/util/distribution.ml: Array Float Format List Rng

@@ -1,0 +1,1 @@
+lib/util/kselect.ml: Array Fun Heap List

@@ -1,0 +1,83 @@
+type 'a t = { cmp : 'a -> 'a -> int; mutable data : 'a array; mutable size : int }
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i in
+  let smallest = if r < t.size && t.cmp t.data.(r) t.data.(smallest) < 0 then r else smallest in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
+  end
+
+let grow t x =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let next = if capacity = 0 then 8 else 2 * capacity in
+    let data = Array.make next x in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let add t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let of_array ~cmp arr =
+  let t = { cmp; data = Array.copy arr; size = Array.length arr } in
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let of_list ~cmp l = of_array ~cmp (Array.of_list l)
+
+let min_elt t = if t.size = 0 then None else Some t.data.(0)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let pop_min_exn t =
+  match pop_min t with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_min_exn: empty heap"
+
+let to_sorted_list t =
+  let rec drain acc = match pop_min t with None -> List.rev acc | Some x -> drain (x :: acc) in
+  drain []
+
+let fold_unordered f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc

@@ -1,0 +1,37 @@
+(** Polymorphic binary min-heap with an explicit comparison function.
+
+    Used by the workforce-requirement computation (k smallest strategies per
+    deployment request, §3.2 of the paper) and by the sweep structures in
+    ADPaR. For a max-heap, flip the comparison. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (minimum first). *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Heapify in O(n). *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Heapify a copy of the array in O(n). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** O(log n). *)
+
+val min_elt : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop_min : 'a t -> 'a option
+(** Remove and return the smallest element. O(log n). *)
+
+val pop_min_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap; ascending order. *)
+
+val fold_unordered : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over elements in unspecified order without modifying the heap. *)

@@ -1,0 +1,59 @@
+let k_smallest ~cmp k arr =
+  if k < 0 then invalid_arg "Kselect.k_smallest: negative k";
+  if k = 0 then []
+  else begin
+    (* Bounded max-heap of the best k seen so far. *)
+    let maxcmp a b = cmp b a in
+    let heap = Heap.create ~cmp:maxcmp in
+    Array.iter
+      (fun x ->
+        if Heap.length heap < k then Heap.add heap x
+        else
+          match Heap.min_elt heap with
+          | Some worst when cmp x worst < 0 ->
+              ignore (Heap.pop_min heap);
+              Heap.add heap x
+          | Some _ | None -> ())
+      arr;
+    List.rev (Heap.to_sorted_list heap)
+  end
+
+let kth_smallest ~cmp k arr =
+  if k < 1 || k > Array.length arr then None
+  else
+    match List.rev (k_smallest ~cmp k arr) with
+    | x :: _ -> Some x
+    | [] -> None
+
+let k_smallest_indices ~cmp k arr =
+  let idx = Array.init (Array.length arr) Fun.id in
+  let cmp_idx i j =
+    let c = cmp arr.(i) arr.(j) in
+    if c <> 0 then c else compare i j
+  in
+  k_smallest ~cmp:cmp_idx k idx
+
+module Tracker = struct
+  type 'a t = { cmp : 'a -> 'a -> int; k : int; heap : 'a Heap.t; mutable count : int }
+
+  let create ~cmp k =
+    if k < 1 then invalid_arg "Kselect.Tracker.create: k must be >= 1";
+    { cmp; k; heap = Heap.create ~cmp:(fun a b -> cmp b a); count = 0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    if Heap.length t.heap < t.k then Heap.add t.heap x
+    else
+      match Heap.min_elt t.heap with
+      | Some worst when t.cmp x worst < 0 ->
+          ignore (Heap.pop_min t.heap);
+          Heap.add t.heap x
+      | Some _ | None -> ()
+
+  let count t = t.count
+
+  let kth t = if Heap.length t.heap < t.k then None else Heap.min_elt t.heap
+
+  let contents t =
+    Heap.fold_unordered (fun acc x -> x :: acc) [] t.heap |> List.sort t.cmp
+end

@@ -1,0 +1,40 @@
+(** Selection of the k smallest elements.
+
+    The paper's workforce aggregation (§3.2) retrieves the [k] smallest
+    workforce values of each matrix row with min-heaps; this module provides
+    that primitive, plus order statistics used by ADPaR's sweep lines. *)
+
+val k_smallest : cmp:('a -> 'a -> int) -> int -> 'a array -> 'a list
+(** [k_smallest ~cmp k arr] is the [k] smallest elements of [arr] in
+    ascending order (all elements if [k >= length]). O(n log k) using a
+    bounded max-heap. Requires [k >= 0]. *)
+
+val kth_smallest : cmp:('a -> 'a -> int) -> int -> 'a array -> 'a option
+(** [kth_smallest ~cmp k arr] is the k-th smallest element (1-based), or
+    [None] if [k < 1] or [k > length arr]. *)
+
+val k_smallest_indices : cmp:('a -> 'a -> int) -> int -> 'a array -> int list
+(** Indices (into the original array) of the [k] smallest elements, in
+    ascending element order. Ties broken by index. *)
+
+(** Incremental k-smallest tracker: feed elements one by one and query the
+    current k-th smallest in O(log k). Used by the ADPaR cost/latency sweep. *)
+module Tracker : sig
+  type 'a t
+
+  val create : cmp:('a -> 'a -> int) -> int -> 'a t
+  (** [create ~cmp k]. Requires [k >= 1]. *)
+
+  val add : 'a t -> 'a -> unit
+
+  val count : 'a t -> int
+  (** Number of elements fed so far. *)
+
+  val kth : 'a t -> 'a option
+  (** Current k-th smallest, or [None] while fewer than [k] elements have
+      been fed. *)
+
+  val contents : 'a t -> 'a list
+  (** The current k (or fewer) smallest elements, ascending. Does not
+      modify the tracker. *)
+end

@@ -1,0 +1,113 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64 step, used only to expand the seed into the xoshiro state so
+   that nearby seeds yield unrelated streams. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the high bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Rng.float: bound must be positive";
+  (* 53 uniform mantissa bits in [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r /. 9007199254740992. *. bound
+
+let uniform t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.uniform: lo > hi";
+  if lo = hi then lo else lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  let p = Float.max 0. (Float.min 1. p) in
+  float t 1. < p
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t 1. in
+    if u = 0. then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = float t 1. in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = float t 1. in
+    if u = 0. then nonzero () else u
+  in
+  -.log (nonzero ()) /. rate
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let sample_without_replacement t n arr =
+  let len = Array.length arr in
+  if n < 0 || n > len then invalid_arg "Rng.sample_without_replacement";
+  let idx = Array.init len Fun.id in
+  (* Partial Fisher–Yates: the first n slots become the sample. *)
+  for i = 0 to n - 1 do
+    let j = i + int t (len - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.init n (fun i -> arr.(idx.(i)))

@@ -1,0 +1,65 @@
+type t = { columns : string array; mutable rows : string array list (* reversed *) }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Tabular.create: no columns";
+  { columns = Array.of_list columns; rows = [] }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.columns then
+    invalid_arg "Tabular.add_row: arity mismatch with header";
+  t.rows <- row :: t.rows
+
+let add_float_row t ?(decimals = 4) label values =
+  add_row t (label :: List.map (fun v -> Printf.sprintf "%.*f" decimals v) values)
+
+let rows_in_order t = List.rev t.rows
+
+let render t =
+  let widths = Array.map String.length t.columns in
+  List.iter
+    (fun row -> Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    (rows_in_order t);
+  let buffer = Buffer.create 256 in
+  let pad i cell =
+    Buffer.add_string buffer cell;
+    Buffer.add_string buffer (String.make (widths.(i) - String.length cell) ' ')
+  in
+  let emit_row row =
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buffer "  ";
+        pad i cell)
+      row;
+    Buffer.add_char buffer '\n'
+  in
+  emit_row t.columns;
+  let total = Array.fold_left (fun acc w -> acc + w + 2) (-2) widths in
+  Buffer.add_string buffer (String.make total '-');
+  Buffer.add_char buffer '\n';
+  List.iter emit_row (rows_in_order t);
+  Buffer.contents buffer
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buffer = Buffer.create 256 in
+  let emit row =
+    Buffer.add_string buffer (String.concat "," (List.map csv_escape (Array.to_list row)));
+    Buffer.add_char buffer '\n'
+  in
+  emit t.columns;
+  List.iter emit (rows_in_order t);
+  Buffer.contents buffer
+
+let print ?title t =
+  (match title with
+  | Some title ->
+      print_endline title;
+      print_endline (String.make (String.length title) '=')
+  | None -> ());
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,25 @@
+(** Aligned ASCII tables for the benchmark harness.
+
+    Every table and figure of the paper is regenerated as a printed table;
+    this module renders them uniformly (and can emit CSV for plotting). *)
+
+type t
+
+val create : columns:string list -> t
+(** A table with the given header row. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. @raise Invalid_argument if the arity differs from the
+    header. *)
+
+val add_float_row : t -> ?decimals:int -> string -> float list -> unit
+(** [add_float_row t label values] appends [label] followed by formatted
+    floats. Arity of [1 + length values] must match the header. *)
+
+val render : t -> string
+(** Box-drawing-free aligned rendering with a header separator. *)
+
+val to_csv : t -> string
+
+val print : ?title:string -> t -> unit
+(** Renders to stdout, preceded by an underlined title when given. *)

@@ -1,0 +1,3 @@
+  $ stratrec example
+  $ stratrec catalog -n 12 --stages 2 -o cat.json
+  $ stratrec adpar --catalog cat.json --request 0.99,0.01,0.01 -k 3 | head -2

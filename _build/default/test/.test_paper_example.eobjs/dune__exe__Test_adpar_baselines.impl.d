@@ -1,0 +1,1 @@
+test/test_adpar_baselines.ml: Alcotest Array Float Gen List QCheck Stratrec Stratrec_model Stratrec_util Tq

@@ -1,0 +1,1 @@
+test/test_aggregator.ml: Alcotest Array Float List QCheck Stratrec Stratrec_model Stratrec_util Tq

@@ -1,0 +1,1 @@
+test/test_availability.ml: Alcotest Stratrec_model Stratrec_util

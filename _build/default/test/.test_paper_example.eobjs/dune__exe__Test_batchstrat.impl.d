@@ -1,0 +1,1 @@
+test/test_batchstrat.ml: Alcotest Array Float Fun Gen List QCheck Stratrec Stratrec_model Stratrec_util Tq

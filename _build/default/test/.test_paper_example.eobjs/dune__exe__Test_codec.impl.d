@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Filename Fun QCheck Stratrec_model Stratrec_util String Sys Tq

@@ -1,0 +1,1 @@
+test/test_collaboration.ml: Alcotest List Option Stratrec_crowdsim Stratrec_model Stratrec_util

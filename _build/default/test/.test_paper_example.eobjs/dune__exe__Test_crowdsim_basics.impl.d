@@ -1,0 +1,1 @@
+test/test_crowdsim_basics.ml: Alcotest Array List Stratrec_crowdsim Stratrec_util

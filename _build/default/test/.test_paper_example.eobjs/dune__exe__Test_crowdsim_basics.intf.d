@@ -1,0 +1,1 @@
+test/test_crowdsim_basics.mli:

@@ -1,0 +1,1 @@
+test/test_dimension.ml: Alcotest List Printf Stratrec_model

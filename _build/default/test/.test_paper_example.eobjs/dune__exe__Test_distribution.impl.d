@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array Float Fun Gen List QCheck Stratrec_util Tq

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Float List Stratrec Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+test/test_experiment_shapes.ml: Alcotest Array Float List Option Stratrec Stratrec_crowdsim Stratrec_model Stratrec_util

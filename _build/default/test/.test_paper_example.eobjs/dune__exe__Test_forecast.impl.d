@@ -1,0 +1,1 @@
+test/test_forecast.ml: Alcotest Format Stratrec_model

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest List QCheck Stratrec_geom Tq

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Float List Option QCheck Stratrec_util String Tq

@@ -1,0 +1,1 @@
+test/test_kselect.ml: Alcotest Array List QCheck Stratrec_util Tq

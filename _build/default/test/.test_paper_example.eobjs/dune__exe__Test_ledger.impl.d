@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest List Stratrec_crowdsim Stratrec_model Stratrec_util

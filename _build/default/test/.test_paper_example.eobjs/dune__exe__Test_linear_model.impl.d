@@ -1,0 +1,1 @@
+test/test_linear_model.ml: Alcotest Array List QCheck Stratrec_model Stratrec_util Tq

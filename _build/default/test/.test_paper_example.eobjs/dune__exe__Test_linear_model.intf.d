@@ -1,0 +1,1 @@
+test/test_linear_model.mli:

@@ -1,0 +1,1 @@
+test/test_outcome_campaign.ml: Alcotest Array List Option Stratrec_crowdsim Stratrec_model Stratrec_util

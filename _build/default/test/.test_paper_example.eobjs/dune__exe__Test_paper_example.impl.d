@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Array List Printf Stratrec Stratrec_model

@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Float List QCheck Stratrec_geom Stratrec_model Tq

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Array List Stratrec Stratrec_crowdsim Stratrec_model Stratrec_pipeline Stratrec_util

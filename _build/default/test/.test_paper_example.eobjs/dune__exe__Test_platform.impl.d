@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array List Stratrec_crowdsim Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+test/test_portfolio.ml: Alcotest List Stratrec Stratrec_model Stratrec_util

@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Gen List QCheck Stratrec_geom Stratrec_util Tq

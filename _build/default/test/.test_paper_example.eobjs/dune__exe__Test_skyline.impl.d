@@ -1,0 +1,1 @@
+test/test_skyline.ml: Alcotest Gen List QCheck Stratrec_geom Tq

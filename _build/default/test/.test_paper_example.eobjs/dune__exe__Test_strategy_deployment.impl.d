@@ -1,0 +1,1 @@
+test/test_strategy_deployment.ml: Alcotest List Stratrec_geom Stratrec_model

@@ -1,0 +1,1 @@
+test/test_stream_aggregator.ml: Alcotest Float List Printf QCheck Stratrec Stratrec_model Stratrec_util String Tq

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest List QCheck Stratrec_geom Tq

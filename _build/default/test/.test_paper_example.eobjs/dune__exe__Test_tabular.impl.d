@@ -1,0 +1,1 @@
+test/test_tabular.ml: Alcotest List Stratrec_util String

@@ -1,0 +1,1 @@
+test/test_workforce.ml: Alcotest Array Float List QCheck Stratrec_model Stratrec_util Tq

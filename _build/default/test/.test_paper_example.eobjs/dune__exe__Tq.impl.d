@@ -1,0 +1,1 @@
+test/tq.ml: QCheck_alcotest Random

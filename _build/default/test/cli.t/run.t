@@ -1,0 +1,17 @@
+The CLI walks through the paper's Example 1 (Table 1): d3 is satisfiable
+with {s2, s3, s4}, d1 and d2 get closest-alternative parameters.
+
+  $ stratrec example
+  W=0.800 objective(throughput)=1.0000 used=0.8000
+    d1: alternative {q=0.400; c=0.500; l=0.280} (distance 0.3300)
+    d2: alternative {q=0.750; c=0.580; l=0.280} (distance 0.3833)
+    d3: satisfied (w=0.800) with [s4 (SIM-IND-HYB); s3 (SIM-IND-CRO); s2 (SEQ-IND-CRO)]
+  
+
+Catalogs round-trip through JSON.
+
+  $ stratrec catalog -n 12 --stages 2 -o cat.json
+  wrote 12 strategies (2 stages each) to cat.json
+  $ stratrec adpar --catalog cat.json --request 0.99,0.01,0.01 -k 3 | head -2
+  original    {q=0.990; c=0.010; l=0.010}
+  alternative {q=0.678; c=0.752; l=0.729} (distance 1.0788)

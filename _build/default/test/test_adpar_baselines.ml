@@ -1,0 +1,141 @@
+(* Unit and property tests for the ADPaR baselines (§5.2.1). *)
+
+module Model = Stratrec_model
+module Params = Model.Params
+module Strategy = Model.Strategy
+module Deployment = Model.Deployment
+module Rng = Stratrec_util.Rng
+module Adpar = Stratrec.Adpar
+module AB = Stratrec.Adpar_baselines
+
+let combo = List.hd Model.Dimension.all_combos
+let dummy_model = Model.Linear_model.synthetic (Rng.create 0)
+
+let strategy id (q, c, l) =
+  Strategy.single ~id combo ~params:(Params.make ~quality:q ~cost:c ~latency:l)
+    ~model:dummy_model
+
+let catalog triples = Array.of_list (List.mapi strategy triples)
+
+let request ?(k = 2) (q, c, l) =
+  Deployment.make ~id:0 ~params:(Params.make ~quality:q ~cost:c ~latency:l) ~k ()
+
+let test_baseline2_single_axis () =
+  (* Both strategies satisfy quality and latency; only the cost axis needs
+     relaxing, which is Baseline2's home turf: it must be optimal here. *)
+  let strategies = catalog [ (0.9, 0.4, 0.1); (0.8, 0.5, 0.2) ] in
+  let d = request (0.7, 0.2, 0.5) in
+  match (AB.baseline2 ~strategies d, Adpar.exact ~strategies d) with
+  | Some b, Some e ->
+      Alcotest.(check (float 1e-9)) "matches exact" e.Adpar.distance b.Adpar.distance;
+      Alcotest.(check (float 1e-9)) "cost" 0.5 b.Adpar.alternative.Params.cost
+  | _ -> Alcotest.fail "expected results"
+
+let test_baseline2_multi_axis_fallback () =
+  (* No single axis suffices: strategy 0 needs cost, strategy 1 needs
+     quality. Baseline2 falls back to round-robin and still covers k. *)
+  let strategies = catalog [ (0.9, 0.6, 0.1); (0.5, 0.1, 0.2) ] in
+  let d = request (0.8, 0.2, 0.5) in
+  match AB.baseline2 ~strategies d with
+  | Some b ->
+      Alcotest.(check bool) "covers k" true (b.Adpar.covered_count >= 2);
+      Alcotest.(check int) "recommends k" 2 (List.length b.Adpar.recommended)
+  | None -> Alcotest.fail "baseline2 should find a cover"
+
+let test_baseline3_covers () =
+  let strategies =
+    catalog [ (0.9, 0.6, 0.1); (0.5, 0.1, 0.2); (0.7, 0.3, 0.4); (0.6, 0.2, 0.15) ]
+  in
+  let d = request ~k:2 (0.95, 0.05, 0.05) in
+  match AB.baseline3 ~strategies d with
+  | Some b ->
+      Alcotest.(check int) "recommends k" 2 (List.length b.Adpar.recommended);
+      (* The recommended strategies really satisfy the returned corner. *)
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "member satisfies corner" true
+            (Adpar.covers ~alternative:b.Adpar.alternative s))
+        b.Adpar.recommended
+  | None -> Alcotest.fail "baseline3 should find a node"
+
+let test_all_return_none_when_too_few () =
+  let strategies = catalog [ (0.5, 0.5, 0.5) ] in
+  let d = request ~k:5 (0.5, 0.5, 0.5) in
+  Alcotest.(check bool) "brute" true (AB.brute_force ~strategies d = None);
+  Alcotest.(check bool) "baseline2" true (AB.baseline2 ~strategies d = None);
+  Alcotest.(check bool) "baseline3" true (AB.baseline3 ~strategies d = None)
+
+let tri_gen = QCheck.(triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.))
+
+let gen_instance =
+  QCheck.(pair (list_of_size Gen.(2 -- 12) tri_gen) (pair (int_range 1 3) tri_gen))
+
+let prop_baselines_never_beat_exact =
+  QCheck.Test.make ~count:300 ~name:"baselines never beat ADPaR-Exact" gen_instance
+    (fun (triples, (k, rq)) ->
+      let strategies = catalog triples in
+      let d = request ~k rq in
+      match Adpar.exact ~strategies d with
+      | None -> true
+      | Some e ->
+          let ge = function
+            | Some b -> b.Adpar.distance +. 1e-9 >= e.Adpar.distance
+            | None -> false
+          in
+          ge (AB.baseline2 ~strategies d) && ge (AB.baseline3 ~strategies d))
+
+let prop_baseline2_result_is_valid_cover =
+  QCheck.Test.make ~count:300 ~name:"baseline2 result covers k strategies" gen_instance
+    (fun (triples, (k, rq)) ->
+      let strategies = catalog triples in
+      let d = request ~k rq in
+      match AB.baseline2 ~strategies d with
+      | None -> List.length triples < k
+      | Some b -> b.Adpar.covered_count >= k && List.length b.Adpar.recommended = k)
+
+let prop_brute_force_is_minimal =
+  QCheck.Test.make ~count:200 ~name:"ADPaRB is minimal over explicit subsets"
+    QCheck.(pair (list_of_size Gen.(2 -- 7) tri_gen) tri_gen)
+    (fun (triples, rq) ->
+      let k = 2 in
+      let strategies = catalog triples in
+      let d = request ~k rq in
+      match AB.brute_force ~strategies d with
+      | None -> List.length triples < k
+      | Some b ->
+          (* Check against a direct enumeration of pairs. *)
+          let relax = Adpar.relaxations_of ~strategies d in
+          let best = ref infinity in
+          Array.iteri
+            (fun i ri ->
+              Array.iteri
+                (fun j rj ->
+                  if i < j then begin
+                    let q = Float.max ri.Adpar.quality rj.Adpar.quality in
+                    let c = Float.max ri.Adpar.cost rj.Adpar.cost in
+                    let l = Float.max ri.Adpar.latency rj.Adpar.latency in
+                    let dist = sqrt ((q *. q) +. (c *. c) +. (l *. l)) in
+                    if dist < !best then best := dist
+                  end)
+                relax)
+            relax;
+          Float.abs (b.Adpar.distance -. !best) < 1e-9)
+
+let () =
+  Alcotest.run "adpar_baselines"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "baseline2 single axis" `Quick test_baseline2_single_axis;
+          Alcotest.test_case "baseline2 fallback" `Quick test_baseline2_multi_axis_fallback;
+          Alcotest.test_case "baseline3 covers" `Quick test_baseline3_covers;
+          Alcotest.test_case "none when too few" `Quick test_all_return_none_when_too_few;
+        ] );
+      ( "properties",
+        List.map Tq.to_alcotest
+          [
+            prop_baselines_never_beat_exact;
+            prop_baseline2_result_is_valid_cover;
+            prop_brute_force_is_minimal;
+          ] );
+    ]

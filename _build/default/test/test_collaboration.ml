@@ -1,0 +1,97 @@
+(* Unit and statistical tests for the collaborative-editing (edit-war)
+   model. *)
+
+module Rng = Stratrec_util.Rng
+module Dimension = Stratrec_model.Dimension
+module Sim = Stratrec_crowdsim
+
+let combo label = Option.get (Dimension.combo_of_label label)
+let task = List.hd Sim.Task_spec.translation_samples
+
+let workers seed n =
+  let rng = Rng.create seed in
+  List.init n (fun id -> Sim.Worker.generate rng ~id)
+
+let test_empty_workers_rejected () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "no workers" (Invalid_argument "Collaboration.simulate: no workers")
+    (fun () ->
+      ignore
+        (Sim.Collaboration.simulate rng ~combo:(combo "SIM-COL-CRO") ~workers:[] ~task
+           ~guided:true))
+
+let run ~combo_label ~guided ~seed =
+  let rng = Rng.create seed in
+  Sim.Collaboration.simulate rng ~combo:(combo combo_label) ~workers:(workers seed 7) ~task
+    ~guided
+
+let test_sequential_no_overrides () =
+  for seed = 1 to 20 do
+    let s = run ~combo_label:"SEQ-IND-CRO" ~guided:false ~seed in
+    Alcotest.(check int) "no overrides in sequential work" 0 s.Sim.Collaboration.override_count;
+    Alcotest.(check (float 1e-9)) "no quality penalty" 1. s.Sim.Collaboration.quality_modifier
+  done
+
+let test_sim_independent_no_overrides () =
+  for seed = 1 to 20 do
+    let s = run ~combo_label:"SIM-IND-CRO" ~guided:false ~seed in
+    Alcotest.(check int) "independent copies cannot collide" 0
+      s.Sim.Collaboration.override_count
+  done
+
+let test_edit_war_statistics () =
+  let mean f arm =
+    let total = ref 0. in
+    for seed = 1 to 60 do
+      total := !total +. f (run ~combo_label:"SIM-COL-CRO" ~guided:arm ~seed)
+    done;
+    !total /. 60.
+  in
+  let edits s = float_of_int s.Sim.Collaboration.edit_count in
+  let overrides s = float_of_int s.Sim.Collaboration.override_count in
+  let quality s = s.Sim.Collaboration.quality_modifier in
+  Alcotest.(check bool) "unguided has more edits" true
+    (mean edits false > mean edits true *. 1.3);
+  Alcotest.(check bool) "unguided has more overrides" true
+    (mean overrides false > mean overrides true +. 0.5);
+  Alcotest.(check bool) "unguided loses quality" true
+    (mean quality false < mean quality true)
+
+let test_elapsed_structure () =
+  (* Sequential elapsed time is the sum of per-worker times; simultaneous is
+     the max — so sequential sessions with several workers run longer. *)
+  let seq = run ~combo_label:"SEQ-IND-CRO" ~guided:true ~seed:3 in
+  let sim = run ~combo_label:"SIM-COL-CRO" ~guided:true ~seed:3 in
+  Alcotest.(check bool) "sequential slower" true
+    (seq.Sim.Collaboration.elapsed_hours > sim.Sim.Collaboration.elapsed_hours);
+  Alcotest.(check bool) "positive" true (sim.Sim.Collaboration.elapsed_hours > 0.)
+
+let test_session_metadata () =
+  let s = run ~combo_label:"SIM-COL-CRO" ~guided:true ~seed:4 in
+  Alcotest.(check int) "edit count equals list length" (List.length s.Sim.Collaboration.edits)
+    s.Sim.Collaboration.edit_count;
+  Alcotest.(check int) "task units carried" 3 s.Sim.Collaboration.task_units;
+  (* Edits are time-ordered. *)
+  let times = List.map (fun (e : Sim.Collaboration.edit) -> e.Sim.Collaboration.at_hours) s.Sim.Collaboration.edits in
+  Alcotest.(check bool) "time ordered" true (List.sort compare times = times)
+
+let test_mean_edits () =
+  let sessions = List.init 5 (fun seed -> run ~combo_label:"SIM-COL-CRO" ~guided:true ~seed) in
+  let m = Sim.Collaboration.mean_edits sessions in
+  Alcotest.(check bool) "positive per-task mean" true (m > 0.);
+  Alcotest.(check (float 1e-9)) "empty list" 0. (Sim.Collaboration.mean_edits [])
+
+let () =
+  Alcotest.run "collaboration"
+    [
+      ( "collaboration",
+        [
+          Alcotest.test_case "empty workers rejected" `Quick test_empty_workers_rejected;
+          Alcotest.test_case "sequential no overrides" `Quick test_sequential_no_overrides;
+          Alcotest.test_case "independent no overrides" `Quick test_sim_independent_no_overrides;
+          Alcotest.test_case "edit-war statistics" `Slow test_edit_war_statistics;
+          Alcotest.test_case "elapsed structure" `Quick test_elapsed_structure;
+          Alcotest.test_case "session metadata" `Quick test_session_metadata;
+          Alcotest.test_case "mean edits" `Quick test_mean_edits;
+        ] );
+    ]

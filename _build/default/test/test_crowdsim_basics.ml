@@ -1,0 +1,117 @@
+(* Unit tests for windows, task specs and workers. *)
+
+module Rng = Stratrec_util.Rng
+module Sim = Stratrec_crowdsim
+
+let test_windows () =
+  Alcotest.(check int) "three windows" 3 (List.length Sim.Window.all);
+  Alcotest.(check (list int)) "indices" [ 0; 1; 2 ] (List.map Sim.Window.index Sim.Window.all);
+  Alcotest.(check string) "label" "Window-2" (Sim.Window.label Sim.Window.Early_week);
+  (* Ground truth matches the paper's observation: Window-2 busiest. *)
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "early week is the peak" true
+        (Sim.Window.base_activity Sim.Window.Early_week >= Sim.Window.base_activity w))
+    Sim.Window.all;
+  Alcotest.(check (float 1e-9)) "72-hour windows" 72. Sim.Window.duration_hours
+
+let test_task_specs () =
+  Alcotest.(check int) "3 rhymes" 3 (List.length Sim.Task_spec.translation_samples);
+  Alcotest.(check int) "3 topics" 3 (List.length Sim.Task_spec.creation_samples);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "translation kind" true
+        (Sim.Task_spec.equal_kind t.Sim.Task_spec.kind Sim.Task_spec.Sentence_translation);
+      Alcotest.(check int) "3 units" 3 t.Sim.Task_spec.units)
+    Sim.Task_spec.translation_samples;
+  Alcotest.check_raises "bad units" (Invalid_argument "Task_spec.make: units must be positive")
+    (fun () ->
+      ignore (Sim.Task_spec.make ~kind:Sim.Task_spec.Text_creation ~title:"x" ~units:0 ()));
+  Alcotest.(check bool) "kind equality" false
+    (Sim.Task_spec.equal_kind (Sim.Task_spec.Custom "a") (Sim.Task_spec.Custom "b"));
+  Alcotest.(check (float 1e-9)) "$2 per worker" 2. Sim.Task_spec.pay_per_worker
+
+let test_worker_generation () =
+  let rng = Rng.create 1 in
+  for id = 0 to 200 do
+    let w = Sim.Worker.generate rng ~id in
+    Alcotest.(check int) "id" id w.Sim.Worker.id;
+    Alcotest.(check bool) "approval range" true
+      (w.Sim.Worker.approval_rate >= 0.7 && w.Sim.Worker.approval_rate <= 1.);
+    Alcotest.(check bool) "speed clamped" true
+      (w.Sim.Worker.speed >= 0.5 && w.Sim.Worker.speed <= 1.5);
+    Alcotest.(check int) "3 window affinities" 3 (Array.length w.Sim.Worker.window_affinity);
+    let p = Sim.Worker.proficiency w Sim.Task_spec.Sentence_translation in
+    Alcotest.(check bool) "proficiency range" true (p >= 0.3 && p <= 1.)
+  done
+
+let test_recruitment_filters () =
+  let base =
+    {
+      Sim.Worker.id = 0;
+      approval_rate = 0.95;
+      location = Sim.Worker.US;
+      education = Sim.Worker.Bachelor;
+      proficiency = [];
+      speed = 1.;
+      diligence = 0.5;
+      window_affinity = [| 1.; 1.; 1. |];
+    }
+  in
+  Alcotest.(check bool) "US bachelor passes creation" true
+    (Sim.Worker.meets_recruitment_filters base Sim.Task_spec.Text_creation);
+  Alcotest.(check bool) "low approval fails" false
+    (Sim.Worker.meets_recruitment_filters { base with Sim.Worker.approval_rate = 0.85 }
+       Sim.Task_spec.Text_creation);
+  Alcotest.(check bool) "India passes translation" true
+    (Sim.Worker.meets_recruitment_filters { base with Sim.Worker.location = Sim.Worker.India }
+       Sim.Task_spec.Sentence_translation);
+  Alcotest.(check bool) "other region fails translation" false
+    (Sim.Worker.meets_recruitment_filters { base with Sim.Worker.location = Sim.Worker.Other }
+       Sim.Task_spec.Sentence_translation);
+  Alcotest.(check bool) "no degree fails creation" false
+    (Sim.Worker.meets_recruitment_filters { base with Sim.Worker.education = Sim.Worker.No_degree }
+       Sim.Task_spec.Text_creation);
+  Alcotest.(check bool) "custom kinds only need approval" true
+    (Sim.Worker.meets_recruitment_filters { base with Sim.Worker.education = Sim.Worker.No_degree }
+       (Sim.Task_spec.Custom "survey"))
+
+let test_qualification_monotone () =
+  (* A highly proficient worker passes much more often than a weak one. *)
+  let rng = Rng.create 2 in
+  let with_proficiency p =
+    {
+      Sim.Worker.id = 0;
+      approval_rate = 0.95;
+      location = Sim.Worker.US;
+      education = Sim.Worker.Bachelor;
+      proficiency = [ (Sim.Task_spec.Text_creation, p) ];
+      speed = 1.;
+      diligence = 0.5;
+      window_affinity = [| 1.; 1.; 1. |];
+    }
+  in
+  let pass_rate p =
+    let w = with_proficiency p in
+    let hits = ref 0 in
+    for _ = 1 to 2000 do
+      if Sim.Worker.passes_qualification rng w Sim.Task_spec.Text_creation then incr hits
+    done;
+    float_of_int !hits /. 2000.
+  in
+  let weak = pass_rate 0.35 and strong = pass_rate 0.95 in
+  Alcotest.(check bool) "strong beats weak" true (strong > weak +. 0.3);
+  Alcotest.(check bool) "weak rarely passes" true (weak < 0.2)
+
+let () =
+  Alcotest.run "crowdsim_basics"
+    [
+      ( "crowdsim",
+        [
+          Alcotest.test_case "windows" `Quick test_windows;
+          Alcotest.test_case "task specs" `Quick test_task_specs;
+          Alcotest.test_case "worker generation" `Quick test_worker_generation;
+          Alcotest.test_case "recruitment filters" `Quick test_recruitment_filters;
+          Alcotest.test_case "qualification monotone" `Slow test_qualification_monotone;
+        ] );
+    ]

@@ -1,0 +1,59 @@
+(* Unit tests for strategy dimensions. *)
+
+module D = Stratrec_model.Dimension
+
+let test_all_combos () =
+  Alcotest.(check int) "8 combos" 8 (List.length D.all_combos);
+  Alcotest.(check int) "combo_count" 8 D.combo_count;
+  let labels = List.map D.combo_label D.all_combos in
+  Alcotest.(check int) "labels distinct" 8 (List.length (List.sort_uniq compare labels))
+
+let test_label_roundtrip () =
+  List.iter
+    (fun combo ->
+      match D.combo_of_label (D.combo_label combo) with
+      | Some c -> Alcotest.(check bool) "roundtrip" true (D.equal_combo c combo)
+      | None -> Alcotest.fail "label did not parse back")
+    D.all_combos
+
+let test_known_labels () =
+  (match D.combo_of_label "SEQ-IND-CRO" with
+  | Some c ->
+      Alcotest.(check bool) "structure" true (c.D.structure = D.Sequential);
+      Alcotest.(check bool) "organization" true (c.D.organization = D.Independent);
+      Alcotest.(check bool) "style" true (c.D.style = D.Crowd_only)
+  | None -> Alcotest.fail "SEQ-IND-CRO should parse");
+  match D.combo_of_label "SIM-COL-HYB" with
+  | Some c ->
+      Alcotest.(check bool) "structure" true (c.D.structure = D.Simultaneous);
+      Alcotest.(check bool) "organization" true (c.D.organization = D.Collaborative);
+      Alcotest.(check bool) "style" true (c.D.style = D.Hybrid)
+  | None -> Alcotest.fail "SIM-COL-HYB should parse"
+
+let test_invalid_labels () =
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" label) true
+        (D.combo_of_label label = None))
+    [ ""; "SEQ"; "SEQ-IND"; "FOO-IND-CRO"; "SEQ-BAR-CRO"; "SEQ-IND-BAZ"; "SEQ-IND-CRO-EXTRA" ]
+
+let test_abbrevs () =
+  Alcotest.(check string) "SEQ" "SEQ" (D.structure_abbrev D.Sequential);
+  Alcotest.(check string) "SIM" "SIM" (D.structure_abbrev D.Simultaneous);
+  Alcotest.(check string) "COL" "COL" (D.organization_abbrev D.Collaborative);
+  Alcotest.(check string) "IND" "IND" (D.organization_abbrev D.Independent);
+  Alcotest.(check string) "CRO" "CRO" (D.style_abbrev D.Crowd_only);
+  Alcotest.(check string) "HYB" "HYB" (D.style_abbrev D.Hybrid)
+
+let () =
+  Alcotest.run "dimension"
+    [
+      ( "dimension",
+        [
+          Alcotest.test_case "all combos" `Quick test_all_combos;
+          Alcotest.test_case "label roundtrip" `Quick test_label_roundtrip;
+          Alcotest.test_case "known labels" `Quick test_known_labels;
+          Alcotest.test_case "invalid labels" `Quick test_invalid_labels;
+          Alcotest.test_case "abbreviations" `Quick test_abbrevs;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Regression tests for the qualitative shapes EXPERIMENTS.md claims —
+   scaled-down versions of the benchmark sweeps, so a change that silently
+   breaks a reproduction fails the test suite rather than only the bench. *)
+
+module Model = Stratrec_model
+module Workforce = Model.Workforce
+module Rng = Stratrec_util.Rng
+
+let percent_satisfied ~seeds ~n ~m ~k ~w =
+  let satisfied = ref 0 and total = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let strategies = Model.Workload.strategies rng ~n ~kind:Model.Workload.Uniform in
+      let requests = Model.Workload.requests rng ~m ~k in
+      Array.iter
+        (fun d ->
+          incr total;
+          match
+            Workforce.streaming_requirement ~rule:`Paper_equality Workforce.Max_case ~k
+              ~strategies d
+          with
+          | Some { Workforce.workforce; _ } when workforce <= w -> incr satisfied
+          | Some _ | None -> ())
+        requests)
+    seeds;
+  float_of_int !satisfied /. float_of_int !total
+
+let seeds = List.init 8 (fun i -> 4000 + i)
+
+let test_fig14_monotone_in_k () =
+  let at k = percent_satisfied ~seeds ~n:500 ~m:10 ~k ~w:0.75 in
+  let k2 = at 2 and k8 = at 8 and k32 = at 32 in
+  Alcotest.(check bool) "k=2 >= k=8" true (k2 >= k8);
+  Alcotest.(check bool) "k=8 >= k=32" true (k8 >= k32);
+  Alcotest.(check bool) "non-degenerate" true (k2 > 0.)
+
+let test_fig14_monotone_in_w () =
+  let at w = percent_satisfied ~seeds ~n:500 ~m:10 ~k:5 ~w in
+  Alcotest.(check bool) "more workforce, more satisfied" true
+    (at 0.6 <= at 0.75 && at 0.75 <= at 0.9)
+
+let test_fig14_monotone_in_catalog () =
+  let at n = percent_satisfied ~seeds ~n ~m:10 ~k:5 ~w:0.75 in
+  Alcotest.(check bool) "bigger catalog, more satisfied" true
+    (at 20 <= at 100 && at 100 <= at 500)
+
+let test_fig15_throughput_exactness () =
+  (* Greedy equals brute force on the Fig. 15 operating point. *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let strategies = Model.Workload.strategies rng ~n:30 ~kind:Model.Workload.Uniform in
+      let requests = Model.Workload.requests rng ~m:10 ~k:5 in
+      let matrix = Workforce.compute ~rule:`Paper_equality ~requests ~strategies () in
+      let run f =
+        (f ~objective:Stratrec.Objective.Throughput ~aggregation:Workforce.Max_case
+           ~available:0.85 matrix)
+          .Stratrec.Batchstrat.objective_value
+      in
+      Alcotest.(check (float 1e-9))
+        "greedy = optimal"
+        (run Stratrec.Batch_baselines.brute_force)
+        (run Stratrec.Batchstrat.run))
+    seeds
+
+let test_fig17_distance_shrinks_with_catalog () =
+  (* Superset catalogs (same seed, larger n) can only improve the optimal
+     relaxation distance. *)
+  List.iter
+    (fun seed ->
+      let strict =
+        Model.Deployment.make ~id:0
+          ~params:
+            (Model.Params.make ~quality:0.9
+               ~cost:(0.2 +. (0.001 *. float_of_int (seed mod 7)))
+               ~latency:0.25)
+          ~k:5 ()
+      in
+      let dist n =
+        let strategies =
+          Model.Workload.strategies (Rng.create seed) ~n ~kind:Model.Workload.Uniform
+        in
+        match Stratrec.Adpar.exact ~strategies strict with
+        | Some r -> r.Stratrec.Adpar.distance
+        | None -> infinity
+      in
+      let d50 = dist 50 and d200 = dist 200 and d800 = dist 800 in
+      Alcotest.(check bool) "50 >= 200" true (d50 +. 1e-12 >= d200);
+      Alcotest.(check bool) "200 >= 800" true (d200 +. 1e-12 >= d800))
+    seeds
+
+let test_fig17_exact_dominates_baselines () =
+  List.iter
+    (fun seed ->
+      let strategies =
+        Model.Workload.strategies (Rng.create seed) ~n:120 ~kind:Model.Workload.Uniform
+      in
+      let request =
+        Model.Deployment.make ~id:0
+          ~params:(Model.Params.make ~quality:0.92 ~cost:0.15 ~latency:0.2)
+          ~k:6 ()
+      in
+      match
+        ( Stratrec.Adpar.exact ~strategies request,
+          Stratrec.Adpar_baselines.baseline2 ~strategies request,
+          Stratrec.Adpar_baselines.baseline3 ~strategies request )
+      with
+      | Some e, Some b2, Some b3 ->
+          Alcotest.(check bool) "exact <= baseline2" true
+            (e.Stratrec.Adpar.distance <= b2.Stratrec.Adpar.distance +. 1e-9);
+          Alcotest.(check bool) "exact <= baseline3" true
+            (e.Stratrec.Adpar.distance <= b3.Stratrec.Adpar.distance +. 1e-9)
+      | _ -> Alcotest.fail "all algorithms should produce results")
+    seeds
+
+let test_table6_closed_loop () =
+  (* The simulator's calibration loop recovers the generative truth: cost
+     fits are essentially perfect, and the fitted latency slope is negative
+     like the Table 6 reference. *)
+  let rng = Rng.create 4242 in
+  let platform = Stratrec_crowdsim.Platform.create rng ~population:800 in
+  let combo = Option.get (Model.Dimension.combo_of_label "SEQ-IND-CRO") in
+  let res =
+    Stratrec_crowdsim.Study.linearity_study platform rng
+      ~kind:Stratrec_crowdsim.Task_spec.Sentence_translation ~combo ~deployments:30 ()
+  in
+  let fit axis = List.assoc axis res.Stratrec_crowdsim.Study.calibration.Stratrec_crowdsim.Calibration.diagnostics in
+  Alcotest.(check bool) "cost slope near 1" true
+    (Float.abs ((fit Model.Params.Cost).Stratrec_util.Regression.slope -. 1.) < 0.1);
+  Alcotest.(check bool) "latency slope negative" true
+    ((fit Model.Params.Latency).Stratrec_util.Regression.slope < -0.5)
+
+let () =
+  Alcotest.run "experiment_shapes"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "fig14: decreasing in k" `Slow test_fig14_monotone_in_k;
+          Alcotest.test_case "fig14: increasing in W" `Slow test_fig14_monotone_in_w;
+          Alcotest.test_case "fig14: increasing in |S|" `Slow test_fig14_monotone_in_catalog;
+          Alcotest.test_case "fig15: throughput exactness" `Slow test_fig15_throughput_exactness;
+          Alcotest.test_case "fig17: distance shrinks with |S|" `Slow
+            test_fig17_distance_shrinks_with_catalog;
+          Alcotest.test_case "fig17: exact dominates baselines" `Slow
+            test_fig17_exact_dominates_baselines;
+          Alcotest.test_case "table6: closed calibration loop" `Slow test_table6_closed_loop;
+        ] );
+    ]

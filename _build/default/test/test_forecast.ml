@@ -1,0 +1,85 @@
+(* Unit tests for availability forecasting. *)
+
+module F = Stratrec_model.Forecast
+module Availability = Stratrec_model.Availability
+
+let check_forecast name expected m history =
+  Alcotest.(check (option (float 1e-9))) name expected (F.forecast m history)
+
+let test_naive () =
+  check_forecast "last value" (Some 0.7) F.Naive [| 0.2; 0.5; 0.7 |];
+  check_forecast "empty" None F.Naive [||]
+
+let test_moving_average () =
+  check_forecast "window 3" (Some 0.6) (F.Moving_average 3) [| 0.1; 0.5; 0.6; 0.7 |];
+  check_forecast "window larger than history" (Some 0.45) (F.Moving_average 10) [| 0.4; 0.5 |];
+  check_forecast "empty" None (F.Moving_average 3) [||];
+  Alcotest.check_raises "bad window" (Invalid_argument "Forecast: moving average window 0 must be >= 1")
+    (fun () -> ignore (F.forecast (F.Moving_average 0) [| 0.5 |]))
+
+let test_exponential () =
+  (* level_0 = 0.4; level_1 = 0.5*0.8 + 0.5*0.4 = 0.6. *)
+  check_forecast "two points" (Some 0.6) (F.Exponential 0.5) [| 0.4; 0.8 |];
+  check_forecast "constant series" (Some 0.3) (F.Exponential 0.4) [| 0.3; 0.3; 0.3 |];
+  Alcotest.check_raises "bad factor" (Invalid_argument "Forecast: smoothing factor 0 outside (0, 1]")
+    (fun () -> ignore (F.forecast (F.Exponential 0.) [| 0.5 |]))
+
+let test_seasonal () =
+  (* Period 3: the next window (position 0 of the new week) repeats last
+     week's position 0, i.e. history.(n - period) = 0.25. *)
+  check_forecast "period 3" (Some 0.25)
+    (F.Seasonal_naive 3)
+    [| 0.2; 0.9; 0.4; 0.25; 0.85; 0.45 |];
+  check_forecast "short history" None (F.Seasonal_naive 3) [| 0.5; 0.6 |]
+
+let test_clamping () =
+  check_forecast "clamped" (Some 1.) F.Naive [| 1.8 |]
+
+let test_backtest () =
+  (* Perfectly periodic data: seasonal naive has zero error, plain naive
+     does not. *)
+  let periodic = [| 0.2; 0.9; 0.4; 0.2; 0.9; 0.4; 0.2; 0.9; 0.4 |] in
+  (match F.backtest (F.Seasonal_naive 3) periodic with
+  | Some e -> Alcotest.(check (float 1e-9)) "seasonal error zero" 0. e
+  | None -> Alcotest.fail "seasonal should backtest");
+  (match F.backtest F.Naive periodic with
+  | Some e -> Alcotest.(check bool) "naive error positive" true (e > 0.1)
+  | None -> Alcotest.fail "naive should backtest");
+  Alcotest.(check bool) "too-short history" true (F.backtest F.Naive [| 0.5 |] = None)
+
+let test_best_method () =
+  let periodic = [| 0.2; 0.9; 0.4; 0.2; 0.9; 0.4; 0.2; 0.9; 0.4 |] in
+  (match F.best_method periodic with
+  | Some (F.Seasonal_naive 3) -> ()
+  | Some m -> Alcotest.failf "expected seasonal, got %s" (Format.asprintf "%a" F.pp_method m)
+  | None -> Alcotest.fail "expected a method");
+  (* A flat noisy series favors smoothing over pure naive... at minimum,
+     best_method must return something usable. *)
+  (match F.best_method [| 0.5; 0.52; 0.48; 0.51; 0.49; 0.5 |] with
+  | Some m -> (
+      match F.forecast m [| 0.5; 0.52; 0.48; 0.51; 0.49; 0.5 |] with
+      | Some v -> Alcotest.(check bool) "forecast in range" true (v >= 0.4 && v <= 0.6)
+      | None -> Alcotest.fail "chosen method must forecast")
+  | None -> Alcotest.fail "expected a method");
+  Alcotest.(check bool) "empty history" true (F.best_method [||] = None)
+
+let test_to_availability () =
+  Alcotest.(check (float 1e-9)) "wraps expectation" 0.8
+    (Availability.expected (F.to_availability 0.8));
+  Alcotest.(check (float 1e-9)) "clamps" 1. (Availability.expected (F.to_availability 1.7))
+
+let () =
+  Alcotest.run "forecast"
+    [
+      ( "forecast",
+        [
+          Alcotest.test_case "naive" `Quick test_naive;
+          Alcotest.test_case "moving average" `Quick test_moving_average;
+          Alcotest.test_case "exponential" `Quick test_exponential;
+          Alcotest.test_case "seasonal" `Quick test_seasonal;
+          Alcotest.test_case "clamping" `Quick test_clamping;
+          Alcotest.test_case "backtest" `Quick test_backtest;
+          Alcotest.test_case "best method" `Quick test_best_method;
+          Alcotest.test_case "to availability" `Quick test_to_availability;
+        ] );
+    ]

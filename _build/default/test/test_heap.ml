@@ -1,0 +1,87 @@
+(* Unit and property tests for the binary min-heap. *)
+
+module Heap = Stratrec_util.Heap
+
+let int_heap () = Heap.create ~cmp:compare
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check (option int)) "min_elt" None (Heap.min_elt h);
+  Alcotest.(check (option int)) "pop_min" None (Heap.pop_min h);
+  Alcotest.check_raises "pop_min_exn" (Invalid_argument "Heap.pop_min_exn: empty heap")
+    (fun () -> ignore (Heap.pop_min_exn h))
+
+let test_add_pop_order () =
+  let h = int_heap () in
+  List.iter (Heap.add h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "length" 7 (Heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Heap.min_elt h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] (Heap.to_sorted_list h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_of_list () =
+  let h = Heap.of_list ~cmp:compare [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Heap.to_sorted_list h)
+
+let test_custom_comparator () =
+  let h = Heap.of_list ~cmp:(fun a b -> compare b a) [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "descending drain" [ 3; 2; 1 ] (Heap.to_sorted_list h)
+
+let test_fold_unordered () =
+  let h = Heap.of_list ~cmp:compare [ 4; 2; 7 ] in
+  let sum = Heap.fold_unordered ( + ) 0 h in
+  Alcotest.(check int) "sum" 13 sum;
+  Alcotest.(check int) "heap intact" 3 (Heap.length h)
+
+let test_interleaved () =
+  let h = int_heap () in
+  Heap.add h 5;
+  Heap.add h 3;
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop_min h);
+  Heap.add h 1;
+  Heap.add h 4;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop_min h);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Heap.pop_min h);
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Heap.pop_min h)
+
+let prop_drain_sorted =
+  QCheck.Test.make ~count:500 ~name:"heap drain equals sort"
+    QCheck.(list small_int)
+    (fun l ->
+      let h = Heap.of_list ~cmp:compare l in
+      Heap.to_sorted_list h = List.sort compare l)
+
+let prop_incremental_matches_heapify =
+  QCheck.Test.make ~count:500 ~name:"incremental add equals heapify"
+    QCheck.(list small_int)
+    (fun l ->
+      let h1 = Heap.of_list ~cmp:compare l in
+      let h2 = Heap.create ~cmp:compare in
+      List.iter (Heap.add h2) l;
+      Heap.to_sorted_list h1 = Heap.to_sorted_list h2)
+
+let prop_min_is_minimum =
+  QCheck.Test.make ~count:500 ~name:"min_elt is list minimum"
+    QCheck.(list_of_size Gen.(1 -- 50) small_int)
+    (fun l ->
+      let h = Heap.of_list ~cmp:compare l in
+      Heap.min_elt h = Some (List.fold_left min (List.hd l) l))
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/pop order" `Quick test_add_pop_order;
+          Alcotest.test_case "of_list" `Quick test_of_list;
+          Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
+          Alcotest.test_case "fold unordered" `Quick test_fold_unordered;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+        ] );
+      ( "properties",
+        List.map Tq.to_alcotest
+          [ prop_drain_sorted; prop_incremental_matches_heapify; prop_min_is_minimum ] );
+    ]

@@ -1,0 +1,96 @@
+(* Unit tests for the payment ledger and its worker-centric metrics. *)
+
+module Sim = Stratrec_crowdsim
+module Ledger = Sim.Ledger
+module Rng = Stratrec_util.Rng
+
+let pay ledger worker amount =
+  Ledger.record ledger { Ledger.worker_id = worker; window = Sim.Window.Weekend; amount }
+
+let test_totals_and_commission () =
+  let ledger = Ledger.create ~commission:0.2 () in
+  pay ledger 1 10.;
+  pay ledger 2 5.;
+  pay ledger 1 5.;
+  Alcotest.(check (float 1e-9)) "gross" 20. (Ledger.total_paid ledger);
+  Alcotest.(check (float 1e-9)) "platform cut" 4. (Ledger.platform_revenue ledger);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "net per worker"
+    [ (1, 12.); (2, 4.) ]
+    (Ledger.worker_earnings ledger);
+  Alcotest.(check int) "payments in order" 3 (List.length (Ledger.payments ledger))
+
+let test_validation () =
+  Alcotest.check_raises "commission" (Invalid_argument "Ledger.create: commission outside [0, 1)")
+    (fun () -> ignore (Ledger.create ~commission:1. ()));
+  let ledger = Ledger.create () in
+  Alcotest.check_raises "negative amount" (Invalid_argument "Ledger.record: negative amount")
+    (fun () -> pay ledger 1 (-1.))
+
+let test_gini () =
+  (* Perfect equality. *)
+  let equal = Ledger.create () in
+  List.iter (fun w -> pay equal w 2.) [ 1; 2; 3; 4 ];
+  Alcotest.(check (float 1e-9)) "equal earnings" 0. (Ledger.gini equal);
+  (* Full concentration approaches (n-1)/n. *)
+  let concentrated = Ledger.create () in
+  pay concentrated 1 100.;
+  List.iter (fun w -> pay concentrated w 0.) [ 2; 3; 4 ];
+  Alcotest.(check (float 1e-9)) "concentrated" 0.75 (Ledger.gini concentrated);
+  (* Degenerate cases. *)
+  let single = Ledger.create () in
+  pay single 1 5.;
+  Alcotest.(check (float 1e-9)) "single worker" 0. (Ledger.gini single);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Ledger.gini (Ledger.create ()))
+
+let test_top_share () =
+  let ledger = Ledger.create () in
+  pay ledger 1 70.;
+  List.iter (fun w -> pay ledger w 10.) [ 2; 3; 4 ];
+  Alcotest.(check (float 1e-9)) "top quartile" 0.7 (Ledger.top_share ledger ~fraction:0.25);
+  Alcotest.(check (float 1e-9)) "everyone" 1. (Ledger.top_share ledger ~fraction:1.);
+  Alcotest.check_raises "fraction range" (Invalid_argument "Ledger.top_share: fraction outside (0, 1]")
+    (fun () -> ignore (Ledger.top_share ledger ~fraction:0.))
+
+let test_merge () =
+  let a = Ledger.create () and b = Ledger.create () in
+  pay a 1 5.;
+  pay b 2 7.;
+  let merged = Ledger.merge a b in
+  Alcotest.(check (float 1e-9)) "merged total" 12. (Ledger.total_paid merged);
+  let different = Ledger.create ~commission:0.5 () in
+  Alcotest.check_raises "commission mismatch" (Invalid_argument "Ledger.merge: differing commissions")
+    (fun () -> ignore (Ledger.merge a different))
+
+let test_campaign_records_payments () =
+  let rng = Rng.create 1 in
+  let platform = Sim.Platform.create rng ~population:400 in
+  let ledger = Ledger.create () in
+  let deployment =
+    {
+      Sim.Campaign.task = List.hd Sim.Task_spec.translation_samples;
+      combo = List.hd Stratrec_model.Dimension.all_combos;
+      window = Sim.Window.Early_week;
+      capacity = 7;
+      guided = true;
+    }
+  in
+  let result = Sim.Campaign.deploy ~ledger platform rng deployment in
+  Alcotest.(check (float 1e-9)) "ledger matches dollars spent"
+    result.Sim.Campaign.dollars_spent (Ledger.total_paid ledger);
+  Alcotest.(check int) "one payment per hired worker" result.Sim.Campaign.workers_hired
+    (List.length (Ledger.payments ledger))
+
+let () =
+  Alcotest.run "ledger"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "totals and commission" `Quick test_totals_and_commission;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "gini" `Quick test_gini;
+          Alcotest.test_case "top share" `Quick test_top_share;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "campaign records payments" `Quick test_campaign_records_payments;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Unit tests for the ground-truth outcome models and campaign deployment. *)
+
+module Rng = Stratrec_util.Rng
+module Params = Stratrec_model.Params
+module Dimension = Stratrec_model.Dimension
+module LM = Stratrec_model.Linear_model
+module Sim = Stratrec_crowdsim
+
+let combo label = Option.get (Dimension.combo_of_label label)
+
+let test_table6_reference () =
+  Alcotest.(check int) "four measured rows" 4 (List.length Sim.Outcome.table6_reference);
+  (* Translation SEQ-IND-CRO quality coefficients are Table 6's (0.09, 0.85). *)
+  let m = Sim.Outcome.true_model Sim.Task_spec.Sentence_translation (combo "SEQ-IND-CRO") in
+  Alcotest.(check (float 1e-9)) "alpha" 0.09 m.LM.quality.LM.alpha;
+  Alcotest.(check (float 1e-9)) "beta" 0.85 m.LM.quality.LM.beta;
+  Alcotest.(check (float 1e-9)) "latency alpha" (-0.98) m.LM.latency.LM.alpha
+
+let test_unmeasured_combos_have_models () =
+  List.iter
+    (fun c ->
+      let m = Sim.Outcome.true_model Sim.Task_spec.Text_creation c in
+      (* Quality rises and latency falls with availability for every combo. *)
+      Alcotest.(check bool) "quality slope positive" true (m.LM.quality.LM.alpha > 0.);
+      Alcotest.(check bool) "latency slope negative" true (m.LM.latency.LM.alpha < 0.))
+    Dimension.all_combos
+
+let test_hybrid_is_cheaper () =
+  let cro = Sim.Outcome.true_model Sim.Task_spec.Text_creation (combo "SIM-IND-CRO") in
+  let hyb = Sim.Outcome.true_model Sim.Task_spec.Text_creation (combo "SIM-IND-HYB") in
+  let cost m = LM.response m.LM.cost 0.8 in
+  Alcotest.(check bool) "machines cut cost" true (cost hyb < cost cro)
+
+let test_custom_kind_falls_back () =
+  let custom = Sim.Outcome.true_model (Sim.Task_spec.Custom "survey") (combo "SEQ-IND-CRO") in
+  let creation = Sim.Outcome.true_model Sim.Task_spec.Text_creation (combo "SEQ-IND-CRO") in
+  Alcotest.(check (float 1e-9)) "custom reuses creation" creation.LM.quality.LM.alpha
+    custom.LM.quality.LM.alpha
+
+let test_measure_clamped_and_noisy () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 200 do
+    let p =
+      Sim.Outcome.measure rng ~kind:Sim.Task_spec.Sentence_translation
+        ~combo:(combo "SEQ-IND-CRO") ~availability:0.9 ()
+    in
+    List.iter
+      (fun axis ->
+        let v = Params.get p axis in
+        Alcotest.(check bool) "in [0,1]" true (v >= 0. && v <= 1.))
+      Params.all_axes
+  done;
+  (* Noise means two measurements differ. *)
+  let a =
+    Sim.Outcome.measure rng ~kind:Sim.Task_spec.Sentence_translation ~combo:(combo "SEQ-IND-CRO")
+      ~availability:0.9 ()
+  in
+  let b =
+    Sim.Outcome.measure rng ~kind:Sim.Task_spec.Sentence_translation ~combo:(combo "SEQ-IND-CRO")
+      ~availability:0.9 ()
+  in
+  Alcotest.(check bool) "noisy" true (not (Params.equal a b))
+
+let platform = Sim.Platform.create (Rng.create 7) ~population:800
+
+let deployment guided =
+  {
+    Sim.Campaign.task = List.hd Sim.Task_spec.translation_samples;
+    combo = combo "SIM-COL-CRO";
+    window = Sim.Window.Early_week;
+    capacity = 7;
+    guided;
+  }
+
+let test_deploy_fields () =
+  let rng = Rng.create 8 in
+  let r = Sim.Campaign.deploy platform rng (deployment true) in
+  Alcotest.(check bool) "availability in range" true
+    (r.Sim.Campaign.availability >= 0. && r.Sim.Campaign.availability <= 1.);
+  Alcotest.(check bool) "hired within capacity" true (r.Sim.Campaign.workers_hired <= 7);
+  Alcotest.(check (float 1e-9)) "dollars = $2 x hired"
+    (2. *. float_of_int r.Sim.Campaign.workers_hired)
+    r.Sim.Campaign.dollars_spent;
+  List.iter
+    (fun axis ->
+      let v = Params.get r.Sim.Campaign.measured axis in
+      Alcotest.(check bool) "measured in [0,1]" true (v >= 0. && v <= 1.))
+    Params.all_axes
+
+let test_replicate_and_observations () =
+  let rng = Rng.create 9 in
+  let results = Sim.Campaign.replicate platform rng (deployment true) ~times:5 in
+  Alcotest.(check int) "five runs" 5 (List.length results);
+  let obs = Sim.Campaign.observations results in
+  Alcotest.(check int) "five observations" 5 (Array.length obs);
+  Alcotest.check_raises "times must be positive"
+    (Invalid_argument "Campaign.replicate: times must be positive") (fun () ->
+      ignore (Sim.Campaign.replicate platform rng (deployment true) ~times:0))
+
+let test_calibration_recovers_truth () =
+  let rng = Rng.create 10 in
+  (* Synthetic observations straight from the reference model. *)
+  let reference = Sim.Outcome.true_model Sim.Task_spec.Sentence_translation (combo "SEQ-IND-CRO") in
+  let observations =
+    Array.init 40 (fun i ->
+        let w = 0.6 +. (0.4 *. float_of_int i /. 39.) in
+        ( w,
+          Sim.Outcome.measure rng ~kind:Sim.Task_spec.Sentence_translation
+            ~combo:(combo "SEQ-IND-CRO") ~availability:w () ))
+  in
+  let calibration = Sim.Calibration.fit ~observations in
+  let checks = Sim.Calibration.within_reference ~level:0.9 calibration ~reference in
+  (* At least two of the three axes must recover the reference at 90%
+     (quality's tiny slope is occasionally marginal). *)
+  let hits = List.length (List.filter snd checks) in
+  Alcotest.(check bool) "mostly within CI" true (hits >= 2);
+  Alcotest.(check bool) "cost fit is tight" true
+    (Sim.Calibration.r_squared calibration Params.Cost > 0.9)
+
+let () =
+  Alcotest.run "outcome_campaign"
+    [
+      ( "outcome",
+        [
+          Alcotest.test_case "table 6 reference" `Quick test_table6_reference;
+          Alcotest.test_case "unmeasured combos" `Quick test_unmeasured_combos_have_models;
+          Alcotest.test_case "hybrid cheaper" `Quick test_hybrid_is_cheaper;
+          Alcotest.test_case "custom kind fallback" `Quick test_custom_kind_falls_back;
+          Alcotest.test_case "measure clamped/noisy" `Quick test_measure_clamped_and_noisy;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deploy fields" `Quick test_deploy_fields;
+          Alcotest.test_case "replicate/observations" `Quick test_replicate_and_observations;
+          Alcotest.test_case "calibration recovers truth" `Quick test_calibration_recovers_truth;
+        ] );
+    ]

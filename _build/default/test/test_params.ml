@@ -1,0 +1,100 @@
+(* Unit and property tests for parameter triples and their normalization. *)
+
+module Params = Stratrec_model.Params
+module P3 = Stratrec_geom.Point3
+
+let mk q c l = Params.make ~quality:q ~cost:c ~latency:l
+
+let test_make_validation () =
+  Alcotest.check_raises "quality > 1"
+    (Invalid_argument "Params.make: (1.5, 0.5, 0.5) outside [0,1]") (fun () ->
+      ignore (mk 1.5 0.5 0.5));
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Params.make: (0.5, -0.1, 0.5) outside [0,1]") (fun () ->
+      ignore (mk 0.5 (-0.1) 0.5))
+
+let test_satisfies () =
+  let request = mk 0.7 0.8 0.3 in
+  Alcotest.(check bool) "meets all" true
+    (Params.satisfies ~strategy:(mk 0.8 0.5 0.2) ~request);
+  Alcotest.(check bool) "boundary counts" true
+    (Params.satisfies ~strategy:(mk 0.7 0.8 0.3) ~request);
+  Alcotest.(check bool) "quality too low" false
+    (Params.satisfies ~strategy:(mk 0.69 0.5 0.2) ~request);
+  Alcotest.(check bool) "too expensive" false
+    (Params.satisfies ~strategy:(mk 0.8 0.81 0.2) ~request);
+  Alcotest.(check bool) "too slow" false
+    (Params.satisfies ~strategy:(mk 0.8 0.5 0.31) ~request)
+
+let test_point_roundtrip () =
+  let p = mk 0.3 0.4 0.5 in
+  let pt = Params.to_point p in
+  Alcotest.(check (float 1e-12)) "x is inverted quality" 0.7 (P3.coord pt 0);
+  Alcotest.(check (float 1e-12)) "y is cost" 0.4 (P3.coord pt 1);
+  Alcotest.(check (float 1e-12)) "z is latency" 0.5 (P3.coord pt 2);
+  let p' = Params.of_point pt in
+  Alcotest.(check bool) "roundtrip (up to float drift)" true
+    (Params.l2_distance p p' < 1e-12)
+
+let test_axes () =
+  let p = mk 0.1 0.2 0.3 in
+  Alcotest.(check (float 0.)) "get quality" 0.1 (Params.get p Params.Quality);
+  Alcotest.(check (float 0.)) "get cost" 0.2 (Params.get p Params.Cost);
+  Alcotest.(check (float 0.)) "get latency" 0.3 (Params.get p Params.Latency);
+  let p' = Params.set p Params.Cost 0.9 in
+  Alcotest.(check (float 0.)) "set cost" 0.9 (Params.get p' Params.Cost);
+  Alcotest.(check (float 0.)) "others untouched" 0.1 (Params.get p' Params.Quality);
+  Alcotest.(check int) "axis indices" 3
+    (List.length (List.sort_uniq compare (List.map Params.axis_index Params.all_axes)))
+
+let test_distance () =
+  let a = mk 0.1 0.2 0.3 and b = mk 0.4 0.6 0.3 in
+  Alcotest.(check (float 1e-12)) "l2" 0.5 (Params.l2_distance a b);
+  Alcotest.(check (float 1e-12)) "self distance" 0. (Params.l2_distance a a)
+
+let test_relaxation () =
+  let request = mk 0.8 0.2 0.28 in
+  (* Against the paper's s1 (0.5, 0.25, 0.28): quality relaxation 0.3, cost
+     relaxation 0.05, latency 0. *)
+  let s1 = mk 0.5 0.25 0.28 in
+  Alcotest.(check (float 1e-9)) "quality" 0.3 (Params.relaxation ~request ~strategy:s1 Params.Quality);
+  Alcotest.(check (float 1e-9)) "cost" 0.05 (Params.relaxation ~request ~strategy:s1 Params.Cost);
+  Alcotest.(check (float 1e-9)) "latency" 0. (Params.relaxation ~request ~strategy:s1 Params.Latency)
+
+let tri = QCheck.(triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.))
+
+let prop_satisfaction_iff_zero_relaxation =
+  QCheck.Test.make ~count:500 ~name:"satisfies iff all relaxations are zero"
+    QCheck.(pair tri tri)
+    (fun ((q1, c1, l1), (q2, c2, l2)) ->
+      let strategy = mk q1 c1 l1 and request = mk q2 c2 l2 in
+      let zero =
+        List.for_all
+          (fun axis -> Params.relaxation ~request ~strategy axis = 0.)
+          Params.all_axes
+      in
+      Params.satisfies ~strategy ~request = zero)
+
+let prop_distance_invariant_under_inversion =
+  QCheck.Test.make ~count:500 ~name:"distance equals point distance" QCheck.(pair tri tri)
+    (fun ((q1, c1, l1), (q2, c2, l2)) ->
+      let a = mk q1 c1 l1 and b = mk q2 c2 l2 in
+      Float.abs (Params.l2_distance a b -. P3.l2_distance (Params.to_point a) (Params.to_point b))
+      < 1e-9)
+
+let () =
+  Alcotest.run "params"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+          Alcotest.test_case "point roundtrip" `Quick test_point_roundtrip;
+          Alcotest.test_case "axes" `Quick test_axes;
+          Alcotest.test_case "distance" `Quick test_distance;
+          Alcotest.test_case "relaxation (paper numbers)" `Quick test_relaxation;
+        ] );
+      ( "properties",
+        List.map Tq.to_alcotest
+          [ prop_satisfaction_iff_zero_relaxation; prop_distance_invariant_under_inversion ] );
+    ]

@@ -1,0 +1,97 @@
+(* Integration tests for the closed-loop multi-window planner. *)
+
+module Model = Stratrec_model
+module Sim = Stratrec_crowdsim
+module Rng = Stratrec_util.Rng
+module Planner = Stratrec_pipeline.Planner
+
+let make_planner ?config seed =
+  let rng = Rng.create seed in
+  let platform = Sim.Platform.create rng ~population:600 in
+  let strategies = Model.Workload.strategies rng ~n:60 ~kind:Model.Workload.Uniform in
+  Planner.create ?config ~platform ~rng ~kind:Sim.Task_spec.Sentence_translation ~strategies
+    ~warmup_windows:3 ()
+
+let batch rng m = Model.Workload.requests rng ~m ~k:3
+
+let test_warmup_seeds_history () =
+  let planner = make_planner 1 in
+  Alcotest.(check int) "3 warm-up windows" 3 (Planner.windows_elapsed planner);
+  let history = Planner.history planner in
+  Alcotest.(check int) "3 observations" 3 (Array.length history);
+  Array.iter
+    (fun a -> Alcotest.(check bool) "availability in [0,1]" true (a >= 0. && a <= 1.))
+    history;
+  Alcotest.check_raises "warmup >= 1"
+    (Invalid_argument "Planner.create: warmup_windows must be >= 1") (fun () ->
+      ignore (make_planner ~config:Planner.default_config 2 |> ignore;
+              let rng = Rng.create 3 in
+              let platform = Sim.Platform.create rng ~population:10 in
+              Planner.create ~platform ~rng ~kind:Sim.Task_spec.Sentence_translation
+                ~strategies:[||] ~warmup_windows:0 ()))
+
+let test_run_window_report () =
+  let planner = make_planner 4 in
+  let rng = Rng.create 5 in
+  let report = Planner.run_window planner ~requests:(batch rng 6) in
+  Alcotest.(check bool) "forecast in range" true
+    (report.Planner.forecast >= 0. && report.Planner.forecast <= 1.);
+  Alcotest.(check bool) "observed in range" true
+    (report.Planner.observed >= 0. && report.Planner.observed <= 1.);
+  Alcotest.(check int) "history extended" 4 (Array.length (Planner.history planner));
+  Alcotest.(check int) "clock advanced" 4 (Planner.windows_elapsed planner);
+  (* Every deployed entry corresponds to a satisfied request with a
+     measured outcome in range. *)
+  let satisfied = Stratrec.Aggregator.satisfied report.Planner.aggregate in
+  Alcotest.(check int) "deployed = satisfied" (List.length satisfied)
+    (List.length report.Planner.deployed);
+  List.iter
+    (fun (_, _, measured) ->
+      Alcotest.(check bool) "measured quality in range" true
+        (measured.Model.Params.quality >= 0. && measured.Model.Params.quality <= 1.))
+    report.Planner.deployed
+
+let test_windows_cycle () =
+  let planner = make_planner 6 in
+  let rng = Rng.create 7 in
+  (* After 3 warm-ups the next window restarts the weekly cycle. *)
+  let r1 = Planner.run_window planner ~requests:(batch rng 3) in
+  let r2 = Planner.run_window planner ~requests:(batch rng 3) in
+  let r3 = Planner.run_window planner ~requests:(batch rng 3) in
+  Alcotest.(check string) "weekend first" "Window-1" (Sim.Window.label r1.Planner.window);
+  Alcotest.(check string) "early week" "Window-2" (Sim.Window.label r2.Planner.window);
+  Alcotest.(check string) "late week" "Window-3" (Sim.Window.label r3.Planner.window)
+
+let test_forced_forecast_method () =
+  let config = { Planner.default_config with Planner.forecast_method = Some Model.Forecast.Naive } in
+  let planner = make_planner ~config 8 in
+  let rng = Rng.create 9 in
+  let history_before = Planner.history planner in
+  let report = Planner.run_window planner ~requests:(batch rng 4) in
+  Alcotest.(check bool) "uses the forced method" true
+    (report.Planner.method_used = Model.Forecast.Naive);
+  Alcotest.(check (float 1e-9)) "naive forecast = last observation"
+    history_before.(Array.length history_before - 1)
+    report.Planner.forecast
+
+let test_multi_week_run () =
+  let planner = make_planner 10 in
+  let rng = Rng.create 11 in
+  for _ = 1 to 6 do
+    ignore (Planner.run_window planner ~requests:(batch rng 5))
+  done;
+  Alcotest.(check int) "9 windows elapsed" 9 (Planner.windows_elapsed planner);
+  Alcotest.(check int) "9 observations" 9 (Array.length (Planner.history planner))
+
+let () =
+  Alcotest.run "planner"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "warmup seeds history" `Quick test_warmup_seeds_history;
+          Alcotest.test_case "run window report" `Quick test_run_window_report;
+          Alcotest.test_case "windows cycle" `Quick test_windows_cycle;
+          Alcotest.test_case "forced forecast method" `Quick test_forced_forecast_method;
+          Alcotest.test_case "multi-week run" `Quick test_multi_week_run;
+        ] );
+    ]

@@ -1,0 +1,78 @@
+(* Unit tests for multi-task-type portfolios. *)
+
+module Model = Stratrec_model
+module Rng = Stratrec_util.Rng
+module P = Stratrec.Portfolio
+
+let group seed label availability =
+  let rng = Rng.create seed in
+  {
+    P.label;
+    strategies = Model.Workload.strategies rng ~n:40 ~kind:Model.Workload.Uniform;
+    availability = Model.Availability.certain availability;
+    requests = Model.Workload.requests rng ~m:5 ~k:3;
+  }
+
+let config =
+  {
+    Stratrec.Aggregator.default_config with
+    Stratrec.Aggregator.inversion_rule = `Paper_equality;
+    reestimate_parameters = false;
+  }
+
+let test_runs_per_group () =
+  let report = P.run ~config [ group 1 "translation" 0.9; group 2 "creation" 0.9 ] in
+  Alcotest.(check int) "two groups" 2 (List.length report.P.groups);
+  Alcotest.(check int) "all requests accounted" 10 report.P.request_count;
+  (* The combined numbers are the sums of the per-group reports. *)
+  let sum f = List.fold_left (fun acc (_, r) -> acc +. f r) 0. report.P.groups in
+  Alcotest.(check (float 1e-9)) "objective sums"
+    (sum (fun r -> r.Stratrec.Aggregator.objective_value))
+    report.P.objective_value;
+  Alcotest.(check bool) "labels accessible" true
+    (P.group_report report "translation" <> None && P.group_report report "absent" = None)
+
+let test_groups_do_not_interfere () =
+  (* A group's result is identical whether it runs alone or with others. *)
+  let g = group 3 "translation" 0.85 in
+  let alone = P.run ~config [ g ] in
+  let together = P.run ~config [ g; group 4 "creation" 0.4 ] in
+  match (P.group_report alone "translation", P.group_report together "translation") with
+  | Some a, Some b ->
+      Alcotest.(check (float 1e-9)) "same objective" a.Stratrec.Aggregator.objective_value
+        b.Stratrec.Aggregator.objective_value;
+      Alcotest.(check int) "same satisfied count"
+        (List.length (Stratrec.Aggregator.satisfied a))
+        (List.length (Stratrec.Aggregator.satisfied b))
+  | _ -> Alcotest.fail "group reports missing"
+
+let test_duplicate_labels_rejected () =
+  Alcotest.check_raises "duplicates" (Invalid_argument "Portfolio.run: duplicate group labels")
+    (fun () -> ignore (P.run ~config [ group 5 "same" 0.9; group 6 "same" 0.9 ]))
+
+let test_empty_portfolio () =
+  let report = P.run ~config [] in
+  Alcotest.(check int) "no requests" 0 report.P.request_count;
+  Alcotest.(check (float 1e-9)) "vacuous fraction" 1. (P.satisfied_fraction report)
+
+let test_per_type_availability_matters () =
+  (* The same group satisfies more at high availability than at a starved
+     one. *)
+  let count availability =
+    let report = P.run ~config [ group 7 "translation" availability ] in
+    report.P.satisfied_count
+  in
+  Alcotest.(check bool) "availability gates throughput" true (count 0.95 >= count 0.3)
+
+let () =
+  Alcotest.run "portfolio"
+    [
+      ( "portfolio",
+        [
+          Alcotest.test_case "runs per group" `Quick test_runs_per_group;
+          Alcotest.test_case "groups do not interfere" `Quick test_groups_do_not_interfere;
+          Alcotest.test_case "duplicate labels" `Quick test_duplicate_labels_rejected;
+          Alcotest.test_case "empty portfolio" `Quick test_empty_portfolio;
+          Alcotest.test_case "per-type availability" `Quick test_per_type_availability_matters;
+        ] );
+    ]

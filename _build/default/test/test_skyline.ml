@@ -1,0 +1,91 @@
+(* Unit and property tests for skyline / k-skyband computation. *)
+
+module P = Stratrec_geom.Point3
+module S = Stratrec_geom.Skyline
+
+let mk (x, y, z) = P.make x y z
+
+let ids entries = List.map snd entries |> List.sort compare
+
+let test_simple_skyline () =
+  let entries =
+    [
+      (mk (0.1, 0.9, 0.5), 0);
+      (mk (0.5, 0.5, 0.5), 1);
+      (mk (0.9, 0.1, 0.5), 2);
+      (mk (0.6, 0.6, 0.6), 3) (* dominated by 1 *);
+    ]
+  in
+  Alcotest.(check (list int)) "skyline" [ 0; 1; 2 ] (ids (S.skyline entries))
+
+let test_duplicates_kept () =
+  let p = mk (0.5, 0.5, 0.5) in
+  let entries = [ (p, 0); (p, 1) ] in
+  Alcotest.(check (list int)) "both duplicates kept" [ 0; 1 ] (ids (S.skyline entries))
+
+let test_dominance_count () =
+  let entries =
+    [ (mk (0.1, 0.1, 0.1), 0); (mk (0.2, 0.2, 0.2), 1); (mk (0.3, 0.3, 0.3), 2) ]
+  in
+  Alcotest.(check int) "bottom dominates none above it" 0
+    (S.dominance_count (mk (0.05, 0.05, 0.05)) entries);
+  Alcotest.(check int) "top dominated by all" 3 (S.dominance_count (mk (0.4, 0.4, 0.4)) entries);
+  Alcotest.(check bool) "skyline member" true (S.is_skyline_member (mk (0.05, 0.2, 0.2)) entries)
+
+let test_skyband () =
+  let entries =
+    [ (mk (0.1, 0.1, 0.1), 0); (mk (0.2, 0.2, 0.2), 1); (mk (0.3, 0.3, 0.3), 2) ]
+  in
+  Alcotest.(check (list int)) "skyband k=1" [ 0 ] (ids (S.k_skyband ~k:1 entries));
+  Alcotest.(check (list int)) "skyband k=2" [ 0; 1 ] (ids (S.k_skyband ~k:2 entries));
+  Alcotest.(check (list int)) "skyband k=3" [ 0; 1; 2 ] (ids (S.k_skyband ~k:3 entries));
+  Alcotest.check_raises "k=0" (Invalid_argument "Skyline.k_skyband: k must be >= 1") (fun () ->
+      ignore (S.k_skyband ~k:0 entries))
+
+let gen_entries =
+  QCheck.(
+    list_of_size
+      Gen.(0 -- 60)
+      (triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.)))
+
+let with_ids coords = List.mapi (fun i c -> (mk c, i)) coords
+
+let prop_skyline_equals_bruteforce =
+  QCheck.Test.make ~count:200 ~name:"skyline equals brute-force filter" gen_entries
+    (fun coords ->
+      let entries = with_ids coords in
+      let brute =
+        List.filter
+          (fun (p, _) -> not (List.exists (fun (q, _) -> P.dominates q p) entries))
+          entries
+      in
+      ids (S.skyline entries) = ids brute)
+
+let prop_skyband_k1_is_skyline =
+  QCheck.Test.make ~count:200 ~name:"1-skyband equals skyline" gen_entries (fun coords ->
+      let entries = with_ids coords in
+      ids (S.k_skyband ~k:1 entries) = ids (S.skyline entries))
+
+let prop_skyband_monotone =
+  QCheck.Test.make ~count:200 ~name:"skyband grows with k" gen_entries (fun coords ->
+      let entries = with_ids coords in
+      let k1 = ids (S.k_skyband ~k:1 entries) in
+      let k2 = ids (S.k_skyband ~k:2 entries) in
+      let k3 = ids (S.k_skyband ~k:3 entries) in
+      List.for_all (fun x -> List.mem x k2) k1 && List.for_all (fun x -> List.mem x k3) k2)
+
+let () =
+  Alcotest.run "skyline"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simple skyline" `Quick test_simple_skyline;
+          Alcotest.test_case "duplicates kept" `Quick test_duplicates_kept;
+          Alcotest.test_case "dominance count" `Quick test_dominance_count;
+          Alcotest.test_case "skyband" `Quick test_skyband;
+        ] );
+      ( "properties",
+        List.map Tq.to_alcotest
+          [ prop_skyline_equals_bruteforce; prop_skyband_k1_is_skyline; prop_skyband_monotone ]
+      );
+    ]

@@ -1,0 +1,108 @@
+(* Integration tests for the §5.1 study pipelines on the simulator. *)
+
+module Rng = Stratrec_util.Rng
+module Stats = Stratrec_util.Stats
+module Dimension = Stratrec_model.Dimension
+module Sim = Stratrec_crowdsim
+
+let combo label = Option.get (Dimension.combo_of_label label)
+let platform seed = Sim.Platform.create (Rng.create seed) ~population:1000
+
+let test_availability_study_shape () =
+  let rows =
+    Sim.Study.availability_study (platform 1) (Rng.create 2)
+      ~kind:Sim.Task_spec.Sentence_translation ()
+  in
+  (* 3 windows x 2 strategies. *)
+  Alcotest.(check int) "six rows" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "mean in [0,1]" true
+        (r.Sim.Study.mean_availability >= 0. && r.Sim.Study.mean_availability <= 1.);
+      Alcotest.(check bool) "stderr non-negative" true (r.Sim.Study.std_error >= 0.))
+    rows;
+  (* The busy window dominates the quiet one on average. *)
+  let mean window =
+    List.filter (fun r -> r.Sim.Study.window = window) rows
+    |> List.map (fun r -> r.Sim.Study.mean_availability)
+    |> fun l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  Alcotest.(check bool) "window-2 busiest" true
+    (mean Sim.Window.Early_week >= mean Sim.Window.Late_week)
+
+let test_linearity_study () =
+  let res =
+    Sim.Study.linearity_study (platform 3) (Rng.create 4)
+      ~kind:Sim.Task_spec.Sentence_translation ~combo:(combo "SEQ-IND-CRO") ~deployments:36 ()
+  in
+  Alcotest.(check int) "observation count" 36 (Array.length res.Sim.Study.observations);
+  (* Cost and latency fits are sharp; count how many axes contain the
+     reference. *)
+  let hits = List.length (List.filter snd res.Sim.Study.reference_within_90) in
+  Alcotest.(check bool) "reference mostly within 90% CI" true (hits >= 2);
+  (* The fitted latency slope must be negative like the ground truth. *)
+  let lat =
+    List.assoc Stratrec_model.Params.Latency
+      res.Sim.Study.calibration.Sim.Calibration.diagnostics
+  in
+  Alcotest.(check bool) "latency slope negative" true
+    (lat.Stratrec_util.Regression.slope < 0.)
+
+let test_effectiveness_study () =
+  let res =
+    Sim.Study.effectiveness_study (platform 5) (Rng.create 6)
+      ~kind:Sim.Task_spec.Sentence_translation ~recommend:Sim.Study.default_recommender
+      ~tasks:20 ()
+  in
+  (* Fig. 13's qualitative findings. *)
+  Alcotest.(check bool) "guided quality higher" true
+    (res.Sim.Study.guided.Sim.Study.quality.Stats.mean
+    > res.Sim.Study.unguided.Sim.Study.quality.Stats.mean);
+  Alcotest.(check bool) "guided latency lower" true
+    (res.Sim.Study.guided.Sim.Study.latency.Stats.mean
+    < res.Sim.Study.unguided.Sim.Study.latency.Stats.mean);
+  Alcotest.(check bool) "quality difference significant" true
+    res.Sim.Study.quality_test.Stats.significant_at_5pct;
+  (* The paired design is at least as sharp: quality must also be paired-
+     significant, with a positive mean difference (guided minus unguided). *)
+  (match List.assoc Stratrec_model.Params.Quality res.Sim.Study.paired_tests with
+  | paired ->
+      Alcotest.(check bool) "paired quality significant" true paired.Stats.significant_at_5pct;
+      Alcotest.(check bool) "paired direction" true (paired.Stats.t_statistic > 0.));
+  (* The edit-war observation: unguided sessions edit far more. *)
+  Alcotest.(check bool) "fewer edits when guided" true
+    (res.Sim.Study.guided.Sim.Study.mean_edits
+    < res.Sim.Study.unguided.Sim.Study.mean_edits);
+  Alcotest.(check bool) "edit ratio near the paper's ~1.8x" true
+    (res.Sim.Study.unguided.Sim.Study.mean_edits
+    > 1.3 *. res.Sim.Study.guided.Sim.Study.mean_edits)
+
+let test_default_recommender () =
+  let c = Sim.Study.default_recommender (List.hd Sim.Task_spec.translation_samples) in
+  Alcotest.(check string) "seq-ind-cro" "SEQ-IND-CRO" (Dimension.combo_label c)
+
+let test_validation () =
+  Alcotest.check_raises "too few replicates"
+    (Invalid_argument "Study.availability_study: need >= 2 replicates") (fun () ->
+      ignore
+        (Sim.Study.availability_study (platform 7) (Rng.create 8)
+           ~kind:Sim.Task_spec.Sentence_translation ~replicates:1 ()));
+  Alcotest.check_raises "too few tasks"
+    (Invalid_argument "Study.effectiveness_study: need >= 2 tasks") (fun () ->
+      ignore
+        (Sim.Study.effectiveness_study (platform 9) (Rng.create 10)
+           ~kind:Sim.Task_spec.Sentence_translation ~recommend:Sim.Study.default_recommender
+           ~tasks:1 ()))
+
+let () =
+  Alcotest.run "study"
+    [
+      ( "study",
+        [
+          Alcotest.test_case "availability study shape" `Slow test_availability_study_shape;
+          Alcotest.test_case "linearity study" `Slow test_linearity_study;
+          Alcotest.test_case "effectiveness study" `Slow test_effectiveness_study;
+          Alcotest.test_case "default recommender" `Quick test_default_recommender;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

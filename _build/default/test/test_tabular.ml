@@ -1,0 +1,65 @@
+(* Unit tests for the table renderer used by the bench harness. *)
+
+module Tabular = Stratrec_util.Tabular
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_render_alignment () =
+  let t = Tabular.create ~columns:[ "a"; "long-header" ] in
+  Tabular.add_row t [ "wide-cell"; "x" ];
+  let rendered = Tabular.render t in
+  let lines = String.split_on_char '\n' rendered |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  (* All lines are padded to the same width. *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "uniform width" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_arity_check () =
+  let t = Tabular.create ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Tabular.add_row: arity mismatch with header")
+    (fun () -> Tabular.add_row t [ "only-one" ])
+
+let test_float_row () =
+  let t = Tabular.create ~columns:[ "label"; "x"; "y" ] in
+  Tabular.add_float_row t ~decimals:2 "row" [ 1.234; 5.678 ];
+  let rendered = Tabular.render t in
+  Alcotest.(check bool) "formats floats" true
+    (String.length rendered > 0 && contains rendered "1.23" && contains rendered "5.68")
+
+let test_csv () =
+  let t = Tabular.create ~columns:[ "name"; "value" ] in
+  Tabular.add_row t [ "plain"; "1" ];
+  Tabular.add_row t [ "with,comma"; "quote\"inside" ];
+  let csv = Tabular.to_csv t in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "name,value" (List.hd lines);
+  Alcotest.(check string) "escaped" "\"with,comma\",\"quote\"\"inside\"" (List.nth lines 2)
+
+let test_row_order () =
+  let t = Tabular.create ~columns:[ "n" ] in
+  List.iter (fun i -> Tabular.add_row t [ string_of_int i ]) [ 1; 2; 3 ];
+  let csv = Tabular.to_csv t in
+  Alcotest.(check string) "order preserved" "n\n1\n2\n3\n" csv
+
+let test_empty_columns_rejected () =
+  Alcotest.check_raises "no columns" (Invalid_argument "Tabular.create: no columns") (fun () ->
+      ignore (Tabular.create ~columns:[]))
+
+let () =
+  Alcotest.run "tabular"
+    [
+      ( "tabular",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "arity check" `Quick test_arity_check;
+          Alcotest.test_case "float row" `Quick test_float_row;
+          Alcotest.test_case "csv escaping" `Quick test_csv;
+          Alcotest.test_case "row order" `Quick test_row_order;
+          Alcotest.test_case "empty columns" `Quick test_empty_columns_rejected;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Unit tests for the workforce-requirement matrix and aggregation (§3.2). *)
+
+module Model = Stratrec_model
+module Params = Model.Params
+module W = Model.Workforce
+module Strategy = Model.Strategy
+module Deployment = Model.Deployment
+
+let combo = List.hd Model.Dimension.all_combos
+
+let dummy_model =
+  {
+    Model.Linear_model.quality = { Model.Linear_model.alpha = 1.; beta = 0. };
+    cost = { Model.Linear_model.alpha = 1.; beta = 0. };
+    latency = { Model.Linear_model.alpha = -1.; beta = 1. };
+  }
+
+let strategy id =
+  Strategy.single ~id combo
+    ~params:(Params.make ~quality:0.5 ~cost:0.5 ~latency:0.5)
+    ~model:dummy_model
+
+let request id k = Deployment.make ~id ~params:(Params.make ~quality:0.4 ~cost:0.6 ~latency:0.6) ~k ()
+
+(* A matrix with hand-set requirements via compute_with. *)
+let matrix_of_rows rows =
+  let m = Array.length rows and n = Array.length rows.(0) in
+  let requests = Array.init m (fun i -> request i 2) in
+  let strategies = Array.init n strategy in
+  W.compute_with
+    ~requirement:(fun d s -> rows.(d.Deployment.id).(s.Strategy.id))
+    ~requests ~strategies
+
+let test_aggregation_sum_and_max () =
+  let matrix = matrix_of_rows [| [| Some 0.5; Some 0.2; None; Some 0.4 |] |] in
+  (match W.request_requirement matrix W.Sum_case ~k:2 0 with
+  | Some { W.workforce; chosen } ->
+      Alcotest.(check (float 1e-9)) "sum of 2 smallest" 0.6 workforce;
+      Alcotest.(check (list int)) "chosen ascending" [ 1; 3 ] chosen
+  | None -> Alcotest.fail "expected a requirement");
+  match W.request_requirement matrix W.Max_case ~k:2 0 with
+  | Some { W.workforce; chosen } ->
+      Alcotest.(check (float 1e-9)) "k-th smallest" 0.4 workforce;
+      Alcotest.(check (list int)) "same chosen" [ 1; 3 ] chosen
+  | None -> Alcotest.fail "expected a requirement"
+
+let test_insufficient_candidates () =
+  let matrix = matrix_of_rows [| [| Some 0.5; None; None; None |] |] in
+  Alcotest.(check bool) "k=2 with one feasible" true
+    (W.request_requirement matrix W.Sum_case ~k:2 0 = None);
+  Alcotest.(check int) "feasible count" 1 (W.feasible_count matrix 0)
+
+let test_k_validation () =
+  let matrix = matrix_of_rows [| [| Some 0.5 |] |] in
+  Alcotest.check_raises "k=0" (Invalid_argument "Workforce.request_requirement: k must be >= 1")
+    (fun () -> ignore (W.request_requirement matrix W.Sum_case ~k:0 0))
+
+let test_vector () =
+  let matrix =
+    matrix_of_rows [| [| Some 0.1; Some 0.2 |]; [| None; Some 0.3 |]; [| Some 0.4; Some 0.5 |] |]
+  in
+  let v = W.vector matrix W.Sum_case ~k:2 in
+  Alcotest.(check int) "length" 3 (Array.length v);
+  (match v.(0) with
+  | Some { W.workforce; _ } ->
+      Alcotest.(check (float 1e-9)) "row 0" 0.3 workforce
+  | None -> Alcotest.fail "row 0 should aggregate");
+  Alcotest.(check bool) "row 1 infeasible" true (v.(1) = None);
+  match v.(2) with
+  | Some { W.workforce; _ } -> Alcotest.(check (float 1e-9)) "row 2" 0.9 workforce
+  | None -> Alcotest.fail "row 2 should aggregate"
+
+let test_compute_respects_satisfaction () =
+  (* Strategy params (0.5, 0.5, 0.5); request requiring quality 0.6 cannot
+     be satisfied no matter the model. *)
+  let strategies = [| strategy 0 |] in
+  let demanding =
+    [| Deployment.make ~id:0 ~params:(Params.make ~quality:0.6 ~cost:1. ~latency:1.) ~k:1 () |]
+  in
+  let matrix = W.compute ~requests:demanding ~strategies () in
+  Alcotest.(check int) "no feasible cell" 0 (W.feasible_count matrix 0);
+  (* A satisfiable request yields the model inversion: quality 0.4 needs
+     w = 0.4, latency 0.6 needs w = 0.4, cost cap 0.6 -> requirement 0.4. *)
+  let ok = [| request 0 1 |] in
+  let matrix = W.compute ~requests:ok ~strategies () in
+  match W.request_requirement matrix W.Max_case ~k:1 0 with
+  | Some { W.workforce; _ } -> Alcotest.(check (float 1e-9)) "inverted requirement" 0.4 workforce
+  | None -> Alcotest.fail "expected feasible"
+
+let test_compute_rules_differ () =
+  (* Under the paper rule the cost axis is solved at equality and dominates;
+     under the direction-aware rule it is a cap. Strategy params satisfy the
+     request in both cases. *)
+  let strategies = [| strategy 0 |] in
+  let requests = [| request 0 1 |] in
+  let paper = W.compute ~rule:`Paper_equality ~requests ~strategies () in
+  let aware = W.compute ~rule:`Direction_aware ~requests ~strategies () in
+  let req rule_matrix =
+    match W.request_requirement rule_matrix W.Max_case ~k:1 0 with
+    | Some { W.workforce; _ } -> workforce
+    | None -> Alcotest.fail "expected feasible"
+  in
+  (* paper: max(0.4 quality, 0.6 cost-at-equality, 0.4 latency) = 0.6;
+     direction-aware: max(0.4, 0.4) with cap 0.6 = 0.4. *)
+  Alcotest.(check (float 1e-9)) "paper rule" 0.6 (req paper);
+  Alcotest.(check (float 1e-9)) "direction aware" 0.4 (req aware)
+
+let prop_streaming_equals_matrix =
+  QCheck.Test.make ~count:200 ~name:"streaming requirement equals matrix path"
+    QCheck.(triple small_int (int_range 1 6) bool)
+    (fun (seed, k, sum_case) ->
+      let rng = Stratrec_util.Rng.create seed in
+      let strategies = Model.Workload.strategies rng ~n:40 ~kind:Model.Workload.Uniform in
+      let requests = Model.Workload.requests rng ~m:4 ~k in
+      let aggregation = if sum_case then W.Sum_case else W.Max_case in
+      let matrix = W.compute ~rule:`Paper_equality ~requests ~strategies () in
+      Array.to_list requests
+      |> List.for_all (fun d ->
+             let via_matrix =
+               W.request_requirement matrix aggregation ~k d.Deployment.id
+             in
+             let via_stream =
+               W.streaming_requirement ~rule:`Paper_equality aggregation ~k ~strategies d
+             in
+             match (via_matrix, via_stream) with
+             | None, None -> true
+             | Some a, Some b ->
+                 Float.abs (a.W.workforce -. b.W.workforce) < 1e-12 && a.W.chosen = b.W.chosen
+             | _ -> false))
+
+let () =
+  Alcotest.run "workforce"
+    [
+      ( "workforce",
+        [
+          Alcotest.test_case "sum and max aggregation" `Quick test_aggregation_sum_and_max;
+          Alcotest.test_case "insufficient candidates" `Quick test_insufficient_candidates;
+          Alcotest.test_case "k validation" `Quick test_k_validation;
+          Alcotest.test_case "vector" `Quick test_vector;
+          Alcotest.test_case "compute respects satisfaction" `Quick
+            test_compute_respects_satisfaction;
+          Alcotest.test_case "inversion rules differ" `Quick test_compute_rules_differ;
+          Tq.to_alcotest prop_streaming_equals_matrix;
+        ] );
+    ]

@@ -1,0 +1,3 @@
+(* Deterministic QCheck-to-Alcotest adapter: property tests must not flake
+   across runs, so every suite shares a fixed random seed. *)
+let to_alcotest test = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20200317 |]) test
