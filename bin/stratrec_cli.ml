@@ -1,11 +1,17 @@
 (* stratrec — command-line front end to the StratRec middle layer.
 
    Subcommands:
-     recommend  batch deployment recommendation on a synthetic catalog
+     recommend  batch deployment recommendation through Stratrec.Engine
      adpar      alternative-parameter recommendation for one request
+     catalog    generate a strategy catalog and save it as JSON
      simulate   run the crowd-platform studies (availability / linearity /
                 effectiveness)
-     example    walk through the paper's Example 1 *)
+     example    walk through the paper's Example 1
+
+   Every failure path goes through Cmdliner ([Arg.conv] parsers and
+   [Term.term_result]), so errors render uniformly on stderr with
+   Cmdliner's conventional exit codes — no raw [Printf.eprintf]/[exit]
+   error paths anywhere. *)
 
 open Cmdliner
 module Model = Stratrec_model
@@ -13,6 +19,10 @@ module Params = Model.Params
 module Deployment = Model.Deployment
 module Rng = Stratrec_util.Rng
 module Sim = Stratrec_crowdsim
+module Engine = Stratrec.Engine
+module Obs = Stratrec_obs
+
+let ( let* ) = Result.bind
 
 (* Shared arguments. *)
 
@@ -39,13 +49,18 @@ let k_arg =
 
 let dist_arg =
   let doc = "Strategy parameter distribution: uniform or normal (5.2.2)." in
-  let parse = function
-    | "uniform" -> Ok Model.Workload.Uniform
-    | "normal" -> Ok Model.Workload.Normal
-    | s -> Error (`Msg (Printf.sprintf "unknown distribution %S" s))
+  let parse s = Result.map_error (fun m -> `Msg m) (Model.Workload.dist_kind_of_string s) in
+  let print ppf k =
+    Format.pp_print_string ppf (String.lowercase_ascii (Model.Workload.dist_kind_label k))
   in
-  let print ppf k = Format.pp_print_string ppf (String.lowercase_ascii (Model.Workload.dist_kind_label k)) in
   Arg.(value & opt (conv (parse, print)) Model.Workload.Uniform & info [ "dist" ] ~docv:"DIST" ~doc)
+
+let objective_arg =
+  let doc = "Platform goal: throughput or payoff." in
+  let parse s = Result.map_error (fun m -> `Msg m) (Stratrec.Objective.of_string s) in
+  Arg.(value
+       & opt (conv (parse, Stratrec.Objective.pp)) Stratrec.Objective.Throughput
+       & info [ "objective" ] ~docv:"GOAL" ~doc)
 
 let catalog_arg =
   let doc =
@@ -54,57 +69,53 @@ let catalog_arg =
   in
   Arg.(value & opt (some file) None & info [ "catalog" ] ~docv:"FILE" ~doc)
 
-let load_catalog_exn path =
-  match Result.bind (Model.Codec.load ~path) Model.Codec.catalog_of_json with
-  | Ok strategies -> strategies
-  | Error message ->
-      Printf.eprintf "failed to load catalog %s: %s\n" path message;
-      exit 2
+let engine_msg e = `Msg (Engine.error_message e)
 
 let catalog_or_generate ~rng ~n ~dist = function
-  | Some path -> load_catalog_exn path
-  | None -> Model.Workload.strategies rng ~n ~kind:dist
+  | Some path -> Result.map_error engine_msg (Engine.load_catalog ~path)
+  | None -> Ok (Model.Workload.strategies rng ~n ~kind:dist)
 
+(* The QUALITY,COST,LATENCY triple, parsed by the model layer
+   (Stratrec_model.Params.of_string) so the CLI and the JSON codec share
+   one spelling. *)
 let triple_conv =
-  let parse s =
-    match String.split_on_char ',' s |> List.map String.trim with
-    | [ q; c; l ] -> (
-        try
-          let q = float_of_string q and c = float_of_string c and l = float_of_string l in
-          if List.for_all (fun v -> v >= 0. && v <= 1.) [ q; c; l ] then Ok (q, c, l)
-          else Error (`Msg "thresholds must lie in [0,1]")
-        with Failure _ -> Error (`Msg "expected three floats: QUALITY,COST,LATENCY"))
-    | _ -> Error (`Msg "expected QUALITY,COST,LATENCY")
-  in
-  let print ppf (q, c, l) = Format.fprintf ppf "%g,%g,%g" q c l in
+  let parse s = Result.map_error (fun m -> `Msg m) (Params.of_string s) in
+  let print ppf p = Format.pp_print_string ppf (Params.to_string p) in
   Arg.conv (parse, print)
+
+let metrics_arg =
+  let doc = "Print the run's metrics snapshot (triage counters, spans, gauges) as a table." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
 
 (* recommend *)
 
-let recommend verbose seed n m k w dist objective catalog =
+let recommend verbose seed n m k w dist objective catalog show_metrics =
   setup_logging verbose;
   let rng = Rng.create seed in
-  let strategies = catalog_or_generate ~rng ~n ~dist catalog in
+  let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
   let requests = Model.Workload.requests rng ~m ~k in
   let availability = Model.Availability.certain w in
-  let objective =
-    match objective with
-    | "throughput" -> Stratrec.Objective.Throughput
-    | "payoff" -> Stratrec.Objective.Payoff
-    | other ->
-        Printf.eprintf "unknown objective %S (throughput|payoff)\n" other;
-        exit 2
-  in
   let config =
     {
-      Stratrec.Aggregator.default_config with
-      Stratrec.Aggregator.objective;
-      inversion_rule = `Paper_equality;
-      reestimate_parameters = false;
+      Engine.default_config with
+      Engine.aggregator =
+        {
+          Stratrec.Aggregator.default_config with
+          Stratrec.Aggregator.objective;
+          inversion_rule = `Paper_equality;
+          reestimate_parameters = false;
+        };
     }
   in
-  let report = Stratrec.Aggregator.run ~config ~availability ~strategies ~requests () in
-  Format.printf "%a@." Stratrec.Aggregator.pp_report report
+  let* report =
+    Result.map_error engine_msg
+      (Engine.run ~config ~availability ~strategies ~requests ())
+  in
+  Format.printf "%a@." Stratrec.Aggregator.pp_report report.Engine.aggregate;
+  if show_metrics then
+    Stratrec_util.Tabular.print ~title:"run metrics"
+      (Obs.Snapshot.to_table report.Engine.metrics);
+  Ok ()
 
 let recommend_cmd =
   let m_arg =
@@ -113,22 +124,19 @@ let recommend_cmd =
   let w_arg =
     Arg.(value & opt float 0.75 & info [ "w"; "workforce" ] ~docv:"W" ~doc:"Available workforce in [0,1].")
   in
-  let objective_arg =
-    Arg.(value & opt string "throughput"
-         & info [ "objective" ] ~docv:"GOAL" ~doc:"Platform goal: throughput or payoff.")
-  in
   Cmd.v
     (Cmd.info "recommend" ~doc:"Batch deployment recommendation on a synthetic catalog")
-    Term.(const recommend $ verbose_arg $ seed_arg $ strategies_arg $ m_arg $ k_arg $ w_arg
-          $ dist_arg $ objective_arg $ catalog_arg)
+    Term.(term_result
+            (const recommend $ verbose_arg $ seed_arg $ strategies_arg $ m_arg $ k_arg
+             $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg))
 
 (* adpar *)
 
-let adpar seed n k dist catalog (q, c, l) =
+let adpar seed n k dist catalog params =
   let rng = Rng.create seed in
-  let strategies = catalog_or_generate ~rng ~n ~dist catalog in
-  let request = Deployment.make ~id:0 ~params:(Params.make ~quality:q ~cost:c ~latency:l) ~k () in
-  match Stratrec.Adpar.exact ~strategies request with
+  let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
+  let request = Deployment.make ~id:0 ~params ~k () in
+  (match Stratrec.Adpar.exact ~strategies request with
   | None -> Printf.printf "catalog has fewer than %d strategies\n" k
   | Some r ->
       Format.printf "original    %a@." Params.pp request.Deployment.params;
@@ -138,17 +146,21 @@ let adpar seed n k dist catalog (q, c, l) =
         r.Stratrec.Adpar.covered_count;
       List.iter
         (fun s -> Format.printf "  %s %a@." s.Model.Strategy.label Params.pp s.Model.Strategy.params)
-        r.Stratrec.Adpar.recommended
+        r.Stratrec.Adpar.recommended);
+  Ok ()
 
 let adpar_cmd =
   let request_arg =
-    Arg.(value & opt triple_conv (0.9, 0.2, 0.3)
+    Arg.(value
+         & opt triple_conv (Params.make ~quality:0.9 ~cost:0.2 ~latency:0.3)
          & info [ "request" ] ~docv:"Q,C,L"
              ~doc:"Deployment thresholds: quality lower bound, cost and latency upper bounds.")
   in
   Cmd.v
     (Cmd.info "adpar" ~doc:"Closest alternative deployment parameters for a hard request")
-    Term.(const adpar $ seed_arg $ strategies_arg $ k_arg $ dist_arg $ catalog_arg $ request_arg)
+    Term.(term_result
+            (const adpar $ seed_arg $ strategies_arg $ k_arg $ dist_arg $ catalog_arg
+             $ request_arg))
 
 (* catalog *)
 
@@ -158,10 +170,13 @@ let catalog seed n stages dist output =
     if stages <= 1 then Model.Workload.strategies rng ~n ~kind:dist
     else Model.Workload.workflows rng ~n ~stages ~kind:dist
   in
-  Model.Codec.save ~path:output (Model.Codec.catalog_to_json strategies);
-  Printf.printf "wrote %d strategies (%d stage%s each) to %s\n" n (max 1 stages)
-    (if stages > 1 then "s" else "")
-    output
+  match Model.Codec.save ~path:output (Model.Codec.catalog_to_json strategies) with
+  | () ->
+      Printf.printf "wrote %d strategies (%d stage%s each) to %s\n" n (max 1 stages)
+        (if stages > 1 then "s" else "")
+        output;
+      Ok ()
+  | exception Sys_error message -> Error (`Msg message)
 
 let catalog_cmd =
   let stages_arg =
@@ -174,16 +189,19 @@ let catalog_cmd =
   in
   Cmd.v
     (Cmd.info "catalog" ~doc:"Generate a strategy catalog and save it as JSON")
-    Term.(const catalog $ seed_arg $ strategies_arg $ stages_arg $ dist_arg $ output_arg)
+    Term.(term_result
+            (const catalog $ seed_arg $ strategies_arg $ stages_arg $ dist_arg $ output_arg))
 
 (* simulate *)
+
+type study = Availability_study | Linearity_study | Effectiveness_study
 
 let simulate seed study population tasks =
   let rng = Rng.create seed in
   let platform = Sim.Platform.create rng ~population in
   let kind = Sim.Task_spec.Sentence_translation in
-  match study with
-  | "availability" ->
+  (match study with
+  | Availability_study ->
       List.iter
         (fun r ->
           Printf.printf "%-9s %-12s availability %.3f (se %.3f)\n"
@@ -191,7 +209,7 @@ let simulate seed study population tasks =
             (Model.Dimension.combo_label r.Sim.Study.combo)
             r.Sim.Study.mean_availability r.Sim.Study.std_error)
         (Sim.Study.availability_study platform rng ~kind ())
-  | "linearity" ->
+  | Linearity_study ->
       List.iter
         (fun label ->
           let combo = Option.get (Model.Dimension.combo_of_label label) in
@@ -199,7 +217,7 @@ let simulate seed study population tasks =
           Printf.printf "%s:\n" label;
           Format.printf "%a" Sim.Calibration.pp res.Sim.Study.calibration)
         [ "SEQ-IND-CRO"; "SIM-COL-CRO" ]
-  | "effectiveness" ->
+  | Effectiveness_study ->
       let res =
         Sim.Study.effectiveness_study platform rng ~kind
           ~recommend:Sim.Study.default_recommender ~tasks ()
@@ -213,14 +231,19 @@ let simulate seed study population tasks =
       arm "Without StratRec" res.Sim.Study.unguided;
       Printf.printf "quality p=%.4f latency p=%.4f\n"
         res.Sim.Study.quality_test.Stratrec_util.Stats.p_value
-        res.Sim.Study.latency_test.Stratrec_util.Stats.p_value
-  | other ->
-      Printf.eprintf "unknown study %S (availability|linearity|effectiveness)\n" other;
-      exit 2
+        res.Sim.Study.latency_test.Stratrec_util.Stats.p_value);
+  Ok ()
 
 let simulate_cmd =
   let study_arg =
-    Arg.(value & pos 0 string "availability"
+    let studies =
+      [
+        ("availability", Availability_study);
+        ("linearity", Linearity_study);
+        ("effectiveness", Effectiveness_study);
+      ]
+    in
+    Arg.(value & pos 0 (enum studies) Availability_study
          & info [] ~docv:"STUDY" ~doc:"availability, linearity or effectiveness.")
   in
   let population_arg =
@@ -231,22 +254,29 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the crowd-platform studies of the paper's 5.1")
-    Term.(const simulate $ seed_arg $ study_arg $ population_arg $ tasks_arg)
+    Term.(term_result (const simulate $ seed_arg $ study_arg $ population_arg $ tasks_arg))
 
 (* example *)
 
-let example () =
-  let report =
-    Stratrec.Aggregator.run
-      ~availability:(Model.Paper_example.availability ())
-      ~strategies:(Model.Paper_example.strategies ())
-      ~requests:(Model.Paper_example.requests ())
-      ()
+let example show_metrics =
+  let* report =
+    Result.map_error engine_msg
+      (Engine.run
+         ~availability:(Model.Paper_example.availability ())
+         ~strategies:(Model.Paper_example.strategies ())
+         ~requests:(Model.Paper_example.requests ())
+         ())
   in
-  Format.printf "%a@." Stratrec.Aggregator.pp_report report
+  Format.printf "%a@." Stratrec.Aggregator.pp_report report.Engine.aggregate;
+  if show_metrics then
+    Stratrec_util.Tabular.print ~title:"run metrics"
+      (Obs.Snapshot.to_table report.Engine.metrics);
+  Ok ()
 
 let example_cmd =
-  Cmd.v (Cmd.info "example" ~doc:"Walk through the paper's Example 1") Term.(const example $ const ())
+  Cmd.v
+    (Cmd.info "example" ~doc:"Walk through the paper's Example 1")
+    Term.(term_result (const example $ metrics_arg))
 
 let main_cmd =
   let doc = "StratRec: deployment-strategy recommendation for collaborative crowdsourcing tasks" in

@@ -25,22 +25,31 @@ let () =
     (fun objective ->
       let config =
         {
-          Stratrec.Aggregator.default_config with
-          Stratrec.Aggregator.objective;
-          inversion_rule = `Paper_equality;
-          reestimate_parameters = false;
+          Stratrec.Engine.default_config with
+          Stratrec.Engine.aggregator =
+            {
+              Stratrec.Aggregator.default_config with
+              Stratrec.Aggregator.objective;
+              inversion_rule = `Paper_equality;
+              reestimate_parameters = false;
+            };
         }
       in
-      let report = Stratrec.Aggregator.run ~config ~availability ~strategies ~requests () in
+      let report =
+        match Stratrec.Engine.run ~config ~availability ~strategies ~requests () with
+        | Ok report -> report
+        | Error e -> failwith (Stratrec.Engine.error_message e)
+      in
+      let aggregate = report.Stratrec.Engine.aggregate in
       Format.printf "=== objective: %s ===@." (Stratrec.Objective.label objective);
       Format.printf "satisfied %d/%d, objective value %.3f, workforce used %.3f of %.3f@."
-        (List.length (Stratrec.Aggregator.satisfied report))
-        (Array.length requests) report.Stratrec.Aggregator.objective_value
-        report.Stratrec.Aggregator.workforce_used report.Stratrec.Aggregator.availability;
+        report.Stratrec.Engine.counts.Stratrec.Engine.satisfied
+        (Array.length requests) aggregate.Stratrec.Aggregator.objective_value
+        aggregate.Stratrec.Aggregator.workforce_used aggregate.Stratrec.Aggregator.availability;
       List.iter
         (fun (d, alt) ->
           Format.printf "  %s -> alternative %a (distance %.3f)@." d.Deployment.label
             Params.pp alt.Stratrec.Adpar.alternative alt.Stratrec.Adpar.distance)
-        (Stratrec.Aggregator.alternatives report);
+        (Stratrec.Aggregator.alternatives aggregate);
       Format.printf "@.")
     [ Stratrec.Objective.Throughput; Stratrec.Objective.Payoff ]

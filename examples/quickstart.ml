@@ -29,10 +29,14 @@ let () =
   Format.printf "Expected worker availability W = %.2f@.@."
     (Model.Availability.expected availability);
 
+  (* One façade call runs the whole recommend -> ADPaR-triage pipeline
+     and returns a typed report with a metrics snapshot. *)
   let report =
-    Stratrec.Aggregator.run ~availability ~strategies ~requests ()
+    match Stratrec.Engine.run ~availability ~strategies ~requests () with
+    | Ok report -> report
+    | Error e -> failwith (Stratrec.Engine.error_message e)
   in
-  Format.printf "%a@." Stratrec.Aggregator.pp_report report;
+  Format.printf "%a@." Stratrec.Aggregator.pp_report report.Stratrec.Engine.aggregate;
 
   (* Unsatisfied requests got alternatives; show how close they are. *)
   List.iter
@@ -45,4 +49,11 @@ let () =
       List.iter
         (fun s -> Format.printf "    %s@." s.Strategy.label)
         alt.Stratrec.Adpar.recommended)
-    (Stratrec.Aggregator.alternatives report)
+    (Stratrec.Aggregator.alternatives report.Stratrec.Engine.aggregate);
+
+  (* The report also tallies the triage and carries the run's telemetry. *)
+  let counts = report.Stratrec.Engine.counts in
+  Format.printf "@.%d/%d satisfied, %d repaired by ADPaR@." counts.Stratrec.Engine.satisfied
+    counts.Stratrec.Engine.requests counts.Stratrec.Engine.alternatives;
+  Stratrec_util.Tabular.print ~title:"run metrics"
+    (Stratrec_obs.Snapshot.to_table report.Stratrec.Engine.metrics)

@@ -3,6 +3,7 @@ module Strategy = Stratrec_model.Strategy
 module Deployment = Stratrec_model.Deployment
 module Point3 = Stratrec_geom.Point3
 module Kselect = Stratrec_util.Kselect
+module Obs = Stratrec_obs
 
 type result = {
   alternative : Params.t;
@@ -50,7 +51,10 @@ let covers ~alternative s =
    non-negative axis weights (all 1 for the paper's plain L2); weights
    rescale but never reorder the per-axis candidate values, so the same
    sweep remains exact. Returns the best triple, or None when n < k. *)
-let search ?(prune = true) ?(wq = 1.) ?(wc = 1.) ?(wl = 1.) ~k relax =
+let search ?(metrics = Obs.Registry.noop) ?(prune = true) ?(wq = 1.) ?(wc = 1.) ?(wl = 1.) ~k
+    relax =
+  let sweep_events = Obs.Registry.counter metrics "adpar.sweep_events_total" in
+  let prune_cutoffs = Obs.Registry.counter metrics "adpar.prune_cutoffs_total" in
   let n = Array.length relax in
   if n < k then None
   else begin
@@ -90,8 +94,12 @@ let search ?(prune = true) ?(wq = 1.) ?(wc = 1.) ?(wl = 1.) ~k relax =
                  (fun i ->
                    let r = relax.(i) in
                    if r.quality <= x then begin
+                     Obs.Registry.incr sweep_events;
                      let y = r.cost in
-                     if prune && (wq *. x *. x) +. (wc *. y *. y) >= !best_sq then raise Break;
+                     if prune && (wq *. x *. x) +. (wc *. y *. y) >= !best_sq then begin
+                       Obs.Registry.incr prune_cutoffs;
+                       raise Break
+                     end;
                      Kselect.Tracker.add tracker r.latency;
                      match Kselect.Tracker.kth tracker with
                      | Some z -> consider x y z
@@ -101,6 +109,7 @@ let search ?(prune = true) ?(wq = 1.) ?(wc = 1.) ?(wl = 1.) ~k relax =
              with Break -> ());
             quality_sweep rest
           end
+          else Obs.Registry.incr prune_cutoffs
     in
     quality_sweep xs;
     !best
@@ -121,17 +130,24 @@ let build_result ~k ~strategies request (x, y, z) =
     covered_count = List.length covered;
   }
 
-let exact ?(prune = true) ?k ~strategies request =
+let exact ?(metrics = Obs.Registry.noop) ?(prune = true) ?k ~strategies request =
   let k = Option.value k ~default:request.Deployment.k in
   if k < 1 then invalid_arg "Adpar.exact: k must be >= 1";
-  let relax = relaxations_of ~strategies request in
-  Option.map (build_result ~k ~strategies request) (search ~prune ~k relax)
+  Obs.Registry.incr (Obs.Registry.counter metrics "adpar.calls_total");
+  let result =
+    Obs.Span.time metrics "adpar.search_seconds" (fun () ->
+        let relax = relaxations_of ~strategies request in
+        Option.map (build_result ~k ~strategies request) (search ~metrics ~prune ~k relax))
+  in
+  if Option.is_none result then
+    Obs.Registry.incr (Obs.Registry.counter metrics "adpar.no_alternative_total");
+  result
 
 type weights = { quality_weight : float; cost_weight : float; latency_weight : float }
 
 let uniform_weights = { quality_weight = 1.; cost_weight = 1.; latency_weight = 1. }
 
-let exact_weighted ?k ~weights ~strategies request =
+let exact_weighted ?(metrics = Obs.Registry.noop) ?k ~weights ~strategies request =
   let { quality_weight = wq; cost_weight = wc; latency_weight = wl } = weights in
   if wq < 0. || wc < 0. || wl < 0. then
     invalid_arg "Adpar.exact_weighted: negative weight";
@@ -139,8 +155,9 @@ let exact_weighted ?k ~weights ~strategies request =
     invalid_arg "Adpar.exact_weighted: all weights zero";
   let k = Option.value k ~default:request.Deployment.k in
   if k < 1 then invalid_arg "Adpar.exact_weighted: k must be >= 1";
+  Obs.Registry.incr (Obs.Registry.counter metrics "adpar.calls_total");
   let relax = relaxations_of ~strategies request in
-  search ~wq ~wc ~wl ~k relax
+  search ~metrics ~wq ~wc ~wl ~k relax
   |> Option.map (fun ((x, y, z) as triple) ->
          let result = build_result ~k ~strategies request triple in
          { result with distance = sqrt ((wq *. x *. x) +. (wc *. y *. y) +. (wl *. z *. z)) })

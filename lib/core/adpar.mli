@@ -28,6 +28,7 @@ type result = {
 }
 
 val exact :
+  ?metrics:Stratrec_obs.Registry.t ->
   ?prune:bool ->
   ?k:int -> strategies:Stratrec_model.Strategy.t array -> Stratrec_model.Deployment.t ->
   result option
@@ -36,7 +37,13 @@ val exact :
     satisfiable the result is the request itself with distance 0.
     [prune] (default true) enables the monotone-objective cut-offs; turning
     it off forces the full discrete scan and exists only for the ablation
-    bench — results are identical either way. *)
+    bench — results are identical either way.
+
+    [metrics] (default {!Stratrec_obs.Registry.noop}) records
+    [adpar.calls_total], [adpar.sweep_events_total] (one per (x, y)
+    candidate visited on the cost sweep line), [adpar.prune_cutoffs_total]
+    (one per monotone-objective cut, on either sweep), the
+    [adpar.search_seconds] span and [adpar.no_alternative_total]. *)
 
 (** {1 Trace — the paper's working data structures (Tables 2–5)} *)
 
@@ -82,6 +89,7 @@ val uniform_weights : weights
 (** All 1 — [exact_weighted ~weights:uniform_weights] equals {!exact}. *)
 
 val exact_weighted :
+  ?metrics:Stratrec_obs.Registry.t ->
   ?k:int ->
   weights:weights ->
   strategies:Stratrec_model.Strategy.t array ->

@@ -2,6 +2,7 @@ module Workforce = Stratrec_model.Workforce
 module Strategy = Stratrec_model.Strategy
 module Deployment = Stratrec_model.Deployment
 module Availability = Stratrec_model.Availability
+module Obs = Stratrec_obs
 
 let src = Logs.Src.create "stratrec.aggregator" ~doc:"StratRec aggregation pipeline"
 
@@ -37,8 +38,15 @@ type report = {
   workforce_used : float;
 }
 
-let run ?(config = default_config) ~availability ~strategies ~requests () =
+let run ?(config = default_config) ?(metrics = Obs.Registry.noop) ~availability ~strategies
+    ~requests () =
+  let batch_span = Obs.Span.start metrics "aggregator.batch_seconds" in
+  Obs.Registry.incr (Obs.Registry.counter metrics "aggregator.batches_total");
+  Obs.Registry.incr_by
+    (Obs.Registry.counter metrics "aggregator.requests_total")
+    (Array.length requests);
   let w = Availability.expected availability in
+  Obs.Registry.set (Obs.Registry.gauge metrics "aggregator.availability") w;
   Log.debug (fun m ->
       m "batch of %d requests over %d strategies at expected availability %.3f (%a)"
         (Array.length requests) (Array.length strategies) w Objective.pp config.objective);
@@ -49,7 +57,8 @@ let run ?(config = default_config) ~availability ~strategies ~requests () =
   in
   let matrix = Workforce.compute ~rule:config.inversion_rule ~requests ~strategies () in
   let batch =
-    Batchstrat.run ~objective:config.objective ~aggregation:config.aggregation ~available:w matrix
+    Batchstrat.run ~metrics ~objective:config.objective ~aggregation:config.aggregation
+      ~available:w matrix
   in
   Log.debug (fun m ->
       m "batchstrat satisfied %d/%d, objective %.4f, workforce %.4f/%.4f"
@@ -62,24 +71,38 @@ let run ?(config = default_config) ~availability ~strategies ~requests () =
       outcomes.(request_index) <-
         (requests.(request_index), Satisfied { strategies = recommended; workforce }))
     batch.Batchstrat.satisfied;
+  Obs.Registry.incr_by
+    (Obs.Registry.counter metrics "aggregator.satisfied_total")
+    (List.length batch.Batchstrat.satisfied);
+  let count name = Obs.Registry.incr (Obs.Registry.counter metrics name) in
   List.iter
     (fun i ->
       let d = requests.(i) in
-      match Adpar.exact ~strategies d with
+      count "adpar.fallback_total";
+      let triage = Obs.Span.start metrics "aggregator.triage_seconds" in
+      (match Adpar.exact ~metrics ~strategies d with
       | Some result when result.Adpar.distance < 1e-12 ->
           (* The parameters already admit k strategies: the request only
              lost out on the workforce budget. *)
           Log.debug (fun m -> m "%s: workforce-limited" d.Deployment.label);
+          count "aggregator.workforce_limited_total";
           outcomes.(i) <- (d, Workforce_limited)
       | Some result ->
           Log.debug (fun m ->
               m "%s: ADPaR alternative at distance %.4f" d.Deployment.label
                 result.Adpar.distance);
+          count "aggregator.alternative_total";
           outcomes.(i) <- (d, Alternative result)
       | None ->
           Log.debug (fun m -> m "%s: no alternative exists" d.Deployment.label);
-          outcomes.(i) <- (d, No_alternative))
+          count "aggregator.no_alternative_total";
+          outcomes.(i) <- (d, No_alternative));
+      ignore (Obs.Span.finish triage))
     batch.Batchstrat.unsatisfied;
+  Obs.Registry.set
+    (Obs.Registry.gauge metrics "aggregator.workforce_used")
+    batch.Batchstrat.workforce_used;
+  ignore (Obs.Span.finish batch_span);
   {
     config;
     availability = w;

@@ -50,11 +50,21 @@ type report = {
 
 val run :
   ?config:config ->
+  ?metrics:Stratrec_obs.Registry.t ->
   availability:Stratrec_model.Availability.t ->
   strategies:Stratrec_model.Strategy.t array ->
   requests:Stratrec_model.Deployment.t array ->
   unit ->
   report
+(** One batch run. [metrics] (default {!Stratrec_obs.Registry.noop})
+    records [aggregator.batches_total], [aggregator.requests_total], the
+    triage counters [aggregator.satisfied_total] /
+    [aggregator.alternative_total] / [aggregator.workforce_limited_total]
+    / [aggregator.no_alternative_total], the [aggregator.batch_seconds]
+    and per-request [aggregator.triage_seconds] spans, the
+    [aggregator.availability] and [aggregator.workforce_used] gauges, and
+    [adpar.fallback_total] (one per request forwarded to ADPaR); the same
+    registry is threaded into {!Batchstrat.run} and {!Adpar.exact}. *)
 
 val satisfied : report -> (Stratrec_model.Deployment.t * Stratrec_model.Strategy.t list) list
 val alternatives : report -> (Stratrec_model.Deployment.t * Adpar.result) list

@@ -1,4 +1,5 @@
 module Workforce = Stratrec_model.Workforce
+module Obs = Stratrec_obs
 
 type satisfied = { request_index : int; strategy_indices : int list; workforce : float }
 
@@ -29,7 +30,10 @@ let greedy_fill candidates ~available =
 let total_value taken = List.fold_left (fun acc c -> acc +. c.value) 0. taken
 let total_weight taken = List.fold_left (fun acc c -> acc +. c.weight) 0. taken
 
-let run ~objective ~aggregation ~available matrix =
+let run ?(metrics = Obs.Registry.noop) ~objective ~aggregation ~available matrix =
+  Obs.Registry.incr (Obs.Registry.counter metrics "batchstrat.runs_total");
+  let span = Obs.Span.start metrics "batchstrat.greedy_seconds" in
+  let greedy_passes = Obs.Registry.counter metrics "batchstrat.greedy_passes_total" in
   let requests = matrix.Workforce.requests in
   let m = Array.length requests in
   (* Requests without k feasible strategies never become candidates; they
@@ -54,13 +58,18 @@ let run ~objective ~aggregation ~available matrix =
         if c <> 0 then c else compare a.index b.index)
       !candidates
   in
+  Obs.Registry.incr_by
+    (Obs.Registry.counter metrics "batchstrat.candidates_total")
+    (List.length sorted);
   let greedy = greedy_fill sorted ~available in
+  Obs.Registry.incr greedy_passes;
   let chosen_set =
     if Objective.exact_greedy objective then greedy
     else begin
       (* 1/2-approximation: the better of the greedy set and the best
          single fitting request (Theorem 3; valid for any non-negative
          value function). *)
+      Obs.Registry.incr greedy_passes;
       let best_single =
         List.filter (fun c -> c.weight <= available +. 1e-12) sorted
         |> List.fold_left
@@ -80,6 +89,12 @@ let run ~objective ~aggregation ~available matrix =
     List.init m Fun.id
     |> List.filter (fun i -> not (List.mem i taken_indices))
   in
+  let workforce_used = total_weight chosen_set in
+  if available > 0. then
+    Obs.Registry.set
+      (Obs.Registry.gauge metrics "batchstrat.workforce_utilization")
+      (workforce_used /. available);
+  ignore (Obs.Span.finish span);
   {
     satisfied =
       List.map
@@ -87,7 +102,7 @@ let run ~objective ~aggregation ~available matrix =
         chosen_set;
     unsatisfied;
     objective_value = total_value chosen_set;
-    workforce_used = total_weight chosen_set;
+    workforce_used;
   }
 
 let satisfied_count outcome = List.length outcome.satisfied

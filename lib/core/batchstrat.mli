@@ -26,6 +26,7 @@ type outcome = {
 }
 
 val run :
+  ?metrics:Stratrec_obs.Registry.t ->
   objective:Objective.t ->
   aggregation:Stratrec_model.Workforce.aggregation ->
   available:float ->
@@ -34,7 +35,12 @@ val run :
 (** Each request uses its own cardinality constraint [d.k]. O(m log m)
     after the O(m |S| log k) aggregation. [available] is the expected
     workforce W in [\[0, 1\]] (values above 1 are allowed and simply relax
-    the budget). *)
+    the budget).
+
+    [metrics] (default {!Stratrec_obs.Registry.noop}) records
+    [batchstrat.runs_total], [batchstrat.candidates_total],
+    [batchstrat.greedy_passes_total], the [batchstrat.greedy_seconds]
+    span and the [batchstrat.workforce_utilization] gauge. *)
 
 val satisfied_count : outcome -> int
 

@@ -1,0 +1,164 @@
+module Model = Stratrec_model
+module Sim = Stratrec_crowdsim
+module Obs = Stratrec_obs
+module Deployment = Model.Deployment
+module Strategy = Model.Strategy
+
+type deploy_config = {
+  platform : Sim.Platform.t;
+  kind : Sim.Task_spec.kind;
+  window : Sim.Window.t;
+  capacity : int;
+  ledger : Sim.Ledger.t option;
+}
+
+type config = {
+  aggregator : Aggregator.config;
+  metrics : Obs.Registry.t option;
+  deploy : deploy_config option;
+}
+
+let default_config =
+  { aggregator = Aggregator.default_config; metrics = None; deploy = None }
+
+type deployed = {
+  request : Deployment.t;
+  strategy : Strategy.t;
+  outcome : Sim.Campaign.result;
+}
+
+type counts = {
+  requests : int;
+  satisfied : int;
+  alternatives : int;
+  workforce_limited : int;
+  no_alternative : int;
+}
+
+type report = {
+  aggregate : Aggregator.report;
+  counts : counts;
+  deployed : deployed list;
+  metrics : Obs.Snapshot.t;
+}
+
+type error =
+  [ `Empty_catalog
+  | `Invalid_config of string
+  | `Invalid_request of string
+  | `Catalog of string ]
+
+let error_message = function
+  | `Empty_catalog -> "the strategy catalog is empty"
+  | `Invalid_config message -> Printf.sprintf "invalid engine configuration: %s" message
+  | `Invalid_request message -> Printf.sprintf "invalid request batch: %s" message
+  | `Catalog message -> Printf.sprintf "failed to load catalog: %s" message
+
+let pp_error ppf e = Format.pp_print_string ppf (error_message e)
+
+let counts_of_report (aggregate : Aggregator.report) =
+  Array.fold_left
+    (fun counts (_, outcome) ->
+      let counts = { counts with requests = counts.requests + 1 } in
+      match (outcome : Aggregator.request_outcome) with
+      | Aggregator.Satisfied _ -> { counts with satisfied = counts.satisfied + 1 }
+      | Aggregator.Alternative _ -> { counts with alternatives = counts.alternatives + 1 }
+      | Aggregator.Workforce_limited ->
+          { counts with workforce_limited = counts.workforce_limited + 1 }
+      | Aggregator.No_alternative ->
+          { counts with no_alternative = counts.no_alternative + 1 })
+    { requests = 0; satisfied = 0; alternatives = 0; workforce_limited = 0; no_alternative = 0 }
+    aggregate.Aggregator.outcomes
+
+let load_catalog ~path =
+  match Result.bind (Model.Codec.load ~path) Model.Codec.catalog_of_json with
+  | Ok strategies -> Ok strategies
+  | Error message -> Error (`Catalog message)
+
+let validate config ~strategies ~requests =
+  if Array.length strategies = 0 then Error `Empty_catalog
+  else
+    let ids = Hashtbl.create (Array.length requests) in
+    let duplicate =
+      Array.find_opt
+        (fun d ->
+          let id = d.Deployment.id in
+          if Hashtbl.mem ids id then true
+          else begin
+            Hashtbl.add ids id ();
+            false
+          end)
+        requests
+    in
+    match duplicate with
+    | Some d ->
+        Error
+          (`Invalid_request
+            (Printf.sprintf "duplicate request id %d (%s)" d.Deployment.id
+               d.Deployment.label))
+    | None -> (
+        match config.deploy with
+        | Some { capacity; _ } when capacity <= 0 ->
+            Error (`Invalid_config "deploy capacity must be positive")
+        | Some _ | None -> Ok ())
+
+let deploy_satisfied ~metrics ~rng deploy satisfied =
+  List.map
+    (fun (request, recommended) ->
+      (* Deploy the cheapest recommended strategy's first stage, as the
+         season planner does. *)
+      let strategy =
+        match recommended with
+        | strategy :: _ -> strategy
+        | [] -> assert false (* satisfied requests carry k >= 1 strategies *)
+      in
+      let combo =
+        match strategy.Strategy.stages with
+        | combo :: _ -> combo
+        | [] -> assert false (* strategies have at least one stage *)
+      in
+      let task = Sim.Task_spec.make ~kind:deploy.kind ~title:request.Deployment.label () in
+      let outcome =
+        Sim.Campaign.deploy ?ledger:deploy.ledger ~metrics deploy.platform rng
+          {
+            Sim.Campaign.task;
+            combo;
+            window = deploy.window;
+            capacity = deploy.capacity;
+            guided = true;
+          }
+      in
+      { request; strategy; outcome })
+    satisfied
+
+let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
+  match validate config ~strategies ~requests with
+  | Error _ as e -> e
+  | Ok () ->
+      let metrics =
+        match config.metrics with Some m -> m | None -> Obs.Registry.create ()
+      in
+      let report =
+        Obs.Span.time metrics "engine.run_seconds" (fun () ->
+            Obs.Registry.incr (Obs.Registry.counter metrics "engine.runs_total");
+            let aggregate =
+              Aggregator.run ~config:config.aggregator ~metrics ~availability ~strategies
+                ~requests ()
+            in
+            let deployed =
+              match config.deploy with
+              | None -> []
+              | Some deploy ->
+                  let rng =
+                    match rng with Some rng -> rng | None -> Stratrec_util.Rng.create 2020
+                  in
+                  deploy_satisfied ~metrics ~rng deploy (Aggregator.satisfied aggregate)
+            in
+            Obs.Registry.incr_by
+              (Obs.Registry.counter metrics "engine.deploys_total")
+              (List.length deployed);
+            { aggregate; counts = counts_of_report aggregate; deployed; metrics = [] })
+      in
+      (* Snapshot after the span has finished, so the snapshot itself sees
+         the engine.run_seconds observation. *)
+      Ok { report with metrics = Obs.Registry.snapshot metrics }

@@ -1,0 +1,98 @@
+(** The unified StratRec façade.
+
+    [Engine.run] is the one entry point callers need: it owns a single
+    consolidated configuration (embedding the shared
+    {!Aggregator.config}), executes the full recommend → ADPaR-triage →
+    deploy pipeline, reports failures as typed [result] errors instead of
+    exceptions or process exits, and returns a report that carries both
+    the per-request outcomes and a deterministic metrics snapshot of the
+    run ({!Stratrec_obs.Snapshot}).
+
+    The middle-layer framing of the paper (§2: StratRec sits between
+    requesters and platforms) maps directly: requesters hand the engine a
+    request batch, the engine triages it against the strategy catalog at
+    the expected availability, and — when a {!deploy_config} is present —
+    pushes every satisfied request's top recommendation onto the
+    (simulated) platform and measures what came back. *)
+
+(** Optional deployment stage: when present, each satisfied request's
+    cheapest recommended strategy is deployed on the platform with its
+    first stage combo. *)
+type deploy_config = {
+  platform : Stratrec_crowdsim.Platform.t;
+  kind : Stratrec_crowdsim.Task_spec.kind;
+  window : Stratrec_crowdsim.Window.t;
+  capacity : int;  (** workers per HIT *)
+  ledger : Stratrec_crowdsim.Ledger.t option;  (** payment recording *)
+}
+
+type config = {
+  aggregator : Aggregator.config;
+      (** the shared aggregator configuration — the same record
+          {!Aggregator.run}, {!Stream_aggregator.create} and
+          [Stratrec_pipeline.Planner] consume *)
+  metrics : Stratrec_obs.Registry.t option;
+      (** [None] (the default) gives every run a fresh private registry,
+          so report snapshots are per-run; supply a registry to
+          accumulate across runs or to attach a sink *)
+  deploy : deploy_config option;  (** [None]: recommend-only *)
+}
+
+val default_config : config
+(** Aggregator defaults, private per-run metrics, no deployment. *)
+
+type deployed = {
+  request : Stratrec_model.Deployment.t;
+  strategy : Stratrec_model.Strategy.t;  (** the recommendation deployed *)
+  outcome : Stratrec_crowdsim.Campaign.result;
+}
+
+(** Triage tally of a run — the same numbers the metrics snapshot carries
+    as [aggregator.*_total] counters. *)
+type counts = {
+  requests : int;
+  satisfied : int;
+  alternatives : int;
+  workforce_limited : int;
+  no_alternative : int;
+}
+
+type report = {
+  aggregate : Aggregator.report;  (** full per-request outcomes *)
+  counts : counts;
+  deployed : deployed list;  (** empty without a {!deploy_config} *)
+  metrics : Stratrec_obs.Snapshot.t;
+      (** snapshot taken after the deploy stage *)
+}
+
+type error =
+  [ `Empty_catalog
+  | `Invalid_config of string  (** e.g. non-positive deploy capacity *)
+  | `Invalid_request of string  (** e.g. duplicate request ids *)
+  | `Catalog of string  (** catalog file load/decode failure *) ]
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val counts_of_report : Aggregator.report -> counts
+(** Tally an aggregator report (also usable on reports produced without
+    the engine). *)
+
+val load_catalog : path:string -> (Stratrec_model.Strategy.t array, error) result
+(** {!Stratrec_model.Codec} catalog loading with the error lifted into
+    {!error} ([`Catalog]) — no exceptions, no exits. *)
+
+val run :
+  ?config:config ->
+  ?rng:Stratrec_util.Rng.t ->
+  availability:Stratrec_model.Availability.t ->
+  strategies:Stratrec_model.Strategy.t array ->
+  requests:Stratrec_model.Deployment.t array ->
+  unit ->
+  (report, error) result
+(** One full pipeline run. Validates up front (empty catalog, duplicate
+    request ids, deploy capacity), then never raises. [rng] (default: a
+    fresh seed-2020 generator) drives the deploy stage only; recommend-only
+    runs are deterministic in their inputs. The engine also records
+    [engine.runs_total], [engine.deploys_total] and the
+    [engine.run_seconds] span in the run's registry. *)

@@ -24,3 +24,11 @@ let label = function
       Printf.sprintf "weighted(%.2f*throughput + %.2f*payoff)" throughput_weight payoff_weight
 
 let pp ppf t = Format.pp_print_string ppf (label t)
+
+let to_string = label
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "throughput" -> Ok Throughput
+  | "payoff" | "pay-off" -> Ok Payoff
+  | other -> Error (Printf.sprintf "unknown objective %S (throughput|payoff)" other)

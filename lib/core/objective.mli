@@ -26,3 +26,11 @@ val exact_greedy : t -> bool
 
 val label : t -> string
 val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Alias of {!label}. *)
+
+val of_string : string -> (t, string) result
+(** Case-insensitive ["throughput"] or ["payoff"]; weighted objectives
+    have no string spelling (construct them with {!weighted}). The CLI
+    and {!Engine} parse objectives through this. *)

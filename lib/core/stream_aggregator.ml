@@ -1,6 +1,7 @@
 module Workforce = Stratrec_model.Workforce
 module Strategy = Stratrec_model.Strategy
 module Deployment = Stratrec_model.Deployment
+module Obs = Stratrec_obs
 
 type assignment = { request : Deployment.t; strategies : Strategy.t list; workforce : float }
 
@@ -8,6 +9,7 @@ type t = {
   aggregation : Workforce.aggregation;
   inversion_rule : [ `Direction_aware | `Paper_equality ];
   catalog : Strategy.t array;
+  metrics : Obs.Registry.t;
   mutable pool : float;
   mutable active : assignment list;  (* reverse admission order *)
   mutable admitted : int;
@@ -21,18 +23,35 @@ type decision =
   | No_alternative
   | Duplicate
 
-let create ?(aggregation = Workforce.Max_case) ?(inversion_rule = `Direction_aware) ~strategies
+let count t name = Obs.Registry.incr (Obs.Registry.counter t.metrics name)
+
+let set_pool_gauge t =
+  Obs.Registry.set (Obs.Registry.gauge t.metrics "stream.pool_workforce") t.pool
+
+let create ?aggregation ?inversion_rule ?config ?(metrics = Obs.Registry.noop) ~strategies
     ~workforce () =
   if workforce < 0. then invalid_arg "Stream_aggregator.create: negative workforce";
-  {
-    aggregation;
-    inversion_rule;
-    catalog = strategies;
-    pool = workforce;
-    active = [];
-    admitted = 0;
-    rejected = 0;
-  }
+  let aggregation, inversion_rule =
+    match config with
+    | Some c -> (c.Aggregator.aggregation, c.Aggregator.inversion_rule)
+    | None ->
+        ( Option.value aggregation ~default:Workforce.Max_case,
+          Option.value inversion_rule ~default:`Direction_aware )
+  in
+  let t =
+    {
+      aggregation;
+      inversion_rule;
+      catalog = strategies;
+      metrics;
+      pool = workforce;
+      active = [];
+      admitted = 0;
+      rejected = 0;
+    }
+  in
+  set_pool_gauge t;
+  t
 
 let requirement t request =
   let matrix =
@@ -44,26 +63,37 @@ let is_active t id = List.exists (fun a -> a.request.Deployment.id = id) t.activ
 
 let triage t request =
   t.rejected <- t.rejected + 1;
-  match Adpar.exact ~strategies:t.catalog request with
+  count t "stream.rejected_total";
+  count t "adpar.fallback_total";
+  match Adpar.exact ~metrics:t.metrics ~strategies:t.catalog request with
   | Some result when result.Adpar.distance < 1e-12 -> Workforce_limited
   | Some result -> Alternative result
   | None -> No_alternative
 
 let submit t request =
-  if is_active t request.Deployment.id then Duplicate
-  else
-    match requirement t request with
-    | Some { Workforce.workforce; chosen } when workforce <= t.pool +. 1e-12 ->
-        let strategies = List.map (fun j -> t.catalog.(j)) chosen in
-        t.pool <- Float.max 0. (t.pool -. workforce);
-        t.active <- { request; strategies; workforce } :: t.active;
-        t.admitted <- t.admitted + 1;
-        Admitted { strategies; workforce }
-    | Some _ ->
-        (* Feasible on parameters and catalog, but not within the pool. *)
-        t.rejected <- t.rejected + 1;
-        Workforce_limited
-    | None -> triage t request
+  count t "stream.submitted_total";
+  Obs.Span.time t.metrics "stream.submit_seconds" (fun () ->
+      if is_active t request.Deployment.id then begin
+        count t "stream.duplicate_total";
+        Duplicate
+      end
+      else
+        match requirement t request with
+        | Some { Workforce.workforce; chosen } when workforce <= t.pool +. 1e-12 ->
+            let strategies = List.map (fun j -> t.catalog.(j)) chosen in
+            t.pool <- Float.max 0. (t.pool -. workforce);
+            t.active <- { request; strategies; workforce } :: t.active;
+            t.admitted <- t.admitted + 1;
+            count t "stream.admitted_total";
+            set_pool_gauge t;
+            Admitted { strategies; workforce }
+        | Some _ ->
+            (* Feasible on parameters and catalog, but not within the pool. *)
+            t.rejected <- t.rejected + 1;
+            count t "stream.rejected_total";
+            count t "stream.workforce_limited_total";
+            Workforce_limited
+        | None -> triage t request)
 
 let revoke t id =
   match List.partition (fun a -> a.request.Deployment.id = id) t.active with
@@ -71,11 +101,15 @@ let revoke t id =
   | revoked, kept ->
       t.active <- kept;
       List.iter (fun a -> t.pool <- t.pool +. a.workforce) revoked;
+      count t "stream.revoked_total";
+      set_pool_gauge t;
       true
 
 let replenish t amount =
   if amount < 0. then invalid_arg "Stream_aggregator.replenish: negative amount";
-  t.pool <- t.pool +. amount
+  t.pool <- t.pool +. amount;
+  count t "stream.replenished_total";
+  set_pool_gauge t
 
 let available t = t.pool
 let committed t = List.fold_left (fun acc a -> acc +. a.workforce) 0. t.active

@@ -28,14 +28,35 @@ type decision =
 val create :
   ?aggregation:Stratrec_model.Workforce.aggregation ->
   ?inversion_rule:[ `Direction_aware | `Paper_equality ] ->
+  ?config:Aggregator.config ->
+  ?metrics:Stratrec_obs.Registry.t ->
   strategies:Stratrec_model.Strategy.t array ->
   workforce:float ->
   unit ->
   t
 (** Fresh session over a fixed catalog. The catalog is used as-is (callers
     wanting availability re-estimation should instantiate strategies
-    first). Defaults: Max-case aggregation, direction-aware inversion.
-    @raise Invalid_argument on negative workforce. *)
+    first — {!Aggregator.config.reestimate_parameters} is a batch-time
+    concern and is ignored here, as is the batch objective).
+    @raise Invalid_argument on negative workforce.
+
+    [config] is the unified aggregator configuration shared with
+    {!Aggregator} and [Stratrec_pipeline.Planner]; its [aggregation] and
+    [inversion_rule] fields apply. Defaults: Max-case aggregation,
+    direction-aware inversion.
+
+    [aggregation] and [inversion_rule] are the deprecated pre-unification
+    spellings, kept for source compatibility; when [config] is given they
+    are ignored.
+    @deprecated Pass [?config] instead of [?aggregation]/[?inversion_rule].
+
+    [metrics] (default {!Stratrec_obs.Registry.noop}) is retained for the
+    session's lifetime and records [stream.submitted_total],
+    [stream.admitted_total], [stream.rejected_total],
+    [stream.workforce_limited_total], [stream.duplicate_total],
+    [stream.revoked_total], [stream.replenished_total], the
+    [stream.pool_workforce] gauge, the [stream.submit_seconds] span and
+    [adpar.fallback_total]. *)
 
 val submit : t -> Stratrec_model.Deployment.t -> decision
 (** Greedy-online admission of one request; admitted requests reserve

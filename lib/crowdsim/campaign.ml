@@ -1,5 +1,6 @@
 module Rng = Stratrec_util.Rng
 module Params = Stratrec_model.Params
+module Obs = Stratrec_obs
 
 type deployment = {
   task : Task_spec.t;
@@ -28,13 +29,18 @@ let empty_session units =
     task_units = units;
   }
 
-let deploy ?ledger platform rng d =
+let deploy ?ledger ?(metrics = Obs.Registry.noop) platform rng d =
+  Obs.Registry.incr (Obs.Registry.counter metrics "campaign.hits_deployed_total");
   let { Platform.hired; availability; _ } =
-    Platform.recruit platform rng ~kind:d.task.Task_spec.kind ~window:d.window
+    Platform.recruit ~metrics platform rng ~kind:d.task.Task_spec.kind ~window:d.window
       ~capacity:d.capacity
   in
+  Obs.Registry.incr_by
+    (Obs.Registry.counter metrics "campaign.worker_assignments_total")
+    (List.length hired);
   match hired with
   | [] ->
+      Obs.Registry.incr (Obs.Registry.counter metrics "campaign.empty_deployments_total");
       {
         deployment = d;
         availability;
@@ -78,13 +84,21 @@ let deploy ?ledger platform rng d =
       in
       let latency = Float.max 0. (Float.min 1. (base.Params.latency +. rework_delay)) in
       let measured = { base with Params.quality; latency } in
+      let dollars_spent = Task_spec.pay_per_worker *. float_of_int (List.length workers) in
+      Obs.Registry.add
+        (Obs.Registry.gauge metrics "campaign.dollars_spent_total")
+        dollars_spent;
+      Obs.Registry.observe
+        (Obs.Registry.histogram ~buckets:Obs.Registry.fraction_buckets metrics
+           "campaign.measured_quality")
+        quality;
       {
         deployment = d;
         availability;
         measured;
         session;
         workers_hired = List.length workers;
-        dollars_spent = Task_spec.pay_per_worker *. float_of_int (List.length workers);
+        dollars_spent;
       }
 
 let replicate platform rng d ~times =

@@ -27,11 +27,24 @@ type result = {
   dollars_spent : float;
 }
 
-val deploy : ?ledger:Ledger.t -> Platform.t -> Stratrec_util.Rng.t -> deployment -> result
+val deploy :
+  ?ledger:Ledger.t ->
+  ?metrics:Stratrec_obs.Registry.t ->
+  Platform.t ->
+  Stratrec_util.Rng.t ->
+  deployment ->
+  result
 (** @raise Invalid_argument if the deployment capacity is not positive. A
     deployment that attracts no workers yields quality 0, cost 0 and
     latency 1 (the window expired). When a [ledger] is supplied, every
-    hired worker's payment is recorded in it. *)
+    hired worker's payment is recorded in it.
+
+    [metrics] (default {!Stratrec_obs.Registry.noop}) records
+    [campaign.hits_deployed_total], [campaign.worker_assignments_total],
+    [campaign.empty_deployments_total], the accumulated
+    [campaign.dollars_spent_total] gauge and the
+    [campaign.measured_quality] histogram, and is threaded into
+    {!Platform.recruit}. *)
 
 val replicate :
   Platform.t -> Stratrec_util.Rng.t -> deployment -> times:int -> result list

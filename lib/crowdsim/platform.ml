@@ -1,4 +1,5 @@
 module Rng = Stratrec_util.Rng
+module Obs = Stratrec_obs
 
 type t = { workers : Worker.t array }
 
@@ -16,8 +17,9 @@ let qualified_pool t rng kind =
 
 type recruitment = { hired : Worker.t list; capacity : int; availability : float }
 
-let recruit t rng ~kind ~window ~capacity =
+let recruit ?(metrics = Obs.Registry.noop) t rng ~kind ~window ~capacity =
   if capacity <= 0 then invalid_arg "Platform.recruit: capacity must be positive";
+  Obs.Registry.incr (Obs.Registry.counter metrics "platform.recruitments_total");
   let pool = qualified_pool t rng kind in
   (* A worker undertakes this particular HIT only if (a) they are active in
      the window and (b) they encounter the HIT among everything else posted
@@ -35,12 +37,17 @@ let recruit t rng ~kind ~window ~capacity =
       pool
   in
   let hired = List.filteri (fun i _ -> i < capacity) active in
-  {
-    hired;
-    capacity;
-    availability =
-      Stratrec_model.Availability.observed_ratio ~undertaken:(List.length hired) ~capacity;
-  }
+  let availability =
+    Stratrec_model.Availability.observed_ratio ~undertaken:(List.length hired) ~capacity
+  in
+  Obs.Registry.incr_by
+    (Obs.Registry.counter metrics "platform.workers_hired_total")
+    (List.length hired);
+  Obs.Registry.observe
+    (Obs.Registry.histogram ~buckets:Obs.Registry.fraction_buckets metrics
+       "platform.availability")
+    availability;
+  { hired; capacity; availability }
 
 let estimate_availability t rng ~kind ~window ~capacity ~samples =
   if samples <= 0 then invalid_arg "Platform.estimate_availability: samples must be positive";

@@ -25,10 +25,15 @@ type recruitment = {
 }
 
 val recruit :
+  ?metrics:Stratrec_obs.Registry.t ->
   t -> Stratrec_util.Rng.t -> kind:Task_spec.kind -> window:Window.t -> capacity:int ->
   recruitment
 (** Draws the active subset of the qualified pool during [window] and hires
-    up to [capacity]. @raise Invalid_argument if [capacity <= 0]. *)
+    up to [capacity]. @raise Invalid_argument if [capacity <= 0].
+
+    [metrics] (default {!Stratrec_obs.Registry.noop}) records
+    [platform.recruitments_total], [platform.workers_hired_total] and the
+    [platform.availability] histogram (decile buckets). *)
 
 val estimate_availability :
   t ->

@@ -34,12 +34,18 @@ let params_to_json (p : Params.t) =
     ]
 
 let params_of_json json =
-  let* quality = field "quality" json float_value in
-  let* cost = field "cost" json float_value in
-  let* latency = field "latency" json float_value in
-  match Params.make ~quality ~cost ~latency with
-  | params -> Ok params
-  | exception Invalid_argument message -> Error message
+  match json with
+  | Json.String s ->
+      (* The compact "QUALITY,COST,LATENCY" spelling shared with the CLI's
+         --request argument. *)
+      Result.map_error (Printf.sprintf "params %S: %s" s) (Params.of_string s)
+  | _ ->
+      let* quality = field "quality" json float_value in
+      let* cost = field "cost" json float_value in
+      let* latency = field "latency" json float_value in
+      (match Params.make ~quality ~cost ~latency with
+      | params -> Ok params
+      | exception Invalid_argument message -> Error message)
 
 let coeffs_to_json (c : Linear_model.coeffs) =
   Json.Object

@@ -8,7 +8,12 @@
 module Json = Stratrec_util.Json
 
 val params_to_json : Params.t -> Json.t
+
 val params_of_json : Json.t -> (Params.t, string) result
+(** Accepts the canonical [{"quality": _, "cost": _, "latency": _}]
+    object and, for hand-written documents, the compact string form
+    ["QUALITY,COST,LATENCY"] of {!Params.of_string} (the same spelling
+    the CLI's [--request] argument uses). *)
 
 val coeffs_to_json : Linear_model.coeffs -> Json.t
 val coeffs_of_json : Json.t -> (Linear_model.coeffs, string) result

@@ -50,4 +50,17 @@ let relaxation ~request ~strategy axis =
 
 let equal a b = a.quality = b.quality && a.cost = b.cost && a.latency = b.latency
 
+let to_string t = Printf.sprintf "%.12g,%.12g,%.12g" t.quality t.cost t.latency
+
+let of_string s =
+  match String.split_on_char ',' s |> List.map String.trim with
+  | [ q; c; l ] -> (
+      match (float_of_string_opt q, float_of_string_opt c, float_of_string_opt l) with
+      | Some quality, Some cost, Some latency ->
+          if List.for_all in_unit [ quality; cost; latency ] then
+            Ok { quality; cost; latency }
+          else Error "thresholds must lie in [0,1]"
+      | _ -> Error "expected three floats: QUALITY,COST,LATENCY")
+  | _ -> Error "expected QUALITY,COST,LATENCY"
+
 let pp ppf t = Format.fprintf ppf "{q=%.3f; c=%.3f; l=%.3f}" t.quality t.cost t.latency

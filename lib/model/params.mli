@@ -46,4 +46,16 @@ val relaxation : request:t -> strategy:t -> axis -> float
     step 1. *)
 
 val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Compact ["QUALITY,COST,LATENCY"] form, e.g. ["0.9,0.2,0.3"] — the
+    CLI's [--request] syntax and the codec's compact JSON string form.
+    12 significant digits, so [of_string (to_string t)] round-trips
+    every triple produced from decimal input. *)
+
+val of_string : string -> (t, string) result
+(** Parses the {!to_string} form (whitespace around commas tolerated).
+    Errors mention the offending constraint: arity, float syntax, or the
+    [\[0, 1\]] range. *)
+
 val pp : Format.formatter -> t -> unit

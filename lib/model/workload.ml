@@ -5,6 +5,12 @@ type dist_kind = Uniform | Normal
 
 let dist_kind_label = function Uniform -> "Uniform" | Normal -> "Normal"
 
+let dist_kind_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "uniform" -> Ok Uniform
+  | "normal" -> Ok Normal
+  | other -> Error (Printf.sprintf "unknown distribution %S (uniform|normal)" other)
+
 let param_distribution = function
   | Uniform -> Distribution.Uniform { lo = 0.5; hi = 1. }
   | Normal -> Distribution.Truncated_normal { mu = 0.75; sigma = 0.1; lo = 0.; hi = 1. }

@@ -10,6 +10,10 @@ type dist_kind = Uniform | Normal
 
 val dist_kind_label : dist_kind -> string
 
+val dist_kind_of_string : string -> (dist_kind, string) result
+(** Case-insensitive ["uniform"] / ["normal"] — the CLI's [--dist]
+    values. *)
+
 val param_distribution : dist_kind -> Stratrec_util.Distribution.t
 (** U[0.5,1] or N(0.75,0.1) truncated to [\[0,1\]]. *)
 

@@ -1,0 +1,193 @@
+type hstate = {
+  bounds : float array;  (* ascending, finite; the +inf bucket is counts.(n) *)
+  counts : int array;  (* length = Array.length bounds + 1 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type instrument = C of int ref | G of float ref | H of hstate
+
+type t = {
+  enabled : bool;
+  sink : Sink.t;
+  clock : unit -> float;
+  table : (string, instrument) Hashtbl.t;
+}
+
+type counter = { creg : t; cname : string }
+type gauge = { greg : t; gname : string }
+type histogram = { hreg : t; hname : string; hbuckets : float array }
+
+let create ?(sink = Sink.silent) ?(clock = Sys.time) () =
+  { enabled = true; sink; clock; table = Hashtbl.create 32 }
+
+let noop = { enabled = false; sink = Sink.silent; clock = (fun () -> 0.); table = Hashtbl.create 1 }
+
+let enabled t = t.enabled
+let now t = if t.enabled then t.clock () else 0.
+let emit t event = if t.enabled then t.sink event
+
+let duration_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
+let fraction_buckets = [| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
+
+let kind_error name got =
+  invalid_arg
+    (Printf.sprintf "Stratrec_obs.Registry: %s already registered as a %s" name got)
+
+let instrument_kind = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let counter t name =
+  (match Hashtbl.find_opt t.table name with
+  | None | Some (C _) -> ()
+  | Some other -> kind_error name (instrument_kind other));
+  { creg = t; cname = name }
+
+let gauge t name =
+  (match Hashtbl.find_opt t.table name with
+  | None | Some (G _) -> ()
+  | Some other -> kind_error name (instrument_kind other));
+  { greg = t; gname = name }
+
+let validate_buckets buckets =
+  if Array.length buckets = 0 then
+    invalid_arg "Stratrec_obs.Registry.histogram: empty bucket layout";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Stratrec_obs.Registry.histogram: non-finite bucket bound";
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Stratrec_obs.Registry.histogram: bucket bounds must ascend")
+    buckets
+
+let histogram ?(buckets = duration_buckets) t name =
+  validate_buckets buckets;
+  (match Hashtbl.find_opt t.table name with
+  | None | Some (H _) -> ()
+  | Some other -> kind_error name (instrument_kind other));
+  { hreg = t; hname = name; hbuckets = buckets }
+
+let counter_state t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (C r) -> r
+  | Some other -> kind_error name (instrument_kind other)
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.table name (C r);
+      r
+
+let gauge_state t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (G r) -> r
+  | Some other -> kind_error name (instrument_kind other)
+  | None ->
+      let r = ref 0. in
+      Hashtbl.replace t.table name (G r);
+      r
+
+let histogram_state t name buckets =
+  match Hashtbl.find_opt t.table name with
+  | Some (H h) -> h
+  | Some other -> kind_error name (instrument_kind other)
+  | None ->
+      let h =
+        {
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          count = 0;
+          sum = 0.;
+          min_v = 0.;
+          max_v = 0.;
+        }
+      in
+      Hashtbl.replace t.table name (H h);
+      h
+
+let incr_by c by =
+  if by < 0 then invalid_arg "Stratrec_obs.Registry.incr_by: negative increment";
+  if c.creg.enabled then begin
+    (* A zero increment still materializes the counter (at 0) so it shows
+       up in snapshots, but emits no event. *)
+    let r = counter_state c.creg c.cname in
+    if by > 0 then begin
+      r := !r + by;
+      c.creg.sink (Sink.Counter_incr { name = c.cname; by; total = !r })
+    end
+  end
+
+let incr c = incr_by c 1
+
+let counter_value c =
+  if not c.creg.enabled then 0 else !(counter_state c.creg c.cname)
+
+let set g value =
+  if g.greg.enabled then begin
+    let r = gauge_state g.greg g.gname in
+    r := value;
+    g.greg.sink (Sink.Gauge_set { name = g.gname; value })
+  end
+
+let add g delta =
+  if g.greg.enabled then begin
+    let r = gauge_state g.greg g.gname in
+    r := !r +. delta;
+    g.greg.sink (Sink.Gauge_set { name = g.gname; value = !r })
+  end
+
+let gauge_value g = if not g.greg.enabled then 0. else !(gauge_state g.greg g.gname)
+
+let bucket_index bounds value =
+  (* First bound >= value; the +inf bucket is Array.length bounds. *)
+  let n = Array.length bounds in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if value <= bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h value =
+  if h.hreg.enabled then begin
+    let s = histogram_state h.hreg h.hname h.hbuckets in
+    let i = bucket_index s.bounds value in
+    s.counts.(i) <- s.counts.(i) + 1;
+    if s.count = 0 then begin
+      s.min_v <- value;
+      s.max_v <- value
+    end
+    else begin
+      if value < s.min_v then s.min_v <- value;
+      if value > s.max_v then s.max_v <- value
+    end;
+    s.count <- s.count + 1;
+    s.sum <- s.sum +. value;
+    h.hreg.sink (Sink.Observe { name = h.hname; value })
+  end
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name instrument acc ->
+      let value =
+        match instrument with
+        | C r -> Snapshot.Counter !r
+        | G r -> Snapshot.Gauge !r
+        | H h ->
+            let buckets =
+              List.init
+                (Array.length h.counts)
+                (fun i ->
+                  let bound =
+                    if i < Array.length h.bounds then h.bounds.(i) else infinity
+                  in
+                  (bound, h.counts.(i)))
+            in
+            Snapshot.Histogram
+              { buckets; count = h.count; sum = h.sum; min = h.min_v; max = h.max_v }
+      in
+      { Snapshot.name; value } :: acc)
+    t.table []
+  |> List.sort (fun a b -> String.compare a.Snapshot.name b.Snapshot.name)
+
+let reset t = Hashtbl.reset t.table

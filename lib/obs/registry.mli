@@ -1,0 +1,85 @@
+(** Metrics registry — counters, gauges and histograms by name.
+
+    One registry instance is threaded through a pipeline run (every
+    instrumented entry point takes [?metrics] defaulting to {!noop});
+    instruments are created on first use and accumulate in memory, while
+    every mutation is also forwarded to the registry's {!Sink.t}.
+
+    Naming scheme: [<subsystem>.<metric>[_total]] with dot-separated
+    subsystem prefixes ([aggregator.], [batchstrat.], [adpar.],
+    [stream.], [planner.], [platform.], [campaign.], [engine.]) and a
+    [_total] suffix on monotone counters — see DESIGN.md §Observability.
+
+    Instruments are looked up by name: asking for an existing name with a
+    different instrument kind raises [Invalid_argument]; asking for an
+    existing histogram with a different bucket layout keeps the original
+    layout. The registry is not thread-safe — one registry per run (the
+    intended sharding unit) needs no locking. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : ?sink:Sink.t -> ?clock:(unit -> float) -> unit -> t
+(** Fresh registry. [sink] defaults to {!Sink.silent}; [clock] (used by
+    {!Span} timers) defaults to [Sys.time] — the process clock, which is
+    monotone non-decreasing, unlike the wall clock. *)
+
+val noop : t
+(** The disabled registry: instrument operations do nothing, snapshots
+    are empty. The default for every [?metrics] argument, so
+    un-instrumented callers pay one branch per operation. *)
+
+val enabled : t -> bool
+(** [false] only for {!noop}. *)
+
+val now : t -> float
+(** The registry's clock reading (0. on {!noop}). *)
+
+val emit : t -> Sink.event -> unit
+(** Forward an event to the registry's sink (used by {!Span}). *)
+
+(** {1 Bucket layouts} *)
+
+val duration_buckets : float array
+(** Log-spaced seconds: 1us .. 10s. The default histogram layout. *)
+
+val fraction_buckets : float array
+(** Deciles of [\[0, 1\]] — for availabilities, utilizations, errors on
+    normalized axes. *)
+
+(** {1 Instruments} *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** [buckets] is the array of inclusive upper bounds, sorted ascending
+    (an implicit [+inf] bucket is appended); defaults to
+    {!duration_buckets}. @raise Invalid_argument if [buckets] is empty or
+    unsorted. *)
+
+val incr : counter -> unit
+val incr_by : counter -> int -> unit
+(** @raise Invalid_argument on negative increments (counters are
+    monotone). A zero increment registers the counter (so it appears in
+    snapshots at 0) without emitting a sink event. *)
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshot} *)
+
+val snapshot : t -> Snapshot.t
+(** Deterministic (name-sorted) copy of the current state. *)
+
+val reset : t -> unit
+(** Drops every instrument. Existing handles keep working and re-create
+    their instrument on next use. *)

@@ -1,0 +1,34 @@
+type event =
+  | Counter_incr of { name : string; by : int; total : int }
+  | Gauge_set of { name : string; value : float }
+  | Observe of { name : string; value : float }
+  | Span_finish of { name : string; seconds : float }
+
+type t = event -> unit
+
+let event_name = function
+  | Counter_incr { name; _ } | Gauge_set { name; _ } | Observe { name; _ }
+  | Span_finish { name; _ } ->
+      name
+
+let pp_event ppf = function
+  | Counter_incr { name; by; total } ->
+      Format.fprintf ppf "counter %s +%d -> %d" name by total
+  | Gauge_set { name; value } -> Format.fprintf ppf "gauge %s = %g" name value
+  | Observe { name; value } -> Format.fprintf ppf "observe %s %g" name value
+  | Span_finish { name; seconds } -> Format.fprintf ppf "span %s %.6fs" name seconds
+
+let silent _ = ()
+
+let default_src = Logs.Src.create "stratrec.obs" ~doc:"StratRec metric events"
+
+let logs ?(src = default_src) () =
+  let module Log = (val Logs.src_log src : Logs.LOG) in
+  fun event -> Log.debug (fun m -> m "%a" pp_event event)
+
+let memory () =
+  let events = ref [] in
+  let sink event = events := event :: !events in
+  (sink, fun () -> List.rev !events)
+
+let fanout sinks event = List.iter (fun sink -> sink event) sinks

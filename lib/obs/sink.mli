@@ -1,0 +1,41 @@
+(** Metric event sinks.
+
+    A registry (see {!Registry}) accumulates instrument state in memory
+    and, in addition, forwards every mutation to a sink. Sinks are plain
+    functions so integrations (a StatsD forwarder, a test recorder, a log
+    stream) plug in without the registry knowing about them.
+
+    The three built-ins cover the pipeline's needs: {!silent} for
+    production hot paths, {!logs} for debugging a run, and {!memory} for
+    tests that assert on the exact event stream. *)
+
+type event =
+  | Counter_incr of { name : string; by : int; total : int }
+      (** a counter moved by [by], reaching [total] *)
+  | Gauge_set of { name : string; value : float }
+      (** a gauge was set (or accumulated) to [value] *)
+  | Observe of { name : string; value : float }
+      (** a histogram recorded a sample *)
+  | Span_finish of { name : string; seconds : float }
+      (** a span timer stopped after [seconds] *)
+
+type t = event -> unit
+
+val event_name : event -> string
+(** The instrument name carried by the event. *)
+
+val silent : t
+(** Discards everything. *)
+
+val logs : ?src:Logs.src -> unit -> t
+(** Emits each event as a [Logs.debug] line on [src] (default: a
+    ["stratrec.obs"] source). *)
+
+val memory : unit -> t * (unit -> event list)
+(** [memory ()] is a recording sink and a function returning every event
+    received so far, oldest first. *)
+
+val fanout : t list -> t
+(** Forwards each event to every sink, in order. *)
+
+val pp_event : Format.formatter -> event -> unit

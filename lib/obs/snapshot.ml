@@ -1,0 +1,96 @@
+module Tabular = Stratrec_util.Tabular
+module Json = Stratrec_util.Json
+
+type histogram = {
+  buckets : (float * int) list;
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+type entry = { name : string; value : value }
+
+type t = entry list
+
+let empty = []
+
+let find t name =
+  List.find_map (fun e -> if String.equal e.name name then Some e.value else None) t
+
+let counter_value t name =
+  match find t name with Some (Counter n) -> n | Some (Gauge _ | Histogram _) | None -> 0
+
+let gauge_value t name =
+  match find t name with Some (Gauge v) -> v | Some (Counter _ | Histogram _) | None -> 0.
+
+let histogram_count t name =
+  match find t name with
+  | Some (Histogram h) -> h.count
+  | Some (Counter _ | Gauge _) | None -> 0
+
+let histogram_sum t name =
+  match find t name with
+  | Some (Histogram h) -> h.sum
+  | Some (Counter _ | Gauge _) | None -> 0.
+
+let to_table t =
+  let table = Tabular.create ~columns:[ "metric"; "type"; "value"; "detail" ] in
+  List.iter
+    (fun { name; value } ->
+      let row =
+        match value with
+        | Counter n -> [ name; "counter"; string_of_int n; "" ]
+        | Gauge v -> [ name; "gauge"; Printf.sprintf "%g" v; "" ]
+        | Histogram h ->
+            [
+              name;
+              "histogram";
+              string_of_int h.count;
+              Printf.sprintf "sum=%g min=%g max=%g" h.sum h.min h.max;
+            ]
+      in
+      Tabular.add_row table row)
+    t;
+  table
+
+let to_json t =
+  let histogram_json h =
+    Json.Object
+      [
+        ("count", Json.Number (float_of_int h.count));
+        ("sum", Json.Number h.sum);
+        ("min", Json.Number h.min);
+        ("max", Json.Number h.max);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (le, n) ->
+                 Json.Object
+                   [
+                     ( "le",
+                       Json.String
+                         (if Float.is_finite le then Printf.sprintf "%g" le else "+inf") );
+                     ("count", Json.Number (float_of_int n));
+                   ])
+               h.buckets) );
+      ]
+  in
+  Json.Object
+    (List.map
+       (fun { name; value } ->
+         let v =
+           match value with
+           | Counter n ->
+               Json.Object
+                 [ ("type", Json.String "counter"); ("value", Json.Number (float_of_int n)) ]
+           | Gauge g -> Json.Object [ ("type", Json.String "gauge"); ("value", Json.Number g) ]
+           | Histogram h ->
+               Json.Object [ ("type", Json.String "histogram"); ("value", histogram_json h) ]
+         in
+         (name, v))
+       t)
+
+let pp ppf t = Format.pp_print_string ppf (Tabular.render (to_table t))

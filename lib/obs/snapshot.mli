@@ -1,0 +1,53 @@
+(** Immutable, deterministic view of a registry.
+
+    A snapshot is the full instrument state at one point in time, sorted
+    by metric name so that two snapshots of equal registries render
+    identically (tests and the CLI rely on this). Rendering reuses the
+    repository's table and JSON substrates ({!Stratrec_util.Tabular},
+    {!Stratrec_util.Json}). *)
+
+type histogram = {
+  buckets : (float * int) list;
+      (** per-bucket (inclusive upper bound, count); the final bound is
+          [infinity], catching every overflow *)
+  count : int;  (** total observations *)
+  sum : float;  (** sum of observed values *)
+  min : float;  (** 0. when empty *)
+  max : float;  (** 0. when empty *)
+}
+
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+type entry = { name : string; value : value }
+
+type t = entry list
+(** Sorted by [name], each name unique. *)
+
+val empty : t
+
+val find : t -> string -> value option
+
+val counter_value : t -> string -> int
+(** 0 when absent or not a counter. *)
+
+val gauge_value : t -> string -> float
+(** 0. when absent or not a gauge. *)
+
+val histogram_count : t -> string -> int
+(** 0 when absent or not a histogram. *)
+
+val histogram_sum : t -> string -> float
+(** 0. when absent or not a histogram. *)
+
+val to_table : t -> Stratrec_util.Tabular.t
+(** Columns [metric | type | value | detail]: counters and gauges carry
+    their value, histograms their observation count with sum/min/max in
+    the detail column. *)
+
+val to_json : t -> Stratrec_util.Json.t
+(** An object keyed by metric name. Histogram bucket bounds are emitted
+    as strings (["0.1"], ["+inf"]) because JSON numbers cannot represent
+    infinity. *)
+
+val pp : Format.formatter -> t -> unit
+(** The rendered table. *)

@@ -1,0 +1,23 @@
+type t = { registry : Registry.t; name : string; started : float }
+
+let start registry name = { registry; name; started = Registry.now registry }
+
+let finish t =
+  if not (Registry.enabled t.registry) then 0.
+  else begin
+    let seconds = Float.max 0. (Registry.now t.registry -. t.started) in
+    let h = Registry.histogram t.registry t.name in
+    Registry.observe h seconds;
+    Registry.emit t.registry (Sink.Span_finish { name = t.name; seconds });
+    seconds
+  end
+
+let time registry name f =
+  let span = start registry name in
+  match f () with
+  | value ->
+      ignore (finish span);
+      value
+  | exception exn ->
+      ignore (finish span);
+      raise exn

@@ -1,0 +1,24 @@
+(** Monotonic span timers.
+
+    A span measures one stage of the pipeline against the registry's
+    clock (process time by default, so durations never go negative even
+    if the wall clock steps). Finishing a span records the elapsed
+    seconds into a histogram named after the span (with
+    {!Registry.duration_buckets}) and emits a [Span_finish] event.
+
+    On the {!Registry.noop} registry spans cost two branches and record
+    nothing. *)
+
+type t
+
+val start : Registry.t -> string -> t
+(** Begin timing a stage; [string] is the histogram/metric name, e.g.
+    ["aggregator.batch_seconds"]. *)
+
+val finish : t -> float
+(** Elapsed seconds (clamped to [>= 0.]), after recording it. Finishing
+    the same span twice records twice. *)
+
+val time : Registry.t -> string -> (unit -> 'a) -> 'a
+(** [time reg name f] runs [f ()] inside a span, finishing it whether
+    [f] returns or raises. *)

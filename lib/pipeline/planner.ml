@@ -2,6 +2,7 @@ module Model = Stratrec_model
 module Sim = Stratrec_crowdsim
 module Rng = Stratrec_util.Rng
 module Forecast = Model.Forecast
+module Obs = Stratrec_obs
 
 type config = {
   aggregator : Stratrec.Aggregator.config;
@@ -9,6 +10,7 @@ type config = {
   capacity : int;
   probe_replicates : int;
   ledger : Sim.Ledger.t option;
+  metrics : Obs.Registry.t;
 }
 
 let default_config =
@@ -18,6 +20,7 @@ let default_config =
     capacity = 10;
     probe_replicates = 3;
     ledger = None;
+    metrics = Obs.Registry.noop;
   }
 
 type window_report = {
@@ -54,10 +57,12 @@ let probe_task t =
   | Sim.Task_spec.Custom _ as kind -> Sim.Task_spec.make ~kind ~title:"probe" ()
 
 let observe_probe t window =
+  Obs.Registry.incr (Obs.Registry.counter t.config.metrics "planner.probes_total");
   let combo = List.hd Model.Dimension.all_combos in
   let samples =
     List.init t.config.probe_replicates (fun _ ->
-        (Sim.Campaign.deploy ?ledger:t.config.ledger t.platform t.rng
+        (Sim.Campaign.deploy ?ledger:t.config.ledger ~metrics:t.config.metrics t.platform
+           t.rng
            { Sim.Campaign.task = probe_task t; combo; window; capacity = t.config.capacity;
              guided = true })
           .Sim.Campaign.availability)
@@ -109,30 +114,42 @@ let deploy_recommendations t window satisfied =
       in
       let task = probe_task t in
       let result =
-        Sim.Campaign.deploy ?ledger:t.config.ledger t.platform t.rng
+        Sim.Campaign.deploy ?ledger:t.config.ledger ~metrics:t.config.metrics t.platform t.rng
           { Sim.Campaign.task; combo; window; capacity = t.config.capacity; guided = true }
       in
       ((request, strategy, result.Sim.Campaign.measured), result.Sim.Campaign.availability))
     satisfied
 
 let run_window t ~requests =
-  let window = current_window t in
-  let method_used, forecast = pick_forecast t in
-  let aggregate =
-    Stratrec.Aggregator.run ~config:t.config.aggregator
-      ~availability:(Forecast.to_availability forecast)
-      ~strategies:t.strategies ~requests ()
-  in
-  let outcomes = deploy_recommendations t window (Stratrec.Aggregator.satisfied aggregate) in
-  let observed =
-    match outcomes with
-    | [] -> observe_probe t window
-    | outcomes ->
-        List.fold_left (fun acc (_, a) -> acc +. a) 0. outcomes
-        /. float_of_int (List.length outcomes)
-  in
-  advance t observed;
-  { window; forecast; method_used; observed; aggregate; deployed = List.map fst outcomes }
+  let metrics = t.config.metrics in
+  Obs.Span.time metrics "planner.window_seconds" (fun () ->
+      Obs.Registry.incr (Obs.Registry.counter metrics "planner.windows_total");
+      let window = current_window t in
+      let method_used, forecast = pick_forecast t in
+      let aggregate =
+        Stratrec.Aggregator.run ~config:t.config.aggregator ~metrics
+          ~availability:(Forecast.to_availability forecast)
+          ~strategies:t.strategies ~requests ()
+      in
+      let outcomes =
+        deploy_recommendations t window (Stratrec.Aggregator.satisfied aggregate)
+      in
+      Obs.Registry.incr_by
+        (Obs.Registry.counter metrics "planner.deploys_total")
+        (List.length outcomes);
+      let observed =
+        match outcomes with
+        | [] -> observe_probe t window
+        | outcomes ->
+            List.fold_left (fun acc (_, a) -> acc +. a) 0. outcomes
+            /. float_of_int (List.length outcomes)
+      in
+      Obs.Registry.observe
+        (Obs.Registry.histogram ~buckets:Obs.Registry.fraction_buckets metrics
+           "planner.forecast_abs_error")
+        (Float.abs (forecast -. observed));
+      advance t observed;
+      { window; forecast; method_used; observed; aggregate; deployed = List.map fst outcomes })
 
 let pp_window_report ppf r =
   Format.fprintf ppf "%s: forecast %.3f (%a), observed %.3f, satisfied %d, deployed %d@."

@@ -11,6 +11,10 @@
 
 type config = {
   aggregator : Stratrec.Aggregator.config;
+      (** the unified aggregator configuration, shared verbatim with
+          {!Stratrec.Aggregator}, {!Stratrec.Stream_aggregator} and
+          {!Stratrec.Engine} (the planner keeps no duplicate
+          objective/aggregation spellings of its own) *)
   forecast_method : Stratrec_model.Forecast.method_ option;
       (** [None] picks the best back-tested method each window *)
   capacity : int;  (** workers per deployed HIT *)
@@ -18,11 +22,17 @@ type config = {
   ledger : Stratrec_crowdsim.Ledger.t option;
       (** when set, every payment of every deployment (probes included) is
           recorded for worker-centric analysis *)
+  metrics : Stratrec_obs.Registry.t;
+      (** threaded into the aggregator, ADPaR and every campaign
+          deployment; additionally records [planner.windows_total],
+          [planner.deploys_total], [planner.probes_total], the
+          [planner.forecast_abs_error] histogram and the
+          [planner.window_seconds] span *)
 }
 
 val default_config : config
 (** Aggregator defaults, automatic forecasting, capacity 10, 3 probes, no
-    ledger. *)
+    ledger, {!Stratrec_obs.Registry.noop} metrics. *)
 
 type window_report = {
   window : Stratrec_crowdsim.Window.t;

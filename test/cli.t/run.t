@@ -8,6 +8,25 @@ with {s2, s3, s4}, d1 and d2 get closest-alternative parameters.
     d3: satisfied (w=0.800) with [s4 (SIM-IND-HYB); s3 (SIM-IND-CRO); s2 (SEQ-IND-CRO)]
   
 
+--metrics appends the engine's metrics snapshot. The counters are
+deterministic (timing histograms are not, so we filter to counter rows
+and normalize the column padding).
+
+  $ stratrec example --metrics | awk '/counter/ {print $1, $3}'
+  adpar.calls_total 2
+  adpar.fallback_total 2
+  adpar.prune_cutoffs_total 2
+  adpar.sweep_events_total 12
+  aggregator.alternative_total 2
+  aggregator.batches_total 1
+  aggregator.requests_total 3
+  aggregator.satisfied_total 1
+  batchstrat.candidates_total 1
+  batchstrat.greedy_passes_total 1
+  batchstrat.runs_total 1
+  engine.deploys_total 0
+  engine.runs_total 1
+
 Catalogs round-trip through JSON.
 
   $ stratrec catalog -n 12 --stages 2 -o cat.json
@@ -15,3 +34,16 @@ Catalogs round-trip through JSON.
   $ stratrec adpar --catalog cat.json --request 0.99,0.01,0.01 -k 3 | head -2
   original    {q=0.990; c=0.010; l=0.010}
   alternative {q=0.678; c=0.752; l=0.729} (distance 1.0788)
+
+Failures are typed results rendered by Cmdliner, not raw exits: a broken
+catalog is a term evaluation error, a malformed triple or objective is
+rejected by the argument parser itself.
+
+  $ echo 'not json' > bad.json
+  $ stratrec recommend --catalog bad.json
+  stratrec: failed to load catalog: JSON parse error at offset 0: invalid literal, expected null
+  [124]
+  $ stratrec adpar --request 0.9,0.2 2>&1 | head -1
+  stratrec: option '--request': expected QUALITY,COST,LATENCY
+  $ stratrec recommend --objective bogus 2>&1 | head -1
+  stratrec: option '--objective': unknown objective "bogus" (throughput|payoff)

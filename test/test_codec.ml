@@ -29,6 +29,19 @@ let test_params () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "should reject out-of-range values"
 
+let test_params_compact_string () =
+  (* The "QUALITY,COST,LATENCY" spelling shared with the CLI's --request. *)
+  (match Codec.params_of_json (Json.String "0.4,0.17,0.28") with
+  | Ok p ->
+      Alcotest.(check bool) "decodes the compact form" true
+        (Params.equal p (Params.make ~quality:0.4 ~cost:0.17 ~latency:0.28))
+  | Error e -> Alcotest.failf "compact form rejected: %s" e);
+  match Codec.params_of_json (Json.String "0.4,0.17") with
+  | Error e ->
+      Alcotest.(check bool) "error carries the offending string" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "should reject a two-component string"
+
 let test_strategy_roundtrip () =
   let rng = Rng.create 1 in
   let strategies = Model.Workload.workflows rng ~n:20 ~stages:2 ~kind:Model.Workload.Uniform in
@@ -139,6 +152,7 @@ let () =
       ( "codec",
         [
           Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "params compact string" `Quick test_params_compact_string;
           Alcotest.test_case "strategy roundtrip" `Quick test_strategy_roundtrip;
           Alcotest.test_case "deployment roundtrip" `Quick test_deployment_roundtrip;
           Alcotest.test_case "availability roundtrip" `Quick test_availability_roundtrip;

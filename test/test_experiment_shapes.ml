@@ -61,7 +61,8 @@ let test_fig15_throughput_exactness () =
       Alcotest.(check (float 1e-9))
         "greedy = optimal"
         (run Stratrec.Batch_baselines.brute_force)
-        (run Stratrec.Batchstrat.run))
+        (run (fun ~objective ~aggregation ~available matrix ->
+             Stratrec.Batchstrat.run ~objective ~aggregation ~available matrix)))
     seeds
 
 let test_fig17_distance_shrinks_with_catalog () =

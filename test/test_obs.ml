@@ -1,0 +1,338 @@
+(* Telemetry subsystem: instrument semantics, span timing against an
+   injected clock, snapshot determinism and the Engine façade's
+   metrics-report agreement. *)
+
+module Obs = Stratrec_obs
+module Registry = Obs.Registry
+module Snapshot = Obs.Snapshot
+module Sink = Obs.Sink
+module Span = Obs.Span
+module Model = Stratrec_model
+module Engine = Stratrec.Engine
+module Sim = Stratrec_crowdsim
+
+(* Instruments *)
+
+let test_counter_semantics () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "requests_total" in
+  Alcotest.(check int) "starts absent" 0 (Registry.counter_value c);
+  Registry.incr c;
+  Registry.incr_by c 4;
+  Alcotest.(check int) "accumulates" 5 (Registry.counter_value c);
+  Registry.incr_by c 0;
+  Alcotest.(check int) "zero incr is a no-op on the value" 5 (Registry.counter_value c);
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Stratrec_obs.Registry.incr_by: negative increment") (fun () ->
+      Registry.incr_by c (-1))
+
+let test_zero_incr_registers () =
+  let reg = Registry.create () in
+  Registry.incr_by (Registry.counter reg "touched_total") 0;
+  Alcotest.(check int) "appears in the snapshot at 0" 0
+    (Snapshot.counter_value (Registry.snapshot reg) "touched_total");
+  Alcotest.(check bool) "present" true
+    (Snapshot.find (Registry.snapshot reg) "touched_total" <> None)
+
+let test_gauge_semantics () =
+  let reg = Registry.create () in
+  let g = Registry.gauge reg "workforce" in
+  Registry.set g 0.75;
+  Alcotest.(check (float 0.)) "set" 0.75 (Registry.gauge_value g);
+  Registry.add g 0.15;
+  Alcotest.(check (float 1e-12)) "add accumulates" 0.9 (Registry.gauge_value g);
+  Registry.set g 0.1;
+  Alcotest.(check (float 0.)) "set overwrites" 0.1 (Registry.gauge_value g)
+
+let test_histogram_buckets () =
+  let reg = Registry.create () in
+  let h = Registry.histogram ~buckets:[| 1.; 2.; 4. |] reg "latency" in
+  List.iter (Registry.observe h) [ 0.5; 1.0; 1.5; 3.0; 100.0 ];
+  let snap = Registry.snapshot reg in
+  Alcotest.(check int) "count" 5 (Snapshot.histogram_count snap "latency");
+  Alcotest.(check (float 1e-9)) "sum" 106.0 (Snapshot.histogram_sum snap "latency");
+  match Snapshot.find snap "latency" with
+  | Some (Snapshot.Histogram { buckets; min; max; _ }) ->
+      Alcotest.(check (list (pair (float 0.) int)))
+        "per-bucket counts with +inf overflow"
+        [ (1., 2); (2., 1); (4., 1); (infinity, 1) ]
+        buckets;
+      Alcotest.(check (float 0.)) "min" 0.5 min;
+      Alcotest.(check (float 0.)) "max" 100.0 max
+  | _ -> Alcotest.fail "latency histogram missing"
+
+let test_histogram_validation () =
+  let reg = Registry.create () in
+  Alcotest.check_raises "empty layout"
+    (Invalid_argument "Stratrec_obs.Registry.histogram: empty bucket layout") (fun () ->
+      ignore (Registry.histogram ~buckets:[||] reg "h"));
+  Alcotest.check_raises "unsorted layout"
+    (Invalid_argument "Stratrec_obs.Registry.histogram: bucket bounds must ascend")
+    (fun () -> ignore (Registry.histogram ~buckets:[| 2.; 1. |] reg "h"))
+
+let test_kind_mismatch () =
+  let reg = Registry.create () in
+  Registry.incr (Registry.counter reg "x");
+  Alcotest.check_raises "same name, different kind"
+    (Invalid_argument "Stratrec_obs.Registry: x already registered as a counter")
+    (fun () -> Registry.set (Registry.gauge reg "x") 1.)
+
+let test_noop_registry () =
+  let c = Registry.counter Registry.noop "n" in
+  Registry.incr c;
+  Alcotest.(check int) "noop counter stays 0" 0 (Registry.counter_value c);
+  Alcotest.(check bool) "noop disabled" false (Registry.enabled Registry.noop);
+  Alcotest.(check int) "noop snapshot empty" 0
+    (List.length (Registry.snapshot Registry.noop));
+  let span = Span.start Registry.noop "s" in
+  Alcotest.(check (float 0.)) "noop span elapses nothing" 0. (Span.finish span)
+
+(* Spans against an injected clock *)
+
+let test_span_fake_clock () =
+  let now = ref 10. in
+  let reg = Registry.create ~clock:(fun () -> !now) () in
+  let span = Span.start reg "stage_seconds" in
+  now := 11.25;
+  Alcotest.(check (float 1e-12)) "elapsed" 1.25 (Span.finish span);
+  let snap = Registry.snapshot reg in
+  Alcotest.(check int) "recorded once" 1 (Snapshot.histogram_count snap "stage_seconds");
+  Alcotest.(check (float 1e-12)) "recorded value" 1.25
+    (Snapshot.histogram_sum snap "stage_seconds")
+
+let test_span_clamps_backward_clock () =
+  let now = ref 10. in
+  let reg = Registry.create ~clock:(fun () -> !now) () in
+  let span = Span.start reg "stage_seconds" in
+  now := 3.;
+  Alcotest.(check (float 0.)) "never negative" 0. (Span.finish span)
+
+let test_span_time_wraps_raise () =
+  let now = ref 0. in
+  let reg = Registry.create ~clock:(fun () -> !now) () in
+  (try
+     Span.time reg "failing_seconds" (fun () ->
+         now := 2.;
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span finished despite the raise" 1
+    (Snapshot.histogram_count (Registry.snapshot reg) "failing_seconds")
+
+(* Sinks *)
+
+let test_memory_sink_event_order () =
+  let sink, events = Sink.memory () in
+  let reg = Registry.create ~sink () in
+  Registry.incr (Registry.counter reg "a_total");
+  Registry.set (Registry.gauge reg "b") 0.5;
+  Registry.observe (Registry.histogram reg "c_seconds") 0.01;
+  Alcotest.(check (list string))
+    "events arrive oldest first, one per mutation"
+    [ "a_total"; "b"; "c_seconds" ]
+    (List.map Sink.event_name (events ()));
+  match events () with
+  | [ Sink.Counter_incr { by = 1; total = 1; _ }; Sink.Gauge_set { value = 0.5; _ };
+      Sink.Observe { value = 0.01; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected event payloads"
+
+let test_fanout_sink () =
+  let s1, e1 = Sink.memory () in
+  let s2, e2 = Sink.memory () in
+  let reg = Registry.create ~sink:(Sink.fanout [ s1; s2 ]) () in
+  Registry.incr (Registry.counter reg "a_total");
+  Alcotest.(check int) "first sink" 1 (List.length (e1 ()));
+  Alcotest.(check int) "second sink" 1 (List.length (e2 ()))
+
+(* Snapshots *)
+
+let test_snapshot_determinism () =
+  let fill order =
+    let reg = Registry.create () in
+    List.iter
+      (fun name -> Registry.incr (Registry.counter reg name))
+      order;
+    Registry.set (Registry.gauge reg "m_gauge") 0.5;
+    Registry.snapshot reg
+  in
+  let a = fill [ "b_total"; "a_total"; "z_total" ] in
+  let b = fill [ "z_total"; "b_total"; "a_total" ] in
+  Alcotest.(check bool) "insertion order is invisible" true (a = b);
+  Alcotest.(check (list string))
+    "sorted by name"
+    [ "a_total"; "b_total"; "m_gauge"; "z_total" ]
+    (List.map (fun e -> e.Snapshot.name) a)
+
+let test_snapshot_reset () =
+  let reg = Registry.create () in
+  Registry.incr (Registry.counter reg "a_total");
+  Registry.reset reg;
+  Alcotest.(check int) "reset clears state" 0
+    (List.length (Registry.snapshot reg));
+  (* Handles survive a reset and re-materialize state. *)
+  Registry.incr (Registry.counter reg "a_total");
+  Alcotest.(check int) "counter restarts from zero" 1
+    (Snapshot.counter_value (Registry.snapshot reg) "a_total")
+
+let test_snapshot_json_infinity () =
+  let reg = Registry.create () in
+  Registry.observe (Registry.histogram ~buckets:[| 1. |] reg "h") 5.;
+  let rendered = Stratrec_util.Json.to_string (Snapshot.to_json (Registry.snapshot reg)) in
+  Alcotest.(check bool) "overflow bound rendered as \"+inf\"" true
+    (let pattern = "+inf" in
+     let rec find i =
+       i + String.length pattern <= String.length rendered
+       && (String.sub rendered i (String.length pattern) = pattern || find (i + 1))
+     in
+     find 0)
+
+(* Engine end-to-end: the typed report and the metrics snapshot must tell
+   the same story. *)
+
+let paper_inputs () =
+  ( Model.Paper_example.availability (),
+    Model.Paper_example.strategies (),
+    Model.Paper_example.requests () )
+
+let test_engine_counts_match_snapshot () =
+  let availability, strategies, requests = paper_inputs () in
+  match Engine.run ~availability ~strategies ~requests () with
+  | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_message e)
+  | Ok report ->
+      let snap = report.Engine.metrics in
+      let counts = report.Engine.counts in
+      Alcotest.(check int) "requests" counts.Engine.requests
+        (Snapshot.counter_value snap "aggregator.requests_total");
+      Alcotest.(check int) "satisfied" counts.Engine.satisfied
+        (Snapshot.counter_value snap "aggregator.satisfied_total");
+      Alcotest.(check int) "alternatives" counts.Engine.alternatives
+        (Snapshot.counter_value snap "aggregator.alternative_total");
+      Alcotest.(check int) "workforce-limited" counts.Engine.workforce_limited
+        (Snapshot.counter_value snap "aggregator.workforce_limited_total");
+      Alcotest.(check int) "no-alternative" counts.Engine.no_alternative
+        (Snapshot.counter_value snap "aggregator.no_alternative_total");
+      Alcotest.(check int) "one engine run" 1
+        (Snapshot.counter_value snap "engine.runs_total");
+      Alcotest.(check int) "run span recorded" 1
+        (Snapshot.histogram_count snap "engine.run_seconds");
+      (* Example 1: d3 satisfied, d1 and d2 get alternatives. *)
+      Alcotest.(check int) "paper example: 3 requests" 3 counts.Engine.requests;
+      Alcotest.(check int) "paper example: 1 satisfied" 1 counts.Engine.satisfied;
+      Alcotest.(check int) "paper example: 2 alternatives" 2 counts.Engine.alternatives
+
+let test_engine_deploy_stage () =
+  let availability, strategies, requests = paper_inputs () in
+  let rng = Stratrec_util.Rng.create 7 in
+  let platform = Sim.Platform.create rng ~population:200 in
+  let config =
+    {
+      Engine.default_config with
+      Engine.deploy =
+        Some
+          {
+            Engine.platform;
+            kind = Sim.Task_spec.Sentence_translation;
+            window = Sim.Window.Weekend;
+            capacity = 5;
+            ledger = None;
+          };
+    }
+  in
+  match Engine.run ~config ~rng ~availability ~strategies ~requests () with
+  | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_message e)
+  | Ok report ->
+      Alcotest.(check int) "one deployment per satisfied request"
+        report.Engine.counts.Engine.satisfied
+        (List.length report.Engine.deployed);
+      Alcotest.(check int) "deploys counter agrees"
+        (List.length report.Engine.deployed)
+        (Snapshot.counter_value report.Engine.metrics "engine.deploys_total");
+      Alcotest.(check bool) "campaign metrics recorded" true
+        (Snapshot.counter_value report.Engine.metrics "campaign.hits_deployed_total" > 0)
+
+let test_engine_shared_registry_accumulates () =
+  let availability, strategies, requests = paper_inputs () in
+  let metrics = Registry.create () in
+  let config = { Engine.default_config with Engine.metrics = Some metrics } in
+  let run () =
+    match Engine.run ~config ~availability ~strategies ~requests () with
+    | Ok report -> report
+    | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_message e)
+  in
+  let _ = run () in
+  let second = run () in
+  Alcotest.(check int) "two runs accumulate in a shared registry" 2
+    (Snapshot.counter_value second.Engine.metrics "engine.runs_total")
+
+let test_engine_errors () =
+  let availability, strategies, requests = paper_inputs () in
+  (match Engine.run ~availability ~strategies:[||] ~requests () with
+  | Error `Empty_catalog -> ()
+  | _ -> Alcotest.fail "expected Empty_catalog");
+  let dup = Array.append requests [| requests.(0) |] in
+  (match Engine.run ~availability ~strategies ~requests:dup () with
+  | Error (`Invalid_request message) ->
+      Alcotest.(check bool) "names the duplicate id" true
+        (String.length message > 0)
+  | _ -> Alcotest.fail "expected Invalid_request");
+  let rng = Stratrec_util.Rng.create 7 in
+  let config =
+    {
+      Engine.default_config with
+      Engine.deploy =
+        Some
+          {
+            Engine.platform = Sim.Platform.create rng ~population:10;
+            kind = Sim.Task_spec.Sentence_translation;
+            window = Sim.Window.Weekend;
+            capacity = 0;
+            ledger = None;
+          };
+    }
+  in
+  (match Engine.run ~config ~availability ~strategies ~requests () with
+  | Error (`Invalid_config _) -> ()
+  | _ -> Alcotest.fail "expected Invalid_config");
+  match Engine.load_catalog ~path:"/nonexistent/catalog.json" with
+  | Error (`Catalog _) -> ()
+  | _ -> Alcotest.fail "expected Catalog error"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "instruments",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "zero incr registers" `Quick test_zero_incr_registers;
+          Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "noop registry" `Quick test_noop_registry;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "fake clock" `Quick test_span_fake_clock;
+          Alcotest.test_case "clamps backward clock" `Quick test_span_clamps_backward_clock;
+          Alcotest.test_case "time wraps raise" `Quick test_span_time_wraps_raise;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "memory event order" `Quick test_memory_sink_event_order;
+          Alcotest.test_case "fanout" `Quick test_fanout_sink;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "determinism" `Quick test_snapshot_determinism;
+          Alcotest.test_case "reset" `Quick test_snapshot_reset;
+          Alcotest.test_case "json +inf" `Quick test_snapshot_json_infinity;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "counts match snapshot" `Quick test_engine_counts_match_snapshot;
+          Alcotest.test_case "deploy stage" `Quick test_engine_deploy_stage;
+          Alcotest.test_case "shared registry accumulates" `Quick
+            test_engine_shared_registry_accumulates;
+          Alcotest.test_case "typed errors" `Quick test_engine_errors;
+        ] );
+    ]

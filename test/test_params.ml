@@ -61,7 +61,44 @@ let test_relaxation () =
   Alcotest.(check (float 1e-9)) "cost" 0.05 (Params.relaxation ~request ~strategy:s1 Params.Cost);
   Alcotest.(check (float 1e-9)) "latency" 0. (Params.relaxation ~request ~strategy:s1 Params.Latency)
 
+let test_string_roundtrip () =
+  let check_ok input expected =
+    match Params.of_string input with
+    | Ok p ->
+        Alcotest.(check bool)
+          (Printf.sprintf "parse %S" input)
+          true
+          (Params.l2_distance p expected < 1e-12)
+    | Error e -> Alcotest.failf "parse %S failed: %s" input e
+  in
+  check_ok "0.9,0.2,0.3" (mk 0.9 0.2 0.3);
+  check_ok " 0.9 , 0.2 , 0.3 " (mk 0.9 0.2 0.3) (* whitespace tolerated *);
+  check_ok "1,0,1" (mk 1. 0. 1.);
+  let p = mk 0.123456789 0.5 0.987654321 in
+  (match Params.of_string (Params.to_string p) with
+  | Ok p' ->
+      Alcotest.(check bool) "to_string round-trips" true (Params.l2_distance p p' < 1e-12)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  let check_err input =
+    match Params.of_string input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" input
+  in
+  check_err "0.9,0.2" (* arity *);
+  check_err "0.9,0.2,0.3,0.4" (* arity *);
+  check_err "0.9,zero,0.3" (* syntax *);
+  check_err "0.9,0.2,1.5" (* range *);
+  check_err "" (* empty *)
+
 let tri = QCheck.(triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"of_string (to_string p) = p" tri
+    (fun (q, c, l) ->
+      let p = mk q c l in
+      match Params.of_string (Params.to_string p) with
+      | Ok p' -> Params.l2_distance p p' < 1e-9
+      | Error _ -> false)
 
 let prop_satisfaction_iff_zero_relaxation =
   QCheck.Test.make ~count:500 ~name:"satisfies iff all relaxations are zero"
@@ -93,8 +130,13 @@ let () =
           Alcotest.test_case "axes" `Quick test_axes;
           Alcotest.test_case "distance" `Quick test_distance;
           Alcotest.test_case "relaxation (paper numbers)" `Quick test_relaxation;
+          Alcotest.test_case "string round-trip" `Quick test_string_roundtrip;
         ] );
       ( "properties",
         List.map Tq.to_alcotest
-          [ prop_satisfaction_iff_zero_relaxation; prop_distance_invariant_under_inversion ] );
+          [
+            prop_satisfaction_iff_zero_relaxation;
+            prop_distance_invariant_under_inversion;
+            prop_string_roundtrip;
+          ] );
     ]

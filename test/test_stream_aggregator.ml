@@ -147,6 +147,58 @@ let prop_budget_conservation =
 
 (* Weighted objective. *)
 
+let test_config_based_create () =
+  (* The unified Aggregator.config takes precedence over the legacy
+     per-field arguments and yields identical decisions. *)
+  let submit_all t =
+    List.map (fun d -> S.submit t d) [ easy 0; request 1 (0.6, 0.7, 0.7); impossible 2 ]
+  in
+  let legacy =
+    S.create ~aggregation:Model.Workforce.Sum_case ~inversion_rule:`Paper_equality
+      ~strategies:(catalog 11 100) ~workforce:1.0 ()
+  in
+  let unified =
+    S.create
+      ~config:
+        {
+          Stratrec.Aggregator.default_config with
+          Stratrec.Aggregator.aggregation = Model.Workforce.Sum_case;
+          inversion_rule = `Paper_equality;
+        }
+      ~strategies:(catalog 11 100) ~workforce:1.0 ()
+  in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same decision shape" true
+        (match (a, b) with
+        | S.Admitted _, S.Admitted _
+        | S.Workforce_limited, S.Workforce_limited
+        | S.Alternative _, S.Alternative _
+        | S.No_alternative, S.No_alternative
+        | S.Duplicate, S.Duplicate ->
+            true
+        | _ -> false))
+    (submit_all legacy) (submit_all unified)
+
+let test_stream_metrics () =
+  let metrics = Stratrec_obs.Registry.create () in
+  let t = S.create ~metrics ~strategies:(catalog 12 100) ~workforce:1.0 () in
+  ignore (S.submit t (easy 0));
+  ignore (S.submit t (easy 0)) (* duplicate *);
+  ignore (S.submit t (impossible 1));
+  ignore (S.revoke t 0);
+  S.replenish t 0.5;
+  let snap = Stratrec_obs.Registry.snapshot metrics in
+  let counter = Stratrec_obs.Snapshot.counter_value snap in
+  Alcotest.(check int) "submitted" 3 (counter "stream.submitted_total");
+  Alcotest.(check int) "admitted" 1 (counter "stream.admitted_total");
+  Alcotest.(check int) "duplicate" 1 (counter "stream.duplicate_total");
+  Alcotest.(check int) "revoked" 1 (counter "stream.revoked_total");
+  Alcotest.(check int) "replenished" 1 (counter "stream.replenished_total");
+  Alcotest.(check (float 1e-9)) "pool gauge tracks available workforce"
+    (S.available t)
+    (Stratrec_obs.Snapshot.gauge_value snap "stream.pool_workforce")
+
 let test_weighted_objective_value () =
   let d = request 0 (0.1, 0.8, 0.9) in
   let o = Stratrec.Objective.weighted ~throughput:2. ~payoff:0.5 in
@@ -191,6 +243,8 @@ let () =
             test_alternative_for_impossible_thresholds;
           Alcotest.test_case "no alternative" `Quick test_no_alternative_when_catalog_small;
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "config-based create" `Quick test_config_based_create;
+          Alcotest.test_case "metrics" `Quick test_stream_metrics;
           Tq.to_alcotest prop_budget_conservation;
         ] );
       ( "weighted objective",
