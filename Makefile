@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the one the checks run.
 
-.PHONY: all build test ci fmt clean
+.PHONY: all build test ci fmt clean bench-smoke
 
 all: build
 
@@ -10,14 +10,31 @@ build:
 test:
 	dune runtest
 
+# One tiny traced iteration of every experiment: proves each bench still
+# executes end to end (non-zero exit fails the target) and that the trace
+# file is produced. Runs in seconds.
+BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation
+bench-smoke: build
+	@tmp=$$(mktemp -d) && \
+	trap 'rm -rf "$$tmp"' EXIT && \
+	for exp in $(BENCH_EXPERIMENTS); do \
+	  echo "bench-smoke: $$exp"; \
+	  dune exec bench/main.exe -- --smoke --trace "$$tmp/$$exp.json" --only "$$exp" \
+	    > "$$tmp/$$exp.out" || { echo "bench-smoke: $$exp FAILED"; cat "$$tmp/$$exp.out"; exit 1; }; \
+	  test -s "$$tmp/$$exp.json" || { echo "bench-smoke: $$exp wrote no trace"; exit 1; }; \
+	done && \
+	echo "bench-smoke: all experiments passed"
+
 # Full gate: everything compiles (libraries, CLI, examples, benches),
-# every test passes (unit, property, cram, example smoke-runs), and the
-# tree carries no formatting drift. The formatting check only runs when
+# every test passes (unit, property, cram, example smoke-runs), every
+# benchmark still runs (one smoke iteration, traced), and the tree
+# carries no formatting drift. The formatting check only runs when
 # ocamlformat is on PATH (the @fmt alias needs it for .ml files);
 # without it the build and tests still gate.
 ci:
 	dune build @all
 	dune runtest
+	$(MAKE) bench-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  echo "checking formatting drift"; \
 	  dune build @fmt; \

@@ -5,10 +5,21 @@ module Stats = Stratrec_util.Stats
 module Model = Stratrec_model
 
 (* Quick mode shrinks the expensive sweeps so the whole harness stays under
-   a minute; full mode matches the paper's scales. *)
+   a minute; full mode matches the paper's scales. Smoke mode (CI's
+   bench-smoke target) shrinks further: one run of one value per sweep,
+   just enough to prove every experiment still executes end to end. *)
 let quick = ref false
+let smoke = ref false
 
-let scale n = if !quick then max 1 (n / 10) else n
+let scale n = if !smoke then max 1 (n / 100) else if !quick then max 1 (n / 10) else n
+
+(* Per-sweep repetition count / value list under the current mode. *)
+let runs n = if !smoke then 1 else n
+let values l = if !smoke then [ List.hd l ] else l
+
+(* The harness-wide trace (--trace FILE): experiments and the per-experiment
+   root spans in main.ml write into it; noop unless tracing is on. *)
+let trace = ref Stratrec_obs.Trace.noop
 
 (* Wall-clock seconds of a thunk. *)
 let time f =

@@ -12,7 +12,7 @@ module Model = Stratrec_model
 module Workforce = Model.Workforce
 module P3 = Stratrec_geom.Point3
 
-let runs () = if !Bench_common.quick then 2 else 5
+let runs () = Bench_common.runs (if !Bench_common.quick then 2 else 5)
 
 let adpar_pruning () =
   let t = Tabular.create ~columns:[ "|S|"; "pruned (s)"; "unpruned (s)"; "speedup" ] in
@@ -43,7 +43,7 @@ let adpar_pruning () =
           Printf.sprintf "%.5f" u;
           Printf.sprintf "%.1fx" (u /. Float.max 1e-9 p);
         ])
-    (if !Bench_common.quick then [ 500; 1000 ] else [ 500; 1000; 2000; 4000 ]);
+    (Bench_common.values (if !Bench_common.quick then [ 500; 1000 ] else [ 500; 1000; 2000; 4000 ]));
   Bench_common.print_table ~title:"(a) ADPaR-Exact pruning (identical results, wall-clock)" t
 
 let best_single_correction () =
@@ -92,13 +92,13 @@ let best_single_correction () =
           Printf.sprintf "%.3f" plain.Stratrec.Batchstrat.objective_value;
           Printf.sprintf "%.3f" best.Stratrec.Batchstrat.objective_value;
         ])
-    (List.init 4 (fun i -> i + 1));
+    (Bench_common.values (List.init 4 (fun i -> i + 1)));
   Bench_common.print_table
     ~title:"(b) Theorem 3's best-single correction on adversarial pay-off instances" t
 
 let aggregation_cases () =
   let t = Tabular.create ~columns:[ "k"; "Sum-case %"; "Max-case %" ] in
-  let runs = if !Bench_common.quick then 3 else 10 in
+  let runs = Bench_common.runs (if !Bench_common.quick then 3 else 10) in
   List.iter
     (fun k ->
       let fraction aggregation =
@@ -121,7 +121,7 @@ let aggregation_cases () =
           Printf.sprintf "%.3f" (fraction Workforce.Sum_case);
           Printf.sprintf "%.3f" (fraction Workforce.Max_case);
         ])
-    [ 1; 2; 5; 10 ];
+    (Bench_common.values [ 1; 2; 5; 10 ]);
   Bench_common.print_table
     ~title:"(c) Sum-case (deploy all k) vs Max-case (deploy one of k) feasibility at W=0.85" t
 
@@ -153,7 +153,7 @@ let rtree_construction () =
           string_of_int (List.length (Stratrec_geom.Rtree.nodes bulk));
           string_of_int (List.length (Stratrec_geom.Rtree.nodes inserted));
         ])
-    (if !Bench_common.quick then [ 1000 ] else [ 1000; 5000; 20000 ]);
+    (Bench_common.values (if !Bench_common.quick then [ 1000 ] else [ 1000; 5000; 20000 ]));
   Bench_common.print_table ~title:"(d) R-tree construction behind Baseline3" t
 
 let weighted_objective () =
@@ -186,7 +186,7 @@ let weighted_objective () =
           Printf.sprintf "%.3f" payoff;
           Printf.sprintf "%.3f" o.Stratrec.Batchstrat.objective_value;
         ])
-    [ 0.; 0.5; 1.; 2.; 5. ];
+    (Bench_common.values [ 0.; 0.5; 1.; 2.; 5. ]);
   Bench_common.print_table ~title:"(e) weighted multi-goal objective (extension)" t
 
 let online_vs_offline () =
@@ -197,7 +197,7 @@ let online_vs_offline () =
     Tabular.create
       ~columns:[ "m"; "offline (BatchStrat)"; "offline (DP)"; "online (stream)"; "online/offline" ]
   in
-  let runs = if !Bench_common.quick then 3 else 10 in
+  let runs = Bench_common.runs (if !Bench_common.quick then 3 else 10) in
   List.iter
     (fun m ->
       let offline_total = ref 0. and dp_total = ref 0. and online_total = ref 0. in
@@ -235,7 +235,7 @@ let online_vs_offline () =
           Printf.sprintf "%.2f" (avg !online_total);
           Printf.sprintf "%.3f" (avg !online_total /. Float.max 1e-9 (avg !offline_total));
         ])
-    [ 5; 10; 20; 40 ];
+    (Bench_common.values [ 5; 10; 20; 40 ]);
   Bench_common.print_table
     ~title:"(f) online greedy vs offline BatchStrat vs DP, identical arrivals (W=2.0, k=3)" t
 

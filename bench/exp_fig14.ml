@@ -21,7 +21,8 @@ let point ~runs ~n ~m ~k ~w kind =
       Bench_common.percent_satisfied rng ~n ~m ~k ~w ~kind)
 
 let sweep ~title ~column ~values ~of_value =
-  let runs = if !Bench_common.quick then 3 else 10 in
+  let runs = Bench_common.runs (if !Bench_common.quick then 3 else 10) in
+  let values = Bench_common.values values in
   let t = Tabular.create ~columns:[ column; "Uniform"; "Normal" ] in
   List.iter
     (fun v ->

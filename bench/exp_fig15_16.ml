@@ -62,7 +62,8 @@ let one_setting ~objective ~runs ~n ~m ~k =
   }
 
 let sweep ~objective ~title ~column ~values ~of_value =
-  let runs = if !Bench_common.quick then 3 else 10 in
+  let runs = Bench_common.runs (if !Bench_common.quick then 3 else 10) in
+  let values = Bench_common.values values in
   let with_factor = objective = Stratrec.Objective.Payoff in
   let columns =
     [ column; "BruteForce"; "BatchStrat"; "BaselineG" ]

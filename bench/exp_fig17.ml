@@ -33,7 +33,10 @@ let distances ~runs ~n ~k ~with_brute =
           | None -> invalid_arg "Fig 17: catalog smaller than k"
         in
         {
-          exact = acc.exact +. dist (fun () -> Stratrec.Adpar.exact ~strategies request);
+          exact =
+            acc.exact
+            +. dist (fun () ->
+                   Stratrec.Adpar.exact ~trace:!Bench_common.trace ~strategies request);
           baseline2 =
             acc.baseline2
             +. dist (fun () -> Stratrec.Adpar_baselines.baseline2 ~strategies request);
@@ -58,7 +61,8 @@ let distances ~runs ~n ~k ~with_brute =
   }
 
 let sweep ~title ~column ~values ~of_value ~with_brute =
-  let runs = if !Bench_common.quick then 3 else 10 in
+  let runs = Bench_common.runs (if !Bench_common.quick then 3 else 10) in
+  let values = Bench_common.values values in
   let columns =
     [ column; "ADPaR-Exact"; "Baseline2"; "Baseline3" ]
     @ if with_brute then [ "ADPaRB" ] else []

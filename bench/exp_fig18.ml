@@ -8,7 +8,7 @@ module Tabular = Stratrec_util.Tabular
 module Model = Stratrec_model
 module Workforce = Model.Workforce
 
-let runs () = if !Bench_common.quick then 2 else 5
+let runs () = Bench_common.runs (if !Bench_common.quick then 2 else 5)
 
 let fig18a () =
   let t = Tabular.create ~columns:[ "m"; "BruteForce (s)"; "BatchStrat (s)" ] in
@@ -40,7 +40,7 @@ let fig18a () =
           Printf.sprintf "%.5f" (avg !brute_total);
           Printf.sprintf "%.5f" (avg !ours_total);
         ])
-    (if !Bench_common.quick then [ 100; 200 ] else [ 200; 400; 600; 800 ]);
+    (Bench_common.values (if !Bench_common.quick then [ 100; 200 ] else [ 200; 400; 600; 800 ]));
   Bench_common.print_table ~title:"(a) batch deployment, varying m (W = 0.75: tight budget)" t;
   (* With W = 0.75 branch-and-bound prunes almost everything (only ~one
      request fits), hiding the exponential gap; scaling the budget with m
@@ -74,8 +74,9 @@ let fig18a () =
           Printf.sprintf "%.5f" (avg !brute_total);
           Printf.sprintf "%.6f" (avg !ours_total);
         ])
-    (if !Bench_common.quick then [ (20, 6.); (24, 8.) ]
-     else [ (20, 6.); (24, 8.); (28, 10.); (32, 12.) ]);
+    (Bench_common.values
+       (if !Bench_common.quick then [ (20, 6.); (24, 8.) ]
+        else [ (20, 6.); (24, 8.); (28, 10.); (32, 12.) ]));
   Bench_common.print_table ~title:"(a') batch deployment, budget scaling with m (exponential regime)" t
 
 let adpar_time ~n ~k =
@@ -84,7 +85,10 @@ let adpar_time ~n ~k =
     let rng = Rng.create (12_000 + i) in
     let strategies = Model.Workload.strategies rng ~n ~kind:Model.Workload.Uniform in
     let request = (Bench_common.hard_requests rng ~m:1 ~k).(0) in
-    let dt, _ = Bench_common.time (fun () -> Stratrec.Adpar.exact ~strategies request) in
+    let dt, _ =
+      Bench_common.time (fun () ->
+          Stratrec.Adpar.exact ~trace:!Bench_common.trace ~strategies request)
+    in
     total := !total +. dt
   done;
   !total /. float_of_int (runs ())
@@ -94,7 +98,7 @@ let fig18b () =
   List.iter
     (fun n ->
       Tabular.add_row t [ string_of_int n; Printf.sprintf "%.5f" (adpar_time ~n ~k:5) ])
-    (if !Bench_common.quick then [ 1000; 5000 ] else [ 1000; 5000; 25000 ]);
+    (Bench_common.values (if !Bench_common.quick then [ 1000; 5000 ] else [ 1000; 5000; 25000 ]));
   Bench_common.print_table ~title:"(b) ADPaR, varying |S| (k = 5)" t
 
 let fig18c () =
@@ -102,7 +106,7 @@ let fig18c () =
   List.iter
     (fun k ->
       Tabular.add_row t [ string_of_int k; Printf.sprintf "%.5f" (adpar_time ~n:10_000 ~k) ])
-    (if !Bench_common.quick then [ 10; 50 ] else [ 10; 50; 250 ]);
+    (Bench_common.values (if !Bench_common.quick then [ 10; 50 ] else [ 10; 50; 250 ]));
   Bench_common.print_table ~title:"(c) ADPaR, varying k (|S| = 10000)" t
 
 let run () =

@@ -3,10 +3,14 @@
    Bechamel micro-benchmarks of each experiment's kernel.
 
    Usage:
-     dune exec bench/main.exe                 full run
-     dune exec bench/main.exe -- --quick      scaled-down sizes
-     dune exec bench/main.exe -- --only fig17 a single experiment
-     dune exec bench/main.exe -- --csv out/   also write each table as CSV *)
+     dune exec bench/main.exe                  full run
+     dune exec bench/main.exe -- --quick       scaled-down sizes
+     dune exec bench/main.exe -- --smoke       one tiny iteration of each sweep (CI)
+     dune exec bench/main.exe -- --only fig17  a single experiment
+     dune exec bench/main.exe -- --csv out/    also write each table as CSV
+     dune exec bench/main.exe -- --trace f.json  write a Chrome trace of the run *)
+
+module Obs = Stratrec_obs
 
 let experiments =
   [
@@ -23,6 +27,20 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--quick" args then Bench_common.quick := true;
+  if List.mem "--smoke" args then begin
+    (* Smoke implies quick; the smoke-specific refs shrink further. *)
+    Bench_common.quick := true;
+    Bench_common.smoke := true
+  end;
+  let trace_path =
+    let rec find = function
+      | "--trace" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if Option.is_some trace_path then Bench_common.trace := Obs.Trace.create ();
   (let rec find_csv = function
      | "--csv" :: dir :: _ -> Some dir
      | _ :: rest -> find_csv rest
@@ -52,4 +70,20 @@ let () =
               (String.concat ", " (List.map fst experiments));
             exit 2)
   in
-  List.iter (fun (_, run) -> run ()) to_run
+  List.iter
+    (fun (name, run) ->
+      Obs.Trace.span !Bench_common.trace ("bench." ^ name) run)
+    to_run;
+  match trace_path with
+  | None -> ()
+  | Some path -> (
+      let trace = !Bench_common.trace in
+      let rendered =
+        Stratrec_util.Json.to_string ~indent:1 (Obs.Trace.to_chrome_json trace) ^ "\n"
+      in
+      try
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc rendered);
+        Printf.printf "\nwrote %d trace spans to %s\n" (Obs.Trace.span_count trace) path
+      with Sys_error message ->
+        Printf.eprintf "cannot write trace: %s\n" message;
+        exit 1)

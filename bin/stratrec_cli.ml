@@ -87,9 +87,35 @@ let metrics_arg =
   let doc = "Print the run's metrics snapshot (triage counters, spans, gauges) as a table." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a hierarchical trace of the run. With $(docv), write Chrome trace-event JSON \
+     to $(docv) (open it at ui.perfetto.dev or chrome://tracing); without a value, print \
+     the span tree and per-request decision records to stderr."
+  in
+  Arg.(value & opt ~vopt:(Some "-") (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* "-" is the vopt sentinel for the valueless --trace form: render the tree
+   to stderr so stdout stays parseable. A real path gets the Chrome JSON. *)
+let emit_trace destination trace =
+  match destination with
+  | None -> Ok ()
+  | Some "-" ->
+      Format.eprintf "%a@?" Obs.Trace.pp trace;
+      Ok ()
+  | Some path -> (
+      let rendered =
+        Stratrec_util.Json.to_string ~indent:1 (Obs.Trace.to_chrome_json trace) ^ "\n"
+      in
+      try
+        Ok
+          (Out_channel.with_open_text path (fun oc ->
+               Out_channel.output_string oc rendered))
+      with Sys_error message -> Error (`Msg message))
+
 (* recommend *)
 
-let recommend verbose seed n m k w dist objective catalog show_metrics =
+let recommend verbose seed n m k w dist objective catalog show_metrics trace_dest =
   setup_logging verbose;
   let rng = Rng.create seed in
   let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
@@ -115,7 +141,7 @@ let recommend verbose seed n m k w dist objective catalog show_metrics =
   if show_metrics then
     Stratrec_util.Tabular.print ~title:"run metrics"
       (Obs.Snapshot.to_table report.Engine.metrics);
-  Ok ()
+  emit_trace trace_dest report.Engine.trace
 
 let recommend_cmd =
   let m_arg =
@@ -128,15 +154,16 @@ let recommend_cmd =
     (Cmd.info "recommend" ~doc:"Batch deployment recommendation on a synthetic catalog")
     Term.(term_result
             (const recommend $ verbose_arg $ seed_arg $ strategies_arg $ m_arg $ k_arg
-             $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg))
+             $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg $ trace_arg))
 
 (* adpar *)
 
-let adpar seed n k dist catalog params =
+let adpar seed n k dist catalog params trace_dest =
   let rng = Rng.create seed in
   let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
   let request = Deployment.make ~id:0 ~params ~k () in
-  (match Stratrec.Adpar.exact ~strategies request with
+  let trace = Obs.Trace.create () in
+  (match Stratrec.Adpar.exact ~trace ~strategies request with
   | None -> Printf.printf "catalog has fewer than %d strategies\n" k
   | Some r ->
       Format.printf "original    %a@." Params.pp request.Deployment.params;
@@ -147,7 +174,7 @@ let adpar seed n k dist catalog params =
       List.iter
         (fun s -> Format.printf "  %s %a@." s.Model.Strategy.label Params.pp s.Model.Strategy.params)
         r.Stratrec.Adpar.recommended);
-  Ok ()
+  emit_trace trace_dest trace
 
 let adpar_cmd =
   let request_arg =
@@ -160,7 +187,7 @@ let adpar_cmd =
     (Cmd.info "adpar" ~doc:"Closest alternative deployment parameters for a hard request")
     Term.(term_result
             (const adpar $ seed_arg $ strategies_arg $ k_arg $ dist_arg $ catalog_arg
-             $ request_arg))
+             $ request_arg $ trace_arg))
 
 (* catalog *)
 
@@ -258,7 +285,7 @@ let simulate_cmd =
 
 (* example *)
 
-let example show_metrics =
+let example show_metrics trace_dest =
   let* report =
     Result.map_error engine_msg
       (Engine.run
@@ -271,12 +298,12 @@ let example show_metrics =
   if show_metrics then
     Stratrec_util.Tabular.print ~title:"run metrics"
       (Obs.Snapshot.to_table report.Engine.metrics);
-  Ok ()
+  emit_trace trace_dest report.Engine.trace
 
 let example_cmd =
   Cmd.v
     (Cmd.info "example" ~doc:"Walk through the paper's Example 1")
-    Term.(term_result (const example $ metrics_arg))
+    Term.(term_result (const example $ metrics_arg $ trace_arg))
 
 let main_cmd =
   let doc = "StratRec: deployment-strategy recommendation for collaborative crowdsourcing tasks" in

@@ -130,14 +130,38 @@ let build_result ~k ~strategies request (x, y, z) =
     covered_count = List.length covered;
   }
 
-let exact ?(metrics = Obs.Registry.noop) ?(prune = true) ?k ~strategies request =
+let exact ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ?(prune = true) ?k
+    ~strategies request =
   let k = Option.value k ~default:request.Deployment.k in
   if k < 1 then invalid_arg "Adpar.exact: k must be >= 1";
   Obs.Registry.incr (Obs.Registry.counter metrics "adpar.calls_total");
   let result =
+    Obs.Trace.span trace "adpar.exact"
+      ~attrs:
+        [
+          ("k", Obs.Trace.Int k);
+          ("strategies", Obs.Trace.Int (Array.length strategies));
+        ]
+    @@ fun () ->
     Obs.Span.time metrics "adpar.search_seconds" (fun () ->
-        let relax = relaxations_of ~strategies request in
-        Option.map (build_result ~k ~strategies request) (search ~metrics ~prune ~k relax))
+        (* The three sweep-line phases of ADPaR-Exact, each its own
+           trace span: build the relaxation event queue, sweep it, then
+           reconstruct the envelope d' and its k-cover. *)
+        let relax =
+          Obs.Trace.span trace "adpar.relaxations" (fun () ->
+              relaxations_of ~strategies request)
+        in
+        let best =
+          Obs.Trace.span trace "adpar.sweep" (fun () -> search ~metrics ~prune ~k relax)
+        in
+        let result =
+          Obs.Trace.span trace "adpar.select" (fun () ->
+              Option.map (build_result ~k ~strategies request) best)
+        in
+        (match result with
+        | Some r -> Obs.Trace.add_attr trace "distance" (Obs.Trace.Float r.distance)
+        | None -> Obs.Trace.add_attr trace "no_alternative" (Obs.Trace.Bool true));
+        result)
   in
   if Option.is_none result then
     Obs.Registry.incr (Obs.Registry.counter metrics "adpar.no_alternative_total");
@@ -147,7 +171,8 @@ type weights = { quality_weight : float; cost_weight : float; latency_weight : f
 
 let uniform_weights = { quality_weight = 1.; cost_weight = 1.; latency_weight = 1. }
 
-let exact_weighted ?(metrics = Obs.Registry.noop) ?k ~weights ~strategies request =
+let exact_weighted ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ?k ~weights
+    ~strategies request =
   let { quality_weight = wq; cost_weight = wc; latency_weight = wl } = weights in
   if wq < 0. || wc < 0. || wl < 0. then
     invalid_arg "Adpar.exact_weighted: negative weight";
@@ -156,9 +181,14 @@ let exact_weighted ?(metrics = Obs.Registry.noop) ?k ~weights ~strategies reques
   let k = Option.value k ~default:request.Deployment.k in
   if k < 1 then invalid_arg "Adpar.exact_weighted: k must be >= 1";
   Obs.Registry.incr (Obs.Registry.counter metrics "adpar.calls_total");
-  let relax = relaxations_of ~strategies request in
-  search ~metrics ~wq ~wc ~wl ~k relax
+  Obs.Trace.span trace "adpar.exact_weighted" ~attrs:[ ("k", Obs.Trace.Int k) ]
+  @@ fun () ->
+  let relax =
+    Obs.Trace.span trace "adpar.relaxations" (fun () -> relaxations_of ~strategies request)
+  in
+  Obs.Trace.span trace "adpar.sweep" (fun () -> search ~metrics ~wq ~wc ~wl ~k relax)
   |> Option.map (fun ((x, y, z) as triple) ->
+         Obs.Trace.span trace "adpar.select" @@ fun () ->
          let result = build_result ~k ~strategies request triple in
          { result with distance = sqrt ((wq *. x *. x) +. (wc *. y *. y) +. (wl *. z *. z)) })
 

@@ -29,6 +29,7 @@ type result = {
 
 val exact :
   ?metrics:Stratrec_obs.Registry.t ->
+  ?trace:Stratrec_obs.Trace.t ->
   ?prune:bool ->
   ?k:int -> strategies:Stratrec_model.Strategy.t array -> Stratrec_model.Deployment.t ->
   result option
@@ -43,7 +44,14 @@ val exact :
     [adpar.calls_total], [adpar.sweep_events_total] (one per (x, y)
     candidate visited on the cost sweep line), [adpar.prune_cutoffs_total]
     (one per monotone-objective cut, on either sweep), the
-    [adpar.search_seconds] span and [adpar.no_alternative_total]. *)
+    [adpar.search_seconds] span and [adpar.no_alternative_total].
+
+    [trace] (default {!Stratrec_obs.Trace.noop}) opens an [adpar.exact]
+    span (attributes: k, catalog size, and the resulting distance or
+    [no_alternative]) with one child per sweep-line phase:
+    [adpar.relaxations] (event-queue build), [adpar.sweep] (the pruned
+    quality/cost sweep) and [adpar.select] (envelope reconstruction and
+    k-cover selection). *)
 
 (** {1 Trace — the paper's working data structures (Tables 2–5)} *)
 
@@ -90,6 +98,7 @@ val uniform_weights : weights
 
 val exact_weighted :
   ?metrics:Stratrec_obs.Registry.t ->
+  ?trace:Stratrec_obs.Trace.t ->
   ?k:int ->
   weights:weights ->
   strategies:Stratrec_model.Strategy.t array ->

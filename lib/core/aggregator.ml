@@ -38,8 +38,15 @@ type report = {
   workforce_used : float;
 }
 
-let run ?(config = default_config) ?(metrics = Obs.Registry.noop) ~availability ~strategies
-    ~requests () =
+let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
+    ?(trace = Obs.Trace.noop) ~availability ~strategies ~requests () =
+  Obs.Trace.span trace "aggregator.batch"
+    ~attrs:
+      [
+        ("requests", Obs.Trace.Int (Array.length requests));
+        ("strategies", Obs.Trace.Int (Array.length strategies));
+      ]
+  @@ fun () ->
   let batch_span = Obs.Span.start metrics "aggregator.batch_seconds" in
   Obs.Registry.incr (Obs.Registry.counter metrics "aggregator.batches_total");
   Obs.Registry.incr_by
@@ -57,8 +64,8 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop) ~availability 
   in
   let matrix = Workforce.compute ~rule:config.inversion_rule ~requests ~strategies () in
   let batch =
-    Batchstrat.run ~metrics ~objective:config.objective ~aggregation:config.aggregation
-      ~available:w matrix
+    Batchstrat.run ~metrics ~trace ~objective:config.objective
+      ~aggregation:config.aggregation ~available:w matrix
   in
   Log.debug (fun m ->
       m "batchstrat satisfied %d/%d, objective %.4f, workforce %.4f/%.4f"
@@ -67,9 +74,23 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop) ~availability 
   let outcomes = Array.map (fun d -> (d, No_alternative)) requests in
   List.iter
     (fun { Batchstrat.request_index; strategy_indices; workforce } ->
+      let d = requests.(request_index) in
+      Obs.Trace.span trace "request"
+        ~attrs:
+          [
+            ("request", Obs.Trace.Int request_index);
+            ("label", Obs.Trace.String d.Deployment.label);
+            ("outcome", Obs.Trace.String "satisfied");
+          ]
+      @@ fun () ->
       let recommended = List.map (fun j -> strategies.(j)) strategy_indices in
-      outcomes.(request_index) <-
-        (requests.(request_index), Satisfied { strategies = recommended; workforce }))
+      Obs.Trace.decide trace ~id:request_index ~label:d.Deployment.label
+        (Obs.Trace.Satisfied
+           {
+             workforce;
+             strategies = List.map (fun s -> s.Strategy.label) recommended;
+           });
+      outcomes.(request_index) <- (d, Satisfied { strategies = recommended; workforce }))
     batch.Batchstrat.satisfied;
   Obs.Registry.incr_by
     (Obs.Registry.counter metrics "aggregator.satisfied_total")
@@ -78,24 +99,48 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop) ~availability 
   List.iter
     (fun i ->
       let d = requests.(i) in
+      Obs.Trace.span trace "request"
+        ~attrs:
+          [
+            ("request", Obs.Trace.Int i);
+            ("label", Obs.Trace.String d.Deployment.label);
+          ]
+      @@ fun () ->
       count "adpar.fallback_total";
       let triage = Obs.Span.start metrics "aggregator.triage_seconds" in
-      (match Adpar.exact ~metrics ~strategies d with
+      let decide verdict =
+        Obs.Trace.decide trace ~id:i ~label:d.Deployment.label verdict
+      in
+      (match Adpar.exact ~metrics ~trace ~strategies d with
       | Some result when result.Adpar.distance < 1e-12 ->
           (* The parameters already admit k strategies: the request only
              lost out on the workforce budget. *)
           Log.debug (fun m -> m "%s: workforce-limited" d.Deployment.label);
           count "aggregator.workforce_limited_total";
+          Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "workforce_limited");
+          decide (Obs.Trace.Rejected { binding = "workforce budget exhausted" });
           outcomes.(i) <- (d, Workforce_limited)
       | Some result ->
           Log.debug (fun m ->
               m "%s: ADPaR alternative at distance %.4f" d.Deployment.label
                 result.Adpar.distance);
           count "aggregator.alternative_total";
+          Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "alternative");
+          let p = result.Adpar.alternative in
+          decide
+            (Obs.Trace.Triaged
+               {
+                 quality = p.Stratrec_model.Params.quality;
+                 cost = p.Stratrec_model.Params.cost;
+                 latency = p.Stratrec_model.Params.latency;
+                 distance = result.Adpar.distance;
+               });
           outcomes.(i) <- (d, Alternative result)
       | None ->
           Log.debug (fun m -> m "%s: no alternative exists" d.Deployment.label);
           count "aggregator.no_alternative_total";
+          Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "no_alternative");
+          decide (Obs.Trace.Rejected { binding = "no alternative exists" });
           outcomes.(i) <- (d, No_alternative));
       ignore (Obs.Span.finish triage))
     batch.Batchstrat.unsatisfied;

@@ -51,6 +51,7 @@ type report = {
 val run :
   ?config:config ->
   ?metrics:Stratrec_obs.Registry.t ->
+  ?trace:Stratrec_obs.Trace.t ->
   availability:Stratrec_model.Availability.t ->
   strategies:Stratrec_model.Strategy.t array ->
   requests:Stratrec_model.Deployment.t array ->
@@ -64,7 +65,16 @@ val run :
     and per-request [aggregator.triage_seconds] spans, the
     [aggregator.availability] and [aggregator.workforce_used] gauges, and
     [adpar.fallback_total] (one per request forwarded to ADPaR); the same
-    registry is threaded into {!Batchstrat.run} and {!Adpar.exact}. *)
+    registry is threaded into {!Batchstrat.run} and {!Adpar.exact}.
+
+    [trace] (default {!Stratrec_obs.Trace.noop}) opens an
+    [aggregator.batch] span with the {!Batchstrat.run} span and one
+    [request] span per request as children (attributes: request index,
+    label, outcome); unsatisfied [request] spans contain the
+    {!Adpar.exact} phase spans. Every request additionally records one
+    {!Stratrec_obs.Trace.decision}: [Satisfied] with the workforce and
+    strategy labels, [Triaged] with ADPaR's alternative triple and L2
+    distance, or [Rejected] with the binding constraint. *)
 
 val satisfied : report -> (Stratrec_model.Deployment.t * Stratrec_model.Strategy.t list) list
 val alternatives : report -> (Stratrec_model.Deployment.t * Adpar.result) list

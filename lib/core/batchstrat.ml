@@ -30,7 +30,15 @@ let greedy_fill candidates ~available =
 let total_value taken = List.fold_left (fun acc c -> acc +. c.value) 0. taken
 let total_weight taken = List.fold_left (fun acc c -> acc +. c.weight) 0. taken
 
-let run ?(metrics = Obs.Registry.noop) ~objective ~aggregation ~available matrix =
+let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ~objective ~aggregation
+    ~available matrix =
+  Obs.Trace.span trace "batchstrat.run"
+    ~attrs:
+      [
+        ("objective", Obs.Trace.String (Objective.label objective));
+        ("available", Obs.Trace.Float available);
+      ]
+  @@ fun () ->
   Obs.Registry.incr (Obs.Registry.counter metrics "batchstrat.runs_total");
   let span = Obs.Span.start metrics "batchstrat.greedy_seconds" in
   let greedy_passes = Obs.Registry.counter metrics "batchstrat.greedy_passes_total" in
@@ -38,32 +46,41 @@ let run ?(metrics = Obs.Registry.noop) ~objective ~aggregation ~available matrix
   let m = Array.length requests in
   (* Requests without k feasible strategies never become candidates; they
      surface in [unsatisfied] below. *)
-  let candidates = ref [] in
-  for i = m - 1 downto 0 do
-    let d = requests.(i) in
-    match Workforce.request_requirement matrix aggregation ~k:d.Stratrec_model.Deployment.k i with
-    | None -> ()
-    | Some { Workforce.workforce; chosen } ->
-        candidates :=
-          { index = i; weight = workforce; value = Objective.value objective d; chosen }
-          :: !candidates
-  done;
-  (* Sort by f_i / w_i non-increasing; zero-workforce requests first. Ties
-     broken by input order for determinism. *)
-  let density c = if c.weight = 0. then infinity else c.value /. c.weight in
   let sorted =
-    List.stable_sort
-      (fun a b ->
-        let c = Float.compare (density b) (density a) in
-        if c <> 0 then c else compare a.index b.index)
-      !candidates
+    Obs.Trace.span trace "batchstrat.prune" @@ fun () ->
+    let candidates = ref [] in
+    for i = m - 1 downto 0 do
+      let d = requests.(i) in
+      match
+        Workforce.request_requirement matrix aggregation ~k:d.Stratrec_model.Deployment.k i
+      with
+      | None -> ()
+      | Some { Workforce.workforce; chosen } ->
+          candidates :=
+            { index = i; weight = workforce; value = Objective.value objective d; chosen }
+            :: !candidates
+    done;
+    (* Sort by f_i / w_i non-increasing; zero-workforce requests first. Ties
+       broken by input order for determinism. *)
+    let density c = if c.weight = 0. then infinity else c.value /. c.weight in
+    let sorted =
+      List.stable_sort
+        (fun a b ->
+          let c = Float.compare (density b) (density a) in
+          if c <> 0 then c else compare a.index b.index)
+        !candidates
+    in
+    Obs.Trace.add_attr trace "requests" (Obs.Trace.Int m);
+    Obs.Trace.add_attr trace "candidates" (Obs.Trace.Int (List.length sorted));
+    sorted
   in
   Obs.Registry.incr_by
     (Obs.Registry.counter metrics "batchstrat.candidates_total")
     (List.length sorted);
-  let greedy = greedy_fill sorted ~available in
-  Obs.Registry.incr greedy_passes;
   let chosen_set =
+    Obs.Trace.span trace "batchstrat.greedy" @@ fun () ->
+    let greedy = greedy_fill sorted ~available in
+    Obs.Registry.incr greedy_passes;
     if Objective.exact_greedy objective then greedy
     else begin
       (* 1/2-approximation: the better of the greedy set and the best
@@ -90,6 +107,8 @@ let run ?(metrics = Obs.Registry.noop) ~objective ~aggregation ~available matrix
     |> List.filter (fun i -> not (List.mem i taken_indices))
   in
   let workforce_used = total_weight chosen_set in
+  Obs.Trace.add_attr trace "satisfied" (Obs.Trace.Int (List.length chosen_set));
+  Obs.Trace.add_attr trace "workforce_used" (Obs.Trace.Float workforce_used);
   if available > 0. then
     Obs.Registry.set
       (Obs.Registry.gauge metrics "batchstrat.workforce_utilization")

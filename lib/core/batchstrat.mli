@@ -27,6 +27,7 @@ type outcome = {
 
 val run :
   ?metrics:Stratrec_obs.Registry.t ->
+  ?trace:Stratrec_obs.Trace.t ->
   objective:Objective.t ->
   aggregation:Stratrec_model.Workforce.aggregation ->
   available:float ->
@@ -40,7 +41,14 @@ val run :
     [metrics] (default {!Stratrec_obs.Registry.noop}) records
     [batchstrat.runs_total], [batchstrat.candidates_total],
     [batchstrat.greedy_passes_total], the [batchstrat.greedy_seconds]
-    span and the [batchstrat.workforce_utilization] gauge. *)
+    span and the [batchstrat.workforce_utilization] gauge.
+
+    [trace] (default {!Stratrec_obs.Trace.noop}) opens a
+    [batchstrat.run] span (attributes: objective, available workforce,
+    satisfied count, workforce consumed) with [batchstrat.prune]
+    (candidate aggregation and density sort; request/candidate counts)
+    and [batchstrat.greedy] (greedy fill plus the Theorem 3 best-single
+    correction) children. *)
 
 val satisfied_count : outcome -> int
 

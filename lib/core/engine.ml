@@ -15,11 +15,12 @@ type deploy_config = {
 type config = {
   aggregator : Aggregator.config;
   metrics : Obs.Registry.t option;
+  trace : Obs.Trace.t option;
   deploy : deploy_config option;
 }
 
 let default_config =
-  { aggregator = Aggregator.default_config; metrics = None; deploy = None }
+  { aggregator = Aggregator.default_config; metrics = None; trace = None; deploy = None }
 
 type deployed = {
   request : Deployment.t;
@@ -40,6 +41,8 @@ type report = {
   counts : counts;
   deployed : deployed list;
   metrics : Obs.Snapshot.t;
+  decisions : Obs.Trace.decision list;
+  trace : Obs.Trace.t;
 }
 
 type error =
@@ -138,12 +141,22 @@ let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
       let metrics =
         match config.metrics with Some m -> m | None -> Obs.Registry.create ()
       in
+      let trace =
+        match config.trace with Some t -> t | None -> Obs.Trace.create ()
+      in
       let report =
+        Obs.Trace.span trace "engine.run"
+          ~attrs:
+            [
+              ("requests", Obs.Trace.Int (Array.length requests));
+              ("strategies", Obs.Trace.Int (Array.length strategies));
+            ]
+        @@ fun () ->
         Obs.Span.time metrics "engine.run_seconds" (fun () ->
             Obs.Registry.incr (Obs.Registry.counter metrics "engine.runs_total");
             let aggregate =
-              Aggregator.run ~config:config.aggregator ~metrics ~availability ~strategies
-                ~requests ()
+              Aggregator.run ~config:config.aggregator ~metrics ~trace ~availability
+                ~strategies ~requests ()
             in
             let deployed =
               match config.deploy with
@@ -152,13 +165,27 @@ let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
                   let rng =
                     match rng with Some rng -> rng | None -> Stratrec_util.Rng.create 2020
                   in
-                  deploy_satisfied ~metrics ~rng deploy (Aggregator.satisfied aggregate)
+                  Obs.Trace.span trace "engine.deploy" (fun () ->
+                      deploy_satisfied ~metrics ~rng deploy (Aggregator.satisfied aggregate))
             in
             Obs.Registry.incr_by
               (Obs.Registry.counter metrics "engine.deploys_total")
               (List.length deployed);
-            { aggregate; counts = counts_of_report aggregate; deployed; metrics = [] })
+            {
+              aggregate;
+              counts = counts_of_report aggregate;
+              deployed;
+              metrics = [];
+              decisions = [];
+              trace;
+            })
       in
       (* Snapshot after the span has finished, so the snapshot itself sees
-         the engine.run_seconds observation. *)
-      Ok { report with metrics = Obs.Registry.snapshot metrics }
+         the engine.run_seconds observation (and the trace its closed
+         engine.run root). *)
+      Ok
+        {
+          report with
+          metrics = Obs.Registry.snapshot metrics;
+          decisions = Obs.Trace.decisions trace;
+        }

@@ -35,6 +35,11 @@ type config = {
       (** [None] (the default) gives every run a fresh private registry,
           so report snapshots are per-run; supply a registry to
           accumulate across runs or to attach a sink *)
+  trace : Stratrec_obs.Trace.t option;
+      (** [None] (the default) gives every run a fresh private trace, so
+          [report.decisions] is always populated; supply a trace (or
+          {!Stratrec_obs.Trace.noop}) to accumulate spans across runs or
+          to disable tracing entirely *)
   deploy : deploy_config option;  (** [None]: recommend-only *)
 }
 
@@ -63,6 +68,14 @@ type report = {
   deployed : deployed list;  (** empty without a {!deploy_config} *)
   metrics : Stratrec_obs.Snapshot.t;
       (** snapshot taken after the deploy stage *)
+  decisions : Stratrec_obs.Trace.decision list;
+      (** one per request, in decision order (satisfied first, then
+          triaged) — empty only when [config.trace] is
+          {!Stratrec_obs.Trace.noop} *)
+  trace : Stratrec_obs.Trace.t;
+      (** the trace the run wrote into — render with
+          {!Stratrec_obs.Trace.to_chrome_json} or
+          {!Stratrec_obs.Trace.pp} *)
 }
 
 type error =
@@ -95,4 +108,9 @@ val run :
     fresh seed-2020 generator) drives the deploy stage only; recommend-only
     runs are deterministic in their inputs. The engine also records
     [engine.runs_total], [engine.deploys_total] and the
-    [engine.run_seconds] span in the run's registry. *)
+    [engine.run_seconds] span in the run's registry.
+
+    The run's trace carries an [engine.run] root span over the whole
+    pipeline — the {!Aggregator.run} span tree (one [request] child per
+    request, with the algorithm-phase spans below) plus an
+    [engine.deploy] span when a deploy stage runs. *)

@@ -10,6 +10,7 @@ type t = {
   inversion_rule : [ `Direction_aware | `Paper_equality ];
   catalog : Strategy.t array;
   metrics : Obs.Registry.t;
+  trace : Obs.Trace.t;
   mutable pool : float;
   mutable active : assignment list;  (* reverse admission order *)
   mutable admitted : int;
@@ -28,8 +29,8 @@ let count t name = Obs.Registry.incr (Obs.Registry.counter t.metrics name)
 let set_pool_gauge t =
   Obs.Registry.set (Obs.Registry.gauge t.metrics "stream.pool_workforce") t.pool
 
-let create ?aggregation ?inversion_rule ?config ?(metrics = Obs.Registry.noop) ~strategies
-    ~workforce () =
+let create ?aggregation ?inversion_rule ?config ?(metrics = Obs.Registry.noop)
+    ?(trace = Obs.Trace.noop) ~strategies ~workforce () =
   if workforce < 0. then invalid_arg "Stream_aggregator.create: negative workforce";
   let aggregation, inversion_rule =
     match config with
@@ -44,6 +45,7 @@ let create ?aggregation ?inversion_rule ?config ?(metrics = Obs.Registry.noop) ~
       inversion_rule;
       catalog = strategies;
       metrics;
+      trace;
       pool = workforce;
       active = [];
       admitted = 0;
@@ -65,16 +67,29 @@ let triage t request =
   t.rejected <- t.rejected + 1;
   count t "stream.rejected_total";
   count t "adpar.fallback_total";
-  match Adpar.exact ~metrics:t.metrics ~strategies:t.catalog request with
+  match Adpar.exact ~metrics:t.metrics ~trace:t.trace ~strategies:t.catalog request with
   | Some result when result.Adpar.distance < 1e-12 -> Workforce_limited
   | Some result -> Alternative result
   | None -> No_alternative
 
 let submit t request =
   count t "stream.submitted_total";
+  Obs.Trace.span t.trace "request"
+    ~attrs:
+      [
+        ("request", Obs.Trace.Int request.Deployment.id);
+        ("label", Obs.Trace.String request.Deployment.label);
+      ]
+  @@ fun () ->
+  let decide verdict =
+    Obs.Trace.decide t.trace ~id:request.Deployment.id ~label:request.Deployment.label
+      verdict
+  in
+  let outcome name = Obs.Trace.add_attr t.trace "outcome" (Obs.Trace.String name) in
   Obs.Span.time t.metrics "stream.submit_seconds" (fun () ->
       if is_active t request.Deployment.id then begin
         count t "stream.duplicate_total";
+        outcome "duplicate";
         Duplicate
       end
       else
@@ -86,14 +101,41 @@ let submit t request =
             t.admitted <- t.admitted + 1;
             count t "stream.admitted_total";
             set_pool_gauge t;
+            outcome "admitted";
+            decide
+              (Obs.Trace.Satisfied
+                 { workforce; strategies = List.map (fun s -> s.Strategy.label) strategies });
             Admitted { strategies; workforce }
         | Some _ ->
             (* Feasible on parameters and catalog, but not within the pool. *)
             t.rejected <- t.rejected + 1;
             count t "stream.rejected_total";
             count t "stream.workforce_limited_total";
+            outcome "workforce_limited";
+            decide (Obs.Trace.Rejected { binding = "workforce pool exhausted" });
             Workforce_limited
-        | None -> triage t request)
+        | None -> (
+            match triage t request with
+            | Alternative result as d ->
+                outcome "alternative";
+                let p = result.Adpar.alternative in
+                decide
+                  (Obs.Trace.Triaged
+                     {
+                       quality = p.Stratrec_model.Params.quality;
+                       cost = p.Stratrec_model.Params.cost;
+                       latency = p.Stratrec_model.Params.latency;
+                       distance = result.Adpar.distance;
+                     });
+                d
+            | Workforce_limited as d ->
+                outcome "workforce_limited";
+                decide (Obs.Trace.Rejected { binding = "workforce pool exhausted" });
+                d
+            | d ->
+                outcome "no_alternative";
+                decide (Obs.Trace.Rejected { binding = "no alternative exists" });
+                d))
 
 let revoke t id =
   match List.partition (fun a -> a.request.Deployment.id = id) t.active with

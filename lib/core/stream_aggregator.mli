@@ -30,6 +30,7 @@ val create :
   ?inversion_rule:[ `Direction_aware | `Paper_equality ] ->
   ?config:Aggregator.config ->
   ?metrics:Stratrec_obs.Registry.t ->
+  ?trace:Stratrec_obs.Trace.t ->
   strategies:Stratrec_model.Strategy.t array ->
   workforce:float ->
   unit ->
@@ -56,7 +57,14 @@ val create :
     [stream.workforce_limited_total], [stream.duplicate_total],
     [stream.revoked_total], [stream.replenished_total], the
     [stream.pool_workforce] gauge, the [stream.submit_seconds] span and
-    [adpar.fallback_total]. *)
+    [adpar.fallback_total].
+
+    [trace] (default {!Stratrec_obs.Trace.noop}) is likewise retained:
+    every {!submit} opens a [request] span (attributes: request id,
+    label, outcome; triaged submissions contain the {!Adpar.exact} phase
+    spans) and records one {!Stratrec_obs.Trace.decision} — [Satisfied]
+    on admission, [Triaged] with ADPaR's alternative, or [Rejected] with
+    the binding constraint. *)
 
 val submit : t -> Stratrec_model.Deployment.t -> decision
 (** Greedy-online admission of one request; admitted requests reserve

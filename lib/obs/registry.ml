@@ -25,6 +25,9 @@ let create ?(sink = Sink.silent) ?(clock = Sys.time) () =
 
 let noop = { enabled = false; sink = Sink.silent; clock = (fun () -> 0.); table = Hashtbl.create 1 }
 
+let disabled ?(sink = Sink.silent) ?(clock = fun () -> 0.) () =
+  { enabled = false; sink; clock; table = Hashtbl.create 1 }
+
 let enabled t = t.enabled
 let now t = if t.enabled then t.clock () else 0.
 let emit t event = if t.enabled then t.sink event

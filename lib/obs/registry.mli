@@ -32,6 +32,11 @@ val noop : t
     are empty. The default for every [?metrics] argument, so
     un-instrumented callers pay one branch per operation. *)
 
+val disabled : ?sink:Sink.t -> ?clock:(unit -> float) -> unit -> t
+(** A fresh disabled registry carrying an (otherwise unused) sink and
+    clock — for tests asserting that the noop path stays truly silent:
+    no sink events, no clock reads. *)
+
 val enabled : t -> bool
 (** [false] only for {!noop}. *)
 

@@ -70,9 +70,13 @@ let to_json t =
                (fun (le, n) ->
                  Json.Object
                    [
+                     (* The shortest round-tripping rendering (via the
+                        Json number printer), so of_json recovers the
+                        exact bound; "+inf" for the overflow bucket. *)
                      ( "le",
                        Json.String
-                         (if Float.is_finite le then Printf.sprintf "%g" le else "+inf") );
+                         (if Float.is_finite le then Json.to_string (Json.Number le)
+                          else "+inf") );
                      ("count", Json.Number (float_of_int n));
                    ])
                h.buckets) );
@@ -92,5 +96,65 @@ let to_json t =
          in
          (name, v))
        t)
+
+let of_json json =
+  let exception Bad of string in
+  let fail message = raise (Bad message) in
+  let float_field obj name =
+    match Json.member name obj with
+    | Some (Json.Number f) -> f
+    | Some _ | None -> fail (Printf.sprintf "missing number field %S" name)
+  in
+  let int_field obj name =
+    let f = float_field obj name in
+    if Float.is_integer f then int_of_float f
+    else fail (Printf.sprintf "field %S is not an integer" name)
+  in
+  let bucket_of_json = function
+    | Json.Object _ as b ->
+        let le =
+          match Json.member "le" b with
+          | Some (Json.String "+inf") -> infinity
+          | Some (Json.String s) -> (
+              match float_of_string_opt s with
+              | Some f -> f
+              | None -> fail (Printf.sprintf "invalid bucket bound %S" s))
+          | Some _ | None -> fail "missing bucket bound"
+        in
+        (le, int_field b "count")
+    | _ -> fail "bucket is not an object"
+  in
+  let histogram_of_json v =
+    match Json.member "buckets" v with
+    | Some (Json.List buckets) ->
+        {
+          buckets = List.map bucket_of_json buckets;
+          count = int_field v "count";
+          sum = float_field v "sum";
+          min = float_field v "min";
+          max = float_field v "max";
+        }
+    | Some _ | None -> fail "histogram without buckets"
+  in
+  let entry_of_field (name, v) =
+    let value =
+      match Json.member "type" v with
+      | Some (Json.String "counter") -> Counter (int_field v "value")
+      | Some (Json.String "gauge") -> Gauge (float_field v "value")
+      | Some (Json.String "histogram") -> (
+          match Json.member "value" v with
+          | Some h -> Histogram (histogram_of_json h)
+          | None -> fail (Printf.sprintf "histogram %S without value" name))
+      | Some (Json.String kind) -> fail (Printf.sprintf "unknown instrument type %S" kind)
+      | Some _ | None -> fail (Printf.sprintf "entry %S without a type" name)
+    in
+    { name; value }
+  in
+  match json with
+  | Json.Object fields -> (
+      match List.map entry_of_field fields with
+      | entries -> Ok entries
+      | exception Bad message -> Error ("snapshot: " ^ message))
+  | _ -> Error "snapshot: expected a JSON object"
 
 let pp ppf t = Format.pp_print_string ppf (Tabular.render (to_table t))

@@ -47,7 +47,13 @@ val to_table : t -> Stratrec_util.Tabular.t
 val to_json : t -> Stratrec_util.Json.t
 (** An object keyed by metric name. Histogram bucket bounds are emitted
     as strings (["0.1"], ["+inf"]) because JSON numbers cannot represent
-    infinity. *)
+    infinity; finite bounds use the shortest round-tripping rendering so
+    {!of_json} recovers them exactly. *)
+
+val of_json : Stratrec_util.Json.t -> (t, string) result
+(** Parses the {!to_json} form back, preserving document order (a
+    {!to_json} document is already name-sorted, so the round trip is the
+    identity). Errors name the offending field. *)
 
 val pp : Format.formatter -> t -> unit
 (** The rendered table. *)

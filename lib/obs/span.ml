@@ -1,11 +1,22 @@
 type t = { registry : Registry.t; name : string; started : float }
 
-let start registry name = { registry; name; started = Registry.now registry }
+(* Disabled spans share one static value: no allocation, and crucially no
+   clock read — the noop path must stay zero-cost. *)
+let dummy = { registry = Registry.noop; name = ""; started = 0. }
+
+let start registry name =
+  if Registry.enabled registry then { registry; name; started = Registry.now registry }
+  else dummy
 
 let finish t =
   if not (Registry.enabled t.registry) then 0.
   else begin
-    let seconds = Float.max 0. (Registry.now t.registry -. t.started) in
+    let elapsed = Registry.now t.registry -. t.started in
+    (* The default clock is monotone, but an injected one may step
+       backwards; surface that instead of hiding it in the clamp. *)
+    if elapsed < 0. then
+      Registry.incr (Registry.counter t.registry "trace.clock_regressions_total");
+    let seconds = Float.max 0. elapsed in
     let h = Registry.histogram t.registry t.name in
     Registry.observe h seconds;
     Registry.emit t.registry (Sink.Span_finish { name = t.name; seconds });

@@ -6,18 +6,22 @@
     seconds into a histogram named after the span (with
     {!Registry.duration_buckets}) and emits a [Span_finish] event.
 
-    On the {!Registry.noop} registry spans cost two branches and record
-    nothing. *)
+    On a disabled registry spans cost two branches and record nothing —
+    no allocation, no sink event, and no clock read. *)
 
 type t
 
 val start : Registry.t -> string -> t
 (** Begin timing a stage; [string] is the histogram/metric name, e.g.
-    ["aggregator.batch_seconds"]. *)
+    ["aggregator.batch_seconds"]. On a disabled registry this returns a
+    shared dummy span without reading the clock. *)
 
 val finish : t -> float
-(** Elapsed seconds (clamped to [>= 0.]), after recording it. Finishing
-    the same span twice records twice. *)
+(** Elapsed seconds (clamped to [>= 0.]), after recording it. A clock
+    regression (negative elapsed time, possible only with an injected
+    non-monotone clock) still records 0. but additionally increments the
+    [trace.clock_regressions_total] counter rather than passing
+    silently. Finishing the same span twice records twice. *)
 
 val time : Registry.t -> string -> (unit -> 'a) -> 'a
 (** [time reg name f] runs [f ()] inside a span, finishing it whether

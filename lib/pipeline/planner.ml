@@ -11,6 +11,7 @@ type config = {
   probe_replicates : int;
   ledger : Sim.Ledger.t option;
   metrics : Obs.Registry.t;
+  trace : Obs.Trace.t;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     probe_replicates = 3;
     ledger = None;
     metrics = Obs.Registry.noop;
+    trace = Obs.Trace.noop;
   }
 
 type window_report = {
@@ -122,17 +124,27 @@ let deploy_recommendations t window satisfied =
 
 let run_window t ~requests =
   let metrics = t.config.metrics in
+  let trace = t.config.trace in
+  Obs.Trace.span trace "planner.window"
+    ~attrs:
+      [
+        ("window", Obs.Trace.String (Sim.Window.label (current_window t)));
+        ("requests", Obs.Trace.Int (Array.length requests));
+      ]
+  @@ fun () ->
   Obs.Span.time metrics "planner.window_seconds" (fun () ->
       Obs.Registry.incr (Obs.Registry.counter metrics "planner.windows_total");
       let window = current_window t in
       let method_used, forecast = pick_forecast t in
+      Obs.Trace.add_attr trace "forecast" (Obs.Trace.Float forecast);
       let aggregate =
-        Stratrec.Aggregator.run ~config:t.config.aggregator ~metrics
+        Stratrec.Aggregator.run ~config:t.config.aggregator ~metrics ~trace
           ~availability:(Forecast.to_availability forecast)
           ~strategies:t.strategies ~requests ()
       in
       let outcomes =
-        deploy_recommendations t window (Stratrec.Aggregator.satisfied aggregate)
+        Obs.Trace.span trace "planner.deploy" (fun () ->
+            deploy_recommendations t window (Stratrec.Aggregator.satisfied aggregate))
       in
       Obs.Registry.incr_by
         (Obs.Registry.counter metrics "planner.deploys_total")

@@ -28,11 +28,17 @@ type config = {
           [planner.deploys_total], [planner.probes_total], the
           [planner.forecast_abs_error] histogram and the
           [planner.window_seconds] span *)
+  trace : Stratrec_obs.Trace.t;
+      (** threaded into the aggregator: every {!run_window} opens a
+          [planner.window] span (attributes: window label, request count,
+          forecast) containing the {!Stratrec.Aggregator.run} span tree
+          and a [planner.deploy] span over the platform deployments *)
 }
 
 val default_config : config
 (** Aggregator defaults, automatic forecasting, capacity 10, 3 probes, no
-    ledger, {!Stratrec_obs.Registry.noop} metrics. *)
+    ledger, {!Stratrec_obs.Registry.noop} metrics,
+    {!Stratrec_obs.Trace.noop} trace. *)
 
 type window_report = {
   window : Stratrec_crowdsim.Window.t;

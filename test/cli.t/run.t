@@ -27,6 +27,60 @@ and normalize the column padding).
   engine.deploys_total 0
   engine.runs_total 1
 
+The valueless --trace form renders the span tree and the per-request
+decision log to stderr. Span timings are nondeterministic, so we drop
+the header and strip everything from the milliseconds column on; the
+hierarchy (indentation) and the decision lines are exact.
+
+  $ stratrec example --trace 2>&1 >/dev/null | tail -n +4 | sed -E 's/ {2,}[0-9]+\.[0-9]+.*$//'
+  engine.run
+    aggregator.batch
+      batchstrat.run
+        batchstrat.prune
+        batchstrat.greedy
+      request
+      request
+        adpar.exact
+          adpar.relaxations
+          adpar.sweep
+          adpar.select
+      request
+        adpar.exact
+          adpar.relaxations
+          adpar.sweep
+          adpar.select
+  decisions:
+    d3 -> satisfied (w=0.800) [s4 (SIM-IND-HYB); s3 (SIM-IND-CRO); s2 (SEQ-IND-CRO)]
+    d1 -> triaged {q=0.400; c=0.500; l=0.280} distance 0.3300
+    d2 -> triaged {q=0.750; c=0.580; l=0.280} distance 0.3833
+
+--trace=FILE writes the same run as Chrome trace-event JSON: 16 complete
+events (one per span) and 3 instants (one decision per request).
+
+  $ stratrec example --trace=trace.json >/dev/null
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -c '"ph": "X"' trace.json
+  16
+  $ grep -c '"ph": "i"' trace.json
+  3
+
+--metrics and --trace compose: the metrics snapshot still lands on
+stdout while the trace goes to its file.
+
+  $ stratrec example --metrics --trace=both.json | awk '/counter/ {print $1, $3}' | head -3
+  adpar.calls_total 2
+  adpar.fallback_total 2
+  adpar.prune_cutoffs_total 2
+  $ grep -c '"name": "engine.run"' both.json
+  1
+
+An unwritable trace destination is a typed error, not a crash.
+
+  $ stratrec example --trace=/nonexistent-dir/t.json >/dev/null
+  stratrec: /nonexistent-dir/t.json: No such file or directory
+  [124]
+
 Catalogs round-trip through JSON.
 
   $ stratrec catalog -n 12 --stages 2 -o cat.json

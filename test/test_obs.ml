@@ -7,6 +7,8 @@ module Registry = Obs.Registry
 module Snapshot = Obs.Snapshot
 module Sink = Obs.Sink
 module Span = Obs.Span
+module Trace = Obs.Trace
+module Json = Stratrec_util.Json
 module Model = Stratrec_model
 module Engine = Stratrec.Engine
 module Sim = Stratrec_crowdsim
@@ -87,6 +89,22 @@ let test_noop_registry () =
   let span = Span.start Registry.noop "s" in
   Alcotest.(check (float 0.)) "noop span elapses nothing" 0. (Span.finish span)
 
+let test_disabled_span_skips_clock_and_sink () =
+  let clock_calls = ref 0 in
+  let sink, events = Sink.memory () in
+  let reg =
+    Registry.disabled ~sink
+      ~clock:(fun () ->
+        incr clock_calls;
+        42.)
+      ()
+  in
+  let span = Span.start reg "skipped_seconds" in
+  Alcotest.(check (float 0.)) "zero elapsed" 0. (Span.finish span);
+  Span.time reg "also_skipped_seconds" ignore;
+  Alcotest.(check int) "the clock is never read" 0 !clock_calls;
+  Alcotest.(check int) "no sink events" 0 (List.length (events ()))
+
 (* Spans against an injected clock *)
 
 let test_span_fake_clock () =
@@ -105,7 +123,14 @@ let test_span_clamps_backward_clock () =
   let reg = Registry.create ~clock:(fun () -> !now) () in
   let span = Span.start reg "stage_seconds" in
   now := 3.;
-  Alcotest.(check (float 0.)) "never negative" 0. (Span.finish span)
+  Alcotest.(check (float 0.)) "never negative" 0. (Span.finish span);
+  Alcotest.(check int) "regression surfaced as a counter, not hidden" 1
+    (Snapshot.counter_value (Registry.snapshot reg) "trace.clock_regressions_total");
+  let forward = Span.start reg "stage_seconds" in
+  now := 4.;
+  ignore (Span.finish forward);
+  Alcotest.(check int) "well-behaved clocks leave the counter alone" 1
+    (Snapshot.counter_value (Registry.snapshot reg) "trace.clock_regressions_total")
 
 let test_span_time_wraps_raise () =
   let now = ref 0. in
@@ -185,6 +210,136 @@ let test_snapshot_json_infinity () =
        && (String.sub rendered i (String.length pattern) = pattern || find (i + 1))
      in
      find 0)
+
+(* Hierarchical traces *)
+
+let fake_trace () =
+  let now = ref 0. in
+  let t = Trace.create ~clock:(fun () -> !now) () in
+  (t, now)
+
+let test_trace_nesting () =
+  let t, now = fake_trace () in
+  Trace.span t "root" (fun () ->
+      now := 1.;
+      Trace.span t "child_a" (fun () -> now := 2.);
+      Trace.span t "child_b" (fun () ->
+          Trace.span t "grandchild" (fun () -> now := 3.)));
+  let nodes = Trace.nodes t in
+  Alcotest.(check (list string))
+    "DFS pre-order"
+    [ "root"; "child_a"; "child_b"; "grandchild" ]
+    (List.map (fun n -> n.Trace.name) nodes);
+  Alcotest.(check (list int))
+    "depths" [ 0; 1; 1; 2 ]
+    (List.map (fun n -> n.Trace.depth) nodes);
+  match nodes with
+  | [ root; a; b; g ] ->
+      Alcotest.(check bool) "root has no parent" true (root.Trace.parent = None);
+      Alcotest.(check bool) "child_a under root" true (a.Trace.parent = Some root.Trace.id);
+      Alcotest.(check bool) "child_b under root" true (b.Trace.parent = Some root.Trace.id);
+      Alcotest.(check bool) "grandchild under child_b" true (g.Trace.parent = Some b.Trace.id);
+      Alcotest.(check (float 1e-12)) "root spans the whole run" 3. root.Trace.duration;
+      Alcotest.(check (float 1e-12)) "child_a duration" 1. a.Trace.duration
+  | _ -> Alcotest.fail "expected 4 nodes"
+
+let test_trace_attrs () =
+  let t, _ = fake_trace () in
+  Trace.span t "run" ~attrs:[ ("k", Trace.Int 3) ] (fun () ->
+      Trace.span t "inner" (fun () -> Trace.add_attr t "hits" (Trace.Int 7));
+      Trace.add_attr t "distance" (Trace.Float 0.25));
+  (* Attaching outside any open span is a silent no-op, like the noop trace. *)
+  Trace.add_attr t "lost" (Trace.Bool true);
+  match Trace.nodes t with
+  | [ run; inner ] ->
+      Alcotest.(check bool) "declared then attached, in order" true
+        (run.Trace.attrs = [ ("k", Trace.Int 3); ("distance", Trace.Float 0.25) ]);
+      Alcotest.(check bool) "add_attr lands on the innermost open span" true
+        (inner.Trace.attrs = [ ("hits", Trace.Int 7) ])
+  | _ -> Alcotest.fail "expected 2 nodes"
+
+let test_trace_capacity () =
+  let t = Trace.create ~capacity:2 ~clock:(fun () -> 0.) () in
+  for i = 1 to 4 do
+    Trace.span t (Printf.sprintf "s%d" i) ignore
+  done;
+  Alcotest.(check int) "retained stops at capacity" 2 (Trace.span_count t);
+  Alcotest.(check int) "overflow counted" 2 (Trace.dropped t);
+  Alcotest.(check (list string))
+    "oldest spans kept" [ "s1"; "s2" ]
+    (List.map (fun n -> n.Trace.name) (Trace.nodes t))
+
+let test_trace_exception_safety () =
+  let t, now = fake_trace () in
+  Trace.span t "root" (fun () ->
+      (try Trace.span t "thrower" (fun () -> now := 2.; failwith "boom")
+       with Failure _ -> ());
+      Trace.span t "after" ignore);
+  match Trace.nodes t with
+  | [ _root; thrower; after ] ->
+      Alcotest.(check (float 1e-12)) "raising span still timed" 2. thrower.Trace.duration;
+      Alcotest.(check int) "next span is a sibling, not a child of the thrower" 1
+        after.Trace.depth
+  | _ -> Alcotest.fail "expected 3 nodes"
+
+let test_trace_noop () =
+  Alcotest.(check bool) "disabled" false (Trace.enabled Trace.noop);
+  Alcotest.(check int) "span passes the value through" 41
+    (Trace.span Trace.noop "s" (fun () -> 41));
+  Trace.decide Trace.noop ~id:0 ~label:"d" (Trace.Rejected { binding = "x" });
+  Alcotest.(check int) "no nodes" 0 (List.length (Trace.nodes Trace.noop));
+  Alcotest.(check int) "no decisions" 0 (List.length (Trace.decisions Trace.noop))
+
+let test_trace_decisions () =
+  let t, _ = fake_trace () in
+  Trace.decide t ~id:2 ~label:"d3"
+    (Trace.Satisfied { workforce = 0.8; strategies = [ "s4"; "s3" ] });
+  Trace.decide t ~id:0 ~label:"d1"
+    (Trace.Triaged { quality = 0.4; cost = 0.5; latency = 0.28; distance = 0.33 });
+  Trace.decide t ~id:1 ~label:"d2" (Trace.Rejected { binding = "no alternative exists" });
+  Alcotest.(check (list string))
+    "decision order and rendering"
+    [
+      "d3 -> satisfied (w=0.800) [s4; s3]";
+      "d1 -> triaged {q=0.400; c=0.500; l=0.280} distance 0.3300";
+      "d2 -> rejected (no alternative exists)";
+    ]
+    (List.map (Format.asprintf "%a" Trace.pp_decision) (Trace.decisions t))
+
+let test_trace_chrome_json () =
+  let t, now = fake_trace () in
+  Trace.span t "parent" (fun () ->
+      now := 0.5;
+      Trace.span t "child" (fun () -> now := 1.5));
+  Trace.decide t ~id:4 ~label:"d5" (Trace.Rejected { binding = "b" });
+  let json = Trace.to_chrome_json t in
+  let events = Option.get (Json.to_list (Option.get (Json.member "traceEvents" json))) in
+  Alcotest.(check int) "two spans + one decision" 3 (List.length events);
+  let field name e = Option.get (Json.member name e) in
+  let args = field "args" in
+  (match events with
+  | [ parent; child; decision ] ->
+      Alcotest.(check bool) "spans are complete events" true
+        (field "ph" parent = Json.String "X" && field "ph" child = Json.String "X");
+      Alcotest.(check bool) "timestamps and durations in microseconds" true
+        (field "ts" parent = Json.Number 0.
+        && field "dur" parent = Json.Number 1.5e6
+        && field "ts" child = Json.Number 0.5e6
+        && field "dur" child = Json.Number 1e6);
+      Alcotest.(check bool) "root parent_id is null" true
+        (Json.member "parent_id" (args parent) = Some Json.Null);
+      Alcotest.(check bool) "child points at its parent" true
+        (Json.member "parent_id" (args child) = Json.member "span_id" (args parent));
+      Alcotest.(check bool) "decision is a thread-scoped instant" true
+        (field "ph" decision = Json.String "i" && field "s" decision = Json.String "t");
+      Alcotest.(check bool) "decision carries the verdict" true
+        (Json.member "verdict" (args decision) = Some (Json.String "rejected")
+        && Json.member "binding" (args decision) = Some (Json.String "b"))
+  | _ -> Alcotest.fail "unexpected event list");
+  (* The document must also survive its own printer. *)
+  match Json.of_string (Json.to_string ~indent:1 json) with
+  | Ok reparsed -> Alcotest.(check bool) "print/parse round-trip" true (Json.equal json reparsed)
+  | Error m -> Alcotest.failf "emitted JSON does not parse: %s" m
 
 (* Engine end-to-end: the typed report and the metrics snapshot must tell
    the same story. *)
@@ -297,6 +452,177 @@ let test_engine_errors () =
   | Error (`Catalog _) -> ()
   | _ -> Alcotest.fail "expected Catalog error"
 
+(* Acceptance: the CLI-emitted Chrome file must parse and carry the
+   engine -> request -> algorithm-phase hierarchy with one decision per
+   request. Exercised here through the same renderer the CLI uses. *)
+
+let test_engine_trace_file () =
+  let availability, strategies, requests = paper_inputs () in
+  match Engine.run ~availability ~strategies ~requests () with
+  | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_message e)
+  | Ok report ->
+      Alcotest.(check int) "report carries one decision per request" 3
+        (List.length report.Engine.decisions);
+      Alcotest.(check (list string))
+        "decision labels (greedy acceptance first, then triage in input order)"
+        [ "d3"; "d1"; "d2" ]
+        (List.map (fun d -> d.Trace.label) report.Engine.decisions);
+      let path = Filename.temp_file "stratrec_trace" ".json" in
+      Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (Json.to_string ~indent:1 (Trace.to_chrome_json report.Engine.trace)));
+      let contents = In_channel.with_open_text path In_channel.input_all in
+      let json =
+        match Json.of_string contents with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "emitted file does not parse: %s" m
+      in
+      let events = Option.get (Json.to_list (Option.get (Json.member "traceEvents" json))) in
+      let name e = Option.get (Json.to_string_value (Option.get (Json.member "name" e))) in
+      let spans = List.filter (fun e -> Json.member "ph" e = Some (Json.String "X")) events in
+      let args e = Option.get (Json.member "args" e) in
+      let span_id e = Json.member "span_id" (args e) in
+      let parent_id e = Json.member "parent_id" (args e) in
+      let root =
+        match List.filter (fun e -> parent_id e = Some Json.Null) spans with
+        | [ root ] -> root
+        | roots -> Alcotest.failf "expected exactly one root span, got %d" (List.length roots)
+      in
+      Alcotest.(check string) "the root is the engine run" "engine.run" (name root);
+      let batch = List.find (fun e -> name e = "aggregator.batch") spans in
+      Alcotest.(check bool) "aggregator nests under the engine" true
+        (parent_id batch = span_id root);
+      let request_spans = List.filter (fun e -> name e = "request") spans in
+      Alcotest.(check int) "one request span per request" 3 (List.length request_spans);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "request spans nest under the batch" true
+            (parent_id r = span_id batch))
+        request_spans;
+      let adpar = List.filter (fun e -> name e = "adpar.exact") spans in
+      Alcotest.(check int) "both triaged requests hit ADPaR" 2 (List.length adpar);
+      List.iter
+        (fun a ->
+          Alcotest.(check bool) "adpar nests under a request span" true
+            (List.exists (fun r -> span_id r = parent_id a) request_spans))
+        adpar;
+      List.iter
+        (fun phase ->
+          Alcotest.(check bool) (phase ^ " span present") true
+            (List.exists (fun e -> name e = phase) spans))
+        [
+          "batchstrat.run";
+          "batchstrat.prune";
+          "batchstrat.greedy";
+          "adpar.relaxations";
+          "adpar.sweep";
+          "adpar.select";
+        ];
+      let decisions =
+        List.filter (fun e -> Json.member "ph" e = Some (Json.String "i")) events
+      in
+      Alcotest.(check int) "one decision instant per request" 3 (List.length decisions)
+
+(* Snapshot JSON round-trip: to_json renders every number in its shortest
+   round-tripping form, so of_json must recover the snapshot exactly. *)
+
+let roundtrip snap =
+  Result.bind (Json.of_string (Json.to_string (Snapshot.to_json snap))) Snapshot.of_json
+
+let test_snapshot_roundtrip_inf_bucket () =
+  let reg = Registry.create () in
+  let h = Registry.histogram ~buckets:[| 0.1; 0.3 |] reg "h" in
+  Registry.observe h 5.;
+  Registry.observe h 0.2;
+  Registry.incr (Registry.counter reg "c_total");
+  Registry.set (Registry.gauge reg "g") (-0.125);
+  let snap = Registry.snapshot reg in
+  match roundtrip snap with
+  | Error m -> Alcotest.failf "round-trip failed: %s" m
+  | Ok parsed ->
+      Alcotest.(check bool) "equal after round-trip" true (parsed = snap);
+      (match Snapshot.find parsed "h" with
+      | Some (Snapshot.Histogram { buckets; _ }) ->
+          Alcotest.(check bool) "implicit +inf bucket survives" true
+            (List.exists (fun (le, _) -> le = infinity) buckets)
+      | _ -> Alcotest.fail "histogram missing after round-trip")
+
+let snapshot_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"snapshot JSON round-trips exactly"
+    QCheck.(
+      triple
+        (small_list small_nat)
+        (small_list (float_range (-1e6) 1e6))
+        (small_list
+           (pair (list_of_size Gen.(1 -- 5) (int_range 1 60)) (small_list (float_range 0. 12.)))))
+    (fun (counters, gauges, histograms) ->
+      let reg = Registry.create () in
+      List.iteri
+        (fun i v -> Registry.incr_by (Registry.counter reg (Printf.sprintf "c%d_total" i)) v)
+        counters;
+      List.iteri
+        (fun i v -> Registry.set (Registry.gauge reg (Printf.sprintf "g%d" i)) v)
+        gauges;
+      List.iteri
+        (fun i (numerators, observations) ->
+          (* Sevenths are not dyadic, so the bounds only survive if the
+             renderer really emits shortest-round-trip decimals. *)
+          let buckets =
+            Array.of_list
+              (List.sort_uniq Float.compare (List.map (fun n -> float_of_int n /. 7.) numerators))
+          in
+          let h = Registry.histogram ~buckets reg (Printf.sprintf "h%d_seconds" i) in
+          List.iter (Registry.observe h) observations)
+        histograms;
+      let snap = Registry.snapshot reg in
+      match roundtrip snap with
+      | Ok parsed -> parsed = snap
+      | Error m -> QCheck.Test.fail_reportf "round-trip failed: %s" m)
+
+let test_snapshot_of_json_rejects_garbage () =
+  List.iter
+    (fun (label, doc) ->
+      match Snapshot.of_json doc with
+      | Error m ->
+          Alcotest.(check bool)
+            (label ^ " error is prefixed") true
+            (String.length m >= 9 && String.sub m 0 9 = "snapshot:")
+      | Ok _ -> Alcotest.failf "%s unexpectedly parsed" label)
+    [
+      ("non-object", Json.List []);
+      ("untyped entry", Json.Object [ ("x", Json.Object [ ("value", Json.Number 1.) ]) ]);
+      ( "fractional counter",
+        Json.Object
+          [
+            ( "x",
+              Json.Object [ ("type", Json.String "counter"); ("value", Json.Number 1.5) ] );
+          ] );
+      ( "bad bucket bound",
+        Json.Object
+          [
+            ( "h",
+              Json.Object
+                [
+                  ("type", Json.String "histogram");
+                  ( "value",
+                    Json.Object
+                      [
+                        ("count", Json.Number 0.);
+                        ("sum", Json.Number 0.);
+                        ("min", Json.Number 0.);
+                        ("max", Json.Number 0.);
+                        ( "buckets",
+                          Json.List
+                            [
+                              Json.Object
+                                [ ("le", Json.String "wat"); ("count", Json.Number 0.) ];
+                            ] );
+                      ] );
+                ] );
+          ] );
+    ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -315,6 +641,19 @@ let () =
           Alcotest.test_case "fake clock" `Quick test_span_fake_clock;
           Alcotest.test_case "clamps backward clock" `Quick test_span_clamps_backward_clock;
           Alcotest.test_case "time wraps raise" `Quick test_span_time_wraps_raise;
+          Alcotest.test_case "disabled spans skip clock and sink" `Quick
+            test_disabled_span_skips_clock_and_sink;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "attributes" `Quick test_trace_attrs;
+          Alcotest.test_case "bounded buffer" `Quick test_trace_capacity;
+          Alcotest.test_case "exception safety" `Quick test_trace_exception_safety;
+          Alcotest.test_case "noop" `Quick test_trace_noop;
+          Alcotest.test_case "decision records" `Quick test_trace_decisions;
+          Alcotest.test_case "chrome trace events" `Quick test_trace_chrome_json;
+          Alcotest.test_case "engine trace file hierarchy" `Quick test_engine_trace_file;
         ] );
       ( "sinks",
         [
@@ -326,6 +665,11 @@ let () =
           Alcotest.test_case "determinism" `Quick test_snapshot_determinism;
           Alcotest.test_case "reset" `Quick test_snapshot_reset;
           Alcotest.test_case "json +inf" `Quick test_snapshot_json_infinity;
+          Alcotest.test_case "json round-trip with +inf bucket" `Quick
+            test_snapshot_roundtrip_inf_bucket;
+          QCheck_alcotest.to_alcotest snapshot_roundtrip_prop;
+          Alcotest.test_case "of_json rejects malformed documents" `Quick
+            test_snapshot_of_json_rejects_garbage;
         ] );
       ( "engine",
         [
