@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the one the checks run.
 
-.PHONY: all build test ci fmt clean bench-smoke
+.PHONY: all build test ci fmt clean bench-smoke chaos
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 # One tiny traced iteration of every experiment: proves each bench still
 # executes end to end (non-zero exit fails the target) and that the trace
 # file is produced. Runs in seconds.
-BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation
+BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation chaos
 bench-smoke: build
 	@tmp=$$(mktemp -d) && \
 	trap 'rm -rf "$$tmp"' EXIT && \
@@ -25,6 +25,16 @@ bench-smoke: build
 	done && \
 	echo "bench-smoke: all experiments passed"
 
+# Chaos gate: the randomized fault-plan property harness under a pinned
+# QCheck seed (reproducible counter-example shrinking), then one traced
+# faulted iteration of the chaos bench experiment.
+chaos: build
+	QCHECK_SEED=2020 dune exec test/test_chaos.exe
+	@tmp=$$(mktemp -d) && \
+	trap 'rm -rf "$$tmp"' EXIT && \
+	dune exec bench/main.exe -- --smoke --trace "$$tmp/chaos.json" --only chaos && \
+	test -s "$$tmp/chaos.json" || { echo "chaos: bench wrote no trace"; exit 1; }
+
 # Full gate: everything compiles (libraries, CLI, examples, benches),
 # every test passes (unit, property, cram, example smoke-runs), every
 # benchmark still runs (one smoke iteration, traced), and the tree
@@ -35,6 +45,7 @@ ci:
 	dune build @all
 	dune runtest
 	$(MAKE) bench-smoke
+	$(MAKE) chaos
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  echo "checking formatting drift"; \
 	  dune build @fmt; \

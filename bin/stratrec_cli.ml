@@ -21,6 +21,7 @@ module Rng = Stratrec_util.Rng
 module Sim = Stratrec_crowdsim
 module Engine = Stratrec.Engine
 module Obs = Stratrec_obs
+module Resilience = Stratrec_resilience
 
 let ( let* ) = Result.bind
 
@@ -95,6 +96,95 @@ let trace_arg =
   in
   Arg.(value & opt ~vopt:(Some "-") (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+(* Deployment-stage arguments, shared by recommend and example. A fault
+   plan or a retry budget implies the deploy stage — there is nothing to
+   fault or retry without one. *)
+
+let fault_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Resilience.Fault.of_string s) in
+  let print ppf plan = Format.pp_print_string ppf (Resilience.Fault.to_string plan) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  let doc =
+    "Inject a fault plan into the deploy stage (implies $(b,--deploy)). $(docv) is a \
+     comma-separated list of no-show=P, dropout=P, straggler=P:FACTOR, flaky-qual=P and \
+     outage=WINDOW (weekend, early-week, late-week or *, joined by +), or none."
+  in
+  Arg.(value & opt fault_conv Resilience.Fault.none & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retries per satisfied request on top of the first attempt (implies $(b,--deploy)), \
+     backing off exponentially in simulated window time."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let deploy_arg =
+  let doc =
+    "Deploy every satisfied request's cheapest recommendation on a simulated platform, \
+     walking the resilience ladder (retry, fallback, re-triage, circuit breaker) on \
+     empty deployments."
+  in
+  Arg.(value & flag & info [ "deploy" ] ~doc)
+
+let capacity_arg =
+  let doc = "Workers per deployed HIT." in
+  Arg.(value & opt int 5 & info [ "capacity" ] ~docv:"C" ~doc)
+
+let population_arg =
+  let doc = "Simulated platform population for the deploy stage." in
+  Arg.(value & opt int 200 & info [ "population" ] ~docv:"P" ~doc)
+
+let window_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Sim.Window.of_string s) in
+  let print ppf w = Format.pp_print_string ppf (Sim.Window.name w) in
+  Arg.conv (parse, print)
+
+let window_arg =
+  let doc = "Deployment window: weekend, early-week or late-week." in
+  Arg.(value & opt window_conv Sim.Window.Weekend & info [ "window" ] ~docv:"WINDOW" ~doc)
+
+(* The platform is created here, after the workload — catalog and request
+   generation must consume the rng stream first so recommend-only output
+   is unchanged by the deploy flags. *)
+let deploy_config ~rng ~deploy ~faults ~retries ~population ~capacity ~window =
+  if retries < 0 then Error (`Msg "--retries must be non-negative")
+  else if (not deploy) && retries = 0 && Resilience.Fault.is_none faults then Ok None
+  else if population <= 0 then Error (`Msg "--population must be positive")
+  else
+    Ok
+      (Some
+         {
+           Engine.platform = Sim.Platform.create rng ~population;
+           kind = Sim.Task_spec.Sentence_translation;
+           window;
+           capacity;
+           ledger = None;
+           faults;
+           resilience = Resilience.Degrade.with_retries Resilience.Degrade.resilient retries;
+         })
+
+let print_deployed (report : Engine.report) =
+  match report.Engine.deployed with
+  | [] -> ()
+  | deployed ->
+      Format.printf "deployments:@.";
+      List.iter
+        (fun (d : Engine.deployed) ->
+          let attempts = List.length d.Engine.attempts in
+          let plural = if attempts = 1 then "" else "s" in
+          match d.Engine.outcome with
+          | Engine.Completed result ->
+              Format.printf "  %s: deployed %s after %d attempt%s (%d workers)@."
+                d.Engine.request.Deployment.label d.Engine.strategy.Model.Strategy.label
+                attempts plural result.Sim.Campaign.workers_hired
+          | Engine.Rejected reason ->
+              Format.printf "  %s: rejected after %d attempt%s: %s@."
+                d.Engine.request.Deployment.label attempts plural
+                (Engine.rejection_reason reason))
+        deployed
+
 (* "-" is the vopt sentinel for the valueless --trace form: render the tree
    to stderr so stdout stays parseable. A real path gets the Chrome JSON. *)
 let emit_trace destination trace =
@@ -115,11 +205,13 @@ let emit_trace destination trace =
 
 (* recommend *)
 
-let recommend verbose seed n m k w dist objective catalog show_metrics trace_dest =
+let recommend verbose seed n m k w dist objective catalog show_metrics trace_dest deploy
+    faults retries population capacity window =
   setup_logging verbose;
   let rng = Rng.create seed in
   let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
   let requests = Model.Workload.requests rng ~m ~k in
+  let* deploy = deploy_config ~rng ~deploy ~faults ~retries ~population ~capacity ~window in
   let availability = Model.Availability.certain w in
   let config =
     {
@@ -131,13 +223,15 @@ let recommend verbose seed n m k w dist objective catalog show_metrics trace_des
           inversion_rule = `Paper_equality;
           reestimate_parameters = false;
         };
+      Engine.deploy;
     }
   in
   let* report =
     Result.map_error engine_msg
-      (Engine.run ~config ~availability ~strategies ~requests ())
+      (Engine.run ~config ~rng ~availability ~strategies ~requests ())
   in
   Format.printf "%a@." Stratrec.Aggregator.pp_report report.Engine.aggregate;
+  print_deployed report;
   if show_metrics then
     Stratrec_util.Tabular.print ~title:"run metrics"
       (Obs.Snapshot.to_table report.Engine.metrics);
@@ -154,7 +248,9 @@ let recommend_cmd =
     (Cmd.info "recommend" ~doc:"Batch deployment recommendation on a synthetic catalog")
     Term.(term_result
             (const recommend $ verbose_arg $ seed_arg $ strategies_arg $ m_arg $ k_arg
-             $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg $ trace_arg))
+             $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg $ trace_arg
+             $ deploy_arg $ faults_arg $ retries_arg $ population_arg $ capacity_arg
+             $ window_arg))
 
 (* adpar *)
 
@@ -285,16 +381,23 @@ let simulate_cmd =
 
 (* example *)
 
-let example show_metrics trace_dest =
+let example show_metrics trace_dest deploy faults retries =
+  let rng = Rng.create 2020 in
+  let* deploy =
+    deploy_config ~rng ~deploy ~faults ~retries ~population:200 ~capacity:5
+      ~window:Sim.Window.Weekend
+  in
+  let config = { Engine.default_config with Engine.deploy } in
   let* report =
     Result.map_error engine_msg
-      (Engine.run
+      (Engine.run ~config ~rng
          ~availability:(Model.Paper_example.availability ())
          ~strategies:(Model.Paper_example.strategies ())
          ~requests:(Model.Paper_example.requests ())
          ())
   in
   Format.printf "%a@." Stratrec.Aggregator.pp_report report.Engine.aggregate;
+  print_deployed report;
   if show_metrics then
     Stratrec_util.Tabular.print ~title:"run metrics"
       (Obs.Snapshot.to_table report.Engine.metrics);
@@ -303,7 +406,9 @@ let example show_metrics trace_dest =
 let example_cmd =
   Cmd.v
     (Cmd.info "example" ~doc:"Walk through the paper's Example 1")
-    Term.(term_result (const example $ metrics_arg $ trace_arg))
+    Term.(term_result
+            (const example $ metrics_arg $ trace_arg $ deploy_arg $ faults_arg
+             $ retries_arg))
 
 let main_cmd =
   let doc = "StratRec: deployment-strategy recommendation for collaborative crowdsourcing tasks" in

@@ -157,6 +157,33 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
     workforce_used = batch.Batchstrat.workforce_used;
   }
 
+let retriage ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ?(relax = 0.15)
+    ~strategies (d : Deployment.t) =
+  if not (relax >= 0. && relax <= 1.) then
+    invalid_arg "Aggregator.retriage: relax outside [0, 1]";
+  Obs.Trace.span trace "aggregator.retriage"
+    ~attrs:
+      [
+        ("request", Obs.Trace.Int d.Deployment.id);
+        ("label", Obs.Trace.String d.Deployment.label);
+        ("relax", Obs.Trace.Float relax);
+      ]
+  @@ fun () ->
+  Obs.Registry.incr (Obs.Registry.counter metrics "aggregator.retriage_total");
+  let p = d.Deployment.params in
+  let relaxed =
+    Stratrec_model.Params.make
+      ~quality:(Float.max 0. (p.Stratrec_model.Params.quality -. relax))
+      ~cost:(Float.min 1. (p.Stratrec_model.Params.cost +. relax))
+      ~latency:(Float.min 1. (p.Stratrec_model.Params.latency +. relax))
+  in
+  let d' = { d with Deployment.params = relaxed } in
+  match Adpar.exact ~metrics ~trace ~strategies d' with
+  | None -> None
+  | Some result ->
+      Obs.Trace.add_attr trace "distance" (Obs.Trace.Float result.Adpar.distance);
+      Some (d', result)
+
 let satisfied report =
   Array.to_list report.outcomes
   |> List.filter_map (function

@@ -76,6 +76,28 @@ val run :
     strategy labels, [Triaged] with ADPaR's alternative triple and L2
     distance, or [Rejected] with the binding constraint. *)
 
+val retriage :
+  ?metrics:Stratrec_obs.Registry.t ->
+  ?trace:Stratrec_obs.Trace.t ->
+  ?relax:float ->
+  strategies:Stratrec_model.Strategy.t array ->
+  Stratrec_model.Deployment.t ->
+  (Stratrec_model.Deployment.t * Adpar.result) option
+(** Degraded-mode triage: relax the request's thresholds by [relax]
+    (default 0.15) per axis — quality lower bound lowered, cost and
+    latency upper bounds raised, all clamped to [\[0, 1\]] — and rerun
+    {!Adpar.exact} against the relaxed request. Returns the relaxed
+    request together with ADPaR's result ([None] when the catalog is
+    smaller than the cardinality constraint). This is the third rung of
+    the engine's degradation ladder: when every deployment attempt of a
+    satisfied request comes back empty, the engine re-triages it here and
+    deploys the cheapest strategy the relaxed alternative admits.
+
+    Records [aggregator.retriage_total] and opens an
+    [aggregator.retriage] span (request, relax, resulting distance) with
+    the {!Adpar.exact} phase spans as children.
+    @raise Invalid_argument if [relax] is outside [\[0, 1\]]. *)
+
 val satisfied : report -> (Stratrec_model.Deployment.t * Stratrec_model.Strategy.t list) list
 val alternatives : report -> (Stratrec_model.Deployment.t * Adpar.result) list
 val workforce_limited : report -> Stratrec_model.Deployment.t list

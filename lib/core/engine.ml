@@ -1,6 +1,7 @@
 module Model = Stratrec_model
 module Sim = Stratrec_crowdsim
 module Obs = Stratrec_obs
+module Res = Stratrec_resilience
 module Deployment = Model.Deployment
 module Strategy = Model.Strategy
 
@@ -10,6 +11,8 @@ type deploy_config = {
   window : Sim.Window.t;
   capacity : int;
   ledger : Sim.Ledger.t option;
+  faults : Res.Fault.t;
+  resilience : Res.Degrade.policy;
 }
 
 type config = {
@@ -22,10 +25,27 @@ type config = {
 let default_config =
   { aggregator = Aggregator.default_config; metrics = None; trace = None; deploy = None }
 
+type rejection = Breaker_open | Deadline_exhausted | All_attempts_empty
+
+let rejection_reason = function
+  | Breaker_open -> "circuit breaker open"
+  | Deadline_exhausted -> "deadline budget exhausted"
+  | All_attempts_empty -> "every attempt came back empty"
+
+type deploy_outcome = Completed of Sim.Campaign.result | Rejected of rejection
+
+type attempt = {
+  rung : Res.Degrade.rung;
+  strategy : Strategy.t;
+  at_hours : float;
+  result : Sim.Campaign.result option;
+}
+
 type deployed = {
   request : Deployment.t;
   strategy : Strategy.t;
-  outcome : Sim.Campaign.result;
+  outcome : deploy_outcome;
+  attempts : attempt list;
 }
 
 type counts = {
@@ -103,36 +123,189 @@ let validate config ~strategies ~requests =
         match config.deploy with
         | Some { capacity; _ } when capacity <= 0 ->
             Error (`Invalid_config "deploy capacity must be positive")
-        | Some _ | None -> Ok ())
+        | Some { resilience; _ } -> (
+            match Res.Degrade.validate resilience with
+            | Ok () -> Ok ()
+            | Error message -> Error (`Invalid_config ("resilience policy: " ^ message)))
+        | None -> Ok ())
 
-let deploy_satisfied ~metrics ~rng deploy satisfied =
-  List.map
-    (fun (request, recommended) ->
-      (* Deploy the cheapest recommended strategy's first stage, as the
-         season planner does. *)
-      let strategy =
-        match recommended with
-        | strategy :: _ -> strategy
-        | [] -> assert false (* satisfied requests carry k >= 1 strategies *)
-      in
-      let combo =
-        match strategy.Strategy.stages with
-        | combo :: _ -> combo
-        | [] -> assert false (* strategies have at least one stage *)
-      in
-      let task = Sim.Task_spec.make ~kind:deploy.kind ~title:request.Deployment.label () in
-      let outcome =
-        Sim.Campaign.deploy ?ledger:deploy.ledger ~metrics deploy.platform rng
-          {
-            Sim.Campaign.task;
-            combo;
-            window = deploy.window;
-            capacity = deploy.capacity;
-            guided = true;
-          }
-      in
-      { request; strategy; outcome })
-    satisfied
+(* The degradation ladder (DESIGN.md §5d). One satisfied request walks:
+   primary attempt -> retries of the same strategy -> fallbacks to the
+   remaining recommendations -> ADPaR re-triage at relaxed thresholds ->
+   typed rejection. Simulated time (hours on the window axis) advances by
+   the retry policy's backoff between attempts; the circuit breaker and
+   the per-request deadline budget both read that clock. *)
+
+let resilience_counters =
+  [
+    "resilience.attempts_total";
+    "resilience.retries_total";
+    "resilience.fallbacks_total";
+    "resilience.retriages_total";
+    "resilience.breaker_open_total";
+    "resilience.rejections_total";
+  ]
+
+let cheapest_first strategies =
+  List.sort
+    (fun a b ->
+      compare a.Strategy.params.Model.Params.cost b.Strategy.params.Model.Params.cost)
+    strategies
+
+let deploy_satisfied ~metrics ~trace ~rng deploy (aggregate : Aggregator.report) satisfied =
+  let policy = deploy.resilience in
+  let count name = Obs.Registry.incr (Obs.Registry.counter metrics name) in
+  (* Register the resilience counters up front so every faulted run's
+     snapshot carries them, even at 0. *)
+  List.iter
+    (fun name -> Obs.Registry.incr_by (Obs.Registry.counter metrics name) 0)
+    resilience_counters;
+  if not (Res.Fault.is_none deploy.faults) then
+    Obs.Registry.incr_by (Obs.Registry.counter metrics "faults.injected_total") 0;
+  let breaker = Option.map (fun config -> Res.Breaker.create ~config ()) policy.breaker in
+  (* Simulated hours since the deploy stage began — shared across the
+     batch, so one request's backoffs also cool the breaker down for the
+     requests behind it. *)
+  let clock = ref 0. in
+  let deployed =
+    List.map
+      (fun (request, recommended) ->
+        let primary, fallbacks =
+          match recommended with
+          | strategy :: rest -> (strategy, rest)
+          | [] -> assert false (* satisfied requests carry k >= 1 strategies *)
+        in
+        Obs.Trace.span trace "deploy.request"
+          ~attrs:
+            [
+              ("request", Obs.Trace.Int request.Deployment.id);
+              ("label", Obs.Trace.String request.Deployment.label);
+            ]
+        @@ fun () ->
+        let started = !clock in
+        let attempts = ref [] in
+        let last_strategy = ref primary in
+        let attempt_no = ref 0 in
+        let run_attempt rung strategy =
+          last_strategy := strategy;
+          let at_hours = !clock -. started in
+          Obs.Trace.span trace "deploy.attempt"
+            ~attrs:
+              [
+                ("attempt", Obs.Trace.Int !attempt_no);
+                ("rung", Obs.Trace.String (Res.Degrade.rung_label rung));
+                ("strategy", Obs.Trace.String strategy.Strategy.label);
+                ("at_hours", Obs.Trace.Float at_hours);
+              ]
+          @@ fun () ->
+          count "resilience.attempts_total";
+          (match rung with
+          | Res.Degrade.Primary -> ()
+          | Res.Degrade.Retry -> count "resilience.retries_total"
+          | Res.Degrade.Fallback -> count "resilience.fallbacks_total"
+          | Res.Degrade.Retriage -> count "resilience.retriages_total");
+          match breaker with
+          | Some b when not (Res.Breaker.allow b ~now_hours:!clock) ->
+              attempts := { rung; strategy; at_hours; result = None } :: !attempts;
+              Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "breaker_open");
+              `Short_circuit
+          | _ ->
+              let combo =
+                match strategy.Strategy.stages with
+                | combo :: _ -> combo
+                | [] -> assert false (* strategies have at least one stage *)
+              in
+              let task =
+                Sim.Task_spec.make ~kind:deploy.kind ~title:request.Deployment.label ()
+              in
+              let result =
+                Sim.Campaign.deploy ?ledger:deploy.ledger ~metrics ~faults:deploy.faults
+                  deploy.platform rng
+                  {
+                    Sim.Campaign.task;
+                    combo;
+                    window = deploy.window;
+                    capacity = deploy.capacity;
+                    guided = true;
+                  }
+              in
+              attempts := { rung; strategy; at_hours; result = Some result } :: !attempts;
+              if result.Sim.Campaign.workers_hired > 0 then begin
+                Option.iter Res.Breaker.record_success breaker;
+                Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "deployed");
+                Obs.Trace.add_attr trace "workers"
+                  (Obs.Trace.Int result.Sim.Campaign.workers_hired);
+                `Completed result
+              end
+              else begin
+                Option.iter (fun b -> Res.Breaker.record_failure b ~now_hours:!clock) breaker;
+                Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "empty");
+                `Empty
+              end
+        in
+        (* Walk the ladder: static candidates first, then — if every one of
+           them came back empty — a lazily computed re-triage candidate. *)
+        let static_candidates =
+          ((Res.Degrade.Primary, primary)
+           :: List.init (policy.retry.Res.Retry.max_attempts - 1) (fun _ ->
+                  (Res.Degrade.Retry, primary)))
+          @ (if policy.fallback then
+               List.map (fun s -> (Res.Degrade.Fallback, s)) fallbacks
+             else [])
+        in
+        let rec walk ~retriage_pending = function
+          | [] ->
+              if retriage_pending then
+                match
+                  Aggregator.retriage ~metrics ~trace ~relax:policy.relax
+                    ~strategies:aggregate.Aggregator.strategies request
+                with
+                | Some (_, repair) -> (
+                    match cheapest_first repair.Adpar.recommended with
+                    | strategy :: _ ->
+                        walk ~retriage_pending:false [ (Res.Degrade.Retriage, strategy) ]
+                    | [] -> Rejected All_attempts_empty)
+                | None -> Rejected All_attempts_empty
+              else Rejected All_attempts_empty
+          | (rung, strategy) :: rest -> (
+              incr attempt_no;
+              if !attempt_no > 1 then
+                clock := !clock +. Res.Retry.backoff policy.retry rng ~attempt:!attempt_no;
+              if
+                !attempt_no > 1
+                && !clock -. started > policy.retry.Res.Retry.deadline_hours
+              then Rejected Deadline_exhausted
+              else
+                match run_attempt rung strategy with
+                | `Completed result -> Completed result
+                | `Short_circuit -> Rejected Breaker_open
+                | `Empty -> walk ~retriage_pending rest)
+        in
+        let outcome = walk ~retriage_pending:policy.retriage static_candidates in
+        (match outcome with
+        | Completed _ -> Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "deployed")
+        | Rejected reason ->
+            count "resilience.rejections_total";
+            if reason = Breaker_open then count "resilience.breaker_open_total";
+            Obs.Trace.add_attr trace "outcome"
+              (Obs.Trace.String ("rejected: " ^ rejection_reason reason)));
+        Obs.Trace.add_attr trace "attempts" (Obs.Trace.Int (List.length !attempts));
+        {
+          request;
+          strategy = !last_strategy;
+          outcome;
+          attempts = List.rev !attempts;
+        })
+      satisfied
+  in
+  (match breaker with
+  | Some b ->
+      Obs.Registry.incr_by
+        (Obs.Registry.counter metrics "resilience.breaker_trips_total")
+        (Res.Breaker.trips b)
+  | None -> ());
+  Obs.Registry.set (Obs.Registry.gauge metrics "resilience.sim_clock_hours") !clock;
+  deployed
 
 let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
   match validate config ~strategies ~requests with
@@ -166,7 +339,8 @@ let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
                     match rng with Some rng -> rng | None -> Stratrec_util.Rng.create 2020
                   in
                   Obs.Trace.span trace "engine.deploy" (fun () ->
-                      deploy_satisfied ~metrics ~rng deploy (Aggregator.satisfied aggregate))
+                      deploy_satisfied ~metrics ~trace ~rng deploy aggregate
+                        (Aggregator.satisfied aggregate))
             in
             Obs.Registry.incr_by
               (Obs.Registry.counter metrics "engine.deploys_total")

@@ -13,17 +13,32 @@
     request batch, the engine triages it against the strategy catalog at
     the expected availability, and — when a {!deploy_config} is present —
     pushes every satisfied request's top recommendation onto the
-    (simulated) platform and measures what came back. *)
+    (simulated) platform and measures what came back.
+
+    The deploy stage is resilient (DESIGN.md §5d): faults from the
+    {!Stratrec_resilience.Fault} plan are injected into every platform
+    interaction, and each satisfied request walks the
+    {!Stratrec_resilience.Degrade} ladder — retry with backoff, fall back
+    to the next recommendation, re-triage through ADPaR at relaxed
+    thresholds — before the engine gives up with a typed
+    {!rejection}. *)
 
 (** Optional deployment stage: when present, each satisfied request's
     cheapest recommended strategy is deployed on the platform with its
-    first stage combo. *)
+    first stage combo, under the configured fault plan and resilience
+    policy. *)
 type deploy_config = {
   platform : Stratrec_crowdsim.Platform.t;
   kind : Stratrec_crowdsim.Task_spec.kind;
   window : Stratrec_crowdsim.Window.t;
   capacity : int;  (** workers per HIT *)
   ledger : Stratrec_crowdsim.Ledger.t option;  (** payment recording *)
+  faults : Stratrec_resilience.Fault.t;
+      (** fault plan injected into every recruit/deploy;
+          {!Stratrec_resilience.Fault.none} for a healthy platform *)
+  resilience : Stratrec_resilience.Degrade.policy;
+      (** the degradation ladder; {!Stratrec_resilience.Degrade.default}
+          reproduces the single-shot deploy stage *)
 }
 
 type config = {
@@ -46,10 +61,40 @@ type config = {
 val default_config : config
 (** Aggregator defaults, private per-run metrics, no deployment. *)
 
+(** Why the degradation ladder gave up on a request. *)
+type rejection =
+  | Breaker_open  (** the circuit breaker refused the attempt *)
+  | Deadline_exhausted
+      (** the next attempt's backoff would overshoot the retry policy's
+          deadline budget *)
+  | All_attempts_empty
+      (** every rung — including re-triage, when enabled — recruited no
+          workers *)
+
+val rejection_reason : rejection -> string
+(** Human-readable binding reason for a {!rejection}. *)
+
+type deploy_outcome =
+  | Completed of Stratrec_crowdsim.Campaign.result
+      (** some attempt recruited workers; its campaign result *)
+  | Rejected of rejection
+
+(** One rung execution of the ladder, in attempt order. *)
+type attempt = {
+  rung : Stratrec_resilience.Degrade.rung;
+  strategy : Stratrec_model.Strategy.t;
+  at_hours : float;
+      (** simulated hours since the request's first attempt *)
+  result : Stratrec_crowdsim.Campaign.result option;
+      (** [None] when the circuit breaker short-circuited the attempt
+          before it reached the platform *)
+}
+
 type deployed = {
   request : Stratrec_model.Deployment.t;
-  strategy : Stratrec_model.Strategy.t;  (** the recommendation deployed *)
-  outcome : Stratrec_crowdsim.Campaign.result;
+  strategy : Stratrec_model.Strategy.t;  (** the last strategy attempted *)
+  outcome : deploy_outcome;
+  attempts : attempt list;  (** full attempt history, oldest first *)
 }
 
 (** Triage tally of a run — the same numbers the metrics snapshot carries
@@ -80,7 +125,8 @@ type report = {
 
 type error =
   [ `Empty_catalog
-  | `Invalid_config of string  (** e.g. non-positive deploy capacity *)
+  | `Invalid_config of string
+    (** e.g. non-positive deploy capacity, malformed resilience policy *)
   | `Invalid_request of string  (** e.g. duplicate request ids *)
   | `Catalog of string  (** catalog file load/decode failure *) ]
 
@@ -104,13 +150,29 @@ val run :
   unit ->
   (report, error) result
 (** One full pipeline run. Validates up front (empty catalog, duplicate
-    request ids, deploy capacity), then never raises. [rng] (default: a
-    fresh seed-2020 generator) drives the deploy stage only; recommend-only
-    runs are deterministic in their inputs. The engine also records
+    request ids, deploy capacity, resilience policy ranges), then never
+    raises — under any fault plan, every satisfied request ends in a
+    [Completed] campaign result or a typed [Rejected]. [rng] (default: a
+    fresh seed-2020 generator) drives the deploy stage only — fault
+    draws, recruitment and backoff jitter all flow through it, so runs
+    are bit-reproducible from the seed; recommend-only runs are
+    deterministic in their inputs. The engine also records
     [engine.runs_total], [engine.deploys_total] and the
     [engine.run_seconds] span in the run's registry.
+
+    The deploy stage additionally records the resilience counters
+    ([resilience.attempts_total], [resilience.retries_total],
+    [resilience.fallbacks_total], [resilience.retriages_total],
+    [resilience.breaker_open_total], [resilience.rejections_total], all
+    registered at 0 up front), [resilience.breaker_trips_total] when a
+    breaker is configured, the [resilience.sim_clock_hours] gauge, and —
+    for non-empty fault plans — the [faults.*] injection counters.
 
     The run's trace carries an [engine.run] root span over the whole
     pipeline — the {!Aggregator.run} span tree (one [request] child per
     request, with the algorithm-phase spans below) plus an
-    [engine.deploy] span when a deploy stage runs. *)
+    [engine.deploy] span when a deploy stage runs. Under [engine.deploy],
+    each satisfied request opens a [deploy.request] span with one
+    [deploy.attempt] child per rung execution (attributes: attempt index,
+    rung, strategy, simulated offset, outcome) and — when the ladder
+    reaches re-triage — the [aggregator.retriage] span tree. *)

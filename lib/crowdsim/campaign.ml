@@ -1,6 +1,7 @@
 module Rng = Stratrec_util.Rng
 module Params = Stratrec_model.Params
 module Obs = Stratrec_obs
+module Fault = Stratrec_resilience.Fault
 
 type deployment = {
   task : Task_spec.t;
@@ -29,11 +30,30 @@ let empty_session units =
     task_units = units;
   }
 
-let deploy ?ledger ?(metrics = Obs.Registry.noop) platform rng d =
+let inject metrics kind =
+  Obs.Registry.incr (Obs.Registry.counter metrics "faults.injected_total");
+  Obs.Registry.incr (Obs.Registry.counter metrics ("faults." ^ kind ^ "_total"))
+
+let deploy ?ledger ?(metrics = Obs.Registry.noop) ?(faults = Fault.none) platform rng d =
   Obs.Registry.incr (Obs.Registry.counter metrics "campaign.hits_deployed_total");
   let { Platform.hired; availability; _ } =
-    Platform.recruit ~metrics platform rng ~kind:d.task.Task_spec.kind ~window:d.window
-      ~capacity:d.capacity
+    Platform.recruit ~metrics ~faults platform rng ~kind:d.task.Task_spec.kind
+      ~window:d.window ~capacity:d.capacity
+  in
+  (* Mid-session dropout: hired workers who abandon the HIT before
+     contributing. They are unpaid (abandoned HITs are not approved) and
+     leave the session to the survivors. *)
+  let hired =
+    if faults.Fault.dropout = 0. then hired
+    else
+      List.filter
+        (fun _ ->
+          if Rng.bernoulli rng ~p:faults.Fault.dropout then begin
+            inject metrics "dropout";
+            false
+          end
+          else true)
+        hired
   in
   Obs.Registry.incr_by
     (Obs.Registry.counter metrics "campaign.worker_assignments_total")
@@ -83,6 +103,16 @@ let deploy ?ledger ?(metrics = Obs.Registry.noop) platform rng d =
         +. if d.guided then 0. else 0.08
       in
       let latency = Float.max 0. (Float.min 1. (base.Params.latency +. rework_delay)) in
+      let latency =
+        (* Straggler fault: the deployment limps far past its expected
+           completion (1.0 = the window expired). *)
+        if faults.Fault.straggler > 0. && Rng.bernoulli rng ~p:faults.Fault.straggler
+        then begin
+          inject metrics "straggler";
+          Float.min 1. (latency *. faults.Fault.straggler_factor)
+        end
+        else latency
+      in
       let measured = { base with Params.quality; latency } in
       let dollars_spent = Task_spec.pay_per_worker *. float_of_int (List.length workers) in
       Obs.Registry.add
@@ -101,9 +131,9 @@ let deploy ?ledger ?(metrics = Obs.Registry.noop) platform rng d =
         dollars_spent;
       }
 
-let replicate platform rng d ~times =
+let replicate ?ledger ?metrics ?faults platform rng d ~times =
   if times <= 0 then invalid_arg "Campaign.replicate: times must be positive";
-  List.init times (fun _ -> deploy platform rng d)
+  List.init times (fun _ -> deploy ?ledger ?metrics ?faults platform rng d)
 
 let observations results =
   results |> List.map (fun r -> (r.availability, r.measured)) |> Array.of_list

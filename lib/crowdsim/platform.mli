@@ -26,16 +26,29 @@ type recruitment = {
 
 val recruit :
   ?metrics:Stratrec_obs.Registry.t ->
+  ?faults:Stratrec_resilience.Fault.t ->
   t -> Stratrec_util.Rng.t -> kind:Task_spec.kind -> window:Window.t -> capacity:int ->
   recruitment
 (** Draws the active subset of the qualified pool during [window] and hires
     up to [capacity]. @raise Invalid_argument if [capacity <= 0].
+
+    [faults] (default {!Stratrec_resilience.Fault.none}) injects platform
+    failures, every decision drawn from the run generator so faulted runs
+    replay bit-identically from the seed: an {e outage} covering the
+    window hires nobody without touching the pool, {e flaky
+    qualification} spuriously drops qualified workers from the pool, and
+    {e no-show} drops hired workers after the capacity cut — all three
+    depress the observed availability exactly as they would on the real
+    platform. Each injected event counts [faults.injected_total] plus its
+    per-kind counter ([faults.outage_total],
+    [faults.flaky_qualification_total], [faults.no_show_total]).
 
     [metrics] (default {!Stratrec_obs.Registry.noop}) records
     [platform.recruitments_total], [platform.workers_hired_total] and the
     [platform.availability] histogram (decile buckets). *)
 
 val estimate_availability :
+  ?faults:Stratrec_resilience.Fault.t ->
   t ->
   Stratrec_util.Rng.t ->
   kind:Task_spec.kind ->
@@ -45,4 +58,6 @@ val estimate_availability :
   Stratrec_model.Availability.t
 (** Repeats {!recruit} [samples] times and builds the empirical
     availability pdf — the estimation pipeline StratRec's Aggregator
-    consumes. *)
+    consumes. [faults] is threaded into every sampled recruitment, so a
+    fault plan collapses the estimated pdf the same way it collapses live
+    deployments. *)

@@ -4,6 +4,21 @@ let all = [ Weekend; Early_week; Late_week ]
 let index = function Weekend -> 0 | Early_week -> 1 | Late_week -> 2
 let label t = Printf.sprintf "Window-%d" (index t + 1)
 
+let name = function
+  | Weekend -> "weekend"
+  | Early_week -> "early-week"
+  | Late_week -> "late-week"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "weekend" -> Ok Weekend
+  | "early-week" -> Ok Early_week
+  | "late-week" -> Ok Late_week
+  | other ->
+      Error
+        (Printf.sprintf "unknown window %S (expected weekend, early-week or late-week)"
+           other)
+
 let span = function
   | Weekend -> "Friday 12am - Monday 12am"
   | Early_week -> "Monday - Thursday"

@@ -14,6 +14,15 @@ val index : t -> int
 val label : t -> string
 (** "Window-1" .. "Window-3", as in Fig. 11. *)
 
+val name : t -> string
+(** CLI spelling: ["weekend"], ["early-week"], ["late-week"] — the same
+    names {!Stratrec_resilience.Fault.of_string} uses for outage
+    windows. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!name}, case-insensitive. The error names the valid
+    spellings. *)
+
 val span : t -> string
 (** Human description, e.g. "Friday 12am – Monday 12am". *)
 

@@ -7,8 +7,9 @@
 
     Naming scheme: [<subsystem>.<metric>[_total]] with dot-separated
     subsystem prefixes ([aggregator.], [batchstrat.], [adpar.],
-    [stream.], [planner.], [platform.], [campaign.], [engine.]) and a
-    [_total] suffix on monotone counters — see DESIGN.md §Observability.
+    [stream.], [planner.], [platform.], [campaign.], [engine.],
+    [resilience.], [faults.]) and a [_total] suffix on monotone
+    counters — see DESIGN.md §Observability.
 
     Instruments are looked up by name: asking for an existing name with a
     different instrument kind raises [Invalid_argument]; asking for an

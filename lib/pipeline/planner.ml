@@ -3,6 +3,7 @@ module Sim = Stratrec_crowdsim
 module Rng = Stratrec_util.Rng
 module Forecast = Model.Forecast
 module Obs = Stratrec_obs
+module Fault = Stratrec_resilience.Fault
 
 type config = {
   aggregator : Stratrec.Aggregator.config;
@@ -12,6 +13,7 @@ type config = {
   ledger : Sim.Ledger.t option;
   metrics : Obs.Registry.t;
   trace : Obs.Trace.t;
+  faults : Fault.t;
 }
 
 let default_config =
@@ -23,6 +25,7 @@ let default_config =
     ledger = None;
     metrics = Obs.Registry.noop;
     trace = Obs.Trace.noop;
+    faults = Fault.none;
   }
 
 type window_report = {
@@ -63,8 +66,8 @@ let observe_probe t window =
   let combo = List.hd Model.Dimension.all_combos in
   let samples =
     List.init t.config.probe_replicates (fun _ ->
-        (Sim.Campaign.deploy ?ledger:t.config.ledger ~metrics:t.config.metrics t.platform
-           t.rng
+        (Sim.Campaign.deploy ?ledger:t.config.ledger ~metrics:t.config.metrics
+           ~faults:t.config.faults t.platform t.rng
            { Sim.Campaign.task = probe_task t; combo; window; capacity = t.config.capacity;
              guided = true })
           .Sim.Campaign.availability)
@@ -116,7 +119,8 @@ let deploy_recommendations t window satisfied =
       in
       let task = probe_task t in
       let result =
-        Sim.Campaign.deploy ?ledger:t.config.ledger ~metrics:t.config.metrics t.platform t.rng
+        Sim.Campaign.deploy ?ledger:t.config.ledger ~metrics:t.config.metrics
+          ~faults:t.config.faults t.platform t.rng
           { Sim.Campaign.task; combo; window; capacity = t.config.capacity; guided = true }
       in
       ((request, strategy, result.Sim.Campaign.measured), result.Sim.Campaign.availability))

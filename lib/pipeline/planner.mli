@@ -33,12 +33,15 @@ type config = {
           [planner.window] span (attributes: window label, request count,
           forecast) containing the {!Stratrec.Aggregator.run} span tree
           and a [planner.deploy] span over the platform deployments *)
+  faults : Stratrec_resilience.Fault.t;
+      (** fault plan injected into every campaign deployment, probes
+          included ({!Stratrec_resilience.Fault.none} by default) *)
 }
 
 val default_config : config
 (** Aggregator defaults, automatic forecasting, capacity 10, 3 probes, no
     ledger, {!Stratrec_obs.Registry.noop} metrics,
-    {!Stratrec_obs.Trace.noop} trace. *)
+    {!Stratrec_obs.Trace.noop} trace, no faults. *)
 
 type window_report = {
   window : Stratrec_crowdsim.Window.t;

@@ -1,0 +1,73 @@
+type config = {
+  failure_threshold : int;
+  cooldown_hours : float;
+  half_open_probes : int;
+}
+
+let default_config = { failure_threshold = 3; cooldown_hours = 24.; half_open_probes = 1 }
+
+type state = Closed | Open | Half_open
+
+let state_label = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;  (* simulated hours; meaningful while open *)
+  mutable probes_left : int;  (* meaningful while half-open *)
+  mutable trips : int;
+}
+
+let create ?(config = default_config) () =
+  if config.failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold must be >= 1";
+  if config.cooldown_hours < 0. then invalid_arg "Breaker.create: negative cooldown_hours";
+  if config.half_open_probes < 1 then
+    invalid_arg "Breaker.create: half_open_probes must be >= 1";
+  { config; state = Closed; consecutive_failures = 0; opened_at = 0.; probes_left = 0; trips = 0 }
+
+let config t = t.config
+let state t = t.state
+let trips t = t.trips
+
+let trip t ~now_hours =
+  t.state <- Open;
+  t.opened_at <- now_hours;
+  t.trips <- t.trips + 1
+
+let allow t ~now_hours =
+  match t.state with
+  | Closed -> true
+  | Open ->
+      if now_hours -. t.opened_at >= t.config.cooldown_hours then begin
+        (* Cooled down: half-open and grant this call as the first probe. *)
+        t.state <- Half_open;
+        t.probes_left <- t.config.half_open_probes - 1;
+        true
+      end
+      else false
+  | Half_open ->
+      if t.probes_left > 0 then begin
+        t.probes_left <- t.probes_left - 1;
+        true
+      end
+      else false
+
+let record_success t =
+  t.state <- Closed;
+  t.consecutive_failures <- 0
+
+let record_failure t ~now_hours =
+  match t.state with
+  | Open -> ()
+  | Half_open -> trip t ~now_hours
+  | Closed ->
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      if t.consecutive_failures >= t.config.failure_threshold then begin
+        t.consecutive_failures <- 0;
+        trip t ~now_hours
+      end

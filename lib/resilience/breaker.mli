@@ -1,0 +1,57 @@
+(** A per-platform circuit breaker over deployment outcomes.
+
+    The classic three-state machine, on the run's simulated clock
+    (hours): {e closed} while deployments succeed; after
+    [failure_threshold] consecutive empty or faulted deployments it
+    {e opens} and every deploy is short-circuited into a typed rejection
+    without touching the platform; once [cooldown_hours] of simulated
+    time have passed it {e half-opens} and lets [half_open_probes]
+    probe deployments through — one success closes it again, one failure
+    re-opens it and restarts the cooldown.
+
+    The breaker is deliberately clock-driven rather than wall-driven:
+    given the same seed and fault plan, the same deployments fail at the
+    same simulated instants and the breaker traces the same transitions,
+    which is what makes chaos runs bit-reproducible. *)
+
+type config = {
+  failure_threshold : int;  (** consecutive failures before opening, >= 1 *)
+  cooldown_hours : float;  (** open -> half-open delay in simulated hours *)
+  half_open_probes : int;  (** probes allowed while half-open, >= 1 *)
+}
+
+val default_config : config
+(** 3 consecutive failures, 24h cooldown, 1 probe. *)
+
+type state = Closed | Open | Half_open
+
+val state_label : state -> string
+(** ["closed"] / ["open"] / ["half-open"]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Fresh closed breaker. @raise Invalid_argument on a non-positive
+    threshold or probe count, or a negative cooldown. *)
+
+val config : t -> config
+val state : t -> state
+
+val allow : t -> now_hours:float -> bool
+(** Whether a deployment may proceed at this simulated instant. Closed:
+    always. Open: [false] until the cooldown has elapsed, at which point
+    the breaker half-opens and the call is granted as a probe.
+    Half-open: grants up to [half_open_probes] probes (each grant
+    consumes one) until a success or failure is recorded. *)
+
+val record_success : t -> unit
+(** A deployment hired workers: closes the breaker and resets the
+    consecutive-failure count. *)
+
+val record_failure : t -> now_hours:float -> unit
+(** A deployment came back empty or faulted. Closed: counts towards the
+    threshold and opens when reached. Half-open: re-opens immediately.
+    Open: no-op (short-circuited deploys record nothing). *)
+
+val trips : t -> int
+(** Times the breaker has transitioned to open. *)

@@ -1,0 +1,53 @@
+type rung = Primary | Retry | Fallback | Retriage
+
+let rung_label = function
+  | Primary -> "primary"
+  | Retry -> "retry"
+  | Fallback -> "fallback"
+  | Retriage -> "retriage"
+
+type policy = {
+  retry : Retry.policy;
+  fallback : bool;
+  retriage : bool;
+  relax : float;
+  breaker : Breaker.config option;
+}
+
+let default =
+  { retry = Retry.default; fallback = false; retriage = false; relax = 0.15; breaker = None }
+
+let resilient =
+  {
+    retry = Retry.make ~max_attempts:3 ();
+    fallback = true;
+    retriage = true;
+    relax = 0.15;
+    breaker = Some Breaker.default_config;
+  }
+
+let validate policy =
+  let { retry = { Retry.max_attempts; backoff_hours; multiplier; jitter; deadline_hours };
+        relax;
+        breaker;
+        _ } =
+    policy
+  in
+  if max_attempts < 1 then Error "retry max_attempts must be >= 1"
+  else if backoff_hours < 0. then Error "retry backoff_hours must be non-negative"
+  else if multiplier < 1. then Error "retry multiplier must be >= 1"
+  else if not (jitter >= 0. && jitter <= 1.) then Error "retry jitter must be in [0, 1]"
+  else if deadline_hours < 0. then Error "retry deadline_hours must be non-negative"
+  else if not (relax >= 0. && relax <= 1.) then Error "retriage relax must be in [0, 1]"
+  else
+    match breaker with
+    | Some { Breaker.failure_threshold; cooldown_hours; half_open_probes } ->
+        if failure_threshold < 1 then Error "breaker failure_threshold must be >= 1"
+        else if cooldown_hours < 0. then Error "breaker cooldown_hours must be non-negative"
+        else if half_open_probes < 1 then Error "breaker half_open_probes must be >= 1"
+        else Ok ()
+    | None -> Ok ()
+
+let with_retries policy n =
+  if n < 0 then invalid_arg "Degrade.with_retries: negative retry count";
+  { policy with retry = { policy.retry with Retry.max_attempts = n + 1 } }

@@ -1,0 +1,59 @@
+(** The graceful-degradation ladder the engine's deploy stage walks.
+
+    When a deployment attempt comes back empty (or the platform faults),
+    the ladder descends rung by rung instead of reporting the failure
+    as-is:
+
+    + {e Retry} the same strategy, up to {!Retry.policy.max_attempts}
+      total attempts with exponential backoff in simulated time;
+    + {e Fall back} to the next-cheapest recommended strategy of the
+      same request;
+    + {e Re-triage} through ADPaR with the request thresholds relaxed by
+      [relax] per axis, deploying the cheapest strategy the relaxed
+      alternative admits;
+    + give up with a {e typed rejection} carrying the binding reason.
+
+    Every rung is subject to the retry policy's deadline budget and — when
+    a {!Breaker} is configured — to the platform's circuit breaker. The
+    policy record here is pure configuration; the sequencing lives in
+    [Stratrec.Engine] (which owns the strategies and the ADPaR access the
+    upper rungs need). *)
+
+(** Which rung of the ladder launched an attempt. *)
+type rung =
+  | Primary  (** the first attempt on the recommended strategy *)
+  | Retry  (** a re-attempt on the same strategy *)
+  | Fallback  (** the next-cheapest recommended strategy *)
+  | Retriage  (** a strategy admitted by the relaxed ADPaR alternative *)
+
+val rung_label : rung -> string
+(** ["primary"] / ["retry"] / ["fallback"] / ["retriage"]. *)
+
+type policy = {
+  retry : Retry.policy;
+  fallback : bool;  (** descend to the remaining recommended strategies *)
+  retriage : bool;  (** descend to the relaxed ADPaR alternative *)
+  relax : float;
+      (** per-axis threshold relaxation for the retriage rung (quality
+          bound lowered, cost/latency bounds raised), in [\[0, 1\]] *)
+  breaker : Breaker.config option;  (** [None]: no circuit breaking *)
+}
+
+val default : policy
+(** One attempt, no fallback, no retriage, no breaker — exactly the
+    pre-resilience single-shot deploy stage. *)
+
+val resilient : policy
+(** The full ladder: 3 attempts with {!Retry.default} backoff, fallback
+    and retriage (relax 0.15) on, {!Breaker.default_config}. *)
+
+val validate : policy -> (unit, string) result
+(** Field-range check for policies assembled by hand (record literals
+    bypass {!Retry.make} / {!Breaker.create} validation). The engine
+    calls this up front so a malformed policy is a typed configuration
+    error, never a mid-run exception. The error names the offending
+    field. *)
+
+val with_retries : policy -> int -> policy
+(** [with_retries p n] allows [n] retries on top of the first attempt
+    ([max_attempts = n + 1]). @raise Invalid_argument if [n < 0]. *)

@@ -1,0 +1,189 @@
+module Rng = Stratrec_util.Rng
+
+type t = {
+  no_show : float;
+  dropout : float;
+  straggler : float;
+  straggler_factor : float;
+  flaky_qualification : float;
+  outages : int list;
+}
+
+let none =
+  {
+    no_show = 0.;
+    dropout = 0.;
+    straggler = 0.;
+    straggler_factor = 1.;
+    flaky_qualification = 0.;
+    outages = [];
+  }
+
+let is_none t =
+  t.no_show = 0. && t.dropout = 0. && t.straggler = 0. && t.flaky_qualification = 0.
+  && t.outages = []
+
+let window_count = 3
+
+let check_probability name p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Fault.make: %s probability %g outside [0, 1]" name p)
+
+let normalize_outages outages =
+  List.iter
+    (fun w ->
+      if w < 0 || w >= window_count then
+        invalid_arg (Printf.sprintf "Fault.make: outage window index %d outside [0, 2]" w))
+    outages;
+  List.sort_uniq compare outages
+
+let make ?(no_show = 0.) ?(dropout = 0.) ?(straggler = (0., 1.)) ?(flaky_qualification = 0.)
+    ?(outages = []) () =
+  let straggler_p, straggler_factor = straggler in
+  check_probability "no-show" no_show;
+  check_probability "dropout" dropout;
+  check_probability "straggler" straggler_p;
+  check_probability "flaky-qualification" flaky_qualification;
+  if straggler_factor < 1. then
+    invalid_arg
+      (Printf.sprintf "Fault.make: straggler factor %g must be >= 1" straggler_factor);
+  {
+    no_show;
+    dropout;
+    straggler = straggler_p;
+    straggler_factor;
+    flaky_qualification;
+    outages = normalize_outages outages;
+  }
+
+let combine a b =
+  {
+    no_show = Float.max a.no_show b.no_show;
+    dropout = Float.max a.dropout b.dropout;
+    straggler = Float.max a.straggler b.straggler;
+    straggler_factor = Float.max a.straggler_factor b.straggler_factor;
+    flaky_qualification = Float.max a.flaky_qualification b.flaky_qualification;
+    outages = List.sort_uniq compare (a.outages @ b.outages);
+  }
+
+let outage t ~window = List.mem window t.outages
+
+let random rng =
+  let maybe_p () = if Rng.bool rng then Rng.float rng 0.95 else 0. in
+  let no_show = maybe_p () in
+  let dropout = maybe_p () in
+  let straggler =
+    if Rng.bool rng then (Rng.float rng 0.95, Rng.uniform rng ~lo:1. ~hi:3.) else (0., 1.)
+  in
+  let flaky_qualification = maybe_p () in
+  let outages =
+    if Rng.bool rng then
+      List.filter (fun _ -> Rng.bernoulli rng ~p:0.4) [ 0; 1; 2 ]
+    else []
+  in
+  make ~no_show ~dropout ~straggler ~flaky_qualification ~outages ()
+
+(* CLI spelling. Window names mirror Stratrec_crowdsim.Window.all order;
+   the mapping is duplicated here because the resilience layer sits below
+   crowdsim in the dependency order. *)
+
+let window_names = [ ("weekend", 0); ("early-week", 1); ("late-week", 2) ]
+
+let window_name index =
+  match List.find_opt (fun (_, i) -> i = index) window_names with
+  | Some (name, _) -> name
+  | None -> string_of_int index
+
+let parse_probability ~fault s =
+  match float_of_string_opt (String.trim s) with
+  | Some p when p >= 0. && p <= 1. -> Ok p
+  | Some p -> Error (Printf.sprintf "%s probability %g outside [0, 1]" fault p)
+  | None -> Error (Printf.sprintf "%s: %S is not a number" fault s)
+
+let parse_outage_windows s =
+  let parts = String.split_on_char '+' s in
+  let rec go acc = function
+    | [] -> Ok (List.sort_uniq compare acc)
+    | part :: rest -> (
+        match String.trim part with
+        | "*" -> Ok [ 0; 1; 2 ]
+        | name -> (
+            match List.assoc_opt (String.lowercase_ascii name) window_names with
+            | Some index -> go (index :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown window %S (weekend|early-week|late-week|*)" name)))
+  in
+  go [] parts
+
+let parse_item plan item =
+  match String.index_opt item '=' with
+  | None -> Error (Printf.sprintf "unknown fault %S (expected NAME=VALUE)" item)
+  | Some eq -> (
+      let name = String.lowercase_ascii (String.trim (String.sub item 0 eq)) in
+      let value = String.sub item (eq + 1) (String.length item - eq - 1) in
+      match name with
+      | "no-show" ->
+          Result.map (fun p -> { plan with no_show = p }) (parse_probability ~fault:name value)
+      | "dropout" ->
+          Result.map (fun p -> { plan with dropout = p }) (parse_probability ~fault:name value)
+      | "flaky-qual" | "flaky-qualification" ->
+          Result.map
+            (fun p -> { plan with flaky_qualification = p })
+            (parse_probability ~fault:name value)
+      | "straggler" -> (
+          match String.split_on_char ':' value with
+          | [ p; factor ] -> (
+              match (parse_probability ~fault:name p, float_of_string_opt (String.trim factor)) with
+              | Ok p, Some f when f >= 1. ->
+                  Ok { plan with straggler = p; straggler_factor = f }
+              | Ok _, Some f -> Error (Printf.sprintf "straggler factor %g must be >= 1" f)
+              | Ok _, None -> Error (Printf.sprintf "straggler factor %S is not a number" factor)
+              | (Error _ as e), _ -> e |> Result.map (fun _ -> plan))
+          | _ -> Error (Printf.sprintf "straggler %S should be P:FACTOR" value))
+      | "outage" ->
+          Result.map
+            (fun ws -> { plan with outages = List.sort_uniq compare (ws @ plan.outages) })
+            (parse_outage_windows value)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown fault %S (no-show|dropout|straggler|flaky-qual|outage)" name))
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "none" -> Ok none
+  | _ ->
+      String.split_on_char ',' s
+      |> List.fold_left
+           (fun acc item -> Result.bind acc (fun plan -> parse_item plan (String.trim item)))
+           (Ok none)
+
+let to_string t =
+  if is_none t then "none"
+  else
+    let items = [] in
+    let items =
+      if t.outages = [] then items
+      else
+        Printf.sprintf "outage=%s" (String.concat "+" (List.map window_name t.outages))
+        :: items
+    in
+    let items =
+      if t.flaky_qualification = 0. then items
+      else Printf.sprintf "flaky-qual=%g" t.flaky_qualification :: items
+    in
+    let items =
+      if t.straggler = 0. then items
+      else Printf.sprintf "straggler=%g:%g" t.straggler t.straggler_factor :: items
+    in
+    let items =
+      if t.dropout = 0. then items else Printf.sprintf "dropout=%g" t.dropout :: items
+    in
+    let items =
+      if t.no_show = 0. then items else Printf.sprintf "no-show=%g" t.no_show :: items
+    in
+    String.concat "," items
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

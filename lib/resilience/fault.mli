@@ -1,0 +1,73 @@
+(** Deterministic, seed-driven fault plans for the simulated crowd
+    platform.
+
+    A plan bundles the failure modes the paper's AMT study kept running
+    into (§5.1): workers who accept a HIT and never show up, workers who
+    abandon the session halfway, whole deployment windows in which the
+    platform is unreachable, deployments that straggle far past their
+    expected latency, and qualification tests that spuriously reject
+    qualified workers.
+
+    A plan is pure data — it owns no randomness. Injection sites
+    ({!Stratrec_crowdsim.Platform.recruit},
+    {!Stratrec_crowdsim.Campaign.deploy}) draw every fault decision from
+    the [Rng.t] they already thread, so a run with the same seed and the
+    same plan reproduces the same faults bit for bit. Plans compose with
+    {!combine} and round-trip through the CLI spelling
+    ({!of_string}/{!to_string}). *)
+
+type t = {
+  no_show : float;  (** per-hired-worker probability of never showing up *)
+  dropout : float;  (** per-worker probability of abandoning mid-session *)
+  straggler : float;  (** per-deployment probability of latency inflation *)
+  straggler_factor : float;  (** latency multiplier when straggling, >= 1 *)
+  flaky_qualification : float;
+      (** per-qualified-worker probability of spuriously failing the test *)
+  outages : int list;
+      (** window indices (see {!Stratrec_crowdsim.Window.index}) during
+          which the platform is down: recruitment returns nobody *)
+}
+
+val none : t
+(** The empty plan: every probability 0, no outages. Injection sites
+    treat it as "fault injection off". *)
+
+val is_none : t -> bool
+
+val make :
+  ?no_show:float ->
+  ?dropout:float ->
+  ?straggler:float * float ->
+  ?flaky_qualification:float ->
+  ?outages:int list ->
+  unit ->
+  t
+(** Validated construction. @raise Invalid_argument if a probability is
+    outside [\[0, 1\]], the straggler factor is < 1, or a window index is
+    outside [\[0, 2\]]. *)
+
+val combine : t -> t -> t
+(** Composes two plans: the worse (larger) probability and factor per
+    axis, the union of outage windows. [combine none p = p]. *)
+
+val outage : t -> window:int -> bool
+(** Whether the plan takes the platform down during this window index. *)
+
+val random : Stratrec_util.Rng.t -> t
+(** A randomized plan for chaos testing: each fault is present with
+    probability 1/2, with uniformly drawn magnitudes (probabilities up to
+    0.95, straggler factor in [1, 3], any subset of windows down).
+    Deterministic in the generator state. *)
+
+val of_string : string -> (t, string) result
+(** Parses the CLI spelling: a comma-separated list of faults, or
+    ["none"]. Faults: [no-show=P], [dropout=P], [straggler=P:FACTOR],
+    [flaky-qual=P], [outage=W] where [W] is [weekend], [early-week],
+    [late-week] or [*] (all windows), with multiple windows joined by
+    [+]. Example: ["no-show=0.3,straggler=0.5:1.8,outage=weekend"].
+    Errors name the offending fault or value. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string} (["none"] for the empty plan). *)
+
+val pp : Format.formatter -> t -> unit

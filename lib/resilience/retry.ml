@@ -1,0 +1,38 @@
+module Rng = Stratrec_util.Rng
+
+type policy = {
+  max_attempts : int;
+  backoff_hours : float;
+  multiplier : float;
+  jitter : float;
+  deadline_hours : float;
+}
+
+let default =
+  {
+    max_attempts = 1;
+    backoff_hours = 6.;
+    multiplier = 2.;
+    jitter = 0.2;
+    deadline_hours = 216.;
+  }
+
+let make ?(max_attempts = default.max_attempts) ?(backoff_hours = default.backoff_hours)
+    ?(multiplier = default.multiplier) ?(jitter = default.jitter)
+    ?(deadline_hours = default.deadline_hours) () =
+  if max_attempts < 1 then invalid_arg "Retry.make: max_attempts must be >= 1";
+  if backoff_hours < 0. then invalid_arg "Retry.make: negative backoff_hours";
+  if multiplier < 1. then invalid_arg "Retry.make: multiplier must be >= 1";
+  if not (jitter >= 0. && jitter <= 1.) then
+    invalid_arg "Retry.make: jitter outside [0, 1]";
+  if deadline_hours < 0. then invalid_arg "Retry.make: negative deadline_hours";
+  { max_attempts; backoff_hours; multiplier; jitter; deadline_hours }
+
+let backoff policy rng ~attempt =
+  if attempt < 1 then invalid_arg "Retry.backoff: attempt must be >= 1";
+  if attempt = 1 then 0.
+  else
+    let base = policy.backoff_hours *. (policy.multiplier ** float_of_int (attempt - 2)) in
+    if base <= 0. then 0.
+    else if policy.jitter = 0. then base
+    else base *. Rng.uniform rng ~lo:(1. -. policy.jitter) ~hi:(1. +. policy.jitter)

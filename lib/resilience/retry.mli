@@ -1,0 +1,45 @@
+(** Retry policies for failed or empty deployments.
+
+    Time is {e simulated window time}, in hours, on the same axis as
+    {!Stratrec_crowdsim.Window.duration_hours} — a retry does not sleep,
+    it advances the run's simulated clock, which is what the circuit
+    breaker's cooldown and the per-request deadline budget are measured
+    against. Backoff grows exponentially with a jitter drawn from the
+    run's [Rng.t], so schedules are reproducible from the seed. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts on the same strategy, >= 1 *)
+  backoff_hours : float;  (** pause before the second attempt, >= 0 *)
+  multiplier : float;  (** exponential backoff growth, >= 1 *)
+  jitter : float;
+      (** uniform +/- fraction of each pause, in [\[0, 1\]] — drawn from
+          the run generator, so deterministic per seed *)
+  deadline_hours : float;
+      (** per-request budget for the whole degradation ladder: once the
+          simulated clock has advanced this far past the request's first
+          attempt, remaining rungs are abandoned *)
+}
+
+val default : policy
+(** Single attempt, 6h base backoff, x2 growth, 20% jitter, 216h (three
+    windows) deadline — the engine's pre-resilience single-shot
+    behaviour. *)
+
+val make :
+  ?max_attempts:int ->
+  ?backoff_hours:float ->
+  ?multiplier:float ->
+  ?jitter:float ->
+  ?deadline_hours:float ->
+  unit ->
+  policy
+(** {!default} with overrides. @raise Invalid_argument when a field is
+    outside its documented range. *)
+
+val backoff : policy -> Stratrec_util.Rng.t -> attempt:int -> float
+(** The simulated pause in hours before attempt number [attempt] (the
+    first attempt is 1 and pauses 0): [backoff_hours * multiplier ^
+    (attempt - 2)], scaled by a uniform factor in [1 - jitter, 1 +
+    jitter). Consumes one draw from the generator whenever both the base
+    pause and the jitter are positive.
+    @raise Invalid_argument if [attempt < 1]. *)

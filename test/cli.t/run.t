@@ -101,3 +101,62 @@ rejected by the argument parser itself.
   stratrec: option '--request': expected QUALITY,COST,LATENCY
   $ stratrec recommend --objective bogus 2>&1 | head -1
   stratrec: option '--objective': unknown objective "bogus" (throughput|payoff)
+
+The deploy stage is opt-in: --deploy simulates the recommended
+strategies on the crowd platform and reports one line per satisfied
+request. The recommendation output above it is byte-identical to the
+plain run.
+
+  $ stratrec example --deploy
+  W=0.800 objective(throughput)=1.0000 used=0.8000
+    d1: alternative {q=0.400; c=0.500; l=0.280} (distance 0.3300)
+    d2: alternative {q=0.750; c=0.580; l=0.280} (distance 0.3833)
+    d3: satisfied (w=0.800) with [s4 (SIM-IND-HYB); s3 (SIM-IND-CRO); s2 (SEQ-IND-CRO)]
+  
+  deployments:
+    d3: deployed s4 (SIM-IND-HYB) after 1 attempt (3 workers)
+
+--faults injects a deterministic fault plan and --retries arms the
+resilient degradation ladder (retry, fallback, re-triage, breaker).
+Under a weekend outage plus heavy churn the ladder exhausts every rung
+and ends in a typed rejection, not a crash.
+
+  $ stratrec example --faults no-show=0.6,dropout=0.5,outage=weekend --retries 2
+  W=0.800 objective(throughput)=1.0000 used=0.8000
+    d1: alternative {q=0.400; c=0.500; l=0.280} (distance 0.3300)
+    d2: alternative {q=0.750; c=0.580; l=0.280} (distance 0.3833)
+    d3: satisfied (w=0.800) with [s4 (SIM-IND-HYB); s3 (SIM-IND-CRO); s2 (SEQ-IND-CRO)]
+  
+  deployments:
+    d3: rejected after 6 attempts: every attempt came back empty
+
+Every attempt lands in the metrics snapshot under the resilience.* and
+faults.* counters.
+
+  $ stratrec example --faults no-show=0.6,dropout=0.5,outage=weekend --retries 2 --metrics \
+  >   | awk '/^(resilience|faults)/ && /counter/ {print $1, $3}'
+  faults.injected_total 6
+  faults.outage_total 6
+  resilience.attempts_total 6
+  resilience.breaker_open_total 0
+  resilience.breaker_trips_total 4
+  resilience.fallbacks_total 2
+  resilience.rejections_total 1
+  resilience.retriages_total 1
+  resilience.retries_total 2
+
+A malformed fault plan is rejected by the argument parser itself, with
+the usual Cmdliner CLI-error exit code.
+
+  $ stratrec example --faults bogus=1 2>&1 | head -2
+  stratrec: option '--faults': unknown fault "bogus"
+            (no-show|dropout|straggler|flaky-qual|outage)
+  $ stratrec example --faults bogus=1 2>/dev/null
+  [124]
+
+A deploy configuration that cannot recruit anyone is a typed engine
+error before any simulation runs.
+
+  $ stratrec recommend --deploy --capacity 0
+  stratrec: invalid engine configuration: deploy capacity must be positive
+  [124]

@@ -12,6 +12,7 @@ module Json = Stratrec_util.Json
 module Model = Stratrec_model
 module Engine = Stratrec.Engine
 module Sim = Stratrec_crowdsim
+module Resilience = Stratrec_resilience
 
 (* Instruments *)
 
@@ -390,6 +391,8 @@ let test_engine_deploy_stage () =
             window = Sim.Window.Weekend;
             capacity = 5;
             ledger = None;
+            faults = Resilience.Fault.none;
+            resilience = Resilience.Degrade.default;
           };
     }
   in
@@ -404,6 +407,69 @@ let test_engine_deploy_stage () =
         (Snapshot.counter_value report.Engine.metrics "engine.deploys_total");
       Alcotest.(check bool) "campaign metrics recorded" true
         (Snapshot.counter_value report.Engine.metrics "campaign.hits_deployed_total" > 0)
+
+(* Acceptance: under faults with the resilient ladder on, every
+   deploy.attempt span must nest under its deploy.request span, which in
+   turn nests under the engine.deploy stage span — checked through the
+   same Chrome renderer the CLI's --trace flag uses. *)
+
+let test_engine_deploy_trace_nesting () =
+  let availability, strategies, requests = paper_inputs () in
+  let rng = Stratrec_util.Rng.create 11 in
+  let config =
+    {
+      Engine.default_config with
+      Engine.deploy =
+        Some
+          {
+            Engine.platform = Sim.Platform.create rng ~population:200;
+            kind = Sim.Task_spec.Sentence_translation;
+            window = Sim.Window.Weekend;
+            capacity = 5;
+            ledger = None;
+            faults = Resilience.Fault.make ~no_show:0.5 ~dropout:0.3 ();
+            resilience = Resilience.Degrade.with_retries Resilience.Degrade.resilient 2;
+          };
+    }
+  in
+  match Engine.run ~config ~rng ~availability ~strategies ~requests () with
+  | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_message e)
+  | Ok report ->
+      let json = Trace.to_chrome_json report.Engine.trace in
+      let events = Option.get (Json.to_list (Option.get (Json.member "traceEvents" json))) in
+      let spans =
+        List.filter (fun e -> Json.member "ph" e = Some (Json.String "X")) events
+      in
+      let name e = Option.get (Json.to_string_value (Option.get (Json.member "name" e))) in
+      let args e = Option.get (Json.member "args" e) in
+      let span_id e = Json.member "span_id" (args e) in
+      let parent_id e = Json.member "parent_id" (args e) in
+      let stage = List.filter (fun e -> name e = "engine.deploy") spans in
+      Alcotest.(check int) "one deploy stage span" 1 (List.length stage);
+      let stage = List.hd stage in
+      let request_spans = List.filter (fun e -> name e = "deploy.request") spans in
+      Alcotest.(check int) "one deploy.request span per satisfied request"
+        report.Engine.counts.Engine.satisfied
+        (List.length request_spans);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "deploy.request nests under engine.deploy" true
+            (parent_id r = span_id stage))
+        request_spans;
+      let attempt_spans = List.filter (fun e -> name e = "deploy.attempt") spans in
+      let total_attempts =
+        List.fold_left
+          (fun acc (d : Engine.deployed) -> acc + List.length d.Engine.attempts)
+          0 report.Engine.deployed
+      in
+      Alcotest.(check bool) "attempt history is non-trivial" true (total_attempts > 0);
+      Alcotest.(check int) "one deploy.attempt span per recorded attempt" total_attempts
+        (List.length attempt_spans);
+      List.iter
+        (fun a ->
+          Alcotest.(check bool) "deploy.attempt nests under a deploy.request span" true
+            (List.exists (fun r -> span_id r = parent_id a) request_spans))
+        attempt_spans
 
 let test_engine_shared_registry_accumulates () =
   let availability, strategies, requests = paper_inputs () in
@@ -442,6 +508,8 @@ let test_engine_errors () =
             window = Sim.Window.Weekend;
             capacity = 0;
             ledger = None;
+            faults = Resilience.Fault.none;
+            resilience = Resilience.Degrade.default;
           };
     }
   in
@@ -675,6 +743,7 @@ let () =
         [
           Alcotest.test_case "counts match snapshot" `Quick test_engine_counts_match_snapshot;
           Alcotest.test_case "deploy stage" `Quick test_engine_deploy_stage;
+          Alcotest.test_case "deploy trace nesting" `Quick test_engine_deploy_trace_nesting;
           Alcotest.test_case "shared registry accumulates" `Quick
             test_engine_shared_registry_accumulates;
           Alcotest.test_case "typed errors" `Quick test_engine_errors;

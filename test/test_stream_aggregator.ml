@@ -6,6 +6,8 @@ module Params = Model.Params
 module Deployment = Model.Deployment
 module Rng = Stratrec_util.Rng
 module S = Stratrec.Stream_aggregator
+module Sim = Stratrec_crowdsim
+module Fault = Stratrec_resilience.Fault
 
 let catalog seed n =
   Model.Workload.strategies (Rng.create seed) ~n ~kind:Model.Workload.Uniform
@@ -145,6 +147,49 @@ let prop_budget_conservation =
         ops;
       !ok)
 
+(* Mid-stream fault plan: a platform outage collapses the availability
+   estimate, the catalog re-instantiated at the collapsed estimate no
+   longer meets thresholds that were fine while the platform was healthy,
+   and the same request shape shifts from Admitted to an ADPaR
+   alternative. Triage degrades; nothing raises. *)
+let test_mid_stream_fault_collapse () =
+  let rng = Rng.create 17 in
+  let platform = Sim.Platform.create rng ~population:300 in
+  let window = Sim.Window.Early_week in
+  let kind = Sim.Task_spec.Sentence_translation in
+  let estimate ?faults () =
+    Model.Availability.expected
+      (Sim.Platform.estimate_availability ?faults platform rng ~kind ~window ~capacity:10
+         ~samples:20)
+  in
+  let healthy = estimate () in
+  Alcotest.(check bool) "healthy platform attracts workers" true (healthy > 0.3);
+  let base = catalog 13 100 in
+  let instantiate availability =
+    Array.map (fun s -> Model.Strategy.instantiate s ~availability) base
+  in
+  (* Generous cost/latency budgets, demanding quality: the synthetic
+     linear responses rise with availability, so quality 0.85 is easy at
+     the healthy estimate and unreachable at a collapsed one. *)
+  let demanding id = request id (0.85, 1.0, 1.0) in
+  let session = S.create ~strategies:(instantiate healthy) ~workforce:healthy () in
+  (match S.submit session (demanding 0) with
+  | S.Admitted _ -> ()
+  | _ -> Alcotest.fail "healthy estimate should admit the request");
+  (* The outage hits mid-stream: the same estimator now sees an empty
+     window, and the collapsed estimate re-triages the same shape. *)
+  let faults = Fault.make ~outages:[ Sim.Window.index window ] () in
+  let collapsed = estimate ~faults () in
+  Alcotest.(check (float 1e-9)) "outage collapses the estimate" 0. collapsed;
+  let session = S.create ~strategies:(instantiate collapsed) ~workforce:collapsed () in
+  match S.submit session (demanding 1) with
+  | S.Alternative r ->
+      Alcotest.(check bool) "repair at positive distance" true
+        (r.Stratrec.Adpar.distance > 0.)
+  | S.Admitted _ -> Alcotest.fail "collapsed availability should not admit"
+  | S.Workforce_limited -> Alcotest.fail "thresholds should bind before the budget"
+  | _ -> Alcotest.fail "expected an ADPaR alternative"
+
 (* Weighted objective. *)
 
 let test_config_based_create () =
@@ -245,6 +290,8 @@ let () =
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
           Alcotest.test_case "config-based create" `Quick test_config_based_create;
           Alcotest.test_case "metrics" `Quick test_stream_metrics;
+          Alcotest.test_case "mid-stream fault collapse" `Quick
+            test_mid_stream_fault_collapse;
           Tq.to_alcotest prop_budget_conservation;
         ] );
       ( "weighted objective",
