@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the one the checks run.
 
-.PHONY: all build test ci fmt clean bench-smoke chaos
+.PHONY: all build test ci fmt clean bench-smoke chaos par
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 # One tiny traced iteration of every experiment: proves each bench still
 # executes end to end (non-zero exit fails the target) and that the trace
 # file is produced. Runs in seconds.
-BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation chaos
+BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation par chaos
 bench-smoke: build
 	@tmp=$$(mktemp -d) && \
 	trap 'rm -rf "$$tmp"' EXIT && \
@@ -35,6 +35,23 @@ chaos: build
 	dune exec bench/main.exe -- --smoke --trace "$$tmp/chaos.json" --only chaos && \
 	test -s "$$tmp/chaos.json" || { echo "chaos: bench wrote no trace"; exit 1; }
 
+# Parallelism gate: the lib/par unit and bit-identity property tests,
+# then a smoke iteration of the scaling experiment, whose sequential-vs-
+# parallel fingerprint comparison exits non-zero on any divergence, and a
+# CLI-level byte-identity check of --domains 4 against --domains 1.
+par: build
+	dune exec test/test_par.exe
+	dune exec bench/main.exe -- --smoke --only par
+	@tmp=$$(mktemp -d) && \
+	trap 'rm -rf "$$tmp"' EXIT && \
+	dune exec bin/stratrec_cli.exe -- example --metrics --domains 1 \
+	  | awk '/counter/ {print $$1, $$3}' > "$$tmp/seq" && \
+	dune exec bin/stratrec_cli.exe -- example --metrics --domains 4 \
+	  | awk '/counter/ {print $$1, $$3}' > "$$tmp/par" && \
+	diff "$$tmp/seq" "$$tmp/par" \
+	  || { echo "par: --domains 4 diverged from --domains 1"; exit 1; }
+	@echo "par: sequential/parallel outputs identical"
+
 # Full gate: everything compiles (libraries, CLI, examples, benches),
 # every test passes (unit, property, cram, example smoke-runs), every
 # benchmark still runs (one smoke iteration, traced), and the tree
@@ -46,6 +63,7 @@ ci:
 	dune runtest
 	$(MAKE) bench-smoke
 	$(MAKE) chaos
+	$(MAKE) par
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  echo "checking formatting drift"; \
 	  dune build @fmt; \

@@ -21,6 +21,7 @@ let experiments =
     ("fig17", Exp_fig17.run);
     ("fig18", Exp_fig18.run);
     ("ablation", Exp_ablation.run);
+    ("par", Exp_par.run);
     ("chaos", Exp_chaos.run);
     ("bechamel", Bechamel_suite.run);
   ]

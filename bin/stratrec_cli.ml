@@ -88,6 +88,15 @@ let metrics_arg =
   let doc = "Print the run's metrics snapshot (triage counters, spans, gauges) as a table." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+(* Positivity is validated by Engine.run (`Invalid_config), so the error
+   message is the same whether the value came from the CLI or the API. *)
+let domains_arg =
+  let doc =
+    "Shard the per-request triage across $(docv) domains (OCaml multicore). The output \
+     is bit-identical to $(docv)=1; only wall-clock time changes."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Record a hierarchical trace of the run. With $(docv), write Chrome trace-event JSON \
@@ -206,7 +215,7 @@ let emit_trace destination trace =
 (* recommend *)
 
 let recommend verbose seed n m k w dist objective catalog show_metrics trace_dest deploy
-    faults retries population capacity window =
+    faults retries population capacity window domains =
   setup_logging verbose;
   let rng = Rng.create seed in
   let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
@@ -224,6 +233,7 @@ let recommend verbose seed n m k w dist objective catalog show_metrics trace_des
           reestimate_parameters = false;
         };
       Engine.deploy;
+      Engine.domains;
     }
   in
   let* report =
@@ -250,7 +260,7 @@ let recommend_cmd =
             (const recommend $ verbose_arg $ seed_arg $ strategies_arg $ m_arg $ k_arg
              $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg $ trace_arg
              $ deploy_arg $ faults_arg $ retries_arg $ population_arg $ capacity_arg
-             $ window_arg))
+             $ window_arg $ domains_arg))
 
 (* adpar *)
 
@@ -381,13 +391,13 @@ let simulate_cmd =
 
 (* example *)
 
-let example show_metrics trace_dest deploy faults retries =
+let example show_metrics trace_dest deploy faults retries domains =
   let rng = Rng.create 2020 in
   let* deploy =
     deploy_config ~rng ~deploy ~faults ~retries ~population:200 ~capacity:5
       ~window:Sim.Window.Weekend
   in
-  let config = { Engine.default_config with Engine.deploy } in
+  let config = { Engine.default_config with Engine.deploy; Engine.domains } in
   let* report =
     Result.map_error engine_msg
       (Engine.run ~config ~rng
@@ -408,7 +418,7 @@ let example_cmd =
     (Cmd.info "example" ~doc:"Walk through the paper's Example 1")
     Term.(term_result
             (const example $ metrics_arg $ trace_arg $ deploy_arg $ faults_arg
-             $ retries_arg))
+             $ retries_arg $ domains_arg))
 
 let main_cmd =
   let doc = "StratRec: deployment-strategy recommendation for collaborative crowdsourcing tasks" in

@@ -70,7 +70,7 @@ let search ?(metrics = Obs.Registry.noop) ?(prune = true) ?(wq = 1.) ?(wc = 1.) 
     Array.sort
       (fun i j ->
         let c = Float.compare relax.(i).cost relax.(j).cost in
-        if c <> 0 then c else compare i j)
+        if c <> 0 then c else Int.compare i j)
       by_cost;
     let best_sq = ref infinity in
     let best = ref None in

@@ -38,8 +38,61 @@ type report = {
   workforce_used : float;
 }
 
+(* Triage of one unsatisfied request. Shared verbatim between the
+   sequential loop and the sharded path: only the [metrics]/[trace]
+   destination differs, so the recorded counters, spans and decisions
+   are the same either way. Writes exactly [outcomes.(i)] — disjoint
+   cells across shards, so concurrent writes never race. *)
+let triage_unsatisfied ~metrics ~trace ~strategies ~requests ~outcomes i =
+  let d = requests.(i) in
+  Obs.Trace.span trace "request"
+    ~attrs:
+      [
+        ("request", Obs.Trace.Int i);
+        ("label", Obs.Trace.String d.Deployment.label);
+      ]
+  @@ fun () ->
+  let count name = Obs.Registry.incr (Obs.Registry.counter metrics name) in
+  count "adpar.fallback_total";
+  let triage = Obs.Span.start metrics "aggregator.triage_seconds" in
+  let decide verdict = Obs.Trace.decide trace ~id:i ~label:d.Deployment.label verdict in
+  (match Adpar.exact ~metrics ~trace ~strategies d with
+  | Some result when result.Adpar.distance < 1e-12 ->
+      (* The parameters already admit k strategies: the request only
+         lost out on the workforce budget. *)
+      Log.debug (fun m -> m "%s: workforce-limited" d.Deployment.label);
+      count "aggregator.workforce_limited_total";
+      Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "workforce_limited");
+      decide (Obs.Trace.Rejected { binding = "workforce budget exhausted" });
+      outcomes.(i) <- (d, Workforce_limited)
+  | Some result ->
+      Log.debug (fun m ->
+          m "%s: ADPaR alternative at distance %.4f" d.Deployment.label
+            result.Adpar.distance);
+      count "aggregator.alternative_total";
+      Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "alternative");
+      let p = result.Adpar.alternative in
+      decide
+        (Obs.Trace.Triaged
+           {
+             quality = p.Stratrec_model.Params.quality;
+             cost = p.Stratrec_model.Params.cost;
+             latency = p.Stratrec_model.Params.latency;
+             distance = result.Adpar.distance;
+           });
+      outcomes.(i) <- (d, Alternative result)
+  | None ->
+      Log.debug (fun m -> m "%s: no alternative exists" d.Deployment.label);
+      count "aggregator.no_alternative_total";
+      Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "no_alternative");
+      decide (Obs.Trace.Rejected { binding = "no alternative exists" });
+      outcomes.(i) <- (d, No_alternative));
+  ignore (Obs.Span.finish triage)
+
 let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
-    ?(trace = Obs.Trace.noop) ~availability ~strategies ~requests () =
+    ?(trace = Obs.Trace.noop) ?(domains = 1) ~availability ~strategies ~requests () =
+  if domains < 1 then invalid_arg "Aggregator.run: domains must be >= 1";
+  let pool = if domains > 1 then Some (Stratrec_par.Pool.shared ~domains) else None in
   Obs.Trace.span trace "aggregator.batch"
     ~attrs:
       [
@@ -62,9 +115,22 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
       Array.map (fun s -> Strategy.instantiate s ~availability:w) strategies
     else strategies
   in
-  let matrix = Workforce.compute ~rule:config.inversion_rule ~requests ~strategies () in
+  let matrix =
+    match pool with
+    | Some pool when Stratrec_par.Pool.size pool > 1 ->
+        (* Rows are independent (one request each): compute them sharded
+           and assemble in request order — exactly [Workforce.compute]. *)
+        let row = Workforce.row ~rule:config.inversion_rule ~strategies in
+        {
+          Workforce.requests;
+          strategies;
+          cells = Stratrec_par.Shard.map pool ~f:row requests;
+        }
+    | Some _ | None ->
+        Workforce.compute ~rule:config.inversion_rule ~requests ~strategies ()
+  in
   let batch =
-    Batchstrat.run ~metrics ~trace ~objective:config.objective
+    Batchstrat.run ~metrics ~trace ?pool ~objective:config.objective
       ~aggregation:config.aggregation ~available:w matrix
   in
   Log.debug (fun m ->
@@ -95,55 +161,40 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
   Obs.Registry.incr_by
     (Obs.Registry.counter metrics "aggregator.satisfied_total")
     (List.length batch.Batchstrat.satisfied);
-  let count name = Obs.Registry.incr (Obs.Registry.counter metrics name) in
-  List.iter
-    (fun i ->
-      let d = requests.(i) in
-      Obs.Trace.span trace "request"
-        ~attrs:
-          [
-            ("request", Obs.Trace.Int i);
-            ("label", Obs.Trace.String d.Deployment.label);
-          ]
-      @@ fun () ->
-      count "adpar.fallback_total";
-      let triage = Obs.Span.start metrics "aggregator.triage_seconds" in
-      let decide verdict =
-        Obs.Trace.decide trace ~id:i ~label:d.Deployment.label verdict
+  let unsatisfied = Array.of_list batch.Batchstrat.unsatisfied in
+  let n_unsatisfied = Array.length unsatisfied in
+  (match pool with
+  | Some pool when Stratrec_par.Pool.size pool > 1 && n_unsatisfied > 1 ->
+      (* Sharded triage: each shard gets a contiguous slice of the
+         unsatisfied list, a fresh registry and a fresh trace buffer.
+         Merging shard registries/traces in shard index order
+         reconstructs the sequential counters, span tree, span ids and
+         decision order exactly (ADPaR is deterministic and RNG-free). *)
+      let shards = min (Stratrec_par.Pool.size pool) n_unsatisfied in
+      let plan = Stratrec_par.Shard.plan ~shards ~length:n_unsatisfied in
+      let shard_metrics =
+        Array.init shards (fun _ ->
+            if Obs.Registry.enabled metrics then Obs.Registry.create ()
+            else Obs.Registry.noop)
       in
-      (match Adpar.exact ~metrics ~trace ~strategies d with
-      | Some result when result.Adpar.distance < 1e-12 ->
-          (* The parameters already admit k strategies: the request only
-             lost out on the workforce budget. *)
-          Log.debug (fun m -> m "%s: workforce-limited" d.Deployment.label);
-          count "aggregator.workforce_limited_total";
-          Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "workforce_limited");
-          decide (Obs.Trace.Rejected { binding = "workforce budget exhausted" });
-          outcomes.(i) <- (d, Workforce_limited)
-      | Some result ->
-          Log.debug (fun m ->
-              m "%s: ADPaR alternative at distance %.4f" d.Deployment.label
-                result.Adpar.distance);
-          count "aggregator.alternative_total";
-          Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "alternative");
-          let p = result.Adpar.alternative in
-          decide
-            (Obs.Trace.Triaged
-               {
-                 quality = p.Stratrec_model.Params.quality;
-                 cost = p.Stratrec_model.Params.cost;
-                 latency = p.Stratrec_model.Params.latency;
-                 distance = result.Adpar.distance;
-               });
-          outcomes.(i) <- (d, Alternative result)
-      | None ->
-          Log.debug (fun m -> m "%s: no alternative exists" d.Deployment.label);
-          count "aggregator.no_alternative_total";
-          Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "no_alternative");
-          decide (Obs.Trace.Rejected { binding = "no alternative exists" });
-          outcomes.(i) <- (d, No_alternative));
-      ignore (Obs.Span.finish triage))
-    batch.Batchstrat.unsatisfied;
+      let shard_traces =
+        Array.init shards (fun _ ->
+            if Obs.Trace.enabled trace then Obs.Trace.create () else Obs.Trace.noop)
+      in
+      Stratrec_par.Pool.run pool ~shards (fun s ->
+          let start, stop = plan.(s) in
+          for slot = start to stop - 1 do
+            triage_unsatisfied ~metrics:shard_metrics.(s) ~trace:shard_traces.(s)
+              ~strategies ~requests ~outcomes unsatisfied.(slot)
+          done);
+      Array.iter
+        (fun reg -> Obs.Registry.absorb metrics (Obs.Registry.snapshot reg))
+        shard_metrics;
+      Obs.Trace.merge trace (Array.to_list shard_traces)
+  | Some _ | None ->
+      Array.iter
+        (triage_unsatisfied ~metrics ~trace ~strategies ~requests ~outcomes)
+        unsatisfied);
   Obs.Registry.set
     (Obs.Registry.gauge metrics "aggregator.workforce_used")
     batch.Batchstrat.workforce_used;

@@ -52,12 +52,30 @@ val run :
   ?config:config ->
   ?metrics:Stratrec_obs.Registry.t ->
   ?trace:Stratrec_obs.Trace.t ->
+  ?domains:int ->
   availability:Stratrec_model.Availability.t ->
   strategies:Stratrec_model.Strategy.t array ->
   requests:Stratrec_model.Deployment.t array ->
   unit ->
   report
-(** One batch run. [metrics] (default {!Stratrec_obs.Registry.noop})
+(** One batch run.
+
+    [domains] (default 1) runs the embarrassingly parallel phases —
+    workforce-matrix rows, BatchStrat's per-request row aggregation,
+    and the per-request ADPaR triage of unsatisfied requests — sharded
+    over a {!Stratrec_par.Pool.shared} pool of that many domains. The
+    batch is sliced deterministically ({!Stratrec_par.Shard.plan}),
+    each triage shard records into its own registry and trace buffer,
+    and the shards are folded back in shard index order
+    ({!Stratrec_obs.Registry.absorb}, {!Stratrec_obs.Trace.merge}), so
+    the report, every counter, the span tree (ids included) and the
+    decision order are bit-identical to [~domains:1]. Only span/decision
+    timing values differ — they are clock readings either way. The
+    greedy fill itself and the satisfied loop stay sequential; they are
+    O(m log m) and order-dependent.
+    @raise Invalid_argument when [domains < 1].
+
+    [metrics] (default {!Stratrec_obs.Registry.noop})
     records [aggregator.batches_total], [aggregator.requests_total], the
     triage counters [aggregator.satisfied_total] /
     [aggregator.alternative_total] / [aggregator.workforce_limited_total]

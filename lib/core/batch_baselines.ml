@@ -66,7 +66,7 @@ let baseline_g ~objective ~aggregation ~available matrix =
     List.stable_sort
       (fun a b ->
         let c = Float.compare (density b) (density a) in
-        if c <> 0 then c else compare a.index b.index)
+        if c <> 0 then c else Int.compare a.index b.index)
       candidates
   in
   let selection, _ =

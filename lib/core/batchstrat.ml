@@ -30,8 +30,8 @@ let greedy_fill candidates ~available =
 let total_value taken = List.fold_left (fun acc c -> acc +. c.value) 0. taken
 let total_weight taken = List.fold_left (fun acc c -> acc +. c.weight) 0. taken
 
-let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ~objective ~aggregation
-    ~available matrix =
+let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ?pool ~objective
+    ~aggregation ~available matrix =
   Obs.Trace.span trace "batchstrat.run"
     ~attrs:
       [
@@ -48,16 +48,32 @@ let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ~objective ~agg
      surface in [unsatisfied] below. *)
   let sorted =
     Obs.Trace.span trace "batchstrat.prune" @@ fun () ->
+    (* Per-request scoring is independent row aggregation: with a pool it
+       runs sharded, results landing at their index so the candidate
+       order (and everything downstream) is identical to the sequential
+       path. *)
+    let requirement i =
+      let d = requests.(i) in
+      Workforce.request_requirement matrix aggregation ~k:d.Stratrec_model.Deployment.k i
+    in
+    let requirements =
+      match pool with
+      | Some pool when Stratrec_par.Pool.size pool > 1 ->
+          Stratrec_par.Shard.init pool m ~f:requirement
+      | Some _ | None -> Array.init m requirement
+    in
     let candidates = ref [] in
     for i = m - 1 downto 0 do
-      let d = requests.(i) in
-      match
-        Workforce.request_requirement matrix aggregation ~k:d.Stratrec_model.Deployment.k i
-      with
+      match requirements.(i) with
       | None -> ()
       | Some { Workforce.workforce; chosen } ->
           candidates :=
-            { index = i; weight = workforce; value = Objective.value objective d; chosen }
+            {
+              index = i;
+              weight = workforce;
+              value = Objective.value objective requests.(i);
+              chosen;
+            }
             :: !candidates
     done;
     (* Sort by f_i / w_i non-increasing; zero-workforce requests first. Ties
@@ -67,7 +83,7 @@ let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ~objective ~agg
       List.stable_sort
         (fun a b ->
           let c = Float.compare (density b) (density a) in
-          if c <> 0 then c else compare a.index b.index)
+          if c <> 0 then c else Int.compare a.index b.index)
         !candidates
     in
     Obs.Trace.add_attr trace "requests" (Obs.Trace.Int m);

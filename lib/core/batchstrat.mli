@@ -28,6 +28,7 @@ type outcome = {
 val run :
   ?metrics:Stratrec_obs.Registry.t ->
   ?trace:Stratrec_obs.Trace.t ->
+  ?pool:Stratrec_par.Pool.t ->
   objective:Objective.t ->
   aggregation:Stratrec_model.Workforce.aggregation ->
   available:float ->
@@ -37,6 +38,13 @@ val run :
     after the O(m |S| log k) aggregation. [available] is the expected
     workforce W in [\[0, 1\]] (values above 1 are allowed and simply relax
     the budget).
+
+    [pool] shards the per-request row aggregation of the prune phase
+    across domains (see {!Stratrec_par.Pool}); the density sort, greedy
+    fill and every observable output are bit-identical to the
+    sequential path because results land at their request index before
+    any order-dependent step runs. Omitted (or with a pool of size 1)
+    everything runs on the calling domain.
 
     [metrics] (default {!Stratrec_obs.Registry.noop}) records
     [batchstrat.runs_total], [batchstrat.candidates_total],

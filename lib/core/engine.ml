@@ -20,10 +20,17 @@ type config = {
   metrics : Obs.Registry.t option;
   trace : Obs.Trace.t option;
   deploy : deploy_config option;
+  domains : int;
 }
 
 let default_config =
-  { aggregator = Aggregator.default_config; metrics = None; trace = None; deploy = None }
+  {
+    aggregator = Aggregator.default_config;
+    metrics = None;
+    trace = None;
+    deploy = None;
+    domains = 1;
+  }
 
 type rejection = Breaker_open | Deadline_exhausted | All_attempts_empty
 
@@ -100,6 +107,10 @@ let load_catalog ~path =
 
 let validate config ~strategies ~requests =
   if Array.length strategies = 0 then Error `Empty_catalog
+  else if config.domains < 1 then
+    Error
+      (`Invalid_config
+        (Printf.sprintf "domains must be >= 1 (got %d)" config.domains))
   else
     let ids = Hashtbl.create (Array.length requests) in
     let duplicate =
@@ -149,7 +160,8 @@ let resilience_counters =
 let cheapest_first strategies =
   List.sort
     (fun a b ->
-      compare a.Strategy.params.Model.Params.cost b.Strategy.params.Model.Params.cost)
+      Float.compare a.Strategy.params.Model.Params.cost
+        b.Strategy.params.Model.Params.cost)
     strategies
 
 let deploy_satisfied ~metrics ~trace ~rng deploy (aggregate : Aggregator.report) satisfied =
@@ -328,8 +340,8 @@ let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
         Obs.Span.time metrics "engine.run_seconds" (fun () ->
             Obs.Registry.incr (Obs.Registry.counter metrics "engine.runs_total");
             let aggregate =
-              Aggregator.run ~config:config.aggregator ~metrics ~trace ~availability
-                ~strategies ~requests ()
+              Aggregator.run ~config:config.aggregator ~metrics ~trace
+                ~domains:config.domains ~availability ~strategies ~requests ()
             in
             let deployed =
               match config.deploy with

@@ -56,10 +56,16 @@ type config = {
           {!Stratrec_obs.Trace.noop}) to accumulate spans across runs or
           to disable tracing entirely *)
   deploy : deploy_config option;  (** [None]: recommend-only *)
+  domains : int;
+      (** domains for the sharded triage path (see {!Aggregator.run});
+          1 (the default) keeps everything on the calling domain. The
+          report is bit-identical either way. Validated by {!run}:
+          values below 1 are an [`Invalid_config] error *)
 }
 
 val default_config : config
-(** Aggregator defaults, private per-run metrics, no deployment. *)
+(** Aggregator defaults, private per-run metrics, no deployment, one
+    domain. *)
 
 (** Why the degradation ladder gave up on a request. *)
 type rejection =

@@ -26,7 +26,7 @@ let worker_earnings t =
       Hashtbl.replace table p.worker_id (current +. net))
     t.payments;
   Hashtbl.fold (fun id earned acc -> (id, earned) :: acc) table []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let gini t =
   let earnings = List.map snd (worker_earnings t) |> Array.of_list in

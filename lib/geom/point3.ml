@@ -18,7 +18,11 @@ let with_coord p i v =
   | _ -> invalid_arg (Printf.sprintf "Point3.with_coord: axis %d" i)
 
 let weakly_dominates a b = a.x <= b.x && a.y <= b.y && a.z <= b.z
-let equal a b = a.x = b.x && a.y = b.y && a.z = b.z
+
+(* Float.equal keeps [equal] consistent with [compare] below (both are
+   reflexive on nan), where (=) would make a nan point unequal to itself
+   while [compare] says 0. *)
+let equal a b = Float.equal a.x b.x && Float.equal a.y b.y && Float.equal a.z b.z
 let dominates a b = weakly_dominates a b && not (equal a b)
 
 let squared_distance a b =

@@ -31,6 +31,9 @@ val componentwise_max : t -> t -> t
 val componentwise_min : t -> t -> t
 
 val equal : t -> t -> bool
+(** Componentwise {!Float.equal} — consistent with {!compare}
+    ([equal a b] iff [compare a b = 0], nan included). *)
+
 val compare : t -> t -> int
 (** Lexicographic. *)
 

@@ -8,7 +8,7 @@ let of_events events =
   Array.sort
     (fun (i, (ka, _)) (j, (kb, _)) ->
       let c = Float.compare ka kb in
-      if c <> 0 then c else compare i j)
+      if c <> 0 then c else Int.compare i j)
     indexed;
   {
     keys = Array.map (fun (_, (k, _)) -> k) indexed;

@@ -14,7 +14,8 @@ let candidate_strategies t strategies =
 
 let is_successful t recommended =
   List.length recommended = t.k
-  && List.length (List.sort_uniq (fun a b -> compare a.Strategy.id b.Strategy.id) recommended)
+  && List.length
+       (List.sort_uniq (fun a b -> Int.compare a.Strategy.id b.Strategy.id) recommended)
      = t.k
   && List.for_all (satisfied_by t) recommended
 

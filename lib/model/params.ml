@@ -48,7 +48,13 @@ let relaxation ~request ~strategy axis =
   let i = axis_index axis in
   Float.max 0. (Stratrec_geom.Point3.coord s i -. Stratrec_geom.Point3.coord r i)
 
-let equal a b = a.quality = b.quality && a.cost = b.cost && a.latency = b.latency
+(* Float.equal, not (=): reflexive on nan and allocation-free. [make]
+   rejects nan and normalizes nothing, but [make_unchecked] values (ADPaR
+   interior points) can carry -0., which Float.equal treats as equal to
+   0. — the IEEE behaviour we want for coordinates. *)
+let equal a b =
+  Float.equal a.quality b.quality && Float.equal a.cost b.cost
+  && Float.equal a.latency b.latency
 
 let to_string t = Printf.sprintf "%.12g,%.12g,%.12g" t.quality t.cost t.latency
 

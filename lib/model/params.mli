@@ -46,6 +46,9 @@ val relaxation : request:t -> strategy:t -> axis -> float
     step 1. *)
 
 val equal : t -> t -> bool
+(** Componentwise {!Float.equal}: reflexive even on nan coordinates
+    (which {!make} rejects but [make_unchecked] admits), and [-0.]
+    equals [0.]. *)
 
 val to_string : t -> string
 (** Compact ["QUALITY,COST,LATENCY"] form, e.g. ["0.9,0.2,0.3"] — the

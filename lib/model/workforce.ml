@@ -7,33 +7,40 @@ type matrix = {
   cells : cell array array;
 }
 
-let compute_with ~requirement ~requests ~strategies =
-  let cells =
-    Array.map
-      (fun d ->
-        Array.map
-          (fun s ->
-            match requirement d s with
-            | Some w -> Feasible w
-            | None -> Infeasible)
-          strategies)
-      requests
-  in
-  { requests; strategies; cells }
+let row_with ~requirement ~strategies d =
+  Array.map
+    (fun s ->
+      match requirement d s with
+      | Some w -> Feasible w
+      | None -> Infeasible)
+    strategies
 
-let compute ?(rule = `Direction_aware) ~requests ~strategies () =
+let compute_with ~requirement ~requests ~strategies =
+  { requests; strategies; cells = Array.map (row_with ~requirement ~strategies) requests }
+
+let requirement_of_rule rule =
   let invert =
     match rule with
     | `Direction_aware -> Linear_model.workforce_requirement
     | `Paper_equality -> Linear_model.workforce_requirement_paper
   in
-  let requirement d s =
+  fun d s ->
     if Deployment.satisfied_by d s then invert s.Strategy.model ~request:d.Deployment.params
     else None
-  in
-  compute_with ~requirement ~requests ~strategies
+
+let row ?(rule = `Direction_aware) ~strategies d =
+  row_with ~requirement:(requirement_of_rule rule) ~strategies d
+
+let compute ?(rule = `Direction_aware) ~requests ~strategies () =
+  compute_with ~requirement:(requirement_of_rule rule) ~requests ~strategies
 
 type request_requirement = { workforce : float; chosen : int list }
+
+(* (requirement, strategy index) pairs: cheapest first, catalog-order
+   tie-break. Typed — the polymorphic compare would box every float. *)
+let cmp_weighted (w, i) (w', j) =
+  let c = Float.compare w w' in
+  if c <> 0 then c else Int.compare i j
 
 let request_requirement t aggregation ~k i =
   if k < 1 then invalid_arg "Workforce.request_requirement: k must be >= 1";
@@ -47,7 +54,7 @@ let request_requirement t aggregation ~k i =
   in
   if Array.length feasible < k then None
   else begin
-    let smallest = Stratrec_util.Kselect.k_smallest ~cmp:compare k feasible in
+    let smallest = Stratrec_util.Kselect.k_smallest ~cmp:cmp_weighted k feasible in
     let chosen = List.map snd smallest in
     let workforce =
       match aggregation with
@@ -72,7 +79,7 @@ let streaming_requirement ?(rule = `Direction_aware) aggregation ~k ~strategies 
   in
   (* Track the k smallest (requirement, strategy index) pairs in one pass;
      ties break by catalog index like the matrix-based path. *)
-  let tracker = Stratrec_util.Kselect.Tracker.create ~cmp:compare k in
+  let tracker = Stratrec_util.Kselect.Tracker.create ~cmp:cmp_weighted k in
   let feasible = ref 0 in
   Array.iteri
     (fun j s ->

@@ -32,6 +32,16 @@ val compute :
     {!Linear_model.workforce_requirement_paper} used by the synthetic
     experiments. O(m |S|). *)
 
+val row :
+  ?rule:[ `Direction_aware | `Paper_equality ] ->
+  strategies:Strategy.t array ->
+  Deployment.t ->
+  cell array
+(** One matrix row, independent of every other request — the unit the
+    parallel triage path shards over. [compute] is [row] per request;
+    assembling rows computed in any order into {!matrix} (in request
+    order) agrees exactly with {!compute}. *)
+
 val compute_with :
   requirement:(Deployment.t -> Strategy.t -> float option) ->
   requests:Deployment.t array ->

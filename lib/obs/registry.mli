@@ -86,6 +86,18 @@ val observe : histogram -> float -> unit
 val snapshot : t -> Snapshot.t
 (** Deterministic (name-sorted) copy of the current state. *)
 
+val absorb : t -> Snapshot.t -> unit
+(** [absorb t snapshot] folds a snapshot into the live registry:
+    counters add, gauges take the snapshot's value, histograms add
+    bucket-wise (instruments are created on first sight, with the
+    snapshot's bucket layout). This is how the parallel triage path
+    re-combines per-shard registries into the caller's — absorbing the
+    shard snapshots in shard index order reproduces the sequential
+    totals exactly. State-only: no per-operation {!Sink} events are
+    re-emitted. No-op on a disabled registry. @raise Invalid_argument
+    when a name exists with a different instrument kind or bucket
+    layout. *)
+
 val reset : t -> unit
 (** Drops every instrument. Existing handles keep working and re-create
     their instrument on next use. *)

@@ -36,6 +36,54 @@ let histogram_sum t name =
   | Some (Histogram h) -> h.sum
   | Some (Counter _ | Gauge _) | None -> 0.
 
+(* Shard merge: counters and histograms accumulate, gauges are
+   last-write-wins (the right operand is the later shard). Bucket layouts
+   must agree — shard registries are created alike, so a mismatch is a
+   programming error, not data. *)
+let merge_value name a b =
+  match (a, b) with
+  | Counter a, Counter b -> Counter (a + b)
+  | Gauge _, Gauge b -> Gauge b
+  | Histogram a, Histogram b ->
+      if
+        not
+          (List.equal
+             (fun (le, _) (le', _) -> Float.equal le le')
+             a.buckets b.buckets)
+      then
+        invalid_arg
+          (Printf.sprintf "Snapshot.merge: histogram %S bucket layouts differ" name);
+      Histogram
+        {
+          buckets = List.map2 (fun (le, n) (_, n') -> (le, n + n')) a.buckets b.buckets;
+          count = a.count + b.count;
+          sum = a.sum +. b.sum;
+          min =
+            (if a.count = 0 then b.min
+             else if b.count = 0 then a.min
+             else Float.min a.min b.min);
+          max =
+            (if a.count = 0 then b.max
+             else if b.count = 0 then a.max
+             else Float.max a.max b.max);
+        }
+  | (Counter _ | Gauge _ | Histogram _), _ ->
+      invalid_arg (Printf.sprintf "Snapshot.merge: %S has mismatched instrument kinds" name)
+
+let merge a b =
+  (* Both inputs are name-sorted; a linear merge keeps the result sorted
+     and deterministic. *)
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys ->
+        let c = String.compare x.name y.name in
+        if c < 0 then x :: go xs b
+        else if c > 0 then y :: go a ys
+        else { name = x.name; value = merge_value x.name x.value y.value } :: go xs ys
+  in
+  go a b
+
 let to_table t =
   let table = Tabular.create ~columns:[ "metric"; "type"; "value"; "detail" ] in
   List.iter

@@ -39,6 +39,18 @@ val histogram_count : t -> string -> int
 val histogram_sum : t -> string -> float
 (** 0. when absent or not a histogram. *)
 
+val merge : t -> t -> t
+(** [merge a b] combines two snapshots name-wise: counters add,
+    histograms add bucket-wise (counts, totals; min/max combine, an
+    empty side contributes neither), and gauges take [b]'s value when
+    both sides carry one — [b] is the later shard. Entries present on
+    one side only pass through. The result is name-sorted like every
+    snapshot, so [merge] is associative and
+    [List.fold_left merge empty shards] recombines per-shard registries
+    deterministically. @raise Invalid_argument when a name carries
+    different instrument kinds or histogram bucket layouts on the two
+    sides. *)
+
 val to_table : t -> Stratrec_util.Tabular.t
 (** Columns [metric | type | value | detail]: counters and gauges carry
     their value, histograms their observation count with sum/min/max in

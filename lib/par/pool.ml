@@ -1,0 +1,152 @@
+(* The pool hands one job at a time to a fixed set of worker domains.
+   Publication protocol: the caller installs the job and bumps [epoch]
+   under the mutex, workers wake on the condition variable, run their
+   statically assigned shards ([s mod size]) outside the lock, and count
+   themselves off via [remaining]; the caller runs the slot-0 shards
+   itself and then waits for [remaining] to reach zero. No atomics beyond
+   the mutex — every shared-state transition happens under [mutex]. *)
+
+type job = {
+  body : int -> unit;
+  shards : int;
+  mutable remaining : int;  (* workers still inside this job *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;  (* first recorded *)
+}
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* workers: a new epoch or shutdown *)
+  quiet : Condition.t;  (* caller: all workers done with the job *)
+  mutable epoch : int;
+  mutable job : job option;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.domains
+
+let record_failure t job exn =
+  let bt = Printexc.get_raw_backtrace () in
+  Mutex.lock t.mutex;
+  (match job.failure with
+  | None -> job.failure <- Some (exn, bt)
+  | Some _ -> ());
+  Mutex.unlock t.mutex
+
+let run_shards t job ~slot =
+  (* Round-robin static assignment: slot w runs shards w, w + size, ... *)
+  try
+    let s = ref slot in
+    while !s < job.shards do
+      job.body !s;
+      s := !s + t.domains
+    done
+  with exn -> record_failure t job exn
+
+let worker t ~slot =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stopped) && t.epoch = !seen do
+      Condition.wait t.wake t.mutex
+    done;
+    if t.stopped then Mutex.unlock t.mutex
+    else begin
+      seen := t.epoch;
+      let job =
+        match t.job with
+        | Some job -> job
+        | None -> assert false (* the epoch only advances with a job installed *)
+      in
+      Mutex.unlock t.mutex;
+      run_shards t job ~slot;
+      Mutex.lock t.mutex;
+      job.remaining <- job.remaining - 1;
+      if job.remaining = 0 then Condition.broadcast t.quiet;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Stratrec_par.Pool.create: domains must be >= 1";
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      quiet = Condition.create ();
+      epoch = 0;
+      job = None;
+      stopped = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker t ~slot:(i + 1)));
+  t
+
+let run t ~shards body =
+  if shards < 0 then invalid_arg "Stratrec_par.Pool.run: shards must be >= 0";
+  if shards = 0 then ()
+  else if t.domains = 1 || shards = 1 then
+    for s = 0 to shards - 1 do
+      body s
+    done
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Stratrec_par.Pool.run: pool is shut down"
+    end;
+    (match t.job with
+    | Some _ ->
+        Mutex.unlock t.mutex;
+        invalid_arg "Stratrec_par.Pool.run: pool is busy (pools are not reentrant)"
+    | None -> ());
+    let job = { body; shards; remaining = t.domains - 1; failure = None } in
+    t.job <- Some job;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    run_shards t job ~slot:0;
+    Mutex.lock t.mutex;
+    while job.remaining > 0 do
+      Condition.wait t.quiet t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    match job.failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Process-wide pools by size, grown on demand and never shut down — the
+   "fixed pool reused across calls" the batch entry points lean on. *)
+
+let shared_mutex = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ~domains =
+  if domains < 1 then invalid_arg "Stratrec_par.Pool.shared: domains must be >= 1";
+  Mutex.lock shared_mutex;
+  let pool =
+    match Hashtbl.find_opt shared_pools domains with
+    | Some pool -> pool
+    | None ->
+        let pool = create ~domains in
+        Hashtbl.add shared_pools domains pool;
+        pool
+  in
+  Mutex.unlock shared_mutex;
+  pool

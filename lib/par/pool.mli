@@ -1,0 +1,51 @@
+(** Fixed-size domain pool for shared-nothing batch parallelism.
+
+    A pool owns [domains - 1] worker domains (the calling domain is the
+    remaining one) that persist across {!run} calls, so the spawn cost is
+    paid once per process, not once per batch. Work is handed out as a
+    fixed number of {e shards}: [run pool ~shards f] executes [f s] once
+    for every shard index [s] in [\[0, shards)], statically assigned
+    round-robin across the domains ([s mod size] — no work stealing), and
+    returns when every shard has finished. Static assignment keeps the
+    execution plan a pure function of [(size, shards)], which is what
+    lets callers produce bit-identical output regardless of scheduling.
+
+    Shard bodies must be shared-nothing: each shard writes only its own
+    slice of any result buffer and its own metrics registry / trace
+    buffer (see {!Stratrec_obs.Registry.absorb} and
+    {!Stratrec_obs.Trace.merge} for the deterministic re-combination).
+
+    A pool of size 1 spawns no domains and runs shards inline in index
+    order — exactly the sequential path. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains that idle on a
+    condition variable until work arrives. @raise Invalid_argument when
+    [domains < 1]. *)
+
+val size : t -> int
+(** The configured domain count (including the caller). *)
+
+val shared : domains:int -> t
+(** The process-wide pool of this size, created on first request and
+    reused by every later call — the Aggregator's entry point, so
+    repeated [run ~domains:4] calls share one set of worker domains.
+    Shared pools are never shut down. *)
+
+val run : t -> shards:int -> (int -> unit) -> unit
+(** [run t ~shards f] executes [f 0 .. f (shards - 1)], shard [s] on
+    domain [s mod size t], and blocks until all shards are done. The
+    calling domain participates (it runs the [s mod size = 0] shards).
+    If shards raise, one of the exceptions (the first recorded) is
+    re-raised in the caller after every domain has quiesced.
+
+    Shards are run inline, in index order, when the pool has size 1 or
+    [shards <= 1]. @raise Invalid_argument when [shards < 0], when the
+    pool is shut down, or on a concurrent [run] on the same pool (pools
+    are not reentrant — one batch at a time). *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent; later {!run}s raise. Intended
+    for tests — long-lived processes keep their pools. *)

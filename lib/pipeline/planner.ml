@@ -14,6 +14,7 @@ type config = {
   metrics : Obs.Registry.t;
   trace : Obs.Trace.t;
   faults : Fault.t;
+  domains : int;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     metrics = Obs.Registry.noop;
     trace = Obs.Trace.noop;
     faults = Fault.none;
+    domains = 1;
   }
 
 type window_report = {
@@ -80,6 +82,7 @@ let advance t observation =
 
 let create ?(config = default_config) ~platform ~rng ~kind ~strategies ~warmup_windows () =
   if warmup_windows < 1 then invalid_arg "Planner.create: warmup_windows must be >= 1";
+  if config.domains < 1 then invalid_arg "Planner.create: domains must be >= 1";
   let t = { config; platform; rng; kind; strategies; history = []; clock = 0 } in
   for _ = 1 to warmup_windows do
     advance t (observe_probe t (current_window t))
@@ -143,6 +146,7 @@ let run_window t ~requests =
       Obs.Trace.add_attr trace "forecast" (Obs.Trace.Float forecast);
       let aggregate =
         Stratrec.Aggregator.run ~config:t.config.aggregator ~metrics ~trace
+          ~domains:t.config.domains
           ~availability:(Forecast.to_availability forecast)
           ~strategies:t.strategies ~requests ()
       in

@@ -36,12 +36,17 @@ type config = {
   faults : Stratrec_resilience.Fault.t;
       (** fault plan injected into every campaign deployment, probes
           included ({!Stratrec_resilience.Fault.none} by default) *)
+  domains : int;
+      (** domains for the aggregator's sharded triage path (see
+          {!Stratrec.Aggregator.run}); 1 keeps every window on the
+          calling domain. Window reports are bit-identical either
+          way. *)
 }
 
 val default_config : config
 (** Aggregator defaults, automatic forecasting, capacity 10, 3 probes, no
     ledger, {!Stratrec_obs.Registry.noop} metrics,
-    {!Stratrec_obs.Trace.noop} trace, no faults. *)
+    {!Stratrec_obs.Trace.noop} trace, no faults, one domain. *)
 
 type window_report = {
   window : Stratrec_crowdsim.Window.t;
@@ -68,7 +73,7 @@ val create :
   t
 (** Runs [warmup_windows] probe-only windows immediately to seed the
     availability history. Windows cycle Weekend -> Early_week -> Late_week.
-    @raise Invalid_argument if [warmup_windows < 1]. *)
+    @raise Invalid_argument if [warmup_windows < 1] or [config.domains < 1]. *)
 
 val run_window : t -> requests:Stratrec_model.Deployment.t array -> window_report
 (** Plans and deploys one window, advances the clock, extends the

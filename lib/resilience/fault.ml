@@ -35,7 +35,7 @@ let normalize_outages outages =
       if w < 0 || w >= window_count then
         invalid_arg (Printf.sprintf "Fault.make: outage window index %d outside [0, 2]" w))
     outages;
-  List.sort_uniq compare outages
+  List.sort_uniq Int.compare outages
 
 let make ?(no_show = 0.) ?(dropout = 0.) ?(straggler = (0., 1.)) ?(flaky_qualification = 0.)
     ?(outages = []) () =
@@ -63,7 +63,7 @@ let combine a b =
     straggler = Float.max a.straggler b.straggler;
     straggler_factor = Float.max a.straggler_factor b.straggler_factor;
     flaky_qualification = Float.max a.flaky_qualification b.flaky_qualification;
-    outages = List.sort_uniq compare (a.outages @ b.outages);
+    outages = List.sort_uniq Int.compare (a.outages @ b.outages);
   }
 
 let outage t ~window = List.mem window t.outages
@@ -103,17 +103,29 @@ let parse_probability ~fault s =
 let parse_outage_windows s =
   let parts = String.split_on_char '+' s in
   let rec go acc = function
-    | [] -> Ok (List.sort_uniq compare acc)
+    | [] -> Ok (List.sort_uniq Int.compare acc)
     | part :: rest -> (
         match String.trim part with
-        | "*" -> Ok [ 0; 1; 2 ]
+        | "*" -> go (0 :: 1 :: 2 :: acc) rest
         | name -> (
             match List.assoc_opt (String.lowercase_ascii name) window_names with
             | Some index -> go (index :: acc) rest
-            | None ->
-                Error
-                  (Printf.sprintf
-                     "unknown window %S (weekend|early-week|late-week|*)" name)))
+            | None -> (
+                (* Bare indices round-trip [to_string]'s numeric rendering
+                   of plans built directly with out-of-range outages —
+                   range-checked here, so the failure is a parse error
+                   naming the index instead of a silent unknown window. *)
+                match int_of_string_opt name with
+                | Some index when index >= 0 && index < window_count ->
+                    go (index :: acc) rest
+                | Some index ->
+                    Error
+                      (Printf.sprintf "outage window index %d outside [0, %d]" index
+                         (window_count - 1))
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "unknown window %S (weekend|early-week|late-week|*)" name))))
   in
   go [] parts
 
@@ -144,7 +156,7 @@ let parse_item plan item =
           | _ -> Error (Printf.sprintf "straggler %S should be P:FACTOR" value))
       | "outage" ->
           Result.map
-            (fun ws -> { plan with outages = List.sort_uniq compare (ws @ plan.outages) })
+            (fun ws -> { plan with outages = List.sort_uniq Int.compare (ws @ plan.outages) })
             (parse_outage_windows value)
       | _ ->
           Error
@@ -160,6 +172,20 @@ let of_string s =
            (fun acc item -> Result.bind acc (fun plan -> parse_item plan (String.trim item)))
            (Ok none)
 
+(* Shortest rendering that parses back to the same float: %g first (the
+   spelling users write), widening only when it loses bits — so
+   [of_string (to_string t)] recovers every probability exactly, full
+   64-bit draws from [random] included. *)
+let float_str f =
+  let exact fmt =
+    let s = Printf.sprintf fmt f in
+    if float_of_string s = f then Some s else None
+  in
+  match exact "%g" with
+  | Some s -> s
+  | None -> (
+      match exact "%.15g" with Some s -> s | None -> Printf.sprintf "%.17g" f)
+
 let to_string t =
   if is_none t then "none"
   else
@@ -172,17 +198,22 @@ let to_string t =
     in
     let items =
       if t.flaky_qualification = 0. then items
-      else Printf.sprintf "flaky-qual=%g" t.flaky_qualification :: items
+      else Printf.sprintf "flaky-qual=%s" (float_str t.flaky_qualification) :: items
     in
     let items =
       if t.straggler = 0. then items
-      else Printf.sprintf "straggler=%g:%g" t.straggler t.straggler_factor :: items
+      else
+        Printf.sprintf "straggler=%s:%s" (float_str t.straggler)
+          (float_str t.straggler_factor)
+        :: items
     in
     let items =
-      if t.dropout = 0. then items else Printf.sprintf "dropout=%g" t.dropout :: items
+      if t.dropout = 0. then items
+      else Printf.sprintf "dropout=%s" (float_str t.dropout) :: items
     in
     let items =
-      if t.no_show = 0. then items else Printf.sprintf "no-show=%g" t.no_show :: items
+      if t.no_show = 0. then items
+      else Printf.sprintf "no-show=%s" (float_str t.no_show) :: items
     in
     String.concat "," items
 

@@ -63,11 +63,19 @@ val of_string : string -> (t, string) result
 (** Parses the CLI spelling: a comma-separated list of faults, or
     ["none"]. Faults: [no-show=P], [dropout=P], [straggler=P:FACTOR],
     [flaky-qual=P], [outage=W] where [W] is [weekend], [early-week],
-    [late-week] or [*] (all windows), with multiple windows joined by
-    [+]. Example: ["no-show=0.3,straggler=0.5:1.8,outage=weekend"].
-    Errors name the offending fault or value. *)
+    [late-week], a bare window index in [\[0, 2\]], or [*] (all
+    windows), with multiple windows joined by [+]. Example:
+    ["no-show=0.3,straggler=0.5:1.8,outage=weekend"]. Errors name the
+    offending fault or value; an out-of-range numeric window index is
+    rejected with its valid range. *)
 
 val to_string : t -> string
-(** Inverse of {!of_string} (["none"] for the empty plan). *)
+(** Inverse of {!of_string} (["none"] for the empty plan):
+    [of_string (to_string p)] returns [Ok p] for every plan whose
+    outage indices are in range — i.e. every plan built through
+    {!make}, {!combine}, {!random} or {!of_string} itself. A record
+    assembled by hand with an out-of-range outage index renders that
+    index numerically and {!of_string} rejects it with a range
+    error. *)
 
 val pp : Format.formatter -> t -> unit

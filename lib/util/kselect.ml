@@ -29,7 +29,7 @@ let k_smallest_indices ~cmp k arr =
   let idx = Array.init (Array.length arr) Fun.id in
   let cmp_idx i j =
     let c = cmp arr.(i) arr.(j) in
-    if c <> 0 then c else compare i j
+    if c <> 0 then c else Int.compare i j
   in
   k_smallest ~cmp:cmp_idx k idx
 

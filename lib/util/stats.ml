@@ -30,7 +30,7 @@ let quantile xs q =
   require_nonempty "Stats.quantile" xs;
   if q < 0. || q > 1. then invalid_arg "Stats.quantile: q outside [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
@@ -182,7 +182,8 @@ let welch_t_test xs ys =
   let shift = mean xs -. mean ys in
   let t =
     (* Zero variance with a real shift is unambiguous evidence. *)
-    if se = 0. then if shift = 0. then 0. else Float.of_int (compare shift 0.) *. infinity
+    if se = 0. then
+      if shift = 0. then 0. else Float.of_int (Float.compare shift 0.) *. infinity
     else shift /. se
   in
   let df =
@@ -200,7 +201,7 @@ let paired_t_test xs ys =
   let m = mean differences and se = std_error differences in
   let df = float_of_int (n - 1) in
   let t =
-    if se = 0. then if m = 0. then 0. else Float.of_int (compare m 0.) *. infinity
+    if se = 0. then if m = 0. then 0. else Float.of_int (Float.compare m 0.) *. infinity
     else m /. se
   in
   let p = 2. *. (1. -. t_cdf ~df (Float.abs t)) in

@@ -160,3 +160,28 @@ error before any simulation runs.
   $ stratrec recommend --deploy --capacity 0
   stratrec: invalid engine configuration: deploy capacity must be positive
   [124]
+
+--domains N shards the per-request triage across a fixed pool of OCaml
+domains. The contract is bit-identity: recommendation text, metric
+counters, trace hierarchy, and decision order all match the sequential
+run exactly — only wall-clock timings may differ.
+
+  $ stratrec example --domains 1 > seq.out
+  $ stratrec example --domains 4 > par.out
+  $ diff seq.out par.out
+
+  $ stratrec example --metrics --domains 1 | awk '/counter/ {print $1, $3}' > seq.counters
+  $ stratrec example --metrics --domains 4 | awk '/counter/ {print $1, $3}' > par.counters
+  $ diff seq.counters par.counters
+
+  $ stratrec example --trace --domains 1 2>&1 >/dev/null \
+  >   | tail -n +4 | sed -E 's/ {2,}[0-9]+\.[0-9]+.*$//' > seq.trace
+  $ stratrec example --trace --domains 4 2>&1 >/dev/null \
+  >   | tail -n +4 | sed -E 's/ {2,}[0-9]+\.[0-9]+.*$//' > par.trace
+  $ diff seq.trace par.trace
+
+A non-positive domain count is a typed engine-configuration error.
+
+  $ stratrec example --domains 0
+  stratrec: invalid engine configuration: domains must be >= 1 (got 0)
+  [124]

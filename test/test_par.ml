@@ -1,0 +1,312 @@
+(* The parallel execution substrate (lib/par) and its determinism
+   contract: sharded runs must be bit-identical to sequential ones. *)
+
+module Pool = Stratrec_par.Pool
+module Shard = Stratrec_par.Shard
+module Obs = Stratrec_obs
+module Model = Stratrec_model
+module Rng = Stratrec_util.Rng
+module A = Stratrec.Aggregator
+
+(* --- Shard.plan --- *)
+
+let check_plan ~shards ~length =
+  let plan = Shard.plan ~shards ~length in
+  let slices = Array.length plan in
+  Alcotest.(check int) "slice count" (min shards length) slices;
+  let covered = ref 0 in
+  Array.iteri
+    (fun s (start, stop) ->
+      Alcotest.(check bool) "non-empty" true (stop > start);
+      if s = 0 then Alcotest.(check int) "starts at 0" 0 start
+      else Alcotest.(check int) "contiguous" (snd plan.(s - 1)) start;
+      covered := !covered + (stop - start))
+    plan;
+  Alcotest.(check int) "covers everything" length !covered;
+  if slices > 0 then begin
+    let sizes = Array.map (fun (a, b) -> b - a) plan in
+    let mn = Array.fold_left min max_int sizes and mx = Array.fold_left max 0 sizes in
+    Alcotest.(check bool) "balanced" true (mx - mn <= 1)
+  end
+
+let test_plan_shapes () =
+  for shards = 1 to 6 do
+    for length = 0 to 13 do
+      check_plan ~shards ~length
+    done
+  done;
+  Alcotest.check_raises "shards < 1"
+    (Invalid_argument "Stratrec_par.Shard.plan: shards must be >= 1") (fun () ->
+      ignore (Shard.plan ~shards:0 ~length:3))
+
+(* --- Pool --- *)
+
+let test_pool_runs_all_shards () =
+  let pool = Pool.create ~domains:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "size" 4 (Pool.size pool);
+  let out = Array.make 37 (-1) in
+  Pool.run pool ~shards:37 (fun s -> out.(s) <- s * s);
+  Array.iteri (fun s v -> Alcotest.(check int) "shard ran" (s * s) v) out;
+  (* Pools are reusable across runs. *)
+  let again = Array.make 5 0 in
+  Pool.run pool ~shards:5 (fun s -> again.(s) <- s + 1);
+  Alcotest.(check (array int)) "second batch" [| 1; 2; 3; 4; 5 |] again
+
+let test_pool_size_one_is_inline () =
+  let pool = Pool.create ~domains:1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let order = ref [] in
+  Pool.run pool ~shards:4 (fun s -> order := s :: !order);
+  Alcotest.(check (list int)) "inline, in index order" [ 3; 2; 1; 0 ] !order
+
+let test_pool_propagates_failure () =
+  let pool = Pool.create ~domains:3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let ran = Array.make 8 false in
+  (match Pool.run pool ~shards:8 (fun s -> if s = 5 then failwith "boom" else ran.(s) <- true)
+   with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure message -> Alcotest.(check string) "exception text" "boom" message);
+  (* The failure poisons nothing: other shards completed and the pool
+     accepts new work. *)
+  Array.iteri (fun s ok -> if s <> 5 then Alcotest.(check bool) "shard ran" true ok) ran;
+  let sum = Atomic.make 0 in
+  Pool.run pool ~shards:6 (fun s -> ignore (Atomic.fetch_and_add sum s));
+  Alcotest.(check int) "usable after failure" 15 (Atomic.get sum)
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Stratrec_par.Pool.run: pool is shut down") (fun () ->
+      Pool.run pool ~shards:2 (fun _ -> ()))
+
+let test_shared_pool_is_memoized () =
+  let a = Pool.shared ~domains:3 in
+  let b = Pool.shared ~domains:3 in
+  Alcotest.(check bool) "same pool" true (a == b);
+  Alcotest.(check int) "requested size" 3 (Pool.size a)
+
+(* --- Shard.init / map / split_rng --- *)
+
+let test_shard_init_matches_sequential () =
+  let pool = Pool.create ~domains:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let f i = (i * 17) mod 13 in
+  Alcotest.(check (array int)) "init" (Array.init 41 f) (Shard.init pool 41 ~f);
+  Alcotest.(check (array int)) "empty" [||] (Shard.init pool 0 ~f);
+  let arr = Array.init 29 string_of_int in
+  Alcotest.(check (array string))
+    "map"
+    (Array.map (fun s -> s ^ "!") arr)
+    (Shard.map pool ~f:(fun s -> s ^ "!") arr)
+
+let test_split_rng_deterministic () =
+  let streams seed =
+    Shard.split_rng (Rng.create seed) ~shards:4
+    |> Array.map (fun rng -> List.init 5 (fun _ -> Rng.float rng 1.))
+  in
+  Alcotest.(check bool) "same parent, same streams" true (streams 7 = streams 7);
+  Alcotest.(check bool) "different parent, different streams" true (streams 7 <> streams 8)
+
+(* --- Snapshot.merge / Registry.absorb --- *)
+
+(* Exact binary fractions, so histogram sums are associative in float
+   arithmetic and the associativity check below can compare exactly. *)
+let sample_registry spin =
+  let r = Obs.Registry.create () in
+  Obs.Registry.incr_by (Obs.Registry.counter r "c.total") (10 * spin);
+  Obs.Registry.set (Obs.Registry.gauge r "g") (float_of_int spin);
+  let h =
+    Obs.Registry.histogram ~buckets:Obs.Registry.fraction_buckets r "h"
+  in
+  Obs.Registry.observe h (0.125 *. float_of_int spin);
+  Obs.Registry.observe h 0.5;
+  r
+
+let test_snapshot_merge () =
+  let a = Obs.Registry.snapshot (sample_registry 1) in
+  let b = Obs.Registry.snapshot (sample_registry 2) in
+  let m = Obs.Snapshot.merge a b in
+  Alcotest.(check int) "counters add" 30 (Obs.Snapshot.counter_value m "c.total");
+  Alcotest.(check (float 0.)) "gauge takes the later shard" 2. (Obs.Snapshot.gauge_value m "g");
+  Alcotest.(check int) "histogram counts add" 4 (Obs.Snapshot.histogram_count m "h");
+  Alcotest.(check (float 0.)) "histogram sums add" (0.125 +. 0.5 +. 0.25 +. 0.5)
+    (Obs.Snapshot.histogram_sum m "h");
+  (* Associativity is what lets shards fold in order. *)
+  let c = Obs.Registry.snapshot (sample_registry 3) in
+  Alcotest.(check bool) "associative" true
+    (Obs.Snapshot.merge (Obs.Snapshot.merge a b) c
+    = Obs.Snapshot.merge a (Obs.Snapshot.merge b c));
+  Alcotest.(check bool) "empty is the identity" true
+    (Obs.Snapshot.merge Obs.Snapshot.empty a = a)
+
+let test_snapshot_merge_kind_mismatch () =
+  let a = Obs.Registry.create () in
+  Obs.Registry.incr (Obs.Registry.counter a "x");
+  let b = Obs.Registry.create () in
+  Obs.Registry.set (Obs.Registry.gauge b "x") 1.;
+  let sa = Obs.Registry.snapshot a and sb = Obs.Registry.snapshot b in
+  match Obs.Snapshot.merge sa sb with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_registry_absorb () =
+  let live = sample_registry 1 in
+  Obs.Registry.absorb live (Obs.Registry.snapshot (sample_registry 2));
+  let merged =
+    Obs.Snapshot.merge
+      (Obs.Registry.snapshot (sample_registry 1))
+      (Obs.Registry.snapshot (sample_registry 2))
+  in
+  Alcotest.(check bool) "absorb = snapshot merge" true
+    (Obs.Registry.snapshot live = merged);
+  (* Disabled registries stay silent. *)
+  Obs.Registry.absorb Obs.Registry.noop (Obs.Registry.snapshot (sample_registry 1));
+  Alcotest.(check bool) "noop absorb" true
+    (Obs.Registry.snapshot Obs.Registry.noop = Obs.Snapshot.empty)
+
+(* --- Trace.merge --- *)
+
+let shard_trace label =
+  let t = Obs.Trace.create () in
+  Obs.Trace.span t ("work-" ^ label) (fun () ->
+      Obs.Trace.span t "inner" (fun () -> ());
+      Obs.Trace.decide t ~id:0 ~label (Obs.Trace.Rejected { binding = label }));
+  t
+
+let test_trace_merge_grafts_in_order () =
+  let parent = Obs.Trace.create () in
+  Obs.Trace.span parent "batch" (fun () ->
+      Obs.Trace.merge parent [ shard_trace "a"; shard_trace "b" ]);
+  let shape =
+    List.map
+      (fun n -> (n.Obs.Trace.name, n.Obs.Trace.depth, n.Obs.Trace.id, n.Obs.Trace.parent))
+      (Obs.Trace.nodes parent)
+  in
+  (* Shard roots graft under the open span; ids continue the parent's
+     sequence, shard by shard — exactly the sequential allocation. *)
+  Alcotest.(check bool) "tree shape" true
+    (shape
+    = [
+        ("batch", 0, 0, None);
+        ("work-a", 1, 1, Some 0);
+        ("inner", 2, 2, Some 1);
+        ("work-b", 1, 3, Some 0);
+        ("inner", 2, 4, Some 3);
+      ]);
+  Alcotest.(check (list string)) "decisions append in shard order" [ "a"; "b" ]
+    (List.map (fun d -> d.Obs.Trace.label) (Obs.Trace.decisions parent));
+  (* Merging into a disabled trace is a no-op. *)
+  Obs.Trace.merge Obs.Trace.noop [ shard_trace "c" ];
+  Alcotest.(check int) "noop unchanged" 0 (Obs.Trace.span_count Obs.Trace.noop)
+
+(* --- sequential/parallel bit-identity --- *)
+
+let aggregator_config =
+  { A.default_config with A.inversion_rule = `Paper_equality; reestimate_parameters = false }
+
+(* Everything deterministic a run produces: the rendered report, the
+   counter/gauge part of the metrics snapshot plus histogram observation
+   counts (timing values are clock readings and may differ), the span
+   tree with ids and attributes, and the decision records sans
+   timestamps. *)
+let observable ~domains ~seed ~m ~w =
+  let rng = Rng.create seed in
+  let strategies = Model.Workload.strategies rng ~n:40 ~kind:Model.Workload.Uniform in
+  let requests = Model.Workload.requests rng ~m ~k:3 in
+  let metrics = Obs.Registry.create () in
+  let trace = Obs.Trace.create () in
+  let report =
+    A.run ~config:aggregator_config ~metrics ~trace ~domains
+      ~availability:(Model.Availability.certain w) ~strategies ~requests ()
+  in
+  let snapshot =
+    List.filter_map
+      (fun { Obs.Snapshot.name; value } ->
+        match value with
+        | Obs.Snapshot.Counter n -> Some (name, `Counter n)
+        | Obs.Snapshot.Gauge g -> Some (name, `Gauge g)
+        | Obs.Snapshot.Histogram h -> Some (name, `Observations h.Obs.Snapshot.count))
+      (Obs.Registry.snapshot metrics)
+  in
+  let tree =
+    List.map
+      (fun n ->
+        ( n.Obs.Trace.id,
+          n.Obs.Trace.parent,
+          n.Obs.Trace.name,
+          n.Obs.Trace.depth,
+          n.Obs.Trace.attrs ))
+      (Obs.Trace.nodes trace)
+  in
+  let decisions =
+    List.map
+      (fun d ->
+        (d.Obs.Trace.request_id, Format.asprintf "%a" Obs.Trace.pp_decision d))
+      (Obs.Trace.decisions trace)
+  in
+  (Format.asprintf "%a" A.pp_report report, snapshot, tree, decisions)
+
+let prop_domains_bit_identical =
+  QCheck.Test.make ~count:40 ~name:"run ~domains:4 = run ~domains:1"
+    QCheck.(pair small_int (pair (int_range 0 24) (float_range 0.2 1.)))
+    (fun (seed, (m, w)) ->
+      observable ~domains:1 ~seed ~m ~w = observable ~domains:4 ~seed ~m ~w)
+
+let prop_domains_2_3_bit_identical =
+  QCheck.Test.make ~count:20 ~name:"domain count never changes the observable run"
+    QCheck.(pair small_int (int_range 2 3))
+    (fun (seed, domains) ->
+      observable ~domains:1 ~seed ~m:15 ~w:0.5 = observable ~domains ~seed ~m:15 ~w:0.5)
+
+let prop_plan_partitions =
+  QCheck.Test.make ~count:300 ~name:"Shard.plan partitions [0, length)"
+    QCheck.(pair (int_range 1 12) (int_range 0 200))
+    (fun (shards, length) ->
+      let plan = Shard.plan ~shards ~length in
+      let expanded =
+        Array.to_list plan |> List.concat_map (fun (a, b) -> List.init (b - a) (( + ) a))
+      in
+      expanded = List.init length Fun.id
+      && Array.length plan = min shards length
+      && Array.for_all
+           (fun (a, b) -> b - a >= length / shards && b - a <= (length / shards) + 1)
+           plan)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "shard",
+        [
+          Alcotest.test_case "plan shapes" `Quick test_plan_shapes;
+          Alcotest.test_case "init matches sequential" `Quick
+            test_shard_init_matches_sequential;
+          Alcotest.test_case "split_rng deterministic" `Quick test_split_rng_deterministic;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs all shards" `Quick test_pool_runs_all_shards;
+          Alcotest.test_case "size 1 is inline" `Quick test_pool_size_one_is_inline;
+          Alcotest.test_case "propagates failure" `Quick test_pool_propagates_failure;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "shared pool memoized" `Quick test_shared_pool_is_memoized;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "snapshot merge" `Quick test_snapshot_merge;
+          Alcotest.test_case "merge kind mismatch" `Quick test_snapshot_merge_kind_mismatch;
+          Alcotest.test_case "registry absorb" `Quick test_registry_absorb;
+          Alcotest.test_case "trace merge" `Quick test_trace_merge_grafts_in_order;
+        ] );
+      ( "properties",
+        List.map Tq.to_alcotest
+          [
+            prop_domains_bit_identical;
+            prop_domains_2_3_bit_identical;
+            prop_plan_partitions;
+          ] );
+    ]

@@ -90,6 +90,52 @@ let test_string_roundtrip () =
   check_err "0.9,0.2,1.5" (* range *);
   check_err "" (* empty *)
 
+let test_string_boundaries () =
+  let check_err input =
+    match Params.of_string input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" input
+  in
+  (* Parseable floats outside (or not comparable to) [0, 1] must fail
+     the range check — nan in particular, which every >=/<= rejects. *)
+  check_err "nan,0.2,0.3";
+  check_err "0.9,nan,0.3";
+  check_err "inf,0.2,0.3";
+  check_err "0.9,0.2,-inf";
+  check_err "1e300,0.2,0.3";
+  check_err "0.9,0.2,0.3," (* trailing comma is a fourth (empty) field *);
+  check_err ",0.9,0.2,0.3";
+  check_err "0.9,,0.3";
+  (* Denormal-adjacent but in range: fine, and exact. *)
+  (match Params.of_string "1e-300,0.2,0.3" with
+  | Ok p -> Alcotest.(check (float 0.)) "tiny quality survives" 1e-300 p.Params.quality
+  | Error e -> Alcotest.failf "1e-300 rejected: %s" e);
+  (* Internal whitespace around each field is trimmed, including tabs. *)
+  match Params.of_string "\t0.9 ,\t0.2 , 0.3\t" with
+  | Ok p -> Alcotest.(check bool) "tabs trimmed" true (Params.equal p (mk 0.9 0.2 0.3))
+  | Error e -> Alcotest.failf "whitespace rejected: %s" e
+
+let test_equal_semantics () =
+  let p = mk 0.5 0.5 0.5 in
+  Alcotest.(check bool) "reflexive" true (Params.equal p p);
+  Alcotest.(check bool) "structural" true (Params.equal p (mk 0.5 0.5 0.5));
+  Alcotest.(check bool) "differs" false (Params.equal p (mk 0.5 0.5 0.25));
+  (* Float.equal semantics: -0. = 0., and nan (reachable only through
+     make_unchecked) stays reflexive rather than poisoning equality. *)
+  Alcotest.(check bool) "negative zero" true
+    (Params.equal
+       (Params.make_unchecked ~quality:(-0.) ~cost:0.2 ~latency:0.3)
+       (mk 0. 0.2 0.3));
+  let with_nan = Params.make_unchecked ~quality:Float.nan ~cost:0.2 ~latency:0.3 in
+  Alcotest.(check bool) "nan is reflexive" true (Params.equal with_nan with_nan);
+  Alcotest.(check bool) "nan differs from numbers" false
+    (Params.equal with_nan (mk 0.9 0.2 0.3));
+  (* Point3 agrees with its own compare on the same cases. *)
+  let nan_pt = P3.make Float.nan 1. 2. in
+  Alcotest.(check bool) "Point3.equal reflexive on nan" true (P3.equal nan_pt nan_pt);
+  Alcotest.(check bool) "equal iff compare = 0" true (P3.compare nan_pt nan_pt = 0);
+  Alcotest.(check bool) "Point3 -0. = 0." true (P3.equal (P3.make (-0.) 0. 0.) P3.zero)
+
 let tri = QCheck.(triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.))
 
 let prop_string_roundtrip =
@@ -131,6 +177,8 @@ let () =
           Alcotest.test_case "distance" `Quick test_distance;
           Alcotest.test_case "relaxation (paper numbers)" `Quick test_relaxation;
           Alcotest.test_case "string round-trip" `Quick test_string_roundtrip;
+          Alcotest.test_case "string boundaries" `Quick test_string_boundaries;
+          Alcotest.test_case "equal semantics" `Quick test_equal_semantics;
         ] );
       ( "properties",
         List.map Tq.to_alcotest

@@ -48,6 +48,43 @@ let test_fault_parse_errors () =
   rejects "outage=tuesday";
   rejects "no-show"
 
+let test_fault_outage_indices () =
+  (* Bare indices parse (they are to_string's rendering of plans built
+     with out-of-range-free records), out-of-range ones are rejected
+     with the valid range, and [*] composes with further windows. *)
+  (match Fault.of_string "outage=0+2" with
+  | Ok p ->
+      Alcotest.(check bool) "0 and 2 down, 1 up" true
+        (Fault.outage p ~window:0 && (not (Fault.outage p ~window:1))
+        && Fault.outage p ~window:2)
+  | Error m -> Alcotest.failf "numeric indices rejected: %s" m);
+  (match Fault.of_string "outage=1+early-week" with
+  | Ok p -> Alcotest.(check (list int)) "index and name dedupe" [ 1 ] p.Fault.outages
+  | Error m -> Alcotest.failf "mixed spelling rejected: %s" m);
+  (match Fault.of_string "outage=3" with
+  | Ok _ -> Alcotest.fail "out-of-range index accepted"
+  | Error m ->
+      Alcotest.(check string) "range named" "outage window index 3 outside [0, 2]" m);
+  (match Fault.of_string "outage=-1" with
+  | Ok _ -> Alcotest.fail "negative index accepted"
+  | Error _ -> ());
+  (* '*' must not swallow the windows (or the errors) after it. *)
+  (match Fault.of_string "outage=*+bogus" with
+  | Ok _ -> Alcotest.fail "'*' swallowed a bad window"
+  | Error _ -> ());
+  match Fault.of_string "outage=*+weekend" with
+  | Ok p -> Alcotest.(check (list int)) "'*' plus a name" [ 0; 1; 2 ] p.Fault.outages
+  | Error m -> Alcotest.failf "'*'+name rejected: %s" m
+
+let prop_fault_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"Fault.of_string (to_string plan) = Ok plan"
+    QCheck.small_int
+    (fun seed ->
+      let plan = Fault.random (Rng.create seed) in
+      match Fault.of_string (Fault.to_string plan) with
+      | Ok plan' -> plan = plan'
+      | Error _ -> false)
+
 let test_fault_combine () =
   let a = Fault.make ~no_show:0.3 ~outages:[ 0 ] () in
   let b = Fault.make ~no_show:0.1 ~dropout:0.4 ~outages:[ 1 ] () in
@@ -287,6 +324,8 @@ let () =
           Alcotest.test_case "none" `Quick test_fault_none;
           Alcotest.test_case "round trip" `Quick test_fault_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_fault_parse_errors;
+          Alcotest.test_case "outage indices" `Quick test_fault_outage_indices;
+          Tq.to_alcotest prop_fault_roundtrip;
           Alcotest.test_case "combine" `Quick test_fault_combine;
           Alcotest.test_case "validation" `Quick test_fault_validation;
           Alcotest.test_case "random deterministic" `Quick test_fault_random_deterministic;
