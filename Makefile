@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the one the checks run.
 
-.PHONY: all build test ci fmt clean bench-smoke chaos par
+.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par
 
 all: build
 
@@ -25,6 +25,23 @@ bench-smoke: build
 	done && \
 	echo "bench-smoke: all experiments passed"
 
+# Regression gate: re-run the smoke suite with machine-readable
+# BENCH_<exp>.json artifacts (bench/out/, gitignored) and diff each
+# against the committed bench/baselines/ with per-metric tolerances —
+# exits non-zero when any metric regresses beyond tolerance.
+bench-check: build
+	rm -rf bench/out
+	dune exec bench/main.exe -- --smoke --out bench/out --baseline bench/baselines \
+	  > bench/out.log || { cat bench/out.log; rm -f bench/out.log; exit 1; }
+	@grep -A8 '^== bench diff' bench/out.log; rm -f bench/out.log
+	@echo "bench-check: no regressions against bench/baselines"
+
+# Refresh the committed baselines from the current tree (run on a quiet
+# machine, then commit bench/baselines/).
+bench-baseline: build
+	dune exec bench/main.exe -- --smoke --out bench/baselines > /dev/null
+	@echo "bench-baseline: wrote bench/baselines/"
+
 # Chaos gate: the randomized fault-plan property harness under a pinned
 # QCheck seed (reproducible counter-example shrinking), then one traced
 # faulted iteration of the chaos bench experiment.
@@ -44,9 +61,9 @@ par: build
 	dune exec bench/main.exe -- --smoke --only par
 	@tmp=$$(mktemp -d) && \
 	trap 'rm -rf "$$tmp"' EXIT && \
-	dune exec bin/stratrec_cli.exe -- example --metrics --domains 1 \
+	dune exec bin/stratrec_cli.exe -- example --metrics --profile --domains 1 \
 	  | awk '/counter/ {print $$1, $$3}' > "$$tmp/seq" && \
-	dune exec bin/stratrec_cli.exe -- example --metrics --domains 4 \
+	dune exec bin/stratrec_cli.exe -- example --metrics --profile --domains 4 \
 	  | awk '/counter/ {print $$1, $$3}' > "$$tmp/par" && \
 	diff "$$tmp/seq" "$$tmp/par" \
 	  || { echo "par: --domains 4 diverged from --domains 1"; exit 1; }
@@ -62,6 +79,7 @@ ci:
 	dune build @all
 	dune runtest
 	$(MAKE) bench-smoke
+	$(MAKE) bench-check
 	$(MAKE) chaos
 	$(MAKE) par
 	@if command -v ocamlformat >/dev/null 2>&1; then \

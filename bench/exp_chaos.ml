@@ -58,7 +58,11 @@ let run_plan ~n ~m faults =
       ~strategies ~requests ()
   with
   | Error e -> failwith (Engine.error_message e)
-  | Ok report -> report
+  | Ok report ->
+      (* Fold the plan's run into the harness registry so the bench
+         artifact sees the engine histograms across every fault plan. *)
+      Obs.Registry.absorb !Bench_common.metrics report.Engine.metrics;
+      report
 
 let run () =
   Bench_common.section "Chaos - resilient deployment under fault injection";

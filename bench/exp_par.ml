@@ -12,17 +12,23 @@
 
 module Model = Stratrec_model
 module Obs = Stratrec_obs
+module Pool = Stratrec_par.Pool
+module Json = Stratrec_util.Json
 module Tabular = Stratrec_util.Tabular
 
 let domain_counts = [ 1; 2; 4 ]
 
 (* Everything deterministic a run produces; timing histograms contribute
-   their observation counts only (the values are clock readings). *)
+   their observation counts only (the values are clock readings), and the
+   par.* pool-utilization gauges are dropped outright — they are
+   scheduling measurements, the one instrument family allowed to differ
+   across domain counts. *)
 let fingerprint report metrics trace =
   let snapshot =
     List.filter_map
       (fun { Obs.Snapshot.name; value } ->
         match value with
+        | _ when String.starts_with ~prefix:"par." name -> None
         | Obs.Snapshot.Counter n -> Some (name, `Counter n)
         | Obs.Snapshot.Gauge g -> Some (name, `Gauge g)
         | Obs.Snapshot.Histogram h -> Some (name, `Observations h.Obs.Snapshot.count))
@@ -48,11 +54,27 @@ let one_run ~domains ~n ~m ~k ~w =
   let requests = Bench_common.hard_requests rng ~m ~k in
   let metrics = Obs.Registry.create () in
   let trace = Obs.Trace.create () in
+  (* Profile every run: the wall/GC histograms and the pool's par.*
+     utilization gauges ride along in [metrics], and the fingerprint
+     check below doubles as proof that profiling stays off the
+     determinism path. *)
+  let pool = if domains > 1 then Some (Pool.shared ~domains) else None in
+  Option.iter
+    (fun p ->
+      Pool.reset_stats p;
+      Pool.set_profiling p true)
+    pool;
   let elapsed, report =
     Bench_common.time (fun () ->
-        Stratrec.Aggregator.run ~metrics ~trace ~domains
-          ~availability:(Model.Availability.certain w) ~strategies ~requests ())
+        Obs.Profile.time metrics "exp_par.triage" (fun () ->
+            Stratrec.Aggregator.run ~metrics ~trace ~domains
+              ~availability:(Model.Availability.certain w) ~strategies ~requests ()))
   in
+  Option.iter
+    (fun p ->
+      Pool.set_profiling p false;
+      Pool.export p ~metrics)
+    pool;
   (elapsed, fingerprint report metrics trace)
 
 let run () =
@@ -69,6 +91,8 @@ let run () =
   let t = Tabular.create ~columns:[ "domains"; "seconds"; "speedup"; "identical" ] in
   let baseline_seconds = ref 0. in
   let baseline_fingerprint = ref None in
+  let last_domains = ref 1 in
+  let last_seconds = ref 0. in
   List.iter
     (fun domains ->
       let samples = List.init runs (fun _ -> one_run ~domains ~n ~m ~k ~w) in
@@ -92,6 +116,8 @@ let run () =
             end;
             "yes"
       in
+      last_domains := domains;
+      last_seconds := seconds;
       Tabular.add_row t
         [
           string_of_int domains;
@@ -101,6 +127,14 @@ let run () =
         ])
     domain_counts;
   Bench_common.print_table ~title:"triage wall-clock by domain count" t;
+  (* Artifact field: speedup-per-domain at the widest point of the sweep
+     (1.0 = perfect linear scaling). Informational — the bench diff gate
+     does not threshold extra fields, since efficiency depends on the
+     machine's free cores. *)
+  if !last_seconds > 0. then
+    Bench_common.report_field "domain_scaling_efficiency"
+      (Json.Number
+         (!baseline_seconds /. !last_seconds /. float_of_int !last_domains));
   print_endline
     "Expected shape: every row identical to the baseline; speedup >= 2x at 4 domains\n\
      on the full-size workload given >= 4 cores (on fewer cores the extra domains\n\

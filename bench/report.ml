@@ -1,0 +1,234 @@
+(* Machine-readable bench artifacts and the regression comparator.
+
+   Every experiment run under `--out DIR` writes DIR/BENCH_<exp>.json:
+   wall time, operation count and latency percentiles (from the obs
+   histograms the experiment observed into), throughput, GC allocation
+   deltas, plus any experiment-specific extra fields
+   (Bench_common.report_field). `stratrec-bench diff OLD NEW` compares
+   two artifacts metric by metric against per-metric tolerances and exits
+   non-zero on a regression — `make bench-check` runs the smoke suite
+   against the committed bench/baselines this way.
+
+   Tolerances are deliberately loose on time (shared CI machines jitter
+   by integer factors) and tight on the deterministic dimensions (ops is
+   exact, allocation per op is allowed 2x): the gate is meant to catch
+   structural regressions — an experiment silently doing 10x the work or
+   allocating double per operation — not micro-variance. *)
+
+module Json = Stratrec_util.Json
+module Obs = Stratrec_obs
+
+let schema = "stratrec-bench/1"
+
+let mode_label () =
+  if !Bench_common.smoke then "smoke" else if !Bench_common.quick then "quick" else "full"
+
+let artifact_path ~dir experiment = Filename.concat dir ("BENCH_" ^ experiment ^ ".json")
+
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  major_collections : int;
+}
+
+(* Minor words come from Gc.minor_words, which is exact; the quick_stat
+   counters only flush at minor-collection boundaries on OCaml 5, so a
+   small smoke run would read as zero through them. *)
+type gc_capture = { stat : Gc.stat; minor : float }
+
+let gc_capture () = { stat = Gc.quick_stat (); minor = Gc.minor_words () }
+
+let gc_delta ~before ~after =
+  {
+    minor_words = Float.max 0. (after.minor -. before.minor);
+    major_words = Float.max 0. (after.stat.Gc.major_words -. before.stat.Gc.major_words);
+    promoted_words =
+      Float.max 0. (after.stat.Gc.promoted_words -. before.stat.Gc.promoted_words);
+    major_collections =
+      max 0 (after.stat.Gc.major_collections - before.stat.Gc.major_collections);
+  }
+
+(* The latency source: the most specific non-empty duration histogram the
+   experiment recorded. Bench_common.time observes every timed thunk into
+   bench.run_seconds, so that is the usual winner; experiments that only
+   thread a registry into the engine fall through to the pipeline spans,
+   and anything else to the busiest *_seconds histogram. *)
+let latency_priority =
+  [
+    "bench.run_seconds";
+    "engine.run_seconds";
+    "aggregator.batch_seconds";
+    "aggregator.triage_seconds";
+  ]
+
+let latency_histogram snapshot =
+  let non_empty name =
+    match Obs.Snapshot.find snapshot name with
+    | Some (Obs.Snapshot.Histogram h) when h.Obs.Snapshot.count > 0 -> Some (name, h)
+    | _ -> None
+  in
+  match List.find_map non_empty latency_priority with
+  | Some source -> Some source
+  | None ->
+      List.fold_left
+        (fun acc { Obs.Snapshot.name; value } ->
+          match value with
+          | Obs.Snapshot.Histogram h
+            when h.Obs.Snapshot.count > 0 && Filename.check_suffix name "_seconds" -> (
+              match acc with
+              | Some (_, best) when best.Obs.Snapshot.count >= h.Obs.Snapshot.count -> acc
+              | _ -> Some (name, h))
+          | _ -> acc)
+        None snapshot
+
+let artifact ~experiment ~wall_seconds ~gc ~snapshot ~extra =
+  let latency = latency_histogram snapshot in
+  let ops = match latency with Some (_, h) -> h.Obs.Snapshot.count | None -> 1 in
+  let allocated = Float.max 0. (gc.minor_words +. gc.major_words -. gc.promoted_words) in
+  Json.Object
+    ([
+       ("schema", Json.String schema);
+       ("experiment", Json.String experiment);
+       ("mode", Json.String (mode_label ()));
+       ("wall_seconds", Json.Number wall_seconds);
+       ("ops", Json.Number (float_of_int ops));
+       ( "throughput_ops_per_sec",
+         Json.Number (if wall_seconds > 0. then float_of_int ops /. wall_seconds else 0.) );
+     ]
+    @ (match latency with
+      | None -> []
+      | Some (source, h) ->
+          let q p = Json.Number (Obs.Snapshot.histogram_quantile h p) in
+          [
+            ("latency_source", Json.String source);
+            ( "latency_seconds",
+              Json.Object [ ("p50", q 0.5); ("p90", q 0.9); ("p99", q 0.99) ] );
+          ])
+    @ [
+        ("allocated_words_per_op", Json.Number (allocated /. float_of_int (max 1 ops)));
+        ( "gc",
+          Json.Object
+            [
+              ("minor_words", Json.Number gc.minor_words);
+              ("major_words", Json.Number gc.major_words);
+              ("promoted_words", Json.Number gc.promoted_words);
+              ("major_collections", Json.Number (float_of_int gc.major_collections));
+            ] );
+      ]
+    @ match extra with [] -> [] | fields -> [ ("extra", Json.Object fields) ])
+
+let write ~dir ~experiment ~wall_seconds ~gc ~snapshot ~extra =
+  let path = artifact_path ~dir experiment in
+  let rendered =
+    Json.to_string ~indent:1 (artifact ~experiment ~wall_seconds ~gc ~snapshot ~extra) ^ "\n"
+  in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc rendered);
+  path
+
+(* ---- diff ---- *)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error message -> Error message
+  | contents -> (
+      match Json.of_string contents with
+      | Error message -> Error (Printf.sprintf "%s: %s" path message)
+      | Ok json -> Ok json)
+
+let string_field json name =
+  Option.bind (Json.member name json) Json.to_string_value
+
+let number_field json path =
+  let rec walk json = function
+    | [] -> Json.to_float json
+    | key :: rest -> Option.bind (Json.member key json) (fun j -> walk j rest)
+  in
+  walk json path
+
+(* One tolerance check. [limit] is the worst acceptable new value given
+   the old one; [direction] says which side of it is failing. *)
+type check = { metric : string; old_value : float; new_value : float; ok : bool; rule : string }
+
+let at_most ~slack ~factor metric old_value new_value =
+  let limit = (old_value *. factor) +. slack in
+  {
+    metric;
+    old_value;
+    new_value;
+    ok = new_value <= limit;
+    rule = Printf.sprintf "<= %gx + %g" factor slack;
+  }
+
+let at_least ~factor metric old_value new_value =
+  {
+    metric;
+    old_value;
+    new_value;
+    ok = new_value >= old_value /. factor;
+    rule = Printf.sprintf ">= old/%g" factor;
+  }
+
+let exactly metric old_value new_value =
+  { metric; old_value; new_value; ok = Float.equal old_value new_value; rule = "exact" }
+
+let checks ~old_json ~new_json =
+  let both path =
+    match (number_field old_json path, number_field new_json path) with
+    | Some o, Some n -> Some (o, n)
+    | _ -> None
+  in
+  let check path rule = Option.map (fun (o, n) -> rule (String.concat "." path) o n) (both path) in
+  List.filter_map Fun.id
+    [
+      check [ "ops" ] exactly;
+      check [ "wall_seconds" ] (at_most ~factor:10. ~slack:0.25);
+      check [ "latency_seconds"; "p50" ] (at_most ~factor:10. ~slack:0.05);
+      check [ "latency_seconds"; "p90" ] (at_most ~factor:10. ~slack:0.05);
+      check [ "latency_seconds"; "p99" ] (at_most ~factor:10. ~slack:0.05);
+      check [ "throughput_ops_per_sec" ] (at_least ~factor:10.);
+      check [ "allocated_words_per_op" ] (at_most ~factor:2. ~slack:4096.);
+    ]
+
+let diff_files ~old_path ~new_path =
+  match (load old_path, load new_path) with
+  | Error message, _ | _, Error message ->
+      Printf.eprintf "bench diff: %s\n" message;
+      2
+  | Ok old_json, Ok new_json -> (
+      let incompatible name =
+        match (string_field old_json name, string_field new_json name) with
+        | Some o, Some n when o = n -> None
+        | o, n ->
+            Some
+              (Printf.sprintf "%s mismatch: old %s, new %s" name
+                 (Option.value o ~default:"<missing>")
+                 (Option.value n ~default:"<missing>"))
+      in
+      match List.find_map incompatible [ "schema"; "experiment"; "mode" ] with
+      | Some message ->
+          Printf.eprintf "bench diff: %s (artifacts are not comparable)\n" message;
+          2
+      | None ->
+          let results = checks ~old_json ~new_json in
+          let failures = List.filter (fun c -> not c.ok) results in
+          List.iter
+            (fun c ->
+              Printf.printf "%-11s %-26s old %-14g new %-14g (%s)\n"
+                (if c.ok then "ok" else "REGRESSION")
+                c.metric c.old_value c.new_value c.rule)
+            results;
+          if failures = [] then begin
+            Printf.printf "no regressions (%d metrics within tolerance)\n" (List.length results);
+            0
+          end
+          else begin
+            Printf.printf "%d metric(s) regressed beyond tolerance\n" (List.length failures);
+            1
+          end)
+
+let diff_main = function
+  | [ old_path; new_path ] -> diff_files ~old_path ~new_path
+  | _ ->
+      prerr_endline "usage: stratrec-bench diff OLD.json NEW.json";
+      2

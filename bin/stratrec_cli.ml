@@ -85,8 +85,87 @@ let triple_conv =
   Arg.conv (parse, print)
 
 let metrics_arg =
-  let doc = "Print the run's metrics snapshot (triage counters, spans, gauges) as a table." in
+  let doc =
+    "Print the run's metrics snapshot (triage counters, spans, gauges) to stdout in the \
+     $(b,--metrics-format)."
+  in
   Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_format_arg =
+  let doc =
+    "Snapshot format for $(b,--metrics) and $(b,--metrics-out): $(b,table) (human), \
+     $(b,json) (the snapshot codec) or $(b,openmetrics) (Prometheus/OpenMetrics text \
+     exposition, scrapeable)."
+  in
+  Arg.(value
+       & opt (enum [ ("table", `Table); ("json", `Json); ("openmetrics", `Openmetrics) ]) `Table
+       & info [ "metrics-format" ] ~docv:"FORMAT" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the metrics snapshot to $(docv) in the $(b,--metrics-format); stdout printing \
+     still requires $(b,--metrics)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Record profiling histograms for the run (wall seconds and GC allocation deltas \
+     under $(b,engine.run.*)) and, with $(b,--domains) > 1, per-domain pool utilization \
+     gauges ($(b,par.*)). Profiling never changes the report, counters, span tree or \
+     decisions — output stays bit-identical."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let log_arg =
+  let doc =
+    "Write a structured JSON-lines run log (one self-describing object per line, \
+     correlated to the active trace span) to $(docv); without a value, to stderr."
+  in
+  Arg.(value & opt ~vopt:(Some "-") (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+(* The log destination owns the channel: the engine borrows the logger
+   only for the duration of [f], so file-backed logs are flushed and
+   closed before the CLI exits. *)
+let with_log destination f =
+  match destination with
+  | None -> f Obs.Log.noop
+  | Some "-" -> f (Obs.Log.create ~writer:(fun line -> Printf.eprintf "%s\n%!" line) ())
+  | Some path -> (
+      try
+        Out_channel.with_open_text path (fun oc ->
+            f
+              (Obs.Log.create
+                 ~writer:(fun line -> Out_channel.output_string oc (line ^ "\n"))
+                 ()))
+      with Sys_error message -> Error (`Msg message))
+
+(* A log-attached registry forwards registry warnings (e.g. histogram
+   bucket-layout conflicts) into the structured log as warn records. *)
+let metrics_registry log =
+  if Obs.Log.enabled log then Some (Obs.Registry.create ~sink:(Obs.Log.warning_sink log) ())
+  else None
+
+let render_metrics format snapshot =
+  match format with
+  | `Table -> Stratrec_util.Tabular.render (Obs.Snapshot.to_table snapshot)
+  | `Json -> Stratrec_util.Json.to_string ~indent:1 (Obs.Snapshot.to_json snapshot) ^ "\n"
+  | `Openmetrics -> Obs.Snapshot.to_openmetrics snapshot
+
+let emit_metrics ~show ~format ~out snapshot =
+  (if show then
+     match format with
+     | `Table ->
+         Stratrec_util.Tabular.print ~title:"run metrics" (Obs.Snapshot.to_table snapshot)
+     | (`Json | `Openmetrics) as format -> print_string (render_metrics format snapshot));
+  match out with
+  | None -> Ok ()
+  | Some path -> (
+      try
+        Ok
+          (Out_channel.with_open_text path (fun oc ->
+               Out_channel.output_string oc (render_metrics format snapshot)))
+      with Sys_error message -> Error (`Msg message))
 
 (* Positivity is validated by Engine.run (`Invalid_config), so the error
    message is the same whether the value came from the CLI or the API. *)
@@ -214,9 +293,11 @@ let emit_trace destination trace =
 
 (* recommend *)
 
-let recommend verbose seed n m k w dist objective catalog show_metrics trace_dest deploy
-    faults retries population capacity window domains =
+let recommend verbose seed n m k w dist objective catalog show_metrics metrics_format
+    metrics_out trace_dest log_dest profile deploy faults retries population capacity
+    window domains =
   setup_logging verbose;
+  with_log log_dest @@ fun log ->
   let rng = Rng.create seed in
   let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
   let requests = Model.Workload.requests rng ~m ~k in
@@ -232,8 +313,11 @@ let recommend verbose seed n m k w dist objective catalog show_metrics trace_des
           inversion_rule = `Paper_equality;
           reestimate_parameters = false;
         };
+      Engine.metrics = metrics_registry log;
       Engine.deploy;
       Engine.domains;
+      Engine.profile;
+      Engine.log = log;
     }
   in
   let* report =
@@ -242,9 +326,10 @@ let recommend verbose seed n m k w dist objective catalog show_metrics trace_des
   in
   Format.printf "%a@." Stratrec.Aggregator.pp_report report.Engine.aggregate;
   print_deployed report;
-  if show_metrics then
-    Stratrec_util.Tabular.print ~title:"run metrics"
-      (Obs.Snapshot.to_table report.Engine.metrics);
+  let* () =
+    emit_metrics ~show:show_metrics ~format:metrics_format ~out:metrics_out
+      report.Engine.metrics
+  in
   emit_trace trace_dest report.Engine.trace
 
 let recommend_cmd =
@@ -258,7 +343,8 @@ let recommend_cmd =
     (Cmd.info "recommend" ~doc:"Batch deployment recommendation on a synthetic catalog")
     Term.(term_result
             (const recommend $ verbose_arg $ seed_arg $ strategies_arg $ m_arg $ k_arg
-             $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg $ trace_arg
+             $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg
+             $ metrics_format_arg $ metrics_out_arg $ trace_arg $ log_arg $ profile_arg
              $ deploy_arg $ faults_arg $ retries_arg $ population_arg $ capacity_arg
              $ window_arg $ domains_arg))
 
@@ -391,13 +477,24 @@ let simulate_cmd =
 
 (* example *)
 
-let example show_metrics trace_dest deploy faults retries domains =
+let example show_metrics metrics_format metrics_out trace_dest log_dest profile deploy
+    faults retries domains =
+  with_log log_dest @@ fun log ->
   let rng = Rng.create 2020 in
   let* deploy =
     deploy_config ~rng ~deploy ~faults ~retries ~population:200 ~capacity:5
       ~window:Sim.Window.Weekend
   in
-  let config = { Engine.default_config with Engine.deploy; Engine.domains } in
+  let config =
+    {
+      Engine.default_config with
+      Engine.metrics = metrics_registry log;
+      Engine.deploy;
+      Engine.domains;
+      Engine.profile;
+      Engine.log = log;
+    }
+  in
   let* report =
     Result.map_error engine_msg
       (Engine.run ~config ~rng
@@ -408,16 +505,18 @@ let example show_metrics trace_dest deploy faults retries domains =
   in
   Format.printf "%a@." Stratrec.Aggregator.pp_report report.Engine.aggregate;
   print_deployed report;
-  if show_metrics then
-    Stratrec_util.Tabular.print ~title:"run metrics"
-      (Obs.Snapshot.to_table report.Engine.metrics);
+  let* () =
+    emit_metrics ~show:show_metrics ~format:metrics_format ~out:metrics_out
+      report.Engine.metrics
+  in
   emit_trace trace_dest report.Engine.trace
 
 let example_cmd =
   Cmd.v
     (Cmd.info "example" ~doc:"Walk through the paper's Example 1")
     Term.(term_result
-            (const example $ metrics_arg $ trace_arg $ deploy_arg $ faults_arg
+            (const example $ metrics_arg $ metrics_format_arg $ metrics_out_arg
+             $ trace_arg $ log_arg $ profile_arg $ deploy_arg $ faults_arg
              $ retries_arg $ domains_arg))
 
 let main_cmd =

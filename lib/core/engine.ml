@@ -2,6 +2,7 @@ module Model = Stratrec_model
 module Sim = Stratrec_crowdsim
 module Obs = Stratrec_obs
 module Res = Stratrec_resilience
+module Json = Stratrec_util.Json
 module Deployment = Model.Deployment
 module Strategy = Model.Strategy
 
@@ -21,6 +22,8 @@ type config = {
   trace : Obs.Trace.t option;
   deploy : deploy_config option;
   domains : int;
+  profile : bool;
+  log : Obs.Log.t;
 }
 
 let default_config =
@@ -30,6 +33,8 @@ let default_config =
     trace = None;
     deploy = None;
     domains = 1;
+    profile = false;
+    log = Obs.Log.noop;
   }
 
 type rejection = Breaker_open | Deadline_exhausted | All_attempts_empty
@@ -164,7 +169,8 @@ let cheapest_first strategies =
         b.Strategy.params.Model.Params.cost)
     strategies
 
-let deploy_satisfied ~metrics ~trace ~rng deploy (aggregate : Aggregator.report) satisfied =
+let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.report)
+    satisfied =
   let policy = deploy.resilience in
   let count name = Obs.Registry.incr (Obs.Registry.counter metrics name) in
   (* Register the resilience counters up front so every faulted run's
@@ -299,6 +305,14 @@ let deploy_satisfied ~metrics ~trace ~rng deploy (aggregate : Aggregator.report)
         | Rejected reason ->
             count "resilience.rejections_total";
             if reason = Breaker_open then count "resilience.breaker_open_total";
+            Obs.Log.warn log ~trace "deploy rejected"
+              ~fields:
+                [
+                  ("request", Json.Number (float_of_int request.Deployment.id));
+                  ("label", Json.String request.Deployment.label);
+                  ("reason", Json.String (rejection_reason reason));
+                  ("attempts", Json.Number (float_of_int (List.length !attempts)));
+                ];
             Obs.Trace.add_attr trace "outcome"
               (Obs.Trace.String ("rejected: " ^ rejection_reason reason)));
         Obs.Trace.add_attr trace "attempts" (Obs.Trace.Int (List.length !attempts));
@@ -329,6 +343,24 @@ let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
       let trace =
         match config.trace with Some t -> t | None -> Obs.Trace.create ()
       in
+      let log = config.log in
+      (* Profiling stays off the determinism path: Profile.time adds only
+         histograms, the pool export only gauges — counters, spans and
+         decisions are untouched, so a profiled run's report is
+         bit-identical to an unprofiled one at any domain count. *)
+      let pool =
+        if config.profile && config.domains > 1 then
+          Some (Stratrec_par.Pool.shared ~domains:config.domains)
+        else None
+      in
+      Option.iter
+        (fun p ->
+          Stratrec_par.Pool.reset_stats p;
+          Stratrec_par.Pool.set_profiling p true)
+        pool;
+      let profiled f =
+        if config.profile then Obs.Profile.time metrics "engine.run" f else f ()
+      in
       let report =
         Obs.Trace.span trace "engine.run"
           ~attrs:
@@ -337,6 +369,15 @@ let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
               ("strategies", Obs.Trace.Int (Array.length strategies));
             ]
         @@ fun () ->
+        Obs.Log.info log ~trace "engine run started"
+          ~fields:
+            [
+              ("requests", Json.Number (float_of_int (Array.length requests)));
+              ("strategies", Json.Number (float_of_int (Array.length strategies)));
+              ("domains", Json.Number (float_of_int config.domains));
+              ("deploy", Json.Bool (Option.is_some config.deploy));
+            ];
+        profiled @@ fun () ->
         Obs.Span.time metrics "engine.run_seconds" (fun () ->
             Obs.Registry.incr (Obs.Registry.counter metrics "engine.runs_total");
             let aggregate =
@@ -351,7 +392,7 @@ let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
                     match rng with Some rng -> rng | None -> Stratrec_util.Rng.create 2020
                   in
                   Obs.Trace.span trace "engine.deploy" (fun () ->
-                      deploy_satisfied ~metrics ~trace ~rng deploy aggregate
+                      deploy_satisfied ~metrics ~trace ~log ~rng deploy aggregate
                         (Aggregator.satisfied aggregate))
             in
             Obs.Registry.incr_by
@@ -366,6 +407,22 @@ let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
               trace;
             })
       in
+      Option.iter
+        (fun p ->
+          Stratrec_par.Pool.set_profiling p false;
+          Stratrec_par.Pool.export p ~metrics)
+        pool;
+      Obs.Log.info log ~trace "engine run finished"
+        ~fields:
+          [
+            ("requests", Json.Number (float_of_int report.counts.requests));
+            ("satisfied", Json.Number (float_of_int report.counts.satisfied));
+            ("alternatives", Json.Number (float_of_int report.counts.alternatives));
+            ( "workforce_limited",
+              Json.Number (float_of_int report.counts.workforce_limited) );
+            ("no_alternative", Json.Number (float_of_int report.counts.no_alternative));
+            ("deployed", Json.Number (float_of_int (List.length report.deployed)));
+          ];
       (* Snapshot after the span has finished, so the snapshot itself sees
          the engine.run_seconds observation (and the trace its closed
          engine.run root). *)

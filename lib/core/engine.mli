@@ -61,6 +61,22 @@ type config = {
           1 (the default) keeps everything on the calling domain. The
           report is bit-identical either way. Validated by {!run}:
           values below 1 are an [`Invalid_config] error *)
+  profile : bool;
+      (** when [true], wrap the run in {!Stratrec_obs.Profile.time}
+          (recording [engine.run.wall_seconds] and the [engine.run.gc.*]
+          allocation histograms) and — for [domains > 1] — switch the
+          shared pool's utilization probes on for the duration, exporting
+          them afterwards as [par.*] gauges
+          ({!Stratrec_par.Pool.export}). Profiling adds only histograms
+          and gauges, never counters, spans or decisions, so the report,
+          counter set, span tree and decision log stay bit-identical to
+          an unprofiled run at any domain count. Default [false] *)
+  log : Stratrec_obs.Log.t;
+      (** structured run log (default {!Stratrec_obs.Log.noop}): the
+          engine emits an [info] record when a run starts (request /
+          strategy / domain counts) and finishes (outcome tallies), and a
+          [warn] per deploy-stage rejection, each correlated to the
+          enclosing trace span *)
 }
 
 val default_config : config

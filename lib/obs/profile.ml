@@ -1,0 +1,40 @@
+let allocation_buckets = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10 |]
+let collection_buckets = [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 1000. |]
+
+let observe ~buckets registry name value =
+  Registry.observe (Registry.histogram ~buckets registry name) value
+
+let time ?(clock = Registry.wall_clock) registry name f =
+  if not (Registry.enabled registry) then f ()
+  else begin
+    let started = clock () in
+    let before = Gc.quick_stat () in
+    (* Gc.minor_words (not quick_stat.minor_words): the quick_stat
+       counters only flush at minor-collection boundaries on OCaml 5, so
+       a stage allocating less than one minor heap would read as zero. *)
+    let before_minor = Gc.minor_words () in
+    let record () =
+      let after = Gc.quick_stat () in
+      let elapsed = Float.max 0. (clock () -. started) in
+      observe ~buckets:Registry.duration_buckets registry (name ^ ".wall_seconds") elapsed;
+      observe ~buckets:allocation_buckets registry
+        (name ^ ".gc.minor_words")
+        (Float.max 0. (Gc.minor_words () -. before_minor));
+      observe ~buckets:allocation_buckets registry
+        (name ^ ".gc.major_words")
+        (Float.max 0. (after.Gc.major_words -. before.Gc.major_words));
+      observe ~buckets:allocation_buckets registry
+        (name ^ ".gc.promoted_words")
+        (Float.max 0. (after.Gc.promoted_words -. before.Gc.promoted_words));
+      observe ~buckets:collection_buckets registry
+        (name ^ ".gc.major_collections")
+        (float_of_int (max 0 (after.Gc.major_collections - before.Gc.major_collections)))
+    in
+    match f () with
+    | value ->
+        record ();
+        value
+    | exception exn ->
+        record ();
+        raise exn
+  end

@@ -32,6 +32,22 @@ let enabled t = t.enabled
 let now t = if t.enabled then t.clock () else 0.
 let emit t event = if t.enabled then t.sink event
 
+(* Monotone wall clock: gettimeofday guarded by a high-water mark, so an
+   NTP step backwards can stall it but never make a span negative. The
+   mark is process-global (domains share wall time) and updated with a
+   CAS so concurrent readers stay monotone too. *)
+let wall_mark = Atomic.make 0.
+
+let wall_clock () =
+  let now = Unix.gettimeofday () in
+  let rec publish () =
+    let last = Atomic.get wall_mark in
+    if now <= last then last
+    else if Atomic.compare_and_set wall_mark last now then now
+    else publish ()
+  in
+  publish ()
+
 let duration_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
 let fraction_buckets = [| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
 
@@ -63,13 +79,6 @@ let validate_buckets buckets =
       if i > 0 && b <= buckets.(i - 1) then
         invalid_arg "Stratrec_obs.Registry.histogram: bucket bounds must ascend")
     buckets
-
-let histogram ?(buckets = duration_buckets) t name =
-  validate_buckets buckets;
-  (match Hashtbl.find_opt t.table name with
-  | None | Some (H _) -> ()
-  | Some other -> kind_error name (instrument_kind other));
-  { hreg = t; hname = name; hbuckets = buckets }
 
 let counter_state t name =
   match Hashtbl.find_opt t.table name with
@@ -106,6 +115,41 @@ let histogram_state t name buckets =
       in
       Hashtbl.replace t.table name (H h);
       h
+
+let bucket_layout_conflicts = "obs.bucket_layout_conflicts_total"
+
+let histogram ?(buckets = duration_buckets) t name =
+  validate_buckets buckets;
+  if t.enabled then begin
+    match Hashtbl.find_opt t.table name with
+    | None ->
+        (* Materialize eagerly so a later registration under the same
+           name can be checked against this layout. *)
+        ignore (histogram_state t name buckets)
+    | Some (H h) ->
+        if
+          Array.length h.bounds <> Array.length buckets
+          || not (Array.for_all2 Float.equal h.bounds buckets)
+        then begin
+          (* Keep the original layout, but don't stay silent about it:
+             bump the self-metric and hand the sink a warning event. *)
+          let r = counter_state t bucket_layout_conflicts in
+          r := !r + 1;
+          t.sink (Sink.Counter_incr { name = bucket_layout_conflicts; by = 1; total = !r });
+          t.sink
+            (Sink.Warning
+               {
+                 name;
+                 message =
+                   Printf.sprintf
+                     "histogram %S re-registered with a conflicting bucket layout (%d \
+                      bounds vs %d); keeping the original"
+                     name (Array.length h.bounds) (Array.length buckets);
+               })
+        end
+    | Some other -> kind_error name (instrument_kind other)
+  end;
+  { hreg = t; hname = name; hbuckets = buckets }
 
 let incr_by c by =
   if by < 0 then invalid_arg "Stratrec_obs.Registry.incr_by: negative increment";

@@ -14,8 +14,11 @@
     Instruments are looked up by name: asking for an existing name with a
     different instrument kind raises [Invalid_argument]; asking for an
     existing histogram with a different bucket layout keeps the original
-    layout. The registry is not thread-safe — one registry per run (the
-    intended sharding unit) needs no locking. *)
+    layout, but counts the conflict in the
+    [obs.bucket_layout_conflicts_total] self-metric and forwards a
+    {!Sink.Warning} event instead of staying silent. The registry is not
+    thread-safe — one registry per run (the intended sharding unit) needs
+    no locking. *)
 
 type t
 
@@ -25,8 +28,24 @@ type histogram
 
 val create : ?sink:Sink.t -> ?clock:(unit -> float) -> unit -> t
 (** Fresh registry. [sink] defaults to {!Sink.silent}; [clock] (used by
-    {!Span} timers) defaults to [Sys.time] — the process clock, which is
-    monotone non-decreasing, unlike the wall clock. *)
+    {!Span} timers) defaults to [Sys.time].
+
+    Clock semantics: [Sys.time] is {e process CPU time} — monotone
+    non-decreasing and cheap, but it only advances while this process
+    burns CPU, so it under-reports wall latency whenever the work spreads
+    across domains (each second of 4-domain compute advances it by up to
+    four seconds of CPU) or blocks. Pass {!wall_clock} for {e wall}
+    semantics: what a caller actually waited. Span histograms record
+    whichever clock the registry carries; {!Profile} always measures wall
+    time (and says so in its metric names) precisely because the default
+    span clock does not. *)
+
+val wall_clock : unit -> float
+(** Monotonic wall clock: [Unix.gettimeofday] guarded by a process-wide
+    high-water mark, so it never steps backwards (an NTP step back
+    temporarily freezes it instead). Suitable as the [clock] argument of
+    {!create} and the clock {!Profile} and [Stratrec_par.Pool]'s
+    utilization probes read. *)
 
 val noop : t
 (** The disabled registry: instrument operations do nothing, snapshots
@@ -64,7 +83,11 @@ val gauge : t -> string -> gauge
 val histogram : ?buckets:float array -> t -> string -> histogram
 (** [buckets] is the array of inclusive upper bounds, sorted ascending
     (an implicit [+inf] bucket is appended); defaults to
-    {!duration_buckets}. @raise Invalid_argument if [buckets] is empty or
+    {!duration_buckets}. Registration is eager: the histogram appears in
+    snapshots (at zero observations) from this call on. Re-registering an
+    existing name with a different layout keeps the original layout,
+    increments [obs.bucket_layout_conflicts_total] and emits a
+    {!Sink.Warning}. @raise Invalid_argument if [buckets] is empty or
     unsorted. *)
 
 val incr : counter -> unit

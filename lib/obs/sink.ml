@@ -3,12 +3,13 @@ type event =
   | Gauge_set of { name : string; value : float }
   | Observe of { name : string; value : float }
   | Span_finish of { name : string; seconds : float }
+  | Warning of { name : string; message : string }
 
 type t = event -> unit
 
 let event_name = function
   | Counter_incr { name; _ } | Gauge_set { name; _ } | Observe { name; _ }
-  | Span_finish { name; _ } ->
+  | Span_finish { name; _ } | Warning { name; _ } ->
       name
 
 let pp_event ppf = function
@@ -17,6 +18,7 @@ let pp_event ppf = function
   | Gauge_set { name; value } -> Format.fprintf ppf "gauge %s = %g" name value
   | Observe { name; value } -> Format.fprintf ppf "observe %s %g" name value
   | Span_finish { name; seconds } -> Format.fprintf ppf "span %s %.6fs" name seconds
+  | Warning { name; message } -> Format.fprintf ppf "warning %s: %s" name message
 
 let silent _ = ()
 

@@ -18,6 +18,11 @@ type event =
       (** a histogram recorded a sample *)
   | Span_finish of { name : string; seconds : float }
       (** a span timer stopped after [seconds] *)
+  | Warning of { name : string; message : string }
+      (** the registry noticed a misuse it repaired instead of raising —
+          currently only a histogram re-registered under [name] with a
+          conflicting bucket layout (counted in
+          [obs.bucket_layout_conflicts_total]) *)
 
 type t = event -> unit
 

@@ -36,6 +36,29 @@ let histogram_sum t name =
   | Some (Histogram h) -> h.sum
   | Some (Counter _ | Gauge _) | None -> 0.
 
+(* Quantile estimate from the bucketed counts: find the bucket holding
+   the q-th observation and interpolate linearly inside it, using the
+   recorded min/max as the edges of the first and overflow buckets (the
+   exact values inside a bucket are gone; this is the histogram_quantile
+   estimator, bounded by construction to [min, max]). *)
+let histogram_quantile h q =
+  if h.count = 0 then 0.
+  else
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = q *. float_of_int h.count in
+    let clamp v = Float.min h.max (Float.max h.min v) in
+    let rec go lower cum = function
+      | [] -> h.max
+      | (le, n) :: rest ->
+          let cum' = cum + n in
+          if n > 0 && float_of_int cum' >= rank then
+            let upper = Float.max lower (if Float.is_finite le then le else h.max) in
+            let frac = (rank -. float_of_int cum) /. float_of_int n in
+            clamp (lower +. ((upper -. lower) *. frac))
+          else go (if Float.is_finite le then Float.max lower le else lower) cum' rest
+    in
+    go h.min 0 h.buckets
+
 (* Shard merge: counters and histograms accumulate, gauges are
    last-write-wins (the right operand is the later shard). Bucket layouts
    must agree — shard registries are created alike, so a mismatch is a
@@ -144,6 +167,90 @@ let to_json t =
          in
          (name, v))
        t)
+
+(* --- OpenMetrics / Prometheus text exposition --- *)
+
+(* Metric names are restricted to [a-zA-Z0-9_:]; the registry's dotted
+   names map dots (and anything else foreign) to underscores. The
+   original dotted spelling survives in the HELP line. *)
+let sanitize_name name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+  in
+  if mapped = "" then "_"
+  else
+    match mapped.[0] with
+    | '0' .. '9' -> "_" ^ mapped
+    | _ -> mapped
+
+(* HELP text escaping per the exposition format: backslash and newline. *)
+let escape_help text =
+  let buf = Buffer.create (String.length text) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+(* Label values additionally escape double quotes. *)
+let escape_label_value text =
+  let buf = Buffer.create (String.length text) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+let openmetrics_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Json.to_string (Json.Number f)
+
+let to_openmetrics t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun { name; value } ->
+      let sname = sanitize_name name in
+      line "# HELP %s %s" sname (escape_help name);
+      match value with
+      | Counter n ->
+          line "# TYPE %s counter" sname;
+          line "%s %d" sname n
+      | Gauge v ->
+          line "# TYPE %s gauge" sname;
+          line "%s %s" sname (openmetrics_float v)
+      | Histogram h ->
+          line "# TYPE %s histogram" sname;
+          (* Exposition buckets are cumulative; ours are per-bucket. The
+             final (+inf) bound always renders as le="+Inf" — snapshots
+             carry it explicitly, but cap the cumulative count at the
+             total either way. *)
+          let cum = ref 0 in
+          List.iter
+            (fun (le, n) ->
+              cum := !cum + n;
+              let bound =
+                if Float.is_finite le then openmetrics_float le else "+Inf"
+              in
+              line "%s_bucket{le=\"%s\"} %d" sname (escape_label_value bound) !cum)
+            h.buckets;
+          line "%s_sum %s" sname (openmetrics_float h.sum);
+          line "%s_count %d" sname h.count)
+    t;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
 
 let of_json json =
   let exception Bad of string in

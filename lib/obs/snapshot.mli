@@ -39,6 +39,14 @@ val histogram_count : t -> string -> int
 val histogram_sum : t -> string -> float
 (** 0. when absent or not a histogram. *)
 
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile ([q] clamped to
+    [\[0, 1\]]) from the bucketed counts: linear interpolation inside the
+    bucket holding the [q]-th observation, with the recorded min/max as
+    the edges of the first and overflow buckets. Always inside
+    [\[h.min, h.max\]]; [0.] on an empty histogram. This is the bench
+    harness's latency-percentile estimator. *)
+
 val merge : t -> t -> t
 (** [merge a b] combines two snapshots name-wise: counters add,
     histograms add bucket-wise (counts, totals; min/max combine, an
@@ -55,6 +63,16 @@ val to_table : t -> Stratrec_util.Tabular.t
 (** Columns [metric | type | value | detail]: counters and gauges carry
     their value, histograms their observation count with sum/min/max in
     the detail column. *)
+
+val to_openmetrics : t -> string
+(** Prometheus/OpenMetrics text exposition: one [# HELP] (carrying the
+    original dotted name, escaped) and [# TYPE] block per metric, in
+    snapshot (name) order, terminated by [# EOF]. Metric names are
+    sanitized to [\[a-zA-Z0-9_:\]] (dots become underscores; two dotted
+    names that collide after sanitization are both emitted). Histogram
+    buckets are rendered cumulatively with the mandatory
+    [le="+Inf"] bucket, plus [_sum] and [_count] series; finite numbers
+    use the same shortest round-trip rendering as {!to_json}. *)
 
 val to_json : t -> Stratrec_util.Json.t
 (** An object keyed by metric name. Histogram bucket bounds are emitted

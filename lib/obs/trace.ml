@@ -150,6 +150,10 @@ let merge t children =
                 (List.rev c.decided))
         children
 
+let current_span_id = function
+  | Noop -> None
+  | Active s -> ( match s.stack with r :: _ -> Some r.id | [] -> None)
+
 let span_count = function Noop -> 0 | Active s -> s.retained_count
 let dropped = function Noop -> 0 | Active s -> s.dropped
 

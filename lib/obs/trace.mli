@@ -116,6 +116,11 @@ val nodes : t -> node list
 (** The span tree flattened depth-first, siblings in start order.
     Spans whose parent was dropped surface as roots. *)
 
+val current_span_id : t -> int option
+(** The id of the innermost open span, [None] when the trace is disabled
+    or no span is open — what {!Log} stamps on records for
+    log/trace correlation. *)
+
 val span_count : t -> int
 (** Retained spans. *)
 

@@ -49,3 +49,45 @@ val run : t -> shards:int -> (int -> unit) -> unit
 val shutdown : t -> unit
 (** Joins the worker domains. Idempotent; later {!run}s raise. Intended
     for tests — long-lived processes keep their pools. *)
+
+(** {1 Utilization}
+
+    Every pool keeps per-domain utilization tallies: shard-tasks run
+    (always counted — one integer bump per shard), and — only while
+    profiling is switched on, so the default path never reads a clock
+    per shard — wall seconds spent inside shard bodies and wall seconds
+    a worker waited between a job's publication and picking it up.
+    Profiling alters no pool behaviour and none of the caller-visible
+    output (the execution plan stays a pure function of
+    [(size, shards)]); it only adds clock reads. Toggle and read between
+    {!run}s, not during one. *)
+
+type domain_stats = {
+  tasks : int;  (** shards executed by this domain *)
+  busy_seconds : float;  (** wall time inside shard bodies (profiling only) *)
+  queue_wait_seconds : float;
+      (** publication-to-pickup wall time, workers only (profiling only) *)
+}
+
+val set_profiling : t -> bool -> unit
+(** Switch the clocked probes on or off (default: off). *)
+
+val profiling : t -> bool
+
+val stats : t -> domain_stats array
+(** One entry per domain, index 0 = the calling domain. Cumulative since
+    creation or the last {!reset_stats}. *)
+
+val reset_stats : t -> unit
+(** Zero all tallies — shared pools accumulate across runs, so callers
+    profiling a single batch reset before and {!export} after. *)
+
+val export : t -> metrics:Stratrec_obs.Registry.t -> unit
+(** Write the current tallies into [metrics] as [par.*] gauges:
+    [par.pool_domains], [par.tasks_run], [par.busy_seconds],
+    [par.queue_wait_seconds], [par.shard_imbalance_ratio] (max-over-mean
+    busy seconds; 1.0 = perfectly balanced, 0 = nothing ran) and
+    per-domain [par.domain<i>.tasks_run] / [.busy_seconds] /
+    [.queue_wait_seconds]. Gauges only — exporting perturbs no counter,
+    span or decision, so profiled runs stay bit-identical on the
+    deterministic surface. *)

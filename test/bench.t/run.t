@@ -1,0 +1,61 @@
+The bench harness writes one machine-readable BENCH_<exp>.json artifact
+per experiment (--out DIR) and `stratrec-bench diff OLD NEW` compares
+two artifacts metric by metric with per-metric tolerances — the
+regression gate behind `make bench-check`.
+
+  $ stratrec-bench --smoke --only example --out out >/dev/null
+  $ ls out
+  BENCH_example.json
+
+The artifact's identity fields are deterministic (the measurements are
+not, so we only pin the former).
+
+  $ grep -E '"(schema|experiment|mode|ops)"' out/BENCH_example.json
+   "schema": "stratrec-bench/1",
+   "experiment": "example",
+   "mode": "smoke",
+   "ops": 1,
+
+Diffing an artifact against itself passes every check and exits zero.
+The measured columns vary run to run, so we keep only the verdict and
+metric-name columns.
+
+  $ stratrec-bench diff out/BENCH_example.json out/BENCH_example.json | awk '{print $1, $2}'
+  ok ops
+  ok wall_seconds
+  ok latency_seconds.p50
+  ok latency_seconds.p90
+  ok latency_seconds.p99
+  ok throughput_ops_per_sec
+  ok allocated_words_per_op
+  no regressions
+
+An injected regression (ops is checked exactly) flips the verdict row
+and the exit code.
+
+  $ sed 's/"ops": 1,/"ops": 5,/' out/BENCH_example.json > regressed.json
+  $ stratrec-bench diff out/BENCH_example.json regressed.json > diff.out
+  [1]
+  $ awk '$1 == "REGRESSION" {print $1, $2}' diff.out
+  REGRESSION ops
+  $ tail -1 diff.out
+  1 metric(s) regressed beyond tolerance
+
+Artifacts from different schema versions (or experiments, or modes) are
+not comparable: exit 2, distinct from the regression exit 1.
+
+  $ sed 's|stratrec-bench/1|stratrec-bench/999|' out/BENCH_example.json > future.json
+  $ stratrec-bench diff out/BENCH_example.json future.json
+  bench diff: schema mismatch: old stratrec-bench/1, new stratrec-bench/999 (artifacts are not comparable)
+  [2]
+
+A missing artifact is the same usage-error exit.
+
+  $ stratrec-bench diff out/BENCH_example.json missing.json 2>/dev/null
+  [2]
+
+--baseline without --out has nothing to compare.
+
+  $ stratrec-bench --smoke --only example --baseline out
+  --baseline requires --out (artifacts to compare)
+  [2]

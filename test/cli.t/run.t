@@ -185,3 +185,87 @@ A non-positive domain count is a typed engine-configuration error.
   $ stratrec example --domains 0
   stratrec: invalid engine configuration: domains must be >= 1 (got 0)
   [124]
+
+--metrics-format=openmetrics renders the same snapshot in the
+Prometheus/OpenMetrics text exposition: sanitized sample names (dots
+become underscores), HELP lines carrying the original dotted names, and
+the # EOF terminator. Counter samples are deterministic; timing
+histograms are not, so we filter to the counter rows.
+
+  $ stratrec example --metrics --metrics-format=openmetrics | grep -E '^[a-z0-9_]+_total [0-9]+$'
+  adpar_calls_total 2
+  adpar_fallback_total 2
+  adpar_prune_cutoffs_total 2
+  adpar_sweep_events_total 12
+  aggregator_alternative_total 2
+  aggregator_batches_total 1
+  aggregator_requests_total 3
+  aggregator_satisfied_total 1
+  batchstrat_candidates_total 1
+  batchstrat_greedy_passes_total 1
+  batchstrat_runs_total 1
+  engine_deploys_total 0
+  engine_runs_total 1
+  $ stratrec example --metrics --metrics-format=openmetrics | grep -A1 '^# HELP adpar_calls_total'
+  # HELP adpar_calls_total adpar.calls_total
+  # TYPE adpar_calls_total counter
+  $ stratrec example --metrics --metrics-format=openmetrics | tail -1
+  # EOF
+
+--metrics-out writes the snapshot to a file (scrape target style);
+stdout keeps only the recommendation report unless --metrics is also
+given.
+
+  $ stratrec example --metrics-out metrics.om --metrics-format=openmetrics
+  W=0.800 objective(throughput)=1.0000 used=0.8000
+    d1: alternative {q=0.400; c=0.500; l=0.280} (distance 0.3300)
+    d2: alternative {q=0.750; c=0.580; l=0.280} (distance 0.3833)
+    d3: satisfied (w=0.800) with [s4 (SIM-IND-HYB); s3 (SIM-IND-CRO); s2 (SEQ-IND-CRO)]
+  
+  $ grep '^aggregator_requests_total' metrics.om
+  aggregator_requests_total 3
+  $ tail -1 metrics.om
+  # EOF
+
+An unwritable metrics destination is a typed error, not a crash.
+
+  $ stratrec example --metrics-out /nonexistent-dir/m.om >/dev/null
+  stratrec: /nonexistent-dir/m.om: No such file or directory
+  [124]
+
+--profile records wall-clock and GC-allocation histograms for the run
+and, with --domains > 1, per-domain pool utilization gauges — without
+changing a byte of the deterministic output (same seq.out as above).
+
+  $ stratrec example --profile --domains 4 > prof.out
+  $ diff seq.out prof.out
+
+  $ stratrec example --profile --domains 4 --metrics-out prof.om --metrics-format=openmetrics >/dev/null
+  $ grep '^par_pool_domains' prof.om
+  par_pool_domains 4
+  $ grep -c '^par_domain[0-9]_tasks_run' prof.om
+  4
+  $ grep '^engine_run_wall_seconds_count' prof.om
+  engine_run_wall_seconds_count 1
+  $ grep '^engine_run_gc_minor_words_count' prof.om
+  engine_run_gc_minor_words_count 1
+
+--log writes a structured JSON-lines run log — one self-describing
+object per line, correlated to the active trace span — to stderr, or to
+a file with --log=FILE. Timestamps are wall-clock, so we normalize
+them; everything else is deterministic.
+
+  $ stratrec example --log 2>&1 >/dev/null | sed -E 's/"ts":[0-9.e+-]+/"ts":T/'
+  {"ts":T,"level":"info","span":0,"msg":"engine run started","requests":3,"strategies":4,"domains":1,"deploy":false}
+  {"ts":T,"level":"info","msg":"engine run finished","requests":3,"satisfied":1,"alternatives":2,"workforce_limited":0,"no_alternative":0,"deployed":0}
+
+A resilience rejection surfaces as a warn record carrying the request,
+the rung the ladder died on, and the span it happened under.
+
+  $ stratrec example --log=run.log --faults no-show=0.6,dropout=0.5,outage=weekend --retries 2 >/dev/null
+  $ sed -E 's/"ts":[0-9.e+-]+/"ts":T/' run.log | grep '"level":"warn"'
+  {"ts":T,"level":"warn","span":17,"msg":"deploy rejected","request":3,"label":"d3","reason":"every attempt came back empty","attempts":6}
+
+  $ stratrec example --log=/nonexistent-dir/run.log >/dev/null
+  stratrec: /nonexistent-dir/run.log: No such file or directory
+  [124]

@@ -691,6 +691,274 @@ let test_snapshot_of_json_rejects_garbage () =
           ] );
     ]
 
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* Wall clock, profiling hooks *)
+
+let test_wall_clock_monotone () =
+  let a = Registry.wall_clock () in
+  let b = Registry.wall_clock () in
+  let c = Registry.wall_clock () in
+  Alcotest.(check bool) "never goes backward" true (a <= b && b <= c);
+  Alcotest.(check bool) "tracks real wall time" true (abs_float (Unix.gettimeofday () -. c) < 60.)
+
+let test_bucket_layout_conflict () =
+  let sink, events = Sink.memory () in
+  let reg = Registry.create ~sink () in
+  let h = Registry.histogram ~buckets:[| 1.; 2. |] reg "h_seconds" in
+  Registry.observe h 1.5;
+  (* Same layout: no conflict. *)
+  ignore (Registry.histogram ~buckets:[| 1.; 2. |] reg "h_seconds");
+  Alcotest.(check int) "same layout is silent" 0
+    (Snapshot.counter_value (Registry.snapshot reg) "obs.bucket_layout_conflicts_total");
+  (* Conflicting layout: counted, warned, original layout kept. *)
+  let h2 = Registry.histogram ~buckets:[| 10.; 20. |] reg "h_seconds" in
+  Registry.observe h2 1.5;
+  let snap = Registry.snapshot reg in
+  Alcotest.(check int) "conflict counted" 1
+    (Snapshot.counter_value snap "obs.bucket_layout_conflicts_total");
+  (match Snapshot.find snap "h_seconds" with
+  | Some (Snapshot.Histogram { buckets; count; _ }) ->
+      Alcotest.(check int) "observations land in the original layout" 2 count;
+      Alcotest.(check (list (float 0.))) "original bounds kept" [ 1.; 2.; infinity ]
+        (List.map fst buckets)
+  | _ -> Alcotest.fail "histogram missing");
+  let warnings =
+    List.filter_map
+      (function Sink.Warning { name; message } -> Some (name, message) | _ -> None)
+      (events ())
+  in
+  (match warnings with
+  | [ (name, message) ] ->
+      Alcotest.(check string) "warning names the metric" "h_seconds" name;
+      Alcotest.(check bool) "warning explains the repair" true
+        (String.length message > 0)
+  | _ -> Alcotest.fail "expected exactly one warning event");
+  (* A second conflicting registration counts again. *)
+  ignore (Registry.histogram ~buckets:[| 10.; 20. |] reg "h_seconds");
+  Alcotest.(check int) "repeat conflict counted" 2
+    (Snapshot.counter_value (Registry.snapshot reg) "obs.bucket_layout_conflicts_total")
+
+let test_profile_records () =
+  let now = ref 100. in
+  let clock () =
+    now := !now +. 0.25;
+    !now
+  in
+  let reg = Registry.create () in
+  let result =
+    Obs.Profile.time ~clock reg "stage" (fun () ->
+        ignore (Sys.opaque_identity (List.init 1000 (fun i -> string_of_int i)));
+        42)
+  in
+  Alcotest.(check int) "returns the value" 42 result;
+  let snap = Registry.snapshot reg in
+  Alcotest.(check int) "wall histogram" 1 (Snapshot.histogram_count snap "stage.wall_seconds");
+  Alcotest.(check (float 1e-9)) "wall delta from the injected clock" 0.25
+    (Snapshot.histogram_sum snap "stage.wall_seconds");
+  Alcotest.(check bool) "minor words counted" true
+    (Snapshot.histogram_sum snap "stage.gc.minor_words" > 0.);
+  List.iter
+    (fun name -> Alcotest.(check int) name 1 (Snapshot.histogram_count snap name))
+    [
+      "stage.gc.minor_words";
+      "stage.gc.major_words";
+      "stage.gc.promoted_words";
+      "stage.gc.major_collections";
+    ];
+  (* Records on raise too. *)
+  (try Obs.Profile.time ~clock reg "stage" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  Alcotest.(check int) "raise still recorded" 2
+    (Snapshot.histogram_count (Registry.snapshot reg) "stage.wall_seconds")
+
+let test_profile_disabled_is_free () =
+  let calls = ref 0 in
+  let clock () =
+    incr calls;
+    0.
+  in
+  let result = Obs.Profile.time ~clock (Registry.disabled ()) "stage" (fun () -> 7) in
+  Alcotest.(check int) "value passes through" 7 result;
+  Alcotest.(check int) "no clock read on a disabled registry" 0 !calls
+
+(* Structured log *)
+
+module Log = Obs.Log
+
+let buffer_log ?level ?(clock = fun () -> 1.5) () =
+  let lines = ref [] in
+  let log = Log.create ?level ~clock ~writer:(fun line -> lines := line :: !lines) () in
+  (log, fun () -> List.rev !lines)
+
+let test_log_shape () =
+  let log, lines = buffer_log () in
+  Log.info log "hello" ~fields:[ ("n", Json.Number 3.) ];
+  Alcotest.(check (list string)) "deterministic key order"
+    [ {|{"ts":1.5,"level":"info","msg":"hello","n":3}|} ]
+    (lines ())
+
+let test_log_span_correlation () =
+  let log, lines = buffer_log () in
+  let trace = Trace.create () in
+  Log.info log ~trace "outside";
+  Trace.span trace "root" (fun () ->
+      Trace.span trace "child" (fun () -> Log.info log ~trace "inside"));
+  (match lines () with
+  | [ outside; inside ] ->
+      Alcotest.(check bool) "no span key without an open span" false
+        (contains ~needle:"span" outside);
+      (* The innermost open span at emission time is the child (id 1). *)
+      Alcotest.(check string) "span id of the innermost open span"
+        {|{"ts":1.5,"level":"info","span":1,"msg":"inside"}|} inside
+  | _ -> Alcotest.fail "expected two records");
+  Alcotest.(check bool) "noop logger stays silent" true (not (Log.enabled Log.noop))
+
+let test_log_level_threshold () =
+  let log, lines = buffer_log ~level:Log.Warn () in
+  Log.debug log "dropped";
+  Log.info log "dropped too";
+  Log.warn log "kept";
+  Log.error log "kept too";
+  Alcotest.(check int) "threshold drops below warn" 2 (List.length (lines ()));
+  Alcotest.(check bool) "would_log info" false (Log.would_log log Log.Info);
+  Alcotest.(check bool) "would_log error" true (Log.would_log log Log.Error);
+  Alcotest.(check string) "level labels" "warn" (Log.level_label Log.Warn);
+  match Log.level_of_string "debug" with
+  | Ok Log.Debug -> ()
+  | _ -> Alcotest.fail "level_of_string debug"
+
+let test_log_escaping () =
+  let log, lines = buffer_log () in
+  Log.info log "a \"quoted\"\nmessage" ~fields:[ ("path", Json.String "C:\\tmp") ];
+  match lines () with
+  | [ line ] -> (
+      match Json.of_string line with
+      | Ok json ->
+          Alcotest.(check (option string)) "msg round-trips"
+            (Some "a \"quoted\"\nmessage")
+            (Option.bind (Json.member "msg" json) Json.to_string_value);
+          Alcotest.(check (option string)) "field round-trips" (Some "C:\\tmp")
+            (Option.bind (Json.member "path" json) Json.to_string_value)
+      | Error m -> Alcotest.failf "record is not valid JSON: %s" m)
+  | _ -> Alcotest.fail "expected one record"
+
+let test_log_warning_sink () =
+  let log, lines = buffer_log () in
+  let reg = Registry.create ~sink:(Log.warning_sink log) () in
+  ignore (Registry.histogram ~buckets:[| 1. |] reg "h_seconds");
+  ignore (Registry.histogram ~buckets:[| 2. |] reg "h_seconds");
+  Registry.incr (Registry.counter reg "c_total");
+  (* Only warnings forward; counter/observe events do not become records. *)
+  match lines () with
+  | [ line ] -> (
+      match Json.of_string line with
+      | Ok json ->
+          Alcotest.(check (option string)) "level" (Some "warn")
+            (Option.bind (Json.member "level" json) Json.to_string_value);
+          Alcotest.(check (option string)) "metric field" (Some "h_seconds")
+            (Option.bind (Json.member "metric" json) Json.to_string_value)
+      | Error m -> Alcotest.failf "record is not valid JSON: %s" m)
+  | other -> Alcotest.failf "expected one warn record, got %d" (List.length other)
+
+(* OpenMetrics exposition *)
+
+let test_openmetrics_empty () =
+  Alcotest.(check string) "empty snapshot is just the terminator" "# EOF\n"
+    (Snapshot.to_openmetrics Snapshot.empty)
+
+let test_openmetrics_escaping () =
+  let reg = Registry.create () in
+  Registry.incr (Registry.counter reg "aggregator.runs-total");
+  Registry.set (Registry.gauge reg "9lives") 1.;
+  let exposition = Snapshot.to_openmetrics (Registry.snapshot reg) in
+  let has needle = contains ~needle exposition in
+  Alcotest.(check bool) "dots and dashes become underscores" true
+    (has "aggregator_runs_total 1");
+  Alcotest.(check bool) "HELP carries the original dotted name" true
+    (has "# HELP aggregator_runs_total aggregator.runs-total");
+  Alcotest.(check bool) "leading digit is prefixed" true (has "_9lives 1");
+  Alcotest.(check bool) "terminated" true (has "# EOF")
+
+let test_openmetrics_histogram () =
+  let reg = Registry.create () in
+  let h = Registry.histogram ~buckets:[| 1.; 2.; 4. |] reg "lat.seconds" in
+  List.iter (Registry.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  Alcotest.(check string) "cumulative buckets with +Inf"
+    (String.concat "\n"
+       [
+         "# HELP lat_seconds lat.seconds";
+         "# TYPE lat_seconds histogram";
+         "lat_seconds_bucket{le=\"1\"} 1";
+         "lat_seconds_bucket{le=\"2\"} 2";
+         "lat_seconds_bucket{le=\"4\"} 3";
+         "lat_seconds_bucket{le=\"+Inf\"} 4";
+         "lat_seconds_sum 105";
+         "lat_seconds_count 4";
+         "# EOF";
+         "";
+       ])
+    (Snapshot.to_openmetrics (Registry.snapshot reg))
+
+let test_histogram_quantile () =
+  let reg = Registry.create () in
+  let h = Registry.histogram ~buckets:[| 1.; 2.; 4. |] reg "q" in
+  List.iter (Registry.observe h) [ 0.5; 1.5; 1.7; 3.0 ];
+  match Snapshot.find (Registry.snapshot reg) "q" with
+  | Some (Snapshot.Histogram h) ->
+      Alcotest.(check (float 1e-9)) "p0 is the recorded min" 0.5
+        (Snapshot.histogram_quantile h 0.);
+      Alcotest.(check (float 1e-9)) "p100 is the recorded max" 3.0
+        (Snapshot.histogram_quantile h 1.);
+      let p50 = Snapshot.histogram_quantile h 0.5 in
+      Alcotest.(check bool) "p50 inside the second bucket" true (p50 >= 1. && p50 <= 2.);
+      Alcotest.(check (float 1e-9)) "empty histogram is 0" 0.
+        (Snapshot.histogram_quantile
+           { Snapshot.buckets = [ (1., 0); (infinity, 0) ]; count = 0; sum = 0.; min = 0.; max = 0. }
+           0.5)
+  | _ -> Alcotest.fail "histogram missing"
+
+(* Generated registries share one bucket layout per histogram name, so
+   merging in any association is legal; the exposition of the merge must
+   not depend on how the shards were combined. *)
+let openmetrics_merge_prop =
+  QCheck.Test.make ~count:100 ~name:"openmetrics rendering of merged snapshots"
+    QCheck.(
+      triple
+        (small_list small_nat)
+        (* Integer-valued observations: their float sums are exact, so
+           merge really is associative down to the rendered _sum line. *)
+        (small_list (int_range 0 10))
+        (small_list (int_range 0 10)))
+    (fun (counters, obs_a, obs_b) ->
+      let build observations =
+        let reg = Registry.create () in
+        List.iteri
+          (fun i v -> Registry.incr_by (Registry.counter reg (Printf.sprintf "c%d_total" i)) v)
+          counters;
+        let h = Registry.histogram ~buckets:[| 1.; 5. |] reg "h_seconds" in
+        List.iter (fun v -> Registry.observe h (float_of_int v)) observations;
+        Registry.snapshot reg
+      in
+      let a = build obs_a and b = build obs_b and c = build (obs_a @ obs_b) in
+      let left = Snapshot.to_openmetrics (Snapshot.merge (Snapshot.merge a b) c) in
+      let right = Snapshot.to_openmetrics (Snapshot.merge a (Snapshot.merge b c)) in
+      if left <> right then QCheck.Test.fail_report "merge association changed the exposition";
+      let lines = String.split_on_char '\n' left in
+      List.for_all
+        (fun line ->
+          line = ""
+          || String.length line >= 1
+             && (line.[0] = '#'
+                || (match line.[0] with
+                   | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+                   | _ -> false)))
+        lines
+      && contains ~needle:"# EOF" left)
+
 let () =
   Alcotest.run "obs"
     [
@@ -738,6 +1006,31 @@ let () =
           QCheck_alcotest.to_alcotest snapshot_roundtrip_prop;
           Alcotest.test_case "of_json rejects malformed documents" `Quick
             test_snapshot_of_json_rejects_garbage;
+        ] );
+      ( "profiling",
+        [
+          Alcotest.test_case "wall clock monotone" `Quick test_wall_clock_monotone;
+          Alcotest.test_case "bucket layout conflict" `Quick test_bucket_layout_conflict;
+          Alcotest.test_case "profile records wall and gc" `Quick test_profile_records;
+          Alcotest.test_case "disabled profile reads no clock" `Quick
+            test_profile_disabled_is_free;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "record shape" `Quick test_log_shape;
+          Alcotest.test_case "span correlation" `Quick test_log_span_correlation;
+          Alcotest.test_case "level threshold" `Quick test_log_level_threshold;
+          Alcotest.test_case "escaping" `Quick test_log_escaping;
+          Alcotest.test_case "warning sink" `Quick test_log_warning_sink;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "empty snapshot" `Quick test_openmetrics_empty;
+          Alcotest.test_case "name and help escaping" `Quick test_openmetrics_escaping;
+          Alcotest.test_case "cumulative histogram with +Inf" `Quick
+            test_openmetrics_histogram;
+          Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+          QCheck_alcotest.to_alcotest openmetrics_merge_prop;
         ] );
       ( "engine",
         [

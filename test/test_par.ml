@@ -90,6 +90,68 @@ let test_shared_pool_is_memoized () =
   Alcotest.(check bool) "same pool" true (a == b);
   Alcotest.(check int) "requested size" 3 (Pool.size a)
 
+(* --- Pool utilization --- *)
+
+let total_tasks stats = Array.fold_left (fun acc s -> acc + s.Pool.tasks) 0 stats
+
+let test_pool_stats_accounting () =
+  let pool = Pool.create ~domains:3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check bool) "profiling starts off" false (Pool.profiling pool);
+  Pool.run pool ~shards:7 (fun _ -> ());
+  let stats = Pool.stats pool in
+  Alcotest.(check int) "one entry per domain" 3 (Array.length stats);
+  (* Tasks count even without profiling; clocked tallies stay zero. *)
+  Alcotest.(check (list int)) "round-robin task split" [ 3; 2; 2 ]
+    (Array.to_list (Array.map (fun s -> s.Pool.tasks) stats));
+  Array.iter
+    (fun s ->
+      Alcotest.(check (float 0.)) "busy stays 0 unprofiled" 0. s.Pool.busy_seconds;
+      Alcotest.(check (float 0.)) "wait stays 0 unprofiled" 0. s.Pool.queue_wait_seconds)
+    stats;
+  Pool.set_profiling pool true;
+  Alcotest.(check bool) "profiling on" true (Pool.profiling pool);
+  Pool.run pool ~shards:5 (fun _ -> ignore (Sys.opaque_identity (Array.make 512 0.)));
+  let stats = Pool.stats pool in
+  Alcotest.(check int) "tasks accumulate across runs" 12 (total_tasks stats);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "busy non-negative" true (s.Pool.busy_seconds >= 0.);
+      Alcotest.(check bool) "wait non-negative" true (s.Pool.queue_wait_seconds >= 0.))
+    stats;
+  Pool.reset_stats pool;
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "reset zeroes tasks" 0 s.Pool.tasks;
+      Alcotest.(check (float 0.)) "reset zeroes busy" 0. s.Pool.busy_seconds;
+      Alcotest.(check (float 0.)) "reset zeroes wait" 0. s.Pool.queue_wait_seconds)
+    (Pool.stats pool)
+
+let test_pool_export_gauges () =
+  let pool = Pool.create ~domains:2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Pool.set_profiling pool true;
+  Pool.run pool ~shards:6 (fun _ -> ());
+  let metrics = Obs.Registry.create () in
+  Pool.export pool ~metrics;
+  let snap = Obs.Registry.snapshot metrics in
+  let gauge name = Obs.Snapshot.gauge_value snap name in
+  Alcotest.(check (float 0.)) "pool_domains" 2. (gauge "par.pool_domains");
+  Alcotest.(check (float 0.)) "tasks_run" 6. (gauge "par.tasks_run");
+  Alcotest.(check (float 0.)) "domain0 tasks" 3. (gauge "par.domain0.tasks_run");
+  Alcotest.(check (float 0.)) "domain1 tasks" 3. (gauge "par.domain1.tasks_run");
+  Alcotest.(check bool) "busy seconds exported" true (gauge "par.busy_seconds" >= 0.);
+  Alcotest.(check bool) "queue wait exported" true (gauge "par.queue_wait_seconds" >= 0.);
+  Alcotest.(check bool) "imbalance in range" true
+    (let r = gauge "par.shard_imbalance_ratio" in
+     r = 0. || (r >= 1. && r <= 2.));
+  (* The determinism contract of export: gauges only, nothing else. *)
+  Alcotest.(check bool) "export writes only gauges" true
+    (List.for_all
+       (fun { Obs.Snapshot.value; _ } ->
+         match value with Obs.Snapshot.Gauge _ -> true | _ -> false)
+       snap)
+
 (* --- Shard.init / map / split_rng --- *)
 
 let test_shard_init_matches_sequential () =
@@ -251,6 +313,22 @@ let observable ~domains ~seed ~m ~w =
   in
   (Format.asprintf "%a" A.pp_report report, snapshot, tree, decisions)
 
+(* Pool profiling only adds clock reads: switching it on for the shared
+   pool an aggregator run rides on must leave the whole observable
+   surface bit-identical to the sequential run. *)
+let test_profiling_preserves_determinism () =
+  let shared = Pool.shared ~domains:4 in
+  let baseline = observable ~domains:1 ~seed:11 ~m:18 ~w:0.6 in
+  Pool.reset_stats shared;
+  Pool.set_profiling shared true;
+  let profiled =
+    Fun.protect ~finally:(fun () -> Pool.set_profiling shared false) @@ fun () ->
+    observable ~domains:4 ~seed:11 ~m:18 ~w:0.6
+  in
+  Alcotest.(check bool) "profiled parallel run bit-identical" true (baseline = profiled);
+  Alcotest.(check bool) "the profiled run was tallied" true
+    (total_tasks (Pool.stats shared) > 0)
+
 let prop_domains_bit_identical =
   QCheck.Test.make ~count:40 ~name:"run ~domains:4 = run ~domains:1"
     QCheck.(pair small_int (pair (int_range 0 24) (float_range 0.2 1.)))
@@ -294,6 +372,10 @@ let () =
           Alcotest.test_case "propagates failure" `Quick test_pool_propagates_failure;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
           Alcotest.test_case "shared pool memoized" `Quick test_shared_pool_is_memoized;
+          Alcotest.test_case "utilization stats" `Quick test_pool_stats_accounting;
+          Alcotest.test_case "export gauges" `Quick test_pool_export_gauges;
+          Alcotest.test_case "profiling preserves determinism" `Quick
+            test_profiling_preserves_determinism;
         ] );
       ( "merge",
         [
