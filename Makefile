@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the one the checks run.
 
-.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par
+.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par serve-smoke
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 # One tiny traced iteration of every experiment: proves each bench still
 # executes end to end (non-zero exit fails the target) and that the trace
 # file is produced. Runs in seconds.
-BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation par chaos
+BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation par chaos serve
 bench-smoke: build
 	@tmp=$$(mktemp -d) && \
 	trap 'rm -rf "$$tmp"' EXIT && \
@@ -69,6 +69,45 @@ par: build
 	  || { echo "par: --domains 4 diverged from --domains 1"; exit 1; }
 	@echo "par: sequential/parallel outputs identical"
 
+# Serve gate: boot stratrec-serve on a throwaway Unix socket, drive a
+# mixed-tenant workload through the bundled --connect line client,
+# scrape OpenMetrics over the same socket, and shut down cleanly. The
+# grep assertions pin the zero-leak invariants: every accepted request
+# was triaged (accepted == epoch_requests, no admission leak), the
+# queue drained to zero, and the socket was unlinked on exit. Uses the
+# built binary directly so client and server never race for the dune
+# build lock.
+SERVE_BIN = ./_build/default/bin/stratrec_serve.exe
+serve-smoke: build
+	@tmp=$$(mktemp -d); sock="$$tmp/serve.sock"; \
+	$(SERVE_BIN) --socket "$$sock" --epoch-requests 3 & pid=$$!; \
+	trap 'rm -rf "$$tmp"; kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do test -S "$$sock" && break; sleep 0.1; done; \
+	test -S "$$sock" || { echo "serve-smoke: socket never appeared"; exit 1; }; \
+	printf '%s\n' \
+	  '{"op":"ping"}' \
+	  '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"tenant":"acme"}' \
+	  '{"op":"submit","id":2,"params":"0.6,0.6,0.6","k":2,"tenant":"beta"}' \
+	  '{"op":"submit","id":3,"params":"0.8,0.3,0.4","k":2,"tenant":"acme"}' \
+	  '{"op":"flush"}' \
+	  'GET metrics' \
+	  '{"op":"shutdown"}' \
+	  | $(SERVE_BIN) --connect --socket "$$sock" > "$$tmp/out" \
+	  || { echo "serve-smoke: client failed"; cat "$$tmp/out"; exit 1; }; \
+	wait $$pid || { echo "serve-smoke: server exited non-zero"; exit 1; }; \
+	test ! -e "$$sock" || { echo "serve-smoke: socket not unlinked on shutdown"; exit 1; }; \
+	grep -q '"status":"shutting-down"' "$$tmp/out" \
+	  || { echo "serve-smoke: no clean shutdown response"; cat "$$tmp/out"; exit 1; }; \
+	test "$$(grep -c '"status":"completed"' "$$tmp/out")" = 3 \
+	  || { echo "serve-smoke: expected 3 completed responses"; cat "$$tmp/out"; exit 1; }; \
+	grep -q '^serve_accepted_total 3$$' "$$tmp/out" \
+	  || { echo "serve-smoke: accepted_total != 3"; cat "$$tmp/out"; exit 1; }; \
+	grep -q '^serve_epoch_requests_total 3$$' "$$tmp/out" \
+	  || { echo "serve-smoke: triaged != accepted (admission leak)"; cat "$$tmp/out"; exit 1; }; \
+	grep -q '^serve_queue_depth 0$$' "$$tmp/out" \
+	  || { echo "serve-smoke: queue not drained"; cat "$$tmp/out"; exit 1; }; \
+	echo "serve-smoke: daemon served, scraped and shut down cleanly"
+
 # Full gate: everything compiles (libraries, CLI, examples, benches),
 # every test passes (unit, property, cram, example smoke-runs), every
 # benchmark still runs (one smoke iteration, traced), and the tree
@@ -82,6 +121,7 @@ ci:
 	$(MAKE) bench-check
 	$(MAKE) chaos
 	$(MAKE) par
+	$(MAKE) serve-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  echo "checking formatting drift"; \
 	  dune build @fmt; \

@@ -35,22 +35,19 @@ let run_plan ~n ~m faults =
   let requests = Model.Workload.requests rng ~m ~k:2 in
   let metrics = Obs.Registry.create () in
   let config =
-    {
-      Engine.default_config with
-      Engine.metrics = Some metrics;
-      trace = Some !Bench_common.trace;
-      deploy =
-        Some
-          {
-            Engine.platform = Sim.Platform.create rng ~population:150;
-            kind = Sim.Task_spec.Sentence_translation;
-            window = Sim.Window.Weekend;
-            capacity = 5;
-            ledger = None;
-            faults;
-            resilience = Res.Degrade.with_retries Res.Degrade.resilient 2;
-          };
-    }
+    Engine.(
+      with_deploy
+        (with_trace (with_metrics default_config metrics) !Bench_common.trace)
+        (Some
+           {
+             platform = Sim.Platform.create rng ~population:150;
+             kind = Sim.Task_spec.Sentence_translation;
+             window = Sim.Window.Weekend;
+             capacity = 5;
+             ledger = None;
+             faults;
+             resilience = Res.Degrade.with_retries Res.Degrade.resilient 2;
+           }))
   in
   match
     Engine.run ~config ~rng

@@ -1,0 +1,117 @@
+(* Serve experiment: sustained throughput of the stratrec-serve daemon
+   core (DESIGN.md §5g) — admission, epoch batching, triage, response
+   streaming — driven through the same Daemon.handle_line entry point
+   the socket server and --stdio use, so the numbers cover the protocol
+   parse and response rendering, not just the engine.
+
+   Each row pushes a fixed multi-tenant request stream through a fresh
+   daemon at one epoch-fill setting, then flushes and shuts it down.
+   Reported: epochs run, admitted/completed counts, requests per second
+   and the p99 admission queue wait (from the daemon's own
+   serve.queue_wait_seconds histogram). The seed is fixed, so the
+   counts are reproducible run to run; only the timings float. *)
+
+module Json = Stratrec_util.Json
+module Tabular = Stratrec_util.Tabular
+module Rng = Stratrec_util.Rng
+module Model = Stratrec_model
+module Obs = Stratrec_obs
+module Engine = Stratrec.Engine
+module Request = Stratrec.Request
+module Serve = Stratrec_serve
+
+let tenants = [| "acme"; "beta"; "gamma"; "delta" |]
+
+(* The request stream, pre-rendered to protocol lines: mixed tenants,
+   moderate demands so epochs carry both satisfied and alternative
+   outcomes. *)
+let submit_lines rng ~m =
+  List.init m (fun i ->
+      let params =
+        Model.Params.make
+          ~quality:(Rng.uniform rng ~lo:0.5 ~hi:1.)
+          ~cost:(Rng.uniform rng ~lo:0. ~hi:0.6)
+          ~latency:(Rng.uniform rng ~lo:0. ~hi:0.6)
+      in
+      let request =
+        Request.make ~id:(i + 1) ~tenant:tenants.(i mod Array.length tenants) ~params ~k:2 ()
+      in
+      match Request.to_json request with
+      | Json.Object fields -> Json.to_string (Json.Object (("op", Json.String "submit") :: fields))
+      | _ -> assert false)
+
+let drain_line line = Json.to_string (Json.Object [ ("op", Json.String line) ])
+
+let run_stream ~n ~epoch_requests lines =
+  let rng = Rng.create 2020 in
+  let strategies = Model.Workload.strategies rng ~n ~kind:Model.Workload.Uniform in
+  let config =
+    {
+      Serve.Daemon.engine = Engine.(with_trace default_config !Bench_common.trace);
+      queue_capacity = max 64 epoch_requests;
+      epoch_requests;
+      max_line = Serve.Protocol.default_max_line;
+    }
+  in
+  let daemon =
+    match
+      Serve.Daemon.create ~config ~availability:(Model.Availability.certain 0.75) ~strategies ()
+    with
+    | Ok daemon -> daemon
+    | Error e -> failwith (Engine.error_message e)
+  in
+  let completed = ref 0 and accepted = ref 0 in
+  let feed line =
+    let responses, _ = Serve.Daemon.handle_line daemon ~client:0 line in
+    List.iter
+      (fun (_, response) ->
+        match response with
+        | Serve.Protocol.Accepted _ -> incr accepted
+        | Serve.Protocol.Completed _ -> incr completed
+        | _ -> ())
+      responses
+  in
+  List.iter feed lines;
+  feed (drain_line "flush");
+  feed (drain_line "shutdown");
+  assert (Serve.Daemon.queue_depth daemon = 0);
+  (daemon, !accepted, !completed)
+
+let run () =
+  Bench_common.section "Serve - daemon throughput under admission control";
+  let n = max 24 (Bench_common.scale 200) and m = max 8 (Bench_common.scale 2000) in
+  Printf.printf "catalog %d, stream of %d requests over %d tenants, epochs close on fill\n\n" n m
+    (Array.length tenants);
+  let lines = submit_lines (Rng.create 7) ~m in
+  let t =
+    Tabular.create
+      ~columns:[ "Epoch fill"; "Epochs"; "Accepted"; "Completed"; "req/s"; "p99 wait (s)" ]
+  in
+  List.iter
+    (fun epoch_requests ->
+      let elapsed, (daemon, accepted, completed) =
+        Bench_common.time (fun () -> run_stream ~n ~epoch_requests lines)
+      in
+      let snapshot = Serve.Daemon.metrics daemon in
+      Obs.Registry.absorb !Bench_common.metrics snapshot;
+      let p99 =
+        match Obs.Snapshot.find snapshot "serve.queue_wait_seconds" with
+        | Some (Obs.Snapshot.Histogram h) -> Obs.Snapshot.histogram_quantile h 0.99
+        | _ -> 0.
+      in
+      let rps = if elapsed > 0. then float_of_int m /. elapsed else 0. in
+      if epoch_requests = 8 then begin
+        Bench_common.report_field "serve_requests_per_second" (Json.Number rps);
+        Bench_common.report_field "serve_queue_wait_p99_seconds" (Json.Number p99)
+      end;
+      Tabular.add_row t
+        [
+          string_of_int epoch_requests;
+          string_of_int (Serve.Daemon.epochs daemon);
+          string_of_int accepted;
+          string_of_int completed;
+          Printf.sprintf "%.0f" rps;
+          Printf.sprintf "%.6f" p99;
+        ])
+    (Bench_common.values [ 8; 4; 16; 64 ]);
+  Bench_common.print_table ~title:"epoch fill vs. throughput" t

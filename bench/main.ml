@@ -29,6 +29,7 @@ let experiments =
     ("ablation", Exp_ablation.run);
     ("par", Exp_par.run);
     ("chaos", Exp_chaos.run);
+    ("serve", Exp_serve.run);
     ("bechamel", Bechamel_suite.run);
   ]
 

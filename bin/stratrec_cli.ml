@@ -50,17 +50,14 @@ let k_arg =
 
 let dist_arg =
   let doc = "Strategy parameter distribution: uniform or normal (5.2.2)." in
-  let parse s = Result.map_error (fun m -> `Msg m) (Model.Workload.dist_kind_of_string s) in
-  let print ppf k =
-    Format.pp_print_string ppf (String.lowercase_ascii (Model.Workload.dist_kind_label k))
-  in
-  Arg.(value & opt (conv (parse, print)) Model.Workload.Uniform & info [ "dist" ] ~docv:"DIST" ~doc)
+  Arg.(value
+       & opt Stratrec_conv.dist_kind Model.Workload.Uniform
+       & info [ "dist" ] ~docv:"DIST" ~doc)
 
 let objective_arg =
   let doc = "Platform goal: throughput or payoff." in
-  let parse s = Result.map_error (fun m -> `Msg m) (Stratrec.Objective.of_string s) in
   Arg.(value
-       & opt (conv (parse, Stratrec.Objective.pp)) Stratrec.Objective.Throughput
+       & opt Stratrec_conv.objective Stratrec.Objective.Throughput
        & info [ "objective" ] ~docv:"GOAL" ~doc)
 
 let catalog_arg =
@@ -75,14 +72,6 @@ let engine_msg e = `Msg (Engine.error_message e)
 let catalog_or_generate ~rng ~n ~dist = function
   | Some path -> Result.map_error engine_msg (Engine.load_catalog ~path)
   | None -> Ok (Model.Workload.strategies rng ~n ~kind:dist)
-
-(* The QUALITY,COST,LATENCY triple, parsed by the model layer
-   (Stratrec_model.Params.of_string) so the CLI and the JSON codec share
-   one spelling. *)
-let triple_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Params.of_string s) in
-  let print ppf p = Format.pp_print_string ppf (Params.to_string p) in
-  Arg.conv (parse, print)
 
 let metrics_arg =
   let doc =
@@ -146,6 +135,19 @@ let metrics_registry log =
   if Obs.Log.enabled log then Some (Obs.Registry.create ~sink:(Obs.Log.warning_sink log) ())
   else None
 
+(* The engine config every run-producing subcommand starts from, built
+   through the setter surface so new config fields can't break the CLI. *)
+let engine_config ~log ~deploy ~domains ~profile =
+  let config =
+    Engine.(
+      with_log
+        (with_profile (with_domains (with_deploy default_config deploy) domains) profile)
+        log)
+  in
+  match metrics_registry log with
+  | None -> config
+  | Some metrics -> Engine.with_metrics config metrics
+
 let render_metrics format snapshot =
   match format with
   | `Table -> Stratrec_util.Tabular.render (Obs.Snapshot.to_table snapshot)
@@ -188,18 +190,13 @@ let trace_arg =
    plan or a retry budget implies the deploy stage — there is nothing to
    fault or retry without one. *)
 
-let fault_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Resilience.Fault.of_string s) in
-  let print ppf plan = Format.pp_print_string ppf (Resilience.Fault.to_string plan) in
-  Arg.conv (parse, print)
-
 let faults_arg =
   let doc =
     "Inject a fault plan into the deploy stage (implies $(b,--deploy)). $(docv) is a \
      comma-separated list of no-show=P, dropout=P, straggler=P:FACTOR, flaky-qual=P and \
      outage=WINDOW (weekend, early-week, late-week or *, joined by +), or none."
   in
-  Arg.(value & opt fault_conv Resilience.Fault.none & info [ "faults" ] ~docv:"PLAN" ~doc)
+  Arg.(value & opt Stratrec_conv.fault Resilience.Fault.none & info [ "faults" ] ~docv:"PLAN" ~doc)
 
 let retries_arg =
   let doc =
@@ -224,14 +221,11 @@ let population_arg =
   let doc = "Simulated platform population for the deploy stage." in
   Arg.(value & opt int 200 & info [ "population" ] ~docv:"P" ~doc)
 
-let window_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Sim.Window.of_string s) in
-  let print ppf w = Format.pp_print_string ppf (Sim.Window.name w) in
-  Arg.conv (parse, print)
-
 let window_arg =
   let doc = "Deployment window: weekend, early-week or late-week." in
-  Arg.(value & opt window_conv Sim.Window.Weekend & info [ "window" ] ~docv:"WINDOW" ~doc)
+  Arg.(value
+       & opt Stratrec_conv.window Sim.Window.Weekend
+       & info [ "window" ] ~docv:"WINDOW" ~doc)
 
 (* The platform is created here, after the workload — catalog and request
    generation must consume the rng stream first so recommend-only output
@@ -265,11 +259,12 @@ let print_deployed (report : Engine.report) =
           match d.Engine.outcome with
           | Engine.Completed result ->
               Format.printf "  %s: deployed %s after %d attempt%s (%d workers)@."
-                d.Engine.request.Deployment.label d.Engine.strategy.Model.Strategy.label
-                attempts plural result.Sim.Campaign.workers_hired
+                (Stratrec.Request.label d.Engine.request)
+                d.Engine.strategy.Model.Strategy.label attempts plural
+                result.Sim.Campaign.workers_hired
           | Engine.Rejected reason ->
               Format.printf "  %s: rejected after %d attempt%s: %s@."
-                d.Engine.request.Deployment.label attempts plural
+                (Stratrec.Request.label d.Engine.request) attempts plural
                 (Engine.rejection_reason reason))
         deployed
 
@@ -304,21 +299,14 @@ let recommend verbose seed n m k w dist objective catalog show_metrics metrics_f
   let* deploy = deploy_config ~rng ~deploy ~faults ~retries ~population ~capacity ~window in
   let availability = Model.Availability.certain w in
   let config =
-    {
-      Engine.default_config with
-      Engine.aggregator =
-        {
-          Stratrec.Aggregator.default_config with
-          Stratrec.Aggregator.objective;
-          inversion_rule = `Paper_equality;
-          reestimate_parameters = false;
-        };
-      Engine.metrics = metrics_registry log;
-      Engine.deploy;
-      Engine.domains;
-      Engine.profile;
-      Engine.log = log;
-    }
+    Engine.with_aggregator
+      (engine_config ~log ~deploy ~domains ~profile)
+      {
+        Stratrec.Aggregator.default_config with
+        Stratrec.Aggregator.objective;
+        inversion_rule = `Paper_equality;
+        reestimate_parameters = false;
+      }
   in
   let* report =
     Result.map_error engine_msg
@@ -371,7 +359,7 @@ let adpar seed n k dist catalog params trace_dest =
 let adpar_cmd =
   let request_arg =
     Arg.(value
-         & opt triple_conv (Params.make ~quality:0.9 ~cost:0.2 ~latency:0.3)
+         & opt Stratrec_conv.params (Params.make ~quality:0.9 ~cost:0.2 ~latency:0.3)
          & info [ "request" ] ~docv:"Q,C,L"
              ~doc:"Deployment thresholds: quality lower bound, cost and latency upper bounds.")
   in
@@ -485,16 +473,7 @@ let example show_metrics metrics_format metrics_out trace_dest log_dest profile 
     deploy_config ~rng ~deploy ~faults ~retries ~population:200 ~capacity:5
       ~window:Sim.Window.Weekend
   in
-  let config =
-    {
-      Engine.default_config with
-      Engine.metrics = metrics_registry log;
-      Engine.deploy;
-      Engine.domains;
-      Engine.profile;
-      Engine.log = log;
-    }
-  in
+  let config = engine_config ~log ~deploy ~domains ~profile in
   let* report =
     Result.map_error engine_msg
       (Engine.run ~config ~rng

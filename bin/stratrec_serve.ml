@@ -1,0 +1,217 @@
+(* stratrec-serve — the long-running StratRec recommendation daemon.
+
+   The paper's middleware framing (§2) as a process: requesters submit
+   deployment requests over a newline-delimited JSON protocol (Unix or
+   TCP socket, or stdio for tests), an admission controller queues them
+   with backpressure and per-tenant fairness, and micro-batch epochs run
+   through the same BatchStrat+ADPaR engine the one-shot CLI uses —
+   bit-identical decisions for the same batch. `GET metrics` on the same
+   connection scrapes the live registry as OpenMetrics text.
+
+   Modes:
+     stratrec-serve --socket /tmp/s.sock          daemon on a Unix socket
+     stratrec-serve --port 7473                   daemon on TCP
+     stratrec-serve --stdio                       daemon on stdin/stdout
+     stratrec-serve --connect --socket /tmp/s.sock   line-pump client
+   (the client mode exists because the container has no nc/socat). *)
+
+open Cmdliner
+module Model = Stratrec_model
+module Engine = Stratrec.Engine
+module Serve = Stratrec_serve
+module Sim = Stratrec_crowdsim
+module Resilience = Stratrec_resilience
+module Rng = Stratrec_util.Rng
+
+let ( let* ) = Result.bind
+
+(* Workload/engine flags, mirroring the one-shot CLI's spellings. *)
+
+let seed_arg =
+  let doc = "Random seed (catalog generation and the deploy stage)." in
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let strategies_arg =
+  let doc = "Number of synthetic strategies in the catalog." in
+  Arg.(value & opt int 200 & info [ "n"; "strategies" ] ~docv:"N" ~doc)
+
+let dist_arg =
+  let doc = "Strategy parameter distribution: uniform or normal." in
+  Arg.(value
+       & opt Stratrec_conv.dist_kind Model.Workload.Uniform
+       & info [ "dist" ] ~docv:"DIST" ~doc)
+
+let catalog_arg =
+  let doc = "Load the strategy catalog from a JSON file instead of generating one." in
+  Arg.(value & opt (some file) None & info [ "catalog" ] ~docv:"FILE" ~doc)
+
+let workforce_arg =
+  let doc = "Available workforce in [0,1] (the availability estimate epochs run at)." in
+  Arg.(value & opt float 0.75 & info [ "w"; "workforce" ] ~docv:"W" ~doc)
+
+let objective_arg =
+  let doc = "Platform goal: throughput or payoff." in
+  Arg.(value
+       & opt Stratrec_conv.objective Stratrec.Objective.Throughput
+       & info [ "objective" ] ~docv:"GOAL" ~doc)
+
+let domains_arg =
+  let doc = "Shard each epoch's triage across $(docv) domains (bit-identical output)." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let deploy_arg =
+  let doc = "Deploy every satisfied request's cheapest recommendation on a simulated platform." in
+  Arg.(value & flag & info [ "deploy" ] ~doc)
+
+let faults_arg =
+  let doc = "Fault plan for the deploy stage (implies $(b,--deploy))." in
+  Arg.(value & opt Stratrec_conv.fault Resilience.Fault.none & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let retries_arg =
+  let doc = "Retries per satisfied request (implies $(b,--deploy))." in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let population_arg =
+  let doc = "Simulated platform population for the deploy stage." in
+  Arg.(value & opt int 200 & info [ "population" ] ~docv:"P" ~doc)
+
+let capacity_arg =
+  let doc = "Workers per deployed HIT." in
+  Arg.(value & opt int 5 & info [ "capacity" ] ~docv:"C" ~doc)
+
+let window_arg =
+  let doc = "Deployment window: weekend, early-week or late-week." in
+  Arg.(value
+       & opt Stratrec_conv.window Sim.Window.Weekend
+       & info [ "window" ] ~docv:"WINDOW" ~doc)
+
+(* Admission/protocol flags. *)
+
+let queue_capacity_arg =
+  let doc = "Admission queue bound; a full queue answers with typed backpressure." in
+  Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"Q" ~doc)
+
+let epoch_requests_arg =
+  let doc = "Epoch fill target: an epoch closes when this many requests are queued." in
+  Arg.(value & opt int 8 & info [ "epoch-requests" ] ~docv:"E" ~doc)
+
+let max_line_arg =
+  let doc = "Protocol line limit in bytes; longer lines get a typed error." in
+  Arg.(value
+       & opt int Serve.Protocol.default_max_line
+       & info [ "max-line" ] ~docv:"BYTES" ~doc)
+
+(* Transport flags. *)
+
+let socket_arg =
+  let doc = "Serve (or with $(b,--connect), dial) a Unix domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Serve (or dial) TCP on $(docv)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "TCP bind/connect address for $(b,--port)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let stdio_arg =
+  let doc = "Serve the protocol on stdin/stdout (tests, pipelines)." in
+  Arg.(value & flag & info [ "stdio" ] ~doc)
+
+let connect_arg =
+  let doc =
+    "Client mode: connect to a running daemon, pump stdin lines to it and stream \
+     responses to stdout until the server closes."
+  in
+  Arg.(value & flag & info [ "connect" ] ~doc)
+
+let engine_msg e = `Msg (Engine.error_message e)
+
+let catalog_or_generate ~rng ~n ~dist = function
+  | Some path -> Result.map_error engine_msg (Engine.load_catalog ~path)
+  | None -> Ok (Model.Workload.strategies rng ~n ~kind:dist)
+
+let deploy_config ~rng ~deploy ~faults ~retries ~population ~capacity ~window =
+  if retries < 0 then Error (`Msg "--retries must be non-negative")
+  else if (not deploy) && retries = 0 && Resilience.Fault.is_none faults then Ok None
+  else if population <= 0 then Error (`Msg "--population must be positive")
+  else
+    Ok
+      (Some
+         {
+           Engine.platform = Sim.Platform.create rng ~population;
+           kind = Sim.Task_spec.Sentence_translation;
+           window;
+           capacity;
+           ledger = None;
+           faults;
+           resilience = Resilience.Degrade.with_retries Resilience.Degrade.resilient retries;
+         })
+
+let transport ~socket ~port ~host =
+  match (socket, port) with
+  | Some path, None -> Ok (Serve.Server.Unix_socket path)
+  | None, Some port -> Ok (Serve.Server.Tcp (host, port))
+  | Some _, Some _ -> Error (`Msg "--socket and --port are mutually exclusive")
+  | None, None -> Error (`Msg "pick a transport: --socket PATH, --port P or --stdio")
+
+let main seed n dist catalog w objective domains deploy faults retries population capacity
+    window queue_capacity epoch_requests max_line socket port host stdio connect =
+  if connect then
+    let* transport = transport ~socket ~port ~host in
+    Result.map_error (fun m -> `Msg m) (Serve.Server.client transport stdin stdout)
+  else
+    let rng = Rng.create seed in
+    let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
+    let* deploy = deploy_config ~rng ~deploy ~faults ~retries ~population ~capacity ~window in
+    let engine =
+      Engine.(
+        with_objective
+          (with_domains (with_deploy default_config deploy) domains)
+          objective)
+    in
+    let config = { Serve.Daemon.engine; queue_capacity; epoch_requests; max_line } in
+    let* daemon =
+      Result.map_error engine_msg
+        (Serve.Daemon.create ~rng ~config
+           ~availability:(Model.Availability.certain w)
+           ~strategies ())
+    in
+    if stdio then Ok (Serve.Server.run_stdio ~daemon stdin stdout)
+    else
+      let* transport = transport ~socket ~port ~host in
+      Result.map_error (fun m -> `Msg m) (Serve.Server.serve ~daemon transport)
+
+let cmd =
+  let doc = "Long-running StratRec recommendation daemon with admission control" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Accepts deployment requests as newline-delimited JSON, queues them through a \
+         bounded multi-tenant admission controller, and triages micro-batch epochs \
+         through the StratRec engine. Per-epoch decisions are bit-identical to the \
+         one-shot $(b,stratrec recommend) pipeline on the same batch.";
+      `S "PROTOCOL";
+      `P "One command per line:";
+      `Pre
+        "  {\"op\":\"submit\",\"id\":1,\"params\":\"0.9,0.2,0.3\",\"k\":2,\n\
+        \   \"tenant\":\"acme\",\"deadline_hours\":24}\n\
+         \  {\"op\":\"flush\"}     close the epoch now\n\
+         \  {\"op\":\"ping\"}      liveness\n\
+         \  {\"op\":\"tick\",\"hours\":2}   advance the simulated clock\n\
+         \  {\"op\":\"shutdown\"}  drain, answer everything, stop\n\
+         \  GET metrics        OpenMetrics scrape of the live registry";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "stratrec-serve" ~doc ~man)
+    Term.(term_result
+            (const main $ seed_arg $ strategies_arg $ dist_arg $ catalog_arg
+             $ workforce_arg $ objective_arg $ domains_arg $ deploy_arg $ faults_arg
+             $ retries_arg $ population_arg $ capacity_arg $ window_arg
+             $ queue_capacity_arg $ epoch_requests_arg $ max_line_arg $ socket_arg
+             $ port_arg $ host_arg $ stdio_arg $ connect_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -24,16 +24,13 @@ let () =
   List.iter
     (fun objective ->
       let config =
-        {
-          Stratrec.Engine.default_config with
-          Stratrec.Engine.aggregator =
-            {
-              Stratrec.Aggregator.default_config with
-              Stratrec.Aggregator.objective;
-              inversion_rule = `Paper_equality;
-              reestimate_parameters = false;
-            };
-        }
+        Stratrec.Engine.with_aggregator Stratrec.Engine.default_config
+          {
+            Stratrec.Aggregator.default_config with
+            Stratrec.Aggregator.objective;
+            inversion_rule = `Paper_equality;
+            reestimate_parameters = false;
+          }
       in
       let report =
         match Stratrec.Engine.run ~config ~availability ~strategies ~requests () with

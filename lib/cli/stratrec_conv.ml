@@ -1,0 +1,33 @@
+module type STRINGABLE = sig
+  type t
+
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+end
+
+module Make (S : STRINGABLE) = struct
+  let conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (S.of_string s) in
+    let print ppf v = Format.pp_print_string ppf (S.to_string v) in
+    Cmdliner.Arg.conv (parse, print)
+end
+
+let of_stringable (type a) (module S : STRINGABLE with type t = a) =
+  let module C = Make (S) in
+  C.conv
+
+let params = of_stringable (module Stratrec_model.Params)
+let objective = of_stringable (module Stratrec.Objective)
+let window = of_stringable (module Stratrec_crowdsim.Window)
+let fault = of_stringable (module Stratrec_resilience.Fault)
+
+let dist_kind =
+  of_stringable
+    (module struct
+      type t = Stratrec_model.Workload.dist_kind
+
+      let to_string = Stratrec_model.Workload.dist_kind_to_string
+      let of_string = Stratrec_model.Workload.dist_kind_of_string
+    end)
+
+let request = of_stringable (module Stratrec.Request)

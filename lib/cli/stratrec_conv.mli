@@ -1,0 +1,49 @@
+(** Cmdliner converters for every CLI-parseable StratRec type.
+
+    Each type the CLI parses exposes the same codec pair —
+    [to_string : t -> string] and
+    [of_string : string -> (t, string) result] — and this module turns
+    that pair into a {!Cmdliner.Arg.conv} through one functor, so the
+    binaries ([stratrec], [stratrec-serve]) share a single piece of
+    parser plumbing instead of hand-rolling [parse]/[print] closures per
+    flag. Ready-made converters for the standard types are exported
+    below; {!Make} covers any future codec-carrying type. *)
+
+(** The standard codec surface: [of_string] is total (typed error, never
+    raises) and [to_string] round-trips through it. *)
+module type STRINGABLE = sig
+  type t
+
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+end
+
+module Make (S : STRINGABLE) : sig
+  val conv : S.t Cmdliner.Arg.conv
+  (** Parses with [S.of_string] (the codec's error becomes the
+      [`Msg] Cmdliner renders) and prints with [S.to_string] (so
+      defaults in [--help] show the parseable spelling). *)
+end
+
+(** {1 Ready-made converters} *)
+
+val params : Stratrec_model.Params.t Cmdliner.Arg.conv
+(** The [QUALITY,COST,LATENCY] triple ({!Stratrec_model.Params}). *)
+
+val objective : Stratrec.Objective.t Cmdliner.Arg.conv
+(** [throughput] / [payoff] ({!Stratrec.Objective}). *)
+
+val window : Stratrec_crowdsim.Window.t Cmdliner.Arg.conv
+(** [weekend] / [early-week] / [late-week] ({!Stratrec_crowdsim.Window}). *)
+
+val fault : Stratrec_resilience.Fault.t Cmdliner.Arg.conv
+(** Fault-plan spellings like [no-show=0.3,outage=weekend]
+    ({!Stratrec_resilience.Fault}). *)
+
+val dist_kind : Stratrec_model.Workload.dist_kind Cmdliner.Arg.conv
+(** [uniform] / [normal] ({!Stratrec_model.Workload}). *)
+
+val request : Stratrec.Request.t Cmdliner.Arg.conv
+(** The compact request spelling
+    [id=3;tenant=acme;params=0.9,0.2,0.3;k=5;deadline=24]
+    ({!Stratrec.Request}). *)

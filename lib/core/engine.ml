@@ -37,6 +37,16 @@ let default_config =
     log = Obs.Log.noop;
   }
 
+let with_aggregator config aggregator = { config with aggregator }
+let with_objective config objective =
+  { config with aggregator = { config.aggregator with Aggregator.objective } }
+let with_metrics config metrics = { config with metrics = Some metrics }
+let with_trace config trace = { config with trace = Some trace }
+let with_deploy config deploy = { config with deploy }
+let with_domains config domains = { config with domains }
+let with_profile config profile = { config with profile }
+let with_log config log = { config with log }
+
 type rejection = Breaker_open | Deadline_exhausted | All_attempts_empty
 
 let rejection_reason = function
@@ -54,7 +64,7 @@ type attempt = {
 }
 
 type deployed = {
-  request : Deployment.t;
+  request : Request.t;
   strategy : Strategy.t;
   outcome : deploy_outcome;
   attempts : attempt list;
@@ -69,6 +79,7 @@ type counts = {
 }
 
 type report = {
+  epoch : int;
   aggregate : Aggregator.report;
   counts : counts;
   deployed : deployed list;
@@ -81,13 +92,15 @@ type error =
   [ `Empty_catalog
   | `Invalid_config of string
   | `Invalid_request of string
-  | `Catalog of string ]
+  | `Catalog of string
+  | `Session_closed ]
 
 let error_message = function
   | `Empty_catalog -> "the strategy catalog is empty"
   | `Invalid_config message -> Printf.sprintf "invalid engine configuration: %s" message
   | `Invalid_request message -> Printf.sprintf "invalid request batch: %s" message
   | `Catalog message -> Printf.sprintf "failed to load catalog: %s" message
+  | `Session_closed -> "the engine session is closed"
 
 let pp_error ppf e = Format.pp_print_string ppf (error_message e)
 
@@ -110,6 +123,27 @@ let load_catalog ~path =
   | Ok strategies -> Ok strategies
   | Error message -> Error (`Catalog message)
 
+let validate_requests requests =
+  let ids = Hashtbl.create (Array.length requests) in
+  let duplicate =
+    Array.find_opt
+      (fun d ->
+        let id = d.Deployment.id in
+        if Hashtbl.mem ids id then true
+        else begin
+          Hashtbl.add ids id ();
+          false
+        end)
+      requests
+  in
+  match duplicate with
+  | Some d ->
+      Error
+        (`Invalid_request
+          (Printf.sprintf "duplicate request id %d (%s)" d.Deployment.id
+             d.Deployment.label))
+  | None -> Ok ()
+
 let validate config ~strategies ~requests =
   if Array.length strategies = 0 then Error `Empty_catalog
   else if config.domains < 1 then
@@ -117,25 +151,9 @@ let validate config ~strategies ~requests =
       (`Invalid_config
         (Printf.sprintf "domains must be >= 1 (got %d)" config.domains))
   else
-    let ids = Hashtbl.create (Array.length requests) in
-    let duplicate =
-      Array.find_opt
-        (fun d ->
-          let id = d.Deployment.id in
-          if Hashtbl.mem ids id then true
-          else begin
-            Hashtbl.add ids id ();
-            false
-          end)
-        requests
-    in
-    match duplicate with
-    | Some d ->
-        Error
-          (`Invalid_request
-            (Printf.sprintf "duplicate request id %d (%s)" d.Deployment.id
-               d.Deployment.label))
-    | None -> (
+    match validate_requests requests with
+    | Error _ as e -> e
+    | Ok () -> (
         match config.deploy with
         | Some { capacity; _ } when capacity <= 0 ->
             Error (`Invalid_config "deploy capacity must be positive")
@@ -145,12 +163,81 @@ let validate config ~strategies ~requests =
             | Error message -> Error (`Invalid_config ("resilience policy: " ^ message)))
         | None -> Ok ())
 
+(* ---- Session state ----
+
+   A session is the persistent half of the engine: the registry, trace
+   buffer, deploy rng, circuit breaker and simulated deploy clock live
+   here and survive across epochs, so a long-running server amortizes
+   them over millions of requests instead of rebuilding them per batch.
+   [run] is a create/submit/close round trip, which is what keeps the
+   one-shot path bit-identical to a single-epoch session by
+   construction. *)
+
+type session = {
+  config : config;
+  availability : Model.Availability.t;
+  strategies : Strategy.t array;
+  metrics : Obs.Registry.t;
+  trace : Obs.Trace.t;
+  mutable rng : Stratrec_util.Rng.t option;
+      (* resolved lazily (seed 2020) the first time the deploy stage
+         needs it — exactly when the one-shot path created it *)
+  breaker : Res.Breaker.t option;
+  clock : float ref;  (* simulated deploy hours, shared across epochs *)
+  mutable decisions_seen : int;
+  mutable epochs : int;
+  mutable closed : bool;
+}
+
+let create ?(config = default_config) ?rng ~availability ~strategies () =
+  match validate config ~strategies ~requests:[||] with
+  | Error _ as e -> e
+  | Ok () ->
+      let metrics =
+        match config.metrics with Some m -> m | None -> Obs.Registry.create ()
+      in
+      let trace =
+        match config.trace with Some t -> t | None -> Obs.Trace.create ()
+      in
+      let breaker =
+        Option.bind config.deploy (fun deploy ->
+            Option.map
+              (fun breaker_config -> Res.Breaker.create ~config:breaker_config ())
+              deploy.resilience.Res.Degrade.breaker)
+      in
+      Ok
+        {
+          config;
+          availability;
+          strategies;
+          metrics;
+          trace;
+          rng;
+          breaker;
+          clock = ref 0.;
+          decisions_seen = 0;
+          epochs = 0;
+          closed = false;
+        }
+
+let epochs session = session.epochs
+let closed session = session.closed
+let session_metrics session = Obs.Registry.snapshot session.metrics
+let session_trace session = session.trace
+
+(* Deliberately silent: [run] closes the session it opened, and the
+   one-shot log output must stay byte-identical to the pre-session
+   engine. Daemons log their own shutdown. *)
+let close session = session.closed <- true
+
 (* The degradation ladder (DESIGN.md §5d). One satisfied request walks:
    primary attempt -> retries of the same strategy -> fallbacks to the
    remaining recommendations -> ADPaR re-triage at relaxed thresholds ->
    typed rejection. Simulated time (hours on the window axis) advances by
    the retry policy's backoff between attempts; the circuit breaker and
-   the per-request deadline budget both read that clock. *)
+   the per-request deadline budget both read that clock — which belongs
+   to the session, so one epoch's backoffs also cool the breaker down
+   for the epochs behind it. *)
 
 let resilience_counters =
   [
@@ -169,9 +256,9 @@ let cheapest_first strategies =
         b.Strategy.params.Model.Params.cost)
     strategies
 
-let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.report)
-    satisfied =
-  let policy = deploy.resilience in
+let deploy_satisfied session ~policy ~rng deploy (aggregate : Aggregator.report) satisfied =
+  let metrics = session.metrics and trace = session.trace in
+  let log = session.config.log in
   let count name = Obs.Registry.incr (Obs.Registry.counter metrics name) in
   (* Register the resilience counters up front so every faulted run's
      snapshot carries them, even at 0. *)
@@ -180,11 +267,9 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
     resilience_counters;
   if not (Res.Fault.is_none deploy.faults) then
     Obs.Registry.incr_by (Obs.Registry.counter metrics "faults.injected_total") 0;
-  let breaker = Option.map (fun config -> Res.Breaker.create ~config ()) policy.breaker in
-  (* Simulated hours since the deploy stage began — shared across the
-     batch, so one request's backoffs also cool the breaker down for the
-     requests behind it. *)
-  let clock = ref 0. in
+  let breaker = session.breaker in
+  let trips_before = match breaker with Some b -> Res.Breaker.trips b | None -> 0 in
+  let clock = session.clock in
   let deployed =
     List.map
       (fun (request, recommended) ->
@@ -193,11 +278,12 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
           | strategy :: rest -> (strategy, rest)
           | [] -> assert false (* satisfied requests carry k >= 1 strategies *)
         in
+        let deployment = Request.deployment request in
         Obs.Trace.span trace "deploy.request"
           ~attrs:
             [
-              ("request", Obs.Trace.Int request.Deployment.id);
-              ("label", Obs.Trace.String request.Deployment.label);
+              ("request", Obs.Trace.Int deployment.Deployment.id);
+              ("label", Obs.Trace.String deployment.Deployment.label);
             ]
         @@ fun () ->
         let started = !clock in
@@ -234,7 +320,7 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
                 | [] -> assert false (* strategies have at least one stage *)
               in
               let task =
-                Sim.Task_spec.make ~kind:deploy.kind ~title:request.Deployment.label ()
+                Sim.Task_spec.make ~kind:deploy.kind ~title:deployment.Deployment.label ()
               in
               let result =
                 Sim.Campaign.deploy ?ledger:deploy.ledger ~metrics ~faults:deploy.faults
@@ -265,9 +351,9 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
            them came back empty — a lazily computed re-triage candidate. *)
         let static_candidates =
           ((Res.Degrade.Primary, primary)
-           :: List.init (policy.retry.Res.Retry.max_attempts - 1) (fun _ ->
+           :: List.init (policy.Res.Degrade.retry.Res.Retry.max_attempts - 1) (fun _ ->
                   (Res.Degrade.Retry, primary)))
-          @ (if policy.fallback then
+          @ (if policy.Res.Degrade.fallback then
                List.map (fun s -> (Res.Degrade.Fallback, s)) fallbacks
              else [])
         in
@@ -275,8 +361,8 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
           | [] ->
               if retriage_pending then
                 match
-                  Aggregator.retriage ~metrics ~trace ~relax:policy.relax
-                    ~strategies:aggregate.Aggregator.strategies request
+                  Aggregator.retriage ~metrics ~trace ~relax:policy.Res.Degrade.relax
+                    ~strategies:aggregate.Aggregator.strategies deployment
                 with
                 | Some (_, repair) -> (
                     match cheapest_first repair.Adpar.recommended with
@@ -288,10 +374,11 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
           | (rung, strategy) :: rest -> (
               incr attempt_no;
               if !attempt_no > 1 then
-                clock := !clock +. Res.Retry.backoff policy.retry rng ~attempt:!attempt_no;
+                clock :=
+                  !clock +. Res.Retry.backoff policy.Res.Degrade.retry rng ~attempt:!attempt_no;
               if
                 !attempt_no > 1
-                && !clock -. started > policy.retry.Res.Retry.deadline_hours
+                && !clock -. started > policy.Res.Degrade.retry.Res.Retry.deadline_hours
               then Rejected Deadline_exhausted
               else
                 match run_attempt rung strategy with
@@ -299,7 +386,7 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
                 | `Short_circuit -> Rejected Breaker_open
                 | `Empty -> walk ~retriage_pending rest)
         in
-        let outcome = walk ~retriage_pending:policy.retriage static_candidates in
+        let outcome = walk ~retriage_pending:policy.Res.Degrade.retriage static_candidates in
         (match outcome with
         | Completed _ -> Obs.Trace.add_attr trace "outcome" (Obs.Trace.String "deployed")
         | Rejected reason ->
@@ -308,8 +395,8 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
             Obs.Log.warn log ~trace "deploy rejected"
               ~fields:
                 [
-                  ("request", Json.Number (float_of_int request.Deployment.id));
-                  ("label", Json.String request.Deployment.label);
+                  ("request", Json.Number (float_of_int deployment.Deployment.id));
+                  ("label", Json.String deployment.Deployment.label);
                   ("reason", Json.String (rejection_reason reason));
                   ("attempts", Json.Number (float_of_int (List.length !attempts)));
                 ];
@@ -328,107 +415,164 @@ let deploy_satisfied ~metrics ~trace ~log ~rng deploy (aggregate : Aggregator.re
   | Some b ->
       Obs.Registry.incr_by
         (Obs.Registry.counter metrics "resilience.breaker_trips_total")
-        (Res.Breaker.trips b)
+        (Res.Breaker.trips b - trips_before)
   | None -> ());
   Obs.Registry.set (Obs.Registry.gauge metrics "resilience.sim_clock_hours") !clock;
   deployed
 
+(* Drop the first [n] elements — the decisions previous epochs already
+   reported. *)
+let rec drop n = function xs when n <= 0 -> xs | [] -> [] | _ :: rest -> drop (n - 1) rest
+
+let submit ?deadline_hours session requests_in =
+  if session.closed then Error `Session_closed
+  else if Option.fold ~none:false ~some:(fun h -> not (h > 0.)) deadline_hours then
+    Error (`Invalid_request "epoch deadline budget must be positive")
+  else
+    let config = session.config in
+    let requests = Array.of_list (List.map Request.deployment requests_in) in
+    let by_id = Hashtbl.create (Array.length requests) in
+    List.iter (fun r -> Hashtbl.replace by_id (Request.id r) r) requests_in;
+    match validate_requests requests with
+    | Error _ as e -> e
+    | Ok () ->
+        let metrics = session.metrics in
+        let trace = session.trace in
+        let log = config.log in
+        (* Profiling stays off the determinism path: Profile.time adds only
+           histograms, the pool export only gauges — counters, spans and
+           decisions are untouched, so a profiled run's report is
+           bit-identical to an unprofiled one at any domain count. *)
+        let pool =
+          if config.profile && config.domains > 1 then
+            Some (Stratrec_par.Pool.shared ~domains:config.domains)
+          else None
+        in
+        Option.iter
+          (fun p ->
+            Stratrec_par.Pool.reset_stats p;
+            Stratrec_par.Pool.set_profiling p true)
+          pool;
+        let profiled f =
+          if config.profile then Obs.Profile.time metrics "engine.run" f else f ()
+        in
+        let report =
+          Obs.Trace.span trace "engine.run"
+            ~attrs:
+              [
+                ("requests", Obs.Trace.Int (Array.length requests));
+                ("strategies", Obs.Trace.Int (Array.length session.strategies));
+              ]
+          @@ fun () ->
+          Obs.Log.info log ~trace "engine run started"
+            ~fields:
+              [
+                ("requests", Json.Number (float_of_int (Array.length requests)));
+                ( "strategies",
+                  Json.Number (float_of_int (Array.length session.strategies)) );
+                ("domains", Json.Number (float_of_int config.domains));
+                ("deploy", Json.Bool (Option.is_some config.deploy));
+              ];
+          profiled @@ fun () ->
+          Obs.Span.time metrics "engine.run_seconds" (fun () ->
+              Obs.Registry.incr (Obs.Registry.counter metrics "engine.runs_total");
+              let aggregate =
+                Aggregator.run ~config:config.aggregator ~metrics ~trace
+                  ~domains:config.domains ~availability:session.availability
+                  ~strategies:session.strategies ~requests ()
+              in
+              let deployed =
+                match config.deploy with
+                | None -> []
+                | Some deploy ->
+                    let rng =
+                      match session.rng with
+                      | Some rng -> rng
+                      | None ->
+                          let rng = Stratrec_util.Rng.create 2020 in
+                          session.rng <- Some rng;
+                          rng
+                    in
+                    (* The epoch's deadline budget (serve wires the tightest
+                       remaining admission deadline in here) caps the retry
+                       policy's own per-request budget. *)
+                    let policy =
+                      match deadline_hours with
+                      | None -> deploy.resilience
+                      | Some budget ->
+                          let retry = deploy.resilience.Res.Degrade.retry in
+                          {
+                            deploy.resilience with
+                            Res.Degrade.retry =
+                              {
+                                retry with
+                                Res.Retry.deadline_hours =
+                                  Float.min retry.Res.Retry.deadline_hours budget;
+                              };
+                          }
+                    in
+                    let satisfied =
+                      List.map
+                        (fun (d, recommended) ->
+                          (Hashtbl.find by_id d.Deployment.id, recommended))
+                        (Aggregator.satisfied aggregate)
+                    in
+                    Obs.Trace.span trace "engine.deploy" (fun () ->
+                        deploy_satisfied session ~policy ~rng deploy aggregate satisfied)
+              in
+              Obs.Registry.incr_by
+                (Obs.Registry.counter metrics "engine.deploys_total")
+                (List.length deployed);
+              session.epochs <- session.epochs + 1;
+              {
+                epoch = session.epochs;
+                aggregate;
+                counts = counts_of_report aggregate;
+                deployed;
+                metrics = [];
+                decisions = [];
+                trace;
+              })
+        in
+        Option.iter
+          (fun p ->
+            Stratrec_par.Pool.set_profiling p false;
+            Stratrec_par.Pool.export p ~metrics)
+          pool;
+        Obs.Log.info log ~trace "engine run finished"
+          ~fields:
+            [
+              ("requests", Json.Number (float_of_int report.counts.requests));
+              ("satisfied", Json.Number (float_of_int report.counts.satisfied));
+              ("alternatives", Json.Number (float_of_int report.counts.alternatives));
+              ( "workforce_limited",
+                Json.Number (float_of_int report.counts.workforce_limited) );
+              ("no_alternative", Json.Number (float_of_int report.counts.no_alternative));
+              ("deployed", Json.Number (float_of_int (List.length report.deployed)));
+            ];
+        (* Snapshot after the span has finished, so the snapshot itself sees
+           the engine.run_seconds observation (and the trace its closed
+           engine.run root). Decisions: only this epoch's tail — earlier
+           epochs already reported theirs. *)
+        let all_decisions = Obs.Trace.decisions trace in
+        let fresh = drop session.decisions_seen all_decisions in
+        session.decisions_seen <- List.length all_decisions;
+        Ok
+          {
+            report with
+            metrics = Obs.Registry.snapshot metrics;
+            decisions = fresh;
+          }
+
 let run ?(config = default_config) ?rng ~availability ~strategies ~requests () =
   match validate config ~strategies ~requests with
   | Error _ as e -> e
-  | Ok () ->
-      let metrics =
-        match config.metrics with Some m -> m | None -> Obs.Registry.create ()
-      in
-      let trace =
-        match config.trace with Some t -> t | None -> Obs.Trace.create ()
-      in
-      let log = config.log in
-      (* Profiling stays off the determinism path: Profile.time adds only
-         histograms, the pool export only gauges — counters, spans and
-         decisions are untouched, so a profiled run's report is
-         bit-identical to an unprofiled one at any domain count. *)
-      let pool =
-        if config.profile && config.domains > 1 then
-          Some (Stratrec_par.Pool.shared ~domains:config.domains)
-        else None
-      in
-      Option.iter
-        (fun p ->
-          Stratrec_par.Pool.reset_stats p;
-          Stratrec_par.Pool.set_profiling p true)
-        pool;
-      let profiled f =
-        if config.profile then Obs.Profile.time metrics "engine.run" f else f ()
-      in
-      let report =
-        Obs.Trace.span trace "engine.run"
-          ~attrs:
-            [
-              ("requests", Obs.Trace.Int (Array.length requests));
-              ("strategies", Obs.Trace.Int (Array.length strategies));
-            ]
-        @@ fun () ->
-        Obs.Log.info log ~trace "engine run started"
-          ~fields:
-            [
-              ("requests", Json.Number (float_of_int (Array.length requests)));
-              ("strategies", Json.Number (float_of_int (Array.length strategies)));
-              ("domains", Json.Number (float_of_int config.domains));
-              ("deploy", Json.Bool (Option.is_some config.deploy));
-            ];
-        profiled @@ fun () ->
-        Obs.Span.time metrics "engine.run_seconds" (fun () ->
-            Obs.Registry.incr (Obs.Registry.counter metrics "engine.runs_total");
-            let aggregate =
-              Aggregator.run ~config:config.aggregator ~metrics ~trace
-                ~domains:config.domains ~availability ~strategies ~requests ()
-            in
-            let deployed =
-              match config.deploy with
-              | None -> []
-              | Some deploy ->
-                  let rng =
-                    match rng with Some rng -> rng | None -> Stratrec_util.Rng.create 2020
-                  in
-                  Obs.Trace.span trace "engine.deploy" (fun () ->
-                      deploy_satisfied ~metrics ~trace ~log ~rng deploy aggregate
-                        (Aggregator.satisfied aggregate))
-            in
-            Obs.Registry.incr_by
-              (Obs.Registry.counter metrics "engine.deploys_total")
-              (List.length deployed);
-            {
-              aggregate;
-              counts = counts_of_report aggregate;
-              deployed;
-              metrics = [];
-              decisions = [];
-              trace;
-            })
-      in
-      Option.iter
-        (fun p ->
-          Stratrec_par.Pool.set_profiling p false;
-          Stratrec_par.Pool.export p ~metrics)
-        pool;
-      Obs.Log.info log ~trace "engine run finished"
-        ~fields:
-          [
-            ("requests", Json.Number (float_of_int report.counts.requests));
-            ("satisfied", Json.Number (float_of_int report.counts.satisfied));
-            ("alternatives", Json.Number (float_of_int report.counts.alternatives));
-            ( "workforce_limited",
-              Json.Number (float_of_int report.counts.workforce_limited) );
-            ("no_alternative", Json.Number (float_of_int report.counts.no_alternative));
-            ("deployed", Json.Number (float_of_int (List.length report.deployed)));
-          ];
-      (* Snapshot after the span has finished, so the snapshot itself sees
-         the engine.run_seconds observation (and the trace its closed
-         engine.run root). *)
-      Ok
-        {
-          report with
-          metrics = Obs.Registry.snapshot metrics;
-          decisions = Obs.Trace.decisions trace;
-        }
+  | Ok () -> (
+      match create ~config ?rng ~availability ~strategies () with
+      | Error _ as e -> e
+      | Ok session ->
+          let result =
+            submit session (List.map Request.of_deployment (Array.to_list requests))
+          in
+          close session;
+          result)

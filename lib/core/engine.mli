@@ -1,12 +1,26 @@
 (** The unified StratRec façade.
 
-    [Engine.run] is the one entry point callers need: it owns a single
-    consolidated configuration (embedding the shared
-    {!Aggregator.config}), executes the full recommend → ADPaR-triage →
-    deploy pipeline, reports failures as typed [result] errors instead of
-    exceptions or process exits, and returns a report that carries both
-    the per-request outcomes and a deterministic metrics snapshot of the
-    run ({!Stratrec_obs.Snapshot}).
+    Two entry points:
+
+    - {!run} — the one-shot batch pipeline callers have always had: it
+      owns a single consolidated configuration (embedding the shared
+      {!Aggregator.config}), executes the full recommend → ADPaR-triage →
+      deploy pipeline, reports failures as typed [result] errors instead
+      of exceptions or process exits, and returns a report that carries
+      both the per-request outcomes and a deterministic metrics snapshot
+      of the run ({!Stratrec_obs.Snapshot}).
+
+    - The {e session} API ({!create} / {!submit} / {!close}) — the same
+      pipeline as a long-lived service: a session owns the metrics
+      registry, trace buffer, deploy rng, circuit breaker and simulated
+      deploy clock, and {!submit} runs one {e epoch} (a micro-batch of
+      {!Request}s) against that persistent state. This is what the
+      [stratrec-serve] daemon is built on: registries accumulate across
+      epochs (one live [/metrics] surface), the circuit breaker carries
+      its failure history from epoch to epoch, and the domain pool is
+      reused instead of re-spawned. [run] is implemented as
+      create → submit → close, so a single-epoch session is bit-identical
+      to the one-shot path by construction.
 
     The middle-layer framing of the paper (§2: StratRec sits between
     requesters and platforms) maps directly: requesters hand the engine a
@@ -47,22 +61,22 @@ type config = {
           {!Aggregator.run}, {!Stream_aggregator.create} and
           [Stratrec_pipeline.Planner] consume *)
   metrics : Stratrec_obs.Registry.t option;
-      (** [None] (the default) gives every run a fresh private registry,
-          so report snapshots are per-run; supply a registry to
+      (** [None] (the default) gives every run/session a fresh private
+          registry, so report snapshots are per-run; supply a registry to
           accumulate across runs or to attach a sink *)
   trace : Stratrec_obs.Trace.t option;
-      (** [None] (the default) gives every run a fresh private trace, so
-          [report.decisions] is always populated; supply a trace (or
-          {!Stratrec_obs.Trace.noop}) to accumulate spans across runs or
-          to disable tracing entirely *)
+      (** [None] (the default) gives every run/session a fresh private
+          trace, so [report.decisions] is always populated; supply a
+          trace (or {!Stratrec_obs.Trace.noop}) to accumulate spans
+          across runs or to disable tracing entirely *)
   deploy : deploy_config option;  (** [None]: recommend-only *)
   domains : int;
       (** domains for the sharded triage path (see {!Aggregator.run});
           1 (the default) keeps everything on the calling domain. The
-          report is bit-identical either way. Validated by {!run}:
-          values below 1 are an [`Invalid_config] error *)
+          report is bit-identical either way. Validated by {!run} and
+          {!create}: values below 1 are an [`Invalid_config] error *)
   profile : bool;
-      (** when [true], wrap the run in {!Stratrec_obs.Profile.time}
+      (** when [true], wrap each run/epoch in {!Stratrec_obs.Profile.time}
           (recording [engine.run.wall_seconds] and the [engine.run.gc.*]
           allocation histograms) and — for [domains > 1] — switch the
           shared pool's utilization probes on for the duration, exporting
@@ -82,6 +96,24 @@ type config = {
 val default_config : config
 (** Aggregator defaults, private per-run metrics, no deployment, one
     domain. *)
+
+(** {2 Config builders}
+
+    Non-breaking construction: start from {!default_config} and override
+    fields through setters, so downstream callers (serve, bench,
+    examples) no longer pattern-match the full record and future config
+    fields cannot break them. *)
+
+val with_aggregator : config -> Aggregator.config -> config
+val with_objective : config -> Objective.t -> config
+(** Shorthand: replaces only the aggregator's objective. *)
+
+val with_metrics : config -> Stratrec_obs.Registry.t -> config
+val with_trace : config -> Stratrec_obs.Trace.t -> config
+val with_deploy : config -> deploy_config option -> config
+val with_domains : config -> int -> config
+val with_profile : config -> bool -> config
+val with_log : config -> Stratrec_obs.Log.t -> config
 
 (** Why the degradation ladder gave up on a request. *)
 type rejection =
@@ -113,7 +145,7 @@ type attempt = {
 }
 
 type deployed = {
-  request : Stratrec_model.Deployment.t;
+  request : Request.t;  (** the request as submitted, envelope included *)
   strategy : Stratrec_model.Strategy.t;  (** the last strategy attempted *)
   outcome : deploy_outcome;
   attempts : attempt list;  (** full attempt history, oldest first *)
@@ -130,14 +162,16 @@ type counts = {
 }
 
 type report = {
+  epoch : int;  (** 1-based epoch index within the session; 1 for {!run} *)
   aggregate : Aggregator.report;  (** full per-request outcomes *)
   counts : counts;
   deployed : deployed list;  (** empty without a {!deploy_config} *)
   metrics : Stratrec_obs.Snapshot.t;
-      (** snapshot taken after the deploy stage *)
+      (** snapshot taken after the deploy stage — cumulative over the
+          session when the registry persists across epochs *)
   decisions : Stratrec_obs.Trace.decision list;
-      (** one per request, in decision order (satisfied first, then
-          triaged) — empty only when [config.trace] is
+      (** one per request of {e this} epoch, in decision order (satisfied
+          first, then triaged) — empty only when [config.trace] is
           {!Stratrec_obs.Trace.noop} *)
   trace : Stratrec_obs.Trace.t;
       (** the trace the run wrote into — render with
@@ -150,7 +184,8 @@ type error =
   | `Invalid_config of string
     (** e.g. non-positive deploy capacity, malformed resilience policy *)
   | `Invalid_request of string  (** e.g. duplicate request ids *)
-  | `Catalog of string  (** catalog file load/decode failure *) ]
+  | `Catalog of string  (** catalog file load/decode failure *)
+  | `Session_closed  (** {!submit} after {!close} *) ]
 
 val error_message : error -> string
 val pp_error : Format.formatter -> error -> unit
@@ -163,6 +198,71 @@ val load_catalog : path:string -> (Stratrec_model.Strategy.t array, error) resul
 (** {!Stratrec_model.Codec} catalog loading with the error lifted into
     {!error} ([`Catalog]) — no exceptions, no exits. *)
 
+(** {1 Sessions} *)
+
+type session
+(** A live engine: catalog, availability estimate, metrics registry,
+    trace buffer, deploy rng, circuit breaker and simulated deploy clock,
+    persistent across {!submit} epochs. Not thread-safe — one session per
+    serving loop (the daemon's accept loop is single-threaded; triage
+    parallelism lives inside the epoch via [config.domains]). *)
+
+val create :
+  ?config:config ->
+  ?rng:Stratrec_util.Rng.t ->
+  availability:Stratrec_model.Availability.t ->
+  strategies:Stratrec_model.Strategy.t array ->
+  unit ->
+  (session, error) result
+(** Validates the configuration and catalog up front ([`Empty_catalog],
+    [`Invalid_config]) and allocates the persistent state: the registry
+    and trace (fresh private ones unless the config supplies them), the
+    circuit breaker (when the deploy policy carries one — its failure
+    history then spans epochs), and the simulated deploy clock at 0.
+    [rng] drives the deploy stage only; when absent, a seed-2020
+    generator is created lazily at the first deploying epoch, exactly as
+    {!run} always did. *)
+
+val submit :
+  ?deadline_hours:float -> session -> Request.t list -> (report, error) result
+(** Run one epoch: triage the micro-batch through BatchStrat + ADPaR
+    (sharded over [config.domains]) and, with a deploy stage configured,
+    walk every satisfied request down the resilience ladder. Counters
+    accumulate in the session registry; [report.metrics] is the
+    cumulative snapshot and [report.decisions] only this epoch's
+    decisions. A fixed request batch submitted as the first epoch of a
+    fresh session yields a report bit-identical to {!run} on the same
+    inputs — per-request decisions, counters, span tree and rendered
+    aggregate included, at any domain count.
+
+    [deadline_hours] caps the deploy retry policy's per-request deadline
+    budget for this epoch (the serve layer passes the tightest remaining
+    admission deadline, wiring queue deadlines into the
+    {!Stratrec_resilience.Retry} machinery); when absent the policy's own
+    budget applies unchanged. Must be positive ([`Invalid_request]).
+
+    Errors: [`Session_closed] after {!close}, [`Invalid_request] on
+    duplicate ids within the epoch. *)
+
+val close : session -> unit
+(** Marks the session closed ({!submit} then returns [`Session_closed]).
+    Idempotent. Shared domain pools are process-wide and deliberately
+    survive ({!Stratrec_par.Pool.shared}). *)
+
+val epochs : session -> int
+(** Epochs submitted so far. *)
+
+val closed : session -> bool
+
+val session_metrics : session -> Stratrec_obs.Snapshot.t
+(** Live cumulative snapshot of the session registry — the daemon's
+    [GET metrics] surface renders this via
+    {!Stratrec_obs.Snapshot.to_openmetrics}. *)
+
+val session_trace : session -> Stratrec_obs.Trace.t
+
+(** {1 One-shot} *)
+
 val run :
   ?config:config ->
   ?rng:Stratrec_util.Rng.t ->
@@ -171,15 +271,16 @@ val run :
   requests:Stratrec_model.Deployment.t array ->
   unit ->
   (report, error) result
-(** One full pipeline run. Validates up front (empty catalog, duplicate
-    request ids, deploy capacity, resilience policy ranges), then never
-    raises — under any fault plan, every satisfied request ends in a
-    [Completed] campaign result or a typed [Rejected]. [rng] (default: a
-    fresh seed-2020 generator) drives the deploy stage only — fault
-    draws, recruitment and backoff jitter all flow through it, so runs
-    are bit-reproducible from the seed; recommend-only runs are
-    deterministic in their inputs. The engine also records
-    [engine.runs_total], [engine.deploys_total] and the
+(** One full pipeline run — a single-epoch session (create → submit →
+    close), byte-identical to the historical one-shot engine. Validates
+    up front (empty catalog, duplicate request ids, deploy capacity,
+    resilience policy ranges), then never raises — under any fault plan,
+    every satisfied request ends in a [Completed] campaign result or a
+    typed [Rejected]. [rng] (default: a fresh seed-2020 generator) drives
+    the deploy stage only — fault draws, recruitment and backoff jitter
+    all flow through it, so runs are bit-reproducible from the seed;
+    recommend-only runs are deterministic in their inputs. The engine
+    also records [engine.runs_total], [engine.deploys_total] and the
     [engine.run_seconds] span in the run's registry.
 
     The deploy stage additionally records the resilience counters

@@ -9,6 +9,8 @@ let name = function
   | Early_week -> "early-week"
   | Late_week -> "late-week"
 
+let to_string = name
+
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "weekend" -> Ok Weekend

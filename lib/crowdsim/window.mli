@@ -19,6 +19,10 @@ val name : t -> string
     names {!Stratrec_resilience.Fault.of_string} uses for outage
     windows. *)
 
+val to_string : t -> string
+(** Alias for {!name} — the standard codec spelling every CLI-parseable
+    type exposes (see [Stratrec_cli.Conv]). *)
+
 val of_string : string -> (t, string) result
 (** Inverse of {!name}, case-insensitive. The error names the valid
     spellings. *)

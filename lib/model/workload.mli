@@ -9,6 +9,13 @@
 type dist_kind = Uniform | Normal
 
 val dist_kind_label : dist_kind -> string
+(** Capitalized display form ("Uniform"/"Normal"), as in the paper's
+    figures. *)
+
+val dist_kind_to_string : dist_kind -> string
+(** CLI spelling (["uniform"]/["normal"]) — inverse of
+    {!dist_kind_of_string}, the standard codec pair every CLI-parseable
+    type exposes (see [Stratrec_cli.Conv]). *)
 
 val dist_kind_of_string : string -> (dist_kind, string) result
 (** Case-insensitive ["uniform"] / ["normal"] — the CLI's [--dist]

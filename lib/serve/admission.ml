@@ -1,0 +1,146 @@
+type 'a entry = {
+  item : 'a;
+  tenant : string;
+  deadline_hours : float option;
+  enqueued_at : float;  (** clock seconds at {!offer} *)
+}
+
+(* Per-tenant FIFO queues plus a round-robin rotation of tenant names,
+   ordered by each tenant's first waiting arrival. The capacity bound is
+   on the total across tenants. *)
+type 'a t = {
+  cap : int;
+  queues : (string, 'a entry Queue.t) Hashtbl.t;
+  mutable rotation : string list;
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Admission.create: capacity must be >= 1 (got %d)" capacity);
+  { cap = capacity; queues = Hashtbl.create 16; rotation = []; total = 0 }
+
+let capacity t = t.cap
+let length t = t.total
+
+let offer t ~now ~tenant ?deadline_hours item =
+  (match deadline_hours with
+  | Some h when not (h > 0.) ->
+      invalid_arg (Printf.sprintf "Admission.offer: deadline_hours must be positive (got %g)" h)
+  | _ -> ());
+  if t.total >= t.cap then Error `Queue_full
+  else begin
+    let q =
+      match Hashtbl.find_opt t.queues tenant with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add t.queues tenant q;
+          q
+    in
+    if Queue.is_empty q then t.rotation <- t.rotation @ [ tenant ];
+    Queue.push { item; tenant; deadline_hours; enqueued_at = now } q;
+    t.total <- t.total + 1;
+    Ok ()
+  end
+
+type 'a admitted = {
+  item : 'a;
+  tenant : string;
+  waited_seconds : float;
+  remaining_hours : float option;
+}
+
+let seconds_per_hour = 3600.
+
+let to_admitted ~now entry =
+  let waited_seconds = Float.max 0. (now -. entry.enqueued_at) in
+  let remaining_hours =
+    Option.map
+      (fun budget -> Float.max 0. (budget -. (waited_seconds /. seconds_per_hour)))
+      entry.deadline_hours
+  in
+  { item = entry.item; tenant = entry.tenant; waited_seconds; remaining_hours }
+
+let expired ~now entry =
+  match entry.deadline_hours with
+  | None -> false
+  | Some budget -> (now -. entry.enqueued_at) /. seconds_per_hour >= budget
+
+let pop t tenant =
+  match Hashtbl.find_opt t.queues tenant with
+  | None -> None
+  | Some q ->
+      if Queue.is_empty q then None
+      else begin
+        let entry = Queue.pop q in
+        t.total <- t.total - 1;
+        Some entry
+      end
+
+(* One fair pass: walk the rotation, taking the head of each non-empty
+   tenant queue in turn; tenants that still hold items rotate to the
+   back, drained tenants drop out. Expired heads are collected on the
+   side and do not consume the tenant's turn (the next live head does). *)
+let drain t ~now ~max =
+  let live = ref [] and dead = ref [] and taken = ref 0 in
+  let rec take_live tenant =
+    match pop t tenant with
+    | None -> false
+    | Some entry ->
+        if expired ~now entry then begin
+          dead := to_admitted ~now entry :: !dead;
+          take_live tenant
+        end
+        else begin
+          live := to_admitted ~now entry :: !live;
+          incr taken;
+          true
+        end
+  in
+  let has_waiting tenant =
+    match Hashtbl.find_opt t.queues tenant with
+    | Some q -> not (Queue.is_empty q)
+    | None -> false
+  in
+  let rec go rotation =
+    match rotation with
+    | [] -> []
+    | _ when !taken >= max -> List.filter has_waiting rotation
+    | tenant :: rest ->
+        ignore (take_live tenant : bool);
+        if has_waiting tenant then go (rest @ [ tenant ]) else go rest
+  in
+  if max > 0 then t.rotation <- go t.rotation;
+  (List.rev !live, List.rev !dead)
+
+let expire t ~now =
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun _tenant q ->
+      let keep = Queue.create () in
+      Queue.iter
+        (fun entry ->
+          if expired ~now entry then begin
+            dead := to_admitted ~now entry :: !dead;
+            t.total <- t.total - 1
+          end
+          else Queue.push entry keep)
+        q;
+      Queue.clear q;
+      Queue.transfer keep q)
+    t.queues;
+  t.rotation <-
+    List.filter
+      (fun tenant ->
+        match Hashtbl.find_opt t.queues tenant with
+        | Some q -> not (Queue.is_empty q)
+        | None -> false)
+      t.rotation;
+  (* deterministic order: by enqueue time, then tenant *)
+  List.sort
+    (fun a b ->
+      match compare b.waited_seconds a.waited_seconds with
+      | 0 -> compare a.tenant b.tenant
+      | c -> c)
+    !dead

@@ -1,0 +1,63 @@
+(** Bounded multi-tenant admission queue (DESIGN.md §5g).
+
+    The daemon's front door: requests wait here between arrival and the
+    next epoch. The queue is {e bounded} — when full, {!offer} returns a
+    typed [`Queue_full] so the protocol layer can answer with
+    backpressure instead of dropping or blocking — and {e fair}:
+    {!drain} dequeues round-robin across tenants (in order of each
+    tenant's first waiting arrival, FIFO within a tenant), so one
+    chatty tenant cannot starve the rest of an epoch.
+
+    Time: the queue reads a caller-supplied clock in {e seconds} (wall
+    or simulated — the daemon's [tick] verb advances a simulated
+    offset). Per-item deadlines are budgets in {e hours} on the same
+    axis as {!Stratrec_resilience.Retry.policy.deadline_hours}: an item
+    whose wait exceeds its budget is expired at drain time and handed
+    back separately, never silently discarded, and the unspent
+    remainder is what the daemon forwards to the engine's retry
+    machinery. The queue is agnostic to what it carries. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** An empty queue admitting at most [capacity] waiting items.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Items currently waiting. *)
+
+val offer :
+  'a t ->
+  now:float ->
+  tenant:string ->
+  ?deadline_hours:float ->
+  'a ->
+  (unit, [ `Queue_full ]) result
+(** Enqueue at clock reading [now] (seconds). [deadline_hours] is the
+    item's total patience from this moment; [None] waits forever.
+    @raise Invalid_argument if [deadline_hours <= 0]. *)
+
+(** A drained item, with its queueing telemetry. *)
+type 'a admitted = {
+  item : 'a;
+  tenant : string;
+  waited_seconds : float;  (** time spent in the queue *)
+  remaining_hours : float option;
+      (** unspent deadline budget at drain time ([None]: no deadline);
+          [Some 0.] exactly when the item expired *)
+}
+
+val drain : 'a t -> now:float -> max:int -> 'a admitted list * 'a admitted list
+(** [drain t ~now ~max] removes up to [max] live items fairly —
+    round-robin over tenants, FIFO within each — and returns them in
+    dequeue order, together with {e every} expired item found while
+    draining (deadline elapsed at [now]; their [remaining_hours] is
+    [Some 0.]). Expired items do not count against [max]: a drain asked
+    for a full epoch never returns fewer live items because dead ones
+    were in the way. *)
+
+val expire : 'a t -> now:float -> 'a admitted list
+(** Remove and return only the expired items (e.g. on shutdown, or
+    between epochs), leaving live ones queued. *)

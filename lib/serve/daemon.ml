@@ -1,0 +1,313 @@
+module Engine = Stratrec.Engine
+module Request = Stratrec.Request
+module Obs = Stratrec_obs
+
+type config = {
+  engine : Engine.config;
+  queue_capacity : int;
+  epoch_requests : int;
+  max_line : int;
+}
+
+let default_config =
+  {
+    engine = Engine.default_config;
+    queue_capacity = 64;
+    epoch_requests = 8;
+    max_line = Protocol.default_max_line;
+  }
+
+(* What waits in the admission queue: the request plus the connection
+   token its epoch result must route back to. *)
+type pending = { request : Request.t; client : int }
+
+type t = {
+  config : config;
+  session : Engine.session;
+  queue : pending Admission.t;
+  clock : unit -> float;
+  mutable offset_hours : float;  (** simulated [tick] offset *)
+  mutable stopped : bool;
+  (* serve.* instruments, all in the session registry *)
+  submits : Obs.Registry.counter;
+  accepted : Obs.Registry.counter;
+  queue_full : Obs.Registry.counter;
+  deadline_rejects : Obs.Registry.counter;
+  duplicate_rejects : Obs.Registry.counter;
+  protocol_errors : Obs.Registry.counter;
+  epochs_total : Obs.Registry.counter;
+  epoch_admitted : Obs.Registry.counter;
+  depth_gauge : Obs.Registry.gauge;
+  clock_gauge : Obs.Registry.gauge;
+  epoch_fill : Obs.Registry.histogram;
+  queue_wait : Obs.Registry.histogram;
+}
+
+let now t = t.clock () +. (t.offset_hours *. 3600.)
+
+let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strategies () =
+  if config.queue_capacity < 1 then
+    Error (`Invalid_config "serve queue capacity must be >= 1")
+  else if config.epoch_requests < 1 then
+    Error (`Invalid_config "serve epoch fill target must be >= 1")
+  else if config.max_line < 1 then
+    Error (`Invalid_config "serve line limit must be >= 1")
+  else
+    (* One registry for everything the daemon exposes: install a session
+       registry when the engine config carries none, so serve.* and the
+       engine/aggregator/resilience metrics share a single scrape. *)
+    let registry =
+      match config.engine.Engine.metrics with
+      | Some registry -> registry
+      | None -> Obs.Registry.create ()
+    in
+    let config = { config with engine = Engine.with_metrics config.engine registry } in
+    match Engine.create ~config:config.engine ?rng ~availability ~strategies () with
+    | Error _ as e -> e
+    | Ok session ->
+        let counter name =
+          let c = Obs.Registry.counter registry name in
+          Obs.Registry.incr_by c 0;
+          (* register at 0: scrapeable before first use *)
+          c
+        in
+        let t =
+          {
+            config;
+            session;
+            queue = Admission.create ~capacity:config.queue_capacity;
+            clock;
+            offset_hours = 0.;
+            stopped = false;
+            submits = counter "serve.submits_total";
+            accepted = counter "serve.accepted_total";
+            queue_full = counter "serve.rejected_queue_full_total";
+            deadline_rejects = counter "serve.rejected_deadline_total";
+            duplicate_rejects = counter "serve.rejected_duplicate_total";
+            protocol_errors = counter "serve.protocol_errors_total";
+            epochs_total = counter "serve.epochs_total";
+            epoch_admitted = counter "serve.epoch_requests_total";
+            depth_gauge = Obs.Registry.gauge registry "serve.queue_depth";
+            clock_gauge = Obs.Registry.gauge registry "serve.clock_hours";
+            epoch_fill =
+              Obs.Registry.histogram ~buckets:Obs.Registry.fraction_buckets registry
+                "serve.epoch_fill";
+            queue_wait = Obs.Registry.histogram registry "serve.queue_wait_seconds";
+          }
+        in
+        Obs.Registry.set t.depth_gauge 0.;
+        Ok t
+
+let queue_depth t = Admission.length t.queue
+let max_line t = t.config.max_line
+let epochs t = Engine.epochs t.session
+let stopped t = t.stopped
+let metrics t = Engine.session_metrics t.session
+let clock_hours t = t.offset_hours
+
+let update_depth t =
+  Obs.Registry.set t.depth_gauge (float_of_int (Admission.length t.queue))
+
+let expired_response (a : pending Admission.admitted) =
+  ( a.Admission.item.client,
+    Protocol.Deadline_expired
+      {
+        id = Request.id a.Admission.item.request;
+        tenant = a.Admission.tenant;
+        waited_seconds = a.Admission.waited_seconds;
+      } )
+
+(* Keep the first occurrence of each request id in dequeue order; later
+   ones would fail the whole Engine.submit (duplicate ids), so they are
+   bounced individually with a typed response instead. *)
+let dedupe admitted =
+  let seen = Hashtbl.create 16 in
+  List.partition_map
+    (fun (a : pending Admission.admitted) ->
+      let id = Request.id a.Admission.item.request in
+      if Hashtbl.mem seen id then Either.Right a
+      else begin
+        Hashtbl.add seen id ();
+        Either.Left a
+      end)
+    admitted
+
+(* The epoch's retry budget: the tightest unspent admission deadline
+   across the batch (hours) — absent when nothing in the batch carries
+   one. Engine.submit threads it into the deploy retry policy. *)
+let epoch_budget admitted =
+  List.fold_left
+    (fun acc (a : pending Admission.admitted) ->
+      match (acc, a.Admission.remaining_hours) with
+      | None, r -> r
+      | Some b, Some r -> Some (Float.min b r)
+      | Some b, None -> Some b)
+    None admitted
+
+let deploy_verdicts (report : Engine.report) =
+  List.map
+    (fun (d : Engine.deployed) ->
+      ( Request.id d.Engine.request,
+        match d.Engine.outcome with
+        | Engine.Completed _ -> "completed"
+        | Engine.Rejected reason -> Engine.rejection_reason reason ))
+    report.Engine.deployed
+
+(* Run one epoch over up to [max] fairly-drained requests. Responses:
+   one Deadline_expired per expired entry, one Duplicate_id per bounced
+   duplicate, one Completed per triaged request (routed to its
+   submitter), then Epoch_closed to the client whose line triggered the
+   epoch. *)
+let run_epoch t ~client ~max =
+  let clock_now = now t in
+  let admitted, expired = Admission.drain t.queue ~now:clock_now ~max in
+  update_depth t;
+  let expired_responses = List.map (expired_response) expired in
+  Obs.Registry.incr_by t.deadline_rejects (List.length expired);
+  let batch, duplicates = dedupe admitted in
+  Obs.Registry.incr_by t.duplicate_rejects (List.length duplicates);
+  let duplicate_responses =
+    List.map
+      (fun (a : pending Admission.admitted) ->
+        ( a.Admission.item.client,
+          Protocol.Duplicate_id
+            { id = Request.id a.Admission.item.request; tenant = a.Admission.tenant } ))
+      duplicates
+  in
+  let epoch_responses =
+    match batch with
+    | [] ->
+        [
+          ( client,
+            Protocol.Epoch_closed
+              { epoch = epochs t; admitted = 0; expired = List.length expired } );
+        ]
+    | batch -> (
+        List.iter
+          (fun (a : pending Admission.admitted) ->
+            Obs.Registry.observe t.queue_wait a.Admission.waited_seconds)
+          batch;
+        let requests = List.map (fun a -> a.Admission.item.request) batch in
+        match Engine.submit ?deadline_hours:(epoch_budget batch) t.session requests with
+        | Error e ->
+            (* Unexpected by construction (duplicates are bounced above);
+               answer every submitter with the typed engine error rather
+               than dropping their requests silently. *)
+            let reason = Engine.error_message e in
+            List.map
+              (fun (a : pending Admission.admitted) ->
+                (a.Admission.item.client, Protocol.Error_ { reason }))
+              batch
+            @ [
+                ( client,
+                  Protocol.Epoch_closed
+                    { epoch = epochs t; admitted = 0; expired = List.length expired } );
+              ]
+        | Ok report ->
+            Obs.Registry.incr t.epochs_total;
+            Obs.Registry.incr_by t.epoch_admitted (List.length batch);
+            Obs.Registry.observe t.epoch_fill
+              (float_of_int (List.length batch)
+              /. float_of_int t.config.epoch_requests);
+            let verdicts = deploy_verdicts report in
+            let completed =
+              List.map2
+                (fun (a : pending Admission.admitted) (_, outcome) ->
+                  let id = Request.id a.Admission.item.request in
+                  ( a.Admission.item.client,
+                    Protocol.Completed
+                      {
+                        id;
+                        tenant = a.Admission.tenant;
+                        epoch = report.Engine.epoch;
+                        outcome = Protocol.outcome_of_aggregator outcome;
+                        deployed = List.assoc_opt id verdicts;
+                      } ))
+                batch
+                (Array.to_list report.Engine.aggregate.Stratrec.Aggregator.outcomes)
+            in
+            completed
+            @ [
+                ( client,
+                  Protocol.Epoch_closed
+                    {
+                      epoch = report.Engine.epoch;
+                      admitted = List.length batch;
+                      expired = List.length expired;
+                    } );
+              ])
+  in
+  expired_responses @ duplicate_responses @ epoch_responses
+
+(* Shutdown drains whatever is queued in epoch-sized batches so nothing
+   is ever dropped, then closes the session. *)
+let drain_all t ~client =
+  let rec go acc =
+    if Admission.length t.queue = 0 then acc
+    else go (acc @ run_epoch t ~client ~max:t.config.epoch_requests)
+  in
+  go []
+
+let handle_command t ~client command =
+  match command with
+  | Protocol.Submit request -> (
+      Obs.Registry.incr t.submits;
+      let pending = { request; client } in
+      match
+        Admission.offer t.queue ~now:(now t) ~tenant:(Request.tenant request)
+          ?deadline_hours:request.Request.deadline_hours pending
+      with
+      | Error `Queue_full ->
+          Obs.Registry.incr t.queue_full;
+          ( [
+              ( client,
+                Protocol.Queue_full
+                  {
+                    id = Request.id request;
+                    tenant = Request.tenant request;
+                    queue_depth = Admission.length t.queue;
+                  } );
+            ],
+            `Continue )
+      | Ok () ->
+          Obs.Registry.incr t.accepted;
+          update_depth t;
+          let ack =
+            ( client,
+              Protocol.Accepted
+                {
+                  id = Request.id request;
+                  tenant = Request.tenant request;
+                  queue_depth = Admission.length t.queue;
+                } )
+          in
+          if Admission.length t.queue >= t.config.epoch_requests then
+            (ack :: run_epoch t ~client ~max:t.config.epoch_requests, `Continue)
+          else ([ ack ], `Continue))
+  | Protocol.Flush -> (run_epoch t ~client ~max:t.config.epoch_requests, `Continue)
+  | Protocol.Metrics ->
+      ( [
+          ( client,
+            Protocol.Metrics_text (Obs.Snapshot.to_openmetrics (metrics t)) );
+        ],
+        `Continue )
+  | Protocol.Ping -> ([ (client, Protocol.Pong) ], `Continue)
+  | Protocol.Tick hours ->
+      t.offset_hours <- t.offset_hours +. hours;
+      Obs.Registry.set t.clock_gauge t.offset_hours;
+      ([ (client, Protocol.Ticked { clock_hours = t.offset_hours }) ], `Continue)
+  | Protocol.Shutdown ->
+      let responses = drain_all t ~client in
+      t.stopped <- true;
+      Engine.close t.session;
+      (responses @ [ (client, Protocol.Shutting_down) ], `Stop)
+
+let handle_line t ~client line =
+  if t.stopped then
+    ([ (client, Protocol.Error_ { reason = "daemon is shutting down" }) ], `Stop)
+  else
+    match Protocol.parse ~max_line:t.config.max_line line with
+    | Error reason ->
+        Obs.Registry.incr t.protocol_errors;
+        ([ (client, Protocol.Error_ { reason }) ], `Continue)
+    | Ok command -> handle_command t ~client command

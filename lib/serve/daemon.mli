@@ -1,0 +1,88 @@
+(** The [stratrec-serve] daemon core: admission → epoch batching →
+    triage → response streaming (DESIGN.md §5g), independent of any
+    transport.
+
+    The daemon owns one {!Stratrec.Engine} session (registry, trace,
+    breaker and deploy clock persist across epochs), one bounded
+    {!Admission} queue in front of it, and a [serve.*] metrics surface
+    in the session registry. {!handle_line} is the entire protocol: the
+    socket server and the [--stdio] driver both feed it raw lines and
+    write back the responses it routes, so every test can drive the
+    daemon without a socket.
+
+    Epochs close when the admission queue reaches the configured fill
+    ([epoch_requests]), on an explicit [flush], and on [shutdown]
+    (which drains everything). Within an epoch the batch goes through
+    {!Stratrec.Engine.submit} with the tightest unspent admission
+    deadline as the epoch's retry budget — queue deadlines wired into
+    the {!Stratrec_resilience.Retry} machinery. Determinism contract:
+    a fixed request batch forming one epoch yields decisions and
+    counters bit-identical to the equivalent one-shot
+    {!Stratrec.Engine.run}.
+
+    Time is read from an injectable clock (seconds); the [tick]
+    protocol verb advances a simulated offset on top of it, so
+    deadline expiry is deterministically testable. *)
+
+type config = {
+  engine : Stratrec.Engine.config;
+      (** per-epoch pipeline configuration; the daemon installs its own
+          session registry when this carries none, so [serve.*] and
+          engine metrics share one scrape *)
+  queue_capacity : int;  (** admission bound; full → typed backpressure *)
+  epoch_requests : int;
+      (** fill target that closes an epoch; a target above
+          [queue_capacity] is legal and means epochs close only on
+          [flush]/[shutdown] — the configuration where the queue can
+          actually fill and backpressure becomes observable *)
+  max_line : int;  (** protocol line limit, {!Protocol.default_max_line} *)
+}
+
+val default_config : config
+(** Engine defaults, capacity 64, epochs of 8, 64 KiB lines. *)
+
+type t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?rng:Stratrec_util.Rng.t ->
+  config:config ->
+  availability:Stratrec_model.Availability.t ->
+  strategies:Stratrec_model.Strategy.t array ->
+  unit ->
+  (t, Stratrec.Engine.error) result
+(** [clock] defaults to {!Stratrec_obs.Registry.wall_clock}; pass a
+    fake for tests. [rng] seeds the deploy stage exactly as in
+    {!Stratrec.Engine.create}. Validates config up front:
+    [`Invalid_config] on a non-positive queue capacity, epoch fill or
+    line limit, plus everything engine validation rejects. *)
+
+val handle_line :
+  t -> client:int -> string -> (int * Protocol.response) list * [ `Continue | `Stop ]
+(** Process one raw protocol line from [client] (an opaque connection
+    token). Returns the responses to deliver — each tagged with the
+    client it belongs to, in send order; epoch results route to the
+    clients that submitted each request — and whether the daemon keeps
+    serving. Never raises on any input; malformed lines yield a typed
+    {!Protocol.Error_} to the sender. After [`Stop] (a [shutdown]
+    command), the queue has been fully drained, every pending request
+    answered, and the engine session closed. *)
+
+val queue_depth : t -> int
+(** Requests currently waiting for an epoch — 0 after [`Stop] (the
+    zero-leak shutdown invariant the smoke test asserts). *)
+
+val epochs : t -> int
+(** Epochs run so far. *)
+
+val stopped : t -> bool
+
+val max_line : t -> int
+(** The configured protocol line limit (the transport's buffering
+    guard reads it). *)
+
+val metrics : t -> Stratrec_obs.Snapshot.t
+(** Live cumulative snapshot (the [GET metrics] surface). *)
+
+val clock_hours : t -> float
+(** Simulated clock offset accumulated through [tick], in hours. *)

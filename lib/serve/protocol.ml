@@ -1,0 +1,161 @@
+module Json = Stratrec_util.Json
+module Model = Stratrec_model
+
+type command =
+  | Submit of Stratrec.Request.t
+  | Flush
+  | Metrics
+  | Ping
+  | Tick of float
+  | Shutdown
+
+let default_max_line = 65536
+
+let ( let* ) = Result.bind
+
+let parse ?(max_line = default_max_line) line =
+  if String.length line > max_line then
+    Error
+      (Printf.sprintf "line too long (%d bytes, limit %d)" (String.length line) max_line)
+  else
+    let trimmed = String.trim line in
+    let lowered = String.lowercase_ascii trimmed in
+    if lowered = "get metrics" || lowered = "get /metrics" then Ok Metrics
+    else
+      let* json =
+        Result.map_error (fun m -> "invalid JSON: " ^ m) (Json.of_string trimmed)
+      in
+      let* op =
+        match Json.member "op" json with
+        | None -> Error "missing field \"op\""
+        | Some v -> (
+            match Json.to_string_value v with
+            | Some s -> Ok (String.lowercase_ascii s)
+            | None -> Error "field \"op\": expected a string")
+      in
+      match op with
+      | "submit" ->
+          Result.map
+            (fun r -> Submit r)
+            (Result.map_error (fun m -> "submit: " ^ m) (Stratrec.Request.of_json json))
+      | "flush" -> Ok Flush
+      | "metrics" -> Ok Metrics
+      | "ping" -> Ok Ping
+      | "shutdown" -> Ok Shutdown
+      | "tick" -> (
+          match Json.member "hours" json with
+          | None -> Error "tick: missing field \"hours\""
+          | Some v -> (
+              match Json.to_float v with
+              | Some h when h > 0. -> Ok (Tick h)
+              | Some h -> Error (Printf.sprintf "tick: hours must be positive (got %g)" h)
+              | None -> Error "tick: field \"hours\": expected a number"))
+      | other -> Error (Printf.sprintf "unknown op %S" other)
+
+type outcome =
+  | Satisfied of { strategies : string list; workforce : float }
+  | Alternative of { params : Model.Params.t; distance : float }
+  | Workforce_limited
+  | No_alternative
+
+let outcome_of_aggregator = function
+  | Stratrec.Aggregator.Satisfied { strategies; workforce } ->
+      Satisfied
+        {
+          strategies = List.map (fun s -> s.Model.Strategy.label) strategies;
+          workforce;
+        }
+  | Stratrec.Aggregator.Alternative result ->
+      Alternative
+        { params = result.Stratrec.Adpar.alternative; distance = result.Stratrec.Adpar.distance }
+  | Stratrec.Aggregator.Workforce_limited -> Workforce_limited
+  | Stratrec.Aggregator.No_alternative -> No_alternative
+
+type response =
+  | Accepted of { id : int; tenant : string; queue_depth : int }
+  | Queue_full of { id : int; tenant : string; queue_depth : int }
+  | Deadline_expired of { id : int; tenant : string; waited_seconds : float }
+  | Duplicate_id of { id : int; tenant : string }
+  | Completed of {
+      id : int;
+      tenant : string;
+      epoch : int;
+      outcome : outcome;
+      deployed : string option;
+    }
+  | Epoch_closed of { epoch : int; admitted : int; expired : int }
+  | Pong
+  | Ticked of { clock_hours : float }
+  | Shutting_down
+  | Error_ of { reason : string }
+  | Metrics_text of string
+
+let bool b = Json.Bool b
+let str s = Json.String s
+let num f = Json.Number f
+let int i = Json.Number (float_of_int i)
+
+let tenant_field tenant = if tenant = "" then [] else [ ("tenant", str tenant) ]
+
+let outcome_fields = function
+  | Satisfied { strategies; workforce } ->
+      [
+        ("outcome", str "satisfied");
+        ("strategies", Json.List (List.map str strategies));
+        ("workforce", num workforce);
+      ]
+  | Alternative { params; distance } ->
+      [
+        ("outcome", str "alternative");
+        ("alternative", str (Model.Params.to_string params));
+        ("distance", num distance);
+      ]
+  | Workforce_limited -> [ ("outcome", str "workforce-limited") ]
+  | No_alternative -> [ ("outcome", str "no-alternative") ]
+
+let render response =
+  match response with
+  | Metrics_text text -> text
+  | _ ->
+      let fields =
+        match response with
+        | Accepted { id; tenant; queue_depth } ->
+            [ ("ok", bool true); ("status", str "accepted"); ("id", int id) ]
+            @ tenant_field tenant
+            @ [ ("queue_depth", int queue_depth) ]
+        | Queue_full { id; tenant; queue_depth } ->
+            [ ("ok", bool false); ("status", str "queue-full"); ("id", int id) ]
+            @ tenant_field tenant
+            @ [ ("queue_depth", int queue_depth) ]
+        | Deadline_expired { id; tenant; waited_seconds } ->
+            [ ("ok", bool false); ("status", str "deadline-expired"); ("id", int id) ]
+            @ tenant_field tenant
+            @ [ ("waited_seconds", num waited_seconds) ]
+        | Duplicate_id { id; tenant } ->
+            [ ("ok", bool false); ("status", str "duplicate-id"); ("id", int id) ]
+            @ tenant_field tenant
+        | Completed { id; tenant; epoch; outcome; deployed } ->
+            [ ("ok", bool true); ("status", str "completed"); ("id", int id) ]
+            @ tenant_field tenant
+            @ [ ("epoch", int epoch) ]
+            @ outcome_fields outcome
+            @ (match deployed with
+              | None -> []
+              | Some verdict -> [ ("deployed", str verdict) ])
+        | Epoch_closed { epoch; admitted; expired } ->
+            [
+              ("ok", bool true);
+              ("status", str "epoch-closed");
+              ("epoch", int epoch);
+              ("admitted", int admitted);
+              ("expired", int expired);
+            ]
+        | Pong -> [ ("ok", bool true); ("status", str "pong") ]
+        | Ticked { clock_hours } ->
+            [ ("ok", bool true); ("status", str "ticked"); ("clock_hours", num clock_hours) ]
+        | Shutting_down -> [ ("ok", bool true); ("status", str "shutting-down") ]
+        | Error_ { reason } ->
+            [ ("ok", bool false); ("status", str "error"); ("error", str reason) ]
+        | Metrics_text _ -> assert false
+      in
+      Json.to_string (Json.Object fields) ^ "\n"

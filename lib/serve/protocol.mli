@@ -1,0 +1,75 @@
+(** The [stratrec-serve] wire protocol: newline-delimited JSON.
+
+    One line in, one (or more) lines out. Commands are JSON objects
+    dispatched on their ["op"] field; a {!Request} rides flat next to
+    the ["op"] key (its codec ignores unknown fields). The single
+    non-JSON spelling is the scrape verb [GET metrics] (also accepted
+    as [GET /metrics]), which answers with the OpenMetrics text
+    exposition of the live registry — terminated by its [# EOF] line —
+    so a Prometheus-style scraper can talk to the same socket.
+
+    Every malformed, oversized or unknown line yields a typed
+    {!Error_} response; the daemon never closes a connection on bad
+    input and never crashes on it (the chaos tests flood this parser).
+
+    Responses are single-line JSON objects with a stable shape:
+    [ok : bool], [status : string], then status-specific fields. *)
+
+type command =
+  | Submit of Stratrec.Request.t
+      (** [{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2,
+          "tenant":"acme","deadline_hours":24}] *)
+  | Flush  (** [{"op":"flush"}] — close the epoch now, whatever the fill *)
+  | Metrics  (** [GET metrics] or [{"op":"metrics"}] *)
+  | Ping  (** [{"op":"ping"}] — liveness probe *)
+  | Tick of float
+      (** [{"op":"tick","hours":H}] — advance the daemon's simulated
+          clock by [H] hours (deadline testing; [H > 0]) *)
+  | Shutdown  (** [{"op":"shutdown"}] — drain, respond, stop *)
+
+val default_max_line : int
+(** 65536 bytes. Longer lines are rejected before parsing. *)
+
+val parse : ?max_line:int -> string -> (command, string) result
+(** Parse one line (no trailing newline). Errors are human-readable and
+    name the offending field; they never raise. *)
+
+(** One outcome per submitted request, mirroring
+    {!Stratrec.Aggregator.request_outcome}. *)
+type outcome =
+  | Satisfied of { strategies : string list; workforce : float }
+  | Alternative of { params : Stratrec_model.Params.t; distance : float }
+  | Workforce_limited
+  | No_alternative
+
+type response =
+  | Accepted of { id : int; tenant : string; queue_depth : int }
+      (** submit admitted; the result follows at epoch close *)
+  | Queue_full of { id : int; tenant : string; queue_depth : int }
+      (** typed backpressure — resubmit later *)
+  | Deadline_expired of { id : int; tenant : string; waited_seconds : float }
+  | Duplicate_id of { id : int; tenant : string }
+      (** another request with the same id is already in this epoch *)
+  | Completed of {
+      id : int;
+      tenant : string;
+      epoch : int;
+      outcome : outcome;
+      deployed : string option;
+          (** deploy-stage verdict when a deploy stage is configured:
+              ["completed"] or the rejection reason *)
+    }
+  | Epoch_closed of { epoch : int; admitted : int; expired : int }
+      (** sent to the flushing/submitting client after an epoch runs *)
+  | Pong
+  | Ticked of { clock_hours : float }
+  | Shutting_down
+  | Error_ of { reason : string }  (** protocol-level typed error *)
+  | Metrics_text of string
+      (** multi-line OpenMetrics exposition, [# EOF]-terminated *)
+
+val render : response -> string
+(** The exact bytes to write, newline-terminated (the OpenMetrics blob
+    already ends in one). *)
+
+val outcome_of_aggregator : Stratrec.Aggregator.request_outcome -> outcome

@@ -1,0 +1,229 @@
+type transport = Unix_socket of string | Tcp of string * int
+
+(* Per-connection input state. [discarding] is the oversized-line guard:
+   once the unterminated prefix outgrows the daemon's line limit we stop
+   buffering, skip to the next newline, and answer with one typed error —
+   bounded memory under any input. *)
+type conn = {
+  fd : Unix.file_descr;
+  id : int;
+  buf : Buffer.t;
+  mutable discarding : bool;
+  mutable open_ : bool;
+}
+
+let ignore_sigpipe () =
+  match Sys.os_type with
+  | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+  | _ -> ()
+
+let write_all conn data =
+  if conn.open_ then
+    try
+      let len = String.length data in
+      let rec go off =
+        if off < len then
+          let n = Unix.write_substring conn.fd data off (len - off) in
+          go (off + n)
+      in
+      go 0
+    with Unix.Unix_error _ ->
+      (* peer went away: drop its responses, keep serving the rest *)
+      conn.open_ <- false
+
+let close_conn conn =
+  if conn.open_ || true then ( try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  conn.open_ <- false
+
+(* Split buffered bytes into complete lines, honouring the discard
+   state. Returns the protocol lines to hand the daemon, plus whether an
+   oversized line was just dropped (one typed error per drop). *)
+let extract_lines conn ~max_line chunk =
+  let lines = ref [] and dropped = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '\n' then
+        if conn.discarding then begin
+          conn.discarding <- false;
+          incr dropped
+        end
+        else begin
+          lines := Buffer.contents conn.buf :: !lines;
+          Buffer.clear conn.buf
+        end
+      else if conn.discarding then ()
+      else begin
+        Buffer.add_char conn.buf c;
+        if Buffer.length conn.buf > max_line then begin
+          Buffer.clear conn.buf;
+          conn.discarding <- true
+        end
+      end)
+    chunk;
+  (List.rev !lines, !dropped)
+
+let oversized_error =
+  Protocol.render (Protocol.Error_ { reason = "line too long: discarded" })
+
+let deliver conns responses =
+  List.iter
+    (fun (client, response) ->
+      match List.find_opt (fun c -> c.id = client && c.open_) conns with
+      | Some conn -> write_all conn (Protocol.render response)
+      | None -> ())
+    responses
+
+let bind_socket transport =
+  match transport with
+  | Unix_socket path ->
+      if Sys.file_exists path then ( try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr = try Unix.inet_addr_of_string host with Failure _ -> Unix.inet_addr_loopback in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      fd
+
+let serve ~daemon transport =
+  ignore_sigpipe ();
+  match bind_socket transport with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "cannot bind: %s" (Unix.error_message err))
+  | listen_fd -> (
+      Unix.listen listen_fd 16;
+      let max_line = Daemon.max_line daemon in
+      let conns = ref [] and next_id = ref 1 and running = ref true in
+      let chunk = Bytes.create 4096 in
+      (try
+         while !running do
+           let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+           match Unix.select fds [] [] 1.0 with
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           | readable, _, _ ->
+               (* new connection *)
+               (if List.mem listen_fd readable then
+                  match Unix.accept listen_fd with
+                  | exception Unix.Unix_error _ -> ()
+                  | fd, _ ->
+                      let conn =
+                        {
+                          fd;
+                          id = !next_id;
+                          buf = Buffer.create 256;
+                          discarding = false;
+                          open_ = true;
+                        }
+                      in
+                      incr next_id;
+                      conns := !conns @ [ conn ]);
+               List.iter
+                 (fun conn ->
+                   if !running && List.mem conn.fd readable then
+                     match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+                     | exception Unix.Unix_error _ -> close_conn conn
+                     | 0 -> close_conn conn
+                     | n ->
+                         let lines, dropped =
+                           extract_lines conn ~max_line (Bytes.sub_string chunk 0 n)
+                         in
+                         for _ = 1 to dropped do
+                           write_all conn oversized_error
+                         done;
+                         List.iter
+                           (fun line ->
+                             if !running then begin
+                               let responses, verdict =
+                                 Daemon.handle_line daemon ~client:conn.id line
+                               in
+                               deliver !conns responses;
+                               match verdict with
+                               | `Continue -> ()
+                               | `Stop -> running := false
+                             end)
+                           lines)
+                 !conns;
+               conns := List.filter (fun c -> c.open_) !conns
+         done;
+         Ok ()
+       with Unix.Unix_error (err, fn, _) ->
+         Error (Printf.sprintf "socket error in %s: %s" fn (Unix.error_message err)))
+      |> fun result ->
+      List.iter close_conn !conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match transport with
+      | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ());
+      result)
+
+let run_stdio ~daemon ic oc =
+  let rec go () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        let responses, verdict = Daemon.handle_line daemon ~client:0 line in
+        List.iter (fun (_, response) -> output_string oc (Protocol.render response)) responses;
+        flush oc;
+        (match verdict with `Continue -> go () | `Stop -> ())
+  in
+  go ()
+
+let connect_socket transport =
+  match transport with
+  | Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let addr = try Unix.inet_addr_of_string host with Failure _ -> Unix.inet_addr_loopback in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+
+(* Pump stdin lines to the server and stream responses back until the
+   server closes. Input and output are multiplexed with select so a
+   response-heavy server can't deadlock a write-heavy client. *)
+let client transport ic oc =
+  ignore_sigpipe ();
+  match connect_socket transport with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "cannot connect: %s" (Unix.error_message err))
+  | fd ->
+      let chunk = Bytes.create 4096 in
+      let input_open = ref true and server_open = ref true in
+      (try
+         while !server_open do
+           (* send one pending line, then poll the socket; stdin here is
+              a channel (possibly a file), so reads never block long *)
+           if !input_open then begin
+             match input_line ic with
+             | exception End_of_file ->
+                 input_open := false;
+                 (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+             | line ->
+                 let data = line ^ "\n" in
+                 let len = String.length data in
+                 let rec go off =
+                   if off < len then
+                     let n = Unix.write_substring fd data off (len - off) in
+                     go (off + n)
+                 in
+                 go 0
+           end;
+           let timeout = if !input_open then 0.01 else 1.0 in
+           match Unix.select [ fd ] [] [] timeout with
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           | [], _, _ -> ()
+           | _ -> (
+               match Unix.read fd chunk 0 (Bytes.length chunk) with
+               | 0 -> server_open := false
+               | n -> output_string oc (Bytes.sub_string chunk 0 n))
+         done;
+         flush oc;
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         Ok ()
+       with Unix.Unix_error (err, fn, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         Error (Printf.sprintf "socket error in %s: %s" fn (Unix.error_message err)))

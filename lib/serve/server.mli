@@ -1,0 +1,35 @@
+(** Transports for the {!Daemon}: a select-based socket server (Unix
+    domain or TCP), a stdio driver, and a line-pump client.
+
+    The server is single-threaded by design — the daemon's determinism
+    contract is per-epoch, and triage parallelism lives inside the
+    epoch ({!Stratrec.Engine.config.domains}) — so connections are
+    multiplexed with [select] and lines are handled in arrival order.
+    Oversized input (no newline within the daemon's line limit) is
+    discarded up to the next newline and answered with a typed error;
+    a peer disconnecting mid-epoch only loses its own responses
+    (writes to dead peers are dropped, the epoch still runs).
+
+    The stdio driver feeds the daemon from an [in_channel] — the cram
+    tests and [--stdio] mode — and the client pumps stdin lines into a
+    serving socket and streams responses back, which is how the smoke
+    test drives a real daemon without [nc]/socat in the container. *)
+
+type transport =
+  | Unix_socket of string  (** filesystem path (unlinked on shutdown) *)
+  | Tcp of string * int  (** bind/connect address and port *)
+
+val serve : daemon:Daemon.t -> transport -> (unit, string) result
+(** Bind, accept and serve until a [shutdown] command stops the daemon
+    (or a fatal socket error). All pending requests are answered before
+    the listener closes. Errors are I/O-level only — protocol problems
+    never end the loop. *)
+
+val run_stdio : daemon:Daemon.t -> in_channel -> out_channel -> unit
+(** Feed lines from the channel to the daemon (single client 0) until
+    EOF or shutdown, writing responses back flushed per line. *)
+
+val client : transport -> in_channel -> out_channel -> (unit, string) result
+(** Connect, pump every line from the channel to the server, and copy
+    everything the server sends to [out_channel] until the server
+    closes the connection (e.g. after answering [shutdown]). *)

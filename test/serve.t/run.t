@@ -1,0 +1,114 @@
+stratrec-serve speaks newline-delimited JSON. --stdio serves the
+protocol on stdin/stdout, which is how these tests (and pipelines)
+drive it without a socket. A session ends with a shutdown command; the
+daemon answers everything it still owes before stopping.
+
+  $ printf '%s\n' '{"op":"ping"}' '{"op":"shutdown"}' | stratrec-serve --stdio
+  {"ok":true,"status":"pong"}
+  {"ok":true,"status":"shutting-down"}
+
+Malformed, unknown and oversized lines get typed error responses — the
+daemon never drops a connection or crashes on bad input.
+
+  $ printf '%s\n' 'not json' '{"op":"frobnicate"}' '{"op":"submit"}' '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio
+  {"ok":false,"status":"error","error":"invalid JSON: JSON parse error at offset 0: invalid literal, expected null"}
+  {"ok":false,"status":"error","error":"unknown op \"frobnicate\""}
+  {"ok":false,"status":"error","error":"submit: missing field \"id\""}
+  {"ok":true,"status":"shutting-down"}
+
+Submissions are admitted into the bounded queue and triaged when the
+epoch fills (here --epoch-requests 2). Responses stream back per
+request, then the epoch-closed marker.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"tenant":"acme"}' \
+  >   '{"op":"submit","id":2,"params":"0.6,0.6,0.6","k":2,"tenant":"beta"}' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 2 \
+  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../'
+  {"ok":true,"status":"accepted","id":1,"tenant":"acme","queue_depth":1}
+  {"ok":true,"status":"accepted","id":2,"tenant":"beta","queue_depth":2}
+  {"ok":true,"status":"completed","id":1,"tenant":"acme","epoch":1,"outcome":"alternative","alternative":...,"distance":...}
+  {"ok":true,"status":"completed","id":2,"tenant":"beta","epoch":1,"outcome":"alternative","alternative":...,"distance":...}
+  {"ok":true,"status":"epoch-closed","epoch":1,"admitted":2,"expired":0}
+  {"ok":true,"status":"shutting-down"}
+
+With a fill target above the queue bound, epochs close only on flush —
+the configuration where the queue can fill and the admission
+controller's typed backpressure becomes visible. Nothing is dropped:
+the queued requests still complete on flush.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":2,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"flush"}' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --queue-capacity 2 --epoch-requests 8 \
+  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../'
+  {"ok":true,"status":"accepted","id":1,"queue_depth":1}
+  {"ok":true,"status":"accepted","id":2,"queue_depth":2}
+  {"ok":false,"status":"queue-full","id":3,"queue_depth":2}
+  {"ok":true,"status":"completed","id":1,"epoch":1,"outcome":"alternative","alternative":...,"distance":...}
+  {"ok":true,"status":"completed","id":2,"epoch":1,"outcome":"alternative","alternative":...,"distance":...}
+  {"ok":true,"status":"epoch-closed","epoch":1,"admitted":2,"expired":0}
+  {"ok":true,"status":"shutting-down"}
+
+Duplicate request ids within an epoch: the first wins, later ones are
+bounced individually with a typed response.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":7,"params":"0.9,0.2,0.3","k":2,"tenant":"a"}' \
+  >   '{"op":"submit","id":7,"params":"0.9,0.2,0.3","k":2,"tenant":"b"}' \
+  >   '{"op":"flush"}' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../'
+  {"ok":true,"status":"accepted","id":7,"tenant":"a","queue_depth":1}
+  {"ok":true,"status":"accepted","id":7,"tenant":"b","queue_depth":2}
+  {"ok":false,"status":"duplicate-id","id":7,"tenant":"b"}
+  {"ok":true,"status":"completed","id":7,"tenant":"a","epoch":1,"outcome":"alternative","alternative":...,"distance":...}
+  {"ok":true,"status":"epoch-closed","epoch":1,"admitted":1,"expired":0}
+  {"ok":true,"status":"shutting-down"}
+
+Per-request deadlines are wall-budget in hours; the tick verb advances
+the daemon's simulated clock, so expiry is deterministic here. An
+expired request is rejected with a typed response at the next epoch,
+never triaged late.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"deadline_hours":1}' \
+  >   '{"op":"tick","hours":2}' \
+  >   '{"op":"flush"}' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >   | sed -E 's/("waited_seconds":)[0-9.e+-]+/\1.../'
+  {"ok":true,"status":"accepted","id":1,"queue_depth":1}
+  {"ok":true,"status":"ticked","clock_hours":2}
+  {"ok":false,"status":"deadline-expired","id":1,"waited_seconds":...}
+  {"ok":true,"status":"epoch-closed","epoch":0,"admitted":0,"expired":1}
+  {"ok":true,"status":"shutting-down"}
+
+GET metrics scrapes the live registry as OpenMetrics text on the same
+connection — admission control is observable: queue depth, rejects and
+epoch fill all appear under serve_*.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":2,"params":"0.6,0.6,0.6","k":2}' \
+  >   '{"op":"flush"}' \
+  >   'GET metrics' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >   | grep -E '^(serve_[a-z_]+_total |serve_queue_depth |# EOF)'
+  serve_accepted_total 2
+  serve_epoch_requests_total 2
+  serve_epochs_total 1
+  serve_protocol_errors_total 0
+  serve_queue_depth 0
+  serve_rejected_deadline_total 0
+  serve_rejected_duplicate_total 0
+  serve_rejected_queue_full_total 0
+  serve_submits_total 2
+  # EOF

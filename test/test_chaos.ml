@@ -24,20 +24,17 @@ let run_scenario seed =
   let platform = Sim.Platform.create rng ~population:(20 + Rng.int rng 60) in
   let resilience = Res.Degrade.with_retries Res.Degrade.resilient retries in
   let config =
-    {
-      Engine.default_config with
-      Engine.deploy =
-        Some
-          {
-            Engine.platform;
-            kind = Sim.Task_spec.Sentence_translation;
-            window;
-            capacity = 1 + Rng.int rng 8;
-            ledger = None;
-            faults;
-            resilience;
-          };
-    }
+    Engine.with_deploy Engine.default_config
+      (Some
+         {
+           Engine.platform;
+           kind = Sim.Task_spec.Sentence_translation;
+           window;
+           capacity = 1 + Rng.int rng 8;
+           ledger = None;
+           faults;
+           resilience;
+         })
   in
   let availability = Model.Availability.certain (0.3 +. Rng.float rng 0.7) in
   (faults, Engine.run ~config ~rng ~availability ~strategies ~requests ())
@@ -101,7 +98,7 @@ let fingerprint (report : Engine.report) =
   List.iter
     (fun (d : Engine.deployed) ->
       Buffer.add_string b
-        (Printf.sprintf "request %d via %s: " d.Engine.request.Model.Deployment.id
+        (Printf.sprintf "request %d via %s: " (Stratrec.Request.id d.Engine.request)
            d.Engine.strategy.Model.Strategy.label);
       (match d.Engine.outcome with
       | Engine.Completed r ->

@@ -381,20 +381,17 @@ let test_engine_deploy_stage () =
   let rng = Stratrec_util.Rng.create 7 in
   let platform = Sim.Platform.create rng ~population:200 in
   let config =
-    {
-      Engine.default_config with
-      Engine.deploy =
-        Some
-          {
-            Engine.platform;
-            kind = Sim.Task_spec.Sentence_translation;
-            window = Sim.Window.Weekend;
-            capacity = 5;
-            ledger = None;
-            faults = Resilience.Fault.none;
-            resilience = Resilience.Degrade.default;
-          };
-    }
+    Engine.with_deploy Engine.default_config
+      (Some
+         {
+           Engine.platform;
+           kind = Sim.Task_spec.Sentence_translation;
+           window = Sim.Window.Weekend;
+           capacity = 5;
+           ledger = None;
+           faults = Resilience.Fault.none;
+           resilience = Resilience.Degrade.default;
+         })
   in
   match Engine.run ~config ~rng ~availability ~strategies ~requests () with
   | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_message e)
@@ -417,20 +414,17 @@ let test_engine_deploy_trace_nesting () =
   let availability, strategies, requests = paper_inputs () in
   let rng = Stratrec_util.Rng.create 11 in
   let config =
-    {
-      Engine.default_config with
-      Engine.deploy =
-        Some
-          {
-            Engine.platform = Sim.Platform.create rng ~population:200;
-            kind = Sim.Task_spec.Sentence_translation;
-            window = Sim.Window.Weekend;
-            capacity = 5;
-            ledger = None;
-            faults = Resilience.Fault.make ~no_show:0.5 ~dropout:0.3 ();
-            resilience = Resilience.Degrade.with_retries Resilience.Degrade.resilient 2;
-          };
-    }
+    Engine.with_deploy Engine.default_config
+      (Some
+         {
+           Engine.platform = Sim.Platform.create rng ~population:200;
+           kind = Sim.Task_spec.Sentence_translation;
+           window = Sim.Window.Weekend;
+           capacity = 5;
+           ledger = None;
+           faults = Resilience.Fault.make ~no_show:0.5 ~dropout:0.3 ();
+           resilience = Resilience.Degrade.with_retries Resilience.Degrade.resilient 2;
+         })
   in
   match Engine.run ~config ~rng ~availability ~strategies ~requests () with
   | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_message e)
@@ -474,7 +468,7 @@ let test_engine_deploy_trace_nesting () =
 let test_engine_shared_registry_accumulates () =
   let availability, strategies, requests = paper_inputs () in
   let metrics = Registry.create () in
-  let config = { Engine.default_config with Engine.metrics = Some metrics } in
+  let config = Engine.with_metrics Engine.default_config metrics in
   let run () =
     match Engine.run ~config ~availability ~strategies ~requests () with
     | Ok report -> report
@@ -498,20 +492,17 @@ let test_engine_errors () =
   | _ -> Alcotest.fail "expected Invalid_request");
   let rng = Stratrec_util.Rng.create 7 in
   let config =
-    {
-      Engine.default_config with
-      Engine.deploy =
-        Some
-          {
-            Engine.platform = Sim.Platform.create rng ~population:10;
-            kind = Sim.Task_spec.Sentence_translation;
-            window = Sim.Window.Weekend;
-            capacity = 0;
-            ledger = None;
-            faults = Resilience.Fault.none;
-            resilience = Resilience.Degrade.default;
-          };
-    }
+    Engine.with_deploy Engine.default_config
+      (Some
+         {
+           Engine.platform = Sim.Platform.create rng ~population:10;
+           kind = Sim.Task_spec.Sentence_translation;
+           window = Sim.Window.Weekend;
+           capacity = 0;
+           ledger = None;
+           faults = Resilience.Fault.none;
+           resilience = Resilience.Degrade.default;
+         })
   in
   (match Engine.run ~config ~availability ~strategies ~requests () with
   | Error (`Invalid_config _) -> ()

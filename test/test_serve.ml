@@ -1,0 +1,595 @@
+(* The serve subsystem: admission fairness/backpressure/deadlines under
+   a simulated clock, protocol robustness under garbage floods, and the
+   epoch determinism contract — Engine.submit and the daemon produce
+   decisions and counters bit-identical to one-shot Engine.run. *)
+
+module Serve = Stratrec_serve
+module Admission = Serve.Admission
+module Protocol = Serve.Protocol
+module Daemon = Serve.Daemon
+module Engine = Stratrec.Engine
+module Request = Stratrec.Request
+module Aggregator = Stratrec.Aggregator
+module Model = Stratrec_model
+module Obs = Stratrec_obs
+module Snapshot = Obs.Snapshot
+module Json = Stratrec_util.Json
+
+(* Admission queue *)
+
+let test_admission_fairness () =
+  let q = Admission.create ~capacity:10 in
+  let offer tenant item =
+    match Admission.offer q ~now:0. ~tenant item with
+    | Ok () -> ()
+    | Error `Queue_full -> Alcotest.fail "unexpected queue-full"
+  in
+  (* tenant a floods first; b and c trickle in after *)
+  List.iter (offer "a") [ "a1"; "a2"; "a3"; "a4" ];
+  List.iter (offer "b") [ "b1"; "b2" ];
+  offer "c" "c1";
+  let live, dead = Admission.drain q ~now:1. ~max:5 in
+  Alcotest.(check (list string))
+    "round-robin across tenants, FIFO within"
+    [ "a1"; "b1"; "c1"; "a2"; "b2" ]
+    (List.map (fun a -> a.Admission.item) live);
+  Alcotest.(check int) "nothing expired" 0 (List.length dead);
+  Alcotest.(check int) "rest still queued" 2 (Admission.length q);
+  let live, _ = Admission.drain q ~now:2. ~max:5 in
+  Alcotest.(check (list string))
+    "drained to empty" [ "a3"; "a4" ]
+    (List.map (fun a -> a.Admission.item) live);
+  Alcotest.(check int) "empty" 0 (Admission.length q)
+
+let test_admission_backpressure () =
+  let q = Admission.create ~capacity:2 in
+  let offer item = Admission.offer q ~now:0. ~tenant:"t" item in
+  Alcotest.(check bool) "first fits" true (offer "x" = Ok ());
+  Alcotest.(check bool) "second fits" true (offer "y" = Ok ());
+  Alcotest.(check bool) "third bounces" true (offer "z" = Error `Queue_full);
+  Alcotest.(check int) "bound holds" 2 (Admission.length q);
+  Alcotest.check_raises "capacity validated"
+    (Invalid_argument "Admission.create: capacity must be >= 1 (got 0)") (fun () ->
+      ignore (Admission.create ~capacity:0))
+
+let test_admission_deadlines () =
+  let q = Admission.create ~capacity:10 in
+  let ok = function Ok () -> () | Error `Queue_full -> Alcotest.fail "queue-full" in
+  ok (Admission.offer q ~now:0. ~tenant:"t" ~deadline_hours:1. "tight");
+  ok (Admission.offer q ~now:0. ~tenant:"t" ~deadline_hours:10. "slack");
+  ok (Admission.offer q ~now:0. ~tenant:"t" "patient");
+  (* two simulated hours later *)
+  let live, dead = Admission.drain q ~now:7200. ~max:10 in
+  Alcotest.(check (list string))
+    "expired separated" [ "tight" ]
+    (List.map (fun a -> a.Admission.item) dead);
+  (match dead with
+  | [ a ] ->
+      Alcotest.(check (float 1e-9)) "waited the full two hours" 7200. a.Admission.waited_seconds;
+      Alcotest.(check (option (float 0.))) "budget exhausted" (Some 0.) a.Admission.remaining_hours
+  | _ -> Alcotest.fail "one expiry expected");
+  (match live with
+  | [ slack; patient ] ->
+      Alcotest.(check (option (float 1e-9)))
+        "unspent budget forwarded" (Some 8.) slack.Admission.remaining_hours;
+      Alcotest.(check (option (float 0.))) "no deadline, no budget" None
+        patient.Admission.remaining_hours
+  | _ -> Alcotest.fail "two live expected");
+  Alcotest.check_raises "deadline validated"
+    (Invalid_argument "Admission.offer: deadline_hours must be positive (got 0)") (fun () ->
+      ignore (Admission.offer q ~now:0. ~tenant:"t" ~deadline_hours:0. "bad"))
+
+let test_admission_expire_only () =
+  let q = Admission.create ~capacity:4 in
+  (match Admission.offer q ~now:0. ~tenant:"t" ~deadline_hours:1. "dead" with
+  | Ok () -> ()
+  | Error `Queue_full -> Alcotest.fail "queue-full");
+  (match Admission.offer q ~now:0. ~tenant:"t" "alive" with
+  | Ok () -> ()
+  | Error `Queue_full -> Alcotest.fail "queue-full");
+  let dead = Admission.expire q ~now:36000. in
+  Alcotest.(check (list string)) "only the expired leave" [ "dead" ]
+    (List.map (fun a -> a.Admission.item) dead);
+  Alcotest.(check int) "live stay queued" 1 (Admission.length q)
+
+(* Protocol *)
+
+let test_protocol_parse () =
+  let ok = function Ok c -> c | Error e -> Alcotest.failf "parse failed: %s" e in
+  (match ok (Protocol.parse {|{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2,"tenant":"acme","deadline_hours":24}|}) with
+  | Protocol.Submit r ->
+      Alcotest.(check int) "id" 3 (Request.id r);
+      Alcotest.(check string) "tenant" "acme" (Request.tenant r);
+      Alcotest.(check (option (float 0.))) "deadline" (Some 24.) (Request.deadline_hours r)
+  | _ -> Alcotest.fail "expected Submit");
+  (match ok (Protocol.parse "GET metrics") with
+  | Protocol.Metrics -> ()
+  | _ -> Alcotest.fail "expected Metrics");
+  (match ok (Protocol.parse "get /metrics") with
+  | Protocol.Metrics -> ()
+  | _ -> Alcotest.fail "expected Metrics (path form)");
+  (match ok (Protocol.parse {|{"op":"tick","hours":2.5}|}) with
+  | Protocol.Tick h -> Alcotest.(check (float 0.)) "hours" 2.5 h
+  | _ -> Alcotest.fail "expected Tick");
+  let err input =
+    match Protocol.parse input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" input
+  in
+  err "not json";
+  err {|{"op":"frobnicate"}|};
+  err {|{"no_op":true}|};
+  err {|{"op":"tick","hours":-1}|};
+  err {|{"op":"submit","params":"0.9,0.2,0.3"}|};
+  (* oversized *)
+  err (String.make (Protocol.default_max_line + 1) 'x');
+  match Protocol.parse ~max_line:8 "123456789" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "max_line not honoured"
+
+let test_protocol_render () =
+  Alcotest.(check string)
+    "accepted shape"
+    {|{"ok":true,"status":"accepted","id":7,"tenant":"acme","queue_depth":3}|}
+    (String.trim
+       (Protocol.render (Protocol.Accepted { id = 7; tenant = "acme"; queue_depth = 3 })));
+  Alcotest.(check string)
+    "anonymous tenant omitted"
+    {|{"ok":false,"status":"queue-full","id":7,"queue_depth":4}|}
+    (String.trim
+       (Protocol.render (Protocol.Queue_full { id = 7; tenant = ""; queue_depth = 4 })));
+  let rendered =
+    Protocol.render
+      (Protocol.Completed
+         {
+           id = 1;
+           tenant = "";
+           epoch = 2;
+           outcome = Protocol.Workforce_limited;
+           deployed = None;
+         })
+  in
+  match Json.of_string (String.trim rendered) with
+  | Error e -> Alcotest.failf "rendered response is not JSON: %s" e
+  | Ok json ->
+      Alcotest.(check (option string))
+        "status field" (Some "completed")
+        (Option.bind (Json.member "status" json) Json.to_string_value)
+
+(* Daemon helpers *)
+
+let paper_inputs () =
+  ( Model.Paper_example.availability (),
+    Model.Paper_example.strategies (),
+    Model.Paper_example.requests () )
+
+let fixed_clock = ref 1000.
+
+let make_daemon ?(engine = Engine.default_config) ?(queue_capacity = 16)
+    ?(epoch_requests = 8) ?(max_line = Protocol.default_max_line) () =
+  let availability, strategies, _ = paper_inputs () in
+  let config = { Daemon.engine; queue_capacity; epoch_requests; max_line } in
+  match
+    Daemon.create ~clock:(fun () -> !fixed_clock) ~config ~availability ~strategies ()
+  with
+  | Ok daemon -> daemon
+  | Error e -> Alcotest.failf "daemon create failed: %s" (Engine.error_message e)
+
+let submit_line ?tenant ?deadline_hours ~id ~params ~k () =
+  let request =
+    Request.make ~id ?tenant ?deadline_hours ~params:(let q,c,l = params in Model.Params.make ~quality:q ~cost:c ~latency:l) ~k ()
+  in
+  match Request.to_json request with
+  | Json.Object fields -> Json.to_string (Json.Object (("op", Json.String "submit") :: fields))
+  | _ -> assert false
+
+let drive daemon lines =
+  List.concat_map
+    (fun line ->
+      let responses, _ = Daemon.handle_line daemon ~client:0 line in
+      List.map snd responses)
+    lines
+
+let statuses responses =
+  List.filter_map
+    (fun r ->
+      match Json.of_string (String.trim (Protocol.render r)) with
+      | Ok json -> Option.bind (Json.member "status" json) Json.to_string_value
+      | Error _ -> Some "metrics")
+    responses
+
+(* Chaos: a flood of malformed, oversized, unknown and half-valid lines
+   never crashes the daemon, always yields a typed error, and leaves it
+   fully serviceable. *)
+let test_daemon_chaos_flood () =
+  let daemon = make_daemon ~epoch_requests:3 () in
+  let garbage =
+    [
+      "";
+      "   ";
+      "not json";
+      "{";
+      "}";
+      {|{"op":42}|};
+      {|{"op":"submit"}|};
+      {|{"op":"submit","id":"one","params":"0.9,0.2,0.3"}|};
+      {|{"op":"submit","id":1,"params":"nope"}|};
+      {|{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":0}|};
+      {|{"op":"submit","id":1,"params":"0.9,0.2,0.3","deadline_hours":-2}|};
+      {|{"op":"tick"}|};
+      {|{"op":"tick","hours":"soon"}|};
+      {|{"op":"frobnicate"}|};
+      {|[1,2,3]|};
+      {|"just a string"|};
+      String.make (Protocol.default_max_line + 100) 'z';
+      "GET /metrics/extra";
+    ]
+  in
+  let rounds = 20 in
+  for _ = 1 to rounds do
+    List.iter
+      (fun line ->
+        match Daemon.handle_line daemon ~client:0 line with
+        | [ (0, Protocol.Error_ _) ], `Continue -> ()
+        | responses, verdict ->
+            Alcotest.failf "line %S: expected one typed error, got %d responses (%s)" line
+              (List.length responses)
+              (match verdict with `Continue -> "continue" | `Stop -> "stop"))
+      garbage
+  done;
+  Alcotest.(check bool) "still serving" false (Daemon.stopped daemon);
+  Alcotest.(check int) "nothing leaked into the queue" 0 (Daemon.queue_depth daemon);
+  Alcotest.(check int)
+    "every line counted"
+    (rounds * List.length garbage)
+    (Snapshot.counter_value (Daemon.metrics daemon) "serve.protocol_errors_total");
+  (* and the daemon still completes real work afterwards *)
+  let responses =
+    drive daemon
+      [
+        submit_line ~id:1 ~params:(0.91, 0.58, 0.59) ~k:2 ();
+        submit_line ~id:2 ~params:(0.91, 0.65, 0.59) ~k:2 ();
+        submit_line ~id:3 ~params:(0.58, 0.24, 0.34) ~k:2 ();
+      ]
+  in
+  Alcotest.(check (list string))
+    "flood did not poison the pipeline"
+    [
+      "accepted"; "accepted"; "accepted"; "completed"; "completed"; "completed";
+      "epoch-closed";
+    ]
+    (statuses responses)
+
+let test_daemon_backpressure_and_deadlines () =
+  (* fill target above the bound: epochs close only on flush, so the
+     queue can actually fill *)
+  let daemon = make_daemon ~queue_capacity:2 ~epoch_requests:8 () in
+  let submit id = submit_line ~id ~params:(0.91, 0.58, 0.59) ~k:2 () in
+  let r1 = drive daemon [ submit 1; submit 2; submit 3 ] in
+  Alcotest.(check (list string))
+    "third submit gets typed backpressure"
+    [ "accepted"; "accepted"; "queue-full" ]
+    (statuses r1);
+  Alcotest.(check int) "bound holds" 2 (Daemon.queue_depth daemon);
+  (* a deadline that expires while queued is a typed rejection *)
+  let r2 =
+    drive daemon
+      [ {|{"op":"tick","hours":100}|}; {|{"op":"flush"}|} ]
+  in
+  Alcotest.(check (list string))
+    "flush triages the still-live batch" [ "ticked"; "completed"; "completed"; "epoch-closed" ]
+    (statuses r2);
+  let daemon2 = make_daemon ~queue_capacity:4 ~epoch_requests:8 () in
+  let r3 =
+    drive daemon2
+      [
+        submit_line ~id:1 ~params:(0.91, 0.58, 0.59) ~k:2 ~deadline_hours:1. ();
+        {|{"op":"tick","hours":2}|};
+        {|{"op":"flush"}|};
+      ]
+  in
+  Alcotest.(check (list string))
+    "expired in queue -> typed rejection, empty epoch"
+    [ "accepted"; "ticked"; "deadline-expired"; "epoch-closed" ]
+    (statuses r3);
+  Alcotest.(check int) "deadline reject counted" 1
+    (Snapshot.counter_value (Daemon.metrics daemon2) "serve.rejected_deadline_total")
+
+let test_daemon_duplicate_ids () =
+  let daemon = make_daemon ~queue_capacity:8 ~epoch_requests:8 () in
+  let submit tenant = submit_line ~tenant ~id:1 ~params:(0.91, 0.58, 0.59) ~k:2 () in
+  let responses = drive daemon [ submit "a"; submit "b"; {|{"op":"flush"}|} ] in
+  Alcotest.(check (list string))
+    "second id=1 bounced, first triaged"
+    [ "accepted"; "accepted"; "duplicate-id"; "completed"; "epoch-closed" ]
+    (statuses responses);
+  Alcotest.(check int) "duplicate counted" 1
+    (Snapshot.counter_value (Daemon.metrics daemon) "serve.rejected_duplicate_total")
+
+let test_daemon_shutdown_drains () =
+  let daemon = make_daemon ~queue_capacity:8 ~epoch_requests:8 () in
+  let responses =
+    drive daemon
+      [
+        submit_line ~id:1 ~params:(0.91, 0.58, 0.59) ~k:2 ();
+        submit_line ~id:2 ~params:(0.58, 0.24, 0.34) ~k:2 ();
+        {|{"op":"shutdown"}|};
+      ]
+  in
+  Alcotest.(check (list string))
+    "pending work answered before stopping"
+    [ "accepted"; "accepted"; "completed"; "completed"; "epoch-closed"; "shutting-down" ]
+    (statuses responses);
+  Alcotest.(check bool) "stopped" true (Daemon.stopped daemon);
+  Alcotest.(check int) "zero admission leaks" 0 (Daemon.queue_depth daemon);
+  let after, verdict = Daemon.handle_line daemon ~client:0 {|{"op":"ping"}|} in
+  Alcotest.(check bool) "post-shutdown lines refused" true
+    (match (after, verdict) with [ (_, Protocol.Error_ _) ], `Stop -> true | _ -> false)
+
+(* Determinism: Engine.submit (single epoch) is bit-identical to
+   Engine.run — decisions, counters, rendered aggregate — including
+   under domains=4 and with a deploy stage under a fixed seed. *)
+
+let decision_fingerprint (d : Obs.Trace.decision) =
+  let verdict =
+    match d.Obs.Trace.verdict with
+    | Obs.Trace.Satisfied { workforce; strategies } ->
+        Printf.sprintf "satisfied %h [%s]" workforce (String.concat ";" strategies)
+    | Obs.Trace.Triaged { quality; cost; latency; distance } ->
+        Printf.sprintf "triaged %h/%h/%h d=%h" quality cost latency distance
+    | Obs.Trace.Rejected { binding } -> "rejected " ^ binding
+  in
+  Printf.sprintf "%d %s %s" d.Obs.Trace.request_id d.Obs.Trace.label verdict
+
+let counter_fingerprint snapshot =
+  List.filter_map
+    (fun { Snapshot.name; value } ->
+      match value with
+      | Snapshot.Counter v -> Some (Printf.sprintf "%s=%d" name v)
+      | _ -> None)
+    snapshot
+
+let report_fingerprint (report : Engine.report) =
+  let aggregate = Format.asprintf "%a" Aggregator.pp_report report.Engine.aggregate in
+  let deployed =
+    List.map
+      (fun (d : Engine.deployed) ->
+        Printf.sprintf "%d %s %s/%d" (Request.id d.Engine.request)
+          d.Engine.strategy.Model.Strategy.label
+          (match d.Engine.outcome with
+          | Engine.Completed r -> Printf.sprintf "workers=%d" r.Stratrec_crowdsim.Campaign.workers_hired
+          | Engine.Rejected reason -> Engine.rejection_reason reason)
+          (List.length d.Engine.attempts))
+      report.Engine.deployed
+  in
+  ( aggregate,
+    List.map decision_fingerprint report.Engine.decisions,
+    counter_fingerprint report.Engine.metrics,
+    deployed )
+
+let run_vs_submit ~domains ~deploy () =
+  let availability, strategies, requests = paper_inputs () in
+  let make_config rng =
+    let config = Engine.with_domains Engine.default_config domains in
+    if not deploy then config
+    else
+      Engine.with_deploy config
+        (Some
+           {
+             Engine.platform = Stratrec_crowdsim.Platform.create rng ~population:200;
+             kind = Stratrec_crowdsim.Task_spec.Sentence_translation;
+             window = Stratrec_crowdsim.Window.Weekend;
+             capacity = 5;
+             ledger = None;
+             faults = Stratrec_resilience.Fault.make ~no_show:0.4 ();
+             resilience =
+               Stratrec_resilience.Degrade.with_retries Stratrec_resilience.Degrade.resilient 2;
+           })
+  in
+  let run_fp =
+    let rng = Stratrec_util.Rng.create 42 in
+    match
+      Engine.run ~config:(make_config rng) ~rng:(Stratrec_util.Rng.create 7) ~availability
+        ~strategies ~requests ()
+    with
+    | Ok report -> report_fingerprint report
+    | Error e -> Alcotest.failf "run failed: %s" (Engine.error_message e)
+  in
+  let submit_fp =
+    let rng = Stratrec_util.Rng.create 42 in
+    match
+      Engine.create ~config:(make_config rng) ~rng:(Stratrec_util.Rng.create 7) ~availability
+        ~strategies ()
+    with
+    | Error e -> Alcotest.failf "create failed: %s" (Engine.error_message e)
+    | Ok session -> (
+        match Engine.submit session (List.map Request.of_deployment (Array.to_list requests)) with
+        | Ok report ->
+            Engine.close session;
+            report_fingerprint report
+        | Error e -> Alcotest.failf "submit failed: %s" (Engine.error_message e))
+  in
+  let check_part name proj =
+    Alcotest.(check (list string)) name (proj run_fp) (proj submit_fp)
+  in
+  let first (a, _, _, _) = [ a ] and second (_, b, _, _) = b in
+  let third (_, _, c, _) = c and fourth (_, _, _, d) = d in
+  check_part "rendered aggregate" first;
+  check_part "decisions" second;
+  check_part "counters" third;
+  check_part "deploy outcomes" fourth
+
+let test_submit_equals_run () = run_vs_submit ~domains:1 ~deploy:false ()
+let test_submit_equals_run_domains () = run_vs_submit ~domains:4 ~deploy:false ()
+let test_submit_equals_run_deploy () = run_vs_submit ~domains:1 ~deploy:true ()
+
+(* The daemon epoch reproduces Engine.run outcome-for-outcome. *)
+let test_daemon_epoch_matches_run () =
+  let availability, strategies, requests = paper_inputs () in
+  let expected =
+    match Engine.run ~availability ~strategies ~requests () with
+    | Ok report ->
+        Array.to_list
+          (Array.map
+             (fun (_, outcome) -> Protocol.outcome_of_aggregator outcome)
+             report.Engine.aggregate.Aggregator.outcomes)
+    | Error e -> Alcotest.failf "run failed: %s" (Engine.error_message e)
+  in
+  let daemon = make_daemon ~epoch_requests:(Array.length requests) () in
+  let lines =
+    Array.to_list
+      (Array.map
+         (fun (d : Model.Deployment.t) ->
+           submit_line ~id:d.Model.Deployment.id
+             ~params:
+               ( d.Model.Deployment.params.Model.Params.quality,
+                 d.Model.Deployment.params.Model.Params.cost,
+                 d.Model.Deployment.params.Model.Params.latency )
+             ~k:d.Model.Deployment.k ())
+         requests)
+  in
+  let actual =
+    List.filter_map
+      (function Protocol.Completed { outcome; _ } -> Some outcome | _ -> None)
+      (drive daemon lines)
+  in
+  Alcotest.(check int) "all requests answered" (List.length expected) (List.length actual);
+  List.iter2
+    (fun e a ->
+      let render o = String.trim (Protocol.render
+        (Protocol.Completed { id = 0; tenant = ""; epoch = 1; outcome = o; deployed = None }))
+      in
+      Alcotest.(check string) "outcome identical to one-shot run" (render e) (render a))
+    expected actual;
+  (* the daemon's aggregator counters match a one-shot run's *)
+  let m = Daemon.metrics daemon in
+  Alcotest.(check int) "requests counted" (Array.length requests)
+    (Snapshot.counter_value m "aggregator.requests_total");
+  Alcotest.(check int) "one epoch" 1 (Daemon.epochs daemon)
+
+(* Session lifecycle: epochs accumulate, close is terminal. *)
+let test_session_lifecycle () =
+  let availability, strategies, requests = paper_inputs () in
+  let session =
+    match Engine.create ~availability ~strategies () with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "create failed: %s" (Engine.error_message e)
+  in
+  let batch = List.map Request.of_deployment (Array.to_list requests) in
+  let submit () =
+    match Engine.submit session batch with
+    | Ok report -> report
+    | Error e -> Alcotest.failf "submit failed: %s" (Engine.error_message e)
+  in
+  let r1 = submit () in
+  let r2 = submit () in
+  Alcotest.(check int) "first epoch" 1 r1.Engine.epoch;
+  Alcotest.(check int) "second epoch" 2 r2.Engine.epoch;
+  Alcotest.(check int) "session counts epochs" 2 (Engine.epochs session);
+  Alcotest.(check int)
+    "registry accumulates across epochs"
+    (2 * Array.length requests)
+    (Snapshot.counter_value r2.Engine.metrics "aggregator.requests_total");
+  Alcotest.(check int)
+    "decisions are per-epoch, not cumulative"
+    (Array.length requests)
+    (List.length r2.Engine.decisions);
+  Alcotest.(check bool) "open" false (Engine.closed session);
+  Engine.close session;
+  Alcotest.(check bool) "closed" true (Engine.closed session);
+  (match Engine.submit session batch with
+  | Error `Session_closed -> ()
+  | Ok _ -> Alcotest.fail "submit after close must fail"
+  | Error e -> Alcotest.failf "wrong error: %s" (Engine.error_message e));
+  match Engine.submit ~deadline_hours:0. session batch with
+  | Error `Session_closed -> ()
+  | _ -> Alcotest.fail "closed wins over validation"
+
+let test_submit_deadline_validation () =
+  let availability, strategies, requests = paper_inputs () in
+  let session =
+    match Engine.create ~availability ~strategies () with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "create failed: %s" (Engine.error_message e)
+  in
+  let batch = List.map Request.of_deployment (Array.to_list requests) in
+  (match Engine.submit ~deadline_hours:0. session batch with
+  | Error (`Invalid_request _) -> ()
+  | _ -> Alcotest.fail "zero budget must be rejected");
+  (match Engine.submit ~deadline_hours:(-1.) session batch with
+  | Error (`Invalid_request _) -> ()
+  | _ -> Alcotest.fail "negative budget must be rejected");
+  match Engine.submit ~deadline_hours:24. session batch with
+  | Ok _ -> Engine.close session
+  | Error e -> Alcotest.failf "positive budget rejected: %s" (Engine.error_message e)
+
+(* Request codecs *)
+
+let test_request_codecs () =
+  let r =
+    Request.make ~id:3 ~tenant:"acme" ~deadline_hours:24.
+      ~params:(Model.Params.make ~quality:0.9 ~cost:0.2 ~latency:0.3) ~k:5 ()
+  in
+  Alcotest.(check string)
+    "compact string" "id=3;tenant=acme;params=0.9,0.2,0.3;k=5;deadline=24"
+    (Request.to_string r);
+  (match Request.of_string (Request.to_string r) with
+  | Ok r' -> Alcotest.(check bool) "string round-trip" true (Request.equal r r')
+  | Error e -> Alcotest.failf "of_string failed: %s" e);
+  (match Request.of_json (Request.to_json r) with
+  | Ok r' -> Alcotest.(check bool) "json round-trip" true (Request.equal r r')
+  | Error e -> Alcotest.failf "of_json failed: %s" e);
+  (match Request.of_string "id=1;params=0.5,0.5,0.5" with
+  | Ok r ->
+      Alcotest.(check string) "defaults" "d1" (Request.label r);
+      Alcotest.(check int) "k defaults to 1" 1 (Request.k r);
+      Alcotest.(check string) "anonymous tenant" "" (Request.tenant r)
+  | Error e -> Alcotest.failf "minimal spelling failed: %s" e);
+  (match Request.of_string "id=1;params=0.5,0.5,0.5;surprise=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown keys must be rejected");
+  match Request.of_string "params=0.5,0.5,0.5" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing id must be rejected"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "fair round-robin drain" `Quick test_admission_fairness;
+          Alcotest.test_case "bounded with typed backpressure" `Quick
+            test_admission_backpressure;
+          Alcotest.test_case "deadline expiry and budgets" `Quick test_admission_deadlines;
+          Alcotest.test_case "expire-only sweep" `Quick test_admission_expire_only;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "render" `Quick test_protocol_render;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "chaos flood yields typed errors" `Quick test_daemon_chaos_flood;
+          Alcotest.test_case "backpressure and queue deadlines" `Quick
+            test_daemon_backpressure_and_deadlines;
+          Alcotest.test_case "duplicate ids bounced individually" `Quick
+            test_daemon_duplicate_ids;
+          Alcotest.test_case "shutdown drains everything" `Quick test_daemon_shutdown_drains;
+          Alcotest.test_case "epoch matches one-shot run" `Quick
+            test_daemon_epoch_matches_run;
+        ] );
+      ( "engine session",
+        [
+          Alcotest.test_case "submit = run (bit-identical)" `Quick test_submit_equals_run;
+          Alcotest.test_case "submit = run under domains=4" `Quick
+            test_submit_equals_run_domains;
+          Alcotest.test_case "submit = run with deploy stage" `Quick
+            test_submit_equals_run_deploy;
+          Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
+          Alcotest.test_case "deadline budget validation" `Quick
+            test_submit_deadline_validation;
+        ] );
+      ( "request",
+        [ Alcotest.test_case "codecs round-trip" `Quick test_request_codecs ] );
+    ]
