@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the one the checks run.
 
-.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par serve-smoke
+.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par obs serve-smoke
 
 all: build
 
@@ -69,6 +69,12 @@ par: build
 	  || { echo "par: --domains 4 diverged from --domains 1"; exit 1; }
 	@echo "par: sequential/parallel outputs identical"
 
+# Observability gate: the obs suite (windows, SLO burn rates, snapshot
+# and exposition round-trips) under a pinned QCheck seed so property
+# counter-examples shrink reproducibly.
+obs: build
+	QCHECK_SEED=2020 dune exec test/test_obs.exe
+
 # Serve gate: boot stratrec-serve on a throwaway Unix socket, drive a
 # mixed-tenant workload through the bundled --connect line client,
 # scrape OpenMetrics over the same socket, and shut down cleanly. The
@@ -81,11 +87,12 @@ SERVE_BIN = ./_build/default/bin/stratrec_serve.exe
 serve-smoke: build
 	@tmp=$$(mktemp -d); sock="$$tmp/serve.sock"; \
 	$(SERVE_BIN) --socket "$$sock" --epoch-requests 3 & pid=$$!; \
-	trap 'rm -rf "$$tmp"; kill $$pid 2>/dev/null' EXIT; \
+	trap 'rm -rf "$$tmp"; kill $$pid $$pid2 2>/dev/null' EXIT; \
 	for i in $$(seq 1 50); do test -S "$$sock" && break; sleep 0.1; done; \
 	test -S "$$sock" || { echo "serve-smoke: socket never appeared"; exit 1; }; \
 	printf '%s\n' \
 	  '{"op":"ping"}' \
+	  'GET health' \
 	  '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"tenant":"acme"}' \
 	  '{"op":"submit","id":2,"params":"0.6,0.6,0.6","k":2,"tenant":"beta"}' \
 	  '{"op":"submit","id":3,"params":"0.8,0.3,0.4","k":2,"tenant":"acme"}' \
@@ -98,15 +105,37 @@ serve-smoke: build
 	test ! -e "$$sock" || { echo "serve-smoke: socket not unlinked on shutdown"; exit 1; }; \
 	grep -q '"status":"shutting-down"' "$$tmp/out" \
 	  || { echo "serve-smoke: no clean shutdown response"; cat "$$tmp/out"; exit 1; }; \
+	grep -q '"status":"health","state":"ready"' "$$tmp/out" \
+	  || { echo "serve-smoke: fresh daemon not ready"; cat "$$tmp/out"; exit 1; }; \
 	test "$$(grep -c '"status":"completed"' "$$tmp/out")" = 3 \
 	  || { echo "serve-smoke: expected 3 completed responses"; cat "$$tmp/out"; exit 1; }; \
+	test "$$(grep -c '"lineage":{' "$$tmp/out")" = 3 \
+	  || { echo "serve-smoke: completed responses missing lineage"; cat "$$tmp/out"; exit 1; }; \
 	grep -q '^serve_accepted_total 3$$' "$$tmp/out" \
 	  || { echo "serve-smoke: accepted_total != 3"; cat "$$tmp/out"; exit 1; }; \
 	grep -q '^serve_epoch_requests_total 3$$' "$$tmp/out" \
 	  || { echo "serve-smoke: triaged != accepted (admission leak)"; cat "$$tmp/out"; exit 1; }; \
 	grep -q '^serve_queue_depth 0$$' "$$tmp/out" \
 	  || { echo "serve-smoke: queue not drained"; cat "$$tmp/out"; exit 1; }; \
-	echo "serve-smoke: daemon served, scraped and shut down cleanly"
+	grep -q '^serve_requests_window_count 3$$' "$$tmp/out" \
+	  || { echo "serve-smoke: sliding window missed the requests"; cat "$$tmp/out"; exit 1; }; \
+	sock2="$$tmp/serve2.sock"; \
+	$(SERVE_BIN) --socket "$$sock2" --epoch-requests 8 --faults no-show=1 & pid2=$$!; \
+	for i in $$(seq 1 50); do test -S "$$sock2" && break; sleep 0.1; done; \
+	test -S "$$sock2" || { echo "serve-smoke: second socket never appeared"; exit 1; }; \
+	printf '%s\n' \
+	  '{"op":"submit","id":1,"params":"0.5,0.9,0.9","k":2}' \
+	  '{"op":"submit","id":2,"params":"0.6,0.8,0.8","k":2}' \
+	  '{"op":"submit","id":3,"params":"0.5,0.8,0.9","k":2}' \
+	  '{"op":"flush"}' \
+	  'GET health' \
+	  '{"op":"shutdown"}' \
+	  | $(SERVE_BIN) --connect --socket "$$sock2" > "$$tmp/out2" \
+	  || { echo "serve-smoke: breaker client failed"; cat "$$tmp/out2"; exit 1; }; \
+	wait $$pid2 || { echo "serve-smoke: breaker server exited non-zero"; exit 1; }; \
+	grep -q '"status":"health","state":"degraded","reasons":\["breaker-open"\]' "$$tmp/out2" \
+	  || { echo "serve-smoke: forced breaker-open not reflected in GET health"; cat "$$tmp/out2"; exit 1; }; \
+	echo "serve-smoke: daemon served, scraped, degraded under faults and shut down cleanly"
 
 # Full gate: everything compiles (libraries, CLI, examples, benches),
 # every test passes (unit, property, cram, example smoke-runs), every
@@ -121,6 +150,7 @@ ci:
 	$(MAKE) bench-check
 	$(MAKE) chaos
 	$(MAKE) par
+	$(MAKE) obs
 	$(MAKE) serve-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  echo "checking formatting drift"; \

@@ -51,6 +51,8 @@ let run_stream ~n ~epoch_requests lines =
       queue_capacity = max 64 epoch_requests;
       epoch_requests;
       max_line = Serve.Protocol.default_max_line;
+      window_seconds = Serve.Daemon.default_config.Serve.Daemon.window_seconds;
+      slos = [];
     }
   in
   let daemon =
@@ -76,6 +78,80 @@ let run_stream ~n ~epoch_requests lines =
   feed (drain_line "shutdown");
   assert (Serve.Daemon.queue_depth daemon = 0);
   (daemon, !accepted, !completed)
+
+(* Socket load generator: the same stream pushed end-to-end through the
+   select server and the line-pump client over a Unix domain socket —
+   covering transport buffering, response writes and the GET endpoints
+   (health, slo, metrics), not just handle_line. The server runs in its
+   own domain; the pump is the same Server.client the --connect CLI
+   mode uses, fed from temp-file channels because the container has no
+   nc/socat. *)
+let run_socket ~n ~epoch_requests lines =
+  let rng = Rng.create 2020 in
+  let strategies = Model.Workload.strategies rng ~n ~kind:Model.Workload.Uniform in
+  let slo =
+    match Obs.Slo.spec_of_string "name=e2e;target=0.75" with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let config =
+    {
+      Serve.Daemon.engine = Engine.(with_trace default_config !Bench_common.trace);
+      queue_capacity = max 64 (List.length lines);
+      epoch_requests;
+      max_line = Serve.Protocol.default_max_line;
+      window_seconds = 60.;
+      slos = [ slo ];
+    }
+  in
+  let daemon =
+    match
+      Serve.Daemon.create ~config ~availability:(Model.Availability.certain 0.75) ~strategies ()
+    with
+    | Ok daemon -> daemon
+    | Error e -> failwith (Engine.error_message e)
+  in
+  let socket_path = Filename.temp_file "stratrec-bench" ".sock" in
+  let transport = Serve.Server.Unix_socket socket_path in
+  let server = Domain.spawn (fun () -> Serve.Server.serve ~daemon transport) in
+  let in_path = Filename.temp_file "stratrec-bench" ".in" in
+  let out_path = Filename.temp_file "stratrec-bench" ".out" in
+  let oc = open_out in_path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (lines @ [ drain_line "flush"; "GET health"; "GET slo"; "GET metrics"; drain_line "shutdown" ]);
+  close_out oc;
+  (* the server domain may still be binding: retry the dial briefly *)
+  let rec pump attempts =
+    let ic = open_in in_path and oc = open_out out_path in
+    let result = Serve.Server.client transport ic oc in
+    close_in ic;
+    close_out oc;
+    match result with
+    | Ok () -> ()
+    | Error e ->
+        if attempts <= 0 then failwith ("bench socket client: " ^ e)
+        else begin
+          Unix.sleepf 0.02;
+          pump (attempts - 1)
+        end
+  in
+  let elapsed, () = Bench_common.time (fun () -> pump 200) in
+  (match Domain.join server with
+  | Ok () -> ()
+  | Error e -> failwith ("bench socket server: " ^ e));
+  (try Sys.remove in_path with Sys_error _ -> ());
+  let transcript = In_channel.with_open_text out_path In_channel.input_lines in
+  (try Sys.remove out_path with Sys_error _ -> ());
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let count needle = List.length (List.filter (contains needle) transcript) in
+  (daemon, elapsed, count {|"status":"completed"|}, count {|"status":"health"|} + count {|"status":"slo"|} + count "# EOF")
 
 let run () =
   Bench_common.section "Serve - daemon throughput under admission control";
@@ -114,4 +190,23 @@ let run () =
           Printf.sprintf "%.6f" p99;
         ])
     (Bench_common.values [ 8; 4; 16; 64 ]);
-  Bench_common.print_table ~title:"epoch fill vs. throughput" t
+  Bench_common.print_table ~title:"epoch fill vs. throughput" t;
+  (* end-to-end over the socket transport *)
+  let m_socket = max 8 (Bench_common.scale 500) in
+  let socket_lines = submit_lines (Rng.create 11) ~m:m_socket in
+  let daemon, elapsed, completed, probes = run_socket ~n ~epoch_requests:8 socket_lines in
+  let snapshot = Serve.Daemon.metrics daemon in
+  Obs.Registry.absorb !Bench_common.metrics snapshot;
+  let window_gauge name =
+    match Obs.Snapshot.find snapshot name with Some (Obs.Snapshot.Gauge v) -> v | _ -> 0.
+  in
+  let socket_rps = if elapsed > 0. then float_of_int m_socket /. elapsed else 0. in
+  Bench_common.report_field "serve_socket_requests_per_second" (Json.Number socket_rps);
+  Bench_common.report_field "serve_e2e_window_p99_seconds"
+    (Json.Number (window_gauge "serve.e2e_seconds.window.p99"));
+  Bench_common.report_field "serve_queue_wait_window_p99_seconds"
+    (Json.Number (window_gauge "serve.queue_wait_seconds.window.p99"));
+  Printf.printf
+    "\nsocket transport: %d requests pumped end-to-end (%d completed, %d endpoint probes \
+     answered), %.0f req/s\n"
+    m_socket completed probes socket_rps

@@ -101,6 +101,29 @@ let max_line_arg =
        & opt int Serve.Protocol.default_max_line
        & info [ "max-line" ] ~docv:"BYTES" ~doc)
 
+(* Observability flags. *)
+
+let window_seconds_arg =
+  let doc = "Sliding-window span in seconds for the live *.window.* gauges." in
+  Arg.(value & opt float 60. & info [ "window-seconds" ] ~docv:"S" ~doc)
+
+let slo_arg =
+  let doc =
+    "Track an SLO (repeatable): $(b,name=api;latency=0.25;target=0.95) for a latency \
+     objective, omit $(b,latency=) for a success-ratio objective; optional $(b,fast=), \
+     $(b,slow=) (window seconds), $(b,fast-burn=), $(b,slow-burn=) override the burn-rate \
+     alerting defaults. Burn status feeds $(b,GET health), $(b,GET slo) and the \
+     $(b,obs.slo.*) gauges."
+  in
+  Arg.(value & opt_all Stratrec_conv.slo [] & info [ "slo" ] ~docv:"SPEC" ~doc)
+
+let slo_file_arg =
+  let doc =
+    "Load SLO specs from $(docv): one spec per line, blank lines and $(b,#) comments \
+     ignored; combines with $(b,--slo)."
+  in
+  Arg.(value & opt (some file) None & info [ "slo-file" ] ~docv:"FILE" ~doc)
+
 (* Transport flags. *)
 
 let socket_arg =
@@ -149,6 +172,24 @@ let deploy_config ~rng ~deploy ~faults ~retries ~population ~capacity ~window =
            resilience = Resilience.Degrade.with_retries Resilience.Degrade.resilient retries;
          })
 
+let load_slo_file = function
+  | None -> Ok []
+  | Some path -> (
+      match In_channel.with_open_text path In_channel.input_lines with
+      | exception Sys_error m -> Error (`Msg m)
+      | lines ->
+          let rec go acc lineno = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest ->
+                let line = String.trim line in
+                if line = "" || line.[0] = '#' then go acc (lineno + 1) rest
+                else (
+                  match Stratrec_obs.Slo.spec_of_string line with
+                  | Ok spec -> go (spec :: acc) (lineno + 1) rest
+                  | Error m -> Error (`Msg (Printf.sprintf "%s:%d: %s" path lineno m)))
+          in
+          go [] 1 lines)
+
 let transport ~socket ~port ~host =
   match (socket, port) with
   | Some path, None -> Ok (Serve.Server.Unix_socket path)
@@ -157,7 +198,8 @@ let transport ~socket ~port ~host =
   | None, None -> Error (`Msg "pick a transport: --socket PATH, --port P or --stdio")
 
 let main seed n dist catalog w objective domains deploy faults retries population capacity
-    window queue_capacity epoch_requests max_line socket port host stdio connect =
+    window queue_capacity epoch_requests max_line window_seconds slos slo_file socket port
+    host stdio connect =
   if connect then
     let* transport = transport ~socket ~port ~host in
     Result.map_error (fun m -> `Msg m) (Serve.Server.client transport stdin stdout)
@@ -165,13 +207,23 @@ let main seed n dist catalog w objective domains deploy faults retries populatio
     let rng = Rng.create seed in
     let* strategies = catalog_or_generate ~rng ~n ~dist catalog in
     let* deploy = deploy_config ~rng ~deploy ~faults ~retries ~population ~capacity ~window in
+    let* file_slos = load_slo_file slo_file in
     let engine =
       Engine.(
         with_objective
           (with_domains (with_deploy default_config deploy) domains)
           objective)
     in
-    let config = { Serve.Daemon.engine; queue_capacity; epoch_requests; max_line } in
+    let config =
+      {
+        Serve.Daemon.engine;
+        queue_capacity;
+        epoch_requests;
+        max_line;
+        window_seconds;
+        slos = slos @ file_slos;
+      }
+    in
     let* daemon =
       Result.map_error engine_msg
         (Serve.Daemon.create ~rng ~config
@@ -202,7 +254,9 @@ let cmd =
          \  {\"op\":\"ping\"}      liveness\n\
          \  {\"op\":\"tick\",\"hours\":2}   advance the simulated clock\n\
          \  {\"op\":\"shutdown\"}  drain, answer everything, stop\n\
-         \  GET metrics        OpenMetrics scrape of the live registry";
+         \  GET metrics        OpenMetrics scrape of the live registry\n\
+         \  GET health         readiness rubric (ready/degraded/unhealthy)\n\
+         \  GET slo            per-SLO burn-rate status";
     ]
   in
   Cmd.v
@@ -211,7 +265,8 @@ let cmd =
             (const main $ seed_arg $ strategies_arg $ dist_arg $ catalog_arg
              $ workforce_arg $ objective_arg $ domains_arg $ deploy_arg $ faults_arg
              $ retries_arg $ population_arg $ capacity_arg $ window_arg
-             $ queue_capacity_arg $ epoch_requests_arg $ max_line_arg $ socket_arg
-             $ port_arg $ host_arg $ stdio_arg $ connect_arg))
+             $ queue_capacity_arg $ epoch_requests_arg $ max_line_arg $ window_seconds_arg
+             $ slo_arg $ slo_file_arg $ socket_arg $ port_arg $ host_arg $ stdio_arg
+             $ connect_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -31,3 +31,12 @@ let dist_kind =
     end)
 
 let request = of_stringable (module Stratrec.Request)
+
+let slo =
+  of_stringable
+    (module struct
+      type t = Stratrec_obs.Slo.spec
+
+      let to_string = Stratrec_obs.Slo.spec_to_string
+      let of_string = Stratrec_obs.Slo.spec_of_string
+    end)

@@ -47,3 +47,8 @@ val request : Stratrec.Request.t Cmdliner.Arg.conv
 (** The compact request spelling
     [id=3;tenant=acme;params=0.9,0.2,0.3;k=5;deadline=24]
     ({!Stratrec.Request}). *)
+
+val slo : Stratrec_obs.Slo.spec Cmdliner.Arg.conv
+(** The SLO spec spelling [name=api;latency=0.25;target=0.95] (success
+    objective when [latency=] is omitted; optional [fast=], [slow=],
+    [fast-burn=], [slow-burn=]) ({!Stratrec_obs.Slo}). *)

@@ -78,11 +78,14 @@ type counts = {
   no_alternative : int;
 }
 
+type lineage = { triage_seconds : float; deploy_seconds : float }
+
 type report = {
   epoch : int;
   aggregate : Aggregator.report;
   counts : counts;
   deployed : deployed list;
+  lineage : lineage;
   metrics : Obs.Snapshot.t;
   decisions : Obs.Trace.decision list;
   trace : Obs.Trace.t;
@@ -222,6 +225,7 @@ let create ?(config = default_config) ?rng ~availability ~strategies () =
 
 let epochs session = session.epochs
 let closed session = session.closed
+let breaker_state session = Option.map Res.Breaker.state session.breaker
 let session_metrics session = Obs.Registry.snapshot session.metrics
 let session_trace session = session.trace
 
@@ -476,11 +480,16 @@ let submit ?deadline_hours session requests_in =
           profiled @@ fun () ->
           Obs.Span.time metrics "engine.run_seconds" (fun () ->
               Obs.Registry.incr (Obs.Registry.counter metrics "engine.runs_total");
+              (* Stage stamps for the lineage breakdown, on the registry's
+                 own clock (0. on a disabled registry, so the noop path
+                 stays allocation-free in the stamps too). *)
+              let stage_start = Obs.Registry.now metrics in
               let aggregate =
                 Aggregator.run ~config:config.aggregator ~metrics ~trace
                   ~domains:config.domains ~availability:session.availability
                   ~strategies:session.strategies ~requests ()
               in
+              let triage_done = Obs.Registry.now metrics in
               let deployed =
                 match config.deploy with
                 | None -> []
@@ -520,6 +529,7 @@ let submit ?deadline_hours session requests_in =
                     Obs.Trace.span trace "engine.deploy" (fun () ->
                         deploy_satisfied session ~policy ~rng deploy aggregate satisfied)
               in
+              let deploy_done = Obs.Registry.now metrics in
               Obs.Registry.incr_by
                 (Obs.Registry.counter metrics "engine.deploys_total")
                 (List.length deployed);
@@ -529,6 +539,11 @@ let submit ?deadline_hours session requests_in =
                 aggregate;
                 counts = counts_of_report aggregate;
                 deployed;
+                lineage =
+                  {
+                    triage_seconds = Float.max 0. (triage_done -. stage_start);
+                    deploy_seconds = Float.max 0. (deploy_done -. triage_done);
+                  };
                 metrics = [];
                 decisions = [];
                 trace;

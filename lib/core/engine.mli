@@ -161,11 +161,23 @@ type counts = {
   no_alternative : int;
 }
 
+(** Wall-stage durations of one epoch, read from the session registry's
+    clock (so the daemon's wall-clocked registry yields wall seconds,
+    the default [Sys.time] registry CPU seconds, and a disabled registry
+    zeros). Purely additive observability: lineage never feeds back into
+    triage or deploy decisions, so reports stay bit-identical across
+    domain counts in every compared field. *)
+type lineage = {
+  triage_seconds : float;  (** recommend + ADPaR triage ({!Aggregator.run}) *)
+  deploy_seconds : float;  (** resilience-ladder deploy stage; 0. without one *)
+}
+
 type report = {
   epoch : int;  (** 1-based epoch index within the session; 1 for {!run} *)
   aggregate : Aggregator.report;  (** full per-request outcomes *)
   counts : counts;
   deployed : deployed list;  (** empty without a {!deploy_config} *)
+  lineage : lineage;  (** stage-duration breakdown of this epoch *)
   metrics : Stratrec_obs.Snapshot.t;
       (** snapshot taken after the deploy stage — cumulative over the
           session when the registry persists across epochs *)
@@ -260,6 +272,11 @@ val session_metrics : session -> Stratrec_obs.Snapshot.t
     {!Stratrec_obs.Snapshot.to_openmetrics}. *)
 
 val session_trace : session -> Stratrec_obs.Trace.t
+
+val breaker_state : session -> Stratrec_resilience.Breaker.state option
+(** The deploy circuit breaker's live state — [None] when the session
+    has no breaker (no deploy stage, or a policy without one). The serve
+    layer's health endpoint reads this. *)
 
 (** {1 One-shot} *)
 

@@ -1,0 +1,219 @@
+module Json = Stratrec_util.Json
+
+type objective =
+  | Latency of { threshold_seconds : float; target : float }
+  | Success of { target : float }
+
+type spec = {
+  name : string;
+  objective : objective;
+  fast_seconds : float;
+  slow_seconds : float;
+  fast_burn : float;
+  slow_burn : float;
+}
+
+let target_of = function Latency { target; _ } -> target | Success { target } -> target
+
+let validate_spec s =
+  let fail msg = invalid_arg ("Stratrec_obs.Slo.spec: " ^ msg) in
+  if s.name = "" then fail "empty name";
+  let target = target_of s.objective in
+  if not (target > 0. && target < 1.) then fail "target must lie strictly inside (0, 1)";
+  (match s.objective with
+  | Latency { threshold_seconds; _ } when not (threshold_seconds > 0.) ->
+      fail "latency threshold must be positive"
+  | _ -> ());
+  if not (s.fast_seconds > 0.) then fail "fast window must be positive";
+  if not (s.slow_seconds > s.fast_seconds) then fail "slow window must exceed the fast window";
+  if not (s.fast_burn > 0. && s.slow_burn > 0.) then fail "burn thresholds must be positive"
+
+let spec ?(fast_seconds = 300.) ?(slow_seconds = 3600.) ?(fast_burn = 14.) ?(slow_burn = 6.)
+    ~name objective =
+  let s = { name; objective; fast_seconds; slow_seconds; fast_burn; slow_burn } in
+  validate_spec s;
+  s
+
+(* The semicolon key=value surface shared with fault plans: positional
+   order is free, every key at most once. *)
+let spec_of_string input =
+  let ( let* ) = Result.bind in
+  let parse_pair acc piece =
+    match String.index_opt piece '=' with
+    | None -> Error (Printf.sprintf "slo spec: expected key=value, got %S" piece)
+    | Some i ->
+        let key = String.sub piece 0 i in
+        let value = String.sub piece (i + 1) (String.length piece - i - 1) in
+        let* acc = acc in
+        if List.mem_assoc key acc then Error (Printf.sprintf "slo spec: duplicate key %S" key)
+        else Ok ((key, value) :: acc)
+  in
+  let pieces =
+    String.split_on_char ';' (String.trim input)
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if pieces = [] then Error "slo spec: empty"
+  else
+    let* pairs = List.fold_left parse_pair (Ok []) pieces in
+    let float_key key =
+      match List.assoc_opt key pairs with
+      | None -> Ok None
+      | Some v -> (
+          match float_of_string_opt v with
+          | Some f when Float.is_finite f -> Ok (Some f)
+          | _ -> Error (Printf.sprintf "slo spec: key %S needs a finite number, got %S" key v))
+    in
+    let known = [ "name"; "target"; "latency"; "fast"; "slow"; "fast-burn"; "slow-burn" ] in
+    match List.find_opt (fun (k, _) -> not (List.mem k known)) pairs with
+    | Some (k, _) ->
+        Error
+          (Printf.sprintf "slo spec: unknown key %S (known: %s)" k (String.concat ", " known))
+    | None -> (
+        let* name =
+          match List.assoc_opt "name" pairs with
+          | Some n when n <> "" -> Ok n
+          | _ -> Error "slo spec: missing name="
+        in
+        let* target =
+          match float_key "target" with
+          | Ok (Some t) -> Ok t
+          | Ok None -> Error "slo spec: missing target="
+          | Error e -> Error e
+        in
+        let* latency = float_key "latency" in
+        let* fast = float_key "fast" in
+        let* slow = float_key "slow" in
+        let* fast_burn = float_key "fast-burn" in
+        let* slow_burn = float_key "slow-burn" in
+        let objective =
+          match latency with
+          | Some threshold_seconds -> Latency { threshold_seconds; target }
+          | None -> Success { target }
+        in
+        try
+          Ok
+            (spec ~name ?fast_seconds:fast ?slow_seconds:slow ?fast_burn ?slow_burn objective)
+        with Invalid_argument msg -> Error (Printf.sprintf "slo spec: %s" msg))
+
+let float_str f = Json.to_string (Json.Number f)
+
+let spec_to_string s =
+  let latency =
+    match s.objective with
+    | Latency { threshold_seconds; _ } -> Printf.sprintf "latency=%s;" (float_str threshold_seconds)
+    | Success _ -> ""
+  in
+  Printf.sprintf "name=%s;%starget=%s;fast=%s;slow=%s;fast-burn=%s;slow-burn=%s" s.name latency
+    (float_str (target_of s.objective))
+    (float_str s.fast_seconds) (float_str s.slow_seconds) (float_str s.fast_burn)
+    (float_str s.slow_burn)
+
+(* The windows only need count/sum of a 0/1 indicator, so a single-bound
+   layout keeps the slot arrays tiny. *)
+let indicator_bounds = [| 0.5 |]
+
+type t = {
+  spec : spec;
+  fast : Window.t;
+  slow : Window.t;
+  mutable good_total : int;
+  mutable bad_total : int;
+  mutable firing : bool;
+}
+
+let create ?(clock = Registry.wall_clock) spec =
+  validate_spec spec;
+  let window seconds = Window.create ~clock ~bounds:indicator_bounds ~window_seconds:seconds () in
+  {
+    spec;
+    fast = window spec.fast_seconds;
+    slow = window spec.slow_seconds;
+    good_total = 0;
+    bad_total = 0;
+    firing = false;
+  }
+
+let spec_of t = t.spec
+
+let record ?latency_seconds t ~ok =
+  let good =
+    ok
+    &&
+    match t.spec.objective with
+    | Success _ -> true
+    | Latency { threshold_seconds; _ } -> (
+        match latency_seconds with Some l -> l <= threshold_seconds | None -> false)
+  in
+  let indicator = if good then 0. else 1. in
+  if good then t.good_total <- t.good_total + 1 else t.bad_total <- t.bad_total + 1;
+  Window.observe t.fast indicator;
+  Window.observe t.slow indicator
+
+type evaluation = {
+  burning : bool;
+  changed : bool;
+  fast_burn_rate : float;
+  slow_burn_rate : float;
+  budget_remaining : float;
+  good_total : int;
+  bad_total : int;
+}
+
+let burn_rate (t : t) window =
+  let count = Window.count window in
+  if count = 0 then 0.
+  else
+    let error_ratio = Window.sum window /. float_of_int count in
+    error_ratio /. (1. -. target_of t.spec.objective)
+
+let budget_remaining (t : t) =
+  let total = t.good_total + t.bad_total in
+  if total = 0 then 1.
+  else
+    let error_ratio = float_of_int t.bad_total /. float_of_int total in
+    1. -. (error_ratio /. (1. -. target_of t.spec.objective))
+
+let evaluate ?(log = Log.noop) t =
+  let fast_burn_rate = burn_rate t t.fast and slow_burn_rate = burn_rate t t.slow in
+  let burning = fast_burn_rate >= t.spec.fast_burn && slow_burn_rate >= t.spec.slow_burn in
+  let changed = burning <> t.firing in
+  t.firing <- burning;
+  let evaluation =
+    {
+      burning;
+      changed;
+      fast_burn_rate;
+      slow_burn_rate;
+      budget_remaining = budget_remaining t;
+      good_total = t.good_total;
+      bad_total = t.bad_total;
+    }
+  in
+  if changed then begin
+    let fields =
+      [
+        ("slo", Json.String t.spec.name);
+        ("fast_burn_rate", Json.Number fast_burn_rate);
+        ("slow_burn_rate", Json.Number slow_burn_rate);
+        ("budget_remaining", Json.Number evaluation.budget_remaining);
+      ]
+    in
+    if burning then Log.warn ~fields log "slo alert firing"
+    else Log.info ~fields log "slo alert resolved"
+  end;
+  evaluation
+
+let burning t = t.firing
+
+let export ?log t registry =
+  let e = evaluate ?log t in
+  if Registry.enabled registry then begin
+    let set suffix value =
+      Registry.set (Registry.gauge registry (Printf.sprintf "obs.slo.%s.%s" t.spec.name suffix)) value
+    in
+    set "fast_burn_rate" e.fast_burn_rate;
+    set "slow_burn_rate" e.slow_burn_rate;
+    set "budget_remaining" e.budget_remaining;
+    set "burning" (if e.burning then 1. else 0.)
+  end

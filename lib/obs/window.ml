@@ -1,0 +1,164 @@
+(* Ring-buffer sliding window. Each slot holds the histogram state of
+   one sub-interval of the window; rotation is lazy (a slot is reset the
+   first time an observation or read lands after its interval expired),
+   keyed by the absolute interval index so an idle window needs no
+   timer. *)
+
+type slot = {
+  mutable epoch : int;
+      (* absolute interval index this slot's contents belong to; -1 for
+         never-used *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  counts : int array; (* per-bucket, Array.length bounds + 1 for +inf *)
+}
+
+type t = {
+  clock : unit -> float;
+  window_seconds : float;
+  slot_seconds : float;
+  bounds : float array;
+  slots : slot array;
+}
+
+let fresh_slot n_buckets =
+  { epoch = -1; count = 0; sum = 0.; min_v = 0.; max_v = 0.; counts = Array.make n_buckets 0 }
+
+let reset_slot s =
+  s.epoch <- -1;
+  s.count <- 0;
+  s.sum <- 0.;
+  s.min_v <- 0.;
+  s.max_v <- 0.;
+  Array.fill s.counts 0 (Array.length s.counts) 0
+
+let validate_bounds bounds =
+  if Array.length bounds = 0 then invalid_arg "Stratrec_obs.Window.create: empty bucket layout";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Stratrec_obs.Window.create: non-finite bucket bound";
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Stratrec_obs.Window.create: bucket bounds must ascend")
+    bounds
+
+let create ?(clock = Registry.wall_clock) ?(slots = 12) ?(bounds = Registry.duration_buckets)
+    ~window_seconds () =
+  if not (Float.is_finite window_seconds && window_seconds > 0.) then
+    invalid_arg "Stratrec_obs.Window.create: window_seconds must be positive";
+  if slots < 1 then invalid_arg "Stratrec_obs.Window.create: need at least one slot";
+  validate_bounds bounds;
+  let bounds = Array.copy bounds in
+  {
+    clock;
+    window_seconds;
+    slot_seconds = window_seconds /. float_of_int slots;
+    bounds;
+    slots = Array.init slots (fun _ -> fresh_slot (Array.length bounds + 1));
+  }
+
+let window_seconds t = t.window_seconds
+let slots t = Array.length t.slots
+
+(* Absolute interval index of the current clock reading. Clamped at 0 so
+   a clock that starts below zero cannot collide with the -1 sentinel. *)
+let interval t =
+  let now = t.clock () in
+  if now <= 0. then 0 else int_of_float (now /. t.slot_seconds)
+
+let bucket_index bounds value =
+  let n = Array.length bounds in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if value <= bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe t value =
+  let idx = interval t in
+  let s = t.slots.(idx mod Array.length t.slots) in
+  if s.epoch <> idx then begin
+    reset_slot s;
+    s.epoch <- idx
+  end;
+  let i = bucket_index t.bounds value in
+  s.counts.(i) <- s.counts.(i) + 1;
+  if s.count = 0 then begin
+    s.min_v <- value;
+    s.max_v <- value
+  end
+  else begin
+    if value < s.min_v then s.min_v <- value;
+    if value > s.max_v then s.max_v <- value
+  end;
+  s.count <- s.count + 1;
+  s.sum <- s.sum +. value
+
+let mark t = observe t 0.
+
+(* Fold [f] over the slots still inside the window at the current clock
+   reading; expired slots are skipped (and left for [observe] to recycle
+   in place). *)
+let fold_live t ~init ~f =
+  let idx = interval t in
+  let n = Array.length t.slots in
+  Array.fold_left (fun acc s -> if s.epoch >= 0 && s.epoch > idx - n then f acc s else acc) init
+    t.slots
+
+let count t = fold_live t ~init:0 ~f:(fun acc s -> acc + s.count)
+let sum t = fold_live t ~init:0. ~f:(fun acc s -> acc +. s.sum)
+let rate_per_sec t = float_of_int (count t) /. t.window_seconds
+
+let mean t =
+  let c = count t in
+  if c = 0 then 0. else sum t /. float_of_int c
+
+let min_value t =
+  fold_live t ~init:nan ~f:(fun acc s ->
+      if s.count = 0 then acc
+      else if Float.is_nan acc || s.min_v < acc then s.min_v
+      else acc)
+  |> fun v -> if Float.is_nan v then 0. else v
+
+let max_value t =
+  fold_live t ~init:nan ~f:(fun acc s ->
+      if s.count = 0 then acc
+      else if Float.is_nan acc || s.max_v > acc then s.max_v
+      else acc)
+  |> fun v -> if Float.is_nan v then 0. else v
+
+let to_histogram t =
+  let n_counts = Array.length t.bounds + 1 in
+  let totals = Array.make n_counts 0 in
+  let count, sum =
+    fold_live t ~init:(0, 0.) ~f:(fun (c, s) slot ->
+        Array.iteri (fun i k -> totals.(i) <- totals.(i) + k) slot.counts;
+        (c + slot.count, s +. slot.sum))
+  in
+  let buckets =
+    List.init n_counts (fun i ->
+        let bound = if i < Array.length t.bounds then t.bounds.(i) else infinity in
+        (bound, totals.(i)))
+  in
+  { Snapshot.buckets; count; sum; min = min_value t; max = max_value t }
+
+let quantile t q = Snapshot.histogram_quantile (to_histogram t) q
+let reset t = Array.iter reset_slot t.slots
+
+let export t registry ~name =
+  if Registry.enabled registry then begin
+    let h = to_histogram t in
+    let set suffix value = Registry.set (Registry.gauge registry (name ^ suffix)) value in
+    set ".window.count" (float_of_int h.Snapshot.count);
+    set ".window.rate_per_sec" (float_of_int h.Snapshot.count /. t.window_seconds);
+    set ".window.mean"
+      (if h.Snapshot.count = 0 then 0. else h.Snapshot.sum /. float_of_int h.Snapshot.count);
+    set ".window.max" h.Snapshot.max;
+    set ".window.p50" (Snapshot.histogram_quantile h 0.5);
+    set ".window.p90" (Snapshot.histogram_quantile h 0.9);
+    set ".window.p99" (Snapshot.histogram_quantile h 0.99)
+  end

@@ -47,6 +47,7 @@ let offer t ~now ~tenant ?deadline_hours item =
 type 'a admitted = {
   item : 'a;
   tenant : string;
+  admitted_at : float;
   waited_seconds : float;
   remaining_hours : float option;
 }
@@ -60,7 +61,13 @@ let to_admitted ~now entry =
       (fun budget -> Float.max 0. (budget -. (waited_seconds /. seconds_per_hour)))
       entry.deadline_hours
   in
-  { item = entry.item; tenant = entry.tenant; waited_seconds; remaining_hours }
+  {
+    item = entry.item;
+    tenant = entry.tenant;
+    admitted_at = entry.enqueued_at;
+    waited_seconds;
+    remaining_hours;
+  }
 
 let expired ~now entry =
   match entry.deadline_hours with

@@ -43,6 +43,9 @@ val offer :
 type 'a admitted = {
   item : 'a;
   tenant : string;
+  admitted_at : float;
+      (** clock reading (seconds) at {!offer} — the first stamp of the
+          request's latency lineage *)
   waited_seconds : float;  (** time spent in the queue *)
   remaining_hours : float option;
       (** unspent deadline budget at drain time ([None]: no deadline);

@@ -7,6 +7,8 @@ type config = {
   queue_capacity : int;
   epoch_requests : int;
   max_line : int;
+  window_seconds : float;
+  slos : Obs.Slo.spec list;
 }
 
 let default_config =
@@ -15,6 +17,8 @@ let default_config =
     queue_capacity = 64;
     epoch_requests = 8;
     max_line = Protocol.default_max_line;
+    window_seconds = 60.;
+    slos = [];
   }
 
 (* What waits in the admission queue: the request plus the connection
@@ -26,7 +30,7 @@ type t = {
   session : Engine.session;
   queue : pending Admission.t;
   clock : unit -> float;
-  mutable offset_hours : float;  (** simulated [tick] offset *)
+  offset_hours : float ref;  (** simulated [tick] offset *)
   mutable stopped : bool;
   (* serve.* instruments, all in the session registry *)
   submits : Obs.Registry.counter;
@@ -35,15 +39,24 @@ type t = {
   deadline_rejects : Obs.Registry.counter;
   duplicate_rejects : Obs.Registry.counter;
   protocol_errors : Obs.Registry.counter;
+  oversized_lines : Obs.Registry.counter;
   epochs_total : Obs.Registry.counter;
   epoch_admitted : Obs.Registry.counter;
   depth_gauge : Obs.Registry.gauge;
   clock_gauge : Obs.Registry.gauge;
   epoch_fill : Obs.Registry.histogram;
   queue_wait : Obs.Registry.histogram;
+  (* sliding windows over the daemon clock (tick-aware), exported as
+     *.window.* gauges on every metrics/health/slo read *)
+  w_requests : Obs.Window.t;  (** submit arrivals (rate only) *)
+  w_queue : Obs.Window.t;  (** admission wait per triaged request *)
+  w_triage : Obs.Window.t;  (** triage stage per epoch *)
+  w_deploy : Obs.Window.t;  (** deploy stage per epoch *)
+  w_e2e : Obs.Window.t;  (** end-to-end latency per triaged request *)
+  slos : Obs.Slo.t list;
 }
 
-let now t = t.clock () +. (t.offset_hours *. 3600.)
+let now t = t.clock () +. (!(t.offset_hours) *. 3600.)
 
 let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strategies () =
   if config.queue_capacity < 1 then
@@ -52,14 +65,23 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
     Error (`Invalid_config "serve epoch fill target must be >= 1")
   else if config.max_line < 1 then
     Error (`Invalid_config "serve line limit must be >= 1")
+  else if not (config.window_seconds > 0.) then
+    Error (`Invalid_config "serve window span must be positive")
   else
+    (* The observability clock: the injectable base clock plus the
+       simulated tick offset, shared by the windows, the SLO trackers
+       and (when the daemon owns it) the registry — so stage stamps,
+       window rotation and deadline expiry all move on one axis and a
+       fake clock makes them all deterministic. *)
+    let offset_hours = ref 0. in
+    let obs_clock () = clock () +. (!offset_hours *. 3600.) in
     (* One registry for everything the daemon exposes: install a session
        registry when the engine config carries none, so serve.* and the
        engine/aggregator/resilience metrics share a single scrape. *)
     let registry =
       match config.engine.Engine.metrics with
       | Some registry -> registry
-      | None -> Obs.Registry.create ()
+      | None -> Obs.Registry.create ~clock:obs_clock ()
     in
     let config = { config with engine = Engine.with_metrics config.engine registry } in
     match Engine.create ~config:config.engine ?rng ~availability ~strategies () with
@@ -71,13 +93,16 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
           (* register at 0: scrapeable before first use *)
           c
         in
+        let window () =
+          Obs.Window.create ~clock:obs_clock ~window_seconds:config.window_seconds ()
+        in
         let t =
           {
             config;
             session;
             queue = Admission.create ~capacity:config.queue_capacity;
             clock;
-            offset_hours = 0.;
+            offset_hours;
             stopped = false;
             submits = counter "serve.submits_total";
             accepted = counter "serve.accepted_total";
@@ -85,6 +110,7 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
             deadline_rejects = counter "serve.rejected_deadline_total";
             duplicate_rejects = counter "serve.rejected_duplicate_total";
             protocol_errors = counter "serve.protocol_errors_total";
+            oversized_lines = counter "serve.oversized_lines_total";
             epochs_total = counter "serve.epochs_total";
             epoch_admitted = counter "serve.epoch_requests_total";
             depth_gauge = Obs.Registry.gauge registry "serve.queue_depth";
@@ -93,6 +119,12 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
               Obs.Registry.histogram ~buckets:Obs.Registry.fraction_buckets registry
                 "serve.epoch_fill";
             queue_wait = Obs.Registry.histogram registry "serve.queue_wait_seconds";
+            w_requests = window ();
+            w_queue = window ();
+            w_triage = window ();
+            w_deploy = window ();
+            w_e2e = window ();
+            slos = List.map (fun spec -> Obs.Slo.create ~clock:obs_clock spec) config.slos;
           }
         in
         Obs.Registry.set t.depth_gauge 0.;
@@ -102,8 +134,27 @@ let queue_depth t = Admission.length t.queue
 let max_line t = t.config.max_line
 let epochs t = Engine.epochs t.session
 let stopped t = t.stopped
-let metrics t = Engine.session_metrics t.session
-let clock_hours t = t.offset_hours
+let clock_hours t = !(t.offset_hours)
+
+let registry t =
+  match t.config.engine.Engine.metrics with Some r -> r | None -> assert false
+
+(* Re-export the live window aggregates and SLO evaluations as gauges,
+   so every snapshot read (scrape, health, slo, tests) sees current
+   recent-window state. SLO evaluation here also emits alert-transition
+   log records through the engine's run log. *)
+let refresh_observability t =
+  let r = registry t in
+  Obs.Window.export t.w_requests r ~name:"serve.requests";
+  Obs.Window.export t.w_queue r ~name:"serve.queue_wait_seconds";
+  Obs.Window.export t.w_triage r ~name:"serve.triage_seconds";
+  Obs.Window.export t.w_deploy r ~name:"serve.deploy_seconds";
+  Obs.Window.export t.w_e2e r ~name:"serve.e2e_seconds";
+  List.iter (fun slo -> Obs.Slo.export ~log:t.config.engine.Engine.log slo r) t.slos
+
+let metrics t =
+  refresh_observability t;
+  Engine.session_metrics t.session
 
 let update_depth t =
   Obs.Registry.set t.depth_gauge (float_of_int (Admission.length t.queue))
@@ -153,6 +204,17 @@ let deploy_verdicts (report : Engine.report) =
         | Engine.Rejected reason -> Engine.rejection_reason reason ))
     report.Engine.deployed
 
+(* SLO classification: a request met the service level when it was
+   answered and any deploy stage completed (the verdict is absent or
+   "completed"); deadline expiry and deploy rejection spend budget. *)
+let record_slo t ~ok ~latency_seconds =
+  List.iter (fun slo -> Obs.Slo.record ~latency_seconds slo ~ok) t.slos
+
+let evaluate_slos t =
+  List.iter
+    (fun slo -> ignore (Obs.Slo.evaluate ~log:t.config.engine.Engine.log slo : Obs.Slo.evaluation))
+    t.slos
+
 (* Run one epoch over up to [max] fairly-drained requests. Responses:
    one Deadline_expired per expired entry, one Duplicate_id per bounced
    duplicate, one Completed per triaged request (routed to its
@@ -163,6 +225,10 @@ let run_epoch t ~client ~max =
   let admitted, expired = Admission.drain t.queue ~now:clock_now ~max in
   update_depth t;
   let expired_responses = List.map (expired_response) expired in
+  List.iter
+    (fun (a : pending Admission.admitted) ->
+      record_slo t ~ok:false ~latency_seconds:a.Admission.waited_seconds)
+    expired;
   Obs.Registry.incr_by t.deadline_rejects (List.length expired);
   let batch, duplicates = dedupe admitted in
   Obs.Registry.incr_by t.duplicate_rejects (List.length duplicates);
@@ -185,7 +251,8 @@ let run_epoch t ~client ~max =
     | batch -> (
         List.iter
           (fun (a : pending Admission.admitted) ->
-            Obs.Registry.observe t.queue_wait a.Admission.waited_seconds)
+            Obs.Registry.observe t.queue_wait a.Admission.waited_seconds;
+            Obs.Window.observe t.w_queue a.Admission.waited_seconds)
           batch;
         let requests = List.map (fun a -> a.Admission.item.request) batch in
         match Engine.submit ?deadline_hours:(epoch_budget batch) t.session requests with
@@ -209,11 +276,22 @@ let run_epoch t ~client ~max =
             Obs.Registry.observe t.epoch_fill
               (float_of_int (List.length batch)
               /. float_of_int t.config.epoch_requests);
+            let triage_seconds = report.Engine.lineage.Engine.triage_seconds in
+            let deploy_seconds = report.Engine.lineage.Engine.deploy_seconds in
+            Obs.Window.observe t.w_triage triage_seconds;
+            Obs.Window.observe t.w_deploy deploy_seconds;
             let verdicts = deploy_verdicts report in
             let completed =
               List.map2
                 (fun (a : pending Admission.admitted) (_, outcome) ->
                   let id = Request.id a.Admission.item.request in
+                  let deployed = List.assoc_opt id verdicts in
+                  let total_seconds =
+                    a.Admission.waited_seconds +. triage_seconds +. deploy_seconds
+                  in
+                  Obs.Window.observe t.w_e2e total_seconds;
+                  record_slo t ~latency_seconds:total_seconds
+                    ~ok:(match deployed with None | Some "completed" -> true | Some _ -> false);
                   ( a.Admission.item.client,
                     Protocol.Completed
                       {
@@ -221,11 +299,20 @@ let run_epoch t ~client ~max =
                         tenant = a.Admission.tenant;
                         epoch = report.Engine.epoch;
                         outcome = Protocol.outcome_of_aggregator outcome;
-                        deployed = List.assoc_opt id verdicts;
+                        deployed;
+                        lineage =
+                          Some
+                            {
+                              Protocol.queue_seconds = a.Admission.waited_seconds;
+                              triage_seconds;
+                              deploy_seconds;
+                              total_seconds;
+                            };
                       } ))
                 batch
                 (Array.to_list report.Engine.aggregate.Stratrec.Aggregator.outcomes)
             in
+            evaluate_slos t;
             completed
             @ [
                 ( client,
@@ -248,10 +335,74 @@ let drain_all t ~client =
   in
   go []
 
+(* The readiness rubric (DESIGN.md §5h). Unhealthy: stopped, or the
+   queue is full while the circuit breaker is open (no intake and no
+   deploy drain — the daemon cannot make progress). Degraded: any
+   single pressure signal — breaker not closed, queue at >= 80% of
+   capacity, or an SLO burning. Ready otherwise. Reasons bind the
+   verdict so operators (and the smoke test) see why. *)
+let health t =
+  evaluate_slos t;
+  let depth = Admission.length t.queue and capacity = t.config.queue_capacity in
+  let breaker = Engine.breaker_state t.session in
+  let burning =
+    List.filter_map
+      (fun slo -> if Obs.Slo.burning slo then Some (Obs.Slo.spec_of slo).Obs.Slo.name else None)
+      t.slos
+  in
+  let queue_full = depth >= capacity in
+  let breaker_open = breaker = Some Stratrec_resilience.Breaker.Open in
+  let reasons =
+    (if t.stopped then [ "stopped" ] else [])
+    @ (match breaker with
+      | Some Stratrec_resilience.Breaker.Open -> [ "breaker-open" ]
+      | Some Stratrec_resilience.Breaker.Half_open -> [ "breaker-half-open" ]
+      | Some Stratrec_resilience.Breaker.Closed | None -> [])
+    @ (if queue_full then [ "queue-full" ]
+       else if depth * 5 >= capacity * 4 then [ "queue-saturated" ]
+       else [])
+    @ List.map (fun name -> "slo-burning:" ^ name) burning
+  in
+  let state =
+    if t.stopped || (queue_full && breaker_open) then Protocol.Unhealthy
+    else if reasons <> [] then Protocol.Degraded
+    else Protocol.Ready
+  in
+  Protocol.Health_status
+    {
+      state;
+      reasons;
+      breaker = Option.map Stratrec_resilience.Breaker.state_label breaker;
+      queue_depth = depth;
+      queue_capacity = capacity;
+      slo_burning = List.length burning;
+      epochs = epochs t;
+    }
+
+let slo_report t =
+  Protocol.Slo_report
+    (List.map
+       (fun slo ->
+         let e = Obs.Slo.evaluate ~log:t.config.engine.Engine.log slo in
+         {
+           Protocol.slo = (Obs.Slo.spec_of slo).Obs.Slo.name;
+           burning = e.Obs.Slo.burning;
+           fast_burn_rate = e.Obs.Slo.fast_burn_rate;
+           slow_burn_rate = e.Obs.Slo.slow_burn_rate;
+           budget_remaining = e.Obs.Slo.budget_remaining;
+         })
+       t.slos)
+
+(* Transport guard hook: the socket server reports each oversized-line
+   discard here so the drops are scrapeable. *)
+let note_oversized t dropped =
+  if dropped > 0 then Obs.Registry.incr_by t.oversized_lines dropped
+
 let handle_command t ~client command =
   match command with
   | Protocol.Submit request -> (
       Obs.Registry.incr t.submits;
+      Obs.Window.mark t.w_requests;
       let pending = { request; client } in
       match
         Admission.offer t.queue ~now:(now t) ~tenant:(Request.tenant request)
@@ -291,11 +442,16 @@ let handle_command t ~client command =
             Protocol.Metrics_text (Obs.Snapshot.to_openmetrics (metrics t)) );
         ],
         `Continue )
+  | Protocol.Health -> ([ (client, health t) ], `Continue)
+  | Protocol.Slo -> ([ (client, slo_report t) ], `Continue)
+  | Protocol.Unknown_get path ->
+      Obs.Registry.incr t.protocol_errors;
+      ([ (client, Protocol.Unknown_endpoint { path }) ], `Continue)
   | Protocol.Ping -> ([ (client, Protocol.Pong) ], `Continue)
   | Protocol.Tick hours ->
-      t.offset_hours <- t.offset_hours +. hours;
-      Obs.Registry.set t.clock_gauge t.offset_hours;
-      ([ (client, Protocol.Ticked { clock_hours = t.offset_hours }) ], `Continue)
+      t.offset_hours := !(t.offset_hours) +. hours;
+      Obs.Registry.set t.clock_gauge !(t.offset_hours);
+      ([ (client, Protocol.Ticked { clock_hours = !(t.offset_hours) }) ], `Continue)
   | Protocol.Shutdown ->
       let responses = drain_all t ~client in
       t.stopped <- true;

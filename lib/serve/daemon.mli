@@ -36,10 +36,19 @@ type config = {
           [flush]/[shutdown] — the configuration where the queue can
           actually fill and backpressure becomes observable *)
   max_line : int;  (** protocol line limit, {!Protocol.default_max_line} *)
+  window_seconds : float;
+      (** span of the live sliding windows ([serve.*.window.*] gauges);
+          must be positive *)
+  slos : Stratrec_obs.Slo.spec list;
+      (** SLOs the daemon tracks: every answered request is classified
+          good/bad per spec, burn rates feed [GET health]/[GET slo] and
+          the [obs.slo.*] gauges, and alert transitions go through the
+          engine config's log *)
 }
 
 val default_config : config
-(** Engine defaults, capacity 64, epochs of 8, 64 KiB lines. *)
+(** Engine defaults, capacity 64, epochs of 8, 64 KiB lines, 60-second
+    windows, no SLOs. *)
 
 type t
 
@@ -82,7 +91,13 @@ val max_line : t -> int
     guard reads it). *)
 
 val metrics : t -> Stratrec_obs.Snapshot.t
-(** Live cumulative snapshot (the [GET metrics] surface). *)
+(** Live cumulative snapshot (the [GET metrics] surface). Refreshes the
+    sliding-window gauges and SLO evaluations first, so the snapshot's
+    [*.window.*] and [obs.slo.*] series reflect the current clock. *)
 
 val clock_hours : t -> float
 (** Simulated clock offset accumulated through [tick], in hours. *)
+
+val note_oversized : t -> int -> unit
+(** Count [n] oversized-line discards ([serve.oversized_lines_total]) —
+    the transport calls this when its line guard drops input. *)

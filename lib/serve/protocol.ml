@@ -5,13 +5,31 @@ type command =
   | Submit of Stratrec.Request.t
   | Flush
   | Metrics
+  | Health
+  | Slo
   | Ping
   | Tick of float
   | Shutdown
+  | Unknown_get of string
 
 let default_max_line = 65536
 
 let ( let* ) = Result.bind
+
+(* GET dispatch: [GET <path>], leading slash optional, path matched
+   case-insensitively. Unknown paths parse successfully into
+   [Unknown_get] so the daemon can answer with a typed unknown-endpoint
+   response (echoing the path) instead of a generic parse error. *)
+let get_command path =
+  let stripped =
+    if String.length path > 0 && path.[0] = '/' then String.sub path 1 (String.length path - 1)
+    else path
+  in
+  match String.lowercase_ascii stripped with
+  | "metrics" -> Metrics
+  | "health" -> Health
+  | "slo" -> Slo
+  | _ -> Unknown_get path
 
 let parse ?(max_line = default_max_line) line =
   if String.length line > max_line then
@@ -20,7 +38,8 @@ let parse ?(max_line = default_max_line) line =
   else
     let trimmed = String.trim line in
     let lowered = String.lowercase_ascii trimmed in
-    if lowered = "get metrics" || lowered = "get /metrics" then Ok Metrics
+    if String.length lowered > 4 && String.sub lowered 0 4 = "get " then
+      Ok (get_command (String.trim (String.sub trimmed 4 (String.length trimmed - 4))))
     else
       let* json =
         Result.map_error (fun m -> "invalid JSON: " ^ m) (Json.of_string trimmed)
@@ -40,6 +59,8 @@ let parse ?(max_line = default_max_line) line =
             (Result.map_error (fun m -> "submit: " ^ m) (Stratrec.Request.of_json json))
       | "flush" -> Ok Flush
       | "metrics" -> Ok Metrics
+      | "health" -> Ok Health
+      | "slo" -> Ok Slo
       | "ping" -> Ok Ping
       | "shutdown" -> Ok Shutdown
       | "tick" -> (
@@ -71,6 +92,28 @@ let outcome_of_aggregator = function
   | Stratrec.Aggregator.Workforce_limited -> Workforce_limited
   | Stratrec.Aggregator.No_alternative -> No_alternative
 
+type lineage = {
+  queue_seconds : float;
+  triage_seconds : float;
+  deploy_seconds : float;
+  total_seconds : float;
+}
+
+type health_state = Ready | Degraded | Unhealthy
+
+let health_state_label = function
+  | Ready -> "ready"
+  | Degraded -> "degraded"
+  | Unhealthy -> "unhealthy"
+
+type slo_status = {
+  slo : string;
+  burning : bool;
+  fast_burn_rate : float;
+  slow_burn_rate : float;
+  budget_remaining : float;
+}
+
 type response =
   | Accepted of { id : int; tenant : string; queue_depth : int }
   | Queue_full of { id : int; tenant : string; queue_depth : int }
@@ -82,8 +125,20 @@ type response =
       epoch : int;
       outcome : outcome;
       deployed : string option;
+      lineage : lineage option;
     }
   | Epoch_closed of { epoch : int; admitted : int; expired : int }
+  | Health_status of {
+      state : health_state;
+      reasons : string list;
+      breaker : string option;
+      queue_depth : int;
+      queue_capacity : int;
+      slo_burning : int;
+      epochs : int;
+    }
+  | Slo_report of slo_status list
+  | Unknown_endpoint of { path : string }
   | Pong
   | Ticked of { clock_hours : float }
   | Shutting_down
@@ -113,6 +168,30 @@ let outcome_fields = function
   | Workforce_limited -> [ ("outcome", str "workforce-limited") ]
   | No_alternative -> [ ("outcome", str "no-alternative") ]
 
+let lineage_field = function
+  | None -> []
+  | Some { queue_seconds; triage_seconds; deploy_seconds; total_seconds } ->
+      [
+        ( "lineage",
+          Json.Object
+            [
+              ("queue_seconds", num queue_seconds);
+              ("triage_seconds", num triage_seconds);
+              ("deploy_seconds", num deploy_seconds);
+              ("total_seconds", num total_seconds);
+            ] );
+      ]
+
+let slo_status_fields s =
+  Json.Object
+    [
+      ("slo", str s.slo);
+      ("burning", bool s.burning);
+      ("fast_burn_rate", num s.fast_burn_rate);
+      ("slow_burn_rate", num s.slow_burn_rate);
+      ("budget_remaining", num s.budget_remaining);
+    ]
+
 let render response =
   match response with
   | Metrics_text text -> text
@@ -134,7 +213,7 @@ let render response =
         | Duplicate_id { id; tenant } ->
             [ ("ok", bool false); ("status", str "duplicate-id"); ("id", int id) ]
             @ tenant_field tenant
-        | Completed { id; tenant; epoch; outcome; deployed } ->
+        | Completed { id; tenant; epoch; outcome; deployed; lineage } ->
             [ ("ok", bool true); ("status", str "completed"); ("id", int id) ]
             @ tenant_field tenant
             @ [ ("epoch", int epoch) ]
@@ -142,6 +221,7 @@ let render response =
             @ (match deployed with
               | None -> []
               | Some verdict -> [ ("deployed", str verdict) ])
+            @ lineage_field lineage
         | Epoch_closed { epoch; admitted; expired } ->
             [
               ("ok", bool true);
@@ -150,6 +230,29 @@ let render response =
               ("admitted", int admitted);
               ("expired", int expired);
             ]
+        | Health_status { state; reasons; breaker; queue_depth; queue_capacity; slo_burning; epochs }
+          ->
+            [
+              ("ok", bool (state <> Unhealthy));
+              ("status", str "health");
+              ("state", str (health_state_label state));
+              ("reasons", Json.List (List.map str reasons));
+            ]
+            @ (match breaker with None -> [] | Some b -> [ ("breaker", str b) ])
+            @ [
+                ("queue_depth", int queue_depth);
+                ("queue_capacity", int queue_capacity);
+                ("slo_burning", int slo_burning);
+                ("epochs", int epochs);
+              ]
+        | Slo_report slos ->
+            [
+              ("ok", bool true);
+              ("status", str "slo");
+              ("slos", Json.List (List.map slo_status_fields slos));
+            ]
+        | Unknown_endpoint { path } ->
+            [ ("ok", bool false); ("status", str "unknown-endpoint"); ("path", str path) ]
         | Pong -> [ ("ok", bool true); ("status", str "pong") ]
         | Ticked { clock_hours } ->
             [ ("ok", bool true); ("status", str "ticked"); ("clock_hours", num clock_hours) ]

@@ -2,11 +2,14 @@
 
     One line in, one (or more) lines out. Commands are JSON objects
     dispatched on their ["op"] field; a {!Request} rides flat next to
-    the ["op"] key (its codec ignores unknown fields). The single
-    non-JSON spelling is the scrape verb [GET metrics] (also accepted
-    as [GET /metrics]), which answers with the OpenMetrics text
-    exposition of the live registry — terminated by its [# EOF] line —
-    so a Prometheus-style scraper can talk to the same socket.
+    the ["op"] key (its codec ignores unknown fields). The non-JSON
+    spelling is [GET <path>] (leading slash optional): [GET metrics]
+    answers with the OpenMetrics text exposition of the live registry —
+    terminated by its [# EOF] line — so a Prometheus-style scraper can
+    talk to the same socket, [GET health] with the readiness rubric and
+    [GET slo] with the SLO burn report (both single-line JSON). Unknown
+    GET paths get a typed [unknown-endpoint] response echoing the
+    path.
 
     Every malformed, oversized or unknown line yields a typed
     {!Error_} response; the daemon never closes a connection on bad
@@ -21,11 +24,19 @@ type command =
           "tenant":"acme","deadline_hours":24}] *)
   | Flush  (** [{"op":"flush"}] — close the epoch now, whatever the fill *)
   | Metrics  (** [GET metrics] or [{"op":"metrics"}] *)
+  | Health
+      (** [GET health] or [{"op":"health"}] — the readiness rubric
+          (ready / degraded / unhealthy with binding reasons) *)
+  | Slo  (** [GET slo] or [{"op":"slo"}] — per-SLO burn-rate status *)
   | Ping  (** [{"op":"ping"}] — liveness probe *)
   | Tick of float
       (** [{"op":"tick","hours":H}] — advance the daemon's simulated
           clock by [H] hours (deadline testing; [H > 0]) *)
   | Shutdown  (** [{"op":"shutdown"}] — drain, respond, stop *)
+  | Unknown_get of string
+      (** a well-formed [GET <path>] naming no known endpoint; parses
+          successfully (the path is echoed back in a typed
+          {!Unknown_endpoint} response rather than a parse error) *)
 
 val default_max_line : int
 (** 65536 bytes. Longer lines are rejected before parsing. *)
@@ -41,6 +52,35 @@ type outcome =
   | Alternative of { params : Stratrec_model.Params.t; distance : float }
   | Workforce_limited
   | No_alternative
+
+(** Per-request stage-latency breakdown, carried on every {!Completed}
+    response when the daemon measures stages (admitted → epoch-closed →
+    triaged → deploy-finished). Seconds on the daemon's clock axis. *)
+type lineage = {
+  queue_seconds : float;  (** admission-queue wait (admitted → epoch close) *)
+  triage_seconds : float;  (** recommend + ADPaR triage of the epoch *)
+  deploy_seconds : float;  (** resilience-ladder deploy stage of the epoch *)
+  total_seconds : float;  (** end-to-end: queue + triage + deploy *)
+}
+
+type health_state =
+  | Ready  (** serving normally *)
+  | Degraded
+      (** serving, but a pressure signal is up: circuit breaker not
+          closed, admission queue near saturation, or an SLO burning *)
+  | Unhealthy  (** stopped, or saturated with the breaker open *)
+
+val health_state_label : health_state -> string
+(** ["ready"], ["degraded"], ["unhealthy"]. *)
+
+(** One SLO's live burn status, as carried by {!Slo_report}. *)
+type slo_status = {
+  slo : string;
+  burning : bool;
+  fast_burn_rate : float;
+  slow_burn_rate : float;
+  budget_remaining : float;
+}
 
 type response =
   | Accepted of { id : int; tenant : string; queue_depth : int }
@@ -58,9 +98,27 @@ type response =
       deployed : string option;
           (** deploy-stage verdict when a deploy stage is configured:
               ["completed"] or the rejection reason *)
+      lineage : lineage option;
+          (** stage-latency breakdown (rendered as a nested ["lineage"]
+              object); [None] suppresses the field *)
     }
   | Epoch_closed of { epoch : int; admitted : int; expired : int }
       (** sent to the flushing/submitting client after an epoch runs *)
+  | Health_status of {
+      state : health_state;
+      reasons : string list;
+          (** binding reasons for a non-ready state, e.g.
+              ["breaker-open"], ["queue-saturated"], ["slo-burning:api"] *)
+      breaker : string option;
+          (** live circuit-breaker state label; [None] without a breaker *)
+      queue_depth : int;
+      queue_capacity : int;
+      slo_burning : int;  (** SLOs currently firing *)
+      epochs : int;
+    }
+  | Slo_report of slo_status list  (** one entry per configured SLO *)
+  | Unknown_endpoint of { path : string }
+      (** typed answer to {!Unknown_get}, path echoed *)
   | Pong
   | Ticked of { clock_hours : float }
   | Shutting_down

@@ -1,16 +1,41 @@
 type transport = Unix_socket of string | Tcp of string * int
 
-(* Per-connection input state. [discarding] is the oversized-line guard:
-   once the unterminated prefix outgrows the daemon's line limit we stop
-   buffering, skip to the next newline, and answer with one typed error —
-   bounded memory under any input. *)
-type conn = {
-  fd : Unix.file_descr;
-  id : int;
-  buf : Buffer.t;
-  mutable discarding : bool;
-  mutable open_ : bool;
-}
+(* Per-connection line splitting. [discarding] is the oversized-line
+   guard: once the unterminated prefix outgrows the daemon's line limit
+   we stop buffering, skip to the next newline, and report one drop —
+   bounded memory under any input. Exposed as a module so the guard is
+   unit-testable without a socket. *)
+module Lines = struct
+  type t = { buf : Buffer.t; mutable discarding : bool }
+
+  let create () = { buf = Buffer.create 256; discarding = false }
+
+  let feed t ~max_line chunk =
+    let lines = ref [] and dropped = ref 0 in
+    String.iter
+      (fun c ->
+        if c = '\n' then
+          if t.discarding then begin
+            t.discarding <- false;
+            incr dropped
+          end
+          else begin
+            lines := Buffer.contents t.buf :: !lines;
+            Buffer.clear t.buf
+          end
+        else if t.discarding then ()
+        else begin
+          Buffer.add_char t.buf c;
+          if Buffer.length t.buf > max_line then begin
+            Buffer.clear t.buf;
+            t.discarding <- true
+          end
+        end)
+      chunk;
+    (List.rev !lines, !dropped)
+end
+
+type conn = { fd : Unix.file_descr; id : int; lines : Lines.t; mutable open_ : bool }
 
 let ignore_sigpipe () =
   match Sys.os_type with
@@ -34,33 +59,6 @@ let write_all conn data =
 let close_conn conn =
   if conn.open_ || true then ( try Unix.close conn.fd with Unix.Unix_error _ -> ());
   conn.open_ <- false
-
-(* Split buffered bytes into complete lines, honouring the discard
-   state. Returns the protocol lines to hand the daemon, plus whether an
-   oversized line was just dropped (one typed error per drop). *)
-let extract_lines conn ~max_line chunk =
-  let lines = ref [] and dropped = ref 0 in
-  String.iter
-    (fun c ->
-      if c = '\n' then
-        if conn.discarding then begin
-          conn.discarding <- false;
-          incr dropped
-        end
-        else begin
-          lines := Buffer.contents conn.buf :: !lines;
-          Buffer.clear conn.buf
-        end
-      else if conn.discarding then ()
-      else begin
-        Buffer.add_char conn.buf c;
-        if Buffer.length conn.buf > max_line then begin
-          Buffer.clear conn.buf;
-          conn.discarding <- true
-        end
-      end)
-    chunk;
-  (List.rev !lines, !dropped)
 
 let oversized_error =
   Protocol.render (Protocol.Error_ { reason = "line too long: discarded" })
@@ -108,15 +106,7 @@ let serve ~daemon transport =
                   match Unix.accept listen_fd with
                   | exception Unix.Unix_error _ -> ()
                   | fd, _ ->
-                      let conn =
-                        {
-                          fd;
-                          id = !next_id;
-                          buf = Buffer.create 256;
-                          discarding = false;
-                          open_ = true;
-                        }
-                      in
+                      let conn = { fd; id = !next_id; lines = Lines.create (); open_ = true } in
                       incr next_id;
                       conns := !conns @ [ conn ]);
                List.iter
@@ -127,8 +117,9 @@ let serve ~daemon transport =
                      | 0 -> close_conn conn
                      | n ->
                          let lines, dropped =
-                           extract_lines conn ~max_line (Bytes.sub_string chunk 0 n)
+                           Lines.feed conn.lines ~max_line (Bytes.sub_string chunk 0 n)
                          in
+                         Daemon.note_oversized daemon dropped;
                          for _ = 1 to dropped do
                            write_all conn oversized_error
                          done;

@@ -19,6 +19,24 @@ type transport =
   | Unix_socket of string  (** filesystem path (unlinked on shutdown) *)
   | Tcp of string * int  (** bind/connect address and port *)
 
+(** The per-connection line splitter with the oversized-line guard,
+    exposed for direct testing: a line that outgrows [max_line] without
+    a newline is discarded up to the next newline and counted as a
+    drop. The server reports every drop to {!Daemon.note_oversized}
+    (the [serve.oversized_lines_total] counter) and answers the peer
+    with one typed error per drop. *)
+module Lines : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> max_line:int -> string -> string list * int
+  (** [feed t ~max_line chunk] consumes one received chunk and returns
+      the complete lines now available (without newlines) and the
+      number of oversized lines discarded. Partial trailing input stays
+      buffered for the next feed. *)
+end
+
 val serve : daemon:Daemon.t -> transport -> (unit, string) result
 (** Bind, accept and serve until a [shutdown] command stops the daemon
     (or a fatal socket error). All pending requests are answered before

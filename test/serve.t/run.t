@@ -26,11 +26,11 @@ request, then the epoch-closed marker.
   >   '{"op":"submit","id":2,"params":"0.6,0.6,0.6","k":2,"tenant":"beta"}' \
   >   '{"op":"shutdown"}' \
   >   | stratrec-serve --stdio --epoch-requests 2 \
-  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../'
+  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../; s/("lineage":)\{[^}]*\}/\1.../'
   {"ok":true,"status":"accepted","id":1,"tenant":"acme","queue_depth":1}
   {"ok":true,"status":"accepted","id":2,"tenant":"beta","queue_depth":2}
-  {"ok":true,"status":"completed","id":1,"tenant":"acme","epoch":1,"outcome":"alternative","alternative":...,"distance":...}
-  {"ok":true,"status":"completed","id":2,"tenant":"beta","epoch":1,"outcome":"alternative","alternative":...,"distance":...}
+  {"ok":true,"status":"completed","id":1,"tenant":"acme","epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
+  {"ok":true,"status":"completed","id":2,"tenant":"beta","epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
   {"ok":true,"status":"epoch-closed","epoch":1,"admitted":2,"expired":0}
   {"ok":true,"status":"shutting-down"}
 
@@ -46,12 +46,12 @@ the queued requests still complete on flush.
   >   '{"op":"flush"}' \
   >   '{"op":"shutdown"}' \
   >   | stratrec-serve --stdio --queue-capacity 2 --epoch-requests 8 \
-  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../'
+  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../; s/("lineage":)\{[^}]*\}/\1.../'
   {"ok":true,"status":"accepted","id":1,"queue_depth":1}
   {"ok":true,"status":"accepted","id":2,"queue_depth":2}
   {"ok":false,"status":"queue-full","id":3,"queue_depth":2}
-  {"ok":true,"status":"completed","id":1,"epoch":1,"outcome":"alternative","alternative":...,"distance":...}
-  {"ok":true,"status":"completed","id":2,"epoch":1,"outcome":"alternative","alternative":...,"distance":...}
+  {"ok":true,"status":"completed","id":1,"epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
+  {"ok":true,"status":"completed","id":2,"epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
   {"ok":true,"status":"epoch-closed","epoch":1,"admitted":2,"expired":0}
   {"ok":true,"status":"shutting-down"}
 
@@ -64,11 +64,11 @@ bounced individually with a typed response.
   >   '{"op":"flush"}' \
   >   '{"op":"shutdown"}' \
   >   | stratrec-serve --stdio --epoch-requests 8 \
-  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../'
+  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../; s/("lineage":)\{[^}]*\}/\1.../'
   {"ok":true,"status":"accepted","id":7,"tenant":"a","queue_depth":1}
   {"ok":true,"status":"accepted","id":7,"tenant":"b","queue_depth":2}
   {"ok":false,"status":"duplicate-id","id":7,"tenant":"b"}
-  {"ok":true,"status":"completed","id":7,"tenant":"a","epoch":1,"outcome":"alternative","alternative":...,"distance":...}
+  {"ok":true,"status":"completed","id":7,"tenant":"a","epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
   {"ok":true,"status":"epoch-closed","epoch":1,"admitted":1,"expired":0}
   {"ok":true,"status":"shutting-down"}
 
@@ -105,6 +105,7 @@ epoch fill all appear under serve_*.
   serve_accepted_total 2
   serve_epoch_requests_total 2
   serve_epochs_total 1
+  serve_oversized_lines_total 0
   serve_protocol_errors_total 0
   serve_queue_depth 0
   serve_rejected_deadline_total 0
@@ -112,3 +113,52 @@ epoch fill all appear under serve_*.
   serve_rejected_queue_full_total 0
   serve_submits_total 2
   # EOF
+
+The same scrape carries the live sliding-window gauges (recent-window
+rates and streaming quantiles over the daemon's request stream).
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"flush"}' \
+  >   'GET metrics' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >   | grep -cE '^serve_(requests|queue_wait_seconds|triage_seconds|deploy_seconds|e2e_seconds)_window_(count|rate_per_sec|mean|max|p50|p90|p99) '
+  35
+
+GET health answers the readiness rubric as one JSON line; a fresh
+daemon is ready. Unknown GET paths get a typed response echoing the
+path, not a connection drop.
+
+  $ printf '%s\n' 'GET health' 'GET /nope' '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio
+  {"ok":true,"status":"health","state":"ready","reasons":[],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":0}
+  {"ok":false,"status":"unknown-endpoint","path":"/nope"}
+  {"ok":true,"status":"shutting-down"}
+
+--slo declares objectives to track (repeatable; --slo-file loads more,
+one per line). GET slo reports each one's burn status; a queued request
+whose deadline expires is a bad event, and with nothing good in the
+windows the burn rate is 1/(1-target) = 4x here — past the configured
+thresholds, so the SLO fires and degrades GET health with a binding
+reason.
+
+  $ cat > slos.txt <<'EOF'
+  > # deployment latency objective
+  > name=deploy;latency=0.5;target=0.9
+  > EOF
+  $ printf '%s\n' \
+  >   'GET slo' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"deadline_hours":1}' \
+  >   '{"op":"tick","hours":2}' \
+  >   '{"op":"flush"}' \
+  >   'GET health' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >       --slo 'name=api;target=0.75;fast-burn=3;slow-burn=2' --slo-file slos.txt \
+  >   | sed -E 's/("waited_seconds":)[0-9.e+-]+/\1.../' \
+  >   | grep -vE '"status":"(accepted|ticked|epoch-closed)"'
+  {"ok":true,"status":"slo","slos":[{"slo":"api","burning":false,"fast_burn_rate":0,"slow_burn_rate":0,"budget_remaining":1},{"slo":"deploy","burning":false,"fast_burn_rate":0,"slow_burn_rate":0,"budget_remaining":1}]}
+  {"ok":false,"status":"deadline-expired","id":1,"waited_seconds":...}
+  {"ok":true,"status":"health","state":"degraded","reasons":["slo-burning:api"],"queue_depth":0,"queue_capacity":64,"slo_burning":1,"epochs":0}
+  {"ok":true,"status":"shutting-down"}

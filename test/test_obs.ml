@@ -950,6 +950,284 @@ let openmetrics_merge_prop =
         lines
       && contains ~needle:"# EOF" left)
 
+(* Sliding windows *)
+
+module Window = Obs.Window
+module Slo = Obs.Slo
+
+let test_window_basics () =
+  let now = ref 100. in
+  let w = Window.create ~clock:(fun () -> !now) ~slots:6 ~window_seconds:60. () in
+  Alcotest.(check int) "slots" 6 (Window.slots w);
+  Alcotest.(check (float 0.)) "span" 60. (Window.window_seconds w);
+  Alcotest.(check int) "empty count" 0 (Window.count w);
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Window.quantile w 0.99);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Window.mean w);
+  Window.observe w 0.02;
+  Window.observe w 0.08;
+  Window.mark w;
+  Alcotest.(check int) "count" 3 (Window.count w);
+  Alcotest.(check (float 1e-9)) "sum" 0.1 (Window.sum w);
+  Alcotest.(check (float 1e-9)) "rate over the span" (3. /. 60.) (Window.rate_per_sec w);
+  Alcotest.(check (float 1e-9)) "mean" (0.1 /. 3.) (Window.mean w);
+  Alcotest.(check (float 1e-9)) "min" 0. (Window.min_value w);
+  Alcotest.(check (float 1e-9)) "max" 0.08 (Window.max_value w);
+  let q50 = Window.quantile w 0.5 and q99 = Window.quantile w 0.99 in
+  Alcotest.(check bool) "quantiles ordered" true (q50 <= q99);
+  Alcotest.(check bool) "quantile bounded by max" true (q99 <= Window.max_value w +. 1e-9);
+  Window.reset w;
+  Alcotest.(check int) "reset empties" 0 (Window.count w);
+  Alcotest.check_raises "span validated"
+    (Invalid_argument "Stratrec_obs.Window.create: window_seconds must be positive") (fun () ->
+      ignore (Window.create ~window_seconds:0. ()));
+  Alcotest.check_raises "slots validated"
+    (Invalid_argument "Stratrec_obs.Window.create: need at least one slot") (fun () ->
+      ignore (Window.create ~slots:0 ~window_seconds:60. ()));
+  Alcotest.check_raises "bounds validated"
+    (Invalid_argument "Stratrec_obs.Window.create: bucket bounds must ascend") (fun () ->
+      ignore (Window.create ~bounds:[| 2.; 1. |] ~window_seconds:60. ()))
+
+let test_window_rotation () =
+  let now = ref 1000. in
+  let w = Window.create ~clock:(fun () -> !now) ~slots:6 ~window_seconds:60. () in
+  Window.observe w 1.;
+  (* half the span later the observation is still live *)
+  now := 1030.;
+  Window.observe w 2.;
+  Alcotest.(check int) "both live" 2 (Window.count w);
+  Alcotest.(check (float 1e-9)) "sum spans slots" 3. (Window.sum w);
+  (* move past the first observation's slot: only the second survives *)
+  now := 1065.;
+  Alcotest.(check int) "old slot expired" 1 (Window.count w);
+  Alcotest.(check (float 1e-9)) "survivor" 2. (Window.sum w);
+  (* a full idle span later the window has decayed to empty *)
+  now := 1065. +. 61.;
+  Alcotest.(check int) "idle decay" 0 (Window.count w);
+  Alcotest.(check (float 0.)) "empty max" 0. (Window.max_value w);
+  (* the ring recycles stale slots in place on the next observation *)
+  Window.observe w 5.;
+  Alcotest.(check int) "recycled" 1 (Window.count w);
+  Alcotest.(check (float 1e-9)) "recycled sum" 5. (Window.sum w)
+
+let test_window_export_absorb () =
+  let now = ref 500. in
+  let w = Window.create ~clock:(fun () -> !now) ~window_seconds:60. () in
+  Window.observe w 0.2;
+  Window.observe w 0.4;
+  let reg = Registry.create () in
+  Window.export w reg ~name:"serve.e2e_seconds";
+  let snap = Registry.snapshot reg in
+  Alcotest.(check (float 0.)) "count gauge" 2.
+    (Snapshot.gauge_value snap "serve.e2e_seconds.window.count");
+  Alcotest.(check (float 1e-9)) "rate gauge" (2. /. 60.)
+    (Snapshot.gauge_value snap "serve.e2e_seconds.window.rate_per_sec");
+  Alcotest.(check (float 1e-9)) "mean gauge" 0.3
+    (Snapshot.gauge_value snap "serve.e2e_seconds.window.mean");
+  Alcotest.(check (float 1e-9)) "max gauge" 0.4
+    (Snapshot.gauge_value snap "serve.e2e_seconds.window.max");
+  Alcotest.(check (float 0.)) "p50 gauge matches the estimator"
+    (Window.quantile w 0.5)
+    (Snapshot.gauge_value snap "serve.e2e_seconds.window.p50");
+  (* absorb reproduces the gauge family unchanged in another registry *)
+  let other = Registry.create () in
+  Registry.incr (Registry.counter other "other.counter");
+  Registry.absorb other snap;
+  let merged = Registry.snapshot other in
+  Alcotest.(check (float 0.)) "absorbed count" 2.
+    (Snapshot.gauge_value merged "serve.e2e_seconds.window.count");
+  Alcotest.(check int) "counters untouched" 1 (Snapshot.counter_value merged "other.counter");
+  (* and re-export after more traffic overwrites, last write wins *)
+  Window.observe w 0.6;
+  Window.export w reg ~name:"serve.e2e_seconds";
+  Alcotest.(check (float 0.)) "gauge overwritten" 3.
+    (Snapshot.gauge_value (Registry.snapshot reg) "serve.e2e_seconds.window.count");
+  (* no-op on the disabled registry *)
+  Window.export w Registry.noop ~name:"serve.e2e_seconds";
+  Alcotest.(check int) "noop registry stays empty" 0
+    (List.length (Registry.snapshot Registry.noop))
+
+(* Rotation invariants under arbitrary monotone traffic: the live count
+   never exceeds what was observed, never counts anything older than the
+   span, and a full idle span empties the window. *)
+let window_rotation_prop =
+  QCheck.Test.make ~count:200 ~name:"window rotation invariants"
+    QCheck.(small_list (pair (float_bound_exclusive 30.) (float_bound_exclusive 2.)))
+    (fun steps ->
+      let now = ref 1000. in
+      let w = Window.create ~clock:(fun () -> !now) ~slots:5 ~window_seconds:50. () in
+      let observed = ref [] in
+      List.iter
+        (fun (dt, v) ->
+          now := !now +. dt;
+          Window.observe w v;
+          observed := (!now, v) :: !observed)
+        steps;
+      let count = Window.count w in
+      if count > List.length steps then
+        QCheck.Test.fail_reportf "count %d exceeds %d observations" count (List.length steps);
+      (* everything within the last (slots-1)/slots of the span must
+         still be live: the ring never under-covers that prefix *)
+      let guaranteed =
+        List.length
+          (List.filter (fun (at, _) -> !now -. at < 50. *. 4. /. 5.) !observed)
+      in
+      if count < guaranteed then
+        QCheck.Test.fail_reportf "count %d drops %d guaranteed-live observations" count
+          guaranteed;
+      let sum = Window.sum w in
+      if sum < -.1e-9 then QCheck.Test.fail_report "negative sum";
+      now := !now +. 51.;
+      if Window.count w <> 0 then QCheck.Test.fail_report "idle span did not empty the window";
+      true)
+
+(* Quantile estimates are monotone in q and bounded by the live
+   extremes, whatever the traffic. *)
+let window_quantile_prop =
+  QCheck.Test.make ~count:200 ~name:"window quantiles monotone and bounded"
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 3.)) (pair pos_float pos_float))
+    (fun (values, (qa, qb)) ->
+      let w = Window.create ~clock:(fun () -> 1000.) ~window_seconds:60. () in
+      List.iter (Window.observe w) values;
+      let clamp q = Float.min 1. (Float.max 0. (Float.rem q 1.)) in
+      let qa = clamp qa and qb = clamp qb in
+      let lo = Float.min qa qb and hi = Float.max qa qb in
+      let q_lo = Window.quantile w lo and q_hi = Window.quantile w hi in
+      if q_lo > q_hi +. 1e-9 then
+        QCheck.Test.fail_reportf "quantile not monotone: q(%g)=%g > q(%g)=%g" lo q_lo hi q_hi;
+      if q_hi > Window.max_value w +. 1e-9 then
+        QCheck.Test.fail_reportf "quantile %g exceeds max %g" q_hi (Window.max_value w);
+      if q_lo < Window.min_value w -. 1e-9 then
+        QCheck.Test.fail_reportf "quantile %g below min %g" q_lo (Window.min_value w);
+      true)
+
+(* SLOs *)
+
+let test_slo_spec_codec () =
+  (match Slo.spec_of_string "name=api;latency=0.25;target=0.95" with
+  | Error e -> Alcotest.failf "latency spec rejected: %s" e
+  | Ok s ->
+      Alcotest.(check string) "name" "api" s.Slo.name;
+      (match s.Slo.objective with
+      | Slo.Latency { threshold_seconds; target } ->
+          Alcotest.(check (float 0.)) "threshold" 0.25 threshold_seconds;
+          Alcotest.(check (float 0.)) "target" 0.95 target
+      | Slo.Success _ -> Alcotest.fail "expected a latency objective");
+      Alcotest.(check (float 0.)) "fast default" 300. s.Slo.fast_seconds;
+      Alcotest.(check (float 0.)) "slow default" 3600. s.Slo.slow_seconds;
+      Alcotest.(check string)
+        "canonical full form"
+        "name=api;latency=0.25;target=0.95;fast=300;slow=3600;fast-burn=14;slow-burn=6"
+        (Slo.spec_to_string s);
+      (match Slo.spec_of_string (Slo.spec_to_string s) with
+      | Ok s' -> Alcotest.(check bool) "round-trip" true (s = s')
+      | Error e -> Alcotest.failf "round-trip failed: %s" e));
+  (match Slo.spec_of_string "name=uptime;target=0.99;fast=60;slow=600" with
+  | Error e -> Alcotest.failf "success spec rejected: %s" e
+  | Ok s -> (
+      match s.Slo.objective with
+      | Slo.Success { target } -> Alcotest.(check (float 0.)) "success target" 0.99 target
+      | Slo.Latency _ -> Alcotest.fail "latency= omitted means success objective"));
+  let rejected input =
+    match Slo.spec_of_string input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" input
+  in
+  rejected "";
+  rejected "target=0.9";
+  rejected "name=x";
+  rejected "name=x;target=1.5";
+  rejected "name=x;target=0.9;surprise=1";
+  rejected "name=x;target=0.9;target=0.8";
+  rejected "name=x;target=0.9;fast=600;slow=300";
+  rejected "name=x;target=nope"
+
+let test_slo_latency_classification () =
+  let t =
+    Slo.create
+      ~clock:(fun () -> 1000.)
+      (Slo.spec ~name:"lat" (Slo.Latency { threshold_seconds = 0.25; target = 0.9 }))
+  in
+  Slo.record t ~ok:true ~latency_seconds:0.2;
+  (* within threshold: good *)
+  Slo.record t ~ok:true ~latency_seconds:0.3;
+  (* too slow: bad despite ok *)
+  Slo.record t ~ok:true;
+  (* ok without a latency reading: conservatively bad *)
+  Slo.record t ~ok:false ~latency_seconds:0.1;
+  (* failed: bad regardless of latency *)
+  let e = Slo.evaluate t in
+  Alcotest.(check int) "good" 1 e.Slo.good_total;
+  Alcotest.(check int) "bad" 3 e.Slo.bad_total
+
+(* Burn-rate behaviour on a fake clock: all-bad traffic burns at
+   1/(1-target) — 4x with target 0.75, chosen so the arithmetic is exact
+   in floating point — aging the bad window out resolves, and only the
+   two transitions reach the log. *)
+let test_slo_burn_golden () =
+  let now = ref 1000. in
+  let log, lines = buffer_log () in
+  let spec =
+    match Slo.spec_of_string "name=api;target=0.75;fast-burn=3;slow-burn=2" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "spec: %s" e
+  in
+  let t = Slo.create ~clock:(fun () -> !now) spec in
+  let e0 = Slo.evaluate ~log t in
+  Alcotest.(check bool) "quiet at rest" false e0.Slo.burning;
+  Alcotest.(check (float 0.)) "budget untouched" 1. e0.Slo.budget_remaining;
+  for _ = 1 to 5 do
+    Slo.record t ~ok:false
+  done;
+  let e1 = Slo.evaluate ~log t in
+  Alcotest.(check bool) "firing" true e1.Slo.burning;
+  Alcotest.(check bool) "transition" true e1.Slo.changed;
+  Alcotest.(check (float 0.)) "fast burn 4x" 4. e1.Slo.fast_burn_rate;
+  Alcotest.(check (float 0.)) "slow burn 4x" 4. e1.Slo.slow_burn_rate;
+  Alcotest.(check (float 0.)) "budget overspent" (-3.) e1.Slo.budget_remaining;
+  let e2 = Slo.evaluate ~log t in
+  Alcotest.(check bool) "still firing" true e2.Slo.burning;
+  Alcotest.(check bool) "no re-transition" false e2.Slo.changed;
+  Alcotest.(check bool) "burning reads last evaluation" true (Slo.burning t);
+  (* both windows age out over an idle hour-plus: resolved *)
+  now := !now +. 4000.;
+  let e3 = Slo.evaluate ~log t in
+  Alcotest.(check bool) "resolved" false e3.Slo.burning;
+  Alcotest.(check bool) "transition back" true e3.Slo.changed;
+  Alcotest.(check (list string))
+    "only the two transitions logged"
+    [
+      {|{"ts":1.5,"level":"warn","msg":"slo alert firing","slo":"api","fast_burn_rate":4,"slow_burn_rate":4,"budget_remaining":-3}|};
+      {|{"ts":1.5,"level":"info","msg":"slo alert resolved","slo":"api","fast_burn_rate":0,"slow_burn_rate":0,"budget_remaining":-3}|};
+    ]
+    (lines ())
+
+let test_slo_export_gauges () =
+  let now = ref 1000. in
+  let t =
+    Slo.create ~clock:(fun () -> !now)
+      (match Slo.spec_of_string "name=api;target=0.95" with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "spec: %s" e)
+  in
+  let reg = Registry.create () in
+  Slo.record t ~ok:true;
+  Slo.export t reg;
+  let snap = Registry.snapshot reg in
+  Alcotest.(check (float 0.)) "quiet burn gauge" 0.
+    (Snapshot.gauge_value snap "obs.slo.api.fast_burn_rate");
+  Alcotest.(check (float 0.)) "full budget gauge" 1.
+    (Snapshot.gauge_value snap "obs.slo.api.budget_remaining");
+  Alcotest.(check (float 0.)) "not burning" 0. (Snapshot.gauge_value snap "obs.slo.api.burning");
+  for _ = 1 to 9 do
+    Slo.record t ~ok:false
+  done;
+  Slo.export t reg;
+  let snap = Registry.snapshot reg in
+  Alcotest.(check (float 1e-9)) "burn gauge updated" 18.
+    (Snapshot.gauge_value snap "obs.slo.api.fast_burn_rate");
+  Alcotest.(check (float 0.)) "burning flag set" 1.
+    (Snapshot.gauge_value snap "obs.slo.api.burning")
+
 let () =
   Alcotest.run "obs"
     [
@@ -1022,6 +1300,22 @@ let () =
             test_openmetrics_histogram;
           Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
           QCheck_alcotest.to_alcotest openmetrics_merge_prop;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "basics and validation" `Quick test_window_basics;
+          Alcotest.test_case "ring rotation and idle decay" `Quick test_window_rotation;
+          Alcotest.test_case "export/absorb gauge family" `Quick test_window_export_absorb;
+          QCheck_alcotest.to_alcotest window_rotation_prop;
+          QCheck_alcotest.to_alcotest window_quantile_prop;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "spec codec" `Quick test_slo_spec_codec;
+          Alcotest.test_case "latency classification" `Quick test_slo_latency_classification;
+          Alcotest.test_case "burn-rate transitions on a fake clock" `Quick
+            test_slo_burn_golden;
+          Alcotest.test_case "export gauges" `Quick test_slo_export_gauges;
         ] );
       ( "engine",
         [

@@ -147,6 +147,7 @@ let test_protocol_render () =
            epoch = 2;
            outcome = Protocol.Workforce_limited;
            deployed = None;
+           lineage = None;
          })
   in
   match Json.of_string (String.trim rendered) with
@@ -166,9 +167,10 @@ let paper_inputs () =
 let fixed_clock = ref 1000.
 
 let make_daemon ?(engine = Engine.default_config) ?(queue_capacity = 16)
-    ?(epoch_requests = 8) ?(max_line = Protocol.default_max_line) () =
+    ?(epoch_requests = 8) ?(max_line = Protocol.default_max_line) ?(window_seconds = 60.)
+    ?(slos = []) () =
   let availability, strategies, _ = paper_inputs () in
-  let config = { Daemon.engine; queue_capacity; epoch_requests; max_line } in
+  let config = { Daemon.engine; queue_capacity; epoch_requests; max_line; window_seconds; slos } in
   match
     Daemon.create ~clock:(fun () -> !fixed_clock) ~config ~availability ~strategies ()
   with
@@ -222,7 +224,6 @@ let test_daemon_chaos_flood () =
       {|[1,2,3]|};
       {|"just a string"|};
       String.make (Protocol.default_max_line + 100) 'z';
-      "GET /metrics/extra";
     ]
   in
   let rounds = 20 in
@@ -325,6 +326,195 @@ let test_daemon_shutdown_drains () =
   let after, verdict = Daemon.handle_line daemon ~client:0 {|{"op":"ping"}|} in
   Alcotest.(check bool) "post-shutdown lines refused" true
     (match (after, verdict) with [ (_, Protocol.Error_ _) ], `Stop -> true | _ -> false)
+
+(* GET endpoints: health and slo parse/render, unknown paths echo back
+   as a typed response instead of a generic parse error. *)
+
+let test_protocol_endpoints () =
+  let ok = function Ok c -> c | Error e -> Alcotest.failf "parse failed: %s" e in
+  (match ok (Protocol.parse "GET health") with
+  | Protocol.Health -> ()
+  | _ -> Alcotest.fail "expected Health");
+  (match ok (Protocol.parse "get /SLO") with
+  | Protocol.Slo -> ()
+  | _ -> Alcotest.fail "expected Slo (path form, case-folded)");
+  (match ok (Protocol.parse "GET /metrics/extra") with
+  | Protocol.Unknown_get path ->
+      Alcotest.(check string) "path echoed verbatim" "/metrics/extra" path
+  | _ -> Alcotest.fail "expected Unknown_get");
+  Alcotest.(check string)
+    "unknown-endpoint shape"
+    {|{"ok":false,"status":"unknown-endpoint","path":"/metrics/extra"}|}
+    (String.trim (Protocol.render (Protocol.Unknown_endpoint { path = "/metrics/extra" })));
+  Alcotest.(check string)
+    "health shape"
+    {|{"ok":true,"status":"health","state":"degraded","reasons":["queue-saturated"],"breaker":"closed","queue_depth":4,"queue_capacity":5,"slo_burning":0,"epochs":2}|}
+    (String.trim
+       (Protocol.render
+          (Protocol.Health_status
+             {
+               state = Protocol.Degraded;
+               reasons = [ "queue-saturated" ];
+               breaker = Some "closed";
+               queue_depth = 4;
+               queue_capacity = 5;
+               slo_burning = 0;
+               epochs = 2;
+             })));
+  Alcotest.(check string)
+    "slo report shape"
+    {|{"ok":true,"status":"slo","slos":[{"slo":"api","burning":true,"fast_burn_rate":20,"slow_burn_rate":20,"budget_remaining":0}]}|}
+    (String.trim
+       (Protocol.render
+          (Protocol.Slo_report
+             [
+               {
+                 Protocol.slo = "api";
+                 burning = true;
+                 fast_burn_rate = 20.;
+                 slow_burn_rate = 20.;
+                 budget_remaining = 0.;
+               };
+             ])))
+
+let test_daemon_unknown_endpoint () =
+  fixed_clock := 1000.;
+  let daemon = make_daemon () in
+  (match Daemon.handle_line daemon ~client:0 "GET /metrics/extra" with
+  | [ (0, Protocol.Unknown_endpoint { path }) ], `Continue ->
+      Alcotest.(check string) "path echoed" "/metrics/extra" path
+  | _ -> Alcotest.fail "expected one unknown-endpoint response");
+  Alcotest.(check int) "counted as protocol error" 1
+    (Snapshot.counter_value (Daemon.metrics daemon) "serve.protocol_errors_total")
+
+(* Latency lineage: every Completed carries the queue/triage/deploy
+   stage breakdown on the daemon's (fake) clock axis. *)
+let test_daemon_lineage () =
+  fixed_clock := 1000.;
+  let daemon = make_daemon ~epoch_requests:8 () in
+  let r1 = drive daemon [ submit_line ~id:1 ~params:(0.91, 0.58, 0.59) ~k:2 () ] in
+  Alcotest.(check (list string)) "queued" [ "accepted" ] (statuses r1);
+  fixed_clock := 1003.5;
+  let responses = drive daemon [ {|{"op":"flush"}|} ] in
+  match
+    List.filter_map
+      (function Protocol.Completed { lineage; _ } -> Some lineage | _ -> None)
+      responses
+  with
+  | [ Some l ] ->
+      Alcotest.(check (float 1e-9)) "queue wait on the fake clock" 3.5 l.Protocol.queue_seconds;
+      Alcotest.(check (float 1e-9)) "fake clock: triage instantaneous" 0. l.Protocol.triage_seconds;
+      Alcotest.(check (float 1e-9)) "no deploy stage configured" 0. l.Protocol.deploy_seconds;
+      Alcotest.(check (float 1e-9))
+        "total = queue + triage + deploy"
+        (l.Protocol.queue_seconds +. l.Protocol.triage_seconds +. l.Protocol.deploy_seconds)
+        l.Protocol.total_seconds
+  | _ -> Alcotest.fail "expected exactly one completed response carrying lineage"
+
+(* The readiness rubric over handle_line: fresh daemon is ready; a
+   burning SLO or a saturated queue degrades it, with binding reasons. *)
+let test_daemon_health_and_slo () =
+  fixed_clock := 1000.;
+  let slo =
+    match Obs.Slo.spec_of_string "name=deliver;target=0.95" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "spec: %s" e
+  in
+  let daemon = make_daemon ~queue_capacity:4 ~epoch_requests:8 ~slos:[ slo ] () in
+  let health d =
+    match Daemon.handle_line d ~client:0 "GET health" with
+    | [ (0, Protocol.Health_status { state; reasons; slo_burning; _ }) ], `Continue ->
+        (Protocol.health_state_label state, reasons, slo_burning)
+    | _ -> Alcotest.fail "expected one health response"
+  in
+  let state, reasons, burning = health daemon in
+  Alcotest.(check string) "fresh daemon ready" "ready" state;
+  Alcotest.(check (list string)) "no reasons" [] reasons;
+  Alcotest.(check int) "no slo firing" 0 burning;
+  (* a deadline expiring in the queue is a bad SLO event; with nothing
+     good in the window the burn rate is 1/(1-target) = 20x on both
+     windows, past the 14x/6x alert thresholds *)
+  let r =
+    drive daemon
+      [
+        submit_line ~id:1 ~params:(0.91, 0.58, 0.59) ~k:2 ~deadline_hours:1. ();
+        {|{"op":"tick","hours":2}|};
+        {|{"op":"flush"}|};
+      ]
+  in
+  Alcotest.(check (list string))
+    "expiry observed" [ "accepted"; "ticked"; "deadline-expired"; "epoch-closed" ] (statuses r);
+  let state, reasons, burning = health daemon in
+  Alcotest.(check string) "burning slo degrades health" "degraded" state;
+  Alcotest.(check (list string)) "binding reason" [ "slo-burning:deliver" ] reasons;
+  Alcotest.(check int) "one slo firing" 1 burning;
+  (match Daemon.handle_line daemon ~client:0 "GET slo" with
+  | [ (0, Protocol.Slo_report [ s ]) ], `Continue ->
+      Alcotest.(check string) "slo name" "deliver" s.Protocol.slo;
+      Alcotest.(check bool) "burning" true s.Protocol.burning;
+      Alcotest.(check bool) "budget overspent" true (s.Protocol.budget_remaining < 0.)
+  | _ -> Alcotest.fail "expected a one-entry slo report");
+  (* queue saturation is an independent degraded signal *)
+  let daemon2 = make_daemon ~queue_capacity:4 ~epoch_requests:8 () in
+  let submits =
+    List.init 4 (fun i -> submit_line ~id:(i + 1) ~params:(0.91, 0.58, 0.59) ~k:2 ())
+  in
+  Alcotest.(check (list string))
+    "queue filled"
+    [ "accepted"; "accepted"; "accepted"; "accepted" ]
+    (statuses (drive daemon2 submits));
+  let state, reasons, _ = health daemon2 in
+  Alcotest.(check string) "full queue degrades health" "degraded" state;
+  Alcotest.(check (list string)) "binding reason" [ "queue-full" ] reasons
+
+(* The scrape carries the new observability surfaces: sliding-window
+   gauges, SLO burn gauges and the oversized-line counter. *)
+let test_daemon_scrape_surfaces () =
+  fixed_clock := 1000.;
+  let slo =
+    match Obs.Slo.spec_of_string "name=deliver;target=0.95" with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "spec: %s" e
+  in
+  let daemon = make_daemon ~slos:[ slo ] () in
+  ignore (drive daemon [ submit_line ~id:1 ~params:(0.91, 0.58, 0.59) ~k:2 (); {|{"op":"flush"}|} ]);
+  let text =
+    match Daemon.handle_line daemon ~client:0 "GET metrics" with
+    | [ (0, Protocol.Metrics_text text) ], `Continue -> text
+    | _ -> Alcotest.fail "expected a metrics scrape"
+  in
+  let lines = String.split_on_char '\n' text in
+  let has prefix =
+    Alcotest.(check bool) ("scrape has " ^ prefix) true
+      (List.exists
+         (fun l -> String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix)
+         lines)
+  in
+  has "serve_requests_window_count 1";
+  has "serve_e2e_seconds_window_p99";
+  has "serve_queue_wait_seconds_window_rate_per_sec";
+  has "obs_slo_deliver_fast_burn_rate";
+  has "obs_slo_deliver_budget_remaining";
+  has "serve_oversized_lines_total 0"
+
+(* The transport's oversized-line guard and its daemon counter. *)
+let test_lines_guard_and_counter () =
+  fixed_clock := 1000.;
+  let lines = Serve.Server.Lines.create () in
+  let feed = Serve.Server.Lines.feed lines ~max_line:8 in
+  let got, dropped = feed "short\n" in
+  Alcotest.(check (list string)) "line split" [ "short" ] got;
+  Alcotest.(check int) "no drops" 0 dropped;
+  let got, dropped = feed "0123456789abcdef" in
+  Alcotest.(check (list string)) "oversized prefix swallowed" [] got;
+  Alcotest.(check int) "drop reported at the closing newline" 0 dropped;
+  let got, dropped = feed "tail\nok\n" in
+  Alcotest.(check (list string)) "discard runs to the next newline" [ "ok" ] got;
+  Alcotest.(check int) "one drop counted" 1 dropped;
+  let daemon = make_daemon () in
+  Daemon.note_oversized daemon 3;
+  Alcotest.(check int) "transport drops counted" 3
+    (Snapshot.counter_value (Daemon.metrics daemon) "serve.oversized_lines_total")
 
 (* Determinism: Engine.submit (single epoch) is bit-identical to
    Engine.run — decisions, counters, rendered aggregate — including
@@ -457,7 +647,8 @@ let test_daemon_epoch_matches_run () =
   List.iter2
     (fun e a ->
       let render o = String.trim (Protocol.render
-        (Protocol.Completed { id = 0; tenant = ""; epoch = 1; outcome = o; deployed = None }))
+        (Protocol.Completed
+           { id = 0; tenant = ""; epoch = 1; outcome = o; deployed = None; lineage = None }))
       in
       Alcotest.(check string) "outcome identical to one-shot run" (render e) (render a))
     expected actual;
@@ -567,6 +758,7 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_protocol_parse;
           Alcotest.test_case "render" `Quick test_protocol_render;
+          Alcotest.test_case "health/slo/unknown endpoints" `Quick test_protocol_endpoints;
         ] );
       ( "daemon",
         [
@@ -576,6 +768,14 @@ let () =
           Alcotest.test_case "duplicate ids bounced individually" `Quick
             test_daemon_duplicate_ids;
           Alcotest.test_case "shutdown drains everything" `Quick test_daemon_shutdown_drains;
+          Alcotest.test_case "unknown GET path answered typed" `Quick
+            test_daemon_unknown_endpoint;
+          Alcotest.test_case "completed responses carry lineage" `Quick test_daemon_lineage;
+          Alcotest.test_case "health rubric and slo report" `Quick test_daemon_health_and_slo;
+          Alcotest.test_case "scrape carries window/slo/oversized series" `Quick
+            test_daemon_scrape_surfaces;
+          Alcotest.test_case "oversized-line guard and counter" `Quick
+            test_lines_guard_and_counter;
           Alcotest.test_case "epoch matches one-shot run" `Quick
             test_daemon_epoch_matches_run;
         ] );
