@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the one the checks run.
 
-.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par obs serve-smoke
+.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par obs serve-smoke serve-chaos
 
 all: build
 
@@ -137,6 +137,18 @@ serve-smoke: build
 	  || { echo "serve-smoke: forced breaker-open not reflected in GET health"; cat "$$tmp/out2"; exit 1; }; \
 	echo "serve-smoke: daemon served, scraped, degraded under faults and shut down cleanly"
 
+# Overload-resilience gate: the serve suite under a pinned QCheck seed
+# (the randomized protocol-flood property plus the transport fault
+# injection and 4x overload tests shrink reproducibly), then one smoke
+# iteration of the serve bench experiment, whose overload sweep drives
+# the brownout ladder and shedding end to end.
+serve-chaos: build
+	QCHECK_SEED=2020 dune exec test/test_serve.exe
+	@tmp=$$(mktemp -d) && \
+	trap 'rm -rf "$$tmp"' EXIT && \
+	dune exec bench/main.exe -- --smoke --trace "$$tmp/serve.json" --only serve && \
+	test -s "$$tmp/serve.json" || { echo "serve-chaos: bench wrote no trace"; exit 1; }
+
 # Full gate: everything compiles (libraries, CLI, examples, benches),
 # every test passes (unit, property, cram, example smoke-runs), every
 # benchmark still runs (one smoke iteration, traced), and the tree
@@ -152,6 +164,7 @@ ci:
 	$(MAKE) par
 	$(MAKE) obs
 	$(MAKE) serve-smoke
+	$(MAKE) serve-chaos
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  echo "checking formatting drift"; \
 	  dune build @fmt; \

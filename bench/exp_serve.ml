@@ -53,6 +53,9 @@ let run_stream ~n ~epoch_requests lines =
       max_line = Serve.Protocol.default_max_line;
       window_seconds = Serve.Daemon.default_config.Serve.Daemon.window_seconds;
       slos = [];
+      quotas = [];
+      brownout = Serve.Daemon.default_config.Serve.Daemon.brownout;
+      drain_timeout_seconds = 30.;
     }
   in
   let daemon =
@@ -102,6 +105,9 @@ let run_socket ~n ~epoch_requests lines =
       max_line = Serve.Protocol.default_max_line;
       window_seconds = 60.;
       slos = [ slo ];
+      quotas = [];
+      brownout = Serve.Daemon.default_config.Serve.Daemon.brownout;
+      drain_timeout_seconds = 30.;
     }
   in
   let daemon =
@@ -152,6 +158,64 @@ let run_socket ~n ~epoch_requests lines =
   in
   let count needle = List.length (List.filter (contains needle) transcript) in
   (daemon, elapsed, count {|"status":"completed"|}, count {|"status":"health"|} + count {|"status":"slo"|} + count "# EOF")
+
+(* Overload sweep: offered load at 1x/2x/4x the queue capacity with the
+   brownout ladder live and epochs closing only on flush, so the queue
+   genuinely saturates and the ladder walks. One low-priority tenant
+   (delta, weight 0.5) exists to be shed at the top rung. Reported per
+   row: accepted / queue-full / shed counts, the rung reached, and the
+   p99 queue wait — shed rate and p99 at 4x feed the regression
+   baseline. *)
+let run_overload ~n ~mult =
+  let rng = Rng.create 2020 in
+  let strategies = Model.Workload.strategies rng ~n ~kind:Model.Workload.Uniform in
+  let capacity = 32 in
+  let offered = capacity * mult in
+  let quotas =
+    match Serve.Admission.quota_of_string "tenant=delta;weight=0.5" with
+    | Ok q -> [ q ]
+    | Error e -> failwith e
+  in
+  let config =
+    {
+      Serve.Daemon.engine = Engine.(with_trace default_config !Bench_common.trace);
+      queue_capacity = capacity;
+      epoch_requests = 2 * capacity;
+      max_line = Serve.Protocol.default_max_line;
+      window_seconds = 60.;
+      slos = [];
+      quotas;
+      brownout = Serve.Daemon.default_config.Serve.Daemon.brownout;
+      drain_timeout_seconds = 30.;
+    }
+  in
+  let daemon =
+    match
+      Serve.Daemon.create ~config ~availability:(Model.Availability.certain 0.75) ~strategies ()
+    with
+    | Ok daemon -> daemon
+    | Error e -> failwith (Engine.error_message e)
+  in
+  let accepted = ref 0 and full = ref 0 and shed = ref 0 and completed = ref 0 in
+  let feed line =
+    let responses, _ = Serve.Daemon.handle_line daemon ~client:0 line in
+    List.iter
+      (fun (_, response) ->
+        match response with
+        | Serve.Protocol.Accepted _ -> incr accepted
+        | Serve.Protocol.Queue_full _ -> incr full
+        | Serve.Protocol.Overloaded _ -> incr shed
+        | Serve.Protocol.Completed _ -> incr completed
+        | _ -> ())
+      responses
+  in
+  List.iter feed (submit_lines (Rng.create (13 + mult)) ~m:offered);
+  let rung = Serve.Daemon.brownout_rung daemon in
+  feed (drain_line "flush");
+  feed (drain_line "flush");
+  feed (drain_line "shutdown");
+  assert (Serve.Daemon.queue_depth daemon = 0);
+  (daemon, offered, !accepted, !full, !shed, !completed, rung)
 
 let run () =
   Bench_common.section "Serve - daemon throughput under admission control";
@@ -209,4 +273,38 @@ let run () =
   Printf.printf
     "\nsocket transport: %d requests pumped end-to-end (%d completed, %d endpoint probes \
      answered), %.0f req/s\n"
-    m_socket completed probes socket_rps
+    m_socket completed probes socket_rps;
+  (* overload sweep: shed rate and p99 vs offered load *)
+  let t =
+    Tabular.create
+      ~columns:
+        [ "Offered"; "Accepted"; "Queue-full"; "Shed"; "Completed"; "Rung"; "p99 wait (s)" ]
+  in
+  List.iter
+    (fun mult ->
+      let daemon, offered, accepted, full, shed, completed, rung = run_overload ~n ~mult in
+      let snapshot = Serve.Daemon.metrics daemon in
+      Obs.Registry.absorb !Bench_common.metrics snapshot;
+      let p99 =
+        match Obs.Snapshot.find snapshot "serve.queue_wait_seconds" with
+        | Some (Obs.Snapshot.Histogram h) -> Obs.Snapshot.histogram_quantile h 0.99
+        | _ -> 0.
+      in
+      if mult = 4 then begin
+        Bench_common.report_field "serve_overload_shed_rate"
+          (Json.Number (float_of_int shed /. float_of_int offered));
+        Bench_common.report_field "serve_overload_p99_seconds" (Json.Number p99)
+      end;
+      Tabular.add_row t
+        [
+          Printf.sprintf "%dx" mult;
+          string_of_int accepted;
+          string_of_int full;
+          string_of_int shed;
+          string_of_int completed;
+          string_of_int rung;
+          Printf.sprintf "%.6f" p99;
+        ];
+      ignore accepted)
+    [ 1; 2; 4 ];
+  Bench_common.print_table ~title:"overload sweep: offered load vs. shedding" t

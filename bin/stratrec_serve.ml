@@ -101,6 +101,40 @@ let max_line_arg =
        & opt int Serve.Protocol.default_max_line
        & info [ "max-line" ] ~docv:"BYTES" ~doc)
 
+let quota_arg =
+  let doc =
+    "Per-tenant admission quota (repeatable): \
+     $(b,tenant=acme;weight=2;max-queued=16;max-in-flight=4). $(b,weight) scales the \
+     tenant's share of each epoch (weighted deficit round-robin), $(b,max-queued) bounds \
+     its waiting requests (excess answered with $(b,quota-exceeded)), $(b,max-in-flight) \
+     bounds its requests per epoch. Unlisted tenants get weight 1, no caps."
+  in
+  Arg.(value & opt_all Stratrec_conv.quota [] & info [ "quota" ] ~docv:"SPEC" ~doc)
+
+let drain_timeout_arg =
+  let doc =
+    "Wall budget in seconds for $(b,drain) and $(b,shutdown): epochs run until the queue \
+     empties or the budget elapses, then stragglers are force-closed with typed \
+     $(b,drain-expired) responses. 0 forces immediately."
+  in
+  Arg.(value & opt float 30. & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+
+let brownout_saturation_arg =
+  let doc =
+    "Queue-saturation fraction that walks the brownout ladder up one rung (recovery at \
+     saturation/p99 back below the low-water marks). Rung 1 disables tracing/profiling, \
+     rung 2 halves the epoch fill, rung 3 sheds low-priority and over-share submits with \
+     typed $(b,overloaded) responses."
+  in
+  Arg.(value & opt float 0.85 & info [ "brownout-saturation" ] ~docv:"FRACTION" ~doc)
+
+let brownout_p99_arg =
+  let doc =
+    "Sliding-window e2e p99 latency (seconds) that walks the brownout ladder up; 0 \
+     disables the latency signal (saturation only)."
+  in
+  Arg.(value & opt float 0. & info [ "brownout-p99" ] ~docv:"SECONDS" ~doc)
+
 (* Observability flags. *)
 
 let window_seconds_arg =
@@ -198,8 +232,8 @@ let transport ~socket ~port ~host =
   | None, None -> Error (`Msg "pick a transport: --socket PATH, --port P or --stdio")
 
 let main seed n dist catalog w objective domains deploy faults retries population capacity
-    window queue_capacity epoch_requests max_line window_seconds slos slo_file socket port
-    host stdio connect =
+    window queue_capacity epoch_requests max_line quotas drain_timeout brownout_saturation
+    brownout_p99 window_seconds slos slo_file socket port host stdio connect =
   if connect then
     let* transport = transport ~socket ~port ~host in
     Result.map_error (fun m -> `Msg m) (Serve.Server.client transport stdin stdout)
@@ -214,6 +248,18 @@ let main seed n dist catalog w objective domains deploy faults retries populatio
           (with_domains (with_deploy default_config deploy) domains)
           objective)
     in
+    (* Recovery low-water marks are derived, not flags: 60% of the
+       escalation threshold (50% for the latency signal) gives the
+       hysteresis gap that keeps the ladder from oscillating. *)
+    let brownout =
+      {
+        Resilience.Brownout.default with
+        Resilience.Brownout.saturation_high = brownout_saturation;
+        saturation_low = brownout_saturation *. 0.6;
+        p99_high = brownout_p99;
+        p99_low = brownout_p99 *. 0.5;
+      }
+    in
     let config =
       {
         Serve.Daemon.engine;
@@ -222,6 +268,9 @@ let main seed n dist catalog w objective domains deploy faults retries populatio
         max_line;
         window_seconds;
         slos = slos @ file_slos;
+        quotas;
+        brownout;
+        drain_timeout_seconds = drain_timeout;
       }
     in
     let* daemon =
@@ -253,6 +302,7 @@ let cmd =
          \  {\"op\":\"flush\"}     close the epoch now\n\
          \  {\"op\":\"ping\"}      liveness\n\
          \  {\"op\":\"tick\",\"hours\":2}   advance the simulated clock\n\
+         \  {\"op\":\"drain\"}     answer or expire everything, refuse new work\n\
          \  {\"op\":\"shutdown\"}  drain, answer everything, stop\n\
          \  GET metrics        OpenMetrics scrape of the live registry\n\
          \  GET health         readiness rubric (ready/degraded/unhealthy)\n\
@@ -265,8 +315,9 @@ let cmd =
             (const main $ seed_arg $ strategies_arg $ dist_arg $ catalog_arg
              $ workforce_arg $ objective_arg $ domains_arg $ deploy_arg $ faults_arg
              $ retries_arg $ population_arg $ capacity_arg $ window_arg
-             $ queue_capacity_arg $ epoch_requests_arg $ max_line_arg $ window_seconds_arg
-             $ slo_arg $ slo_file_arg $ socket_arg $ port_arg $ host_arg $ stdio_arg
-             $ connect_arg))
+             $ queue_capacity_arg $ epoch_requests_arg $ max_line_arg $ quota_arg
+             $ drain_timeout_arg $ brownout_saturation_arg $ brownout_p99_arg
+             $ window_seconds_arg $ slo_arg $ slo_file_arg $ socket_arg $ port_arg
+             $ host_arg $ stdio_arg $ connect_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -40,3 +40,12 @@ let slo =
       let to_string = Stratrec_obs.Slo.spec_to_string
       let of_string = Stratrec_obs.Slo.spec_of_string
     end)
+
+let quota =
+  of_stringable
+    (module struct
+      type t = string * Stratrec_serve.Admission.quota
+
+      let to_string = Stratrec_serve.Admission.quota_to_string
+      let of_string = Stratrec_serve.Admission.quota_of_string
+    end)

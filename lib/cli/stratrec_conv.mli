@@ -52,3 +52,8 @@ val slo : Stratrec_obs.Slo.spec Cmdliner.Arg.conv
 (** The SLO spec spelling [name=api;latency=0.25;target=0.95] (success
     objective when [latency=] is omitted; optional [fast=], [slow=],
     [fast-burn=], [slow-burn=]) ({!Stratrec_obs.Slo}). *)
+
+val quota : (string * Stratrec_serve.Admission.quota) Cmdliner.Arg.conv
+(** The per-tenant quota spelling
+    [tenant=acme;weight=2;max-queued=16;max-in-flight=4] (only
+    [tenant=] required) ({!Stratrec_serve.Admission}). *)

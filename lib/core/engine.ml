@@ -190,6 +190,12 @@ type session = {
   mutable decisions_seen : int;
   mutable epochs : int;
   mutable closed : bool;
+  (* Live observability switches (serve's brownout ladder flips these
+     between epochs): when [live_trace] is off, epochs run against
+     Trace.noop — the session trace neither grows nor loses its
+     history; [live_profile] overrides config.profile the same way. *)
+  mutable live_trace : bool;
+  mutable live_profile : bool;
 }
 
 let create ?(config = default_config) ?rng ~availability ~strategies () =
@@ -221,7 +227,13 @@ let create ?(config = default_config) ?rng ~availability ~strategies () =
           decisions_seen = 0;
           epochs = 0;
           closed = false;
+          live_trace = true;
+          live_profile = config.profile;
         }
+
+let set_observability session ?trace ?profile () =
+  Option.iter (fun on -> session.live_trace <- on) trace;
+  Option.iter (fun on -> session.live_profile <- on) profile
 
 let epochs session = session.epochs
 let closed session = session.closed
@@ -261,7 +273,8 @@ let cheapest_first strategies =
     strategies
 
 let deploy_satisfied session ~policy ~rng deploy (aggregate : Aggregator.report) satisfied =
-  let metrics = session.metrics and trace = session.trace in
+  let metrics = session.metrics in
+  let trace = if session.live_trace then session.trace else Obs.Trace.noop in
   let log = session.config.log in
   let count name = Obs.Registry.incr (Obs.Registry.counter metrics name) in
   (* Register the resilience counters up front so every faulted run's
@@ -441,14 +454,14 @@ let submit ?deadline_hours session requests_in =
     | Error _ as e -> e
     | Ok () ->
         let metrics = session.metrics in
-        let trace = session.trace in
+        let trace = if session.live_trace then session.trace else Obs.Trace.noop in
         let log = config.log in
         (* Profiling stays off the determinism path: Profile.time adds only
            histograms, the pool export only gauges — counters, spans and
            decisions are untouched, so a profiled run's report is
            bit-identical to an unprofiled one at any domain count. *)
         let pool =
-          if config.profile && config.domains > 1 then
+          if session.live_profile && config.domains > 1 then
             Some (Stratrec_par.Pool.shared ~domains:config.domains)
           else None
         in
@@ -458,7 +471,7 @@ let submit ?deadline_hours session requests_in =
             Stratrec_par.Pool.set_profiling p true)
           pool;
         let profiled f =
-          if config.profile then Obs.Profile.time metrics "engine.run" f else f ()
+          if session.live_profile then Obs.Profile.time metrics "engine.run" f else f ()
         in
         let report =
           Obs.Trace.span trace "engine.run"
@@ -569,7 +582,10 @@ let submit ?deadline_hours session requests_in =
            the engine.run_seconds observation (and the trace its closed
            engine.run root). Decisions: only this epoch's tail — earlier
            epochs already reported theirs. *)
-        let all_decisions = Obs.Trace.decisions trace in
+        (* Bookkeeping always reads the session's real trace: while the
+           live switch is off the real buffer does not grow, so the
+           fresh-decision arithmetic stays consistent across toggles. *)
+        let all_decisions = Obs.Trace.decisions session.trace in
         let fresh = drop session.decisions_seen all_decisions in
         session.decisions_seen <- List.length all_decisions;
         Ok

@@ -278,6 +278,16 @@ val breaker_state : session -> Stratrec_resilience.Breaker.state option
     has no breaker (no deploy stage, or a policy without one). The serve
     layer's health endpoint reads this. *)
 
+val set_observability : session -> ?trace:bool -> ?profile:bool -> unit -> unit
+(** Flip the session's live observability between epochs — the serve
+    brownout ladder's first rung. With [~trace:false] subsequent epochs
+    run against {!Stratrec_obs.Trace.noop}: the session trace neither
+    grows nor loses history, and reports carry no fresh decisions.
+    [~profile] overrides [config.profile] the same way. Both default to
+    leaving the current setting untouched; [~trace:true] restores the
+    session trace, [~profile:true] restores profiling. Off the
+    determinism path: counters and triage decisions are unaffected. *)
+
 (** {1 One-shot} *)
 
 val run :

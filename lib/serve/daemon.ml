@@ -1,6 +1,7 @@
 module Engine = Stratrec.Engine
 module Request = Stratrec.Request
 module Obs = Stratrec_obs
+module Brownout = Stratrec_resilience.Brownout
 
 type config = {
   engine : Engine.config;
@@ -9,6 +10,9 @@ type config = {
   max_line : int;
   window_seconds : float;
   slos : Obs.Slo.spec list;
+  quotas : (string * Admission.quota) list;
+  brownout : Brownout.config;
+  drain_timeout_seconds : float;
 }
 
 let default_config =
@@ -19,6 +23,9 @@ let default_config =
     max_line = Protocol.default_max_line;
     window_seconds = 60.;
     slos = [];
+    quotas = [];
+    brownout = Brownout.default;
+    drain_timeout_seconds = 30.;
   }
 
 (* What waits in the admission queue: the request plus the connection
@@ -32,17 +39,33 @@ type t = {
   clock : unit -> float;
   offset_hours : float ref;  (** simulated [tick] offset *)
   mutable stopped : bool;
+  brownout : Brownout.t;
+  mutable draining : bool;
+      (** set by the [drain] verb: the queue has been flushed and the
+          daemon refuses new work while staying scrapeable *)
+  mutable io_error_count : int;
+  io_error_kinds : (string, Obs.Registry.counter) Hashtbl.t;
   (* serve.* instruments, all in the session registry *)
   submits : Obs.Registry.counter;
   accepted : Obs.Registry.counter;
   queue_full : Obs.Registry.counter;
+  quota_rejects : Obs.Registry.counter;
   deadline_rejects : Obs.Registry.counter;
   duplicate_rejects : Obs.Registry.counter;
   protocol_errors : Obs.Registry.counter;
   oversized_lines : Obs.Registry.counter;
+  shed_total : Obs.Registry.counter;
+  shed_low_priority : Obs.Registry.counter;
+  shed_over_share : Obs.Registry.counter;
+  brownout_escalations : Obs.Registry.counter;
+  brownout_recoveries : Obs.Registry.counter;
+  drains_total : Obs.Registry.counter;
+  drain_forced : Obs.Registry.counter;
+  io_errors : Obs.Registry.counter;
   epochs_total : Obs.Registry.counter;
   epoch_admitted : Obs.Registry.counter;
   depth_gauge : Obs.Registry.gauge;
+  brownout_rung_gauge : Obs.Registry.gauge;
   clock_gauge : Obs.Registry.gauge;
   epoch_fill : Obs.Registry.histogram;
   queue_wait : Obs.Registry.histogram;
@@ -67,7 +90,22 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
     Error (`Invalid_config "serve line limit must be >= 1")
   else if not (config.window_seconds > 0.) then
     Error (`Invalid_config "serve window span must be positive")
+  else if not (config.drain_timeout_seconds >= 0.) then
+    Error (`Invalid_config "serve drain timeout must be >= 0")
   else
+    match
+      ( Brownout.validate config.brownout,
+        List.find_map
+          (fun (tenant, q) ->
+            match Admission.validate_quota q with
+            | Ok () -> None
+            | Error m -> Some (Printf.sprintf "serve quota for tenant %S: %s" tenant m))
+          config.quotas )
+    with
+    | Error m, _ -> Error (`Invalid_config ("serve brownout: " ^ m))
+    | Ok (), Some m -> Error (`Invalid_config m)
+    | Ok (), None ->
+
     (* The observability clock: the injectable base clock plus the
        simulated tick offset, shared by the windows, the SLO trackers
        and (when the daemon owns it) the registry — so stage stamps,
@@ -100,20 +138,34 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
           {
             config;
             session;
-            queue = Admission.create ~capacity:config.queue_capacity;
+            queue = Admission.create ~capacity:config.queue_capacity ~quotas:config.quotas ();
             clock;
             offset_hours;
             stopped = false;
+            brownout = Result.get_ok (Brownout.create config.brownout);
+            draining = false;
+            io_error_count = 0;
+            io_error_kinds = Hashtbl.create 8;
             submits = counter "serve.submits_total";
             accepted = counter "serve.accepted_total";
             queue_full = counter "serve.rejected_queue_full_total";
+            quota_rejects = counter "serve.rejected_quota_total";
             deadline_rejects = counter "serve.rejected_deadline_total";
             duplicate_rejects = counter "serve.rejected_duplicate_total";
             protocol_errors = counter "serve.protocol_errors_total";
             oversized_lines = counter "serve.oversized_lines_total";
+            shed_total = counter "serve.shed_total";
+            shed_low_priority = counter "serve.shed.low_priority_total";
+            shed_over_share = counter "serve.shed.over_share_total";
+            brownout_escalations = counter "serve.brownout.escalations_total";
+            brownout_recoveries = counter "serve.brownout.recoveries_total";
+            drains_total = counter "serve.drains_total";
+            drain_forced = counter "serve.drain_forced_total";
+            io_errors = counter "serve.io_errors_total";
             epochs_total = counter "serve.epochs_total";
             epoch_admitted = counter "serve.epoch_requests_total";
             depth_gauge = Obs.Registry.gauge registry "serve.queue_depth";
+            brownout_rung_gauge = Obs.Registry.gauge registry "serve.brownout_rung";
             clock_gauge = Obs.Registry.gauge registry "serve.clock_hours";
             epoch_fill =
               Obs.Registry.histogram ~buckets:Obs.Registry.fraction_buckets registry
@@ -135,9 +187,92 @@ let max_line t = t.config.max_line
 let epochs t = Engine.epochs t.session
 let stopped t = t.stopped
 let clock_hours t = !(t.offset_hours)
+let brownout_rung t = Brownout.rung t.brownout
+let draining t = t.draining
+let io_error_count t = t.io_error_count
 
 let registry t =
   match t.config.engine.Engine.metrics with Some r -> r | None -> assert false
+
+(* Transport fault accounting: one shared total plus a per-kind counter
+   minted on first use, so the scrape names every distinct failure mode
+   the transport has absorbed (accept, epipe, econnreset, read, write,
+   oversized) without pre-registering a closed set. *)
+let note_io_error t ~kind =
+  t.io_error_count <- t.io_error_count + 1;
+  Obs.Registry.incr t.io_errors;
+  let c =
+    match Hashtbl.find_opt t.io_error_kinds kind with
+    | Some c -> c
+    | None ->
+        let c = Obs.Registry.counter (registry t) ("serve.io_errors." ^ kind ^ "_total") in
+        Hashtbl.add t.io_error_kinds kind c;
+        c
+  in
+  Obs.Registry.incr c
+
+(* Brownout rung effects (DESIGN.md §5i), keyed to absolute rung
+   numbers with [config.rungs] capping how far the ladder can walk.
+   Rung 1 sheds observability cost (tracing and profiling off); rung 2
+   halves the epoch fill so epochs close sooner and drain faster; rung
+   3 sheds load itself — low-priority and over-share submits are
+   refused with typed [overloaded] responses. At rung 0 nothing below
+   runs, preserving the bit-identity contract. *)
+let effective_epoch_fill t =
+  if brownout_rung t >= 2 then Stdlib.max 1 (t.config.epoch_requests / 2)
+  else t.config.epoch_requests
+
+let apply_rung_effects t =
+  let r = brownout_rung t in
+  Engine.set_observability t.session ~trace:(r < 1)
+    ~profile:(r < 1 && t.config.engine.Engine.profile) ()
+
+let shed_reason t ~tenant =
+  if brownout_rung t < 3 then None
+  else
+    let q = Admission.quota t.queue ~tenant in
+    if q.Admission.weight < 1. then Some "low-priority"
+    else
+      let share =
+        Stdlib.max 1
+          (int_of_float
+             (Float.ceil (float_of_int (effective_epoch_fill t) *. q.Admission.weight)))
+      in
+      if Admission.tenant_depth t.queue ~tenant >= share then Some "over-share" else None
+
+(* One ladder evaluation: queue saturation and the sliding-window e2e
+   p99 are the pressure signals. Called once per handled line, so the
+   walk is deterministic under a fake clock and costs two reads when
+   steady. *)
+let evaluate_brownout t =
+  let saturation =
+    float_of_int (Admission.length t.queue) /. float_of_int t.config.queue_capacity
+  in
+  let p99 = Obs.Window.quantile t.w_e2e 0.99 in
+  let log = t.config.engine.Engine.log in
+  let num f = Stratrec_util.Json.Number f in
+  let rung_of i = num (float_of_int i) in
+  match Brownout.evaluate t.brownout ~saturation ~p99 with
+  | Brownout.Steady -> ()
+  | Brownout.Escalated { from_; to_; reason } ->
+      Obs.Registry.incr t.brownout_escalations;
+      Obs.Registry.set t.brownout_rung_gauge (float_of_int to_);
+      apply_rung_effects t;
+      Obs.Log.warn log "brownout escalated"
+        ~fields:
+          [
+            ("from", rung_of from_);
+            ("to", rung_of to_);
+            ("reason", Stratrec_util.Json.String reason);
+            ("saturation", num saturation);
+            ("p99_seconds", num p99);
+          ]
+  | Brownout.Recovered { from_; to_ } ->
+      Obs.Registry.incr t.brownout_recoveries;
+      Obs.Registry.set t.brownout_rung_gauge (float_of_int to_);
+      apply_rung_effects t;
+      Obs.Log.info log "brownout recovered"
+        ~fields:[ ("from", rung_of from_); ("to", rung_of to_) ]
 
 (* Re-export the live window aggregates and SLO evaluations as gauges,
    so every snapshot read (scrape, health, slo, tests) sees current
@@ -326,14 +461,48 @@ let run_epoch t ~client ~max =
   in
   expired_responses @ duplicate_responses @ epoch_responses
 
-(* Shutdown drains whatever is queued in epoch-sized batches so nothing
-   is ever dropped, then closes the session. *)
-let drain_all t ~client =
-  let rec go acc =
-    if Admission.length t.queue = 0 then acc
-    else go (acc @ run_epoch t ~client ~max:t.config.epoch_requests)
+(* Bounded drain, shared by the [drain] verb and [shutdown]: run
+   epochs until the queue empties or the wall budget elapses, then
+   force-close whatever is left with a typed [drain-expired] per
+   request — every queued request is answered, deadline-expired or
+   forced, none leak. A zero budget skips straight to the force-close
+   (the deterministic spelling for tests); under a fake clock the loop
+   runs to empty, which is the legacy shutdown behaviour. Termination:
+   each epoch removes at least one entry and nothing is admitted
+   mid-drain. *)
+let drain_bounded t ~client =
+  let started = now t in
+  let budget = t.config.drain_timeout_seconds in
+  let answered = ref 0 and expired = ref 0 and epochs_run = ref 0 in
+  let acc = ref [] in
+  while Admission.length t.queue > 0 && now t -. started < budget do
+    let responses = run_epoch t ~client ~max:(effective_epoch_fill t) in
+    incr epochs_run;
+    List.iter
+      (fun (_, r) ->
+        match r with
+        | Protocol.Completed _ | Protocol.Duplicate_id _ -> incr answered
+        | Protocol.Deadline_expired _ -> incr expired
+        | _ -> ())
+      responses;
+    acc := !acc @ responses
+  done;
+  let leftovers = Admission.evict_all t.queue ~now:(now t) in
+  update_depth t;
+  let forced =
+    List.map
+      (fun (a : pending Admission.admitted) ->
+        ( a.Admission.item.client,
+          Protocol.Drain_expired
+            {
+              id = Request.id a.Admission.item.request;
+              tenant = a.Admission.tenant;
+              waited_seconds = a.Admission.waited_seconds;
+            } ))
+      leftovers
   in
-  go []
+  Obs.Registry.incr_by t.drain_forced (List.length forced);
+  (!acc @ forced, (!answered, !expired, List.length forced, !epochs_run))
 
 (* The readiness rubric (DESIGN.md §5h). Unhealthy: stopped, or the
    queue is full while the circuit breaker is open (no intake and no
@@ -361,6 +530,9 @@ let health t =
     @ (if queue_full then [ "queue-full" ]
        else if depth * 5 >= capacity * 4 then [ "queue-saturated" ]
        else [])
+    @ (if brownout_rung t > 0 then [ Printf.sprintf "brownout-rung:%d" (brownout_rung t) ]
+       else [])
+    @ (if t.draining then [ "draining" ] else [])
     @ List.map (fun name -> "slo-burning:" ^ name) burning
   in
   let state =
@@ -377,6 +549,9 @@ let health t =
       queue_capacity = capacity;
       slo_burning = List.length burning;
       epochs = epochs t;
+      brownout_rung = brownout_rung t;
+      draining = t.draining;
+      io_errors = t.io_error_count;
     }
 
 let slo_report t =
@@ -394,48 +569,71 @@ let slo_report t =
        t.slos)
 
 (* Transport guard hook: the socket server reports each oversized-line
-   discard here so the drops are scrapeable. *)
+   discard here so the drops are scrapeable — both under the legacy
+   oversized counter and as an io-error kind. *)
 let note_oversized t dropped =
-  if dropped > 0 then Obs.Registry.incr_by t.oversized_lines dropped
+  if dropped > 0 then begin
+    Obs.Registry.incr_by t.oversized_lines dropped;
+    for _ = 1 to dropped do
+      note_io_error t ~kind:"oversized"
+    done
+  end
 
 let handle_command t ~client command =
   match command with
   | Protocol.Submit request -> (
       Obs.Registry.incr t.submits;
       Obs.Window.mark t.w_requests;
-      let pending = { request; client } in
-      match
-        Admission.offer t.queue ~now:(now t) ~tenant:(Request.tenant request)
-          ?deadline_hours:request.Request.deadline_hours pending
-      with
-      | Error `Queue_full ->
-          Obs.Registry.incr t.queue_full;
-          ( [
-              ( client,
-                Protocol.Queue_full
-                  {
-                    id = Request.id request;
-                    tenant = Request.tenant request;
-                    queue_depth = Admission.length t.queue;
-                  } );
-            ],
-            `Continue )
-      | Ok () ->
-          Obs.Registry.incr t.accepted;
-          update_depth t;
-          let ack =
-            ( client,
-              Protocol.Accepted
-                {
-                  id = Request.id request;
-                  tenant = Request.tenant request;
-                  queue_depth = Admission.length t.queue;
-                } )
-          in
-          if Admission.length t.queue >= t.config.epoch_requests then
-            (ack :: run_epoch t ~client ~max:t.config.epoch_requests, `Continue)
-          else ([ ack ], `Continue))
-  | Protocol.Flush -> (run_epoch t ~client ~max:t.config.epoch_requests, `Continue)
+      let id = Request.id request and tenant = Request.tenant request in
+      if t.draining then ([ (client, Protocol.Draining { id; tenant }) ], `Continue)
+      else
+        match shed_reason t ~tenant with
+        | Some reason ->
+            Obs.Registry.incr t.shed_total;
+            Obs.Registry.incr
+              (if reason = "low-priority" then t.shed_low_priority else t.shed_over_share);
+            ( [
+                ( client,
+                  Protocol.Overloaded { id; tenant; rung = brownout_rung t; reason } );
+              ],
+              `Continue )
+        | None -> (
+            let pending = { request; client } in
+            match
+              Admission.offer t.queue ~now:(now t) ~tenant
+                ?deadline_hours:request.Request.deadline_hours pending
+            with
+            | Error `Queue_full ->
+                Obs.Registry.incr t.queue_full;
+                ( [
+                    ( client,
+                      Protocol.Queue_full
+                        { id; tenant; queue_depth = Admission.length t.queue } );
+                  ],
+                  `Continue )
+            | Error (`Quota_exceeded (queued, limit)) ->
+                Obs.Registry.incr t.quota_rejects;
+                ( [ (client, Protocol.Quota_exceeded { id; tenant; queued; limit }) ],
+                  `Continue )
+            | Ok () ->
+                Obs.Registry.incr t.accepted;
+                update_depth t;
+                let ack =
+                  ( client,
+                    Protocol.Accepted
+                      { id; tenant; queue_depth = Admission.length t.queue } )
+                in
+                if Admission.length t.queue >= effective_epoch_fill t then
+                  (ack :: run_epoch t ~client ~max:(effective_epoch_fill t), `Continue)
+                else ([ ack ], `Continue)))
+  | Protocol.Flush -> (run_epoch t ~client ~max:(effective_epoch_fill t), `Continue)
+  | Protocol.Drain ->
+      Obs.Registry.incr t.drains_total;
+      let responses, (answered, expired, forced, epochs_run) = drain_bounded t ~client in
+      t.draining <- true;
+      ( responses
+        @ [ (client, Protocol.Drained { answered; expired; forced; epochs = epochs_run }) ],
+        `Continue )
   | Protocol.Metrics ->
       ( [
           ( client,
@@ -453,7 +651,7 @@ let handle_command t ~client command =
       Obs.Registry.set t.clock_gauge !(t.offset_hours);
       ([ (client, Protocol.Ticked { clock_hours = !(t.offset_hours) }) ], `Continue)
   | Protocol.Shutdown ->
-      let responses = drain_all t ~client in
+      let responses, _summary = drain_bounded t ~client in
       t.stopped <- true;
       Engine.close t.session;
       (responses @ [ (client, Protocol.Shutting_down) ], `Stop)
@@ -466,4 +664,10 @@ let handle_line t ~client line =
     | Error reason ->
         Obs.Registry.incr t.protocol_errors;
         ([ (client, Protocol.Error_ { reason }) ], `Continue)
-    | Ok command -> handle_command t ~client command
+    | Ok command ->
+        let result = handle_command t ~client command in
+        (* One ladder step per handled line: deterministic walk, and a
+           steady rung 0 costs two reads — the bit-identity contract
+           for unloaded serving holds. *)
+        evaluate_brownout t;
+        result

@@ -44,11 +44,25 @@ type config = {
           good/bad per spec, burn rates feed [GET health]/[GET slo] and
           the [obs.slo.*] gauges, and alert transitions go through the
           engine config's log *)
+  quotas : (string * Admission.quota) list;
+      (** per-tenant admission contracts ([--quota]); unlisted tenants
+          get {!Admission.default_quota} *)
+  brownout : Stratrec_resilience.Brownout.config;
+      (** adaptive load-shedding ladder thresholds (DESIGN.md §5i):
+          queue saturation and sliding-window e2e p99 walk the rung up,
+          hysteresis walks it back. Rung 1 turns tracing/profiling off,
+          rung 2 halves the epoch fill, rung 3 sheds low-priority and
+          over-share submits with typed [overloaded] responses *)
+  drain_timeout_seconds : float;
+      (** wall budget for [drain] and [shutdown]: epochs run until the
+          queue empties or this elapses, stragglers are force-closed
+          with typed [drain-expired] responses; [0] forces immediately *)
 }
 
 val default_config : config
 (** Engine defaults, capacity 64, epochs of 8, 64 KiB lines, 60-second
-    windows, no SLOs. *)
+    windows, no SLOs, no quotas, default brownout ladder, 30-second
+    drain budget. *)
 
 type t
 
@@ -98,6 +112,24 @@ val metrics : t -> Stratrec_obs.Snapshot.t
 val clock_hours : t -> float
 (** Simulated clock offset accumulated through [tick], in hours. *)
 
+val brownout_rung : t -> int
+(** Current load-shedding rung; 0 when steady. *)
+
+val draining : t -> bool
+(** [true] once a [drain] command has run: the queue is empty and new
+    submits are refused with typed [draining] responses. *)
+
+val io_error_count : t -> int
+(** Transport faults absorbed since start (the [GET health]
+    [io_errors] field; also [serve.io_errors_total]). *)
+
 val note_oversized : t -> int -> unit
-(** Count [n] oversized-line discards ([serve.oversized_lines_total]) —
-    the transport calls this when its line guard drops input. *)
+(** Count [n] oversized-line discards ([serve.oversized_lines_total]
+    and io-error kind ["oversized"]) — the transport calls this when
+    its line guard drops input. *)
+
+val note_io_error : t -> kind:string -> unit
+(** Count one absorbed transport fault under [serve.io_errors_total]
+    and [serve.io_errors.<kind>_total] (kinds the socket server
+    reports: ["accept"], ["epipe"], ["econnreset"], ["read"],
+    ["write"], ["oversized"]). *)

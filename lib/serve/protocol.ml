@@ -4,6 +4,7 @@ module Model = Stratrec_model
 type command =
   | Submit of Stratrec.Request.t
   | Flush
+  | Drain
   | Metrics
   | Health
   | Slo
@@ -58,6 +59,7 @@ let parse ?(max_line = default_max_line) line =
             (fun r -> Submit r)
             (Result.map_error (fun m -> "submit: " ^ m) (Stratrec.Request.of_json json))
       | "flush" -> Ok Flush
+      | "drain" -> Ok Drain
       | "metrics" -> Ok Metrics
       | "health" -> Ok Health
       | "slo" -> Ok Slo
@@ -117,6 +119,11 @@ type slo_status = {
 type response =
   | Accepted of { id : int; tenant : string; queue_depth : int }
   | Queue_full of { id : int; tenant : string; queue_depth : int }
+  | Quota_exceeded of { id : int; tenant : string; queued : int; limit : int }
+  | Overloaded of { id : int; tenant : string; rung : int; reason : string }
+  | Draining of { id : int; tenant : string }
+  | Drain_expired of { id : int; tenant : string; waited_seconds : float }
+  | Drained of { answered : int; expired : int; forced : int; epochs : int }
   | Deadline_expired of { id : int; tenant : string; waited_seconds : float }
   | Duplicate_id of { id : int; tenant : string }
   | Completed of {
@@ -136,6 +143,9 @@ type response =
       queue_capacity : int;
       slo_burning : int;
       epochs : int;
+      brownout_rung : int;
+      draining : bool;
+      io_errors : int;
     }
   | Slo_report of slo_status list
   | Unknown_endpoint of { path : string }
@@ -206,6 +216,30 @@ let render response =
             [ ("ok", bool false); ("status", str "queue-full"); ("id", int id) ]
             @ tenant_field tenant
             @ [ ("queue_depth", int queue_depth) ]
+        | Quota_exceeded { id; tenant; queued; limit } ->
+            [ ("ok", bool false); ("status", str "quota-exceeded"); ("id", int id) ]
+            @ tenant_field tenant
+            @ [ ("queued", int queued); ("limit", int limit) ]
+        | Overloaded { id; tenant; rung; reason } ->
+            [ ("ok", bool false); ("status", str "overloaded"); ("id", int id) ]
+            @ tenant_field tenant
+            @ [ ("rung", int rung); ("reason", str reason) ]
+        | Draining { id; tenant } ->
+            [ ("ok", bool false); ("status", str "draining"); ("id", int id) ]
+            @ tenant_field tenant
+        | Drain_expired { id; tenant; waited_seconds } ->
+            [ ("ok", bool false); ("status", str "drain-expired"); ("id", int id) ]
+            @ tenant_field tenant
+            @ [ ("waited_seconds", num waited_seconds) ]
+        | Drained { answered; expired; forced; epochs } ->
+            [
+              ("ok", bool true);
+              ("status", str "drained");
+              ("answered", int answered);
+              ("expired", int expired);
+              ("forced", int forced);
+              ("epochs", int epochs);
+            ]
         | Deadline_expired { id; tenant; waited_seconds } ->
             [ ("ok", bool false); ("status", str "deadline-expired"); ("id", int id) ]
             @ tenant_field tenant
@@ -230,8 +264,19 @@ let render response =
               ("admitted", int admitted);
               ("expired", int expired);
             ]
-        | Health_status { state; reasons; breaker; queue_depth; queue_capacity; slo_burning; epochs }
-          ->
+        | Health_status
+            {
+              state;
+              reasons;
+              breaker;
+              queue_depth;
+              queue_capacity;
+              slo_burning;
+              epochs;
+              brownout_rung;
+              draining;
+              io_errors;
+            } ->
             [
               ("ok", bool (state <> Unhealthy));
               ("status", str "health");
@@ -244,6 +289,9 @@ let render response =
                 ("queue_capacity", int queue_capacity);
                 ("slo_burning", int slo_burning);
                 ("epochs", int epochs);
+                ("brownout_rung", int brownout_rung);
+                ("draining", bool draining);
+                ("io_errors", int io_errors);
               ]
         | Slo_report slos ->
             [

@@ -23,6 +23,10 @@ type command =
       (** [{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2,
           "tenant":"acme","deadline_hours":24}] *)
   | Flush  (** [{"op":"flush"}] — close the epoch now, whatever the fill *)
+  | Drain
+      (** [{"op":"drain"}] — stop admitting, flush every in-flight and
+          queued request within the daemon's drain budget, force-expire
+          the stragglers, answer with a {!Drained} summary *)
   | Metrics  (** [GET metrics] or [{"op":"metrics"}] *)
   | Health
       (** [GET health] or [{"op":"health"}] — the readiness rubric
@@ -87,6 +91,21 @@ type response =
       (** submit admitted; the result follows at epoch close *)
   | Queue_full of { id : int; tenant : string; queue_depth : int }
       (** typed backpressure — resubmit later *)
+  | Quota_exceeded of { id : int; tenant : string; queued : int; limit : int }
+      (** the tenant is at its own [max_queued] cap while the shared
+          queue still has room — per-tenant backpressure *)
+  | Overloaded of { id : int; tenant : string; rung : int; reason : string }
+      (** shed by the brownout ladder at [rung]; [reason] is
+          ["low-priority"] (weight below 1 under full brownout) or
+          ["over-share"] (tenant already holds its fair share of the
+          shrunken epoch) *)
+  | Draining of { id : int; tenant : string }
+      (** submit refused because the daemon is mid-drain *)
+  | Drain_expired of { id : int; tenant : string; waited_seconds : float }
+      (** queued request force-closed because the drain budget ran out *)
+  | Drained of { answered : int; expired : int; forced : int; epochs : int }
+      (** drain summary: every request was answered, deadline-expired,
+          or force-closed — none leaked *)
   | Deadline_expired of { id : int; tenant : string; waited_seconds : float }
   | Duplicate_id of { id : int; tenant : string }
       (** another request with the same id is already in this epoch *)
@@ -115,6 +134,9 @@ type response =
       queue_capacity : int;
       slo_burning : int;  (** SLOs currently firing *)
       epochs : int;
+      brownout_rung : int;  (** current load-shedding rung (0 = steady) *)
+      draining : bool;
+      io_errors : int;  (** transport faults absorbed since start *)
     }
   | Slo_report of slo_status list  (** one entry per configured SLO *)
   | Unknown_endpoint of { path : string }

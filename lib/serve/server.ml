@@ -1,3 +1,5 @@
+module Rng = Stratrec_util.Rng
+
 type transport = Unix_socket of string | Tcp of string * int
 
 (* Per-connection line splitting. [discarding] is the oversized-line
@@ -35,6 +37,49 @@ module Lines = struct
     (List.rev !lines, !dropped)
 end
 
+(* The pluggable byte layer under every socket read and write. The
+   default is plain [Unix.read]/[Unix.write_substring]; [faulty] wraps
+   them with seeded fault injection so the chaos tests can drive the
+   real select loop and line pump through partial writes, EINTR, EPIPE,
+   slow-loris dribble and mid-line disconnects — deterministically. *)
+module Io = struct
+  type t = {
+    read : Unix.file_descr -> bytes -> int -> int -> int;
+    write : Unix.file_descr -> string -> int -> int -> int;
+  }
+
+  let default = { read = Unix.read; write = Unix.write_substring }
+
+  type faults = {
+    partial_write : float;  (** write only half the requested bytes *)
+    eintr : float;  (** raise [EINTR] instead of transferring *)
+    epipe : float;  (** raise [EPIPE] on write *)
+    dribble : float;  (** read one byte at a time (slow-loris) *)
+    disconnect : float;  (** read 0 — peer gone mid-line *)
+  }
+
+  let no_faults =
+    { partial_write = 0.; eintr = 0.; epipe = 0.; dribble = 0.; disconnect = 0. }
+
+  let faulty ~rng faults =
+    let hit p = p > 0. && Rng.bernoulli rng ~p in
+    let read fd buf off len =
+      if hit faults.eintr then raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+      else if hit faults.disconnect then 0
+      else
+        let len = if hit faults.dribble then Stdlib.min 1 len else len in
+        Unix.read fd buf off len
+    in
+    let write fd data off len =
+      if hit faults.eintr then raise (Unix.Unix_error (Unix.EINTR, "write", ""))
+      else if hit faults.epipe then raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+      else
+        let len = if hit faults.partial_write && len > 1 then (len + 1) / 2 else len in
+        Unix.write_substring fd data off len
+    in
+    { read; write }
+end
+
 type conn = { fd : Unix.file_descr; id : int; lines : Lines.t; mutable open_ : bool }
 
 let ignore_sigpipe () =
@@ -42,32 +87,47 @@ let ignore_sigpipe () =
   | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
   | _ -> ()
 
-let write_all conn data =
-  if conn.open_ then
-    try
-      let len = String.length data in
-      let rec go off =
-        if off < len then
-          let n = Unix.write_substring conn.fd data off (len - off) in
-          go (off + n)
-      in
-      go 0
-    with Unix.Unix_error _ ->
-      (* peer went away: drop its responses, keep serving the rest *)
-      conn.open_ <- false
+let io_kind ~fallback = function
+  | Unix.EPIPE -> "epipe"
+  | Unix.ECONNRESET -> "econnreset"
+  | _ -> fallback
 
+(* Write everything or mark the peer dead. EINTR is a retry, not a
+   failure; any other error drops this peer's remaining responses (the
+   epoch still runs for everyone else) and is reported to [on_error]
+   with its classified kind. *)
+let write_all ?(io = Io.default) ?on_error conn data =
+  if conn.open_ then begin
+    let len = String.length data in
+    let rec go off =
+      if off < len then
+        match io.Io.write conn.fd data off (len - off) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error (err, _, _) ->
+            Option.iter (fun f -> f (io_kind ~fallback:"write" err)) on_error;
+            conn.open_ <- false
+        | n -> go (off + n)
+    in
+    go 0
+  end
+
+(* Idempotent: [open_] is the single source of truth, so a second close
+   (e.g. read error then sweep at shutdown) never double-closes an fd
+   that may have been reused meanwhile. *)
 let close_conn conn =
-  if conn.open_ || true then ( try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  conn.open_ <- false
+  if conn.open_ then begin
+    conn.open_ <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
 
 let oversized_error =
   Protocol.render (Protocol.Error_ { reason = "line too long: discarded" })
 
-let deliver conns responses =
+let deliver ?io ?on_error conns responses =
   List.iter
     (fun (client, response) ->
       match List.find_opt (fun c -> c.id = client && c.open_) conns with
-      | Some conn -> write_all conn (Protocol.render response)
+      | Some conn -> write_all ?io ?on_error conn (Protocol.render response)
       | None -> ())
     responses
 
@@ -85,7 +145,7 @@ let bind_socket transport =
       Unix.bind fd (Unix.ADDR_INET (addr, port));
       fd
 
-let serve ~daemon transport =
+let serve ~daemon ?(io = Io.default) transport =
   ignore_sigpipe ();
   match bind_socket transport with
   | exception Unix.Unix_error (err, _, _) ->
@@ -93,6 +153,7 @@ let serve ~daemon transport =
   | listen_fd -> (
       Unix.listen listen_fd 16;
       let max_line = Daemon.max_line daemon in
+      let note kind = Daemon.note_io_error daemon ~kind in
       let conns = ref [] and next_id = ref 1 and running = ref true in
       let chunk = Bytes.create 4096 in
       (try
@@ -104,16 +165,22 @@ let serve ~daemon transport =
                (* new connection *)
                (if List.mem listen_fd readable then
                   match Unix.accept listen_fd with
-                  | exception Unix.Unix_error _ -> ()
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  | exception Unix.Unix_error _ -> note "accept"
                   | fd, _ ->
                       let conn = { fd; id = !next_id; lines = Lines.create (); open_ = true } in
                       incr next_id;
                       conns := !conns @ [ conn ]);
                List.iter
                  (fun conn ->
-                   if !running && List.mem conn.fd readable then
-                     match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-                     | exception Unix.Unix_error _ -> close_conn conn
+                   if !running && conn.open_ && List.mem conn.fd readable then
+                     match io.Io.read conn.fd chunk 0 (Bytes.length chunk) with
+                     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                         (* interrupted, not gone: retry next round *)
+                         ()
+                     | exception Unix.Unix_error (err, _, _) ->
+                         note (io_kind ~fallback:"read" err);
+                         close_conn conn
                      | 0 -> close_conn conn
                      | n ->
                          let lines, dropped =
@@ -121,7 +188,7 @@ let serve ~daemon transport =
                          in
                          Daemon.note_oversized daemon dropped;
                          for _ = 1 to dropped do
-                           write_all conn oversized_error
+                           write_all ~io ~on_error:note conn oversized_error
                          done;
                          List.iter
                            (fun line ->
@@ -129,7 +196,7 @@ let serve ~daemon transport =
                                let responses, verdict =
                                  Daemon.handle_line daemon ~client:conn.id line
                                in
-                               deliver !conns responses;
+                               deliver ~io ~on_error:note !conns responses;
                                match verdict with
                                | `Continue -> ()
                                | `Stop -> running := false
@@ -173,48 +240,55 @@ let connect_socket transport =
       Unix.connect fd (Unix.ADDR_INET (addr, port));
       fd
 
-(* Pump stdin lines to the server and stream responses back until the
-   server closes. Input and output are multiplexed with select so a
-   response-heavy server can't deadlock a write-heavy client. *)
+(* Pump channel lines to a connected fd and stream responses back until
+   the peer closes. Input and output are multiplexed with select so a
+   response-heavy server can't deadlock a write-heavy client. EINTR on
+   either direction is retried; a real error closes the fd and comes
+   back typed. Factored out of [client] so tests can drive it over a
+   socketpair, with or without an injected faulty [io]. *)
+let pump ?(io = Io.default) fd ic oc =
+  let chunk = Bytes.create 4096 in
+  let input_open = ref true and server_open = ref true in
+  try
+    while !server_open do
+      (* send one pending line, then poll the socket; stdin here is
+         a channel (possibly a file), so reads never block long *)
+      if !input_open then begin
+        match input_line ic with
+        | exception End_of_file ->
+            input_open := false;
+            (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+        | line ->
+            let data = line ^ "\n" in
+            let len = String.length data in
+            let rec go off =
+              if off < len then
+                match io.Io.write fd data off (len - off) with
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+                | n -> go (off + n)
+            in
+            go 0
+      end;
+      let timeout = if !input_open then 0.01 else 1.0 in
+      match Unix.select [ fd ] [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+          match io.Io.read fd chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | 0 -> server_open := false
+          | n -> output_string oc (Bytes.sub_string chunk 0 n))
+    done;
+    flush oc;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Ok ()
+  with Unix.Unix_error (err, fn, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "socket error in %s: %s" fn (Unix.error_message err))
+
 let client transport ic oc =
   ignore_sigpipe ();
   match connect_socket transport with
   | exception Unix.Unix_error (err, _, _) ->
       Error (Printf.sprintf "cannot connect: %s" (Unix.error_message err))
-  | fd ->
-      let chunk = Bytes.create 4096 in
-      let input_open = ref true and server_open = ref true in
-      (try
-         while !server_open do
-           (* send one pending line, then poll the socket; stdin here is
-              a channel (possibly a file), so reads never block long *)
-           if !input_open then begin
-             match input_line ic with
-             | exception End_of_file ->
-                 input_open := false;
-                 (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
-             | line ->
-                 let data = line ^ "\n" in
-                 let len = String.length data in
-                 let rec go off =
-                   if off < len then
-                     let n = Unix.write_substring fd data off (len - off) in
-                     go (off + n)
-                 in
-                 go 0
-           end;
-           let timeout = if !input_open then 0.01 else 1.0 in
-           match Unix.select [ fd ] [] [] timeout with
-           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-           | [], _, _ -> ()
-           | _ -> (
-               match Unix.read fd chunk 0 (Bytes.length chunk) with
-               | 0 -> server_open := false
-               | n -> output_string oc (Bytes.sub_string chunk 0 n))
-         done;
-         flush oc;
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         Ok ()
-       with Unix.Unix_error (err, fn, _) ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         Error (Printf.sprintf "socket error in %s: %s" fn (Unix.error_message err)))
+  | fd -> pump fd ic oc

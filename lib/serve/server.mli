@@ -37,15 +37,62 @@ module Lines : sig
       buffered for the next feed. *)
 end
 
-val serve : daemon:Daemon.t -> transport -> (unit, string) result
+(** The pluggable byte layer under every socket read and write —
+    plain [Unix] calls by default, seeded fault injection for the
+    chaos tests. The injected faults exercise exactly the paths a
+    hostile network does: [EINTR] must be retried (never treated as a
+    peer loss), short writes must resume where they stopped, [EPIPE]
+    and mid-line disconnects must drop only that peer, and dribbled
+    reads must reassemble into whole lines. *)
+module Io : sig
+  type t = {
+    read : Unix.file_descr -> bytes -> int -> int -> int;
+    write : Unix.file_descr -> string -> int -> int -> int;
+  }
+
+  val default : t
+  (** [Unix.read] / [Unix.write_substring], no faults. *)
+
+  (** Independent per-call fault probabilities, each in [\[0, 1\]]. *)
+  type faults = {
+    partial_write : float;  (** write only half the requested bytes *)
+    eintr : float;  (** raise [EINTR] instead of transferring *)
+    epipe : float;  (** raise [EPIPE] on write *)
+    dribble : float;  (** read one byte at a time (slow-loris) *)
+    disconnect : float;  (** read 0 — peer gone mid-line *)
+  }
+
+  val no_faults : faults
+  (** All probabilities zero — behaves like {!default}. *)
+
+  val faulty : rng:Stratrec_util.Rng.t -> faults -> t
+  (** Wrap the default calls with seeded fault injection; the same
+      seed replays the same fault schedule. *)
+end
+
+val serve : daemon:Daemon.t -> ?io:Io.t -> transport -> (unit, string) result
 (** Bind, accept and serve until a [shutdown] command stops the daemon
     (or a fatal socket error). All pending requests are answered before
     the listener closes. Errors are I/O-level only — protocol problems
-    never end the loop. *)
+    never end the loop. Absorbed transport faults (accept failures,
+    [EPIPE]/[ECONNRESET], read/write errors, oversized-line drops) are
+    counted through {!Daemon.note_io_error} as
+    [serve.io_errors_total{kind}]. [io] (default {!Io.default})
+    replaces the byte layer — the chaos tests inject {!Io.faulty}
+    here. *)
 
 val run_stdio : daemon:Daemon.t -> in_channel -> out_channel -> unit
 (** Feed lines from the channel to the daemon (single client 0) until
     EOF or shutdown, writing responses back flushed per line. *)
+
+val pump :
+  ?io:Io.t -> Unix.file_descr -> in_channel -> out_channel -> (unit, string) result
+(** The client's line pump over an already-connected [fd]: send every
+    line from the channel, stream everything received to [out_channel],
+    until the peer closes. Retries [EINTR] on both directions and
+    resumes partial writes; closes [fd] before returning either way.
+    Exposed so tests can drive it over a socketpair with a faulty
+    [io]. *)
 
 val client : transport -> in_channel -> out_channel -> (unit, string) result
 (** Connect, pump every line from the channel to the server, and copy

@@ -103,14 +103,23 @@ epoch fill all appear under serve_*.
   >   | stratrec-serve --stdio --epoch-requests 8 \
   >   | grep -E '^(serve_[a-z_]+_total |serve_queue_depth |# EOF)'
   serve_accepted_total 2
+  serve_brownout_escalations_total 0
+  serve_brownout_recoveries_total 0
+  serve_drain_forced_total 0
+  serve_drains_total 0
   serve_epoch_requests_total 2
   serve_epochs_total 1
+  serve_io_errors_total 0
   serve_oversized_lines_total 0
   serve_protocol_errors_total 0
   serve_queue_depth 0
   serve_rejected_deadline_total 0
   serve_rejected_duplicate_total 0
   serve_rejected_queue_full_total 0
+  serve_rejected_quota_total 0
+  serve_shed_low_priority_total 0
+  serve_shed_over_share_total 0
+  serve_shed_total 0
   serve_submits_total 2
   # EOF
 
@@ -132,7 +141,7 @@ path, not a connection drop.
 
   $ printf '%s\n' 'GET health' 'GET /nope' '{"op":"shutdown"}' \
   >   | stratrec-serve --stdio
-  {"ok":true,"status":"health","state":"ready","reasons":[],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":0}
+  {"ok":true,"status":"health","state":"ready","reasons":[],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":0,"brownout_rung":0,"draining":false,"io_errors":0}
   {"ok":false,"status":"unknown-endpoint","path":"/nope"}
   {"ok":true,"status":"shutting-down"}
 
@@ -160,5 +169,90 @@ reason.
   >   | grep -vE '"status":"(accepted|ticked|epoch-closed)"'
   {"ok":true,"status":"slo","slos":[{"slo":"api","burning":false,"fast_burn_rate":0,"slow_burn_rate":0,"budget_remaining":1},{"slo":"deploy","burning":false,"fast_burn_rate":0,"slow_burn_rate":0,"budget_remaining":1}]}
   {"ok":false,"status":"deadline-expired","id":1,"waited_seconds":...}
-  {"ok":true,"status":"health","state":"degraded","reasons":["slo-burning:api"],"queue_depth":0,"queue_capacity":64,"slo_burning":1,"epochs":0}
+  {"ok":true,"status":"health","state":"degraded","reasons":["slo-burning:api"],"queue_depth":0,"queue_capacity":64,"slo_burning":1,"epochs":0,"brownout_rung":0,"draining":false,"io_errors":0}
+  {"ok":true,"status":"shutting-down"}
+
+--quota bounds one tenant's share of the queue independently of the
+global capacity (repeatable; weight=, max-queued=, max-in-flight=).
+A tenant at its max-queued cap gets a typed quota-exceeded rejection
+while other tenants keep being admitted.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"tenant":"acme"}' \
+  >   '{"op":"submit","id":2,"params":"0.9,0.2,0.3","k":2,"tenant":"acme"}' \
+  >   '{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2,"tenant":"beta"}' \
+  >   '{"op":"flush"}' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 --quota 'tenant=acme;max-queued=1' \
+  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../; s/("lineage":)\{[^}]*\}/\1.../'
+  {"ok":true,"status":"accepted","id":1,"tenant":"acme","queue_depth":1}
+  {"ok":false,"status":"quota-exceeded","id":2,"tenant":"acme","queued":1,"limit":1}
+  {"ok":true,"status":"accepted","id":3,"tenant":"beta","queue_depth":2}
+  {"ok":true,"status":"completed","id":1,"tenant":"acme","epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
+  {"ok":true,"status":"completed","id":3,"tenant":"beta","epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
+  {"ok":true,"status":"epoch-closed","epoch":1,"admitted":2,"expired":0}
+  {"ok":true,"status":"shutting-down"}
+
+The drain verb answers everything still queued within --drain-timeout,
+reports a summary, and leaves the daemon refusing new work while
+health and metrics stay scrapeable. Submits after a drain get a typed
+draining response, and GET health names the state.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":2,"params":"0.6,0.6,0.6","k":2}' \
+  >   '{"op":"drain"}' \
+  >   '{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2}' \
+  >   'GET health' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >   | sed -E 's/("alternative":)"[^"]*"/\1.../; s/("distance":)[0-9.e-]+/\1.../; s/("lineage":)\{[^}]*\}/\1.../'
+  {"ok":true,"status":"accepted","id":1,"queue_depth":1}
+  {"ok":true,"status":"accepted","id":2,"queue_depth":2}
+  {"ok":true,"status":"completed","id":1,"epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
+  {"ok":true,"status":"completed","id":2,"epoch":1,"outcome":"alternative","alternative":...,"distance":...,"lineage":...}
+  {"ok":true,"status":"epoch-closed","epoch":1,"admitted":2,"expired":0}
+  {"ok":true,"status":"drained","answered":2,"expired":0,"forced":0,"epochs":1}
+  {"ok":false,"status":"draining","id":3}
+  {"ok":true,"status":"health","state":"degraded","reasons":["draining"],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":1,"brownout_rung":0,"draining":true,"io_errors":0}
+  {"ok":true,"status":"shutting-down"}
+
+A zero drain budget skips straight to the force-close: every queued
+request is still answered — with a typed drain-expired response — and
+the summary counts it as forced. Nothing ever leaks.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":9,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"drain"}' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 --drain-timeout 0 \
+  >   | sed -E 's/("waited_seconds":)[0-9.e+-]+/\1.../'
+  {"ok":true,"status":"accepted","id":9,"queue_depth":1}
+  {"ok":false,"status":"drain-expired","id":9,"waited_seconds":...}
+  {"ok":true,"status":"drained","answered":0,"expired":0,"forced":1,"epochs":0}
+  {"ok":true,"status":"shutting-down"}
+
+Under sustained saturation the brownout ladder walks one rung per
+handled line (queue at --brownout-saturation of capacity escalates;
+an emptied queue recovers with hysteresis). At rung 3 the daemon
+sheds over-share submits with typed overloaded responses instead of
+queueing them, and GET health binds the rung as a degraded reason.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":2,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":4,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":5,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":6,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":7,"params":"0.9,0.2,0.3","k":2}' \
+  >   'GET health' \
+  >   '{"op":"flush"}' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --queue-capacity 4 --epoch-requests 8 \
+  >   | grep -vE '"status":"(accepted|completed|epoch-closed)"'
+  {"ok":false,"status":"queue-full","id":5,"queue_depth":4}
+  {"ok":false,"status":"queue-full","id":6,"queue_depth":4}
+  {"ok":false,"status":"overloaded","id":7,"rung":3,"reason":"over-share"}
+  {"ok":true,"status":"health","state":"degraded","reasons":["queue-full","brownout-rung:3"],"queue_depth":4,"queue_capacity":4,"slo_burning":0,"epochs":0,"brownout_rung":3,"draining":false,"io_errors":0}
   {"ok":true,"status":"shutting-down"}

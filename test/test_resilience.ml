@@ -316,6 +316,89 @@ let test_replicate_threads_ledger_and_metrics () =
   Alcotest.(check int) "every payment recorded" hired
     (List.length (Sim.Ledger.payments ledger))
 
+(* Brownout: the serving-side load-shedding ladder — a pure hysteresis
+   state machine over queue saturation and window p99. *)
+
+module Brownout = Res.Brownout
+
+let ladder ?(config = Brownout.default) () =
+  match Brownout.create config with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "create failed: %s" m
+
+let test_brownout_validate () =
+  Alcotest.(check bool) "default validates" true (Brownout.validate Brownout.default = Ok ());
+  let rejects config =
+    match Brownout.validate config with
+    | Error m -> Alcotest.(check bool) "error named" true (String.length m > 0)
+    | Ok () -> Alcotest.fail "expected a validation error"
+  in
+  rejects { Brownout.default with saturation_high = 0. };
+  rejects { Brownout.default with saturation_high = 1.5 };
+  rejects { Brownout.default with saturation_low = 0.9 };
+  rejects { Brownout.default with saturation_low = -0.1 };
+  rejects { Brownout.default with p99_high = -1. };
+  rejects { Brownout.default with p99_high = 1.; p99_low = 1. };
+  rejects { Brownout.default with rungs = 0 };
+  match Brownout.create { Brownout.default with rungs = 0 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "create must validate"
+
+let test_brownout_escalates_one_rung_per_evaluate () =
+  let t = ladder () in
+  Alcotest.(check int) "starts at normal service" 0 (Brownout.rung t);
+  (match Brownout.evaluate t ~saturation:0.9 ~p99:0. with
+  | Brownout.Escalated { from_; to_; reason } ->
+      Alcotest.(check int) "from 0" 0 from_;
+      Alcotest.(check int) "to 1" 1 to_;
+      Alcotest.(check string) "saturation named" "queue-saturation" reason
+  | _ -> Alcotest.fail "expected escalation");
+  ignore (Brownout.evaluate t ~saturation:1.0 ~p99:0.);
+  ignore (Brownout.evaluate t ~saturation:1.0 ~p99:0.);
+  Alcotest.(check int) "one rung per evaluate, up to the cap" 3 (Brownout.rung t);
+  (match Brownout.evaluate t ~saturation:1.0 ~p99:0. with
+  | Brownout.Steady -> ()
+  | _ -> Alcotest.fail "at the top rung, sustained pressure is steady");
+  Alcotest.(check int) "capped at rungs" 3 (Brownout.rung t)
+
+let test_brownout_hysteresis () =
+  let t = ladder () in
+  ignore (Brownout.evaluate t ~saturation:0.9 ~p99:0.);
+  Alcotest.(check int) "escalated" 1 (Brownout.rung t);
+  (* the dead zone between low and high moves nothing, either way *)
+  (match Brownout.evaluate t ~saturation:0.7 ~p99:0. with
+  | Brownout.Steady -> ()
+  | _ -> Alcotest.fail "mid-zone pressure must not move the ladder");
+  Alcotest.(check int) "held" 1 (Brownout.rung t);
+  (match Brownout.evaluate t ~saturation:0.4 ~p99:0. with
+  | Brownout.Recovered { from_; to_ } ->
+      Alcotest.(check int) "from 1" 1 from_;
+      Alcotest.(check int) "to 0" 0 to_
+  | _ -> Alcotest.fail "expected recovery");
+  match Brownout.evaluate t ~saturation:0.0 ~p99:0. with
+  | Brownout.Steady -> Alcotest.(check int) "floor is rung 0" 0 (Brownout.rung t)
+  | _ -> Alcotest.fail "rung 0 with no pressure is steady"
+
+let test_brownout_p99_signal () =
+  let config =
+    { Brownout.default with p99_high = 2.; p99_low = 0.5 }
+  in
+  let t = ladder ~config () in
+  (match Brownout.evaluate t ~saturation:0.1 ~p99:3. with
+  | Brownout.Escalated { reason; _ } ->
+      Alcotest.(check string) "latency named" "window-p99" reason
+  | _ -> Alcotest.fail "expected a p99 escalation");
+  (* recovery needs every enabled signal back below its low threshold *)
+  (match Brownout.evaluate t ~saturation:0.1 ~p99:1. with
+  | Brownout.Steady -> ()
+  | _ -> Alcotest.fail "p99 above its low threshold must hold the rung");
+  (match Brownout.evaluate t ~saturation:0.6 ~p99:0.1 with
+  | Brownout.Steady -> ()
+  | _ -> Alcotest.fail "saturation above its low threshold must hold the rung");
+  match Brownout.evaluate t ~saturation:0.1 ~p99:0.1 with
+  | Brownout.Recovered _ -> Alcotest.(check int) "recovered" 0 (Brownout.rung t)
+  | _ -> Alcotest.fail "expected recovery once both signals clear"
+
 let () =
   Alcotest.run "resilience"
     [
@@ -345,6 +428,14 @@ let () =
         [
           Alcotest.test_case "validate" `Quick test_degrade_validate;
           Alcotest.test_case "with_retries" `Quick test_with_retries;
+        ] );
+      ( "brownout",
+        [
+          Alcotest.test_case "validate" `Quick test_brownout_validate;
+          Alcotest.test_case "escalates one rung per evaluate" `Quick
+            test_brownout_escalates_one_rung_per_evaluate;
+          Alcotest.test_case "hysteresis dead zone" `Quick test_brownout_hysteresis;
+          Alcotest.test_case "p99 signal and joint recovery" `Quick test_brownout_p99_signal;
         ] );
       ( "injection",
         [

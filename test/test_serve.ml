@@ -14,15 +14,16 @@ module Model = Stratrec_model
 module Obs = Stratrec_obs
 module Snapshot = Obs.Snapshot
 module Json = Stratrec_util.Json
+module Tq = QCheck_alcotest
 
 (* Admission queue *)
 
 let test_admission_fairness () =
-  let q = Admission.create ~capacity:10 in
+  let q = Admission.create ~capacity:10 () in
   let offer tenant item =
     match Admission.offer q ~now:0. ~tenant item with
     | Ok () -> ()
-    | Error `Queue_full -> Alcotest.fail "unexpected queue-full"
+    | Error _ -> Alcotest.fail "unexpected rejection"
   in
   (* tenant a floods first; b and c trickle in after *)
   List.iter (offer "a") [ "a1"; "a2"; "a3"; "a4" ];
@@ -42,7 +43,7 @@ let test_admission_fairness () =
   Alcotest.(check int) "empty" 0 (Admission.length q)
 
 let test_admission_backpressure () =
-  let q = Admission.create ~capacity:2 in
+  let q = Admission.create ~capacity:2 () in
   let offer item = Admission.offer q ~now:0. ~tenant:"t" item in
   Alcotest.(check bool) "first fits" true (offer "x" = Ok ());
   Alcotest.(check bool) "second fits" true (offer "y" = Ok ());
@@ -50,11 +51,11 @@ let test_admission_backpressure () =
   Alcotest.(check int) "bound holds" 2 (Admission.length q);
   Alcotest.check_raises "capacity validated"
     (Invalid_argument "Admission.create: capacity must be >= 1 (got 0)") (fun () ->
-      ignore (Admission.create ~capacity:0))
+      ignore (Admission.create ~capacity:0 ()))
 
 let test_admission_deadlines () =
-  let q = Admission.create ~capacity:10 in
-  let ok = function Ok () -> () | Error `Queue_full -> Alcotest.fail "queue-full" in
+  let q = Admission.create ~capacity:10 () in
+  let ok = function Ok () -> () | Error _ -> Alcotest.fail "unexpected rejection" in
   ok (Admission.offer q ~now:0. ~tenant:"t" ~deadline_hours:1. "tight");
   ok (Admission.offer q ~now:0. ~tenant:"t" ~deadline_hours:10. "slack");
   ok (Admission.offer q ~now:0. ~tenant:"t" "patient");
@@ -80,17 +81,128 @@ let test_admission_deadlines () =
       ignore (Admission.offer q ~now:0. ~tenant:"t" ~deadline_hours:0. "bad"))
 
 let test_admission_expire_only () =
-  let q = Admission.create ~capacity:4 in
+  let q = Admission.create ~capacity:4 () in
   (match Admission.offer q ~now:0. ~tenant:"t" ~deadline_hours:1. "dead" with
   | Ok () -> ()
-  | Error `Queue_full -> Alcotest.fail "queue-full");
+  | Error _ -> Alcotest.fail "unexpected rejection");
   (match Admission.offer q ~now:0. ~tenant:"t" "alive" with
   | Ok () -> ()
-  | Error `Queue_full -> Alcotest.fail "queue-full");
+  | Error _ -> Alcotest.fail "unexpected rejection");
   let dead = Admission.expire q ~now:36000. in
   Alcotest.(check (list string)) "only the expired leave" [ "dead" ]
     (List.map (fun a -> a.Admission.item) dead);
   Alcotest.(check int) "live stay queued" 1 (Admission.length q)
+
+let test_admission_weighted_fairness () =
+  (* weight 2 takes two items per DRR pass, weight 1 takes one *)
+  let q =
+    Admission.create ~capacity:10
+      ~quotas:[ ("a", { Admission.default_quota with weight = 2. }) ]
+      ()
+  in
+  let offer tenant item =
+    match Admission.offer q ~now:0. ~tenant item with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "unexpected rejection"
+  in
+  List.iter (offer "a") [ "a1"; "a2"; "a3"; "a4" ];
+  List.iter (offer "b") [ "b1"; "b2" ];
+  let live, _ = Admission.drain q ~now:1. ~max:6 in
+  Alcotest.(check (list string))
+    "weight-2 tenant drains twice per pass"
+    [ "a1"; "a2"; "b1"; "a3"; "a4"; "b2" ]
+    (List.map (fun a -> a.Admission.item) live);
+  Alcotest.(check int) "drained to empty" 0 (Admission.length q)
+
+let test_admission_quota_caps () =
+  (* max_queued bounds one tenant's waiting share without touching the
+     shared capacity; max_in_flight caps its take per drain, keeping
+     the surplus queued for the next epoch. *)
+  let q =
+    Admission.create ~capacity:10
+      ~quotas:
+        [
+          ("a", { Admission.default_quota with max_queued = Some 2 });
+          ("b", { Admission.default_quota with max_in_flight = Some 1 });
+        ]
+      ()
+  in
+  let ok tenant item =
+    match Admission.offer q ~now:0. ~tenant item with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "unexpected rejection"
+  in
+  ok "a" "a1";
+  ok "a" "a2";
+  (match Admission.offer q ~now:0. ~tenant:"a" "a3" with
+  | Error (`Quota_exceeded (queued, limit)) ->
+      Alcotest.(check int) "depth reported" 2 queued;
+      Alcotest.(check int) "limit reported" 2 limit
+  | _ -> Alcotest.fail "expected quota rejection");
+  Alcotest.(check int) "tenant depth tracked" 2 (Admission.tenant_depth q ~tenant:"a");
+  ok "b" "b1";
+  ok "b" "b2";
+  let live, _ = Admission.drain q ~now:1. ~max:10 in
+  Alcotest.(check (list string))
+    "in-flight-capped tenant keeps its surplus queued"
+    [ "a1"; "b1"; "a2" ]
+    (List.map (fun a -> a.Admission.item) live);
+  (* the cap is per drain: the surplus rejoins the next rotation *)
+  let live, _ = Admission.drain q ~now:2. ~max:10 in
+  Alcotest.(check (list string))
+    "surplus drains next epoch" [ "b2" ]
+    (List.map (fun a -> a.Admission.item) live);
+  (* the drained tenant is free to queue again *)
+  ok "a" "a4";
+  Alcotest.(check int) "cap released after drain" 1 (Admission.length q)
+
+let test_admission_quota_codec () =
+  (match Admission.quota_of_string "tenant=acme;weight=2;max-queued=16;max-in-flight=4" with
+  | Ok (tenant, q) ->
+      Alcotest.(check string) "tenant" "acme" tenant;
+      Alcotest.(check (float 0.)) "weight" 2. q.Admission.weight;
+      Alcotest.(check (option int)) "max-queued" (Some 16) q.Admission.max_queued;
+      Alcotest.(check (option int)) "max-in-flight" (Some 4) q.Admission.max_in_flight;
+      Alcotest.(check string)
+        "round-trips" "tenant=acme;weight=2;max-queued=16;max-in-flight=4"
+        (Admission.quota_to_string (tenant, q))
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Admission.quota_of_string "tenant=t" with
+  | Ok (_, q) ->
+      Alcotest.(check (float 0.)) "weight defaults to 1" 1. q.Admission.weight;
+      Alcotest.(check (option int)) "no queued cap" None q.Admission.max_queued
+  | Error e -> Alcotest.failf "minimal spelling failed: %s" e);
+  let rejects s =
+    match Admission.quota_of_string s with
+    | Error m -> Alcotest.(check bool) "error named" true (String.length m > 0)
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+  in
+  rejects "weight=2";
+  rejects "tenant=a;weight=0";
+  rejects "tenant=a;weight=inf";
+  rejects "tenant=a;max-queued=0";
+  rejects "tenant=a;max-in-flight=nope";
+  rejects "tenant=a;frobnicate=1";
+  rejects "tenant=a;weight"
+
+let test_admission_evict_all () =
+  let q = Admission.create ~capacity:10 () in
+  let ok ?deadline_hours now tenant item =
+    match Admission.offer q ~now ~tenant ?deadline_hours item with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "unexpected rejection"
+  in
+  ok 0. "a" "a1";
+  ok 1. "b" "b1";
+  ok ~deadline_hours:0.0001 2. "a" "a2";
+  let evicted = Admission.evict_all q ~now:10. in
+  Alcotest.(check (list string))
+    "everything leaves in enqueue order, live or not"
+    [ "a1"; "b1"; "a2" ]
+    (List.map (fun a -> a.Admission.item) evicted);
+  Alcotest.(check int) "queue empty afterwards" 0 (Admission.length q);
+  let live, _ = Admission.drain q ~now:11. ~max:10 in
+  Alcotest.(check int) "nothing left to drain" 0 (List.length live)
 
 (* Protocol *)
 
@@ -168,9 +280,22 @@ let fixed_clock = ref 1000.
 
 let make_daemon ?(engine = Engine.default_config) ?(queue_capacity = 16)
     ?(epoch_requests = 8) ?(max_line = Protocol.default_max_line) ?(window_seconds = 60.)
-    ?(slos = []) () =
+    ?(slos = []) ?(quotas = []) ?(brownout = Daemon.default_config.Daemon.brownout)
+    ?(drain_timeout_seconds = 30.) () =
   let availability, strategies, _ = paper_inputs () in
-  let config = { Daemon.engine; queue_capacity; epoch_requests; max_line; window_seconds; slos } in
+  let config =
+    {
+      Daemon.engine;
+      queue_capacity;
+      epoch_requests;
+      max_line;
+      window_seconds;
+      slos;
+      quotas;
+      brownout;
+      drain_timeout_seconds;
+    }
+  in
   match
     Daemon.create ~clock:(fun () -> !fixed_clock) ~config ~availability ~strategies ()
   with
@@ -348,7 +473,7 @@ let test_protocol_endpoints () =
     (String.trim (Protocol.render (Protocol.Unknown_endpoint { path = "/metrics/extra" })));
   Alcotest.(check string)
     "health shape"
-    {|{"ok":true,"status":"health","state":"degraded","reasons":["queue-saturated"],"breaker":"closed","queue_depth":4,"queue_capacity":5,"slo_burning":0,"epochs":2}|}
+    {|{"ok":true,"status":"health","state":"degraded","reasons":["queue-saturated"],"breaker":"closed","queue_depth":4,"queue_capacity":5,"slo_burning":0,"epochs":2,"brownout_rung":0,"draining":false,"io_errors":0}|}
     (String.trim
        (Protocol.render
           (Protocol.Health_status
@@ -360,6 +485,9 @@ let test_protocol_endpoints () =
                queue_capacity = 5;
                slo_burning = 0;
                epochs = 2;
+               brownout_rung = 0;
+               draining = false;
+               io_errors = 0;
              })));
   Alcotest.(check string)
     "slo report shape"
@@ -465,7 +593,10 @@ let test_daemon_health_and_slo () =
     (statuses (drive daemon2 submits));
   let state, reasons, _ = health daemon2 in
   Alcotest.(check string) "full queue degrades health" "degraded" state;
-  Alcotest.(check (list string)) "binding reason" [ "queue-full" ] reasons
+  Alcotest.(check (list string))
+    "binding reasons (saturation also walked the brownout ladder)"
+    [ "queue-full"; "brownout-rung:1" ]
+    reasons
 
 (* The scrape carries the new observability surfaces: sliding-window
    gauges, SLO burn gauges and the oversized-line counter. *)
@@ -515,6 +646,399 @@ let test_lines_guard_and_counter () =
   Daemon.note_oversized daemon 3;
   Alcotest.(check int) "transport drops counted" 3
     (Snapshot.counter_value (Daemon.metrics daemon) "serve.oversized_lines_total")
+
+(* Per-tenant quotas over handle_line: a tenant at its max-queued cap
+   gets a typed quota-exceeded rejection while the others keep being
+   admitted, and the reject is counted. *)
+let test_daemon_quota_rejection () =
+  fixed_clock := 1000.;
+  let daemon =
+    make_daemon ~epoch_requests:8
+      ~quotas:[ ("acme", { Admission.default_quota with max_queued = Some 1 }) ]
+      ()
+  in
+  let submit id tenant = submit_line ~tenant ~id ~params:(0.91, 0.58, 0.59) ~k:2 () in
+  let responses = drive daemon [ submit 1 "acme"; submit 2 "acme"; submit 3 "beta" ] in
+  Alcotest.(check (list string))
+    "capped tenant bounced, others admitted"
+    [ "accepted"; "quota-exceeded"; "accepted" ]
+    (statuses responses);
+  (match List.nth responses 1 with
+  | Protocol.Quota_exceeded { id; tenant; queued; limit } ->
+      Alcotest.(check int) "id echoed" 2 id;
+      Alcotest.(check string) "tenant named" "acme" tenant;
+      Alcotest.(check int) "depth reported" 1 queued;
+      Alcotest.(check int) "limit reported" 1 limit
+  | _ -> Alcotest.fail "expected a quota-exceeded response");
+  Alcotest.(check (list string))
+    "queued work unaffected"
+    [ "completed"; "completed"; "epoch-closed" ]
+    (statuses (drive daemon [ {|{"op":"flush"}|} ]));
+  Alcotest.(check int) "quota reject counted" 1
+    (Snapshot.counter_value (Daemon.metrics daemon) "serve.rejected_quota_total")
+
+(* The brownout ladder over handle_line: sustained saturation walks one
+   rung per handled line up to the cap; at rung 3 low-priority and
+   over-share submits are shed with typed overloaded responses; an
+   emptied queue walks the ladder back down, one rung per line. *)
+let test_daemon_brownout_ladder () =
+  fixed_clock := 1000.;
+  let daemon =
+    make_daemon ~queue_capacity:4 ~epoch_requests:8
+      ~quotas:[ ("low", { Admission.default_quota with weight = 0.5 }) ]
+      ()
+  in
+  let submit ?tenant id = submit_line ?tenant ~id ~params:(0.91, 0.58, 0.59) ~k:2 () in
+  Alcotest.(check (list string))
+    "queue saturates"
+    [ "accepted"; "accepted"; "accepted"; "accepted" ]
+    (statuses (drive daemon [ submit 1; submit 2; submit 3; submit 4 ]));
+  Alcotest.(check int) "one rung after the saturating line" 1 (Daemon.brownout_rung daemon);
+  ignore (drive daemon [ {|{"op":"ping"}|}; {|{"op":"ping"}|} ]);
+  Alcotest.(check int) "one rung per handled line, capped" 3 (Daemon.brownout_rung daemon);
+  (* rung 3: a default-weight tenant over its epoch share is shed *)
+  (match drive daemon [ submit 5 ] with
+  | [ Protocol.Overloaded { id; rung; reason; _ } ] ->
+      Alcotest.(check int) "id echoed" 5 id;
+      Alcotest.(check int) "rung reported" 3 rung;
+      Alcotest.(check string) "over-share named" "over-share" reason
+  | r -> Alcotest.failf "expected one overloaded response, got %s" (String.concat "," (statuses r)));
+  (* rung 3: a weight<1 tenant is shed outright *)
+  (match drive daemon [ submit ~tenant:"low" 6 ] with
+  | [ Protocol.Overloaded { reason; _ } ] ->
+      Alcotest.(check string) "low-priority named" "low-priority" reason
+  | r -> Alcotest.failf "expected one overloaded response, got %s" (String.concat "," (statuses r)));
+  let m = Daemon.metrics daemon in
+  Alcotest.(check int) "sheds counted" 2 (Snapshot.counter_value m "serve.shed_total");
+  Alcotest.(check int) "over-share counted" 1
+    (Snapshot.counter_value m "serve.shed.over_share_total");
+  Alcotest.(check int) "low-priority counted" 1
+    (Snapshot.counter_value m "serve.shed.low_priority_total");
+  Alcotest.(check int) "escalations counted" 3
+    (Snapshot.counter_value m "serve.brownout.escalations_total");
+  (* flush empties the queue; recovery walks back with hysteresis *)
+  Alcotest.(check (list string))
+    "queued work still completes under brownout"
+    [ "completed"; "completed"; "completed"; "completed"; "epoch-closed" ]
+    (statuses (drive daemon [ {|{"op":"flush"}|} ]));
+  Alcotest.(check int) "one rung down after the emptying line" 2 (Daemon.brownout_rung daemon);
+  ignore (drive daemon [ {|{"op":"ping"}|}; {|{"op":"ping"}|} ]);
+  Alcotest.(check int) "recovered to normal service" 0 (Daemon.brownout_rung daemon);
+  Alcotest.(check int) "recoveries counted" 3
+    (Snapshot.counter_value (Daemon.metrics daemon) "serve.brownout.recoveries_total");
+  (* back at rung 0: submits are admitted again *)
+  Alcotest.(check (list string))
+    "service restored" [ "accepted" ]
+    (statuses (drive daemon [ submit 7 ]))
+
+(* The drain verb: everything queued is answered within the budget, the
+   summary counts it, and the daemon refuses new work afterwards while
+   health stays scrapeable and names the state. *)
+let test_daemon_drain () =
+  fixed_clock := 1000.;
+  let daemon = make_daemon ~epoch_requests:8 () in
+  let submit id = submit_line ~id ~params:(0.91, 0.58, 0.59) ~k:2 () in
+  let responses = drive daemon [ submit 1; submit 2; {|{"op":"drain"}|} ] in
+  Alcotest.(check (list string))
+    "queued work answered, then the summary"
+    [ "accepted"; "accepted"; "completed"; "completed"; "epoch-closed"; "drained" ]
+    (statuses responses);
+  (match List.rev responses with
+  | Protocol.Drained { answered; expired; forced; epochs } :: _ ->
+      Alcotest.(check int) "answered counted" 2 answered;
+      Alcotest.(check int) "nothing expired" 0 expired;
+      Alcotest.(check int) "nothing forced" 0 forced;
+      Alcotest.(check int) "one epoch ran" 1 epochs
+  | _ -> Alcotest.fail "expected a drained summary");
+  Alcotest.(check bool) "draining state latched" true (Daemon.draining daemon);
+  Alcotest.(check (list string))
+    "submits after drain refused typed" [ "draining" ]
+    (statuses (drive daemon [ submit 3 ]));
+  (match Daemon.handle_line daemon ~client:0 "GET health" with
+  | [ (0, Protocol.Health_status { state; reasons; draining; _ }) ], `Continue ->
+      Alcotest.(check string) "degraded" "degraded" (Protocol.health_state_label state);
+      Alcotest.(check bool) "draining bound as a reason" true (List.mem "draining" reasons);
+      Alcotest.(check bool) "draining field" true draining
+  | _ -> Alcotest.fail "expected one health response");
+  Alcotest.(check (list string))
+    "shutdown still clean" [ "shutting-down" ]
+    (statuses (drive daemon [ {|{"op":"shutdown"}|} ]));
+  Alcotest.(check int) "no leaks" 0 (Daemon.queue_depth daemon)
+
+(* A zero drain budget skips straight to the force-close: every queued
+   request is answered with a typed drain-expired response. *)
+let test_daemon_drain_forced () =
+  fixed_clock := 1000.;
+  let daemon = make_daemon ~epoch_requests:8 ~drain_timeout_seconds:0. () in
+  let r1 = drive daemon [ submit_line ~id:9 ~params:(0.91, 0.58, 0.59) ~k:2 () ] in
+  Alcotest.(check (list string)) "queued" [ "accepted" ] (statuses r1);
+  fixed_clock := 1002.;
+  let responses = drive daemon [ {|{"op":"drain"}|} ] in
+  Alcotest.(check (list string))
+    "forced out typed, then the summary" [ "drain-expired"; "drained" ] (statuses responses);
+  (match responses with
+  | [ Protocol.Drain_expired { id; waited_seconds; _ }; Protocol.Drained { forced; epochs; _ } ] ->
+      Alcotest.(check int) "id echoed" 9 id;
+      Alcotest.(check (float 1e-9)) "wait on the fake clock" 2. waited_seconds;
+      Alcotest.(check int) "forced counted" 1 forced;
+      Alcotest.(check int) "no epochs ran" 0 epochs
+  | _ -> Alcotest.fail "expected drain-expired then drained");
+  Alcotest.(check int) "queue empty — nothing leaked" 0 (Daemon.queue_depth daemon);
+  Alcotest.(check int) "forced drain counted" 1
+    (Snapshot.counter_value (Daemon.metrics daemon) "serve.drain_forced_total")
+
+(* A 4x overload flood across three tenants (weights 2 / 1 / 0.5): the
+   daemon never raises, every submit is answered typed, accepted work
+   all completes, and the weighted fairness holds — the heavy tenant
+   completes at least as much as the default one, which completes at
+   least as much as the low-priority one, and nobody starves. *)
+let test_daemon_overload_flood () =
+  fixed_clock := 1000.;
+  let daemon =
+    make_daemon ~queue_capacity:8 ~epoch_requests:12
+      ~quotas:
+        [
+          ("heavy", { Admission.default_quota with weight = 2. });
+          ("low", { Admission.default_quota with weight = 0.5 });
+        ]
+      ()
+  in
+  let tenants = [ "heavy"; "beta"; "low" ] in
+  let rounds = 32 in
+  let lines =
+    List.concat
+      (List.init rounds (fun round ->
+           List.mapi
+             (fun i tenant ->
+               submit_line ~tenant ~id:((round * 3) + i + 1) ~params:(0.91, 0.58, 0.59)
+                 ~k:2 ())
+             tenants
+           @ (if (round + 1) mod 4 = 0 then [ {|{"op":"flush"}|} ] else [])))
+  in
+  let responses = drive daemon lines in
+  (* every response is one of the typed overload-era statuses *)
+  let allowed =
+    [ "accepted"; "queue-full"; "quota-exceeded"; "overloaded"; "completed"; "epoch-closed" ]
+  in
+  List.iter
+    (fun s ->
+      if not (List.mem s allowed) then Alcotest.failf "unexpected response status %S" s)
+    (statuses responses);
+  (* flush the tail until the queue is empty *)
+  let tail = ref [] in
+  while Daemon.queue_depth daemon > 0 do
+    tail := !tail @ drive daemon [ {|{"op":"flush"}|} ]
+  done;
+  let all = responses @ !tail in
+  let count pred = List.length (List.filter pred all) in
+  let accepted tenant =
+    count (function Protocol.Accepted { tenant = t; _ } -> t = tenant | _ -> false)
+  in
+  let completed tenant =
+    count (function Protocol.Completed { tenant = t; _ } -> t = tenant | _ -> false)
+  in
+  let rejected tenant =
+    count (function
+      | Protocol.Queue_full { tenant = t; _ }
+      | Protocol.Quota_exceeded { tenant = t; _ }
+      | Protocol.Overloaded { tenant = t; _ } -> t = tenant
+      | _ -> false)
+  in
+  List.iter
+    (fun tenant ->
+      Alcotest.(check int)
+        (tenant ^ ": every submit answered exactly once")
+        rounds
+        (accepted tenant + rejected tenant);
+      Alcotest.(check int)
+        (tenant ^ ": every accepted request completed")
+        (accepted tenant) (completed tenant);
+      Alcotest.(check bool) (tenant ^ ": not starved") true (completed tenant >= 1))
+    tenants;
+  Alcotest.(check bool) "weighted fairness: heavy >= beta" true
+    (completed "heavy" >= completed "beta");
+  Alcotest.(check bool) "weighted fairness: beta >= low" true
+    (completed "beta" >= completed "low");
+  Alcotest.(check bool) "brownout engaged during the flood" true
+    (Snapshot.counter_value (Daemon.metrics daemon) "serve.brownout.escalations_total" >= 1);
+  Alcotest.(check bool) "daemon survived" false (Daemon.stopped daemon);
+  Alcotest.(check int) "queue fully drained" 0 (Daemon.queue_depth daemon)
+
+(* The client line pump over a socketpair with injected transport
+   faults: partial writes, EINTR and slow-loris dribble on the pump's
+   side of the wire must not corrupt, reorder or drop a single line. *)
+let test_pump_under_faults () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let n = 50 in
+  let lines =
+    List.init n (fun i -> Printf.sprintf "line-%04d-%s" i (String.make (i mod 37) 'x'))
+  in
+  let tmp_in = Filename.temp_file "stratrec-pump" ".in" in
+  let tmp_out = Filename.temp_file "stratrec-pump" ".out" in
+  let ch = open_out tmp_in in
+  List.iter (fun l -> output_string ch (l ^ "\n")) lines;
+  close_out ch;
+  (* the peer echoes every byte back until the pump shuts down its send
+     side, then closes — so the pump sees its own lines as responses *)
+  let peer =
+    Domain.spawn (fun () ->
+        let buf = Bytes.create 512 in
+        let rec loop () =
+          match Unix.read b buf 0 (Bytes.length buf) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | 0 -> ()
+          | got ->
+              let rec wr off =
+                if off < got then
+                  match Unix.write b buf off (got - off) with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wr off
+                  | w -> wr (off + w)
+              in
+              wr 0;
+              loop ()
+        in
+        loop ();
+        (try Unix.shutdown b Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        Unix.close b)
+  in
+  let rng = Stratrec_util.Rng.create 2020 in
+  let io =
+    Serve.Server.Io.faulty ~rng
+      { Serve.Server.Io.no_faults with partial_write = 0.4; eintr = 0.3; dribble = 0.3 }
+  in
+  let ic = open_in tmp_in and oc = open_out tmp_out in
+  let result = Serve.Server.pump ~io a ic oc in
+  close_in ic;
+  close_out oc;
+  Domain.join peer;
+  (match result with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "pump failed under faults: %s" e);
+  let echoed = In_channel.with_open_text tmp_out In_channel.input_all in
+  Sys.remove tmp_in;
+  Sys.remove tmp_out;
+  Alcotest.(check string)
+    "every line arrived intact and in order"
+    (String.concat "" (List.map (fun l -> l ^ "\n") lines))
+    echoed
+
+(* The real select loop under injected transport faults: a flood of
+   submits (plus one oversized line) through a fault-ridden Io still
+   reaches the daemon, every response is typed JSON, shutdown lands,
+   nothing leaks, and the io-error accounting registered the abuse. *)
+let test_serve_socket_chaos () =
+  fixed_clock := 1000.;
+  let daemon = make_daemon ~queue_capacity:8 ~epoch_requests:4 () in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stratrec-chaos-%d.sock" (Unix.getpid ()))
+  in
+  let rng = Stratrec_util.Rng.create 7 in
+  let io =
+    Serve.Server.Io.faulty ~rng
+      { Serve.Server.Io.no_faults with partial_write = 0.3; eintr = 0.2; dribble = 0.2 }
+  in
+  let server =
+    Domain.spawn (fun () -> Serve.Server.serve ~daemon ~io (Serve.Server.Unix_socket path))
+  in
+  let rec connect_retry tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+        Unix.close fd;
+        Unix.sleepf 0.02;
+        connect_retry (tries - 1)
+  in
+  let fd = connect_retry 250 in
+  let send s =
+    let data = s ^ "\n" in
+    let len = String.length data in
+    let rec go off =
+      if off < len then
+        match Unix.write_substring fd data off (len - off) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | w -> go (off + w)
+    in
+    go 0
+  in
+  List.iter
+    (fun i -> send (submit_line ~id:i ~params:(0.91, 0.58, 0.59) ~k:2 ()))
+    (List.init 32 (fun i -> i + 1));
+  send (String.make (Protocol.default_max_line + 50) 'z');
+  send {|{"op":"flush"}|};
+  send {|{"op":"shutdown"}|};
+  let buf = Bytes.create 4096 in
+  let out = Buffer.create 4096 in
+  let rec read_all () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes out buf 0 n;
+        read_all ()
+  in
+  read_all ();
+  (match Domain.join server with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "serve failed under faults: %s" e);
+  Unix.close fd;
+  Alcotest.(check bool) "daemon stopped on shutdown" true (Daemon.stopped daemon);
+  Alcotest.(check int) "no leaked requests" 0 (Daemon.queue_depth daemon);
+  Alcotest.(check bool) "oversized line registered as an io error" true
+    (Daemon.io_error_count daemon >= 1);
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Buffer.contents out))
+  in
+  Alcotest.(check bool) "responses streamed back" true (List.length lines > 0);
+  List.iter
+    (fun l ->
+      match Json.of_string l with
+      | Ok json -> (
+          match Json.member "status" json with
+          | Some _ -> ()
+          | None -> Alcotest.failf "response without a status: %s" l)
+      | Error e -> Alcotest.failf "response is not JSON (%s): %S" e l)
+    lines
+
+(* Randomized protocol floods (pin with QCHECK_SEED for the chaos
+   gate): any mix of valid submits, flushes, ticks, reads and printable
+   garbage is always answered with at least one typed response, never
+   an exception, and never stops the daemon. *)
+let prop_daemon_flood_typed =
+  let line_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 3,
+            map
+              (fun id -> submit_line ~id:(id + 1) ~params:(0.91, 0.58, 0.59) ~k:2 ())
+              small_nat );
+          (1, return {|{"op":"flush"}|});
+          (1, return {|{"op":"tick","hours":1}|});
+          (1, return "GET health");
+          (1, return "GET metrics");
+          (2, string_size ~gen:printable small_nat);
+        ])
+  in
+  QCheck.Test.make ~count:100 ~name:"random protocol floods are always answered typed"
+    (QCheck.make
+       ~print:QCheck.Print.(list string)
+       QCheck.Gen.(list_size (int_bound 40) line_gen))
+    (fun lines ->
+      fixed_clock := 1000.;
+      let daemon = make_daemon ~queue_capacity:4 ~epoch_requests:2 () in
+      List.for_all
+        (fun line ->
+          match Daemon.handle_line daemon ~client:0 line with
+          | [], _ -> false
+          | _, `Stop -> false
+          | _, `Continue -> true)
+        lines
+      && not (Daemon.stopped daemon))
 
 (* Determinism: Engine.submit (single epoch) is bit-identical to
    Engine.run — decisions, counters, rendered aggregate — including
@@ -753,6 +1277,11 @@ let () =
             test_admission_backpressure;
           Alcotest.test_case "deadline expiry and budgets" `Quick test_admission_deadlines;
           Alcotest.test_case "expire-only sweep" `Quick test_admission_expire_only;
+          Alcotest.test_case "weighted deficit round-robin" `Quick
+            test_admission_weighted_fairness;
+          Alcotest.test_case "per-tenant quota caps" `Quick test_admission_quota_caps;
+          Alcotest.test_case "quota codec round-trip" `Quick test_admission_quota_codec;
+          Alcotest.test_case "evict-all force-close sweep" `Quick test_admission_evict_all;
         ] );
       ( "protocol",
         [
@@ -778,6 +1307,24 @@ let () =
             test_lines_guard_and_counter;
           Alcotest.test_case "epoch matches one-shot run" `Quick
             test_daemon_epoch_matches_run;
+          Alcotest.test_case "quota rejections typed and counted" `Quick
+            test_daemon_quota_rejection;
+          Alcotest.test_case "brownout ladder escalates, sheds, recovers" `Quick
+            test_daemon_brownout_ladder;
+          Alcotest.test_case "drain answers everything then refuses" `Quick
+            test_daemon_drain;
+          Alcotest.test_case "zero-budget drain force-closes typed" `Quick
+            test_daemon_drain_forced;
+          Alcotest.test_case "4x overload flood: typed, fair, no starvation" `Quick
+            test_daemon_overload_flood;
+          Tq.to_alcotest prop_daemon_flood_typed;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "pump survives partial writes/EINTR/dribble" `Quick
+            test_pump_under_faults;
+          Alcotest.test_case "select loop serves through injected faults" `Quick
+            test_serve_socket_chaos;
         ] );
       ( "engine session",
         [
