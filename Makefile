@@ -13,7 +13,7 @@ test:
 # One tiny traced iteration of every experiment: proves each bench still
 # executes end to end (non-zero exit fails the target) and that the trace
 # file is produced. Runs in seconds.
-BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation par chaos serve
+BENCH_EXPERIMENTS = example real-data fig14 fig15-16 fig17 fig18 ablation par cache chaos serve
 bench-smoke: build
 	@tmp=$$(mktemp -d) && \
 	trap 'rm -rf "$$tmp"' EXIT && \
@@ -68,6 +68,25 @@ par: build
 	diff "$$tmp/seq" "$$tmp/par" \
 	  || { echo "par: --domains 4 diverged from --domains 1"; exit 1; }
 	@echo "par: sequential/parallel outputs identical"
+
+# Cache gate: the triage-cache suite (LRU/invalidation units and the
+# cached = uncached engine bit-identity properties) under a pinned
+# QCheck seed, one smoke iteration of the cache bench experiment (its
+# internal fingerprint check is a second identity gate), and a
+# CLI-level byte-identity check: --cache on must change nothing in the
+# recommend output except the cache.* instruments themselves.
+cache: build
+	QCHECK_SEED=2020 dune exec test/test_cache.exe
+	dune exec bench/main.exe -- --smoke --only cache
+	@tmp=$$(mktemp -d) && \
+	trap 'rm -rf "$$tmp"' EXIT && \
+	dune exec bin/stratrec_cli.exe -- example --metrics --cache off \
+	  | awk '/counter/ && $$1 !~ /^cache\./ {print $$1, $$3}' > "$$tmp/off" && \
+	dune exec bin/stratrec_cli.exe -- example --metrics --cache on \
+	  | awk '/counter/ && $$1 !~ /^cache\./ {print $$1, $$3}' > "$$tmp/on" && \
+	diff "$$tmp/off" "$$tmp/on" \
+	  || { echo "cache: --cache on diverged from --cache off"; exit 1; }
+	@echo "cache: cached/uncached outputs identical"
 
 # Observability gate: the obs suite (windows, SLO burn rates, snapshot
 # and exposition round-trips) under a pinned QCheck seed so property
@@ -162,6 +181,7 @@ ci:
 	$(MAKE) bench-check
 	$(MAKE) chaos
 	$(MAKE) par
+	$(MAKE) cache
 	$(MAKE) obs
 	$(MAKE) serve-smoke
 	$(MAKE) serve-chaos

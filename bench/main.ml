@@ -28,6 +28,7 @@ let experiments =
     ("fig18", Exp_fig18.run);
     ("ablation", Exp_ablation.run);
     ("par", Exp_par.run);
+    ("cache", Exp_cache.run);
     ("chaos", Exp_chaos.run);
     ("serve", Exp_serve.run);
     ("bechamel", Bechamel_suite.run);

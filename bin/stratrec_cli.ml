@@ -137,12 +137,16 @@ let metrics_registry log =
 
 (* The engine config every run-producing subcommand starts from, built
    through the setter surface so new config fields can't break the CLI. *)
-let engine_config ~log ~deploy ~domains ~profile =
+let engine_config ~log ~deploy ~domains ~profile ~cache =
   let config =
     Engine.(
-      with_log
-        (with_profile (with_domains (with_deploy default_config deploy) domains) profile)
-        log)
+      with_cache
+        (with_log
+           (with_profile
+              (with_domains (with_deploy default_config deploy) domains)
+              profile)
+           log)
+        cache)
   in
   match metrics_registry log with
   | None -> config
@@ -177,6 +181,15 @@ let domains_arg =
      is bit-identical to $(docv)=1; only wall-clock time changes."
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc =
+    "Triage cache policy: $(b,off) (the default — one-shot runs rarely repeat shapes), \
+     $(b,on) (the default capacity) or a positive LRU capacity. Cache hits replay \
+     memoized BatchStrat rows and ADPaR results; the output is bit-identical to an \
+     uncached run (only cache.* metrics are added)."
+  in
+  Arg.(value & opt Stratrec_conv.cache None & info [ "cache" ] ~docv:"POLICY" ~doc)
 
 let trace_arg =
   let doc =
@@ -290,7 +303,7 @@ let emit_trace destination trace =
 
 let recommend verbose seed n m k w dist objective catalog show_metrics metrics_format
     metrics_out trace_dest log_dest profile deploy faults retries population capacity
-    window domains =
+    window domains cache =
   setup_logging verbose;
   with_log log_dest @@ fun log ->
   let rng = Rng.create seed in
@@ -300,7 +313,7 @@ let recommend verbose seed n m k w dist objective catalog show_metrics metrics_f
   let availability = Model.Availability.certain w in
   let config =
     Engine.with_aggregator
-      (engine_config ~log ~deploy ~domains ~profile)
+      (engine_config ~log ~deploy ~domains ~profile ~cache)
       {
         Stratrec.Aggregator.default_config with
         Stratrec.Aggregator.objective;
@@ -334,7 +347,7 @@ let recommend_cmd =
              $ w_arg $ dist_arg $ objective_arg $ catalog_arg $ metrics_arg
              $ metrics_format_arg $ metrics_out_arg $ trace_arg $ log_arg $ profile_arg
              $ deploy_arg $ faults_arg $ retries_arg $ population_arg $ capacity_arg
-             $ window_arg $ domains_arg))
+             $ window_arg $ domains_arg $ cache_arg))
 
 (* adpar *)
 
@@ -466,14 +479,14 @@ let simulate_cmd =
 (* example *)
 
 let example show_metrics metrics_format metrics_out trace_dest log_dest profile deploy
-    faults retries domains =
+    faults retries domains cache =
   with_log log_dest @@ fun log ->
   let rng = Rng.create 2020 in
   let* deploy =
     deploy_config ~rng ~deploy ~faults ~retries ~population:200 ~capacity:5
       ~window:Sim.Window.Weekend
   in
-  let config = engine_config ~log ~deploy ~domains ~profile in
+  let config = engine_config ~log ~deploy ~domains ~profile ~cache in
   let* report =
     Result.map_error engine_msg
       (Engine.run ~config ~rng
@@ -496,7 +509,7 @@ let example_cmd =
     Term.(term_result
             (const example $ metrics_arg $ metrics_format_arg $ metrics_out_arg
              $ trace_arg $ log_arg $ profile_arg $ deploy_arg $ faults_arg
-             $ retries_arg $ domains_arg))
+             $ retries_arg $ domains_arg $ cache_arg))
 
 let main_cmd =
   let doc = "StratRec: deployment-strategy recommendation for collaborative crowdsourcing tasks" in

@@ -59,6 +59,16 @@ let domains_arg =
   let doc = "Shard each epoch's triage across $(docv) domains (bit-identical output)." in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
+let cache_arg =
+  let doc =
+    "Triage-cache policy: $(b,off), $(b,on) (default capacity) or a positive \
+     capacity. The daemon defaults to $(b,on) — repeated request shapes skip \
+     triage with bit-identical output."
+  in
+  Arg.(value
+       & opt Stratrec_conv.cache (Some Stratrec.Triage_cache.default_config)
+       & info [ "cache" ] ~docv:"POLICY" ~doc)
+
 let deploy_arg =
   let doc = "Deploy every satisfied request's cheapest recommendation on a simulated platform." in
   Arg.(value & flag & info [ "deploy" ] ~doc)
@@ -231,7 +241,7 @@ let transport ~socket ~port ~host =
   | Some _, Some _ -> Error (`Msg "--socket and --port are mutually exclusive")
   | None, None -> Error (`Msg "pick a transport: --socket PATH, --port P or --stdio")
 
-let main seed n dist catalog w objective domains deploy faults retries population capacity
+let main seed n dist catalog w objective domains cache deploy faults retries population capacity
     window queue_capacity epoch_requests max_line quotas drain_timeout brownout_saturation
     brownout_p99 window_seconds slos slo_file socket port host stdio connect =
   if connect then
@@ -244,9 +254,11 @@ let main seed n dist catalog w objective domains deploy faults retries populatio
     let* file_slos = load_slo_file slo_file in
     let engine =
       Engine.(
-        with_objective
-          (with_domains (with_deploy default_config deploy) domains)
-          objective)
+        with_cache
+          (with_objective
+             (with_domains (with_deploy default_config deploy) domains)
+             objective)
+          cache)
     in
     (* Recovery low-water marks are derived, not flags: 60% of the
        escalation threshold (50% for the latency signal) gives the
@@ -313,7 +325,8 @@ let cmd =
     (Cmd.info "stratrec-serve" ~doc ~man)
     Term.(term_result
             (const main $ seed_arg $ strategies_arg $ dist_arg $ catalog_arg
-             $ workforce_arg $ objective_arg $ domains_arg $ deploy_arg $ faults_arg
+             $ workforce_arg $ objective_arg $ domains_arg $ cache_arg $ deploy_arg
+             $ faults_arg
              $ retries_arg $ population_arg $ capacity_arg $ window_arg
              $ queue_capacity_arg $ epoch_requests_arg $ max_line_arg $ quota_arg
              $ drain_timeout_arg $ brownout_saturation_arg $ brownout_p99_arg

@@ -49,3 +49,12 @@ let quota =
       let to_string = Stratrec_serve.Admission.quota_to_string
       let of_string = Stratrec_serve.Admission.quota_of_string
     end)
+
+let cache =
+  of_stringable
+    (module struct
+      type t = Stratrec.Triage_cache.config option
+
+      let to_string = Stratrec.Triage_cache.policy_to_string
+      let of_string = Stratrec.Triage_cache.policy_of_string
+    end)

@@ -57,3 +57,8 @@ val quota : (string * Stratrec_serve.Admission.quota) Cmdliner.Arg.conv
 (** The per-tenant quota spelling
     [tenant=acme;weight=2;max-queued=16;max-in-flight=4] (only
     [tenant=] required) ({!Stratrec_serve.Admission}). *)
+
+val cache : Stratrec.Triage_cache.config option Cmdliner.Arg.conv
+(** The triage-cache policy spelling: [off] (disabled), [on] (the
+    default capacity) or a positive capacity like [1024]
+    ({!Stratrec.Triage_cache.policy_of_string}). *)

@@ -39,11 +39,13 @@ type report = {
 }
 
 (* Triage of one unsatisfied request. Shared verbatim between the
-   sequential loop and the sharded path: only the [metrics]/[trace]
-   destination differs, so the recorded counters, spans and decisions
-   are the same either way. Writes exactly [outcomes.(i)] — disjoint
-   cells across shards, so concurrent writes never race. *)
-let triage_unsatisfied ~metrics ~trace ~strategies ~requests ~outcomes i =
+   sequential loop, the sharded path and the cache replay path: only
+   where the [adpar] answer comes from (a live [Adpar.exact] call or a
+   replayed capture) and the [metrics]/[trace] destination differ, so
+   the recorded counters, spans and decisions are the same every way.
+   Writes exactly [outcomes.(i)] — disjoint cells across shards, so
+   concurrent writes never race. *)
+let triage_with ~adpar ~metrics ~trace ~requests ~outcomes i =
   let d = requests.(i) in
   Obs.Trace.span trace "request"
     ~attrs:
@@ -56,7 +58,7 @@ let triage_unsatisfied ~metrics ~trace ~strategies ~requests ~outcomes i =
   count "adpar.fallback_total";
   let triage = Obs.Span.start metrics "aggregator.triage_seconds" in
   let decide verdict = Obs.Trace.decide trace ~id:i ~label:d.Deployment.label verdict in
-  (match Adpar.exact ~metrics ~trace ~strategies d with
+  (match (adpar d : Adpar.result option) with
   | Some result when result.Adpar.distance < 1e-12 ->
       (* The parameters already admit k strategies: the request only
          lost out on the workforce budget. *)
@@ -89,8 +91,45 @@ let triage_unsatisfied ~metrics ~trace ~strategies ~requests ~outcomes i =
       outcomes.(i) <- (d, No_alternative));
   ignore (Obs.Span.finish triage)
 
+let triage_unsatisfied ~metrics ~trace ~strategies ~requests ~outcomes i =
+  triage_with
+    ~adpar:(fun d -> Adpar.exact ~metrics ~trace ~strategies d)
+    ~metrics ~trace ~requests ~outcomes i
+
+(* One triage computation, recorded into a fresh registry/trace pair so
+   the capture can be replayed later (absorb + merge) with counters,
+   span structure and span-id arithmetic identical to a live call. The
+   capture always records at full observability — absorbing into a
+   disabled registry (or merging into a noop trace) is free, and a
+   capture taken while observability was off would otherwise poison a
+   later observed epoch. The [adpar.exact] subtree carries no
+   request-specific attributes (only k, catalog size and the distance),
+   which is what makes one capture valid for every request with the
+   same (params, k). *)
+let capture_triage ~strategies d =
+  let metrics = Obs.Registry.create () in
+  let trace = Obs.Trace.create () in
+  let result = Adpar.exact ~metrics ~trace ~strategies d in
+  { Triage_cache.result; metrics = Obs.Registry.snapshot metrics; trace }
+
+let replay_capture ~metrics ~trace (capture : Triage_cache.triage_capture) =
+  Obs.Registry.absorb metrics capture.Triage_cache.metrics;
+  Obs.Trace.merge trace [ capture.Triage_cache.trace ];
+  capture.Triage_cache.result
+
+(* Requirement-row computation for one request on a cache miss: a
+   single-row matrix through the exact same [Workforce.row] +
+   [request_requirement] pair the uncached prune phase uses, so the
+   cached value is the recomputation, bit for bit. *)
+let compute_requirement ~rule ~aggregation ~strategies (d : Deployment.t) =
+  let row = Workforce.row ~rule ~strategies d in
+  Workforce.request_requirement
+    { Workforce.requests = [| d |]; strategies; cells = [| row |] }
+    aggregation ~k:d.Deployment.k 0
+
 let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
-    ?(trace = Obs.Trace.noop) ?(domains = 1) ~availability ~strategies ~requests () =
+    ?(trace = Obs.Trace.noop) ?(domains = 1) ?cache ~availability ~strategies ~requests
+    () =
   if domains < 1 then invalid_arg "Aggregator.run: domains must be >= 1";
   let pool = if domains > 1 then Some (Stratrec_par.Pool.shared ~domains) else None in
   Obs.Trace.span trace "aggregator.batch"
@@ -115,22 +154,95 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
       Array.map (fun s -> Strategy.instantiate s ~availability:w) strategies
     else strategies
   in
-  let matrix =
-    match pool with
-    | Some pool when Stratrec_par.Pool.size pool > 1 ->
-        (* Rows are independent (one request each): compute them sharded
-           and assemble in request order — exactly [Workforce.compute]. *)
-        let row = Workforce.row ~rule:config.inversion_rule ~strategies in
+  (* Bind the cache to this epoch's scope before any probe: a workforce
+     change, another objective/aggregation/rule or a different
+     (instantiated) catalog flushes every entry. *)
+  Option.iter
+    (fun c ->
+      Triage_cache.set_context c
         {
-          Workforce.requests;
+          Triage_cache.objective = config.objective;
+          aggregation = config.aggregation;
+          rule = config.inversion_rule;
+          availability = w;
           strategies;
-          cells = Stratrec_par.Shard.map pool ~f:row requests;
-        }
-    | Some _ | None ->
-        Workforce.compute ~rule:config.inversion_rule ~requests ~strategies ()
+        })
+    cache;
+  let requirements =
+    match cache with
+    | None -> None
+    | Some c ->
+        (* Memoized prune rows: probe sequentially; compute the misses —
+           sharded when a pool is up, since each row is independent —
+           and store them back sequentially. Hit or miss, the value is
+           exactly what the in-matrix aggregation would produce, so
+           BatchStrat's candidates (and everything downstream) are
+           unchanged. *)
+        let m = Array.length requests in
+        let compute i =
+          compute_requirement ~rule:config.inversion_rule
+            ~aggregation:config.aggregation ~strategies requests.(i)
+        in
+        let probe i =
+          let d = requests.(i) in
+          Triage_cache.find_requirement c ~params:d.Deployment.params ~k:d.Deployment.k
+        in
+        let store i req =
+          let d = requests.(i) in
+          Triage_cache.store_requirement c ~params:d.Deployment.params ~k:d.Deployment.k
+            req
+        in
+        (match pool with
+        | Some pool when Stratrec_par.Pool.size pool > 1 && m > 1 ->
+            let lookups = Array.init m probe in
+            let misses =
+              Array.of_list
+                (List.filter (fun i -> Option.is_none lookups.(i)) (List.init m Fun.id))
+            in
+            let computed =
+              if Array.length misses > 1 then
+                Stratrec_par.Shard.map pool ~f:compute misses
+              else Array.map compute misses
+            in
+            Array.iteri
+              (fun slot i ->
+                store i computed.(slot);
+                lookups.(i) <- Some computed.(slot))
+              misses;
+            Some (Array.map Option.get lookups)
+        | Some _ | None ->
+            (* Interleaved probe/compute/store so repeats inside one
+               batch already hit. *)
+            Some
+              (Array.init m (fun i ->
+                   match probe i with
+                   | Some req -> req
+                   | None ->
+                       let req = compute i in
+                       store i req;
+                       req)))
+  in
+  let matrix =
+    match requirements with
+    | Some _ ->
+        (* Rows are never read when the aggregations come precomputed. *)
+        { Workforce.requests; strategies; cells = [||] }
+    | None -> (
+        match pool with
+        | Some pool when Stratrec_par.Pool.size pool > 1 ->
+            (* Rows are independent (one request each): compute them sharded
+               and assemble in request order — exactly [Workforce.compute]. *)
+            let row = Workforce.row ~rule:config.inversion_rule ~strategies in
+            {
+              Workforce.requests;
+              strategies;
+              cells = Stratrec_par.Shard.map pool ~f:row requests;
+            }
+        | Some _ | None ->
+            Workforce.compute ~rule:config.inversion_rule ~requests ~strategies ())
   in
   let batch =
-    Batchstrat.run ~metrics ~trace ?pool ~objective:config.objective
+    Batchstrat.run ~metrics ~trace ?pool ?requirements ~objective:config.objective
       ~aggregation:config.aggregation ~available:w matrix
   in
   Log.debug (fun m ->
@@ -163,8 +275,67 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
     (List.length batch.Batchstrat.satisfied);
   let unsatisfied = Array.of_list batch.Batchstrat.unsatisfied in
   let n_unsatisfied = Array.length unsatisfied in
-  (match pool with
-  | Some pool when Stratrec_par.Pool.size pool > 1 && n_unsatisfied > 1 ->
+  (match cache with
+  | Some c -> (
+      (* Cached triage. Hits replay their capture; misses compute into a
+         fresh registry/trace (sharded when a pool is up — the cache
+         itself is only ever touched from the calling domain) and both
+         are applied sequentially in unsatisfied order, which
+         reconstructs the sequential counters, span tree, span ids and
+         decision order exactly — the same recombination argument as the
+         sharded path below. *)
+      let probe slot =
+        let d = requests.(unsatisfied.(slot)) in
+        Triage_cache.find_triage c ~params:d.Deployment.params ~k:d.Deployment.k
+      in
+      let store slot capture =
+        let d = requests.(unsatisfied.(slot)) in
+        Triage_cache.store_triage c ~params:d.Deployment.params ~k:d.Deployment.k
+          capture
+      in
+      let apply slot capture =
+        triage_with
+          ~adpar:(fun _ -> replay_capture ~metrics ~trace capture)
+          ~metrics ~trace ~requests ~outcomes unsatisfied.(slot)
+      in
+      match pool with
+      | Some pool when Stratrec_par.Pool.size pool > 1 && n_unsatisfied > 1 ->
+          let lookups = Array.init n_unsatisfied probe in
+          let misses =
+            Array.of_list
+              (List.filter
+                 (fun slot -> Option.is_none lookups.(slot))
+                 (List.init n_unsatisfied Fun.id))
+          in
+          let computed =
+            if Array.length misses > 1 then
+              Stratrec_par.Shard.map pool
+                ~f:(fun slot -> capture_triage ~strategies requests.(unsatisfied.(slot)))
+                misses
+            else
+              Array.map
+                (fun slot -> capture_triage ~strategies requests.(unsatisfied.(slot)))
+                misses
+          in
+          Array.iteri
+            (fun k slot ->
+              store slot computed.(k);
+              lookups.(slot) <- Some computed.(k))
+            misses;
+          Array.iteri (fun slot _ -> apply slot (Option.get lookups.(slot))) unsatisfied
+      | Some _ | None ->
+          Array.iteri
+            (fun slot _ ->
+              match probe slot with
+              | Some capture -> apply slot capture
+              | None ->
+                  let capture = capture_triage ~strategies requests.(unsatisfied.(slot)) in
+                  store slot capture;
+                  apply slot capture)
+            unsatisfied)
+  | None -> (
+      match pool with
+      | Some pool when Stratrec_par.Pool.size pool > 1 && n_unsatisfied > 1 ->
       (* Sharded triage: each shard gets a contiguous slice of the
          unsatisfied list, a fresh registry and a fresh trace buffer.
          Merging shard registries/traces in shard index order
@@ -191,10 +362,10 @@ let run ?(config = default_config) ?(metrics = Obs.Registry.noop)
         (fun reg -> Obs.Registry.absorb metrics (Obs.Registry.snapshot reg))
         shard_metrics;
       Obs.Trace.merge trace (Array.to_list shard_traces)
-  | Some _ | None ->
-      Array.iter
-        (triage_unsatisfied ~metrics ~trace ~strategies ~requests ~outcomes)
-        unsatisfied);
+      | Some _ | None ->
+          Array.iter
+            (triage_unsatisfied ~metrics ~trace ~strategies ~requests ~outcomes)
+            unsatisfied));
   Obs.Registry.set
     (Obs.Registry.gauge metrics "aggregator.workforce_used")
     batch.Batchstrat.workforce_used;

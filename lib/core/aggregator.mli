@@ -53,6 +53,7 @@ val run :
   ?metrics:Stratrec_obs.Registry.t ->
   ?trace:Stratrec_obs.Trace.t ->
   ?domains:int ->
+  ?cache:Triage_cache.t ->
   availability:Stratrec_model.Availability.t ->
   strategies:Stratrec_model.Strategy.t array ->
   requests:Stratrec_model.Deployment.t array ->
@@ -74,6 +75,17 @@ val run :
     greedy fill itself and the satisfied loop stay sequential; they are
     O(m log m) and order-dependent.
     @raise Invalid_argument when [domains < 1].
+
+    [cache] memoizes the two pure per-request computations across runs
+    ({!Triage_cache}): the BatchStrat requirement rows and the ADPaR
+    triage of unsatisfied requests. The run binds the cache to this
+    epoch's context first (objective, aggregation, rule, W, instantiated
+    catalog — any change flushes), probes and stores only from the
+    calling domain, and computes misses sharded when [domains > 1].
+    Hits replay captured snapshots/subtrees, so the report, counters,
+    span tree and decisions are bit-identical to an uncached run at any
+    domain count — only the [cache.*] counters and gauges (absent
+    without a cache) differ.
 
     [metrics] (default {!Stratrec_obs.Registry.noop})
     records [aggregator.batches_total], [aggregator.requests_total], the

@@ -30,8 +30,8 @@ let greedy_fill candidates ~available =
 let total_value taken = List.fold_left (fun acc c -> acc +. c.value) 0. taken
 let total_weight taken = List.fold_left (fun acc c -> acc +. c.weight) 0. taken
 
-let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ?pool ~objective
-    ~aggregation ~available matrix =
+let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ?pool ?requirements
+    ~objective ~aggregation ~available matrix =
   Obs.Trace.span trace "batchstrat.run"
     ~attrs:
       [
@@ -57,10 +57,19 @@ let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ?pool ~objectiv
       Workforce.request_requirement matrix aggregation ~k:d.Stratrec_model.Deployment.k i
     in
     let requirements =
-      match pool with
-      | Some pool when Stratrec_par.Pool.size pool > 1 ->
-          Stratrec_par.Shard.init pool m ~f:requirement
-      | Some _ | None -> Array.init m requirement
+      match requirements with
+      | Some provided ->
+          (* The aggregator's triage cache hands rows in precomputed
+             (hits replayed, misses via [Workforce.row] — the exact
+             same code path), so nothing here recomputes them. *)
+          if Array.length provided <> m then
+            invalid_arg "Batchstrat.run: requirements length mismatch";
+          provided
+      | None -> (
+          match pool with
+          | Some pool when Stratrec_par.Pool.size pool > 1 ->
+              Stratrec_par.Shard.init pool m ~f:requirement
+          | Some _ | None -> Array.init m requirement)
     in
     let candidates = ref [] in
     for i = m - 1 downto 0 do
@@ -117,10 +126,13 @@ let run ?(metrics = Obs.Registry.noop) ?(trace = Obs.Trace.noop) ?pool ~objectiv
       | _ -> greedy
     end
   in
-  let taken_indices = List.map (fun c -> c.index) chosen_set in
+  (* Membership by bool-array mark: the old [List.mem] over the chosen
+     list was O(m^2) per epoch at large batch sizes. Output is the same
+     ascending index list. *)
+  let taken = Array.make m false in
+  List.iter (fun c -> taken.(c.index) <- true) chosen_set;
   let unsatisfied =
-    List.init m Fun.id
-    |> List.filter (fun i -> not (List.mem i taken_indices))
+    List.init m Fun.id |> List.filter (fun i -> not taken.(i))
   in
   let workforce_used = total_weight chosen_set in
   Obs.Trace.add_attr trace "satisfied" (Obs.Trace.Int (List.length chosen_set));

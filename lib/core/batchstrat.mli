@@ -29,6 +29,7 @@ val run :
   ?metrics:Stratrec_obs.Registry.t ->
   ?trace:Stratrec_obs.Trace.t ->
   ?pool:Stratrec_par.Pool.t ->
+  ?requirements:Stratrec_model.Workforce.request_requirement option array ->
   objective:Objective.t ->
   aggregation:Stratrec_model.Workforce.aggregation ->
   available:float ->
@@ -45,6 +46,14 @@ val run :
     sequential path because results land at their request index before
     any order-dependent step runs. Omitted (or with a pool of size 1)
     everything runs on the calling domain.
+
+    [requirements] supplies the per-request row aggregations directly
+    (one slot per matrix request, [None] for rows without k feasible
+    strategies), skipping the prune phase's own computation — the
+    {!Aggregator}'s triage cache uses this to replay memoized rows. The
+    array must agree with what {!Stratrec_model.Workforce.request_requirement}
+    would return; everything downstream (and every observable output)
+    is then identical (raises [Invalid_argument] on a length mismatch).
 
     [metrics] (default {!Stratrec_obs.Registry.noop}) records
     [batchstrat.runs_total], [batchstrat.candidates_total],

@@ -24,6 +24,7 @@ type config = {
   domains : int;
   profile : bool;
   log : Obs.Log.t;
+  cache : Triage_cache.config option;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     domains = 1;
     profile = false;
     log = Obs.Log.noop;
+    cache = None;
   }
 
 let with_aggregator config aggregator = { config with aggregator }
@@ -46,6 +48,7 @@ let with_deploy config deploy = { config with deploy }
 let with_domains config domains = { config with domains }
 let with_profile config profile = { config with profile }
 let with_log config log = { config with log }
+let with_cache config cache = { config with cache }
 
 type rejection = Breaker_open | Deadline_exhausted | All_attempts_empty
 
@@ -153,6 +156,11 @@ let validate config ~strategies ~requests =
     Error
       (`Invalid_config
         (Printf.sprintf "domains must be >= 1 (got %d)" config.domains))
+  else if
+    match config.cache with
+    | Some { Triage_cache.capacity } -> capacity < 1
+    | None -> false
+  then Error (`Invalid_config "cache capacity must be >= 1")
   else
     match validate_requests requests with
     | Error _ as e -> e
@@ -186,6 +194,9 @@ type session = {
       (* resolved lazily (seed 2020) the first time the deploy stage
          needs it — exactly when the one-shot path created it *)
   breaker : Res.Breaker.t option;
+  cache : Triage_cache.t option;
+      (* epoch-scoped triage cache — context-bound each epoch by the
+         aggregator, flushed on workforce/model change *)
   clock : float ref;  (* simulated deploy hours, shared across epochs *)
   mutable decisions_seen : int;
   mutable epochs : int;
@@ -214,6 +225,11 @@ let create ?(config = default_config) ?rng ~availability ~strategies () =
               (fun breaker_config -> Res.Breaker.create ~config:breaker_config ())
               deploy.resilience.Res.Degrade.breaker)
       in
+      let cache =
+        Option.map
+          (fun cache_config -> Triage_cache.create ~config:cache_config ~metrics ())
+          config.cache
+      in
       Ok
         {
           config;
@@ -223,6 +239,7 @@ let create ?(config = default_config) ?rng ~availability ~strategies () =
           trace;
           rng;
           breaker;
+          cache;
           clock = ref 0.;
           decisions_seen = 0;
           epochs = 0;
@@ -237,6 +254,11 @@ let set_observability session ?trace ?profile () =
 
 let epochs session = session.epochs
 let closed session = session.closed
+let cache_stats session = Option.map Triage_cache.stats session.cache
+let cache_hit_ratio session = Option.map Triage_cache.hit_ratio session.cache
+
+let bump_model_version session =
+  Option.iter Triage_cache.bump_model_version session.cache
 let breaker_state session = Option.map Res.Breaker.state session.breaker
 let session_metrics session = Obs.Registry.snapshot session.metrics
 let session_trace session = session.trace
@@ -499,9 +521,13 @@ let submit ?deadline_hours session requests_in =
               let stage_start = Obs.Registry.now metrics in
               let aggregate =
                 Aggregator.run ~config:config.aggregator ~metrics ~trace
-                  ~domains:config.domains ~availability:session.availability
-                  ~strategies:session.strategies ~requests ()
+                  ~domains:config.domains ?cache:session.cache
+                  ~availability:session.availability ~strategies:session.strategies
+                  ~requests ()
               in
+              (* cache.size / cache.hit_ratio gauges — off the identity
+                 path, like the par.* pool gauges *)
+              Option.iter Triage_cache.export session.cache;
               let triage_done = Obs.Registry.now metrics in
               let deployed =
                 match config.deploy with

@@ -91,6 +91,17 @@ type config = {
           strategy / domain counts) and finishes (outcome tallies), and a
           [warn] per deploy-stage rejection, each correlated to the
           enclosing trace span *)
+  cache : Triage_cache.config option;
+      (** [Some config] gives the session an epoch-scoped {!Triage_cache}
+          (bound to the session registry for its [cache.*] counters):
+          BatchStrat requirement rows and ADPaR triage results are
+          memoized across epochs on quantized (params, k) keys, flushed
+          whenever the epoch context (workforce, catalog, objective,
+          aggregation, rule) or the model version changes. Reports stay
+          bit-identical to an uncached run at any domain count — the
+          [cache.*] counters and gauges are the only additions. Default
+          [None] (no cache). Capacity must be >= 1
+          ([`Invalid_config]) *)
 }
 
 val default_config : config
@@ -114,6 +125,7 @@ val with_deploy : config -> deploy_config option -> config
 val with_domains : config -> int -> config
 val with_profile : config -> bool -> config
 val with_log : config -> Stratrec_obs.Log.t -> config
+val with_cache : config -> Triage_cache.config option -> config
 
 (** Why the degradation ladder gave up on a request. *)
 type rejection =
@@ -277,6 +289,19 @@ val breaker_state : session -> Stratrec_resilience.Breaker.state option
 (** The deploy circuit breaker's live state — [None] when the session
     has no breaker (no deploy stage, or a policy without one). The serve
     layer's health endpoint reads this. *)
+
+val cache_stats : session -> Triage_cache.stats option
+(** Lifetime hit/miss/eviction tallies and current residency of the
+    session's triage cache — [None] when the session runs uncached. *)
+
+val cache_hit_ratio : session -> float option
+(** [hits / probes] of the session cache; [None] without one. The serve
+    health surface reports this. *)
+
+val bump_model_version : session -> unit
+(** Force-invalidate the triage cache (flush + version bump) without
+    touching the catalog — the hook model refitting will drive. No-op on
+    an uncached session. *)
 
 val set_observability : session -> ?trace:bool -> ?profile:bool -> unit -> unit
 (** Flip the session's live observability between epochs — the serve

@@ -1,0 +1,128 @@
+(** Epoch-scoped triage cache (ROADMAP: cross-request memoization).
+
+    Heavy traffic repeats a small space of (threshold, availability)
+    shapes: both the BatchStrat per-request workforce requirement
+    ({!Stratrec_model.Workforce.request_requirement}) and the ADPaR
+    alternative ({!Adpar.exact}) are pure functions of (models, W,
+    request params, k), so they can be memoized exactly. This module is
+    a bounded LRU over both, keyed on the quantized request parameters
+    plus k, scoped to an epoch {e context} (objective, aggregation,
+    inversion rule, expected availability, instantiated catalog) and a
+    {e model version}; any context or version change flushes the cache,
+    so entries can never outlive the models that produced them.
+
+    {b Bit-identity.} A hit must be observationally indistinguishable
+    from recomputation — the same discipline the [--domains] work
+    established. Two mechanisms guarantee it:
+
+    - {e Exact-match guard:} the table is keyed on quantized parameters
+      (quantum {!quantum}), but every entry also stores the exact
+      {!Stratrec_model.Params.t} and [k] it was computed for, compared
+      with {!Stratrec_model.Params.equal} on lookup. A quantization
+      collision is therefore a {e miss}, never a wrong answer.
+    - {e Capture/replay:} a triage entry stores, alongside the
+      {!Adpar.result}, the metrics snapshot and trace buffer the
+      computation wrote into a fresh registry/trace. Replaying a hit
+      ({!Stratrec_obs.Registry.absorb} + {!Stratrec_obs.Trace.merge})
+      reconstructs the sequential counters, span tree and span ids
+      exactly — the recombination machinery the sharded triage path
+      already relies on. Requirement rows have no observability side
+      effects, so they are cached as plain values.
+
+    The cache itself is {e not} thread-safe: under the domain pool the
+    aggregator probes and stores sequentially and only the miss
+    computations run sharded. Hit/miss/eviction tallies go to the
+    [cache.{hits,misses,evictions}_total] counters of the registry bound
+    at {!create}; those counters (and the [cache.*] gauges of
+    {!export}) are the only observable difference between a cached and
+    an uncached run. *)
+
+type config = { capacity : int  (** maximum resident entries, >= 1 *) }
+
+val default_config : config
+(** 4096 entries. *)
+
+val policy_of_string : string -> (config option, string) result
+(** CLI spelling: ["off"]/["0"] is [None] (cache disabled), ["on"] the
+    {!default_config}, and a positive integer a capacity override. *)
+
+val policy_to_string : config option -> string
+
+type t
+
+val create : ?config:config -> metrics:Stratrec_obs.Registry.t -> unit -> t
+(** [metrics] receives the [cache.*] counters (registered at 0 so they
+    are visible on scrape surfaces before the first probe).
+    @raise Invalid_argument if [config.capacity < 1]. *)
+
+(** The epoch scope: everything besides the request itself that the
+    cached computations depend on. [strategies] must be the
+    {e instantiated} catalog (after availability re-estimation). *)
+type context = {
+  objective : Objective.t;
+  aggregation : Stratrec_model.Workforce.aggregation;
+  rule : [ `Direction_aware | `Paper_equality ];
+  availability : float;  (** expected availability W *)
+  strategies : Stratrec_model.Strategy.t array;
+}
+
+val set_context : t -> context -> unit
+(** Bind the epoch context. Compared structurally against the previous
+    one (physical equality fast path); any difference — a workforce
+    change, a different catalog, another objective — flushes every
+    entry. Call once per epoch before probing. *)
+
+val bump_model_version : t -> unit
+(** Force-invalidate: flushes the cache and increments the version, for
+    model refits that leave the catalog structurally unchanged. *)
+
+val model_version : t -> int
+
+val quantum : float
+(** Parameter quantization step (1e-6) for the table key. Lookup
+    correctness never depends on it (see the exact-match guard); it only
+    bounds how many distinct keys near-identical requests can occupy. *)
+
+(** What a triage (ADPaR) entry replays on a hit. *)
+type triage_capture = {
+  result : Adpar.result option;
+  metrics : Stratrec_obs.Snapshot.t;
+      (** counters + histograms the computation recorded *)
+  trace : Stratrec_obs.Trace.t;  (** the [adpar.exact] span subtree *)
+}
+
+val find_requirement :
+  t ->
+  params:Stratrec_model.Params.t ->
+  k:int ->
+  Stratrec_model.Workforce.request_requirement option option
+(** [None] is a miss; [Some req] a hit ([req] itself is [None] when the
+    cached computation found fewer than [k] feasible strategies).
+    Touches LRU order and counts [cache.hits_total]/[cache.misses_total]. *)
+
+val store_requirement :
+  t ->
+  params:Stratrec_model.Params.t ->
+  k:int ->
+  Stratrec_model.Workforce.request_requirement option ->
+  unit
+
+val find_triage :
+  t -> params:Stratrec_model.Params.t -> k:int -> triage_capture option
+
+val store_triage :
+  t -> params:Stratrec_model.Params.t -> k:int -> triage_capture -> unit
+(** Inserting at capacity evicts the least-recently-used entry and
+    counts [cache.evictions_total]. *)
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val stats : t -> stats
+(** Lifetime tallies (across flushes; [size] is current residency). *)
+
+val hit_ratio : t -> float
+(** [hits / (hits + misses)]; 0 before the first probe. *)
+
+val export : t -> unit
+(** Publish [cache.size] and [cache.hit_ratio] gauges to the registry
+    bound at {!create} — gauges only, off the bit-identity path. *)

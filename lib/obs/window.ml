@@ -21,6 +21,11 @@ type t = {
   slot_seconds : float;
   bounds : float array;
   slots : slot array;
+  metrics : Registry.t;
+  mutable started_at : float option;
+      (* clock reading of the first observation since creation/reset —
+         the live-span origin for the early-rate clamp *)
+  mutable clock_regressions : int;
 }
 
 let fresh_slot n_buckets =
@@ -44,8 +49,8 @@ let validate_bounds bounds =
         invalid_arg "Stratrec_obs.Window.create: bucket bounds must ascend")
     bounds
 
-let create ?(clock = Registry.wall_clock) ?(slots = 12) ?(bounds = Registry.duration_buckets)
-    ~window_seconds () =
+let create ?(clock = Registry.wall_clock) ?(metrics = Registry.noop) ?(slots = 12)
+    ?(bounds = Registry.duration_buckets) ~window_seconds () =
   if not (Float.is_finite window_seconds && window_seconds > 0.) then
     invalid_arg "Stratrec_obs.Window.create: window_seconds must be positive";
   if slots < 1 then invalid_arg "Stratrec_obs.Window.create: need at least one slot";
@@ -57,6 +62,9 @@ let create ?(clock = Registry.wall_clock) ?(slots = 12) ?(bounds = Registry.dura
     slot_seconds = window_seconds /. float_of_int slots;
     bounds;
     slots = Array.init slots (fun _ -> fresh_slot (Array.length bounds + 1));
+    metrics;
+    started_at = None;
+    clock_regressions = 0;
   }
 
 let window_seconds t = t.window_seconds
@@ -79,11 +87,26 @@ let bucket_index bounds value =
   go 0 n
 
 let observe t value =
-  let idx = interval t in
+  let now = t.clock () in
+  let idx =
+    if now <= 0. then 0 else int_of_float (now /. t.slot_seconds)
+  in
+  (match t.started_at with
+  | None -> t.started_at <- Some now
+  | Some started -> if now < started then t.started_at <- Some now);
   let s = t.slots.(idx mod Array.length t.slots) in
-  if s.epoch <> idx then begin
+  if idx > s.epoch then begin
     reset_slot s;
     s.epoch <- idx
+  end
+  else if idx < s.epoch && s.epoch >= 0 then begin
+    (* The clock stepped backwards across a slot boundary: the slot it
+       lands on holds *live* data from a later interval. Resetting here
+       (the old [epoch <> idx] rule) silently wiped that slot; instead
+       keep it, record into it, and surface the regression — the same
+       convention [Span.finish] uses for [trace.clock_regressions_total]. *)
+    t.clock_regressions <- t.clock_regressions + 1;
+    Registry.incr (Registry.counter t.metrics "obs.window.clock_regressions_total")
   end;
   let i = bucket_index t.bounds value in
   s.counts.(i) <- s.counts.(i) + 1;
@@ -111,7 +134,21 @@ let fold_live t ~init ~f =
 
 let count t = fold_live t ~init:0 ~f:(fun acc s -> acc + s.count)
 let sum t = fold_live t ~init:0. ~f:(fun acc s -> acc +. s.sum)
-let rate_per_sec t = float_of_int (count t) /. t.window_seconds
+
+(* Rate denominator: the span the window has actually been alive,
+   clamped into [slot_seconds, window_seconds]. Dividing by the full
+   window before it has been alive that long under-reports early rates
+   (daemon startup skews SLO burn and brownout p99 inputs); the
+   slot_seconds floor keeps the first instants from exploding the
+   estimate off one sample. *)
+let live_span t =
+  match t.started_at with
+  | None -> t.window_seconds
+  | Some started ->
+      let alive = t.clock () -. started in
+      Float.min t.window_seconds (Float.max t.slot_seconds alive)
+
+let rate_per_sec t = float_of_int (count t) /. live_span t
 
 let mean t =
   let c = count t in
@@ -147,14 +184,19 @@ let to_histogram t =
   { Snapshot.buckets; count; sum; min = min_value t; max = max_value t }
 
 let quantile t q = Snapshot.histogram_quantile (to_histogram t) q
-let reset t = Array.iter reset_slot t.slots
+
+let reset t =
+  Array.iter reset_slot t.slots;
+  t.started_at <- None
+
+let clock_regressions t = t.clock_regressions
 
 let export t registry ~name =
   if Registry.enabled registry then begin
     let h = to_histogram t in
     let set suffix value = Registry.set (Registry.gauge registry (name ^ suffix)) value in
     set ".window.count" (float_of_int h.Snapshot.count);
-    set ".window.rate_per_sec" (float_of_int h.Snapshot.count /. t.window_seconds);
+    set ".window.rate_per_sec" (float_of_int h.Snapshot.count /. live_span t);
     set ".window.mean"
       (if h.Snapshot.count = 0 then 0. else h.Snapshot.sum /. float_of_int h.Snapshot.count);
     set ".window.max" h.Snapshot.max;

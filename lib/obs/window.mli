@@ -33,6 +33,7 @@ type t
 
 val create :
   ?clock:(unit -> float) ->
+  ?metrics:Registry.t ->
   ?slots:int ->
   ?bounds:float array ->
   window_seconds:float ->
@@ -41,14 +42,25 @@ val create :
 (** [slots] (default 12) is the ring size; [bounds] (default
     {!Registry.duration_buckets}) the per-slot histogram layout used by
     {!quantile} — inclusive ascending upper bounds, implicit [+inf]
-    overflow. @raise Invalid_argument if [window_seconds <= 0],
+    overflow. [metrics] (default {!Registry.noop}) receives the
+    [obs.window.clock_regressions_total] counter when the injected clock
+    steps backwards across a slot boundary (see {!observe}).
+    @raise Invalid_argument if [window_seconds <= 0],
     [slots < 1], or [bounds] is empty/unsorted/non-finite. *)
 
 val window_seconds : t -> float
 val slots : t -> int
 
 val observe : t -> float -> unit
-(** Record one value at the current clock reading. *)
+(** Record one value at the current clock reading. Monotone clocks
+    rotate the ring lazily; when the clock {e regresses} across a slot
+    boundary (an injected clock stepped backwards), the observation
+    lands in the live slot it maps to {e without} resetting it — wiping
+    live data over a clock regression silently discarded window history —
+    and the regression is counted ([{!clock_regressions}] and the
+    [obs.window.clock_regressions_total] counter of the [metrics]
+    registry), mirroring the [trace.clock_regressions_total] convention
+    of [Span.finish]. *)
 
 val mark : t -> unit
 (** [observe t 0.] — for pure event-rate windows where the value axis is
@@ -65,7 +77,17 @@ val count : t -> int
 val sum : t -> float
 
 val rate_per_sec : t -> float
-(** [count /. window_seconds] — the recent-window event rate. *)
+(** [count /. live_span] — the recent-window event rate, where
+    [live_span] is the time since the first observation clamped into
+    [\[window_seconds / slots, window_seconds\]]. Dividing by the full
+    window before it had been alive that long under-reported early
+    rates (skewing SLO burn and brownout p99 inputs at daemon startup);
+    once the window has run a full span the denominator is
+    [window_seconds] exactly as before. *)
+
+val clock_regressions : t -> int
+(** Observations that arrived on a backwards-stepped clock (see
+    {!observe}); 0 on a monotone clock. *)
 
 val mean : t -> float
 (** [0.] when empty. *)
@@ -88,7 +110,8 @@ val to_histogram : t -> Snapshot.histogram
     re-aggregating. *)
 
 val reset : t -> unit
-(** Empty every slot. *)
+(** Empty every slot and restart the live-span origin (the next
+    observation becomes the window's first). *)
 
 val export : t -> Registry.t -> name:string -> unit
 (** Publish the window as gauges in [registry]:

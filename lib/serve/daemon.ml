@@ -132,7 +132,8 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
           c
         in
         let window () =
-          Obs.Window.create ~clock:obs_clock ~window_seconds:config.window_seconds ()
+          Obs.Window.create ~clock:obs_clock ~metrics:registry
+            ~window_seconds:config.window_seconds ()
         in
         let t =
           {
@@ -552,6 +553,7 @@ let health t =
       brownout_rung = brownout_rung t;
       draining = t.draining;
       io_errors = t.io_error_count;
+      cache_hit_ratio = Engine.cache_hit_ratio t.session;
     }
 
 let slo_report t =

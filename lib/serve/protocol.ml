@@ -146,6 +146,7 @@ type response =
       brownout_rung : int;
       draining : bool;
       io_errors : int;
+      cache_hit_ratio : float option;
     }
   | Slo_report of slo_status list
   | Unknown_endpoint of { path : string }
@@ -276,6 +277,7 @@ let render response =
               brownout_rung;
               draining;
               io_errors;
+              cache_hit_ratio;
             } ->
             [
               ("ok", bool (state <> Unhealthy));
@@ -293,6 +295,9 @@ let render response =
                 ("draining", bool draining);
                 ("io_errors", int io_errors);
               ]
+            @ (match cache_hit_ratio with
+              | None -> []
+              | Some r -> [ ("cache_hit_ratio", num r) ])
         | Slo_report slos ->
             [
               ("ok", bool true);

@@ -137,6 +137,9 @@ type response =
       brownout_rung : int;  (** current load-shedding rung (0 = steady) *)
       draining : bool;
       io_errors : int;  (** transport faults absorbed since start *)
+      cache_hit_ratio : float option;
+          (** triage-cache hit ratio; [None] when the engine session runs
+              uncached (the field is then suppressed in the JSON) *)
     }
   | Slo_report of slo_status list  (** one entry per configured SLO *)
   | Unknown_endpoint of { path : string }

@@ -135,13 +135,51 @@ rates and streaming quantiles over the daemon's request stream).
   >   | grep -cE '^serve_(requests|queue_wait_seconds|triage_seconds|deploy_seconds|e2e_seconds)_window_(count|rate_per_sec|mean|max|p50|p90|p99) '
   35
 
+The triage cache is on by default in the daemon: repeated request
+shapes hit the memoized requirement rows and ADPaR triage (with
+bit-identical answers), the cache.* counters land in the same scrape,
+and GET health carries the live hit ratio. Here ids 2 and 3 reuse id
+1's shape — one miss per cache stage, hits ever after.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"submit","id":2,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"flush"}' \
+  >   '{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"flush"}' \
+  >   'GET metrics' \
+  >   'GET health' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >   | grep -E '^cache_|"status":"health"'
+  cache_evictions_total 0
+  cache_hit_ratio 0.66666666666666663
+  cache_hits_total 4
+  cache_misses_total 2
+  cache_size 2
+  {"ok":true,"status":"health","state":"ready","reasons":[],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":2,"brownout_rung":0,"draining":false,"io_errors":0,"cache_hit_ratio":0.66666666666666663}
+
+--cache off restores the uncached engine: no cache.* instruments in
+the scrape and no hit ratio on the health line.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"flush"}' \
+  >   'GET metrics' \
+  >   'GET health' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --cache off --epoch-requests 8 \
+  >   | grep -cE '^cache_|cache_hit_ratio'
+  0
+  [1]
+
 GET health answers the readiness rubric as one JSON line; a fresh
 daemon is ready. Unknown GET paths get a typed response echoing the
 path, not a connection drop.
 
   $ printf '%s\n' 'GET health' 'GET /nope' '{"op":"shutdown"}' \
   >   | stratrec-serve --stdio
-  {"ok":true,"status":"health","state":"ready","reasons":[],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":0,"brownout_rung":0,"draining":false,"io_errors":0}
+  {"ok":true,"status":"health","state":"ready","reasons":[],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":0,"brownout_rung":0,"draining":false,"io_errors":0,"cache_hit_ratio":0}
   {"ok":false,"status":"unknown-endpoint","path":"/nope"}
   {"ok":true,"status":"shutting-down"}
 
@@ -169,7 +207,7 @@ reason.
   >   | grep -vE '"status":"(accepted|ticked|epoch-closed)"'
   {"ok":true,"status":"slo","slos":[{"slo":"api","burning":false,"fast_burn_rate":0,"slow_burn_rate":0,"budget_remaining":1},{"slo":"deploy","burning":false,"fast_burn_rate":0,"slow_burn_rate":0,"budget_remaining":1}]}
   {"ok":false,"status":"deadline-expired","id":1,"waited_seconds":...}
-  {"ok":true,"status":"health","state":"degraded","reasons":["slo-burning:api"],"queue_depth":0,"queue_capacity":64,"slo_burning":1,"epochs":0,"brownout_rung":0,"draining":false,"io_errors":0}
+  {"ok":true,"status":"health","state":"degraded","reasons":["slo-burning:api"],"queue_depth":0,"queue_capacity":64,"slo_burning":1,"epochs":0,"brownout_rung":0,"draining":false,"io_errors":0,"cache_hit_ratio":0}
   {"ok":true,"status":"shutting-down"}
 
 --quota bounds one tenant's share of the queue independently of the
@@ -214,7 +252,7 @@ draining response, and GET health names the state.
   {"ok":true,"status":"epoch-closed","epoch":1,"admitted":2,"expired":0}
   {"ok":true,"status":"drained","answered":2,"expired":0,"forced":0,"epochs":1}
   {"ok":false,"status":"draining","id":3}
-  {"ok":true,"status":"health","state":"degraded","reasons":["draining"],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":1,"brownout_rung":0,"draining":true,"io_errors":0}
+  {"ok":true,"status":"health","state":"degraded","reasons":["draining"],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":1,"brownout_rung":0,"draining":true,"io_errors":0,"cache_hit_ratio":0}
   {"ok":true,"status":"shutting-down"}
 
 A zero drain budget skips straight to the force-close: every queued
@@ -254,5 +292,5 @@ queueing them, and GET health binds the rung as a degraded reason.
   {"ok":false,"status":"queue-full","id":5,"queue_depth":4}
   {"ok":false,"status":"queue-full","id":6,"queue_depth":4}
   {"ok":false,"status":"overloaded","id":7,"rung":3,"reason":"over-share"}
-  {"ok":true,"status":"health","state":"degraded","reasons":["queue-full","brownout-rung:3"],"queue_depth":4,"queue_capacity":4,"slo_burning":0,"epochs":0,"brownout_rung":3,"draining":false,"io_errors":0}
+  {"ok":true,"status":"health","state":"degraded","reasons":["queue-full","brownout-rung:3"],"queue_depth":4,"queue_capacity":4,"slo_burning":0,"epochs":0,"brownout_rung":3,"draining":false,"io_errors":0,"cache_hit_ratio":0}
   {"ok":true,"status":"shutting-down"}

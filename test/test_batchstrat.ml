@@ -88,6 +88,53 @@ let test_chosen_strategies_ascend () =
       Alcotest.(check (float 1e-9)) "sum-case workforce" 0.3 workforce
   | _ -> Alcotest.fail "expected exactly one satisfied request"
 
+(* Regression for the unsatisfied scan: the O(m^2) List.mem complement
+   was replaced by a bool-array mark, and the list must stay the
+   ascending complement of the satisfied set — bit-identical to the
+   reference spelling it replaced. *)
+let test_unsatisfied_matches_reference () =
+  let rng = Rng.create 42 in
+  List.iter
+    (fun (m, available) ->
+      let weights = Array.init m (fun _ -> Rng.uniform rng ~lo:0.05 ~hi:0.6) in
+      let costs = Array.init m (fun _ -> Rng.uniform rng ~lo:0.1 ~hi:1.) in
+      let matrix = instance weights costs in
+      let o = B.run ~objective:Stratrec.Objective.Throughput ~aggregation:W.Sum_case ~available matrix in
+      let chosen = List.map (fun s -> s.B.request_index) o.B.satisfied in
+      let reference =
+        List.filter (fun i -> not (List.mem i chosen)) (List.init m Fun.id)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "m=%d budget=%.2f" m available)
+        reference o.B.unsatisfied)
+    [ (1, 0.01); (7, 0.3); (64, 1.2); (64, 0.0) ]
+
+(* Injected requirement rows (the triage cache's miss-fill path) must
+   reproduce the self-computed run exactly, and a length mismatch is a
+   caller bug surfaced as Invalid_argument. *)
+let test_injected_requirements () =
+  let weights = [| 0.2; 0.3; 0.6 |] and costs = [| 0.5; 0.5; 0.5 |] in
+  let matrix = instance weights costs in
+  let precomputed =
+    Array.init (Array.length weights) (fun i ->
+        W.request_requirement matrix W.Sum_case ~k:1 i)
+  in
+  let baseline =
+    B.run ~objective:Stratrec.Objective.Throughput ~aggregation:W.Sum_case ~available:0.5 matrix
+  in
+  let injected =
+    B.run ~requirements:precomputed ~objective:Stratrec.Objective.Throughput
+      ~aggregation:W.Sum_case ~available:0.5 matrix
+  in
+  Alcotest.(check bool) "identical output" true (baseline = injected);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Batchstrat.run: requirements length mismatch") (fun () ->
+      ignore
+        (B.run
+           ~requirements:(Array.sub precomputed 0 2)
+           ~objective:Stratrec.Objective.Throughput ~aggregation:W.Sum_case ~available:0.5
+           matrix))
+
 (* Random-instance generators for the optimality properties. *)
 let gen_instance =
   QCheck.(
@@ -223,6 +270,9 @@ let () =
           Alcotest.test_case "zero-weight requests" `Quick test_zero_weight_requests;
           Alcotest.test_case "infeasible requests" `Quick test_infeasible_requests_are_unsatisfied;
           Alcotest.test_case "chosen strategies ascend" `Quick test_chosen_strategies_ascend;
+          Alcotest.test_case "unsatisfied matches reference" `Quick
+            test_unsatisfied_matches_reference;
+          Alcotest.test_case "injected requirements" `Quick test_injected_requirements;
           Alcotest.test_case "approximation factor" `Quick test_approximation_factor_helper;
           Alcotest.test_case "DP validation" `Quick test_dp_validation;
         ] );

@@ -968,7 +968,22 @@ let test_window_basics () =
   Window.mark w;
   Alcotest.(check int) "count" 3 (Window.count w);
   Alcotest.(check (float 1e-9)) "sum" 0.1 (Window.sum w);
-  Alcotest.(check (float 1e-9)) "rate over the span" (3. /. 60.) (Window.rate_per_sec w);
+  (* the window just came alive: the rate divides by the live span
+     (clamped up to one slot), not the full 60s it has not covered yet *)
+  Alcotest.(check (float 1e-9)) "early rate over the live span" (3. /. 10.)
+    (Window.rate_per_sec w);
+  (* after a full window of life the denominator is window_seconds *)
+  let w2 = Window.create ~clock:(fun () -> !now) ~slots:6 ~window_seconds:60. () in
+  Window.observe w2 1.;
+  now := !now +. 45.;
+  Window.observe w2 1.;
+  Alcotest.(check (float 1e-9)) "mid-life rate over elapsed span" (2. /. 45.)
+    (Window.rate_per_sec w2);
+  now := !now +. 100.;
+  Alcotest.(check (float 1e-9)) "rate clamps at the full window"
+    (float_of_int (Window.count w2) /. 60.)
+    (Window.rate_per_sec w2);
+  now := 100.;
   Alcotest.(check (float 1e-9)) "mean" (0.1 /. 3.) (Window.mean w);
   Alcotest.(check (float 1e-9)) "min" 0. (Window.min_value w);
   Alcotest.(check (float 1e-9)) "max" 0.08 (Window.max_value w);
@@ -1009,6 +1024,36 @@ let test_window_rotation () =
   Alcotest.(check int) "recycled" 1 (Window.count w);
   Alcotest.(check (float 1e-9)) "recycled sum" 5. (Window.sum w)
 
+let test_window_clock_regression () =
+  let now = ref 1000. in
+  let reg = Registry.create () in
+  let w =
+    Window.create ~clock:(fun () -> !now) ~metrics:reg ~slots:6 ~window_seconds:60. ()
+  in
+  (* fill the current slot, then step the clock backwards across the
+     slot boundary: the regressed observation must land without wiping
+     the live slot (the old rule reset any slot whose epoch differed) *)
+  Window.observe w 1.;
+  Window.observe w 2.;
+  now := 940.;
+  (* 940/10 = interval 94, ring position 94 mod 6 = 4 — the very slot
+     holding the two live interval-100 points *)
+  Window.observe w 3.;
+  Alcotest.(check int) "live slot survived the regression" 3 (Window.count w);
+  Alcotest.(check (float 1e-9)) "regressed point recorded" 6. (Window.sum w);
+  Alcotest.(check int) "regression counted" 1 (Window.clock_regressions w);
+  Alcotest.(check int) "counter mirrors Span.finish convention" 1
+    (Snapshot.counter_value (Registry.snapshot reg) "obs.window.clock_regressions_total");
+  (* forward progress afterwards still rotates normally *)
+  now := 1005.;
+  Window.observe w 4.;
+  Alcotest.(check int) "forward rotation unaffected" 4 (Window.count w);
+  (* a regression within the same slot is not a regression across a
+     boundary — nothing counted *)
+  now := 1004.;
+  Window.observe w 5.;
+  Alcotest.(check int) "same-interval backstep uncounted" 1 (Window.clock_regressions w)
+
 let test_window_export_absorb () =
   let now = ref 500. in
   let w = Window.create ~clock:(fun () -> !now) ~window_seconds:60. () in
@@ -1019,7 +1064,7 @@ let test_window_export_absorb () =
   let snap = Registry.snapshot reg in
   Alcotest.(check (float 0.)) "count gauge" 2.
     (Snapshot.gauge_value snap "serve.e2e_seconds.window.count");
-  Alcotest.(check (float 1e-9)) "rate gauge" (2. /. 60.)
+  Alcotest.(check (float 1e-9)) "rate gauge over the live span" (2. /. 5.)
     (Snapshot.gauge_value snap "serve.e2e_seconds.window.rate_per_sec");
   Alcotest.(check (float 1e-9)) "mean gauge" 0.3
     (Snapshot.gauge_value snap "serve.e2e_seconds.window.mean");
@@ -1305,6 +1350,8 @@ let () =
         [
           Alcotest.test_case "basics and validation" `Quick test_window_basics;
           Alcotest.test_case "ring rotation and idle decay" `Quick test_window_rotation;
+          Alcotest.test_case "clock regression keeps live slots" `Quick
+            test_window_clock_regression;
           Alcotest.test_case "export/absorb gauge family" `Quick test_window_export_absorb;
           QCheck_alcotest.to_alcotest window_rotation_prop;
           QCheck_alcotest.to_alcotest window_quantile_prop;

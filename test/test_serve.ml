@@ -473,7 +473,7 @@ let test_protocol_endpoints () =
     (String.trim (Protocol.render (Protocol.Unknown_endpoint { path = "/metrics/extra" })));
   Alcotest.(check string)
     "health shape"
-    {|{"ok":true,"status":"health","state":"degraded","reasons":["queue-saturated"],"breaker":"closed","queue_depth":4,"queue_capacity":5,"slo_burning":0,"epochs":2,"brownout_rung":0,"draining":false,"io_errors":0}|}
+    {|{"ok":true,"status":"health","state":"degraded","reasons":["queue-saturated"],"breaker":"closed","queue_depth":4,"queue_capacity":5,"slo_burning":0,"epochs":2,"brownout_rung":0,"draining":false,"io_errors":0,"cache_hit_ratio":0.25}|}
     (String.trim
        (Protocol.render
           (Protocol.Health_status
@@ -488,6 +488,7 @@ let test_protocol_endpoints () =
                brownout_rung = 0;
                draining = false;
                io_errors = 0;
+               cache_hit_ratio = Some 0.25;
              })));
   Alcotest.(check string)
     "slo report shape"
