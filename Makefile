@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is the one the checks run.
 
-.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par obs serve-smoke serve-chaos
+.PHONY: all build test ci fmt clean bench-smoke bench-check bench-baseline chaos par obs tenant-obs serve-smoke serve-chaos
 
 all: build
 
@@ -94,6 +94,16 @@ cache: build
 obs: build
 	QCHECK_SEED=2020 dune exec test/test_obs.exe
 
+# Tenant observability gate: the labeled-metrics unit and property
+# suite (escape goldens, labeled-merge order invariance) under the
+# pinned QCheck seed, plus the serve cram file whose sections pin
+# GET ?tenant= filtering, the "other" overflow bucket and the
+# flight-recorder dump goldens (volatile wall-clock fields stripped
+# with sed inside the .t file).
+tenant-obs: build
+	QCHECK_SEED=2020 dune exec test/test_obs.exe -- test labels
+	dune runtest test/serve.t
+
 # Serve gate: boot stratrec-serve on a throwaway Unix socket, drive a
 # mixed-tenant workload through the bundled --connect line client,
 # scrape OpenMetrics over the same socket, and shut down cleanly. The
@@ -183,6 +193,7 @@ ci:
 	$(MAKE) par
 	$(MAKE) cache
 	$(MAKE) obs
+	$(MAKE) tenant-obs
 	$(MAKE) serve-smoke
 	$(MAKE) serve-chaos
 	@if command -v ocamlformat >/dev/null 2>&1; then \

@@ -48,13 +48,14 @@ let zipf_draw rng cdf =
    counters are the documented exception to bit-identity. *)
 let counters_fingerprint snapshot =
   List.filter_map
-    (fun { Obs.Snapshot.name; value } ->
+    (fun ({ Obs.Snapshot.name; value; _ } as entry) ->
       if String.starts_with ~prefix:"cache." name then None
       else
+        let series = Obs.Snapshot.series_name entry in
         match value with
-        | Obs.Snapshot.Counter n -> Some (name, `Counter n)
+        | Obs.Snapshot.Counter n -> Some (series, `Counter n)
         | Obs.Snapshot.Gauge _ -> None
-        | Obs.Snapshot.Histogram h -> Some (name, `Observations h.Obs.Snapshot.count))
+        | Obs.Snapshot.Histogram h -> Some (series, `Observations h.Obs.Snapshot.count))
     snapshot
 
 let one_run ~cache ~strategies ~w ~epoch_batches =

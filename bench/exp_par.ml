@@ -26,12 +26,13 @@ let domain_counts = [ 1; 2; 4 ]
 let fingerprint report metrics trace =
   let snapshot =
     List.filter_map
-      (fun { Obs.Snapshot.name; value } ->
+      (fun ({ Obs.Snapshot.name; value; _ } as entry) ->
+        let series = Obs.Snapshot.series_name entry in
         match value with
         | _ when String.starts_with ~prefix:"par." name -> None
-        | Obs.Snapshot.Counter n -> Some (name, `Counter n)
-        | Obs.Snapshot.Gauge g -> Some (name, `Gauge g)
-        | Obs.Snapshot.Histogram h -> Some (name, `Observations h.Obs.Snapshot.count))
+        | Obs.Snapshot.Counter n -> Some (series, `Counter n)
+        | Obs.Snapshot.Gauge g -> Some (series, `Gauge g)
+        | Obs.Snapshot.Histogram h -> Some (series, `Observations h.Obs.Snapshot.count))
       (Obs.Registry.snapshot metrics)
   in
   let tree =

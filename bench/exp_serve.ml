@@ -40,6 +40,23 @@ let submit_lines rng ~m =
       | Json.Object fields -> Json.to_string (Json.Object (("op", Json.String "submit") :: fields))
       | _ -> assert false)
 
+(* Socket mix: two tenants under an 80/20 Zipf-style skew — acme is
+   the head, beta the tail — so the per-tenant window families diverge
+   and the labeled p99 extras measure distinct populations. *)
+let submit_lines_skewed rng ~m =
+  List.init m (fun i ->
+      let tenant = if Rng.uniform rng ~lo:0. ~hi:1. < 0.8 then "acme" else "beta" in
+      let params =
+        Model.Params.make
+          ~quality:(Rng.uniform rng ~lo:0.5 ~hi:1.)
+          ~cost:(Rng.uniform rng ~lo:0. ~hi:0.6)
+          ~latency:(Rng.uniform rng ~lo:0. ~hi:0.6)
+      in
+      let request = Request.make ~id:(i + 1) ~tenant ~params ~k:2 () in
+      match Request.to_json request with
+      | Json.Object fields -> Json.to_string (Json.Object (("op", Json.String "submit") :: fields))
+      | _ -> assert false)
+
 let drain_line line = Json.to_string (Json.Object [ ("op", Json.String line) ])
 
 let run_stream ~n ~epoch_requests lines =
@@ -56,6 +73,9 @@ let run_stream ~n ~epoch_requests lines =
       quotas = [];
       brownout = Serve.Daemon.default_config.Serve.Daemon.brownout;
       drain_timeout_seconds = 30.;
+      tenant_windows = Serve.Daemon.default_config.Serve.Daemon.tenant_windows;
+      flight_dir = None;
+      flight_slots = Serve.Daemon.default_config.Serve.Daemon.flight_slots;
     }
   in
   let daemon =
@@ -108,6 +128,9 @@ let run_socket ~n ~epoch_requests lines =
       quotas = [];
       brownout = Serve.Daemon.default_config.Serve.Daemon.brownout;
       drain_timeout_seconds = 30.;
+      tenant_windows = Serve.Daemon.default_config.Serve.Daemon.tenant_windows;
+      flight_dir = None;
+      flight_slots = Serve.Daemon.default_config.Serve.Daemon.flight_slots;
     }
   in
   let daemon =
@@ -187,6 +210,9 @@ let run_overload ~n ~mult =
       quotas;
       brownout = Serve.Daemon.default_config.Serve.Daemon.brownout;
       drain_timeout_seconds = 30.;
+      tenant_windows = Serve.Daemon.default_config.Serve.Daemon.tenant_windows;
+      flight_dir = None;
+      flight_slots = Serve.Daemon.default_config.Serve.Daemon.flight_slots;
     }
   in
   let daemon =
@@ -197,6 +223,7 @@ let run_overload ~n ~mult =
     | Error e -> failwith (Engine.error_message e)
   in
   let accepted = ref 0 and full = ref 0 and shed = ref 0 and completed = ref 0 in
+  let shed_delta = ref 0 in
   let feed line =
     let responses, _ = Serve.Daemon.handle_line daemon ~client:0 line in
     List.iter
@@ -204,7 +231,9 @@ let run_overload ~n ~mult =
         match response with
         | Serve.Protocol.Accepted _ -> incr accepted
         | Serve.Protocol.Queue_full _ -> incr full
-        | Serve.Protocol.Overloaded _ -> incr shed
+        | Serve.Protocol.Overloaded { tenant; _ } ->
+            incr shed;
+            if String.equal tenant "delta" then incr shed_delta
         | Serve.Protocol.Completed _ -> incr completed
         | _ -> ())
       responses
@@ -215,7 +244,7 @@ let run_overload ~n ~mult =
   feed (drain_line "flush");
   feed (drain_line "shutdown");
   assert (Serve.Daemon.queue_depth daemon = 0);
-  (daemon, offered, !accepted, !full, !shed, !completed, rung)
+  (daemon, offered, !accepted, !full, !shed, !shed_delta, !completed, rung)
 
 let run () =
   Bench_common.section "Serve - daemon throughput under admission control";
@@ -255,9 +284,9 @@ let run () =
         ])
     (Bench_common.values [ 8; 4; 16; 64 ]);
   Bench_common.print_table ~title:"epoch fill vs. throughput" t;
-  (* end-to-end over the socket transport *)
+  (* end-to-end over the socket transport, with the 80/20 tenant skew *)
   let m_socket = max 8 (Bench_common.scale 500) in
-  let socket_lines = submit_lines (Rng.create 11) ~m:m_socket in
+  let socket_lines = submit_lines_skewed (Rng.create 11) ~m:m_socket in
   let daemon, elapsed, completed, probes = run_socket ~n ~epoch_requests:8 socket_lines in
   let snapshot = Serve.Daemon.metrics daemon in
   Obs.Registry.absorb !Bench_common.metrics snapshot;
@@ -270,9 +299,14 @@ let run () =
     (Json.Number (window_gauge "serve.e2e_seconds.window.p99"));
   Bench_common.report_field "serve_queue_wait_window_p99_seconds"
     (Json.Number (window_gauge "serve.queue_wait_seconds.window.p99"));
+  let tenant_p99 tenant =
+    Obs.Snapshot.gauge_value ~labels:[ ("tenant", tenant) ] snapshot "serve.e2e_seconds.window.p99"
+  in
+  Bench_common.report_field "serve_tenant_acme_e2e_p99_seconds" (Json.Number (tenant_p99 "acme"));
+  Bench_common.report_field "serve_tenant_beta_e2e_p99_seconds" (Json.Number (tenant_p99 "beta"));
   Printf.printf
     "\nsocket transport: %d requests pumped end-to-end (%d completed, %d endpoint probes \
-     answered), %.0f req/s\n"
+     answered), %.0f req/s, 80/20 acme/beta skew\n"
     m_socket completed probes socket_rps;
   (* overload sweep: shed rate and p99 vs offered load *)
   let t =
@@ -282,7 +316,9 @@ let run () =
   in
   List.iter
     (fun mult ->
-      let daemon, offered, accepted, full, shed, completed, rung = run_overload ~n ~mult in
+      let daemon, offered, accepted, full, shed, shed_delta, completed, rung =
+        run_overload ~n ~mult
+      in
       let snapshot = Serve.Daemon.metrics daemon in
       Obs.Registry.absorb !Bench_common.metrics snapshot;
       let p99 =
@@ -293,6 +329,10 @@ let run () =
       if mult = 4 then begin
         Bench_common.report_field "serve_overload_shed_rate"
           (Json.Number (float_of_int shed /. float_of_int offered));
+        (* delta is the weight-0.5 tenant the ladder sheds first: its
+           share of the offered stream is 1/4 (round-robin tenants) *)
+        Bench_common.report_field "serve_overload_delta_shed_rate"
+          (Json.Number (float_of_int shed_delta /. float_of_int (offered / 4)));
         Bench_common.report_field "serve_overload_p99_seconds" (Json.Number p99)
       end;
       Tabular.add_row t

@@ -72,7 +72,7 @@ let latency_histogram snapshot =
   | Some source -> Some source
   | None ->
       List.fold_left
-        (fun acc { Obs.Snapshot.name; value } ->
+        (fun acc { Obs.Snapshot.name; value; _ } ->
           match value with
           | Obs.Snapshot.Histogram h
             when h.Obs.Snapshot.count > 0 && Filename.check_suffix name "_seconds" -> (

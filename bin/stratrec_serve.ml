@@ -168,6 +168,26 @@ let slo_file_arg =
   in
   Arg.(value & opt (some file) None & info [ "slo-file" ] ~docv:"FILE" ~doc)
 
+let tenant_windows_arg =
+  let doc =
+    "Cap on distinct per-tenant sliding-window families \
+     ($(b,serve.*{tenant=...})); tenants beyond the cap share the $(b,other) \
+     overflow bucket."
+  in
+  Arg.(value & opt int 8 & info [ "tenant-windows" ] ~docv:"N" ~doc)
+
+let flight_dir_arg =
+  let doc =
+    "Enable the anomaly flight recorder: dump the per-epoch observation ring as \
+     $(b,flight-NNNN.jsonl) under $(docv) on health degradation, SLO burn trips and \
+     the explicit $(b,dump) verb."
+  in
+  Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR" ~doc)
+
+let flight_slots_arg =
+  let doc = "Flight-recorder ring size (per-epoch records kept before eviction)." in
+  Arg.(value & opt int 16 & info [ "flight-slots" ] ~docv:"N" ~doc)
+
 (* Transport flags. *)
 
 let socket_arg =
@@ -243,7 +263,8 @@ let transport ~socket ~port ~host =
 
 let main seed n dist catalog w objective domains cache deploy faults retries population capacity
     window queue_capacity epoch_requests max_line quotas drain_timeout brownout_saturation
-    brownout_p99 window_seconds slos slo_file socket port host stdio connect =
+    brownout_p99 window_seconds slos slo_file tenant_windows flight_dir flight_slots socket
+    port host stdio connect =
   if connect then
     let* transport = transport ~socket ~port ~host in
     Result.map_error (fun m -> `Msg m) (Serve.Server.client transport stdin stdout)
@@ -283,6 +304,9 @@ let main seed n dist catalog w objective domains cache deploy faults retries pop
         quotas;
         brownout;
         drain_timeout_seconds = drain_timeout;
+        tenant_windows;
+        flight_dir;
+        flight_slots;
       }
     in
     let* daemon =
@@ -316,9 +340,12 @@ let cmd =
          \  {\"op\":\"tick\",\"hours\":2}   advance the simulated clock\n\
          \  {\"op\":\"drain\"}     answer or expire everything, refuse new work\n\
          \  {\"op\":\"shutdown\"}  drain, answer everything, stop\n\
+         \  {\"op\":\"dump\"}      write the flight-recorder ring now\n\
          \  GET metrics        OpenMetrics scrape of the live registry\n\
          \  GET health         readiness rubric (ready/degraded/unhealthy)\n\
-         \  GET slo            per-SLO burn-rate status";
+         \  GET health?tenant=acme   the same, scoped to one tenant\n\
+         \  GET slo            per-SLO burn-rate status\n\
+         \  GET slo?tenant=acme      only that tenant's trackers";
     ]
   in
   Cmd.v
@@ -330,7 +357,8 @@ let cmd =
              $ retries_arg $ population_arg $ capacity_arg $ window_arg
              $ queue_capacity_arg $ epoch_requests_arg $ max_line_arg $ quota_arg
              $ drain_timeout_arg $ brownout_saturation_arg $ brownout_p99_arg
-             $ window_seconds_arg $ slo_arg $ slo_file_arg $ socket_arg $ port_arg
+             $ window_seconds_arg $ slo_arg $ slo_file_arg $ tenant_windows_arg
+             $ flight_dir_arg $ flight_slots_arg $ socket_arg $ port_arg
              $ host_arg $ stdio_arg $ connect_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,43 @@
+(** Metric labels: sorted, unique key/value pairs attached to a series.
+
+    A labeled series is identified by [(name, labels)] with [labels] in
+    canonical form — sorted by key, keys unique and matching
+    [\[a-zA-Z_\]\[a-zA-Z0-9_\]*], and never ["le"] (reserved for
+    histogram buckets in the exposition format). The canonical rendered
+    spelling [{k="v",k2="v2"}] is shared between the OpenMetrics
+    exposition and the JSON snapshot keys, so one escape/parse pair
+    serves both. *)
+
+type t = (string * string) list
+(** Canonical form: sorted by key, keys unique. Obtain via {!normalize}. *)
+
+val empty : t
+
+val normalize : (string * string) list -> t
+(** Sorts by key and validates. @raise Invalid_argument on an invalid or
+    duplicate key, or the reserved key ["le"]. Values are unrestricted
+    (escaped at render time). *)
+
+val compare : t -> t -> int
+(** Lexicographic over (key, value) pairs; canonical inputs assumed. *)
+
+val equal : t -> t -> bool
+
+val escape_value : string -> string
+(** Exposition-format label-value escaping: backslash, double quote and
+    newline. *)
+
+val render : t -> string
+(** [{k="v",k2="v2"}] for non-empty labels, [""] for {!empty}. *)
+
+val render_pairs : Buffer.t -> t -> unit
+(** The comma-joined pairs without the surrounding braces — for
+    composing with extra labels such as the histogram [le]. *)
+
+val encode_series : string -> t -> string
+(** [name ^ render labels] — the unique series key used in snapshot JSON
+    documents and sink events. *)
+
+val decode_series : string -> (string * t, string) result
+(** Parses {!encode_series} back, normalizing the labels. Unlabeled
+    series round-trip as the bare name. *)

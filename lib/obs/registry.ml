@@ -9,24 +9,45 @@ type hstate = {
 
 type instrument = C of int ref | G of float ref | H of hstate
 
+(* Series key: family name plus canonical labels. Structural hashing is
+   what Hashtbl does by default, and both fields are plain strings. *)
+type series = { s_name : string; s_labels : Labels.t }
+
 type t = {
   enabled : bool;
   sink : Sink.t;
   clock : unit -> float;
-  table : (string, instrument) Hashtbl.t;
+  table : (series, instrument) Hashtbl.t;
+  (* One instrument kind per family, across every label combination —
+     the exposition emits a single # TYPE per family, so a counter
+     series and a gauge series under one name would lie to scrapers. *)
+  kinds : (string, string) Hashtbl.t;
 }
 
-type counter = { creg : t; cname : string }
-type gauge = { greg : t; gname : string }
-type histogram = { hreg : t; hname : string; hbuckets : float array }
+type counter = { creg : t; cname : string; clabels : Labels.t }
+type gauge = { greg : t; gname : string; glabels : Labels.t }
+type histogram = { hreg : t; hname : string; hlabels : Labels.t; hbuckets : float array }
 
 let create ?(sink = Sink.silent) ?(clock = Sys.time) () =
-  { enabled = true; sink; clock; table = Hashtbl.create 32 }
+  { enabled = true; sink; clock; table = Hashtbl.create 32; kinds = Hashtbl.create 32 }
 
-let noop = { enabled = false; sink = Sink.silent; clock = (fun () -> 0.); table = Hashtbl.create 1 }
+let noop =
+  {
+    enabled = false;
+    sink = Sink.silent;
+    clock = (fun () -> 0.);
+    table = Hashtbl.create 1;
+    kinds = Hashtbl.create 1;
+  }
 
 let disabled ?(sink = Sink.silent) ?(clock = fun () -> 0.) () =
-  { enabled = false; sink; clock; table = Hashtbl.create 1 }
+  {
+    enabled = false;
+    sink;
+    clock;
+    table = Hashtbl.create 1;
+    kinds = Hashtbl.create 1;
+  }
 
 let enabled t = t.enabled
 let now t = if t.enabled then t.clock () else 0.
@@ -57,17 +78,25 @@ let kind_error name got =
 
 let instrument_kind = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
-let counter t name =
-  (match Hashtbl.find_opt t.table name with
-  | None | Some (C _) -> ()
-  | Some other -> kind_error name (instrument_kind other));
-  { creg = t; cname = name }
+(* Family-level kind check: every label combination of one name must
+   carry the same instrument kind. Recorded on first sight (including on
+   handle creation, so conflicts surface at registration, not first
+   use). *)
+let check_family t name kind =
+  match Hashtbl.find_opt t.kinds name with
+  | None -> Hashtbl.replace t.kinds name kind
+  | Some k when String.equal k kind -> ()
+  | Some k -> kind_error name k
 
-let gauge t name =
-  (match Hashtbl.find_opt t.table name with
-  | None | Some (G _) -> ()
-  | Some other -> kind_error name (instrument_kind other));
-  { greg = t; gname = name }
+let counter ?(labels = []) t name =
+  let labels = Labels.normalize labels in
+  check_family t name "counter";
+  { creg = t; cname = name; clabels = labels }
+
+let gauge ?(labels = []) t name =
+  let labels = Labels.normalize labels in
+  check_family t name "gauge";
+  { greg = t; gname = name; glabels = labels }
 
 let validate_buckets buckets =
   if Array.length buckets = 0 then
@@ -80,28 +109,34 @@ let validate_buckets buckets =
         invalid_arg "Stratrec_obs.Registry.histogram: bucket bounds must ascend")
     buckets
 
-let counter_state t name =
-  match Hashtbl.find_opt t.table name with
+let counter_state t name labels =
+  check_family t name "counter";
+  let key = { s_name = name; s_labels = labels } in
+  match Hashtbl.find_opt t.table key with
   | Some (C r) -> r
-  | Some other -> kind_error name (instrument_kind other)
+  | Some other -> kind_error (Labels.encode_series name labels) (instrument_kind other)
   | None ->
       let r = ref 0 in
-      Hashtbl.replace t.table name (C r);
+      Hashtbl.replace t.table key (C r);
       r
 
-let gauge_state t name =
-  match Hashtbl.find_opt t.table name with
+let gauge_state t name labels =
+  check_family t name "gauge";
+  let key = { s_name = name; s_labels = labels } in
+  match Hashtbl.find_opt t.table key with
   | Some (G r) -> r
-  | Some other -> kind_error name (instrument_kind other)
+  | Some other -> kind_error (Labels.encode_series name labels) (instrument_kind other)
   | None ->
       let r = ref 0. in
-      Hashtbl.replace t.table name (G r);
+      Hashtbl.replace t.table key (G r);
       r
 
-let histogram_state t name buckets =
-  match Hashtbl.find_opt t.table name with
+let histogram_state t name labels buckets =
+  check_family t name "histogram";
+  let key = { s_name = name; s_labels = labels } in
+  match Hashtbl.find_opt t.table key with
   | Some (H h) -> h
-  | Some other -> kind_error name (instrument_kind other)
+  | Some other -> kind_error (Labels.encode_series name labels) (instrument_kind other)
   | None ->
       let h =
         {
@@ -113,19 +148,22 @@ let histogram_state t name buckets =
           max_v = 0.;
         }
       in
-      Hashtbl.replace t.table name (H h);
+      Hashtbl.replace t.table key (H h);
       h
 
 let bucket_layout_conflicts = "obs.bucket_layout_conflicts_total"
 
-let histogram ?(buckets = duration_buckets) t name =
+let histogram ?(buckets = duration_buckets) ?(labels = []) t name =
   validate_buckets buckets;
+  let labels = Labels.normalize labels in
   if t.enabled then begin
-    match Hashtbl.find_opt t.table name with
+    check_family t name "histogram";
+    let series = Labels.encode_series name labels in
+    match Hashtbl.find_opt t.table { s_name = name; s_labels = labels } with
     | None ->
         (* Materialize eagerly so a later registration under the same
-           name can be checked against this layout. *)
-        ignore (histogram_state t name buckets)
+           series can be checked against this layout. *)
+        ignore (histogram_state t name labels buckets)
     | Some (H h) ->
         if
           Array.length h.bounds <> Array.length buckets
@@ -133,56 +171,61 @@ let histogram ?(buckets = duration_buckets) t name =
         then begin
           (* Keep the original layout, but don't stay silent about it:
              bump the self-metric and hand the sink a warning event. *)
-          let r = counter_state t bucket_layout_conflicts in
+          let r = counter_state t bucket_layout_conflicts [] in
           r := !r + 1;
           t.sink (Sink.Counter_incr { name = bucket_layout_conflicts; by = 1; total = !r });
           t.sink
             (Sink.Warning
                {
-                 name;
+                 name = series;
                  message =
                    Printf.sprintf
                      "histogram %S re-registered with a conflicting bucket layout (%d \
                       bounds vs %d); keeping the original"
-                     name (Array.length h.bounds) (Array.length buckets);
+                     series (Array.length h.bounds) (Array.length buckets);
                })
         end
-    | Some other -> kind_error name (instrument_kind other)
+    | Some other -> kind_error series (instrument_kind other)
   end;
-  { hreg = t; hname = name; hbuckets = buckets }
+  { hreg = t; hname = name; hlabels = labels; hbuckets = buckets }
 
 let incr_by c by =
   if by < 0 then invalid_arg "Stratrec_obs.Registry.incr_by: negative increment";
   if c.creg.enabled then begin
     (* A zero increment still materializes the counter (at 0) so it shows
        up in snapshots, but emits no event. *)
-    let r = counter_state c.creg c.cname in
+    let r = counter_state c.creg c.cname c.clabels in
     if by > 0 then begin
       r := !r + by;
-      c.creg.sink (Sink.Counter_incr { name = c.cname; by; total = !r })
+      c.creg.sink
+        (Sink.Counter_incr
+           { name = Labels.encode_series c.cname c.clabels; by; total = !r })
     end
   end
 
 let incr c = incr_by c 1
 
 let counter_value c =
-  if not c.creg.enabled then 0 else !(counter_state c.creg c.cname)
+  if not c.creg.enabled then 0 else !(counter_state c.creg c.cname c.clabels)
 
 let set g value =
   if g.greg.enabled then begin
-    let r = gauge_state g.greg g.gname in
+    let r = gauge_state g.greg g.gname g.glabels in
     r := value;
-    g.greg.sink (Sink.Gauge_set { name = g.gname; value })
+    g.greg.sink
+      (Sink.Gauge_set { name = Labels.encode_series g.gname g.glabels; value })
   end
 
 let add g delta =
   if g.greg.enabled then begin
-    let r = gauge_state g.greg g.gname in
+    let r = gauge_state g.greg g.gname g.glabels in
     r := !r +. delta;
-    g.greg.sink (Sink.Gauge_set { name = g.gname; value = !r })
+    g.greg.sink
+      (Sink.Gauge_set { name = Labels.encode_series g.gname g.glabels; value = !r })
   end
 
-let gauge_value g = if not g.greg.enabled then 0. else !(gauge_state g.greg g.gname)
+let gauge_value g =
+  if not g.greg.enabled then 0. else !(gauge_state g.greg g.gname g.glabels)
 
 let bucket_index bounds value =
   (* First bound >= value; the +inf bucket is Array.length bounds. *)
@@ -197,7 +240,7 @@ let bucket_index bounds value =
 
 let observe h value =
   if h.hreg.enabled then begin
-    let s = histogram_state h.hreg h.hname h.hbuckets in
+    let s = histogram_state h.hreg h.hname h.hlabels h.hbuckets in
     let i = bucket_index s.bounds value in
     s.counts.(i) <- s.counts.(i) + 1;
     if s.count = 0 then begin
@@ -210,21 +253,23 @@ let observe h value =
     end;
     s.count <- s.count + 1;
     s.sum <- s.sum +. value;
-    h.hreg.sink (Sink.Observe { name = h.hname; value })
+    h.hreg.sink
+      (Sink.Observe { name = Labels.encode_series h.hname h.hlabels; value })
   end
 
 let absorb t (snapshot : Snapshot.t) =
   if t.enabled then
     List.iter
-      (fun { Snapshot.name; value } ->
+      (fun { Snapshot.name; labels; value } ->
         match value with
         | Snapshot.Counter n ->
-            let r = counter_state t name in
+            let r = counter_state t name labels in
             r := !r + n
         | Snapshot.Gauge v ->
-            let r = gauge_state t name in
+            let r = gauge_state t name labels in
             r := v
         | Snapshot.Histogram h ->
+            let series = Labels.encode_series name labels in
             let bounds =
               List.filter_map
                 (fun (le, _) -> if Float.is_finite le then Some le else None)
@@ -234,8 +279,9 @@ let absorb t (snapshot : Snapshot.t) =
             if Array.length bounds = 0 then
               invalid_arg
                 (Printf.sprintf
-                   "Stratrec_obs.Registry.absorb: histogram %S without finite buckets" name);
-            let s = histogram_state t name bounds in
+                   "Stratrec_obs.Registry.absorb: histogram %S without finite buckets"
+                   series);
+            let s = histogram_state t name labels bounds in
             if
               Array.length s.counts <> List.length h.Snapshot.buckets
               || not
@@ -246,7 +292,8 @@ let absorb t (snapshot : Snapshot.t) =
             then
               invalid_arg
                 (Printf.sprintf
-                   "Stratrec_obs.Registry.absorb: histogram %S bucket layouts differ" name);
+                   "Stratrec_obs.Registry.absorb: histogram %S bucket layouts differ"
+                   series);
             List.iteri (fun i (_, n) -> s.counts.(i) <- s.counts.(i) + n) h.Snapshot.buckets;
             if h.Snapshot.count > 0 then begin
               if s.count = 0 then begin
@@ -264,7 +311,7 @@ let absorb t (snapshot : Snapshot.t) =
 
 let snapshot t =
   Hashtbl.fold
-    (fun name instrument acc ->
+    (fun { s_name; s_labels } instrument acc ->
       let value =
         match instrument with
         | C r -> Snapshot.Counter !r
@@ -282,8 +329,13 @@ let snapshot t =
             Snapshot.Histogram
               { buckets; count = h.count; sum = h.sum; min = h.min_v; max = h.max_v }
       in
-      { Snapshot.name; value } :: acc)
+      { Snapshot.name = s_name; labels = s_labels; value } :: acc)
     t.table []
-  |> List.sort (fun a b -> String.compare a.Snapshot.name b.Snapshot.name)
+  |> List.sort (fun a b ->
+         Snapshot.compare_series
+           (a.Snapshot.name, a.Snapshot.labels)
+           (b.Snapshot.name, b.Snapshot.labels))
 
-let reset t = Hashtbl.reset t.table
+let reset t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.kinds

@@ -11,14 +11,17 @@
     [resilience.], [faults.]) and a [_total] suffix on monotone
     counters — see DESIGN.md §Observability.
 
-    Instruments are looked up by name: asking for an existing name with a
-    different instrument kind raises [Invalid_argument]; asking for an
-    existing histogram with a different bucket layout keeps the original
-    layout, but counts the conflict in the
-    [obs.bucket_layout_conflicts_total] self-metric and forwards a
-    {!Sink.Warning} event instead of staying silent. The registry is not
-    thread-safe — one registry per run (the intended sharding unit) needs
-    no locking. *)
+    Instruments are looked up by series — [(name, labels)], with
+    [?labels] defaulting to the unlabeled series. Every label
+    combination of one name forms a {e family} and must carry a single
+    instrument kind (the exposition emits one [# TYPE] per family);
+    asking for an existing family with a different kind raises
+    [Invalid_argument]. Asking for an existing histogram series with a
+    different bucket layout keeps the original layout, but counts the
+    conflict in the [obs.bucket_layout_conflicts_total] self-metric and
+    forwards a {!Sink.Warning} event instead of staying silent. The
+    registry is not thread-safe — one registry per run (the intended
+    sharding unit) needs no locking. *)
 
 type t
 
@@ -77,15 +80,19 @@ val fraction_buckets : float array
 
 (** {1 Instruments} *)
 
-val counter : t -> string -> counter
-val gauge : t -> string -> gauge
+val counter : ?labels:(string * string) list -> t -> string -> counter
+val gauge : ?labels:(string * string) list -> t -> string -> gauge
+(** [labels] (default none) selects the series within the family; pairs
+    are normalized via {!Labels.normalize} (which validates keys and
+    raises on duplicates or the reserved ["le"]). *)
 
-val histogram : ?buckets:float array -> t -> string -> histogram
+val histogram :
+  ?buckets:float array -> ?labels:(string * string) list -> t -> string -> histogram
 (** [buckets] is the array of inclusive upper bounds, sorted ascending
     (an implicit [+inf] bucket is appended); defaults to
     {!duration_buckets}. Registration is eager: the histogram appears in
     snapshots (at zero observations) from this call on. Re-registering an
-    existing name with a different layout keeps the original layout,
+    existing series with a different layout keeps the original layout,
     increments [obs.bucket_layout_conflicts_total] and emits a
     {!Sink.Warning}. @raise Invalid_argument if [buckets] is empty or
     unsorted. *)
@@ -107,19 +114,19 @@ val observe : histogram -> float -> unit
 (** {1 Snapshot} *)
 
 val snapshot : t -> Snapshot.t
-(** Deterministic (name-sorted) copy of the current state. *)
+(** Deterministic (series-sorted) copy of the current state. *)
 
 val absorb : t -> Snapshot.t -> unit
 (** [absorb t snapshot] folds a snapshot into the live registry:
     counters add, gauges take the snapshot's value, histograms add
     bucket-wise (instruments are created on first sight, with the
-    snapshot's bucket layout). This is how the parallel triage path
-    re-combines per-shard registries into the caller's — absorbing the
-    shard snapshots in shard index order reproduces the sequential
-    totals exactly. State-only: no per-operation {!Sink} events are
-    re-emitted. No-op on a disabled registry. @raise Invalid_argument
-    when a name exists with a different instrument kind or bucket
-    layout. *)
+    snapshot's bucket layout and labels). This is how the parallel
+    triage path re-combines per-shard registries into the caller's —
+    absorbing the shard snapshots in shard index order reproduces the
+    sequential totals exactly. State-only: no per-operation {!Sink}
+    events are re-emitted. No-op on a disabled registry.
+    @raise Invalid_argument when a series exists with a different
+    instrument kind or bucket layout. *)
 
 val reset : t -> unit
 (** Drops every instrument. Existing handles keep working and re-create

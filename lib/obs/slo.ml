@@ -11,6 +11,7 @@ type spec = {
   slow_seconds : float;
   fast_burn : float;
   slow_burn : float;
+  tenant : string option;
 }
 
 let target_of = function Latency { target; _ } -> target | Success { target } -> target
@@ -26,11 +27,12 @@ let validate_spec s =
   | _ -> ());
   if not (s.fast_seconds > 0.) then fail "fast window must be positive";
   if not (s.slow_seconds > s.fast_seconds) then fail "slow window must exceed the fast window";
-  if not (s.fast_burn > 0. && s.slow_burn > 0.) then fail "burn thresholds must be positive"
+  if not (s.fast_burn > 0. && s.slow_burn > 0.) then fail "burn thresholds must be positive";
+  match s.tenant with Some "" -> fail "empty tenant" | Some _ | None -> ()
 
 let spec ?(fast_seconds = 300.) ?(slow_seconds = 3600.) ?(fast_burn = 14.) ?(slow_burn = 6.)
-    ~name objective =
-  let s = { name; objective; fast_seconds; slow_seconds; fast_burn; slow_burn } in
+    ?tenant ~name objective =
+  let s = { name; objective; fast_seconds; slow_seconds; fast_burn; slow_burn; tenant } in
   validate_spec s;
   s
 
@@ -64,7 +66,9 @@ let spec_of_string input =
           | Some f when Float.is_finite f -> Ok (Some f)
           | _ -> Error (Printf.sprintf "slo spec: key %S needs a finite number, got %S" key v))
     in
-    let known = [ "name"; "target"; "latency"; "fast"; "slow"; "fast-burn"; "slow-burn" ] in
+    let known =
+      [ "name"; "target"; "latency"; "fast"; "slow"; "fast-burn"; "slow-burn"; "tenant" ]
+    in
     match List.find_opt (fun (k, _) -> not (List.mem k known)) pairs with
     | Some (k, _) ->
         Error
@@ -91,9 +95,15 @@ let spec_of_string input =
           | Some threshold_seconds -> Latency { threshold_seconds; target }
           | None -> Success { target }
         in
+        let tenant =
+          match List.assoc_opt "tenant" pairs with
+          | Some t when t <> "" -> Some t
+          | Some _ | None -> None
+        in
         try
           Ok
-            (spec ~name ?fast_seconds:fast ?slow_seconds:slow ?fast_burn ?slow_burn objective)
+            (spec ~name ?fast_seconds:fast ?slow_seconds:slow ?fast_burn ?slow_burn ?tenant
+               objective)
         with Invalid_argument msg -> Error (Printf.sprintf "slo spec: %s" msg))
 
 let float_str f = Json.to_string (Json.Number f)
@@ -104,10 +114,12 @@ let spec_to_string s =
     | Latency { threshold_seconds; _ } -> Printf.sprintf "latency=%s;" (float_str threshold_seconds)
     | Success _ -> ""
   in
-  Printf.sprintf "name=%s;%starget=%s;fast=%s;slow=%s;fast-burn=%s;slow-burn=%s" s.name latency
+  let tenant = match s.tenant with Some t -> Printf.sprintf ";tenant=%s" t | None -> "" in
+  Printf.sprintf "name=%s;%starget=%s;fast=%s;slow=%s;fast-burn=%s;slow-burn=%s%s" s.name
+    latency
     (float_str (target_of s.objective))
     (float_str s.fast_seconds) (float_str s.slow_seconds) (float_str s.fast_burn)
-    (float_str s.slow_burn)
+    (float_str s.slow_burn) tenant
 
 (* The windows only need count/sum of a 0/1 indicator, so a single-bound
    layout keeps the slot arrays tiny. *)
@@ -192,12 +204,15 @@ let evaluate ?(log = Log.noop) t =
   in
   if changed then begin
     let fields =
-      [
-        ("slo", Json.String t.spec.name);
-        ("fast_burn_rate", Json.Number fast_burn_rate);
-        ("slow_burn_rate", Json.Number slow_burn_rate);
-        ("budget_remaining", Json.Number evaluation.budget_remaining);
-      ]
+      ("slo", Json.String t.spec.name)
+      :: (match t.spec.tenant with
+         | Some tenant -> [ ("tenant", Json.String tenant) ]
+         | None -> [])
+      @ [
+          ("fast_burn_rate", Json.Number fast_burn_rate);
+          ("slow_burn_rate", Json.Number slow_burn_rate);
+          ("budget_remaining", Json.Number evaluation.budget_remaining);
+        ]
     in
     if burning then Log.warn ~fields log "slo alert firing"
     else Log.info ~fields log "slo alert resolved"
@@ -209,8 +224,11 @@ let burning t = t.firing
 let export ?log t registry =
   let e = evaluate ?log t in
   if Registry.enabled registry then begin
+    let labels = match t.spec.tenant with Some tenant -> [ ("tenant", tenant) ] | None -> [] in
     let set suffix value =
-      Registry.set (Registry.gauge registry (Printf.sprintf "obs.slo.%s.%s" t.spec.name suffix)) value
+      Registry.set
+        (Registry.gauge ~labels registry (Printf.sprintf "obs.slo.%s.%s" t.spec.name suffix))
+        value
     in
     set "fast_burn_rate" e.fast_burn_rate;
     set "slow_burn_rate" e.slow_burn_rate;

@@ -40,6 +40,10 @@ type spec = {
   slow_seconds : float;  (** slow burn window span (default 3600.) *)
   fast_burn : float;  (** firing threshold on the fast window (default 14.) *)
   slow_burn : float;  (** firing threshold on the slow window (default 6.) *)
+  tenant : string option;
+      (** scope: [None] tracks the whole stream; [Some t] trackers are
+          fed only that tenant's requests and export with a
+          [tenant="..."] label *)
 }
 
 val spec :
@@ -47,20 +51,22 @@ val spec :
   ?slow_seconds:float ->
   ?fast_burn:float ->
   ?slow_burn:float ->
+  ?tenant:string ->
   name:string ->
   objective ->
   spec
 (** @raise Invalid_argument on an empty name, a target outside (0, 1),
     a non-positive latency threshold, non-positive window spans, a slow
-    window not longer than the fast one, or non-positive burn
-    thresholds. *)
+    window not longer than the fast one, non-positive burn
+    thresholds, or an empty tenant. *)
 
 val spec_of_string : string -> (spec, string) result
 (** Parses the semicolon [key=value] surface the CLI flags use:
     [name=api;latency=0.25;target=0.95] declares a latency objective,
     omitting [latency=] declares a success objective; optional keys
     [fast=], [slow=] (seconds), [fast-burn=], [slow-burn=] override the
-    defaults. Unknown or duplicate keys are typed errors. *)
+    defaults, and [tenant=] scopes the tracker to one tenant's
+    requests. Unknown or duplicate keys are typed errors. *)
 
 val spec_to_string : spec -> string
 (** Canonical full form; [spec_of_string (spec_to_string s) = Ok s]. *)
@@ -101,5 +107,6 @@ val burning : t -> bool
 val export : ?log:Log.t -> t -> Registry.t -> unit
 (** {!evaluate}, then publish gauges [obs.slo.<name>.fast_burn_rate],
     [.slow_burn_rate], [.budget_remaining] and [.burning] (0/1) in the
-    registry. Gauges only, so per-shard merge/absorb semantics are
+    registry — stamped with a [tenant="..."] label when the spec is
+    tenant-scoped. Gauges only, so per-shard merge/absorb semantics are
     unchanged. *)

@@ -11,28 +11,46 @@ type histogram = {
 
 type value = Counter of int | Gauge of float | Histogram of histogram
 
-type entry = { name : string; value : value }
+type entry = { name : string; labels : Labels.t; value : value }
 
 type t = entry list
 
 let empty = []
 
-let find t name =
-  List.find_map (fun e -> if String.equal e.name name then Some e.value else None) t
+(* Series order: by name, then labels — the unlabeled series ([] sorts
+   first) leads its family, and every labeled sibling follows
+   consecutively, which is what the exposition grouping relies on. *)
+let compare_series (name, labels) (name', labels') =
+  match String.compare name name' with
+  | 0 -> Labels.compare labels labels'
+  | c -> c
 
-let counter_value t name =
-  match find t name with Some (Counter n) -> n | Some (Gauge _ | Histogram _) | None -> 0
+let series_name { name; labels; _ } = Labels.encode_series name labels
 
-let gauge_value t name =
-  match find t name with Some (Gauge v) -> v | Some (Counter _ | Histogram _) | None -> 0.
+let find ?(labels = []) t name =
+  List.find_map
+    (fun e ->
+      if String.equal e.name name && Labels.equal e.labels labels then Some e.value
+      else None)
+    t
 
-let histogram_count t name =
-  match find t name with
+let counter_value ?labels t name =
+  match find ?labels t name with
+  | Some (Counter n) -> n
+  | Some (Gauge _ | Histogram _) | None -> 0
+
+let gauge_value ?labels t name =
+  match find ?labels t name with
+  | Some (Gauge v) -> v
+  | Some (Counter _ | Histogram _) | None -> 0.
+
+let histogram_count ?labels t name =
+  match find ?labels t name with
   | Some (Histogram h) -> h.count
   | Some (Counter _ | Gauge _) | None -> 0
 
-let histogram_sum t name =
-  match find t name with
+let histogram_sum ?labels t name =
+  match find ?labels t name with
   | Some (Histogram h) -> h.sum
   | Some (Counter _ | Gauge _) | None -> 0.
 
@@ -63,7 +81,7 @@ let histogram_quantile h q =
    last-write-wins (the right operand is the later shard). Bucket layouts
    must agree — shard registries are created alike, so a mismatch is a
    programming error, not data. *)
-let merge_value name a b =
+let merge_value series a b =
   match (a, b) with
   | Counter a, Counter b -> Counter (a + b)
   | Gauge _, Gauge b -> Gauge b
@@ -75,7 +93,7 @@ let merge_value name a b =
              a.buckets b.buckets)
       then
         invalid_arg
-          (Printf.sprintf "Snapshot.merge: histogram %S bucket layouts differ" name);
+          (Printf.sprintf "Snapshot.merge: histogram %S bucket layouts differ" series);
       Histogram
         {
           buckets = List.map2 (fun (le, n) (_, n') -> (le, n + n')) a.buckets b.buckets;
@@ -91,33 +109,36 @@ let merge_value name a b =
              else Float.max a.max b.max);
         }
   | (Counter _ | Gauge _ | Histogram _), _ ->
-      invalid_arg (Printf.sprintf "Snapshot.merge: %S has mismatched instrument kinds" name)
+      invalid_arg
+        (Printf.sprintf "Snapshot.merge: %S has mismatched instrument kinds" series)
 
 let merge a b =
-  (* Both inputs are name-sorted; a linear merge keeps the result sorted
-     and deterministic. *)
+  (* Both inputs are series-sorted; a linear merge keeps the result
+     sorted and deterministic. *)
   let rec go a b =
     match (a, b) with
     | [], rest | rest, [] -> rest
     | x :: xs, y :: ys ->
-        let c = String.compare x.name y.name in
+        let c = compare_series (x.name, x.labels) (y.name, y.labels) in
         if c < 0 then x :: go xs b
         else if c > 0 then y :: go a ys
-        else { name = x.name; value = merge_value x.name x.value y.value } :: go xs ys
+        else
+          { x with value = merge_value (series_name x) x.value y.value } :: go xs ys
   in
   go a b
 
 let to_table t =
   let table = Tabular.create ~columns:[ "metric"; "type"; "value"; "detail" ] in
   List.iter
-    (fun { name; value } ->
+    (fun ({ value; _ } as e) ->
+      let series = series_name e in
       let row =
         match value with
-        | Counter n -> [ name; "counter"; string_of_int n; "" ]
-        | Gauge v -> [ name; "gauge"; Printf.sprintf "%g" v; "" ]
+        | Counter n -> [ series; "counter"; string_of_int n; "" ]
+        | Gauge v -> [ series; "gauge"; Printf.sprintf "%g" v; "" ]
         | Histogram h ->
             [
-              name;
+              series;
               "histogram";
               string_of_int h.count;
               Printf.sprintf "sum=%g min=%g max=%g" h.sum h.min h.max;
@@ -155,7 +176,7 @@ let to_json t =
   in
   Json.Object
     (List.map
-       (fun { name; value } ->
+       (fun ({ value; _ } as e) ->
          let v =
            match value with
            | Counter n ->
@@ -165,7 +186,7 @@ let to_json t =
            | Histogram h ->
                Json.Object [ ("type", Json.String "histogram"); ("value", histogram_json h) ]
          in
-         (name, v))
+         (series_name e, v))
        t)
 
 (* --- OpenMetrics / Prometheus text exposition --- *)
@@ -198,19 +219,6 @@ let escape_help text =
     text;
   Buffer.contents buf
 
-(* Label values additionally escape double quotes. *)
-let escape_label_value text =
-  let buf = Buffer.create (String.length text) in
-  String.iter
-    (fun c ->
-      match c with
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    text;
-  Buffer.contents buf
-
 let openmetrics_float f =
   if Float.is_nan f then "NaN"
   else if f = Float.infinity then "+Inf"
@@ -220,19 +228,39 @@ let openmetrics_float f =
 let to_openmetrics t =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (* Labeled siblings of one family sit consecutively in series order;
+     the HELP/TYPE block is emitted once per family, from its first
+     series (the registry guarantees one instrument kind per family). *)
+  let previous = ref None in
   List.iter
-    (fun { name; value } ->
+    (fun { name; labels; value } ->
       let sname = sanitize_name name in
-      line "# HELP %s %s" sname (escape_help name);
+      let rendered = Labels.render labels in
+      (* Histogram buckets compose the series labels with le; the series
+         labels come first, matching the canonical exposition order. *)
+      let bucket_labels bound =
+        let b = Buffer.create 32 in
+        Buffer.add_char b '{';
+        Labels.render_pairs b labels;
+        if labels <> [] then Buffer.add_char b ',';
+        Buffer.add_string b "le=\"";
+        Buffer.add_string b (Labels.escape_value bound);
+        Buffer.add_string b "\"}";
+        Buffer.contents b
+      in
+      if !previous <> Some name then begin
+        previous := Some name;
+        line "# HELP %s %s" sname (escape_help name);
+        line "# TYPE %s %s" sname
+          (match value with
+          | Counter _ -> "counter"
+          | Gauge _ -> "gauge"
+          | Histogram _ -> "histogram")
+      end;
       match value with
-      | Counter n ->
-          line "# TYPE %s counter" sname;
-          line "%s %d" sname n
-      | Gauge v ->
-          line "# TYPE %s gauge" sname;
-          line "%s %s" sname (openmetrics_float v)
+      | Counter n -> line "%s%s %d" sname rendered n
+      | Gauge v -> line "%s%s %s" sname rendered (openmetrics_float v)
       | Histogram h ->
-          line "# TYPE %s histogram" sname;
           (* Exposition buckets are cumulative; ours are per-bucket. The
              final (+inf) bound always renders as le="+Inf" — snapshots
              carry it explicitly, but cap the cumulative count at the
@@ -244,10 +272,10 @@ let to_openmetrics t =
               let bound =
                 if Float.is_finite le then openmetrics_float le else "+Inf"
               in
-              line "%s_bucket{le=\"%s\"} %d" sname (escape_label_value bound) !cum)
+              line "%s_bucket%s %d" sname (bucket_labels bound) !cum)
             h.buckets;
-          line "%s_sum %s" sname (openmetrics_float h.sum);
-          line "%s_count %d" sname h.count)
+          line "%s_sum%s %s" sname rendered (openmetrics_float h.sum);
+          line "%s_count%s %d" sname rendered h.count)
     t;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
@@ -291,7 +319,12 @@ let of_json json =
         }
     | Some _ | None -> fail "histogram without buckets"
   in
-  let entry_of_field (name, v) =
+  let entry_of_field (series, v) =
+    let name, labels =
+      match Labels.decode_series series with
+      | Ok (name, labels) -> (name, labels)
+      | Error message -> fail message
+    in
     let value =
       match Json.member "type" v with
       | Some (Json.String "counter") -> Counter (int_field v "value")
@@ -299,11 +332,11 @@ let of_json json =
       | Some (Json.String "histogram") -> (
           match Json.member "value" v with
           | Some h -> Histogram (histogram_of_json h)
-          | None -> fail (Printf.sprintf "histogram %S without value" name))
+          | None -> fail (Printf.sprintf "histogram %S without value" series))
       | Some (Json.String kind) -> fail (Printf.sprintf "unknown instrument type %S" kind)
-      | Some _ | None -> fail (Printf.sprintf "entry %S without a type" name)
+      | Some _ | None -> fail (Printf.sprintf "entry %S without a type" series)
     in
-    { name; value }
+    { name; labels; value }
   in
   match json with
   | Json.Object fields -> (

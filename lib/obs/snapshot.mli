@@ -1,7 +1,8 @@
 (** Immutable, deterministic view of a registry.
 
     A snapshot is the full instrument state at one point in time, sorted
-    by metric name so that two snapshots of equal registries render
+    by series — [(name, labels)], with the unlabeled series leading its
+    family — so that two snapshots of equal registries render
     identically (tests and the CLI rely on this). Rendering reuses the
     repository's table and JSON substrates ({!Stratrec_util.Tabular},
     {!Stratrec_util.Json}). *)
@@ -18,25 +19,35 @@ type histogram = {
 
 type value = Counter of int | Gauge of float | Histogram of histogram
 
-type entry = { name : string; value : value }
+type entry = { name : string; labels : Labels.t; value : value }
+(** One series: the family [name] plus its canonical {!Labels.t}
+    (empty for unlabeled series). *)
 
 type t = entry list
-(** Sorted by [name], each name unique. *)
+(** Sorted by [(name, labels)], each series unique; the unlabeled series
+    of a family sorts before its labeled siblings. *)
 
 val empty : t
 
-val find : t -> string -> value option
+val compare_series : string * Labels.t -> string * Labels.t -> int
+(** The snapshot ordering: by name, then canonical labels. *)
 
-val counter_value : t -> string -> int
+val series_name : entry -> string
+(** [Labels.encode_series name labels] — the unique series key. *)
+
+val find : ?labels:Labels.t -> t -> string -> value option
+(** [labels] defaults to the unlabeled series. *)
+
+val counter_value : ?labels:Labels.t -> t -> string -> int
 (** 0 when absent or not a counter. *)
 
-val gauge_value : t -> string -> float
+val gauge_value : ?labels:Labels.t -> t -> string -> float
 (** 0. when absent or not a gauge. *)
 
-val histogram_count : t -> string -> int
+val histogram_count : ?labels:Labels.t -> t -> string -> int
 (** 0 when absent or not a histogram. *)
 
-val histogram_sum : t -> string -> float
+val histogram_sum : ?labels:Labels.t -> t -> string -> float
 (** 0. when absent or not a histogram. *)
 
 val histogram_quantile : histogram -> float -> float
@@ -48,42 +59,48 @@ val histogram_quantile : histogram -> float -> float
     harness's latency-percentile estimator. *)
 
 val merge : t -> t -> t
-(** [merge a b] combines two snapshots name-wise: counters add,
+(** [merge a b] combines two snapshots series-wise: counters add,
     histograms add bucket-wise (counts, totals; min/max combine, an
     empty side contributes neither), and gauges take [b]'s value when
-    both sides carry one — [b] is the later shard. Entries present on
-    one side only pass through. The result is name-sorted like every
+    both sides carry one — [b] is the later shard. Series present on
+    one side only pass through. The result is series-sorted like every
     snapshot, so [merge] is associative and
     [List.fold_left merge empty shards] recombines per-shard registries
-    deterministically. @raise Invalid_argument when a name carries
+    deterministically. @raise Invalid_argument when a series carries
     different instrument kinds or histogram bucket layouts on the two
     sides. *)
 
 val to_table : t -> Stratrec_util.Tabular.t
 (** Columns [metric | type | value | detail]: counters and gauges carry
     their value, histograms their observation count with sum/min/max in
-    the detail column. *)
+    the detail column. The metric column shows the encoded series
+    ([name{k="v"}] for labeled series). *)
 
 val to_openmetrics : t -> string
-(** Prometheus/OpenMetrics text exposition: one [# HELP] (carrying the
-    original dotted name, escaped) and [# TYPE] block per metric, in
-    snapshot (name) order, terminated by [# EOF]. Metric names are
+(** Prometheus/OpenMetrics text exposition in snapshot (series) order,
+    terminated by [# EOF]. Exactly one [# HELP] (carrying the original
+    dotted name, escaped) and [# TYPE] block is emitted per family —
+    labeled siblings are consecutive by construction and share the
+    block. Labeled series render as [name{tenant="acme"} v] with full
+    label-value escaping (backslash, quote, newline). Metric names are
     sanitized to [\[a-zA-Z0-9_:\]] (dots become underscores; two dotted
     names that collide after sanitization are both emitted). Histogram
-    buckets are rendered cumulatively with the mandatory
-    [le="+Inf"] bucket, plus [_sum] and [_count] series; finite numbers
-    use the same shortest round-trip rendering as {!to_json}. *)
+    buckets are rendered cumulatively with the mandatory [le="+Inf"]
+    bucket — series labels precede [le] — plus [_sum] and [_count]
+    series; finite numbers use the same shortest round-trip rendering as
+    {!to_json}. *)
 
 val to_json : t -> Stratrec_util.Json.t
-(** An object keyed by metric name. Histogram bucket bounds are emitted
-    as strings (["0.1"], ["+inf"]) because JSON numbers cannot represent
-    infinity; finite bounds use the shortest round-tripping rendering so
-    {!of_json} recovers them exactly. *)
+(** An object keyed by encoded series name ({!Labels.encode_series}).
+    Histogram bucket bounds are emitted as strings (["0.1"], ["+inf"])
+    because JSON numbers cannot represent infinity; finite bounds use
+    the shortest round-tripping rendering so {!of_json} recovers them
+    exactly. *)
 
 val of_json : Stratrec_util.Json.t -> (t, string) result
 (** Parses the {!to_json} form back, preserving document order (a
-    {!to_json} document is already name-sorted, so the round trip is the
-    identity). Errors name the offending field. *)
+    {!to_json} document is already series-sorted, so the round trip is
+    the identity). Errors name the offending field. *)
 
 val pp : Format.formatter -> t -> unit
 (** The rendered table. *)

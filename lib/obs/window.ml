@@ -191,16 +191,24 @@ let reset t =
 
 let clock_regressions t = t.clock_regressions
 
-let export t registry ~name =
+let export ?(labels = []) ?(rate_only = false) t registry ~name =
   if Registry.enabled registry then begin
     let h = to_histogram t in
-    let set suffix value = Registry.set (Registry.gauge registry (name ^ suffix)) value in
+    let set suffix value =
+      Registry.set (Registry.gauge ~labels registry (name ^ suffix)) value
+    in
     set ".window.count" (float_of_int h.Snapshot.count);
     set ".window.rate_per_sec" (float_of_int h.Snapshot.count /. live_span t);
-    set ".window.mean"
-      (if h.Snapshot.count = 0 then 0. else h.Snapshot.sum /. float_of_int h.Snapshot.count);
-    set ".window.max" h.Snapshot.max;
-    set ".window.p50" (Snapshot.histogram_quantile h 0.5);
-    set ".window.p90" (Snapshot.histogram_quantile h 0.9);
-    set ".window.p99" (Snapshot.histogram_quantile h 0.99)
+    (* rate_only: for pure event-rate windows (observations are marks,
+       not measurements) the value-axis gauges would expose meaningless
+       zeros under a _seconds-style shape. *)
+    if not rate_only then begin
+      set ".window.mean"
+        (if h.Snapshot.count = 0 then 0.
+         else h.Snapshot.sum /. float_of_int h.Snapshot.count);
+      set ".window.max" h.Snapshot.max;
+      set ".window.p50" (Snapshot.histogram_quantile h 0.5);
+      set ".window.p90" (Snapshot.histogram_quantile h 0.9);
+      set ".window.p99" (Snapshot.histogram_quantile h 0.99)
+    end
   end

@@ -113,11 +113,17 @@ val reset : t -> unit
 (** Empty every slot and restart the live-span origin (the next
     observation becomes the window's first). *)
 
-val export : t -> Registry.t -> name:string -> unit
+val export :
+  ?labels:(string * string) list -> ?rate_only:bool -> t -> Registry.t -> name:string -> unit
 (** Publish the window as gauges in [registry]:
     [<name>.window.count], [<name>.window.rate_per_sec],
     [<name>.window.mean], [<name>.window.max],
     [<name>.window.p50], [<name>.window.p90], [<name>.window.p99].
-    Gauges only — safe on any registry that also carries sharded
-    counters (merge/absorb keep their semantics). No-op on a disabled
-    registry. *)
+    [labels] (default none) stamps every gauge — the daemon's per-tenant
+    windows export under the shared family names with a
+    [tenant="..."] label. [rate_only] (default false) publishes only
+    [count] and [rate_per_sec] — for {!mark}-fed event windows whose
+    value axis is unused (a mean/p99 of zeros under a seconds-style
+    shape misleads scrapers). Gauges only — safe on any registry that
+    also carries sharded counters (merge/absorb keep their semantics).
+    No-op on a disabled registry. *)

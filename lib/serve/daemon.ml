@@ -13,6 +13,9 @@ type config = {
   quotas : (string * Admission.quota) list;
   brownout : Brownout.config;
   drain_timeout_seconds : float;
+  tenant_windows : int;
+  flight_dir : string option;
+  flight_slots : int;
 }
 
 let default_config =
@@ -26,11 +29,26 @@ let default_config =
     quotas = [];
     brownout = Brownout.default;
     drain_timeout_seconds = 30.;
+    tenant_windows = 8;
+    flight_dir = None;
+    flight_slots = 16;
   }
 
 (* What waits in the admission queue: the request plus the connection
    token its epoch result must route back to. *)
 type pending = { request : Request.t; client : int }
+
+(* One tenant's live windows, lazily materialized on first sight up to
+   [config.tenant_windows] distinct tenants; later arrivals share the
+   ["other"] overflow slot so a tenant flood cannot exhaust memory. The
+   windows export under the shared serve.* family names with a
+   [tenant="<slot>"] label. *)
+type tenant_obs = {
+  slot : string;  (* tenant name, or "other" for the overflow bucket *)
+  tw_requests : Obs.Window.t;
+  tw_queue : Obs.Window.t;
+  tw_e2e : Obs.Window.t;
+}
 
 type t = {
   config : config;
@@ -77,6 +95,18 @@ type t = {
   w_deploy : Obs.Window.t;  (** deploy stage per epoch *)
   w_e2e : Obs.Window.t;  (** end-to-end latency per triaged request *)
   slos : Obs.Slo.t list;
+  tenant_obs : (string, tenant_obs) Hashtbl.t;
+      (** slot key (tenant name or ["other"]) -> windows *)
+  tenant_sheds : (string, int ref) Hashtbl.t;
+      (** cumulative shed count per tenant (flight-recorder payload) *)
+  flight : Flight.t option;  (** present iff [config.flight_dir] is set *)
+  flight_dumps : Obs.Registry.counter;
+  mutable flight_counters : (string * int) list;
+      (** serve.* counter totals at the last flight record *)
+  mutable flight_health : Protocol.health_state;
+  mutable flight_burning : string list;
+      (** SLO names firing at the last flight check *)
+  mutable last_submit_id : int option;
 }
 
 let now t = t.clock () +. (!(t.offset_hours) *. 3600.)
@@ -92,6 +122,10 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
     Error (`Invalid_config "serve window span must be positive")
   else if not (config.drain_timeout_seconds >= 0.) then
     Error (`Invalid_config "serve drain timeout must be >= 0")
+  else if config.tenant_windows < 1 then
+    Error (`Invalid_config "serve tenant window cap must be >= 1")
+  else if config.flight_slots < 1 then
+    Error (`Invalid_config "serve flight recorder needs at least one slot")
   else
     match
       ( Brownout.validate config.brownout,
@@ -125,12 +159,13 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
     match Engine.create ~config:config.engine ?rng ~availability ~strategies () with
     | Error _ as e -> e
     | Ok session ->
-        let counter name =
-          let c = Obs.Registry.counter registry name in
+        let labeled_counter labels name =
+          let c = Obs.Registry.counter ~labels registry name in
           Obs.Registry.incr_by c 0;
           (* register at 0: scrapeable before first use *)
           c
         in
+        let counter name = labeled_counter [] name in
         let window () =
           Obs.Window.create ~clock:obs_clock ~metrics:registry
             ~window_seconds:config.window_seconds ()
@@ -156,8 +191,10 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
             protocol_errors = counter "serve.protocol_errors_total";
             oversized_lines = counter "serve.oversized_lines_total";
             shed_total = counter "serve.shed_total";
-            shed_low_priority = counter "serve.shed.low_priority_total";
-            shed_over_share = counter "serve.shed.over_share_total";
+            shed_low_priority =
+              labeled_counter [ ("reason", "low-priority") ] "serve.shed_total";
+            shed_over_share =
+              labeled_counter [ ("reason", "over-share") ] "serve.shed_total";
             brownout_escalations = counter "serve.brownout.escalations_total";
             brownout_recoveries = counter "serve.brownout.recoveries_total";
             drains_total = counter "serve.drains_total";
@@ -170,7 +207,7 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
             clock_gauge = Obs.Registry.gauge registry "serve.clock_hours";
             epoch_fill =
               Obs.Registry.histogram ~buckets:Obs.Registry.fraction_buckets registry
-                "serve.epoch_fill";
+                "serve.epoch_fill_ratio";
             queue_wait = Obs.Registry.histogram registry "serve.queue_wait_seconds";
             w_requests = window ();
             w_queue = window ();
@@ -178,6 +215,17 @@ let create ?(clock = Obs.Registry.wall_clock) ?rng ~config ~availability ~strate
             w_deploy = window ();
             w_e2e = window ();
             slos = List.map (fun spec -> Obs.Slo.create ~clock:obs_clock spec) config.slos;
+            tenant_obs = Hashtbl.create 8;
+            tenant_sheds = Hashtbl.create 8;
+            flight =
+              (match config.flight_dir with
+              | Some _ -> Some (Flight.create ~slots:config.flight_slots)
+              | None -> None);
+            flight_dumps = counter "serve.flight_dumps_total";
+            flight_counters = [];
+            flight_health = Protocol.Ready;
+            flight_burning = [];
+            last_submit_id = None;
           }
         in
         Obs.Registry.set t.depth_gauge 0.;
@@ -195,10 +243,11 @@ let io_error_count t = t.io_error_count
 let registry t =
   match t.config.engine.Engine.metrics with Some r -> r | None -> assert false
 
-(* Transport fault accounting: one shared total plus a per-kind counter
-   minted on first use, so the scrape names every distinct failure mode
-   the transport has absorbed (accept, epipe, econnreset, read, write,
-   oversized) without pre-registering a closed set. *)
+(* Transport fault accounting: one shared total plus a per-kind labeled
+   series minted on first use, so the scrape names every distinct
+   failure mode the transport has absorbed (accept, epipe, econnreset,
+   read, write, oversized) without pre-registering a closed set — all
+   under the one serve.io_errors_total family. *)
 let note_io_error t ~kind =
   t.io_error_count <- t.io_error_count + 1;
   Obs.Registry.incr t.io_errors;
@@ -206,11 +255,51 @@ let note_io_error t ~kind =
     match Hashtbl.find_opt t.io_error_kinds kind with
     | Some c -> c
     | None ->
-        let c = Obs.Registry.counter (registry t) ("serve.io_errors." ^ kind ^ "_total") in
+        let c =
+          Obs.Registry.counter ~labels:[ ("kind", kind) ] (registry t)
+            "serve.io_errors_total"
+        in
         Hashtbl.add t.io_error_kinds kind c;
         c
   in
   Obs.Registry.incr c
+
+(* The tenant's window slot: existing tenants keep theirs, new tenants
+   materialize one while fewer than [tenant_windows] real slots exist,
+   and everyone later lands in the shared "other" overflow bucket (a
+   literal tenant named "other" shares it too). The empty tenant is not
+   a tenant — the unlabeled global windows already cover it. *)
+let tenant_slot t tenant =
+  if tenant = "" then None
+  else
+    match Hashtbl.find_opt t.tenant_obs tenant with
+    | Some o -> Some o
+    | None ->
+        let materialize slot =
+          let window () =
+            Obs.Window.create
+              ~clock:(fun () -> now t)
+              ~metrics:(registry t) ~window_seconds:t.config.window_seconds ()
+          in
+          let o =
+            { slot; tw_requests = window (); tw_queue = window (); tw_e2e = window () }
+          in
+          Hashtbl.add t.tenant_obs slot o;
+          o
+        in
+        let occupied = Hashtbl.length t.tenant_obs in
+        let has_other = Hashtbl.mem t.tenant_obs "other" in
+        let real_slots = if has_other then occupied - 1 else occupied in
+        if tenant <> "other" && real_slots < t.config.tenant_windows then
+          Some (materialize tenant)
+        else if has_other then Hashtbl.find_opt t.tenant_obs "other"
+        else Some (materialize "other")
+
+let note_tenant_shed t ~tenant =
+  let key = if tenant = "" then "other" else tenant in
+  match Hashtbl.find_opt t.tenant_sheds key with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.tenant_sheds key (ref 1)
 
 (* Brownout rung effects (DESIGN.md §5i), keyed to absolute rung
    numbers with [config.rungs] capping how far the ladder can walk.
@@ -281,11 +370,25 @@ let evaluate_brownout t =
    log records through the engine's run log. *)
 let refresh_observability t =
   let r = registry t in
-  Obs.Window.export t.w_requests r ~name:"serve.requests";
+  (* serve.requests is an arrival stream, not a latency sample — only
+     its count and rate are meaningful, so the family exports
+     rate-only (globally and per tenant). *)
+  Obs.Window.export ~rate_only:true t.w_requests r ~name:"serve.requests";
   Obs.Window.export t.w_queue r ~name:"serve.queue_wait_seconds";
   Obs.Window.export t.w_triage r ~name:"serve.triage_seconds";
   Obs.Window.export t.w_deploy r ~name:"serve.deploy_seconds";
   Obs.Window.export t.w_e2e r ~name:"serve.e2e_seconds";
+  let slots =
+    Hashtbl.fold (fun _ o acc -> o :: acc) t.tenant_obs []
+    |> List.sort (fun a b -> String.compare a.slot b.slot)
+  in
+  List.iter
+    (fun o ->
+      let labels = [ ("tenant", o.slot) ] in
+      Obs.Window.export ~labels ~rate_only:true o.tw_requests r ~name:"serve.requests";
+      Obs.Window.export ~labels o.tw_queue r ~name:"serve.queue_wait_seconds";
+      Obs.Window.export ~labels o.tw_e2e r ~name:"serve.e2e_seconds")
+    slots;
   List.iter (fun slo -> Obs.Slo.export ~log:t.config.engine.Engine.log slo r) t.slos
 
 let metrics t =
@@ -342,14 +445,148 @@ let deploy_verdicts (report : Engine.report) =
 
 (* SLO classification: a request met the service level when it was
    answered and any deploy stage completed (the verdict is absent or
-   "completed"); deadline expiry and deploy rejection spend budget. *)
-let record_slo t ~ok ~latency_seconds =
-  List.iter (fun slo -> Obs.Slo.record ~latency_seconds slo ~ok) t.slos
+   "completed"); deadline expiry and deploy rejection spend budget.
+   Global trackers see every request; tenant-scoped trackers see only
+   their tenant's. *)
+let record_slo t ~tenant ~ok ~latency_seconds =
+  List.iter
+    (fun slo ->
+      match (Obs.Slo.spec_of slo).Obs.Slo.tenant with
+      | None -> Obs.Slo.record ~latency_seconds slo ~ok
+      | Some scope ->
+          if String.equal scope tenant then Obs.Slo.record ~latency_seconds slo ~ok)
+    t.slos
 
 let evaluate_slos t =
   List.iter
     (fun slo -> ignore (Obs.Slo.evaluate ~log:t.config.engine.Engine.log slo : Obs.Slo.evaluation))
     t.slos
+
+(* Burning trackers with their reason attribution: a tenant-scoped spec
+   burns under the tenant's name ("slo-burning:acme"), a global one
+   under the SLO's. Reads the firing state as of the last evaluate —
+   does not itself evaluate. *)
+let burning_slos t =
+  List.filter_map
+    (fun slo ->
+      if Obs.Slo.burning slo then
+        let spec = Obs.Slo.spec_of slo in
+        Some (spec.Obs.Slo.name, spec.Obs.Slo.tenant)
+      else None)
+    t.slos
+
+(* Tenants sitting at their own max_queued cap while the shared queue
+   still has room — per-tenant backpressure the global depth gauge
+   cannot show. *)
+let quota_saturated t =
+  List.filter_map
+    (fun (tenant, (q : Admission.quota)) ->
+      match q.Admission.max_queued with
+      | Some limit when Admission.tenant_depth t.queue ~tenant >= limit -> Some tenant
+      | _ -> None)
+    t.config.quotas
+
+(* The health state from already-evaluated signals — no SLO
+   re-evaluation, so flight notes never emit alert-transition logs of
+   their own. Mirrors the rubric in [health]. *)
+let assess_state t =
+  let depth = Admission.length t.queue in
+  let capacity = t.config.queue_capacity in
+  let breaker = Engine.breaker_state t.session in
+  let queue_full = depth >= capacity in
+  let breaker_open = breaker = Some Stratrec_resilience.Breaker.Open in
+  let pressure =
+    (match breaker with
+    | Some Stratrec_resilience.Breaker.Closed | None -> false
+    | Some _ -> true)
+    || depth * 5 >= capacity * 4
+    || brownout_rung t > 0 || t.draining
+    || burning_slos t <> []
+    || quota_saturated t <> []
+  in
+  if t.stopped || (queue_full && breaker_open) then Protocol.Unhealthy
+  else if pressure then Protocol.Degraded
+  else Protocol.Ready
+
+(* serve.* counter totals keyed by encoded series — the flight
+   recorder's delta baseline. *)
+let serve_counters t =
+  List.filter_map
+    (fun (e : Obs.Snapshot.entry) ->
+      match e.Obs.Snapshot.value with
+      | Obs.Snapshot.Counter n
+        when String.length e.Obs.Snapshot.name >= 6
+             && String.sub e.Obs.Snapshot.name 0 6 = "serve." ->
+          Some (Obs.Snapshot.series_name e, n)
+      | _ -> None)
+    (Engine.session_metrics t.session)
+
+(* One flight record per epoch: what moved since the previous record,
+   plus the pressure state at note time. *)
+let flight_note t ~epoch ~admitted ~expired =
+  match t.flight with
+  | None -> ()
+  | Some flight ->
+      let totals = serve_counters t in
+      let delta =
+        List.filter_map
+          (fun (series, total) ->
+            let prev =
+              Option.value ~default:0 (List.assoc_opt series t.flight_counters)
+            in
+            if total > prev then Some (series, total - prev) else None)
+          totals
+      in
+      t.flight_counters <- totals;
+      let sheds =
+        Hashtbl.fold (fun tenant r acc -> (tenant, !r) :: acc) t.tenant_sheds []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Flight.note flight ~clock_seconds:(now t) ~epoch ~admitted ~expired
+        ~queue_depth:(Admission.length t.queue)
+        ~brownout_rung:(brownout_rung t)
+        ~health:(Protocol.health_state_label (assess_state t))
+        ~counters_delta:delta ~tenant_sheds:sheds ~last_id:t.last_submit_id
+
+let flight_dump t ~reason =
+  match (t.flight, t.config.flight_dir) with
+  | Some flight, Some dir -> (
+      match Flight.dump flight ~dir ~reason ~clock_seconds:(now t) with
+      | Ok _ as ok ->
+          Obs.Registry.incr t.flight_dumps;
+          ok
+      | Error _ as e -> e)
+  | _ -> Error "flight recorder disabled (start with --flight-dir)"
+
+(* Incident detection, once per handled line: a health transition into
+   degraded/unhealthy, or an SLO newly firing, triggers an automatic
+   ring dump so the epochs leading up to the incident are preserved.
+   Evaluates the trackers first so burn trips surface even on quiet
+   sockets; a dump-write failure is swallowed here (the explicit dump
+   verb reports it). *)
+let flight_check t =
+  match t.flight with
+  | None -> ()
+  | Some _ ->
+      evaluate_slos t;
+      let state = assess_state t in
+      let burning = List.map fst (burning_slos t) in
+      let newly =
+        List.filter (fun name -> not (List.mem name t.flight_burning)) burning
+      in
+      let transitions =
+        (match state with
+        | (Protocol.Degraded | Protocol.Unhealthy) when state <> t.flight_health ->
+            [ "health:" ^ Protocol.health_state_label state ]
+        | _ -> [])
+        @ List.map (fun name -> "slo-fast-burn:" ^ name) newly
+      in
+      t.flight_health <- state;
+      t.flight_burning <- burning;
+      if transitions <> [] then
+        ignore
+          (flight_dump t ~reason:(String.concat "," transitions)
+            : (string * int, string) result)
 
 (* Run one epoch over up to [max] fairly-drained requests. Responses:
    one Deadline_expired per expired entry, one Duplicate_id per bounced
@@ -363,7 +600,8 @@ let run_epoch t ~client ~max =
   let expired_responses = List.map (expired_response) expired in
   List.iter
     (fun (a : pending Admission.admitted) ->
-      record_slo t ~ok:false ~latency_seconds:a.Admission.waited_seconds)
+      record_slo t ~tenant:a.Admission.tenant ~ok:false
+        ~latency_seconds:a.Admission.waited_seconds)
     expired;
   Obs.Registry.incr_by t.deadline_rejects (List.length expired);
   let batch, duplicates = dedupe admitted in
@@ -388,7 +626,10 @@ let run_epoch t ~client ~max =
         List.iter
           (fun (a : pending Admission.admitted) ->
             Obs.Registry.observe t.queue_wait a.Admission.waited_seconds;
-            Obs.Window.observe t.w_queue a.Admission.waited_seconds)
+            Obs.Window.observe t.w_queue a.Admission.waited_seconds;
+            Option.iter
+              (fun o -> Obs.Window.observe o.tw_queue a.Admission.waited_seconds)
+              (tenant_slot t a.Admission.tenant))
           batch;
         let requests = List.map (fun a -> a.Admission.item.request) batch in
         match Engine.submit ?deadline_hours:(epoch_budget batch) t.session requests with
@@ -426,7 +667,10 @@ let run_epoch t ~client ~max =
                     a.Admission.waited_seconds +. triage_seconds +. deploy_seconds
                   in
                   Obs.Window.observe t.w_e2e total_seconds;
-                  record_slo t ~latency_seconds:total_seconds
+                  Option.iter
+                    (fun o -> Obs.Window.observe o.tw_e2e total_seconds)
+                    (tenant_slot t a.Admission.tenant);
+                  record_slo t ~tenant:a.Admission.tenant ~latency_seconds:total_seconds
                     ~ok:(match deployed with None | Some "completed" -> true | Some _ -> false);
                   ( a.Admission.item.client,
                     Protocol.Completed
@@ -460,6 +704,8 @@ let run_epoch t ~client ~max =
                     } );
               ])
   in
+  flight_note t ~epoch:(epochs t) ~admitted:(List.length batch)
+    ~expired:(List.length expired);
   expired_responses @ duplicate_responses @ epoch_responses
 
 (* Bounded drain, shared by the [drain] verb and [shutdown]: run
@@ -509,18 +755,29 @@ let drain_bounded t ~client =
    queue is full while the circuit breaker is open (no intake and no
    deploy drain — the daemon cannot make progress). Degraded: any
    single pressure signal — breaker not closed, queue at >= 80% of
-   capacity, or an SLO burning. Ready otherwise. Reasons bind the
-   verdict so operators (and the smoke test) see why. *)
-let health t =
+   capacity, an SLO burning, or a tenant pinned at its quota. Ready
+   otherwise. Reasons bind the verdict and name the offending tenant
+   ("slo-burning:acme", "quota-saturated:acme") so operators (and the
+   smoke test) see who, not just what. [?tenant] scopes the verdict:
+   daemon-global signals stay, but only that tenant's slo/quota reasons
+   count and [queue_depth] becomes the tenant's own. *)
+let health ?tenant t =
   evaluate_slos t;
-  let depth = Admission.length t.queue and capacity = t.config.queue_capacity in
+  let global_depth = Admission.length t.queue
+  and capacity = t.config.queue_capacity in
   let breaker = Engine.breaker_state t.session in
   let burning =
-    List.filter_map
-      (fun slo -> if Obs.Slo.burning slo then Some (Obs.Slo.spec_of slo).Obs.Slo.name else None)
-      t.slos
+    match tenant with
+    | None -> burning_slos t
+    | Some tn ->
+        List.filter (fun (_, scope) -> scope = Some tn) (burning_slos t)
   in
-  let queue_full = depth >= capacity in
+  let saturated =
+    match tenant with
+    | None -> quota_saturated t
+    | Some tn -> List.filter (String.equal tn) (quota_saturated t)
+  in
+  let queue_full = global_depth >= capacity in
   let breaker_open = breaker = Some Stratrec_resilience.Breaker.Open in
   let reasons =
     (if t.stopped then [ "stopped" ] else [])
@@ -529,12 +786,16 @@ let health t =
       | Some Stratrec_resilience.Breaker.Half_open -> [ "breaker-half-open" ]
       | Some Stratrec_resilience.Breaker.Closed | None -> [])
     @ (if queue_full then [ "queue-full" ]
-       else if depth * 5 >= capacity * 4 then [ "queue-saturated" ]
+       else if global_depth * 5 >= capacity * 4 then [ "queue-saturated" ]
        else [])
     @ (if brownout_rung t > 0 then [ Printf.sprintf "brownout-rung:%d" (brownout_rung t) ]
        else [])
     @ (if t.draining then [ "draining" ] else [])
-    @ List.map (fun name -> "slo-burning:" ^ name) burning
+    @ List.map
+        (fun (name, scope) ->
+          "slo-burning:" ^ Option.value ~default:name scope)
+        burning
+    @ List.map (fun tn -> "quota-saturated:" ^ tn) saturated
   in
   let state =
     if t.stopped || (queue_full && breaker_open) then Protocol.Unhealthy
@@ -544,9 +805,13 @@ let health t =
   Protocol.Health_status
     {
       state;
+      scope = tenant;
       reasons;
       breaker = Option.map Stratrec_resilience.Breaker.state_label breaker;
-      queue_depth = depth;
+      queue_depth =
+        (match tenant with
+        | None -> global_depth
+        | Some tn -> Admission.tenant_depth t.queue ~tenant:tn);
       queue_capacity = capacity;
       slo_burning = List.length burning;
       epochs = epochs t;
@@ -556,18 +821,28 @@ let health t =
       cache_hit_ratio = Engine.cache_hit_ratio t.session;
     }
 
-let slo_report t =
+let slo_report ?tenant t =
+  let in_scope slo =
+    match tenant with
+    | None -> true
+    | Some tn -> (Obs.Slo.spec_of slo).Obs.Slo.tenant = Some tn
+  in
   Protocol.Slo_report
-    (List.map
+    (List.filter_map
        (fun slo ->
-         let e = Obs.Slo.evaluate ~log:t.config.engine.Engine.log slo in
-         {
-           Protocol.slo = (Obs.Slo.spec_of slo).Obs.Slo.name;
-           burning = e.Obs.Slo.burning;
-           fast_burn_rate = e.Obs.Slo.fast_burn_rate;
-           slow_burn_rate = e.Obs.Slo.slow_burn_rate;
-           budget_remaining = e.Obs.Slo.budget_remaining;
-         })
+         if not (in_scope slo) then None
+         else
+           let e = Obs.Slo.evaluate ~log:t.config.engine.Engine.log slo in
+           let spec = Obs.Slo.spec_of slo in
+           Some
+             {
+               Protocol.slo = spec.Obs.Slo.name;
+               slo_tenant = spec.Obs.Slo.tenant;
+               burning = e.Obs.Slo.burning;
+               fast_burn_rate = e.Obs.Slo.fast_burn_rate;
+               slow_burn_rate = e.Obs.Slo.slow_burn_rate;
+               budget_remaining = e.Obs.Slo.budget_remaining;
+             })
        t.slos)
 
 (* Transport guard hook: the socket server reports each oversized-line
@@ -587,6 +862,8 @@ let handle_command t ~client command =
       Obs.Registry.incr t.submits;
       Obs.Window.mark t.w_requests;
       let id = Request.id request and tenant = Request.tenant request in
+      t.last_submit_id <- Some id;
+      Option.iter (fun o -> Obs.Window.mark o.tw_requests) (tenant_slot t tenant);
       if t.draining then ([ (client, Protocol.Draining { id; tenant }) ], `Continue)
       else
         match shed_reason t ~tenant with
@@ -594,6 +871,7 @@ let handle_command t ~client command =
             Obs.Registry.incr t.shed_total;
             Obs.Registry.incr
               (if reason = "low-priority" then t.shed_low_priority else t.shed_over_share);
+            note_tenant_shed t ~tenant;
             ( [
                 ( client,
                   Protocol.Overloaded { id; tenant; rung = brownout_rung t; reason } );
@@ -642,8 +920,24 @@ let handle_command t ~client command =
             Protocol.Metrics_text (Obs.Snapshot.to_openmetrics (metrics t)) );
         ],
         `Continue )
-  | Protocol.Health -> ([ (client, health t) ], `Continue)
-  | Protocol.Slo -> ([ (client, slo_report t) ], `Continue)
+  | Protocol.Health tenant -> ([ (client, health ?tenant t) ], `Continue)
+  | Protocol.Slo tenant -> ([ (client, slo_report ?tenant t) ], `Continue)
+  | Protocol.Dump -> (
+      match t.flight with
+      | None ->
+          ( [
+              ( client,
+                Protocol.Error_
+                  { reason = "flight recorder disabled (start with --flight-dir)" } );
+            ],
+            `Continue )
+      | Some _ -> (
+          match flight_dump t ~reason:"dump" with
+          | Ok (path, records) ->
+              ([ (client, Protocol.Dumped { path; records }) ], `Continue)
+          | Error m ->
+              ( [ (client, Protocol.Error_ { reason = "flight dump failed: " ^ m }) ],
+                `Continue )))
   | Protocol.Unknown_get path ->
       Obs.Registry.incr t.protocol_errors;
       ([ (client, Protocol.Unknown_endpoint { path }) ], `Continue)
@@ -672,4 +966,9 @@ let handle_line t ~client line =
            steady rung 0 costs two reads — the bit-identity contract
            for unloaded serving holds. *)
         evaluate_brownout t;
+        (* Then one incident check: with a flight recorder configured,
+           health transitions and SLO burn trips dump the ring here. A
+           clean shutdown is not an incident — skip the check once the
+           command stopped the daemon. *)
+        if not t.stopped then flight_check t;
         result

@@ -57,12 +57,24 @@ type config = {
       (** wall budget for [drain] and [shutdown]: epochs run until the
           queue empties or this elapses, stragglers are force-closed
           with typed [drain-expired] responses; [0] forces immediately *)
+  tenant_windows : int;
+      (** cap on distinct per-tenant window families
+          ([serve.*{tenant="..."}]), lazily materialized on first sight;
+          tenants beyond the cap share the ["other"] overflow slot so a
+          tenant flood cannot exhaust memory; must be [>= 1] *)
+  flight_dir : string option;
+      (** directory for flight-recorder dumps ([flight-NNNN.jsonl]);
+          [None] disables the recorder entirely *)
+  flight_slots : int;
+      (** flight-recorder ring size (per-epoch records kept); must be
+          [>= 1] *)
 }
 
 val default_config : config
 (** Engine defaults, capacity 64, epochs of 8, 64 KiB lines, 60-second
     windows, no SLOs, no quotas, default brownout ladder, 30-second
-    drain budget. *)
+    drain budget, 8 tenant window slots, no flight recorder (16 ring
+    slots when one is enabled). *)
 
 type t
 
@@ -129,7 +141,7 @@ val note_oversized : t -> int -> unit
     its line guard drops input. *)
 
 val note_io_error : t -> kind:string -> unit
-(** Count one absorbed transport fault under [serve.io_errors_total]
-    and [serve.io_errors.<kind>_total] (kinds the socket server
-    reports: ["accept"], ["epipe"], ["econnreset"], ["read"],
-    ["write"], ["oversized"]). *)
+(** Count one absorbed transport fault under the unlabeled
+    [serve.io_errors_total] and its [serve.io_errors_total{kind="..."}]
+    labeled sibling (kinds the socket server reports: ["accept"],
+    ["epipe"], ["econnreset"], ["read"], ["write"], ["oversized"]). *)

@@ -1,0 +1,107 @@
+module Json = Stratrec_util.Json
+
+(* Bounded ring of per-epoch observations. The daemon notes one record
+   per epoch; on an incident (health transition, SLO fast-burn trip, or
+   an explicit dump verb) the whole ring is written as a JSON-lines
+   post-mortem, so the last N epochs before the incident are always
+   reconstructible without scraping history. *)
+
+type record = {
+  seq : int;
+  clock_seconds : float;
+  epoch : int;
+  admitted : int;
+  expired : int;
+  queue_depth : int;
+  brownout_rung : int;
+  health : string;
+  counters_delta : (string * int) list;
+      (* serve.* counter movement since the previous record, encoded
+         series name -> delta, zero deltas elided *)
+  tenant_sheds : (string * int) list;  (* cumulative shed count per tenant *)
+  last_id : int option;  (* most recent submit id seen — the last trace *)
+}
+
+type t = {
+  slots : record option array;
+  mutable next_seq : int;
+  mutable dumps : int;
+}
+
+let create ~slots =
+  if slots < 1 then invalid_arg "Stratrec_serve.Flight.create: need at least one slot";
+  { slots = Array.make slots None; next_seq = 0; dumps = 0 }
+
+let note t ~clock_seconds ~epoch ~admitted ~expired ~queue_depth ~brownout_rung ~health
+    ~counters_delta ~tenant_sheds ~last_id =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.slots.(seq mod Array.length t.slots) <-
+    Some
+      {
+        seq;
+        clock_seconds;
+        epoch;
+        admitted;
+        expired;
+        queue_depth;
+        brownout_rung;
+        health;
+        counters_delta;
+        tenant_sheds;
+        last_id;
+      }
+
+(* Live records, oldest first. *)
+let records t =
+  Array.to_list t.slots
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let length t = List.length (records t)
+let dumps t = t.dumps
+
+let record_json r =
+  let int i = Json.Number (float_of_int i) in
+  let pairs kvs = Json.Object (List.map (fun (k, v) -> (k, int v)) kvs) in
+  Json.Object
+    ([
+       ("seq", int r.seq);
+       ("clock_seconds", Json.Number r.clock_seconds);
+       ("epoch", int r.epoch);
+       ("admitted", int r.admitted);
+       ("expired", int r.expired);
+       ("queue_depth", int r.queue_depth);
+       ("brownout_rung", int r.brownout_rung);
+       ("health", Json.String r.health);
+       ("counters_delta", pairs r.counters_delta);
+       ("tenant_sheds", pairs r.tenant_sheds);
+     ]
+    @ match r.last_id with None -> [] | Some id -> [ ("last_id", int id) ])
+
+let dump t ~dir ~reason ~clock_seconds =
+  let live = records t in
+  t.dumps <- t.dumps + 1;
+  let path = Filename.concat dir (Printf.sprintf "flight-%04d.jsonl" t.dumps) in
+  let meta =
+    Json.Object
+      [
+        ("flight", Json.String "stratrec-serve");
+        ("dump", Json.Number (float_of_int t.dumps));
+        ("reason", Json.String reason);
+        ("clock_seconds", Json.Number clock_seconds);
+        ("records", Json.Number (float_of_int (List.length live)));
+      ]
+  in
+  match
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Json.to_string meta);
+        output_char oc '\n';
+        List.iter
+          (fun r ->
+            output_string oc (Json.to_string (record_json r));
+            output_char oc '\n')
+          live)
+  with
+  | () -> Ok (path, List.length live)
+  | exception Sys_error message -> Error message

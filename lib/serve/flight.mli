@@ -1,0 +1,66 @@
+(** Anomaly flight recorder: a bounded ring of per-epoch observations
+    dumped as a JSON-lines post-mortem when something goes wrong
+    (DESIGN.md §5k).
+
+    The daemon {!note}s one record per epoch — snapshot counter deltas,
+    the brownout rung, queue depth, cumulative per-tenant shed counts,
+    the health verdict, and the last submit id seen. The ring keeps the
+    most recent [slots] records; {!dump} writes them oldest-first to
+    [flight-NNNN.jsonl] under the configured directory (one meta line,
+    then one line per record), with [NNNN] a per-recorder dump counter
+    so repeated incidents never clobber each other. Nothing here reads a
+    wall clock — the caller supplies every timestamp, preserving the
+    daemon's deterministic-clock contract. *)
+
+type record = {
+  seq : int;  (** monotone note counter (0-based) *)
+  clock_seconds : float;  (** daemon observability clock at note time *)
+  epoch : int;
+  admitted : int;
+  expired : int;
+  queue_depth : int;
+  brownout_rung : int;
+  health : string;  (** ready / degraded / unhealthy at note time *)
+  counters_delta : (string * int) list;
+      (** [serve.*] counter movement since the previous record (encoded
+          series name, delta), zero deltas elided *)
+  tenant_sheds : (string * int) list;
+      (** cumulative shed count per tenant at note time *)
+  last_id : int option;
+      (** most recent submit id the daemon saw — the last trace *)
+}
+
+type t
+
+val create : slots:int -> t
+(** @raise Invalid_argument when [slots < 1]. *)
+
+val note :
+  t ->
+  clock_seconds:float ->
+  epoch:int ->
+  admitted:int ->
+  expired:int ->
+  queue_depth:int ->
+  brownout_rung:int ->
+  health:string ->
+  counters_delta:(string * int) list ->
+  tenant_sheds:(string * int) list ->
+  last_id:int option ->
+  unit
+(** Push one record, evicting the oldest when the ring is full. *)
+
+val records : t -> record list
+(** Live records, oldest first (at most [slots]). *)
+
+val length : t -> int
+
+val dumps : t -> int
+(** Dumps written so far (the [NNNN] counter). *)
+
+val dump : t -> dir:string -> reason:string -> clock_seconds:float -> (string * int, string) result
+(** Write the ring to [<dir>/flight-NNNN.jsonl]: a meta line carrying
+    the dump counter, [reason] and [clock_seconds], then every live
+    record oldest-first. Returns the path and record count, or the
+    [Sys_error] message when the directory is missing/unwritable. The
+    ring is left intact (a later incident re-dumps the overlap). *)

@@ -6,8 +6,9 @@ type command =
   | Flush
   | Drain
   | Metrics
-  | Health
-  | Slo
+  | Health of string option
+  | Slo of string option
+  | Dump
   | Ping
   | Tick of float
   | Shutdown
@@ -17,19 +18,38 @@ let default_max_line = 65536
 
 let ( let* ) = Result.bind
 
-(* GET dispatch: [GET <path>], leading slash optional, path matched
-   case-insensitively. Unknown paths parse successfully into
-   [Unknown_get] so the daemon can answer with a typed unknown-endpoint
-   response (echoing the path) instead of a generic parse error. *)
+(* GET dispatch: [GET <path>[?tenant=<t>]], leading slash optional, path
+   matched case-insensitively. The only recognized query parameter is
+   [tenant=] (empty and unknown parameters are ignored). Unknown paths
+   parse successfully into [Unknown_get] so the daemon can answer with a
+   typed unknown-endpoint response (echoing the path) instead of a
+   generic parse error. *)
 let get_command path =
   let stripped =
     if String.length path > 0 && path.[0] = '/' then String.sub path 1 (String.length path - 1)
     else path
   in
-  match String.lowercase_ascii stripped with
+  let base, tenant =
+    match String.index_opt stripped '?' with
+    | None -> (stripped, None)
+    | Some i ->
+        let base = String.sub stripped 0 i in
+        let query = String.sub stripped (i + 1) (String.length stripped - i - 1) in
+        let tenant =
+          String.split_on_char '&' query
+          |> List.find_map (fun piece ->
+                 match String.index_opt piece '=' with
+                 | Some j when String.lowercase_ascii (String.sub piece 0 j) = "tenant" ->
+                     let v = String.sub piece (j + 1) (String.length piece - j - 1) in
+                     if v = "" then None else Some v
+                 | _ -> None)
+        in
+        (base, tenant)
+  in
+  match String.lowercase_ascii base with
   | "metrics" -> Metrics
-  | "health" -> Health
-  | "slo" -> Slo
+  | "health" -> Health tenant
+  | "slo" -> Slo tenant
   | _ -> Unknown_get path
 
 let parse ?(max_line = default_max_line) line =
@@ -61,8 +81,16 @@ let parse ?(max_line = default_max_line) line =
       | "flush" -> Ok Flush
       | "drain" -> Ok Drain
       | "metrics" -> Ok Metrics
-      | "health" -> Ok Health
-      | "slo" -> Ok Slo
+      | "health" | "slo" -> (
+          let wrap tenant = if op = "health" then Health tenant else Slo tenant in
+          match Json.member "tenant" json with
+          | None -> Ok (wrap None)
+          | Some v -> (
+              match Json.to_string_value v with
+              | Some "" -> Ok (wrap None)
+              | Some tenant -> Ok (wrap (Some tenant))
+              | None -> Error (op ^ ": field \"tenant\": expected a string")))
+      | "dump" -> Ok Dump
       | "ping" -> Ok Ping
       | "shutdown" -> Ok Shutdown
       | "tick" -> (
@@ -110,6 +138,7 @@ let health_state_label = function
 
 type slo_status = {
   slo : string;
+  slo_tenant : string option;
   burning : bool;
   fast_burn_rate : float;
   slow_burn_rate : float;
@@ -137,6 +166,7 @@ type response =
   | Epoch_closed of { epoch : int; admitted : int; expired : int }
   | Health_status of {
       state : health_state;
+      scope : string option;
       reasons : string list;
       breaker : string option;
       queue_depth : int;
@@ -149,6 +179,7 @@ type response =
       cache_hit_ratio : float option;
     }
   | Slo_report of slo_status list
+  | Dumped of { path : string; records : int }
   | Unknown_endpoint of { path : string }
   | Pong
   | Ticked of { clock_hours : float }
@@ -195,13 +226,14 @@ let lineage_field = function
 
 let slo_status_fields s =
   Json.Object
-    [
-      ("slo", str s.slo);
-      ("burning", bool s.burning);
-      ("fast_burn_rate", num s.fast_burn_rate);
-      ("slow_burn_rate", num s.slow_burn_rate);
-      ("budget_remaining", num s.budget_remaining);
-    ]
+    (("slo", str s.slo)
+     :: (match s.slo_tenant with None -> [] | Some t -> [ ("tenant", str t) ])
+    @ [
+        ("burning", bool s.burning);
+        ("fast_burn_rate", num s.fast_burn_rate);
+        ("slow_burn_rate", num s.slow_burn_rate);
+        ("budget_remaining", num s.budget_remaining);
+      ])
 
 let render response =
   match response with
@@ -268,6 +300,7 @@ let render response =
         | Health_status
             {
               state;
+              scope;
               reasons;
               breaker;
               queue_depth;
@@ -279,12 +312,12 @@ let render response =
               io_errors;
               cache_hit_ratio;
             } ->
-            [
-              ("ok", bool (state <> Unhealthy));
-              ("status", str "health");
-              ("state", str (health_state_label state));
-              ("reasons", Json.List (List.map str reasons));
-            ]
+            [ ("ok", bool (state <> Unhealthy)); ("status", str "health") ]
+            @ (match scope with None -> [] | Some t -> [ ("tenant", str t) ])
+            @ [
+                ("state", str (health_state_label state));
+                ("reasons", Json.List (List.map str reasons));
+              ]
             @ (match breaker with None -> [] | Some b -> [ ("breaker", str b) ])
             @ [
                 ("queue_depth", int queue_depth);
@@ -303,6 +336,13 @@ let render response =
               ("ok", bool true);
               ("status", str "slo");
               ("slos", Json.List (List.map slo_status_fields slos));
+            ]
+        | Dumped { path; records } ->
+            [
+              ("ok", bool true);
+              ("status", str "dumped");
+              ("path", str path);
+              ("records", int records);
             ]
         | Unknown_endpoint { path } ->
             [ ("ok", bool false); ("status", str "unknown-endpoint"); ("path", str path) ]

@@ -28,10 +28,17 @@ type command =
           queued request within the daemon's drain budget, force-expire
           the stragglers, answer with a {!Drained} summary *)
   | Metrics  (** [GET metrics] or [{"op":"metrics"}] *)
-  | Health
-      (** [GET health] or [{"op":"health"}] — the readiness rubric
-          (ready / degraded / unhealthy with binding reasons) *)
-  | Slo  (** [GET slo] or [{"op":"slo"}] — per-SLO burn-rate status *)
+  | Health of string option
+      (** [GET health[?tenant=t]] or [{"op":"health","tenant":"t"}] —
+          the readiness rubric (ready / degraded / unhealthy with
+          binding reasons), optionally scoped to one tenant *)
+  | Slo of string option
+      (** [GET slo[?tenant=t]] or [{"op":"slo","tenant":"t"}] — per-SLO
+          burn-rate status, optionally filtered to one tenant's
+          trackers *)
+  | Dump
+      (** [{"op":"dump"}] — write the flight-recorder ring to the
+          configured directory now *)
   | Ping  (** [{"op":"ping"}] — liveness probe *)
   | Tick of float
       (** [{"op":"tick","hours":H}] — advance the daemon's simulated
@@ -80,6 +87,9 @@ val health_state_label : health_state -> string
 (** One SLO's live burn status, as carried by {!Slo_report}. *)
 type slo_status = {
   slo : string;
+  slo_tenant : string option;
+      (** the spec's tenant scope (rendered as a ["tenant"] field when
+          present) *)
   burning : bool;
   fast_burn_rate : float;
   slow_burn_rate : float;
@@ -125,9 +135,14 @@ type response =
       (** sent to the flushing/submitting client after an epoch runs *)
   | Health_status of {
       state : health_state;
+      scope : string option;
+          (** the tenant filter this verdict was computed under
+              ([GET health?tenant=]); [None] for daemon-global health —
+              the field is then suppressed in the JSON *)
       reasons : string list;
           (** binding reasons for a non-ready state, e.g.
-              ["breaker-open"], ["queue-saturated"], ["slo-burning:api"] *)
+              ["breaker-open"], ["queue-saturated"], ["slo-burning:api"],
+              ["slo-burning:acme"], ["quota-saturated:acme"] *)
       breaker : string option;
           (** live circuit-breaker state label; [None] without a breaker *)
       queue_depth : int;
@@ -142,6 +157,9 @@ type response =
               uncached (the field is then suppressed in the JSON) *)
     }
   | Slo_report of slo_status list  (** one entry per configured SLO *)
+  | Dumped of { path : string; records : int }
+      (** flight-recorder dump written: where, and how many ring records
+          it carries *)
   | Unknown_endpoint of { path : string }
       (** typed answer to {!Unknown_get}, path echoed *)
   | Pong

@@ -109,6 +109,7 @@ epoch fill all appear under serve_*.
   serve_drains_total 0
   serve_epoch_requests_total 2
   serve_epochs_total 1
+  serve_flight_dumps_total 0
   serve_io_errors_total 0
   serve_oversized_lines_total 0
   serve_protocol_errors_total 0
@@ -117,8 +118,6 @@ epoch fill all appear under serve_*.
   serve_rejected_duplicate_total 0
   serve_rejected_queue_full_total 0
   serve_rejected_quota_total 0
-  serve_shed_low_priority_total 0
-  serve_shed_over_share_total 0
   serve_shed_total 0
   serve_submits_total 2
   # EOF
@@ -133,7 +132,7 @@ rates and streaming quantiles over the daemon's request stream).
   >   '{"op":"shutdown"}' \
   >   | stratrec-serve --stdio --epoch-requests 8 \
   >   | grep -cE '^serve_(requests|queue_wait_seconds|triage_seconds|deploy_seconds|e2e_seconds)_window_(count|rate_per_sec|mean|max|p50|p90|p99) '
-  35
+  30
 
 The triage cache is on by default in the daemon: repeated request
 shapes hit the memoized requirement rows and ADPaR triage (with
@@ -294,3 +293,113 @@ queueing them, and GET health binds the rung as a degraded reason.
   {"ok":false,"status":"overloaded","id":7,"rung":3,"reason":"over-share"}
   {"ok":true,"status":"health","state":"degraded","reasons":["queue-full","brownout-rung:3"],"queue_depth":4,"queue_capacity":4,"slo_burning":0,"epochs":0,"brownout_rung":3,"draining":false,"io_errors":0,"cache_hit_ratio":0}
   {"ok":true,"status":"shutting-down"}
+
+Per-tenant sliding windows materialize lazily on first sight of a
+tenant and export under tenant="..." labels next to the global
+(unlabeled) families; requests without a tenant feed only the global
+windows.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"tenant":"acme"}' \
+  >   '{"op":"submit","id":2,"params":"0.6,0.6,0.6","k":2,"tenant":"acme"}' \
+  >   '{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2,"tenant":"beta"}' \
+  >   '{"op":"flush"}' \
+  >   'GET metrics' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >   | grep -E '^serve_(requests|e2e_seconds)_window_count'
+  serve_e2e_seconds_window_count 3
+  serve_e2e_seconds_window_count{tenant="acme"} 2
+  serve_e2e_seconds_window_count{tenant="beta"} 1
+  serve_requests_window_count 3
+  serve_requests_window_count{tenant="acme"} 2
+  serve_requests_window_count{tenant="beta"} 1
+
+--tenant-windows caps how many distinct per-tenant families the scrape
+can grow; tenants past the cap share the "other" overflow slot, so a
+tenant flood cannot exhaust memory.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"tenant":"acme"}' \
+  >   '{"op":"submit","id":2,"params":"0.9,0.2,0.3","k":2,"tenant":"beta"}' \
+  >   '{"op":"submit","id":3,"params":"0.9,0.2,0.3","k":2,"tenant":"gamma"}' \
+  >   '{"op":"flush"}' \
+  >   'GET metrics' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 --tenant-windows 1 \
+  >   | grep -E '^serve_requests_window_count'
+  serve_requests_window_count 3
+  serve_requests_window_count{tenant="acme"} 1
+  serve_requests_window_count{tenant="other"} 2
+
+An SLO can be scoped to one tenant (tenant= in the spec): only that
+tenant's requests are classified against it, and GET health?tenant= /
+GET slo?tenant= filter the verdict to that tenant's trackers. Here
+acme's deadline expiry burns the acme-scoped SLO — acme's health
+degrades with the tenant named in the reason while beta stays ready.
+
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"deadline_hours":1,"tenant":"acme"}' \
+  >   '{"op":"tick","hours":2}' \
+  >   '{"op":"flush"}' \
+  >   'GET slo?tenant=acme' \
+  >   'GET slo?tenant=beta' \
+  >   'GET health?tenant=acme' \
+  >   'GET health?tenant=beta' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 \
+  >       --slo 'name=api;target=0.75;fast-burn=3;slow-burn=2;tenant=acme' \
+  >   | grep -vE '"status":"(accepted|ticked|deadline-expired|epoch-closed)"'
+  {"ok":true,"status":"slo","slos":[{"slo":"api","tenant":"acme","burning":true,"fast_burn_rate":4,"slow_burn_rate":4,"budget_remaining":-3}]}
+  {"ok":true,"status":"slo","slos":[]}
+  {"ok":true,"status":"health","tenant":"acme","state":"degraded","reasons":["slo-burning:acme"],"queue_depth":0,"queue_capacity":64,"slo_burning":1,"epochs":0,"brownout_rung":0,"draining":false,"io_errors":0,"cache_hit_ratio":0}
+  {"ok":true,"status":"health","tenant":"beta","state":"ready","reasons":[],"queue_depth":0,"queue_capacity":64,"slo_burning":0,"epochs":0,"brownout_rung":0,"draining":false,"io_errors":0,"cache_hit_ratio":0}
+  {"ok":true,"status":"shutting-down"}
+
+The dump verb without a flight recorder is a typed error, not a crash.
+
+  $ printf '%s\n' '{"op":"dump"}' '{"op":"shutdown"}' | stratrec-serve --stdio
+  {"ok":false,"status":"error","error":"flight recorder disabled (start with --flight-dir)"}
+  {"ok":true,"status":"shutting-down"}
+
+--flight-dir arms the flight recorder: every epoch notes one bounded
+ring record (counter deltas, queue depth, health, last submit id), and
+the dump verb writes the ring as a JSON-lines post-mortem. Wall-clock
+stamps are volatile; everything else is deterministic.
+
+  $ mkdir flights
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2}' \
+  >   '{"op":"flush"}' \
+  >   '{"op":"submit","id":2,"params":"0.6,0.6,0.6","k":2}' \
+  >   '{"op":"flush"}' \
+  >   '{"op":"dump"}' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 --flight-dir flights \
+  >   | grep '"status":"dumped"' \
+  >   | sed -E 's|("path":)"[^"]*"|\1"..."|'
+  {"ok":true,"status":"dumped","path":"...","records":2}
+  $ sed -E 's/("clock_seconds":)[0-9.e+-]+/\1.../' flights/flight-0001.jsonl
+  {"flight":"stratrec-serve","dump":1,"reason":"dump","clock_seconds":...,"records":2}
+  {"seq":0,"clock_seconds":...,"epoch":1,"admitted":1,"expired":0,"queue_depth":0,"brownout_rung":0,"health":"ready","counters_delta":{"serve.accepted_total":1,"serve.epoch_requests_total":1,"serve.epochs_total":1,"serve.submits_total":1},"tenant_sheds":{},"last_id":1}
+  {"seq":1,"clock_seconds":...,"epoch":2,"admitted":1,"expired":0,"queue_depth":0,"brownout_rung":0,"health":"ready","counters_delta":{"serve.accepted_total":1,"serve.epoch_requests_total":1,"serve.epochs_total":1,"serve.submits_total":1},"tenant_sheds":{},"last_id":2}
+
+An SLO fast-burn trip (or any health transition into degraded or
+unhealthy) dumps the ring automatically, so the epochs preceding the
+incident are on disk before anyone asks. The dump's reason names what
+tripped.
+
+  $ mkdir burns
+  $ printf '%s\n' \
+  >   '{"op":"submit","id":1,"params":"0.9,0.2,0.3","k":2,"deadline_hours":1}' \
+  >   '{"op":"tick","hours":2}' \
+  >   '{"op":"flush"}' \
+  >   'GET health' \
+  >   '{"op":"shutdown"}' \
+  >   | stratrec-serve --stdio --epoch-requests 8 --flight-dir burns \
+  >       --slo 'name=api;target=0.75;fast-burn=3;slow-burn=2' >/dev/null
+  $ ls burns
+  flight-0001.jsonl
+  $ head -1 burns/flight-0001.jsonl \
+  >   | sed -E 's/("clock_seconds":)[0-9.e+-]+/\1.../'
+  {"flight":"stratrec-serve","dump":1,"reason":"health:degraded,slo-fast-burn:api","clock_seconds":...,"records":1}

@@ -157,13 +157,14 @@ let cache_metric name =
 
 let snapshot_fingerprint snapshot =
   List.filter_map
-    (fun { Snapshot.name; value } ->
+    (fun ({ Snapshot.name; value; _ } as entry) ->
       if cache_metric name then None
       else
+        let series = Snapshot.series_name entry in
         match value with
-        | Snapshot.Counter n -> Some (Printf.sprintf "%s=%d" name n)
+        | Snapshot.Counter n -> Some (Printf.sprintf "%s=%d" series n)
         | Snapshot.Gauge _ -> None (* par.* utilization etc.: clock-derived *)
-        | Snapshot.Histogram h -> Some (Printf.sprintf "%s#%d" name h.Snapshot.count))
+        | Snapshot.Histogram h -> Some (Printf.sprintf "%s#%d" series h.Snapshot.count))
     snapshot
 
 let decision_fingerprint (d : Obs.Trace.decision) =

@@ -288,11 +288,12 @@ let observable ~domains ~seed ~m ~w =
   in
   let snapshot =
     List.filter_map
-      (fun { Obs.Snapshot.name; value } ->
+      (fun ({ Obs.Snapshot.value; _ } as entry) ->
+        let series = Obs.Snapshot.series_name entry in
         match value with
-        | Obs.Snapshot.Counter n -> Some (name, `Counter n)
-        | Obs.Snapshot.Gauge g -> Some (name, `Gauge g)
-        | Obs.Snapshot.Histogram h -> Some (name, `Observations h.Obs.Snapshot.count))
+        | Obs.Snapshot.Counter n -> Some (series, `Counter n)
+        | Obs.Snapshot.Gauge g -> Some (series, `Gauge g)
+        | Obs.Snapshot.Histogram h -> Some (series, `Observations h.Obs.Snapshot.count))
       (Obs.Registry.snapshot metrics)
   in
   let tree =

@@ -281,7 +281,8 @@ let fixed_clock = ref 1000.
 let make_daemon ?(engine = Engine.default_config) ?(queue_capacity = 16)
     ?(epoch_requests = 8) ?(max_line = Protocol.default_max_line) ?(window_seconds = 60.)
     ?(slos = []) ?(quotas = []) ?(brownout = Daemon.default_config.Daemon.brownout)
-    ?(drain_timeout_seconds = 30.) () =
+    ?(drain_timeout_seconds = 30.) ?(tenant_windows = 8) ?flight_dir
+    ?(flight_slots = 16) () =
   let availability, strategies, _ = paper_inputs () in
   let config =
     {
@@ -294,6 +295,9 @@ let make_daemon ?(engine = Engine.default_config) ?(queue_capacity = 16)
       quotas;
       brownout;
       drain_timeout_seconds;
+      tenant_windows;
+      flight_dir;
+      flight_slots;
     }
   in
   match
@@ -458,11 +462,20 @@ let test_daemon_shutdown_drains () =
 let test_protocol_endpoints () =
   let ok = function Ok c -> c | Error e -> Alcotest.failf "parse failed: %s" e in
   (match ok (Protocol.parse "GET health") with
-  | Protocol.Health -> ()
+  | Protocol.Health None -> ()
   | _ -> Alcotest.fail "expected Health");
   (match ok (Protocol.parse "get /SLO") with
-  | Protocol.Slo -> ()
+  | Protocol.Slo None -> ()
   | _ -> Alcotest.fail "expected Slo (path form, case-folded)");
+  (match ok (Protocol.parse "GET health?tenant=acme") with
+  | Protocol.Health (Some "acme") -> ()
+  | _ -> Alcotest.fail "expected tenant-scoped Health");
+  (match ok (Protocol.parse "GET /slo?tenant=beta") with
+  | Protocol.Slo (Some "beta") -> ()
+  | _ -> Alcotest.fail "expected tenant-scoped Slo");
+  (match ok (Protocol.parse {|{"op":"dump"}|}) with
+  | Protocol.Dump -> ()
+  | _ -> Alcotest.fail "expected Dump");
   (match ok (Protocol.parse "GET /metrics/extra") with
   | Protocol.Unknown_get path ->
       Alcotest.(check string) "path echoed verbatim" "/metrics/extra" path
@@ -479,6 +492,7 @@ let test_protocol_endpoints () =
           (Protocol.Health_status
              {
                state = Protocol.Degraded;
+               scope = None;
                reasons = [ "queue-saturated" ];
                breaker = Some "closed";
                queue_depth = 4;
@@ -499,6 +513,7 @@ let test_protocol_endpoints () =
              [
                {
                  Protocol.slo = "api";
+                 slo_tenant = None;
                  burning = true;
                  fast_burn_rate = 20.;
                  slow_burn_rate = 20.;
@@ -712,9 +727,9 @@ let test_daemon_brownout_ladder () =
   let m = Daemon.metrics daemon in
   Alcotest.(check int) "sheds counted" 2 (Snapshot.counter_value m "serve.shed_total");
   Alcotest.(check int) "over-share counted" 1
-    (Snapshot.counter_value m "serve.shed.over_share_total");
+    (Snapshot.counter_value ~labels:[ ("reason", "over-share") ] m "serve.shed_total");
   Alcotest.(check int) "low-priority counted" 1
-    (Snapshot.counter_value m "serve.shed.low_priority_total");
+    (Snapshot.counter_value ~labels:[ ("reason", "low-priority") ] m "serve.shed_total");
   Alcotest.(check int) "escalations counted" 3
     (Snapshot.counter_value m "serve.brownout.escalations_total");
   (* flush empties the queue; recovery walks back with hysteresis *)
@@ -1058,9 +1073,10 @@ let decision_fingerprint (d : Obs.Trace.decision) =
 
 let counter_fingerprint snapshot =
   List.filter_map
-    (fun { Snapshot.name; value } ->
+    (fun ({ Snapshot.value; _ } as entry) ->
       match value with
-      | Snapshot.Counter v -> Some (Printf.sprintf "%s=%d" name v)
+      | Snapshot.Counter v ->
+          Some (Printf.sprintf "%s=%d" (Snapshot.series_name entry) v)
       | _ -> None)
     snapshot
 
